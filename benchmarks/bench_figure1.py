@@ -1,0 +1,39 @@
+"""Figure 1: the sparse_super2 + resize2fs expansion corruption.
+
+Both of the figure's dependencies must hold for the bug to fire:
+P1 (sparse_super2 enabled at mke2fs time) and P3 > P2 (the resize2fs
+size exceeds the file-system size).  The benchmark runs the full
+create -> resize -> check pipeline and asserts the 2x2 trigger matrix.
+"""
+
+from conftest import emit
+
+from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.resize2fs import Resize2fs, Resize2fsConfig
+from repro.fsimage.blockdev import BlockDevice
+from repro.reporting.tables import render_figure1
+
+
+def scenario(sparse_super2: bool, expand: bool, fixed: bool = False) -> int:
+    """Run one cell of the trigger matrix; returns fsck problem count."""
+    dev = BlockDevice(4096, 4096)
+    features = "-O sparse_super2,^resize_inode" if sparse_super2 else "-O ^resize_inode"
+    Mke2fs.from_args(features.split() + ["-b", "4096", "2048"]).run(dev)
+    size = "4096" if expand else "2048"
+    Resize2fs(Resize2fsConfig(size=size), fixed=fixed).run(dev)
+    return len(E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev).problems)
+
+
+def test_figure1(benchmark):
+    problems = benchmark(scenario, True, True)
+
+    # Trigger matrix: only P1 AND (P3 > P2) corrupts.
+    assert problems > 0
+    assert scenario(sparse_super2=True, expand=False) == 0
+    assert scenario(sparse_super2=False, expand=True) == 0
+    assert scenario(sparse_super2=False, expand=False) == 0
+    # the upstream fix closes the bug
+    assert scenario(sparse_super2=True, expand=True, fixed=True) == 0
+
+    emit("figure1", render_figure1())

@@ -1,0 +1,37 @@
+"""Figure 2: the four configuration stages, executed end to end.
+
+create (mke2fs) -> mount (-o) -> online (e4defrag) -> offline
+(resize2fs, e2fsck), with the file system consistent at every stage.
+"""
+
+from conftest import emit
+
+from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
+from repro.ecosystem.e4defrag import E4defrag, E4defragConfig
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.ecosystem.resize2fs import Resize2fs, Resize2fsConfig
+from repro.fsimage.blockdev import BlockDevice
+from repro.reporting.tables import render_figure2
+
+
+def lifecycle():
+    dev = BlockDevice(8192, 4096)
+    Mke2fs.from_args(["-b", "4096", "4096"]).run(dev)
+    handle = Ext4Mount.mount(dev, "noatime,commit=10")
+    for _ in range(3):
+        handle.create_file(5, fragmented=True)
+    defrag = E4defrag(E4defragConfig()).run(handle)
+    handle.umount()
+    resize = Resize2fs(Resize2fsConfig(size="8192")).run(dev)
+    check = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
+    return defrag, resize, check
+
+
+def test_figure2(benchmark):
+    defrag, resize, check = benchmark(lifecycle)
+    assert defrag.defragmented == 3
+    assert defrag.score == 1.0
+    assert (resize.old_blocks, resize.new_blocks) == (4096, 8192)
+    assert check.is_clean
+    emit("figure2", render_figure2())

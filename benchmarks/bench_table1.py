@@ -1,0 +1,17 @@
+"""Table 1: configuration methods of popular file systems."""
+
+from conftest import emit
+
+from repro.knowledge.fstable import config_method_table
+from repro.reporting.tables import render_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(config_method_table)
+    assert len(rows) == 8
+    labels = [r.label() for r in rows]
+    assert labels[0] == "Ext4 (Linux)"
+    assert labels[-1] == "APFS (MacOS)"
+    minix = next(r for r in rows if r.fs == "MINIX")
+    assert minix.stage_cells()[2] == "-"  # no online utility, as printed
+    emit("table1", render_table1())

@@ -1,0 +1,33 @@
+"""Table 2: configuration coverage of test suites.
+
+Paper: xfstest exercises 29 of >85 Ext4 parameters (<34.1%), the
+e2fsprogs suite 6 of >35 e2fsck parameters (<17.1%) and 7 of >15
+resize2fs parameters (<46.7%).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.reporting.tables import render_table2
+from repro.suites.coverage import coverage_table
+
+
+def test_table2(benchmark):
+    rows = benchmark(coverage_table)
+    by_target = {r.target: r for r in rows}
+
+    assert by_target["Ext4"].used == 29
+    assert by_target["Ext4"].total > 85
+    assert by_target["Ext4"].paper_style_pct == pytest.approx(34.1, abs=0.05)
+
+    assert by_target["e2fsck"].used == 6
+    assert by_target["e2fsck"].total > 35
+    assert by_target["e2fsck"].paper_style_pct == pytest.approx(17.1, abs=0.05)
+
+    assert by_target["resize2fs"].used == 7
+    assert by_target["resize2fs"].total > 15
+    assert by_target["resize2fs"].paper_style_pct == pytest.approx(46.7, abs=0.05)
+
+    # the paper's framing: less than half of the parameters are used
+    assert all(r.used_fraction < 0.5 for r in rows)
+    emit("table2", render_table2())

@@ -1,0 +1,34 @@
+"""Table 3: distribution of the 67 configuration bugs over scenarios.
+
+Paper totals: SD 67 (100%), CPD 5 (7.5%), CCD 65 (97.0%).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.reporting.tables import render_table3
+from repro.study.classify import scenario_table, total_row
+from repro.study.patches import load_dataset
+
+
+def classify():
+    rows = scenario_table(load_dataset())
+    return rows, total_row(rows)
+
+
+def test_table3(benchmark):
+    rows, total = benchmark(classify)
+
+    observed = [(r.bug_count, r.sd_bugs, r.cpd_bugs, r.ccd_bugs) for r in rows]
+    assert observed == [
+        (13, 13, 1, 13),   # mke2fs - mount - Ext4
+        (1, 1, 0, 1),      # + e4defrag
+        (17, 17, 0, 17),   # + umount + resize2fs
+        (36, 36, 4, 34),   # + umount + e2fsck
+    ]
+    assert (total.bug_count, total.sd_bugs, total.cpd_bugs, total.ccd_bugs) \
+        == (67, 67, 5, 65)
+    assert total.pct(total.sd_bugs) == pytest.approx(100.0)
+    assert total.pct(total.cpd_bugs) == pytest.approx(7.5, abs=0.05)
+    assert total.pct(total.ccd_bugs) == pytest.approx(97.0, abs=0.05)
+    emit("table3", render_table3())

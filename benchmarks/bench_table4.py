@@ -1,0 +1,29 @@
+"""Table 4: taxonomy of critical configuration dependencies.
+
+Paper counts: SD data type 33, SD value range 30, CPD control 4,
+CCD control 1, CCD behavioral 64; the two Value sub-kinds unobserved;
+132 critical dependencies total; 5 of 7 sub-categories observed.
+"""
+
+from conftest import emit
+
+from repro.analysis.model import SubKind
+from repro.reporting.tables import render_table4
+from repro.study.classify import observed_subkinds, taxonomy_table
+from repro.study.patches import load_dataset
+
+
+def test_table4(benchmark):
+    rows = benchmark(lambda: taxonomy_table(load_dataset()))
+    counts = {r.kind: r.count for r in rows}
+
+    assert counts[SubKind.SD_DATA_TYPE] == 33
+    assert counts[SubKind.SD_VALUE_RANGE] == 30
+    assert counts[SubKind.CPD_CONTROL] == 4
+    assert counts[SubKind.CPD_VALUE] == 0
+    assert counts[SubKind.CCD_CONTROL] == 1
+    assert counts[SubKind.CCD_VALUE] == 0
+    assert counts[SubKind.CCD_BEHAVIORAL] == 64
+    assert sum(counts.values()) == 132
+    assert observed_subkinds(rows) == (5, 7)
+    emit("table4", render_table4())

@@ -1,0 +1,46 @@
+"""§4.2-4.3: the three dependency usages.
+
+Paper: 12 inaccurate documentations (ConDocCk) and 1 bad configuration
+handling where resize2fs corrupts the file system (ConHandleCk);
+ConBugCk drives tests deep without shallow crashes.
+"""
+
+from conftest import emit
+
+from repro.reporting.tables import render_usages
+from repro.tools.conbugck import ConBugCk
+from repro.tools.condocck import ConDocCk
+from repro.tools.conhandleck import ConHandleCk, ViolationOutcome
+
+
+def test_condocck(benchmark, extraction_report):
+    true_deps = extraction_report.true_dependencies()
+    issues = benchmark(ConDocCk().check, true_deps)
+    assert len(issues) == 12
+    assert sum(1 for i in issues if i.issue == "missing") == 8
+    assert sum(1 for i in issues if i.issue == "incorrect") == 4
+    # the paper's concrete example
+    assert any({str(p) for p in i.dependency.params}
+               == {"mke2fs.meta_bg", "mke2fs.resize_inode"} for i in issues)
+
+
+def test_conhandleck(benchmark, extraction_report):
+    true_deps = extraction_report.true_dependencies()
+    report = benchmark(ConHandleCk().check, true_deps)
+    outcomes = report.by_outcome()
+    assert outcomes[ViolationOutcome.NOT_EXERCISED] == 0
+    assert len(report.bad_handling()) == 1  # the Figure-1 corruption
+    assert outcomes[ViolationOutcome.REJECTED] >= 50
+
+
+def test_conbugck(benchmark, extraction_report):
+    generator = ConBugCk(extraction_report.true_dependencies(), seed=2022)
+
+    def drive_guided():
+        return generator.drive(generator.generate(20))
+
+    stats = benchmark(drive_guided)
+    assert stats.depth_rate("fsck-clean") == 1.0
+    naive = generator.drive(generator.generate_naive(20))
+    assert naive.depth_rate("fsck-clean") < 0.25
+    emit("usages", render_usages(extraction_report))

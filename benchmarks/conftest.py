@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one paper table or figure: it
+benchmarks the computation with pytest-benchmark, asserts the paper's
+numbers (shape, not wall-clock), prints the rendered artifact, and
+saves it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under results/."""
+    print(f"\n{text}\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def extraction_report():
+    from repro.analysis.extractor import extract_all
+
+    return extract_all()

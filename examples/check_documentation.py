@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""ConDocCk in action: find manual/code inconsistencies (paper §4.2-4.3).
+
+Extracts the dependencies from the corpus, validates them against the
+ground-truth labels, and cross-checks the 59 true dependencies against
+the manual corpus — reporting the 12 inaccurate documentations the
+paper found, including its concrete example (the mke2fs manual not
+mentioning that meta_bg and resize_inode cannot be used together).
+
+Usage::
+
+    python examples/check_documentation.py [output.json]
+"""
+
+import sys
+
+from repro import ConDocCk, extract_all
+from repro.analysis.jsonio import dump_dependencies
+
+
+def main() -> None:
+    report = extract_all()
+    true_deps = report.true_dependencies()
+    print(f"extracted {report.total_extracted} dependencies; "
+          f"{len(true_deps)} validated as true\n")
+
+    issues = ConDocCk().check(true_deps)
+    missing = [i for i in issues if i.issue == "missing"]
+    incorrect = [i for i in issues if i.issue == "incorrect"]
+    print(f"ConDocCk found {len(issues)} inaccurate documentations "
+          f"({len(missing)} missing, {len(incorrect)} incorrect):\n")
+    for issue in issues:
+        print(f"  {issue}")
+
+    # The paper's example, verbatim:
+    example = [i for i in issues
+               if {str(p) for p in i.dependency.params}
+               == {"mke2fs.meta_bg", "mke2fs.resize_inode"}]
+    assert example, "the meta_bg/resize_inode example must be among the issues"
+    print("\npaper's example reproduced:", example[0])
+
+    if len(sys.argv) > 1:
+        dump_dependencies(report.union, sys.argv[1])
+        print(f"\nwrote the dependency JSON to {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

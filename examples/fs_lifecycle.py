@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Drive a file system through all four configuration stages (Figure 2).
+
+create (mke2fs) -> mount (-o options) -> online (e4defrag) ->
+offline (resize2fs grow + shrink, e2fsck), with consistency checks at
+every step.
+
+Usage::
+
+    python examples/fs_lifecycle.py
+"""
+
+from repro import (
+    BlockDevice,
+    E2fsck,
+    E2fsckConfig,
+    E4defrag,
+    E4defragConfig,
+    Ext4Mount,
+    Mke2fs,
+    Resize2fs,
+    Resize2fsConfig,
+)
+
+
+def check(dev: BlockDevice, label: str) -> None:
+    result = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
+    status = "clean" if result.is_clean else f"{len(result.problems)} problems"
+    print(f"  e2fsck after {label}: {status}")
+    assert result.is_clean, f"unexpected corruption after {label}"
+
+
+def main() -> None:
+    dev = BlockDevice(num_blocks=16384, block_size=4096)
+
+    # --- create -----------------------------------------------------------
+    mkfs = Mke2fs.from_args(["-b", "4096", "-m", "5", "-L", "demo", "8192"])
+    image = mkfs.run(dev)
+    print(f"create : {mkfs.messages[-1]}")
+    print(f"create : features {sorted(mkfs.config.features)}")
+    check(dev, "mke2fs")
+
+    # --- mount + use --------------------------------------------------------
+    handle = Ext4Mount.mount(dev, "noatime,commit=15,journal_checksum")
+    stats = handle.statfs()
+    print(f"mount  : {stats['bfree']} of {stats['blocks']} blocks free, "
+          f"{stats['ffree']} inodes free")
+    files = [handle.create_file(6, fragmented=True) for _ in range(3)]
+    files.append(handle.create_file(10))
+    print(f"use    : created {len(files)} files")
+
+    # --- online: measure then defragment ------------------------------------
+    checker = E4defrag(E4defragConfig(check_only=True))
+    before = checker.run(handle)
+    print(f"online : fragmentation score before defrag: {before.score:.2f}")
+    defrag = E4defrag(E4defragConfig(verbose=True))
+    after = defrag.run(handle)
+    print(f"online : defragmented {after.defragmented} file(s); "
+          f"score now {after.score:.2f}")
+    handle.umount()
+    check(dev, "umount")
+
+    # --- offline: grow, then shrink back ------------------------------------
+    grow = Resize2fs(Resize2fsConfig(size="16384")).run(dev)
+    print(f"offline: grow   {grow.old_blocks} -> {grow.new_blocks} blocks")
+    check(dev, "grow")
+
+    min_size = Resize2fs(Resize2fsConfig(print_min_size=True)).run(dev)
+    print(f"offline: minimum size reported: {min_size.min_blocks} blocks")
+
+    shrink = Resize2fs(Resize2fsConfig(size="8192")).run(dev)
+    print(f"offline: shrink {shrink.old_blocks} -> {shrink.new_blocks} blocks "
+          f"({len(shrink.relocated_inodes)} inode(s) relocated)")
+    check(dev, "shrink")
+
+    # Files survive the round trip.
+    handle = Ext4Mount.mount(dev)
+    survived = sum(1 for _ in handle.image.iter_used_inodes())
+    print(f"verify : {survived} inode(s) still in use after the round trip")
+    handle.umount()
+    print("lifecycle complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Adjust a live file system with tune2fs and inspect it with dumpe2fs.
+
+Shows the configuration surface *between* the paper's four stages:
+features and knobs rewritten after creation, subject to tune2fs's own
+dependency rules (structural features are frozen; project still needs
+quota; metadata_csum demands an e2fsck afterwards).
+
+Usage::
+
+    python examples/tune_and_inspect.py
+"""
+
+from repro import BlockDevice, E2fsck, E2fsckConfig, Ext4Mount, Mke2fs
+from repro.ecosystem.dumpe2fs import Dumpe2fs
+from repro.ecosystem.tune2fs import Tune2fs, Tune2fsConfig
+from repro.errors import UsageError
+
+
+def main() -> None:
+    dev = BlockDevice(num_blocks=4096, block_size=4096)
+    Mke2fs.from_args(["-b", "4096", "-L", "original", "2048"]).run(dev)
+
+    handle = Ext4Mount.mount(dev)
+    handle.create_file(4, name="notes.txt")
+    handle.mkdir("archive")
+    handle.umount()
+
+    print("before tuning:")
+    report = Dumpe2fs().run(dev)
+    print(f"  label={report.volume_name!r} free={report.free_blocks} "
+          f"features={len(report.features)}")
+
+    # knobs + an additive feature chain (project needs quota first)
+    Tune2fs(Tune2fsConfig.from_args(
+        ["-L", "tuned", "-m", "2", "-e", "remount-ro"])).run(dev)
+    Tune2fs(Tune2fsConfig.from_args(["-O", "quota"])).run(dev)
+    Tune2fs(Tune2fsConfig.from_args(["-O", "project"])).run(dev)
+
+    # dependency rules fire exactly as on the real tool:
+    try:
+        Tune2fs(Tune2fsConfig.from_args(["-O", "bigalloc"])).run(dev)
+    except UsageError as exc:
+        print(f"frozen structural feature rejected: {exc}")
+    try:
+        Tune2fs(Tune2fsConfig.from_args(["-O", "^quota"])).run(dev)
+    except UsageError as exc:
+        print(f"dependent removal rejected:        {exc}")
+
+    # metadata_csum forces a consistency pass
+    result = Tune2fs(Tune2fsConfig.from_args(["-O", "metadata_csum"])).run(dev)
+    print(f"metadata_csum enabled; needs fsck: {result.needs_fsck}")
+    E2fsck(E2fsckConfig(assume_yes=True)).run(dev)
+
+    print("\nafter tuning:")
+    report = Dumpe2fs().run(dev)
+    print(f"  label={report.volume_name!r} "
+          f"reserved={report.reserved_blocks} blocks (2%); "
+          f"features now include "
+          f"{sorted(set(report.features) & {'quota', 'project', 'metadata_csum'})}")
+
+    check = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
+    assert check.is_clean
+    handle = Ext4Mount.mount(dev)
+    names = sorted(handle.readdir())
+    assert names == ["archive", "notes.txt"]
+    handle.umount()
+    print(f"  namespace intact: {names}; filesystem clean")
+
+
+if __name__ == "__main__":
+    main()

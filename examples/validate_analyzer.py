@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Differential validation: run the corpus to check the analyzer.
+
+The static analyzer claims constraints; the bundled mini-C interpreter
+can *execute* the corpus those claims came from.  This example probes
+every extracted dependency with concrete inputs (boundary values for
+ranges, violating/satisfying configurations for conflicts) and shows
+that:
+
+- every validated *true* dependency is CONSISTENT with execution, and
+- the validator automatically re-discovers four of the paper's five
+  false positives (the fifth is a CCD, exercised by ConHandleCk on the
+  simulated ecosystem instead).
+
+Usage::
+
+    python examples/validate_analyzer.py
+"""
+
+from collections import Counter
+
+from repro import extract_all
+from repro.analysis.groundtruth import is_false_positive
+from repro.analysis.validate import Verdict, validate_extracted
+
+
+def main() -> None:
+    report = extract_all()
+    validation = validate_extracted(report.union)
+
+    counts = Counter(r.verdict.value for r in validation.results)
+    print(f"validated {len(validation.results)} extracted dependencies: "
+          f"{dict(counts)}\n")
+
+    print("inconsistent with concrete execution (automated FP detection):")
+    for result in validation.inconsistent():
+        marker = "known FP" if is_false_positive(result.dependency) else "BUG!"
+        print(f"  [{marker}] {result}")
+
+    flagged = {r.dependency.key() for r in validation.inconsistent()}
+    assert all(is_false_positive(r.dependency)
+               for r in validation.inconsistent()), \
+        "an inconsistency outside the known FPs means an analyzer bug"
+
+    consistent_true = sum(
+        1 for r in validation.results
+        if r.verdict is Verdict.CONSISTENT and not is_false_positive(r.dependency)
+    )
+    print(f"\n{consistent_true} true dependencies confirmed by execution; "
+          f"{len(flagged)} of 5 false positives re-discovered automatically")
+
+
+if __name__ == "__main__":
+    main()

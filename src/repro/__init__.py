@@ -1,0 +1,88 @@
+"""repro — reproduction of *Understanding Configuration Dependencies of
+File Systems* (HotStorage '22).
+
+The package has four layers:
+
+1. **Simulated Ext4 ecosystem** (:mod:`repro.fsimage`,
+   :mod:`repro.ecosystem`): a byte-serialized ext4 image format plus
+   executable models of mke2fs, mount/ext4_fill_super, e4defrag,
+   resize2fs (including the Figure-1 sparse_super2 bug) and e2fsck.
+2. **Mini-C frontend** (:mod:`repro.lang`) and the **modelled corpus**
+   (:mod:`repro.corpus`): the LLVM substitute and the C translation
+   units the analyzer consumes.
+3. **The analyzer** (:mod:`repro.analysis`): taint analysis, constraint
+   derivation, metadata-bridge CCD extraction, scenario driver — the
+   paper's §4 contribution.
+4. **Consumers**: the empirical study (:mod:`repro.study`), the test-
+   suite coverage models (:mod:`repro.suites`), the three checkers
+   (:mod:`repro.tools`), and the table/figure renderers
+   (:mod:`repro.reporting`).
+
+Quick start::
+
+    from repro import extract_all, ConDocCk
+
+    report = extract_all()          # Table-5 extraction
+    print(report.total_extracted)   # 64
+    issues = ConDocCk().check(report.true_dependencies())
+    print(len(issues))              # 12
+"""
+
+from repro.analysis.extractor import (
+    ExtractionReport,
+    Extractor,
+    SCENARIOS,
+    ScenarioSpec,
+    extract_all,
+)
+from repro.analysis.model import Category, Dependency, ParamRef, SubKind
+from repro.ecosystem import (
+    E2fsck,
+    E2fsckConfig,
+    E4defrag,
+    E4defragConfig,
+    Ext4Mount,
+    FeatureSet,
+    Mke2fs,
+    Mke2fsConfig,
+    MountConfig,
+    Resize2fs,
+    Resize2fsConfig,
+)
+from repro.fsimage import BlockDevice, Ext4Image, Superblock
+from repro.tools import ConBugCk, ConDocCk, ConHandleCk
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "extract_all",
+    "Extractor",
+    "ExtractionReport",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "Dependency",
+    "ParamRef",
+    "Category",
+    "SubKind",
+    # ecosystem
+    "BlockDevice",
+    "Ext4Image",
+    "Superblock",
+    "FeatureSet",
+    "Mke2fs",
+    "Mke2fsConfig",
+    "Ext4Mount",
+    "MountConfig",
+    "E4defrag",
+    "E4defragConfig",
+    "Resize2fs",
+    "Resize2fsConfig",
+    "E2fsck",
+    "E2fsckConfig",
+    # tools
+    "ConDocCk",
+    "ConHandleCk",
+    "ConBugCk",
+]

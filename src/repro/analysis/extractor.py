@@ -1,0 +1,248 @@
+"""Scenario-driven extraction (paper §4.3, Table 5).
+
+An extraction *scenario* is one row of Table 5: a pipeline of
+components plus the pre-selected functions analyzed in each ("At the
+time of this writing, the static analyzer can handle intra-procedure
+taint analysis ... so we can only extract dependencies via a few
+pre-selected functions").  The extractor runs taint + constraint
+derivation per function, bridges field traffic across components in
+pipeline order, and dedupes into a unique dependency set per scenario
+and across scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.bridge import ComponentSummary, MetadataBridge
+from repro.analysis.constraints import derive_constraints
+from repro.analysis.groundtruth import is_false_positive
+from repro.analysis.model import Category, Dependency
+from repro.analysis.sources import SOURCES_BY_UNIT
+from repro.analysis.taint import analyze_function
+from repro.corpus.loader import load_unit
+from repro.errors import UnknownFunctionError
+from repro.lang.cfg import build_cfg
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One Table-5 row: pipeline label + pre-selected functions."""
+
+    name: str
+    key_utilities: Tuple[str, ...]  # bolded components in the paper's table
+    #: (unit filename, function name) in pipeline order.
+    selected: Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+
+#: The four usage scenarios of Tables 3 and 5.
+SCENARIOS: Tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="mke2fs - mount - Ext4",
+        key_utilities=("mke2fs", "mount"),
+        selected=(
+            ("mke2fs.c", ("parse_mke2fs_options", "check_feature_conflicts",
+                          "write_superblock")),
+            ("mount.c", ("parse_mount_options", "check_mount_options")),
+            ("ext4_super.c", ("ext4_fill_super",)),
+        ),
+    ),
+    ScenarioSpec(
+        name="mke2fs - mount - Ext4 - e4defrag",
+        key_utilities=("mke2fs", "mount", "e4defrag"),
+        selected=(
+            ("mke2fs.c", ("parse_mke2fs_options", "check_feature_conflicts",
+                          "write_superblock")),
+            ("mount.c", ("parse_mount_options", "check_mount_options")),
+            ("ext4_super.c", ("ext4_fill_super",)),
+            ("e4defrag.c", ("main_defrag", "defrag_file")),
+        ),
+    ),
+    ScenarioSpec(
+        name="mke2fs - mount - Ext4 - umount - resize2fs",
+        key_utilities=("mke2fs", "mount", "resize2fs"),
+        selected=(
+            ("mke2fs.c", ("parse_mke2fs_options", "check_feature_conflicts",
+                          "write_superblock")),
+            ("mount.c", ("parse_mount_options", "check_mount_options",
+                         "ext4_remount_checks")),
+            ("ext4_super.c", ("ext4_fill_super",)),
+            ("libext2fs.c", ("ext2fs_check_blocksize",
+                             "ext2fs_check_inode_geometry")),
+            ("resize2fs.c", ("parse_resize_options", "convert_64bit",
+                             "resize_fs")),
+        ),
+    ),
+    ScenarioSpec(
+        name="mke2fs - mount - Ext4 - umount - e2fsck",
+        key_utilities=("mke2fs", "mount", "e2fsck"),
+        selected=(
+            ("mke2fs.c", ("parse_mke2fs_options", "check_feature_conflicts",
+                          "write_superblock")),
+            ("mount.c", ("parse_mount_options", "check_mount_options",
+                         "ext4_remount_checks")),
+            ("ext4_super.c", ("ext4_fill_super",)),
+            ("libext2fs.c", ("ext2fs_check_blocksize",
+                             "ext2fs_check_inode_geometry")),
+            ("e2fsck.c", ("parse_e2fsck_options", "run_checks")),
+        ),
+    ),
+)
+
+
+#: §6 extension scenario: the same methodology applied to XFS.  Kept
+#: out of SCENARIOS so Table 5 stays the paper's Ext4 evaluation.
+XFS_SCENARIO = ScenarioSpec(
+    name="mkfs.xfs - mount - XFS - xfs_growfs",
+    key_utilities=("mkfs.xfs", "xfs_growfs"),
+    selected=(
+        ("xfs_mkfs.c", ("parse_xfs_mkfs_options", "check_xfs_feature_conflicts",
+                        "write_xfs_superblock")),
+        ("xfs_growfs.c", ("parse_xfs_growfs_options", "xfs_grow_data")),
+    ),
+)
+
+
+@dataclass
+class CategoryCount:
+    """Extraction tally for one category in one scenario."""
+
+    extracted: int = 0
+    false_positives: int = 0
+
+    @property
+    def fp_rate(self) -> float:
+        """False positives as a fraction of extracted."""
+        if not self.extracted:
+            return 0.0
+        return self.false_positives / self.extracted
+
+
+@dataclass
+class ScenarioResult:
+    """Unique dependencies extracted under one scenario."""
+
+    spec: ScenarioSpec
+    dependencies: List[Dependency] = dc_field(default_factory=list)
+
+    def by_category(self) -> Dict[Category, List[Dependency]]:
+        """Dependencies grouped by SD/CPD/CCD."""
+        out: Dict[Category, List[Dependency]] = {c: [] for c in Category}
+        for dep in self.dependencies:
+            out[dep.category].append(dep)
+        return out
+
+    def counts(self) -> Dict[Category, CategoryCount]:
+        """Per-category extraction/FP tallies for this scenario."""
+        out: Dict[Category, CategoryCount] = {}
+        for category, deps in self.by_category().items():
+            fp = sum(1 for d in deps if is_false_positive(d))
+            out[category] = CategoryCount(len(deps), fp)
+        return out
+
+
+@dataclass
+class ExtractionReport:
+    """All four scenarios plus the unique union (Table 5)."""
+
+    scenarios: List[ScenarioResult]
+    union: List[Dependency]
+
+    def union_counts(self) -> Dict[Category, CategoryCount]:
+        """Per-category tallies over the unique union (Table 5)."""
+        out: Dict[Category, CategoryCount] = {c: CategoryCount() for c in Category}
+        for dep in self.union:
+            entry = out[dep.category]
+            entry.extracted += 1
+            if is_false_positive(dep):
+                entry.false_positives += 1
+        return out
+
+    @property
+    def total_extracted(self) -> int:
+        """Size of the unique union."""
+        return len(self.union)
+
+    @property
+    def total_false_positives(self) -> int:
+        """False positives in the unique union."""
+        return sum(1 for d in self.union if is_false_positive(d))
+
+    @property
+    def overall_fp_rate(self) -> float:
+        """Union FP rate (the paper's 7.8%)."""
+        if not self.union:
+            return 0.0
+        return self.total_false_positives / self.total_extracted
+
+    def true_dependencies(self) -> List[Dependency]:
+        """The union minus the labelled false positives."""
+        return [d for d in self.union if not is_false_positive(d)]
+
+
+class Extractor:
+    """Run extraction over scenarios."""
+
+    def __init__(self, scenarios: Sequence[ScenarioSpec] = SCENARIOS) -> None:
+        self.scenarios = tuple(scenarios)
+
+    # ------------------------------------------------------------------
+    # per-scenario
+    # ------------------------------------------------------------------
+
+    def extract_scenario(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Extract one scenario's unique dependency set."""
+        deps: List[Dependency] = []
+        summaries: List[ComponentSummary] = []
+        for filename, functions in spec.selected:
+            unit = load_unit(filename)
+            sources = SOURCES_BY_UNIT[filename]
+            summary = ComponentSummary(unit.component, filename)
+            for fn_name in functions:
+                try:
+                    func = unit.module.function(fn_name)
+                except KeyError:
+                    raise UnknownFunctionError(
+                        f"pre-selected function {fn_name!r} missing from {filename}"
+                    ) from None
+                cfg = build_cfg(func)
+                state = analyze_function(func, sources, unit.component)
+                findings = derive_constraints(
+                    func, cfg, state, sources, unit.component, filename
+                )
+                deps.extend(findings.dependencies)
+                summary.field_writes.extend(state.field_writes)
+                summary.branch_uses.extend(findings.branch_uses)
+            summaries.append(summary)
+        deps.extend(MetadataBridge(summaries).join())
+        return ScenarioResult(spec, _dedupe(deps))
+
+    # ------------------------------------------------------------------
+    # all scenarios
+    # ------------------------------------------------------------------
+
+    def extract_all(self) -> ExtractionReport:
+        """Extract every scenario plus the unique union."""
+        results = [self.extract_scenario(spec) for spec in self.scenarios]
+        union: List[Dependency] = []
+        for result in results:
+            union.extend(result.dependencies)
+        return ExtractionReport(results, _dedupe(union))
+
+
+def _dedupe(deps: List[Dependency]) -> List[Dependency]:
+    seen = set()
+    out = []
+    for dep in deps:
+        key = dep.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(dep)
+    return out
+
+
+def extract_all(scenarios: Sequence[ScenarioSpec] = SCENARIOS) -> ExtractionReport:
+    """Convenience: run the full Table-5 extraction."""
+    return Extractor(scenarios).extract_all()

@@ -1,0 +1,69 @@
+"""JSON persistence for extracted dependencies (paper §4.1).
+
+"The extracted dependencies are stored in JSON files which describe
+both the parameters and the associated constraints."
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Union
+
+from repro.analysis.model import Dependency, Evidence, ParamRef, SubKind
+
+
+def dependency_to_dict(dep: Dependency) -> dict:
+    """One dependency as a JSON-ready dict."""
+    return {
+        "kind": dep.kind.value,
+        "category": dep.category.value,
+        "parameters": [
+            {"component": p.component, "name": p.name} for p in dep.params
+        ],
+        "constraint": dep.constraint_dict,
+        "bridge_field": dep.bridge_field,
+        "evidence": {
+            "file": dep.evidence.filename,
+            "function": dep.evidence.function,
+            "line": dep.evidence.line,
+        },
+        "description": dep.describe(),
+        "key": dep.key(),
+    }
+
+
+def dependency_from_dict(data: dict) -> Dependency:
+    """Rebuild a dependency from its JSON dict."""
+    return Dependency(
+        kind=SubKind(data["kind"]),
+        params=tuple(
+            ParamRef(p["component"], p["name"]) for p in data["parameters"]
+        ),
+        constraint=tuple(sorted(data.get("constraint", {}).items())),
+        bridge_field=data.get("bridge_field"),
+        evidence=Evidence(
+            data.get("evidence", {}).get("file", ""),
+            data.get("evidence", {}).get("function", ""),
+            data.get("evidence", {}).get("line", 0),
+        ),
+    )
+
+
+def dump_dependencies(deps: List[Dependency], fp: Union[str, IO[str]]) -> None:
+    """Write dependencies as a JSON array (path or open file)."""
+    payload = [dependency_to_dict(d) for d in deps]
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+
+
+def load_dependencies(fp: Union[str, IO[str]]) -> List[Dependency]:
+    """Read dependencies from a JSON array (path or open file)."""
+    if isinstance(fp, str):
+        with open(fp, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(fp)
+    return [dependency_from_dict(item) for item in payload]

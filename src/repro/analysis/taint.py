@@ -1,0 +1,336 @@
+"""Intra-procedural taint analysis over the mini-C IR (paper §4.1).
+
+Faithful to the paper's description: we maintain (a) a *set* of tainted
+values — the initial configuration variables and everything derived
+from them, (b) a *trace* mapping each tainted value to the instructions
+that tainted it, and (c) a *multi-parameter map* for values derived
+from more than one parameter.  Propagation is a flow-insensitive
+fixpoint, so loops converge and kills are ignored — the same
+imprecision the paper reports (and the mechanism behind its false
+positives).
+
+Two taint label kinds exist:
+
+- :class:`~repro.analysis.model.ParamRef` — a configuration parameter,
+- :class:`FieldTaint` — "came from metadata field ``struct.field``",
+  optionally refined to a specific feature bit when the load was masked
+  with a known feature macro.
+
+Field stores and loads are recorded as :class:`FieldWrite` /
+:class:`FieldRead` events; :mod:`repro.analysis.bridge` joins them
+across components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.analysis.model import ParamRef
+from repro.analysis.sources import (
+    BRIDGE_STRUCT,
+    FEATURE_MACROS,
+    TAINT_PRESERVING_CALLS,
+    TYPED_PARSERS,
+    ComponentSources,
+)
+from repro.lang.ir import (
+    BinOp,
+    Branch,
+    CallInstr,
+    Const,
+    Function,
+    Instr,
+    Jump,
+    LoadField,
+    LoadIndex,
+    Move,
+    Ret,
+    StoreField,
+    StoreIndex,
+    StrConst,
+    Temp,
+    UnOp,
+    Value,
+    Var,
+)
+
+
+@dataclass(frozen=True)
+class FieldTaint:
+    """Taint label: value derived from a metadata field.
+
+    ``feature`` is set when the value was masked with a known feature
+    macro, pinning it to one feature bit of a feature word.
+    """
+
+    struct: str
+    field: str
+    feature: Optional[str] = None
+
+    def __str__(self) -> str:
+        suffix = f"#{self.feature}" if self.feature else ""
+        return f"{self.struct}.{self.field}{suffix}"
+
+
+Label = Union[ParamRef, FieldTaint]
+
+
+@dataclass
+class FieldWrite:
+    """One store into a metadata field, with the taint of the value."""
+
+    struct: str
+    field: str
+    labels: FrozenSet[Label]
+    function: str
+    instr: StoreField
+
+
+@dataclass
+class FieldRead:
+    """One load from a metadata field."""
+
+    struct: str
+    field: str
+    dst: Temp
+    function: str
+    instr: LoadField
+
+
+@dataclass
+class TaintState:
+    """Result of analyzing one function."""
+
+    function: str
+    taint: Dict[Value, FrozenSet[Label]] = dc_field(default_factory=dict)
+    trace: Dict[Value, List[Instr]] = dc_field(default_factory=dict)
+    parsed_type: Dict[Value, str] = dc_field(default_factory=dict)
+    field_writes: List[FieldWrite] = dc_field(default_factory=list)
+    field_reads: List[FieldRead] = dc_field(default_factory=list)
+    defs: Dict[Value, List[Instr]] = dc_field(default_factory=dict)
+
+    def labels(self, value: Value) -> FrozenSet[Label]:
+        """Taint labels of ``value`` (constants are clean)."""
+        if isinstance(value, (Const, StrConst)) or value is None:
+            return frozenset()
+        return self.taint.get(value, frozenset())
+
+    def params(self, value: Value) -> FrozenSet[ParamRef]:
+        """Only the parameter labels of ``value``."""
+        return frozenset(l for l in self.labels(value) if isinstance(l, ParamRef))
+
+    def fields(self, value: Value) -> FrozenSet[FieldTaint]:
+        """Only the metadata-field labels of ``value``."""
+        return frozenset(l for l in self.labels(value) if isinstance(l, FieldTaint))
+
+    @property
+    def multi_param_map(self) -> Dict[Value, FrozenSet[ParamRef]]:
+        """Values derived from two or more parameters (paper §4.1)."""
+        out = {}
+        for value, labels in self.taint.items():
+            params = frozenset(l for l in labels if isinstance(l, ParamRef))
+            if len(params) >= 2:
+                out[value] = params
+        return out
+
+    def defining(self, value: Value) -> List[Instr]:
+        """Instructions that define ``value`` in this function."""
+        return self.defs.get(value, [])
+
+
+class TaintEngine:
+    """Analyze one function of one component's translation unit.
+
+    The three optional hooks power the inter-procedural extension
+    (:mod:`repro.analysis.interproc`); they default to empty, which is
+    the paper's intra-procedural prototype:
+
+    - ``initial_taint`` — extra labels seeded onto named values (e.g.
+      callee parameters receiving caller-argument taint),
+    - ``field_injections`` — labels every load of a (struct, field)
+      additionally receives (unit-wide store/load matching),
+    - ``call_returns`` — labels the result of a call to a unit-local
+      function receives (return-taint summaries).
+    """
+
+    def __init__(self, func: Function, sources: ComponentSources,
+                 component: str,
+                 initial_taint: Optional[Dict[str, FrozenSet[Label]]] = None,
+                 field_injections: Optional[Dict[Tuple[str, str], FrozenSet[Label]]] = None,
+                 call_returns: Optional[Dict[str, FrozenSet[Label]]] = None) -> None:
+        self.func = func
+        self.sources = sources
+        self.component = component
+        self.initial_taint = initial_taint or {}
+        self.field_injections = field_injections or {}
+        self.call_returns = call_returns or {}
+        self.state = TaintState(function=func.name)
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> TaintState:
+        """Run the fixpoint; returns the populated TaintState."""
+        state = self.state
+        for var, param in self.sources.sources_for(self.func.name).items():
+            state.taint[Var(var)] = frozenset([param])
+        for var, labels in self.initial_taint.items():
+            state.taint[Var(var)] = state.taint.get(Var(var), frozenset()) | labels
+        self._index_defs()
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            if iterations > 1000:
+                raise RuntimeError(
+                    f"taint fixpoint did not converge in {self.func.name}"
+                )
+            for instr in self.func.instructions():
+                if self._transfer(instr):
+                    changed = True
+        self._collect_field_events()
+        return state
+
+    def _index_defs(self) -> None:
+        for instr in self.func.instructions():
+            for dst in instr.defs():
+                self.state.defs.setdefault(dst, []).append(instr)
+
+    # ------------------------------------------------------------------
+    # transfer functions
+    # ------------------------------------------------------------------
+
+    def _transfer(self, instr: Instr) -> bool:
+        state = self.state
+        if isinstance(instr, Move):
+            return self._add(instr.dst, state.labels(instr.src), instr)
+        if isinstance(instr, BinOp):
+            labels = self._binop_labels(instr)
+            changed = self._add(instr.dst, labels, instr)
+            if instr.dst in state.parsed_type:
+                pass
+            return changed
+        if isinstance(instr, UnOp):
+            return self._add(instr.dst, state.labels(instr.operand), instr)
+        if isinstance(instr, LoadField):
+            labels: Set[Label] = {FieldTaint(instr.struct, instr.field)}
+            labels |= self.field_injections.get((instr.struct, instr.field),
+                                                frozenset())
+            return self._add(instr.dst, frozenset(labels), instr)
+        if isinstance(instr, LoadIndex):
+            return self._add(instr.dst, state.labels(instr.base), instr)
+        if isinstance(instr, StoreIndex):
+            # Writing through an array cell taints the base aggregate.
+            return self._add(instr.base, state.labels(instr.src), instr)
+        if isinstance(instr, CallInstr):
+            return self._transfer_call(instr)
+        return False
+
+    def _binop_labels(self, instr: BinOp) -> FrozenSet[Label]:
+        state = self.state
+        left, right = state.labels(instr.left), state.labels(instr.right)
+        combined: Set[Label] = set(left | right)
+        if instr.op == "&":
+            feature = _feature_of(instr.left) or _feature_of(instr.right)
+            if feature is not None:
+                refined: Set[Label] = set()
+                for label in combined:
+                    if isinstance(label, FieldTaint) and label.feature is None:
+                        refined.add(FieldTaint(label.struct, label.field, feature))
+                    else:
+                        refined.add(label)
+                combined = refined
+        return frozenset(combined)
+
+    def _transfer_call(self, instr: CallInstr) -> bool:
+        state = self.state
+        if instr.dst is None:
+            return False
+        if instr.func in TAINT_PRESERVING_CALLS:
+            labels: Set[Label] = set()
+            for arg in instr.args:
+                labels |= state.labels(arg)
+            changed = self._add(instr.dst, frozenset(labels), instr)
+            if instr.func in TYPED_PARSERS and instr.dst not in state.parsed_type:
+                state.parsed_type[instr.dst] = TYPED_PARSERS[instr.func]
+                changed = True
+            return changed
+        if instr.func in self.call_returns:
+            return self._add(instr.dst, self.call_returns[instr.func], instr)
+        # Opaque call: intra-procedural analysis stops here (paper §4.1).
+        return False
+
+    def _add(self, dst: Value, labels: FrozenSet[Label], instr: Instr) -> bool:
+        if dst is None or not labels:
+            return False
+        state = self.state
+        current = state.taint.get(dst, frozenset())
+        merged = current | labels
+        if merged == current:
+            return False
+        state.taint[dst] = merged
+        state.trace.setdefault(dst, [])
+        if instr not in state.trace[dst]:
+            state.trace[dst].append(instr)
+        # Parsed-type information rides along moves into named variables.
+        if isinstance(instr, Move) and instr.src in state.parsed_type:
+            state.parsed_type.setdefault(dst, state.parsed_type[instr.src])
+        return True
+
+    # ------------------------------------------------------------------
+    # field events
+    # ------------------------------------------------------------------
+
+    def _collect_field_events(self) -> None:
+        state = self.state
+        for instr in self.func.instructions():
+            if isinstance(instr, StoreField):
+                labels = set(state.labels(instr.src))
+                feature = self._stored_feature(instr)
+                if feature is not None:
+                    labels.add(ParamRef(self.component, feature))
+                state.field_writes.append(FieldWrite(
+                    struct=instr.struct,
+                    field=instr.field,
+                    labels=frozenset(labels),
+                    function=self.func.name,
+                    instr=instr,
+                ))
+            elif isinstance(instr, LoadField):
+                state.field_reads.append(FieldRead(
+                    struct=instr.struct,
+                    field=instr.field,
+                    dst=instr.dst,
+                    function=self.func.name,
+                    instr=instr,
+                ))
+
+    def _stored_feature(self, store: StoreField) -> Optional[str]:
+        """Feature name when the stored value ORs in a feature macro.
+
+        Recognizes ``word |= EXT*_FEATURE_*`` — the idiom every
+        component uses to set feature bits, which lets the analyzer
+        attribute the store to the feature parameter.
+        """
+        value = store.src
+        for definition in self.state.defining(value):
+            if isinstance(definition, BinOp) and definition.op in ("|", "|="):
+                feature = _feature_of(definition.left) or _feature_of(definition.right)
+                if feature is not None:
+                    return feature
+        return None
+
+
+def _feature_of(value: Value) -> Optional[str]:
+    if isinstance(value, Const) and value.macro in FEATURE_MACROS:
+        return FEATURE_MACROS[value.macro]
+    return None
+
+
+def analyze_function(func: Function, sources: ComponentSources,
+                     component: str) -> TaintState:
+    """Run the taint engine on one function."""
+    return TaintEngine(func, sources, component).run()

@@ -1,0 +1,151 @@
+"""Command-line entry points.
+
+- ``repro-extract``     run the Table-5 extraction (optionally dump JSON)
+- ``repro-condocck``    check manuals against extracted dependencies
+- ``repro-conhandleck`` violate dependencies against the simulated ecosystem
+- ``repro-conbugck``    generate and drive dependency-respecting configs
+- ``repro-study``       print the study tables (Tables 1-4) and mining stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def main_extract(argv: Optional[List[str]] = None) -> int:
+    """``repro-extract``: run the Table-5 extraction."""
+    parser = argparse.ArgumentParser(
+        prog="repro-extract",
+        description="Extract multi-level configuration dependencies (Table 5).",
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the unique dependencies as JSON")
+    parser.add_argument("--list", action="store_true",
+                        help="print every dependency key")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.extractor import extract_all
+    from repro.analysis.jsonio import dump_dependencies
+    from repro.reporting.tables import render_table5
+
+    report = extract_all()
+    print(render_table5(report))
+    if args.list:
+        print()
+        for dep in sorted(report.union, key=lambda d: d.key()):
+            print(dep.key())
+    if args.json:
+        dump_dependencies(report.union, args.json)
+        print(f"\nwrote {len(report.union)} dependencies to {args.json}")
+    return 0
+
+
+def main_condocck(argv: Optional[List[str]] = None) -> int:
+    """``repro-condocck``: check manuals against extracted deps."""
+    parser = argparse.ArgumentParser(
+        prog="repro-condocck",
+        description="Check the manual corpus against extracted dependencies.",
+    )
+    parser.parse_args(argv)
+
+    from repro.tools.condocck import ConDocCk
+
+    issues = ConDocCk().check_extracted()
+    for issue in issues:
+        print(issue)
+    print(f"\n{len(issues)} inaccurate documentations")
+    return 0 if not issues else 1
+
+
+def main_conhandleck(argv: Optional[List[str]] = None) -> int:
+    """``repro-conhandleck``: violate dependencies, report handling."""
+    parser = argparse.ArgumentParser(
+        prog="repro-conhandleck",
+        description="Violate extracted dependencies against the simulated "
+                    "ecosystem and report how each violation is handled.",
+    )
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every violation outcome")
+    args = parser.parse_args(argv)
+
+    from repro.tools.conhandleck import ConHandleCk
+
+    report = ConHandleCk().check_extracted()
+    if args.verbose:
+        for result in report.results:
+            print(result)
+        print()
+    for outcome, count in report.by_outcome().items():
+        if count:
+            print(f"{outcome.value:>14s}: {count}")
+    bad = report.bad_handling()
+    for result in bad:
+        print(f"\nBAD HANDLING: {result}")
+    return 0 if not bad else 1
+
+
+def main_conbugck(argv: Optional[List[str]] = None) -> int:
+    """``repro-conbugck``: guided vs naive configuration generation."""
+    parser = argparse.ArgumentParser(
+        prog="repro-conbugck",
+        description="Generate dependency-respecting configurations and drive "
+                    "them through the ecosystem; compare against naive random.",
+    )
+    parser.add_argument("-n", "--count", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=2022)
+    args = parser.parse_args(argv)
+
+    from repro.tools.conbugck import ConBugCk, STAGES
+
+    generator = ConBugCk.from_extraction(seed=args.seed)
+    guided = generator.drive(generator.generate(args.count))
+    naive = generator.drive(generator.generate_naive(args.count))
+    print(f"{'stage':>12s} {'guided':>8s} {'naive':>8s}")
+    for stage in STAGES:
+        print(f"{stage:>12s} {guided.reached[stage]:>8d} {naive.reached[stage]:>8d}")
+    return 0
+
+
+def main_demo(argv: Optional[List[str]] = None) -> int:
+    """``repro-demo``: run the executable Figure 1/2 demonstrations."""
+    parser = argparse.ArgumentParser(
+        prog="repro-demo",
+        description="Run the executable Figure-1 and Figure-2 demonstrations.",
+    )
+    parser.parse_args(argv)
+
+    from repro.reporting.tables import render_figure1, render_figure2
+
+    print(render_figure1())
+    print()
+    print(render_figure2())
+    return 0
+
+
+def main_study(argv: Optional[List[str]] = None) -> int:
+    """``repro-study``: print Tables 1-4 and the mining stats."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Print the study results (Tables 1-4) and mining stats.",
+    )
+    parser.parse_args(argv)
+
+    from repro.reporting.tables import (
+        render_mining,
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+
+    for render in (render_table1, render_table2, render_mining,
+                   render_table3, render_table4):
+        print(render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation aid
+    sys.exit(main_extract())

@@ -1,0 +1,7 @@
+"""Shared helpers: size parsing, bit flags, text tables, deterministic RNG."""
+
+from repro.common.units import format_size, parse_size
+from repro.common.bitflags import FlagRegistry
+from repro.common.texttable import TextTable
+
+__all__ = ["parse_size", "format_size", "FlagRegistry", "TextTable"]

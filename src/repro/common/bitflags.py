@@ -1,0 +1,74 @@
+"""Named bit-flag registries.
+
+The ext4 on-disk format keeps three 32-bit feature words (compat,
+incompat, ro_compat); each named feature owns one bit in one word.
+:class:`FlagRegistry` maps names to bits and packs/unpacks flag words,
+so both the image layer and the utilities share one source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Tuple
+
+
+class FlagRegistry:
+    """A fixed mapping of flag names to single bits within one word."""
+
+    def __init__(self, name: str, flags: Iterable[Tuple[str, int]]) -> None:
+        self.name = name
+        self._bit_of: Dict[str, int] = {}
+        self._name_of: Dict[int, str] = {}
+        for flag_name, bit in flags:
+            if flag_name in self._bit_of:
+                raise ValueError(f"duplicate flag name {flag_name!r} in registry {name!r}")
+            if bit in self._name_of:
+                raise ValueError(
+                    f"bit 0x{bit:x} assigned to both {self._name_of[bit]!r} "
+                    f"and {flag_name!r} in registry {name!r}"
+                )
+            if bit <= 0 or bit & (bit - 1):
+                raise ValueError(f"flag {flag_name!r} bit 0x{bit:x} is not a single bit")
+            self._bit_of[flag_name] = bit
+            self._name_of[bit] = flag_name
+
+    def __contains__(self, flag_name: str) -> bool:
+        return flag_name in self._bit_of
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bit_of)
+
+    def __len__(self) -> int:
+        return len(self._bit_of)
+
+    def bit(self, flag_name: str) -> int:
+        """Return the bit value for ``flag_name``; KeyError if unknown."""
+        try:
+            return self._bit_of[flag_name]
+        except KeyError:
+            raise KeyError(f"unknown flag {flag_name!r} in registry {self.name!r}") from None
+
+    def pack(self, names: Iterable[str]) -> int:
+        """OR together the bits of ``names`` into one word."""
+        word = 0
+        for flag_name in names:
+            word |= self.bit(flag_name)
+        return word
+
+    def unpack(self, word: int) -> FrozenSet[str]:
+        """Return the set of known flag names set in ``word``.
+
+        Unknown bits are ignored; callers that care use
+        :meth:`unknown_bits`.
+        """
+        return frozenset(name for name, bit in self._bit_of.items() if word & bit)
+
+    def unknown_bits(self, word: int) -> int:
+        """Return the sub-word of bits in ``word`` this registry does not name."""
+        known = 0
+        for bit in self._name_of:
+            known |= bit
+        return word & ~known
+
+    def names(self) -> Tuple[str, ...]:
+        """All flag names, in registration order."""
+        return tuple(self._bit_of)

@@ -1,0 +1,52 @@
+"""Minimal fixed-width text table renderer used by the reporting layer.
+
+Every benchmark regenerates a paper table; this renderer keeps the
+output stable and diff-friendly (padded columns, one header rule).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class TextTable:
+    """Accumulate rows, then render a padded ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cell count must match the header count."""
+        if len(cells) != len(self._headers):
+            raise ValueError(
+                f"expected {len(self._headers)} cells, got {len(cells)}: {cells!r}"
+            )
+        self._rows.append([str(cell) for cell in cells])
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """A copy of the row data (without headers)."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """Render the table as a string (no trailing newline)."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(self._format_row(self._headers, widths))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(self._format_row(row, widths))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()

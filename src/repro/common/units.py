@@ -1,0 +1,77 @@
+"""Size-string handling shared by the simulated utilities.
+
+The real mke2fs/resize2fs accept sizes either as a number of blocks or as
+a number with a binary-unit suffix (``s`` for 512-byte sectors, ``K``,
+``M``, ``G``, ``T``).  The simulated utilities accept the same grammar.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UsageError
+
+_SUFFIXES = {
+    "s": 512,
+    "k": 1024,
+    "m": 1024**2,
+    "g": 1024**3,
+    "t": 1024**4,
+}
+
+
+def parse_size(text: str, block_size: int = 1, component: str = "parse_size") -> int:
+    """Parse ``text`` into a count of ``block_size``-byte blocks.
+
+    A bare integer is a block count.  With a suffix the value is a byte
+    quantity that must divide evenly into blocks.  Raises
+    :class:`~repro.errors.UsageError` on bad input, matching the real
+    utilities' exit-with-usage behaviour.
+
+    >>> parse_size("1024")
+    1024
+    >>> parse_size("8M", block_size=4096)
+    2048
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    stripped = text.strip()
+    if not stripped:
+        raise UsageError(component, "empty size string")
+    suffix = stripped[-1].lower()
+    if suffix in _SUFFIXES:
+        digits = stripped[:-1]
+        multiplier = _SUFFIXES[suffix]
+    else:
+        digits = stripped
+        multiplier = None
+    if not digits or not _is_decimal(digits):
+        raise UsageError(component, f"invalid size string: {text!r}")
+    value = int(digits)
+    if multiplier is None:
+        return value
+    total_bytes = value * multiplier
+    if total_bytes % block_size:
+        raise UsageError(
+            component,
+            f"size {text!r} is not a multiple of the block size {block_size}",
+        )
+    return total_bytes // block_size
+
+
+def _is_decimal(text: str) -> bool:
+    return text.isdigit()
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count with the largest exact binary suffix.
+
+    >>> format_size(8 * 1024 * 1024)
+    '8M'
+    >>> format_size(1536)
+    '1536'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    for suffix, multiplier in (("t", 1024**4), ("g", 1024**3), ("m", 1024**2), ("k", 1024)):
+        if num_bytes and num_bytes % multiplier == 0:
+            return f"{num_bytes // multiplier}{suffix.upper()}"
+    return str(num_bytes)

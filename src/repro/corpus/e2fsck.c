@@ -1,0 +1,108 @@
+/*
+ * e2fsck.c — modelled offline checker (e2fsprogs).
+ *
+ * e2fsck funnels all file-system access through its context object
+ * (`struct e2fsck_ctx`) and library helpers, so the intra-procedural
+ * analyzer sees no `ext2_super_block` traffic here — matching Table 5,
+ * where the e2fsck scenario extracts no cross-component dependencies.
+ * Its own option conflicts (-p/-n/-y) hide behind a helper call for
+ * the same reason.
+ */
+
+#define E2F_OPT_PREEN    0x0001
+#define E2F_OPT_YES      0x0002
+#define E2F_OPT_NO       0x0004
+
+struct e2fsck_ctx {
+    unsigned int options;
+    unsigned int flags;
+    unsigned long use_superblock;
+    unsigned long blocksize;
+};
+
+int getopt(int argc, char **argv);
+char *optarg_value(void);
+unsigned long get_backup_sb(void);
+unsigned long get_blocksize_arg(void);
+int count_conflicting_modes(struct e2fsck_ctx *ctx);
+int open_filesystem(struct e2fsck_ctx *ctx);
+int check_pass(struct e2fsck_ctx *ctx, int pass);
+void usage(void);
+void com_err(const char *whoami, int code, const char *fmt);
+
+/* parsed options (annotated configuration sources) */
+int opt_preen;
+int opt_yes;
+int opt_no;
+int opt_force;
+unsigned long opt_superblock;
+unsigned long opt_blocksize;
+int opt_optimize_dirs;
+int opt_ea_ver;
+
+int parse_e2fsck_options(int argc, char **argv, struct e2fsck_ctx *ctx)
+{
+    int c;
+
+    c = getopt(argc, argv);
+    while (c > 0) {
+        switch (c) {
+        case 'p':
+            opt_preen = 1;
+            ctx->options |= E2F_OPT_PREEN;
+            break;
+        case 'y':
+            opt_yes = 1;
+            ctx->options |= E2F_OPT_YES;
+            break;
+        case 'n':
+            opt_no = 1;
+            ctx->options |= E2F_OPT_NO;
+            break;
+        case 'f':
+            opt_force = 1;
+            break;
+        case 'D':
+            opt_optimize_dirs = 1;
+            break;
+        case 'b':
+            opt_superblock = get_backup_sb();
+            ctx->use_superblock = opt_superblock;
+            break;
+        case 'B':
+            opt_blocksize = get_blocksize_arg();
+            ctx->blocksize = opt_blocksize;
+            break;
+        default:
+            usage();
+            break;
+        }
+        c = getopt(argc, argv);
+    }
+    /* -p/-n/-y exclusion is counted inside a helper: invisible to the
+       intra-procedural prototype. */
+    if (count_conflicting_modes(ctx) > 1) {
+        com_err("e2fsck", 0, "only one of -p/-a, -n or -y may be specified");
+        usage();
+    }
+    return 0;
+}
+
+int run_checks(struct e2fsck_ctx *ctx)
+{
+    int err;
+    int pass;
+
+    err = open_filesystem(ctx);
+    if (err < 0) {
+        com_err("e2fsck", 0, "cannot open filesystem");
+        return 8;
+    }
+    for (pass = 1; pass <= 5; pass++) {
+        err = check_pass(ctx, pass);
+        if (err < 0) {
+            return 4;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,122 @@
+/*
+ * ext4_super.c — modelled kernel-side mount path (fs/ext4/super.c).
+ *
+ * This translation unit embodies the paper's inter-procedural
+ * limitation on purpose.  The kernel copies the on-disk superblock
+ * into its own `struct ext4_sb_info` inside `ext4_load_super`, and
+ * `ext4_fill_super` validates mount options against those *copies*.
+ * The intra-procedural analyzer (the paper's prototype) sees no
+ * `ext2_super_block` traffic in `ext4_fill_super`, so the mount-time
+ * cross-component dependencies (dax vs. mkfs-time block size,
+ * data=journal vs. has_journal) are NOT extracted — matching Table 5's
+ * zero CCDs for the create/mount rows.
+ *
+ * The inter-procedural extension (repro.analysis.interproc) closes the
+ * gap exactly as §6 of the paper anticipates: unit-wide store/load
+ * matching carries the `ext2_super_block` field taint from
+ * ext4_load_super's stores into ext4_fill_super's loads, and the
+ * metadata bridge then joins them with mke2fs's writes.
+ */
+
+#define PAGE_SIZE 4096
+#define EXT2_FEATURE_COMPAT_HAS_JOURNAL 0x0004
+#define EXT4_FEATURE_RO_COMPAT_BIGALLOC 0x0200
+
+typedef unsigned int __u32;
+typedef unsigned short __u16;
+
+struct ext2_super_block {
+    __u32 s_blocks_count;
+    __u32 s_log_block_size;
+    __u32 s_log_cluster_size;
+    __u32 s_feature_compat;
+    __u32 s_feature_incompat;
+    __u32 s_feature_ro_compat;
+};
+
+struct ext4_sb_info {
+    unsigned int s_blocksize;
+    unsigned int s_mount_opt;
+    unsigned int s_inode_size_copy;
+    unsigned int s_journal_present;
+    unsigned int s_cluster_ratio;
+};
+
+int match_token(const char *opts, const char *name);
+int read_super_from_device(struct ext2_super_block *es);
+void ext4_msg(struct ext4_sb_info *sbi, const char *level, const char *fmt);
+
+/* the on-disk superblock, as read from the device */
+struct ext2_super_block on_disk_sb;
+
+/* mount options parsed by the kernel (annotated sources) */
+int kopt_dax;
+int kopt_data_journal;
+
+/*
+ * The kernel's own option tokenizer (handle_mount_opt in reality).
+ */
+int ext4_parse_options(const char *options)
+{
+    int have;
+
+    have = match_token(options, "dax");
+    if (have) {
+        kopt_dax = 1;
+    }
+    have = match_token(options, "data=journal");
+    if (have) {
+        kopt_data_journal = 1;
+    }
+    return 0;
+}
+
+/*
+ * Copy on-disk state into the in-memory superblock info.  These stores
+ * are where the ext2_super_block taint enters the kernel's own
+ * structures — invisible to ext4_fill_super without inter-procedural
+ * analysis.
+ */
+int ext4_load_super(struct ext4_sb_info *sbi)
+{
+    int err;
+
+    err = read_super_from_device(&on_disk_sb);
+    if (err < 0) {
+        return -5;
+    }
+    sbi->s_blocksize = 1024 << on_disk_sb.s_log_block_size;
+    sbi->s_journal_present =
+        on_disk_sb.s_feature_compat & EXT2_FEATURE_COMPAT_HAS_JOURNAL;
+    sbi->s_cluster_ratio =
+        on_disk_sb.s_log_cluster_size - on_disk_sb.s_log_block_size;
+    return 0;
+}
+
+/*
+ * Mount-time validation over the *copies*: every guard below is a real
+ * cross-component dependency, extractable only inter-procedurally.
+ */
+int ext4_fill_super(struct ext4_sb_info *sbi)
+{
+    int err;
+
+    err = ext4_load_super(sbi);
+    if (err < 0) {
+        ext4_msg(sbi, "err", "unable to read superblock");
+        return -22;
+    }
+    if (kopt_dax && sbi->s_blocksize != PAGE_SIZE) {
+        ext4_msg(sbi, "err", "DAX unsupported by block size");
+        return -22;
+    }
+    if (kopt_data_journal && !sbi->s_journal_present) {
+        ext4_msg(sbi, "err", "data=journal requires a journal");
+        return -22;
+    }
+    if (sbi->s_cluster_ratio > 16) {
+        ext4_msg(sbi, "err", "unsupported cluster ratio");
+        return -22;
+    }
+    return 0;
+}

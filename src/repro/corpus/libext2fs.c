@@ -1,0 +1,38 @@
+/*
+ * libext2fs.c — modelled shared-library validation helpers.
+ *
+ * Both offline utilities (resize2fs, e2fsck) link libext2fs, so these
+ * helpers join the analysis in the offline scenarios.  They validate
+ * *derived* quantities (log of the block size, inodes per block); the
+ * analyzer attributes the derived ranges to the originating mke2fs
+ * parameters — the three self-dependency false positives the
+ * prototype reports (the real constraints are on the parameters
+ * themselves, not on the derived values).
+ */
+
+int ext2fs_check_blocksize(int blocksize_opt)
+{
+    int log_bs;
+
+    log_bs = blocksize_opt / 1024;
+    if (log_bs < 1 || log_bs > 64) {
+        return -22;
+    }
+    return 0;
+}
+
+int ext2fs_check_inode_geometry(int inode_size_opt, int inode_ratio_opt)
+{
+    int per_block;
+    int density;
+
+    per_block = 4096 / inode_size_opt;
+    if (per_block < 1 || per_block > 32) {
+        return -22;
+    }
+    density = inode_ratio_opt / 1024;
+    if (density < 1 || density > 4096) {
+        return -22;
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+"""Load and compile the corpus translation units.
+
+Units compile through the mini-C frontend once and are cached for the
+process; each resulting IR module is tagged with its component name so
+the analyzer knows which parameters belong where.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import UnknownComponentError
+from repro.lang import compile_c
+from repro.lang.ir import Module
+
+#: Translation unit -> ecosystem component.
+UNIT_COMPONENTS: Dict[str, str] = {
+    "mke2fs.c": "mke2fs",
+    "mount.c": "mount",
+    "ext4_super.c": "ext4",
+    "e4defrag.c": "e4defrag",
+    "resize2fs.c": "resize2fs",
+    "e2fsck.c": "e2fsck",
+    "libext2fs.c": "libext2fs",
+    # §6 extension: the XFS ecosystem.
+    "xfs_mkfs.c": "mkfs.xfs",
+    "xfs_growfs.c": "xfs_growfs",
+}
+
+
+@dataclass
+class CorpusUnit:
+    """One compiled translation unit."""
+
+    filename: str
+    component: str
+    source: str
+    module: Module
+
+
+_CACHE: Dict[str, CorpusUnit] = {}
+
+
+def corpus_path(filename: str) -> str:
+    """Absolute path of one corpus file."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    path = os.path.join(here, filename)
+    if not os.path.exists(path):
+        raise UnknownComponentError(f"no corpus unit {filename!r}")
+    return path
+
+
+def load_unit(filename: str, use_cache: bool = True) -> CorpusUnit:
+    """Compile (or fetch the cached) corpus unit ``filename``."""
+    if use_cache and filename in _CACHE:
+        return _CACHE[filename]
+    if filename not in UNIT_COMPONENTS:
+        raise UnknownComponentError(
+            f"unknown corpus unit {filename!r}; known: {sorted(UNIT_COMPONENTS)}"
+        )
+    with open(corpus_path(filename), encoding="utf-8") as handle:
+        source = handle.read()
+    module = compile_c(source, filename)
+    module.component = UNIT_COMPONENTS[filename]
+    unit = CorpusUnit(filename, module.component, source, module)
+    if use_cache:
+        _CACHE[filename] = unit
+    return unit
+
+
+def load_corpus(filenames: Optional[List[str]] = None) -> List[CorpusUnit]:
+    """Compile several units (default: the whole corpus)."""
+    names = filenames if filenames is not None else sorted(UNIT_COMPONENTS)
+    return [load_unit(name) for name in names]
+
+
+def clear_cache() -> None:
+    """Drop compiled units (used by tests that mutate sources)."""
+    _CACHE.clear()

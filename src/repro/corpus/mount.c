@@ -1,0 +1,156 @@
+/*
+ * mount.c — modelled option handling of mount(8) for ext4.
+ *
+ * The user-level half of the mount stage: the -o string is parsed into
+ * option variables (typed parses for numeric options), then validated.
+ * `check_mount_options` holds the always-validated rules;
+ * `ext4_remount_checks` holds two rules the kernel enforces on
+ * remount/umount transitions and is only analyzed in the offline
+ * scenarios (paper §4.1: dependencies are extracted via a few
+ * pre-selected functions, which differ per usage scenario).
+ */
+
+int match_token(const char *opts, const char *name);
+int match_int(const char *opts);
+char *match_strdup(const char *opts);
+void usage(void);
+void com_err(const char *whoami, int code, const char *fmt);
+
+/* parsed -o options (annotated configuration sources) */
+int opt_ro;
+int opt_dax;
+int opt_noload;
+int opt_data_mode;
+int opt_data_journal;
+int opt_commit;
+int opt_barrier;
+int opt_journal_checksum;
+int opt_journal_async_commit;
+int opt_delalloc;
+int opt_resuid;
+int opt_resgid;
+int opt_journal_ioprio;
+int opt_stripe;
+int opt_auto_da_alloc;
+int opt_max_batch_time;
+int opt_min_batch_time;
+unsigned long opt_sb_block;
+
+/*
+ * Tokenize the -o string.  Numeric options go through match_int — the
+ * kernel's match_token/match_int pattern — giving the analyzer the SD
+ * data-type facts.
+ */
+int parse_mount_options(const char *options)
+{
+    int have;
+
+    have = match_token(options, "commit");
+    if (have) {
+        opt_commit = match_int(options);
+    }
+    have = match_token(options, "resuid");
+    if (have) {
+        opt_resuid = match_int(options);
+    }
+    have = match_token(options, "resgid");
+    if (have) {
+        opt_resgid = match_int(options);
+    }
+    have = match_token(options, "journal_ioprio");
+    if (have) {
+        opt_journal_ioprio = match_int(options);
+    }
+    have = match_token(options, "stripe");
+    if (have) {
+        opt_stripe = match_int(options);
+    }
+    have = match_token(options, "ro");
+    if (have) {
+        opt_ro = 1;
+    }
+    have = match_token(options, "dax");
+    if (have) {
+        opt_dax = 1;
+    }
+    have = match_token(options, "noload");
+    if (have) {
+        opt_noload = 1;
+    }
+    have = match_token(options, "data=journal");
+    if (have) {
+        opt_data_journal = 1;
+        opt_data_mode = 1;
+    }
+    have = match_token(options, "journal_checksum");
+    if (have) {
+        opt_journal_checksum = 1;
+    }
+    have = match_token(options, "journal_async_commit");
+    if (have) {
+        opt_journal_async_commit = 1;
+    }
+    return 0;
+}
+
+/*
+ * Option validation run on every mount: SD ranges plus the
+ * cross-parameter rules among mount options.
+ */
+int check_mount_options(void)
+{
+    if (opt_commit < 0 || opt_commit > 900) {
+        com_err("mount", 0, "invalid commit interval");
+        return -1;
+    }
+    if (opt_journal_ioprio < 0 || opt_journal_ioprio > 7) {
+        com_err("mount", 0, "invalid journal I/O priority");
+        return -1;
+    }
+    if (opt_barrier < 0 || opt_barrier > 1) {
+        com_err("mount", 0, "barrier must be 0 or 1");
+        return -1;
+    }
+    if (opt_auto_da_alloc < 0 || opt_auto_da_alloc > 1) {
+        com_err("mount", 0, "auto_da_alloc must be 0 or 1");
+        return -1;
+    }
+    if (opt_max_batch_time < 0) {
+        com_err("mount", 0, "max_batch_time must be non-negative");
+        return -1;
+    }
+    if (opt_min_batch_time < 0) {
+        com_err("mount", 0, "min_batch_time must be non-negative");
+        return -1;
+    }
+    if (opt_journal_async_commit && !opt_journal_checksum) {
+        com_err("mount", 0, "journal_async_commit requires journal_checksum");
+        return -1;
+    }
+    if (opt_dax && opt_data_journal) {
+        com_err("mount", 0, "dax is incompatible with data=journal");
+        return -1;
+    }
+    if (opt_noload && !opt_ro) {
+        com_err("mount", 0, "noload requires a read-only mount");
+        return -1;
+    }
+    return 0;
+}
+
+/*
+ * Rules the kernel checks again when options change across a
+ * remount — analyzed only in the scenarios that exercise umount.
+ */
+int ext4_remount_checks(void)
+{
+    if (opt_min_batch_time > opt_max_batch_time) {
+        com_err("mount", 0, "min_batch_time exceeds max_batch_time");
+        return -1;
+    }
+    if (opt_data_journal && opt_delalloc) {
+        com_err("mount", 0, "data=journal is incompatible with delalloc");
+        return -1;
+    }
+    return 0;
+}

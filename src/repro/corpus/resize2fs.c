@@ -1,0 +1,217 @@
+/*
+ * resize2fs.c — modelled offline resizer (e2fsprogs).
+ *
+ * resize2fs opens the file system image directly (`fs->super` is the
+ * on-disk `struct ext2_super_block`), so its decisions read the very
+ * fields mke2fs wrote — the cross-component dependencies of Figure 1.
+ *
+ * Modelled joins the analyzer extracts here:
+ *   - requested size vs. the mkfs-time size         (s_blocks_count)
+ *   - expansion path gated on sparse_super2          (s_feature_compat)
+ *   - descriptor growth needs resize_inode           (s_feature_compat)
+ *   - descriptor growth bounded by -E resize=        (s_reserved_gdt_blocks)
+ *   - -b conversion vs. the mkfs-time 64bit feature  (s_feature_incompat)
+ * plus one false positive: the inodes-per-group sanity check reads a
+ * field resize2fs itself just rewrote; ignoring the kill makes the
+ * tool attribute it to mke2fs's inode ratio.
+ */
+
+#define EXT2_FEATURE_COMPAT_RESIZE_INODE   0x0010
+#define EXT4_FEATURE_COMPAT_SPARSE_SUPER2  0x0200
+#define EXT4_FEATURE_INCOMPAT_64BIT        0x0080
+
+typedef unsigned int __u32;
+typedef unsigned short __u16;
+
+struct ext2_super_block {
+    __u32 s_inodes_count;
+    __u32 s_blocks_count;
+    __u32 s_free_blocks_count;
+    __u32 s_log_block_size;
+    __u32 s_blocks_per_group;
+    __u32 s_inodes_per_group;
+    __u16 s_inode_size;
+    __u16 s_reserved_gdt_blocks;
+    __u32 s_feature_compat;
+    __u32 s_feature_incompat;
+    __u32 s_feature_ro_compat;
+    __u32 s_backup_bgs[2];
+};
+
+struct ext2_filsys {
+    struct ext2_super_block *super;
+    int read_only;
+};
+
+int getopt(int argc, char **argv);
+char *optarg_value(void);
+unsigned long get_size_operand(void);
+int get_option_value(void);
+unsigned long compute_group_free(struct ext2_filsys *fs, int group);
+int extend_last_group(struct ext2_filsys *fs, unsigned long new_size);
+int add_new_groups(struct ext2_filsys *fs, unsigned long new_size);
+int move_blocks_down(struct ext2_filsys *fs, unsigned long new_size);
+void usage(void);
+void com_err(const char *whoami, int code, const char *fmt);
+
+/* parsed options (annotated configuration sources) */
+char *new_size_str;
+unsigned long new_size;
+int flag_force;
+int flag_minimum;
+int flag_print_min;
+int flag_64bit;
+int flag_32bit;
+int flag_progress;
+int raid_stride;
+
+/*
+ * Option parsing.  Values arrive through opaque helpers (the real tool
+ * parses sizes in libext2fs), so no data-type facts are extracted for
+ * resize2fs itself — an inter-procedural gap the paper acknowledges.
+ */
+int parse_resize_options(int argc, char **argv)
+{
+    int c;
+
+    c = getopt(argc, argv);
+    while (c > 0) {
+        switch (c) {
+        case 'f':
+            flag_force = 1;
+            break;
+        case 'M':
+            flag_minimum = 1;
+            break;
+        case 'P':
+            flag_print_min = 1;
+            break;
+        case 'b':
+            flag_64bit = 1;
+            break;
+        case 's':
+            flag_32bit = 1;
+            break;
+        case 'p':
+            flag_progress = 1;
+            break;
+        case 'S':
+            raid_stride = get_option_value();
+            break;
+        default:
+            usage();
+            break;
+        }
+        c = getopt(argc, argv);
+    }
+    new_size = get_size_operand();
+    return 0;
+}
+
+/*
+ * Flag-conflict validation.  Present in the corpus for completeness
+ * but NOT in the pre-selected function lists — the prototype analyzes
+ * only a few functions per scenario (paper §4.1).
+ */
+int check_flag_conflicts(void)
+{
+    if (flag_64bit && flag_32bit) {
+        com_err("resize2fs", 0, "-b and -s cannot be used together");
+        usage();
+        return -1;
+    }
+    if (flag_minimum && flag_print_min) {
+        com_err("resize2fs", 0, "-M and -P cannot be used together");
+        usage();
+        return -1;
+    }
+    return 0;
+}
+
+/*
+ * 64-bit conversion entry: the -b flag is validated against the
+ * mkfs-time 64bit feature read from the shared superblock.
+ */
+int convert_64bit(struct ext2_filsys *fs)
+{
+    if (flag_64bit && (fs->super->s_feature_incompat & EXT4_FEATURE_INCOMPAT_64BIT)) {
+        com_err("resize2fs", 0, "the filesystem is already 64-bit");
+        return -1;
+    }
+    if (flag_64bit) {
+        fs->super->s_feature_incompat |= EXT4_FEATURE_INCOMPAT_64BIT;
+    }
+    return 0;
+}
+
+/*
+ * The resize driver: every branch below depends on superblock state
+ * written by mke2fs — the multi-level dependencies of Figure 1.
+ */
+int resize_fs(struct ext2_filsys *fs)
+{
+    unsigned long old_groups;
+    unsigned long new_groups;
+    unsigned long stale_free;
+    unsigned long last_group;
+    __u32 new_ipg;
+    int err;
+
+    /* grow or shrink? (the requested size against the mkfs-time size) */
+    if (new_size > fs->super->s_blocks_count) {
+        old_groups = fs->super->s_blocks_count / 32768;
+        new_groups = new_size / 32768;
+
+        /* descriptor-table growth requires the resize_inode feature */
+        if (new_groups > old_groups && !(fs->super->s_feature_compat & EXT2_FEATURE_COMPAT_RESIZE_INODE)) {
+            com_err("resize2fs", 0, "filesystem does not support resizing this large");
+            return -1;
+        }
+        /* ... and is bounded by the reserved area (-E resize=) */
+        if (new_groups > old_groups + fs->super->s_reserved_gdt_blocks) {
+            com_err("resize2fs", 0, "reserved descriptor blocks exhausted");
+            return -1;
+        }
+
+        /*
+         * Figure-1 bug site: under sparse_super2 the last group's free
+         * count is snapshotted before the new blocks are added, and the
+         * backup group record moves — mixing stale and fresh state.
+         */
+        last_group = new_groups - 1;
+        stale_free = compute_group_free(fs, 0);
+        if (fs->super->s_feature_compat & EXT4_FEATURE_COMPAT_SPARSE_SUPER2) {
+            fs->super->s_backup_bgs[1] = last_group;
+            fs->super->s_free_blocks_count = stale_free;
+        }
+        err = extend_last_group(fs, new_size);
+        if (err < 0) {
+            return err;
+        }
+        err = add_new_groups(fs, new_size);
+        if (err < 0) {
+            return err;
+        }
+    } else {
+        err = move_blocks_down(fs, new_size);
+        if (err < 0) {
+            return err;
+        }
+    }
+
+    /* resize2fs re-derives inodes-per-group itself ... */
+    new_ipg = 8192;
+    fs->super->s_inodes_per_group = new_ipg;
+    /*
+     * ... yet the sanity check below reloads the field; the analyzer
+     * ignores the intervening store and joins this read with mke2fs's
+     * inode-ratio write — the prototype's CCD false positive.
+     */
+    if (fs->super->s_inodes_per_group > 65536) {
+        com_err("resize2fs", 0, "inodes per group out of range");
+        return -1;
+    }
+
+    fs->super->s_blocks_count = new_size;
+    return 0;
+}

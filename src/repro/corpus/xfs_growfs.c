@@ -1,0 +1,74 @@
+/*
+ * xfs_growfs.c — modelled online grow utility of XFS.
+ *
+ * Part of the §6 "other file systems" extension.  xfs_growfs reads the
+ * mkfs-time state straight from `struct xfs_sb`, so the same metadata
+ * bridge extracts its cross-component dependencies:
+ *
+ *   - XFS can only grow — the requested size is validated against the
+ *     mkfs-time sb_dblocks,
+ *   - new allocation groups are sized from the mkfs-time geometry
+ *     (sb_agcount, sb_blocksize).
+ */
+
+typedef unsigned int __u32;
+typedef unsigned long __u64;
+
+struct xfs_sb {
+    __u64 sb_dblocks;
+    __u32 sb_blocksize;
+    __u32 sb_sectsize;
+    __u32 sb_agcount;
+    __u32 sb_versionnum;
+    __u32 sb_features_ro_compat;
+};
+
+int getopt(int argc, char **argv);
+unsigned long get_size_operand(void);
+void usage(void);
+void com_err(const char *whoami, int code, const char *fmt);
+
+/* parsed configuration (annotated sources) */
+unsigned long grow_dblocks;
+int grow_datasec;
+
+int parse_xfs_growfs_options(int argc, char **argv)
+{
+    int c;
+
+    c = getopt(argc, argv);
+    while (c > 0) {
+        switch (c) {
+        case 'D':
+            grow_dblocks = get_size_operand();
+            break;
+        case 'd':
+            grow_datasec = 1;
+            break;
+        default:
+            usage();
+            break;
+        }
+        c = getopt(argc, argv);
+    }
+    return 0;
+}
+
+int xfs_grow_data(struct xfs_sb *sb)
+{
+    __u64 new_ag_blocks;
+
+    /* XFS cannot shrink: the request is checked against mkfs state */
+    if (grow_dblocks < sb->sb_dblocks) {
+        com_err("xfs_growfs", 0, "XFS filesystems cannot be shrunk");
+        return -1;
+    }
+    /* new AGs inherit the mkfs-time geometry */
+    new_ag_blocks = (grow_dblocks - sb->sb_dblocks) / sb->sb_agcount;
+    if (new_ag_blocks < 64) {
+        com_err("xfs_growfs", 0, "growth amount too small for the AG geometry");
+        return -1;
+    }
+    sb->sb_dblocks = grow_dblocks;
+    return 0;
+}

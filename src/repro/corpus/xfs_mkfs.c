@@ -1,0 +1,141 @@
+/*
+ * xfs_mkfs.c — modelled configuration-handling core of mkfs.xfs.
+ *
+ * Part of the §6 "other file systems" extension: the same methodology
+ * (annotated option variables, typed parses, guarded validations,
+ * stores into the shared `struct xfs_sb`) applied to the XFS
+ * ecosystem.  The rules mirror the real mkfs.xfs:
+ *
+ *   - block size 512..65536 and sector size 512..32768 (SD ranges),
+ *   - allocation group count at least 1 (SD range),
+ *   - finobt, reflink, and rmapbt all require V5 metadata (-m crc=1)
+ *     (cross-parameter dependencies),
+ *   - everything the filesystem will remember lands in xfs_sb — the
+ *     bridge to xfs_growfs.
+ */
+
+#define XFS_SB_VERSION5_CRC      0x0001
+#define XFS_SB_FEAT_RO_FINOBT    0x0002
+#define XFS_SB_FEAT_RO_REFLINK   0x0004
+#define XFS_SB_FEAT_RO_RMAPBT    0x0008
+
+typedef unsigned int __u32;
+typedef unsigned long __u64;
+
+struct xfs_sb {
+    __u64 sb_dblocks;
+    __u32 sb_blocksize;
+    __u32 sb_sectsize;
+    __u32 sb_agcount;
+    __u32 sb_versionnum;
+    __u32 sb_features_ro_compat;
+};
+
+int getopt(int argc, char **argv);
+char *optarg_value(void);
+int parse_int(const char *str);
+unsigned long parse_ulong(const char *str);
+void usage(void);
+void com_err(const char *whoami, int code, const char *fmt);
+
+/* the shared metadata structure being built */
+struct xfs_sb xfs_param;
+
+/* parsed configuration (annotated sources) */
+int xfs_blocksize;
+int xfs_sectsize;
+int xfs_agcount;
+unsigned long xfs_dblocks;
+int xfs_crc;
+int xfs_finobt;
+int xfs_reflink;
+int xfs_rmapbt;
+
+int parse_xfs_mkfs_options(int argc, char **argv)
+{
+    int c;
+
+    c = getopt(argc, argv);
+    while (c > 0) {
+        switch (c) {
+        case 'b':
+            xfs_blocksize = parse_int(optarg_value());
+            if (xfs_blocksize < 512 || xfs_blocksize > 65536) {
+                com_err("mkfs.xfs", 0, "illegal block size");
+                usage();
+            }
+            break;
+        case 's':
+            xfs_sectsize = parse_int(optarg_value());
+            if (xfs_sectsize < 512 || xfs_sectsize > 32768) {
+                com_err("mkfs.xfs", 0, "illegal sector size");
+                usage();
+            }
+            break;
+        case 'a':
+            xfs_agcount = parse_int(optarg_value());
+            if (xfs_agcount < 1) {
+                com_err("mkfs.xfs", 0, "need at least one allocation group");
+                usage();
+            }
+            break;
+        case 'd':
+            xfs_dblocks = parse_ulong(optarg_value());
+            if (xfs_dblocks < 300) {
+                com_err("mkfs.xfs", 0, "filesystem too small");
+                usage();
+            }
+            break;
+        case 'm':
+            xfs_crc = 1;
+            break;
+        default:
+            usage();
+            break;
+        }
+        c = getopt(argc, argv);
+    }
+    return 0;
+}
+
+int check_xfs_feature_conflicts(void)
+{
+    if (xfs_finobt && !xfs_crc) {
+        com_err("mkfs.xfs", 0, "finobt requires V5 metadata (-m crc=1)");
+        return -1;
+    }
+    if (xfs_reflink && !xfs_crc) {
+        com_err("mkfs.xfs", 0, "reflink requires V5 metadata (-m crc=1)");
+        return -1;
+    }
+    if (xfs_rmapbt && !xfs_crc) {
+        com_err("mkfs.xfs", 0, "rmapbt requires V5 metadata (-m crc=1)");
+        return -1;
+    }
+    if (xfs_sectsize > xfs_blocksize) {
+        com_err("mkfs.xfs", 0, "sector size cannot exceed block size");
+        return -1;
+    }
+    return 0;
+}
+
+int write_xfs_superblock(void)
+{
+    xfs_param.sb_blocksize = xfs_blocksize;
+    xfs_param.sb_sectsize = xfs_sectsize;
+    xfs_param.sb_agcount = xfs_agcount;
+    xfs_param.sb_dblocks = xfs_dblocks;
+    if (xfs_crc) {
+        xfs_param.sb_versionnum |= XFS_SB_VERSION5_CRC;
+    }
+    if (xfs_finobt) {
+        xfs_param.sb_features_ro_compat |= XFS_SB_FEAT_RO_FINOBT;
+    }
+    if (xfs_reflink) {
+        xfs_param.sb_features_ro_compat |= XFS_SB_FEAT_RO_REFLINK;
+    }
+    if (xfs_rmapbt) {
+        xfs_param.sb_features_ro_compat |= XFS_SB_FEAT_RO_RMAPBT;
+    }
+    return 0;
+}

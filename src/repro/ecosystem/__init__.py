@@ -1,0 +1,46 @@
+"""The simulated Ext4 ecosystem: five utilities plus the kernel mount path.
+
+Components (paper Figure 2):
+
+- :mod:`repro.ecosystem.mke2fs` — create stage
+- :mod:`repro.ecosystem.mount` — mount stage (``ext4_fill_super`` checks)
+- :mod:`repro.ecosystem.e4defrag` — online stage
+- :mod:`repro.ecosystem.resize2fs` — offline stage (implements the
+  Figure-1 ``sparse_super2`` expansion bug)
+- :mod:`repro.ecosystem.e2fsck` — offline checker
+
+All components communicate only through the shared on-disk metadata of
+:mod:`repro.fsimage` — the "metadata bridge" the paper's analyzer uses
+to connect parameters across components.
+"""
+
+from repro.ecosystem.featureset import FeatureSet, COMPAT, INCOMPAT, RO_COMPAT
+from repro.ecosystem.mke2fs import Mke2fs, Mke2fsConfig
+from repro.ecosystem.mount import Ext4Mount, MountConfig
+from repro.ecosystem.e4defrag import E4defrag, E4defragConfig
+from repro.ecosystem.resize2fs import Resize2fs, Resize2fsConfig
+from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig, FsckProblem
+from repro.ecosystem.dumpe2fs import Dumpe2fs, Dumpe2fsConfig
+from repro.ecosystem.tune2fs import Tune2fs, Tune2fsConfig
+
+__all__ = [
+    "FeatureSet",
+    "COMPAT",
+    "INCOMPAT",
+    "RO_COMPAT",
+    "Mke2fs",
+    "Mke2fsConfig",
+    "Ext4Mount",
+    "MountConfig",
+    "E4defrag",
+    "E4defragConfig",
+    "Resize2fs",
+    "Resize2fsConfig",
+    "E2fsck",
+    "E2fsckConfig",
+    "FsckProblem",
+    "Dumpe2fs",
+    "Dumpe2fsConfig",
+    "Tune2fs",
+    "Tune2fsConfig",
+]

@@ -1,0 +1,368 @@
+"""Simulated ``mount -t ext4`` and the kernel's ``ext4_fill_super`` checks.
+
+This component sits on the *kernel side* of the user/kernel boundary:
+its parameters (``-o`` mount options) are validated against superblock
+state written earlier by ``mke2fs`` — the cross-component dependencies
+the paper highlights (e.g. ``-o dax`` requires the block size chosen at
+mkfs time to equal the page size; ``data=journal`` requires a journal
+created at mkfs time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import MountError, NotMountedError, UsageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.image import Ext4Image
+from repro.fsimage.layout import STATE_CLEAN
+from repro.ecosystem.featureset import FeatureSet, INCOMPAT, RO_COMPAT
+
+COMPONENT = "mount"
+
+#: The simulated CPU page size (x86-64 default).
+PAGE_SIZE = 4096
+
+#: Incompat features this "kernel" understands; an on-disk incompat bit
+#: outside this set refuses the mount, like EXT4-fs "unsupported optional
+#: features" errors.
+SUPPORTED_INCOMPAT = INCOMPAT.pack(
+    ["filetype", "recover", "meta_bg", "extent", "64bit", "mmp", "flex_bg",
+     "ea_inode", "csum_seed", "large_dir", "inline_data", "encrypt", "casefold"]
+)
+
+#: ro_compat features this kernel can write to.
+SUPPORTED_RO_COMPAT = RO_COMPAT.pack(
+    ["sparse_super", "large_file", "huge_file", "uninit_bg", "dir_nlink",
+     "extra_isize", "quota", "bigalloc", "metadata_csum", "project"]
+)
+
+VALID_DATA_MODES = ("journal", "ordered", "writeback")
+VALID_ERRORS_MODES = ("continue", "remount-ro", "panic")
+
+
+@dataclass
+class MountConfig:
+    """Parsed ``-o`` mount options."""
+
+    ro: bool = False
+    noatime: bool = False
+    barrier: int = 1
+    data: str = "ordered"
+    commit: int = 5
+    journal_checksum: bool = False
+    journal_async_commit: bool = False
+    noload: bool = False
+    dax: bool = False
+    discard: bool = False
+    errors: str = "continue"
+    minixdf: bool = False
+    user_xattr: bool = True
+    acl: bool = True
+    resuid: int = 0
+    resgid: int = 0
+    sb: Optional[int] = None
+    auto_da_alloc: int = 1
+    noinit_itable: bool = False
+    stripe: int = 0
+    delalloc: bool = True
+    max_batch_time: int = 15000
+    min_batch_time: int = 0
+    journal_ioprio: int = 3
+    lazytime: bool = False
+
+    @classmethod
+    def from_option_string(cls, opts: str) -> "MountConfig":
+        """Parse a ``-o`` string such as ``"ro,data=journal,commit=10"``."""
+        cfg = cls()
+        for token in opts.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, _, value = token.partition("=")
+            cfg._apply(key, value)
+        return cfg
+
+    def _apply(self, key: str, value: str) -> None:
+        flags = {
+            "ro": ("ro", True), "rw": ("ro", False),
+            "noatime": ("noatime", True), "atime": ("noatime", False),
+            "journal_checksum": ("journal_checksum", True),
+            "journal_async_commit": ("journal_async_commit", True),
+            "noload": ("noload", True),
+            "dax": ("dax", True),
+            "discard": ("discard", True), "nodiscard": ("discard", False),
+            "minixdf": ("minixdf", True), "bsddf": ("minixdf", False),
+            "user_xattr": ("user_xattr", True), "nouser_xattr": ("user_xattr", False),
+            "acl": ("acl", True), "noacl": ("acl", False),
+            "noinit_itable": ("noinit_itable", True), "init_itable": ("noinit_itable", False),
+            "delalloc": ("delalloc", True), "nodelalloc": ("delalloc", False),
+            "lazytime": ("lazytime", True), "nolazytime": ("lazytime", False),
+        }
+        ints = {
+            "barrier", "commit", "resuid", "resgid", "sb", "auto_da_alloc",
+            "stripe", "max_batch_time", "min_batch_time", "journal_ioprio",
+        }
+        if key in flags:
+            attr, val = flags[key]
+            setattr(self, attr, val)
+        elif key in ("data", "errors"):
+            if not value:
+                raise UsageError(COMPONENT, f"option {key} requires a value")
+            setattr(self, key, value)
+        elif key in ints:
+            try:
+                setattr(self, key, int(value))
+            except ValueError:
+                raise UsageError(COMPONENT, f"option {key} expects an integer, got {value!r}") from None
+        elif key in ("nobarrier",):
+            self.barrier = 0
+        else:
+            raise UsageError(COMPONENT, f"unknown mount option {key!r}")
+
+
+class Ext4Mount:
+    """A mounted simulated ext4 file system.
+
+    Construct through :meth:`mount`; file operations raise
+    :class:`~repro.errors.NotMountedError` after :meth:`umount`.
+    """
+
+    def __init__(self, image: Ext4Image, config: MountConfig) -> None:
+        self.image = image
+        self.config = config
+        self._mounted = True
+        self.dmesg: List[str] = []
+
+    # ------------------------------------------------------------------
+    # ext4_fill_super: validation at mount time
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def mount(cls, dev: BlockDevice, options: str = "", config: Optional[MountConfig] = None) -> "Ext4Mount":
+        """Open and validate the image, then return a mounted handle.
+
+        Raises :class:`~repro.errors.MountError` when ``ext4_fill_super``
+        would return -EINVAL, and :class:`~repro.errors.UsageError` for
+        malformed option strings.
+        """
+        if getattr(dev, "ext4_mounted", False):
+            raise MountError("device is already mounted")
+        cfg = config if config is not None else MountConfig.from_option_string(options)
+        cls._validate_options(cfg)
+        image = Ext4Image.open(dev)
+        cls._fill_super_checks(image, cfg)
+        handle = cls(image, cfg)
+        if not cfg.ro:
+            # Clearing the clean bit while mounted read-write, as ext4 does.
+            image.sb.s_state &= ~STATE_CLEAN
+            image.sb.s_mnt_count += 1
+            image.flush()
+        dev.ext4_mounted = True  # type: ignore[attr-defined]
+        return handle
+
+    @staticmethod
+    def _validate_options(cfg: MountConfig) -> None:
+        """Self and cross-parameter checks on the option set alone."""
+        if cfg.data not in VALID_DATA_MODES:
+            raise UsageError(COMPONENT, f"invalid data mode {cfg.data!r}")
+        if cfg.errors not in VALID_ERRORS_MODES:
+            raise UsageError(COMPONENT, f"invalid errors mode {cfg.errors!r}")
+        if cfg.commit < 0 or cfg.commit > 900:
+            raise UsageError(COMPONENT, f"commit interval {cfg.commit} out of range [0, 900]")
+        if cfg.barrier not in (0, 1):
+            raise UsageError(COMPONENT, f"barrier must be 0 or 1, got {cfg.barrier}")
+        if cfg.auto_da_alloc not in (0, 1):
+            raise UsageError(COMPONENT, f"auto_da_alloc must be 0 or 1, got {cfg.auto_da_alloc}")
+        if cfg.journal_ioprio < 0 or cfg.journal_ioprio > 7:
+            raise UsageError(COMPONENT, f"journal_ioprio {cfg.journal_ioprio} out of range [0, 7]")
+        if cfg.max_batch_time < 0 or cfg.min_batch_time < 0:
+            raise UsageError(COMPONENT, "batch times must be non-negative")
+        if cfg.min_batch_time > cfg.max_batch_time:
+            raise UsageError(
+                COMPONENT,
+                f"min_batch_time {cfg.min_batch_time} exceeds max_batch_time {cfg.max_batch_time}",
+            )
+        if cfg.resuid < 0 or cfg.resgid < 0:
+            raise UsageError(COMPONENT, "resuid/resgid must be non-negative")
+        if cfg.stripe < 0:
+            raise UsageError(COMPONENT, f"stripe must be non-negative, got {cfg.stripe}")
+        # CPD: journal_async_commit is meaningless without journal_checksum.
+        if cfg.journal_async_commit and not cfg.journal_checksum:
+            raise UsageError(COMPONENT, "journal_async_commit requires journal_checksum")
+        # CPD: dax bypasses the page cache; journalled data cannot be DAX-mapped.
+        if cfg.dax and cfg.data == "journal":
+            raise UsageError(COMPONENT, "dax is incompatible with data=journal")
+        # CPD: noload leaves the journal unreplayed; writing would corrupt.
+        if cfg.noload and not cfg.ro:
+            raise UsageError(COMPONENT, "noload requires a read-only mount")
+
+    @staticmethod
+    def _fill_super_checks(image: Ext4Image, cfg: MountConfig) -> None:
+        """Cross-component checks against on-disk state (ext4_fill_super)."""
+        sb = image.sb
+        features = FeatureSet.from_words(
+            sb.s_feature_compat, sb.s_feature_incompat, sb.s_feature_ro_compat
+        )
+        unknown_incompat = INCOMPAT.unknown_bits(sb.s_feature_incompat) | (
+            sb.s_feature_incompat & ~SUPPORTED_INCOMPAT
+        )
+        if unknown_incompat:
+            raise MountError(
+                f"couldn't mount: unsupported incompat features 0x{unknown_incompat:x}"
+            )
+        unknown_ro = RO_COMPAT.unknown_bits(sb.s_feature_ro_compat) | (
+            sb.s_feature_ro_compat & ~SUPPORTED_RO_COMPAT
+        )
+        if unknown_ro and not cfg.ro:
+            raise MountError(
+                f"couldn't mount RDWR: unsupported ro_compat features 0x{unknown_ro:x}"
+            )
+        # CCD: -o dax requires the mkfs-time block size to equal PAGE_SIZE.
+        if cfg.dax and sb.block_size != PAGE_SIZE:
+            raise MountError(
+                f"DAX unsupported by block size {sb.block_size} (page size {PAGE_SIZE})"
+            )
+        # CCD: journalled data / journal options require an mkfs-time journal.
+        if cfg.data == "journal" and "has_journal" not in features:
+            raise MountError("data=journal requires a journal (mke2fs -O has_journal)")
+        if cfg.journal_checksum and "has_journal" not in features:
+            raise MountError("journal_checksum requires a journal")
+        if cfg.noload and "has_journal" not in features:
+            raise MountError("noload specified but the file system has no journal")
+        # CCD: bigalloc on disk requires extents on disk (kernel refuses).
+        if "bigalloc" in features and "extent" not in features:
+            raise MountError("bigalloc file systems require the extent feature")
+        # CCD: -o sb= must point at a real backup superblock location.
+        if cfg.sb is not None and cfg.sb >= sb.s_blocks_count:
+            raise MountError(f"alternate superblock {cfg.sb} beyond end of file system")
+        # CCD: data=journal disables delayed allocation (kernel forces it off).
+        if cfg.data == "journal" and cfg.delalloc:
+            cfg.delalloc = False
+        # CCD behavioral: quota on disk changes mount accounting (tracked only).
+        if sb.s_state & ~0x3:
+            raise MountError(f"invalid superblock state 0x{sb.s_state:x}")
+
+    # ------------------------------------------------------------------
+    # mounted-FS operations (used by e4defrag, tests, and examples)
+    # ------------------------------------------------------------------
+
+    def _check_mounted(self, write: bool = False) -> None:
+        if not self._mounted:
+            raise NotMountedError("file system is not mounted")
+        if write and self.config.ro:
+            raise MountError("read-only file system")
+
+    @property
+    def mounted(self) -> bool:
+        """Whether this handle is still mounted."""
+        return self._mounted
+
+    @property
+    def features(self) -> FeatureSet:
+        """The on-disk feature set of the mounted file system."""
+        sb = self.image.sb
+        return FeatureSet.from_words(
+            sb.s_feature_compat, sb.s_feature_incompat, sb.s_feature_ro_compat
+        )
+
+    def create_file(self, nblocks: int, fragmented: bool = False,
+                    name: Optional[str] = None) -> int:
+        """Create a regular file; extent-mapped when the feature is on.
+
+        With ``name`` the file is linked into the root directory (the
+        ``filetype`` feature decides whether the entry carries a type).
+        """
+        self._check_mounted(write=True)
+        use_extents = "extent" in self.features
+        ino = self.image.create_file(nblocks, fragmented=fragmented, use_extents=use_extents)
+        if name is not None:
+            from repro.fsimage.dirtree import DirectoryTree
+            from repro.fsimage.layout import ROOT_INO
+
+            DirectoryTree(self.image).add_entry(ROOT_INO, name, ino)
+        self.image.flush()
+        return ino
+
+    def delete_file(self, ino: int) -> None:
+        """Free a file's blocks and inode (no namespace update)."""
+        self._check_mounted(write=True)
+        self.image.delete_file(ino)
+        self.image.flush()
+
+    # ------------------------------------------------------------------
+    # name-based operations (root-level namespace)
+    # ------------------------------------------------------------------
+
+    def _tree(self):
+        from repro.fsimage.dirtree import DirectoryTree
+
+        return DirectoryTree(self.image)
+
+    def mkdir(self, name: str, parent_ino: Optional[int] = None) -> int:
+        """Create a subdirectory; returns its inode number."""
+        from repro.fsimage.layout import ROOT_INO
+
+        self._check_mounted(write=True)
+        ino = self._tree().make_directory(parent_ino or ROOT_INO, name)
+        self.image.flush()
+        return ino
+
+    def lookup(self, name: str, parent_ino: Optional[int] = None) -> Optional[int]:
+        """Inode number of ``name``, or None."""
+        from repro.fsimage.layout import ROOT_INO
+
+        self._check_mounted()
+        return self._tree().lookup(parent_ino or ROOT_INO, name)
+
+    def readdir(self, dir_ino: Optional[int] = None) -> List[str]:
+        """Entry names of a directory ('.'/'..' excluded)."""
+        from repro.fsimage.layout import ROOT_INO
+
+        self._check_mounted()
+        return self._tree().names(dir_ino or ROOT_INO)
+
+    def unlink(self, name: str, parent_ino: Optional[int] = None) -> None:
+        """Remove a named regular file: drop the entry, free the inode."""
+        from repro.fsimage.layout import ROOT_INO
+
+        self._check_mounted(write=True)
+        parent = parent_ino or ROOT_INO
+        ino = self._tree().lookup(parent, name)
+        if ino is None:
+            raise MountError(f"no such file: {name!r}")
+        self._tree().remove_entry(parent, name)
+        self.image.delete_file(ino)
+        self.image.flush()
+
+    def statfs(self) -> Dict[str, int]:
+        """Free/total counts as statfs(2) would report them."""
+        self._check_mounted()
+        sb = self.image.sb
+        overhead = 0 if self.config.minixdf else self._overhead_blocks()
+        return {
+            "blocks": sb.s_blocks_count - overhead,
+            "bfree": sb.s_free_blocks_count,
+            "bavail": max(0, sb.s_free_blocks_count - sb.s_r_blocks_count),
+            "files": sb.s_inodes_count,
+            "ffree": sb.s_free_inodes_count,
+        }
+
+    def _overhead_blocks(self) -> int:
+        from repro.fsimage.image import compute_group_layout
+
+        total = 0
+        for g in range(self.image.sb.group_count):
+            total += compute_group_layout(self.image.sb, g).overhead_blocks
+        return total
+
+    def umount(self) -> None:
+        """Flush metadata, restore the clean state, release the device."""
+        if not self._mounted:
+            raise NotMountedError("file system is not mounted")
+        if not self.config.ro:
+            self.image.sb.s_state |= STATE_CLEAN
+            self.image.flush()
+        self._mounted = False
+        self.image.dev.ext4_mounted = False  # type: ignore[attr-defined]

@@ -1,0 +1,494 @@
+"""Simulated ``resize2fs`` — the offline resize utility (paper Figure 2c).
+
+Implements expansion and shrinking of a simulated ext4 image, including
+the configuration-dependent behaviours the paper studies:
+
+- growth past the reserved GDT area requires the ``resize_inode``
+  feature chosen at mke2fs time (cross-component dependency);
+- growth past 2^32 blocks requires the ``64bit`` feature
+  (cross-component dependency);
+- **the Figure-1 bug**: when the ``sparse_super2`` feature is enabled
+  and the requested size is *larger* than the file system, the free
+  blocks count of the last group is computed *before* the new blocks
+  are added, leaving the superblock and group-descriptor free counts
+  inconsistent with the block bitmap — real metadata corruption that
+  :mod:`repro.ecosystem.e2fsck` detects.  Pass ``fixed=True`` to get
+  the post-fix behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.units import parse_size
+from repro.errors import AlreadyMountedError, UsageError
+from repro.fsimage.bitmap import Bitmap
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.image import (
+    COMPAT_RESIZE_INODE,
+    COMPAT_SPARSE_SUPER2,
+    Ext4Image,
+    compute_group_layout,
+    gdt_size_blocks,
+)
+from repro.fsimage.layout import GROUP_DESC_SIZE, GroupDescriptor, STATE_CLEAN
+
+COMPONENT = "resize2fs"
+
+#: Block-number limit without the 64bit feature.
+MAX_32BIT_BLOCKS = 2**32
+
+#: 64bit incompat feature bit (mirrors featureset INCOMPAT '64bit').
+INCOMPAT_64BIT = 0x0080
+
+
+@dataclass
+class Resize2fsConfig:
+    """Parsed resize2fs parameters."""
+
+    size: Optional[str] = None  # requested size string (blocks or suffixed)
+    enable_64bit: bool = False  # -b
+    disable_64bit: bool = False  # -s
+    debug_flags: int = 0  # -d
+    force: bool = False  # -f
+    flush: bool = False  # -F
+    minimize: bool = False  # -M
+    progress: bool = False  # -p
+    print_min_size: bool = False  # -P
+    stride: Optional[int] = None  # -S
+    undo_file: str = ""  # -z
+
+    @classmethod
+    def from_args(cls, args: List[str]) -> "Resize2fsConfig":
+        """Parse a resize2fs-style argument vector."""
+        cfg = cls()
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg == "-b":
+                cfg.enable_64bit = True
+            elif arg == "-s":
+                cfg.disable_64bit = True
+            elif arg == "-d":
+                i += 1
+                if i >= len(args):
+                    raise UsageError(COMPONENT, "-d requires a value")
+                cfg.debug_flags = int(args[i])
+            elif arg == "-f":
+                cfg.force = True
+            elif arg == "-F":
+                cfg.flush = True
+            elif arg == "-M":
+                cfg.minimize = True
+            elif arg == "-p":
+                cfg.progress = True
+            elif arg == "-P":
+                cfg.print_min_size = True
+            elif arg == "-S":
+                i += 1
+                if i >= len(args):
+                    raise UsageError(COMPONENT, "-S requires a value")
+                cfg.stride = int(args[i])
+            elif arg == "-z":
+                i += 1
+                if i >= len(args):
+                    raise UsageError(COMPONENT, "-z requires a value")
+                cfg.undo_file = args[i]
+            elif arg.startswith("-"):
+                raise UsageError(COMPONENT, f"unknown option {arg}")
+            else:
+                cfg.size = arg
+            i += 1
+        return cfg
+
+
+@dataclass
+class ResizeResult:
+    """Outcome of one resize2fs run."""
+
+    old_blocks: int
+    new_blocks: int
+    min_blocks: int
+    action: str  # 'none', 'expand', 'shrink', 'print_min', 'convert'
+    relocated_inodes: Dict[int, int]
+    messages: List[str]
+
+
+class Resize2fs:
+    """The offline resize utility."""
+
+    def __init__(self, config: Optional[Resize2fsConfig] = None, fixed: bool = False) -> None:
+        """``fixed=True`` applies the upstream fix for the Figure-1 bug."""
+        self.config = config or Resize2fsConfig()
+        self.fixed = fixed
+        self.messages: List[str] = []
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def run(self, dev: BlockDevice) -> ResizeResult:
+        """Resize the file system on ``dev`` according to the config."""
+        cfg = self.config
+        if getattr(dev, "ext4_mounted", False):
+            raise AlreadyMountedError(f"{COMPONENT}: device is mounted; unmount first")
+        # CPD: -b and -s are mutually exclusive.
+        if cfg.enable_64bit and cfg.disable_64bit:
+            raise UsageError(COMPONENT, "-b and -s cannot be used together")
+        # CPD: -M computes the size itself; an explicit size conflicts.
+        if cfg.minimize and cfg.size is not None:
+            raise UsageError(COMPONENT, "-M cannot be combined with an explicit size")
+        if cfg.print_min_size and cfg.size is not None:
+            raise UsageError(COMPONENT, "-P cannot be combined with an explicit size")
+        if cfg.debug_flags < 0 or cfg.debug_flags > 63:
+            raise UsageError(COMPONENT, f"invalid debug flags {cfg.debug_flags}")
+        if cfg.stride is not None and cfg.stride < 1:
+            raise UsageError(COMPONENT, f"invalid RAID stride {cfg.stride}")
+
+        image = Ext4Image.open(dev)
+        sb = image.sb
+        if not (sb.s_state & STATE_CLEAN) and not cfg.force:
+            raise UsageError(
+                COMPONENT,
+                "file system was not cleanly unmounted; run 'e2fsck -f' first (or use -f)",
+            )
+        if cfg.enable_64bit or cfg.disable_64bit:
+            return self._convert_64bit(image)
+
+        min_blocks = self.minimum_blocks(image)
+        if cfg.print_min_size:
+            self.messages.append(f"Estimated minimum size of the filesystem: {min_blocks}")
+            return ResizeResult(sb.s_blocks_count, sb.s_blocks_count, min_blocks,
+                                "print_min", {}, self.messages)
+        if cfg.minimize:
+            new_blocks = min_blocks
+        elif cfg.size is not None:
+            new_blocks = parse_size(cfg.size, sb.block_size, COMPONENT)
+        else:
+            new_blocks = dev.num_blocks
+
+        old_blocks = sb.s_blocks_count
+        if new_blocks == old_blocks:
+            self.messages.append(
+                f"The filesystem is already {new_blocks} blocks long. Nothing to do!"
+            )
+            return ResizeResult(old_blocks, new_blocks, min_blocks,
+                                "none", {}, self.messages)
+        if new_blocks > old_blocks:
+            self._expand(image, new_blocks)
+            return ResizeResult(old_blocks, new_blocks, min_blocks,
+                                "expand", {}, self.messages)
+        relocated = self._shrink(image, new_blocks, min_blocks)
+        return ResizeResult(old_blocks, new_blocks, min_blocks,
+                            "shrink", relocated, self.messages)
+
+    # ------------------------------------------------------------------
+    # minimum size
+    # ------------------------------------------------------------------
+
+    def minimum_blocks(self, image: Ext4Image) -> int:
+        """Smallest block count that still holds all used data blocks."""
+        sb = image.sb
+        used_data = 0
+        for g in range(sb.group_count):
+            layout = compute_group_layout(sb, g)
+            used_data += (
+                layout.nblocks - layout.overhead_blocks
+                - image.computed_free_blocks(g)
+            )
+        # Grow candidate group counts until capacity fits the used data.
+        for groups in range(1, sb.group_count + 1):
+            capacity = 0
+            last_full = sb.s_first_data_block + groups * sb.s_blocks_per_group
+            candidate = min(last_full, sb.s_blocks_count)
+            trial = sb.copy(s_blocks_count=candidate)
+            for g in range(trial.group_count):
+                layout = compute_group_layout(trial, g)
+                capacity += layout.nblocks - layout.overhead_blocks
+            if capacity >= used_data:
+                # Tighten within the last group.
+                surplus = capacity - used_data
+                return max(64, candidate - surplus)
+        return sb.s_blocks_count
+
+    # ------------------------------------------------------------------
+    # expansion (Figure-1 territory)
+    # ------------------------------------------------------------------
+
+    def _expand(self, image: Ext4Image, new_blocks: int) -> None:
+        sb = image.sb
+        dev = image.dev
+        if new_blocks > dev.num_blocks:
+            raise UsageError(
+                COMPONENT,
+                f"The containing partition (or device) is only {dev.num_blocks} blocks; "
+                f"requested {new_blocks}",
+            )
+        # CCD: growth past 2^32 blocks needs the mkfs-time 64bit feature.
+        if new_blocks >= MAX_32BIT_BLOCKS and not sb.s_feature_incompat & INCOMPAT_64BIT:
+            raise UsageError(
+                COMPONENT,
+                "requested size requires the 64bit feature (mke2fs -O 64bit or resize2fs -b)",
+            )
+        old_blocks = sb.s_blocks_count
+        old_groups = sb.group_count
+        new_groups = self._group_count_for(sb, new_blocks)
+
+        # CCD: the reserved GDT area (mke2fs -O resize_inode / -E resize=)
+        # bounds how far the descriptor table can grow.
+        old_gdt = gdt_size_blocks(sb)
+        needed_gdt = math.ceil(new_groups * GROUP_DESC_SIZE / sb.block_size)
+        delta_gdt = needed_gdt - old_gdt
+        if delta_gdt > 0:
+            if not sb.s_feature_compat & COMPAT_RESIZE_INODE:
+                raise UsageError(
+                    COMPONENT,
+                    "filesystem does not support resizing this large: "
+                    "the resize_inode feature is not enabled",
+                )
+            if delta_gdt > sb.s_reserved_gdt_blocks:
+                raise UsageError(
+                    COMPONENT,
+                    f"resize would need {delta_gdt} new descriptor blocks but only "
+                    f"{sb.s_reserved_gdt_blocks} are reserved (mke2fs -E resize= limit)",
+                )
+
+        sparse2 = bool(sb.s_feature_compat & COMPAT_SPARSE_SUPER2)
+        # --- Step 1: extend the (possibly short) last existing group ----
+        last = old_groups - 1
+        last_layout_old_size = sb.blocks_in_group(last)
+        new_last_end = min(
+            sb.group_first_block(last) + sb.s_blocks_per_group, new_blocks
+        )
+        added_to_last = new_last_end - (sb.group_first_block(last) + last_layout_old_size)
+
+        # Figure-1 bug: under sparse_super2 the buggy code snapshots the
+        # last group's free-block count *before* the new blocks exist and
+        # uses the stale value for both the group descriptor and the
+        # running superblock total.
+        stale_free = image.computed_free_blocks(last)
+
+        if added_to_last > 0:
+            bitmap = image.block_bitmaps[last]
+            bitmap.extend(last_layout_old_size + added_to_last)
+            if sparse2 and not self.fixed:
+                # BUG: stale count, computed before the extension.
+                image.group_descs[last].bg_free_blocks_count = stale_free
+            else:
+                image.group_descs[last].bg_free_blocks_count = bitmap.count_free()
+
+        # --- Step 2: commit the new size so layout math sees it ---------
+        sb.s_blocks_count = new_blocks
+        if delta_gdt > 0:
+            sb.s_reserved_gdt_blocks -= delta_gdt
+
+        # --- Step 3: initialize brand-new groups -------------------------
+        if sparse2 and new_groups > old_groups:
+            # The backup superblock must move to the new last group.
+            sb.s_backup_bgs = (sb.s_backup_bgs[0] or 1, new_groups - 1)
+        for g in range(old_groups, new_groups):
+            layout = compute_group_layout(sb, g)
+            bbm = Bitmap(layout.nblocks, capacity_bytes=sb.block_size)
+            ibm = Bitmap(sb.s_inodes_per_group, capacity_bytes=sb.block_size)
+            bbm.set_range(0, layout.overhead_blocks)
+            gd = GroupDescriptor(
+                bg_block_bitmap=layout.block_bitmap,
+                bg_inode_bitmap=layout.inode_bitmap,
+                bg_inode_table=layout.inode_table,
+                bg_free_blocks_count=layout.nblocks - layout.overhead_blocks,
+                bg_free_inodes_count=sb.s_inodes_per_group,
+                bg_used_dirs_count=0,
+            )
+            image.group_descs.append(gd)
+            image.block_bitmaps.append(bbm)
+            image.inode_bitmaps.append(ibm)
+            for blockno in range(layout.inode_table, layout.inode_table + layout.inode_table_blocks):
+                image.dev.zero_block(blockno)
+        sb.s_inodes_count += (new_groups - old_groups) * sb.s_inodes_per_group
+
+        # --- Step 4: recompute superblock totals -------------------------
+        if sparse2 and not self.fixed:
+            # BUG: the total is rebuilt from the group descriptors, one of
+            # which now carries the stale last-group count.
+            sb.s_free_blocks_count = sum(
+                gd.bg_free_blocks_count for gd in image.group_descs
+            )
+        else:
+            sb.s_free_blocks_count = image.total_computed_free_blocks()
+        sb.s_free_inodes_count = image.total_computed_free_inodes()
+        sb.s_r_blocks_count = sb.s_r_blocks_count * new_blocks // max(1, old_blocks)
+        image.flush()
+        self.messages.append(
+            f"The filesystem on the device is now {new_blocks} ({sb.block_size >> 10}k) "
+            f"blocks long."
+        )
+
+    @staticmethod
+    def _group_count_for(sb, new_blocks: int) -> int:
+        usable = new_blocks - sb.s_first_data_block
+        return (usable + sb.s_blocks_per_group - 1) // sb.s_blocks_per_group
+
+    # ------------------------------------------------------------------
+    # shrinking
+    # ------------------------------------------------------------------
+
+    def _shrink(self, image: Ext4Image, new_blocks: int, min_blocks: int) -> Dict[int, int]:
+        sb = image.sb
+        if new_blocks < min_blocks:
+            raise UsageError(
+                COMPONENT,
+                f"requested size {new_blocks} is below the minimum {min_blocks}",
+            )
+        new_groups = self._group_count_for(sb, new_blocks)
+        relocated_inodes: Dict[int, int] = {}
+
+        # --- Step 1: move data blocks out of the doomed region -----------
+        self._relocate_blocks(image, new_blocks)
+
+        # --- Step 2: relocate inodes living in dropped groups -------------
+        if new_groups < sb.group_count:
+            relocated_inodes = self._relocate_inodes(image, new_groups)
+
+        # --- Step 3: drop groups and trim the new last group --------------
+        old_gdt = gdt_size_blocks(sb)
+        dropped = sb.group_count - new_groups
+        del image.group_descs[new_groups:]
+        del image.block_bitmaps[new_groups:]
+        del image.inode_bitmaps[new_groups:]
+        sb.s_inodes_count -= dropped * sb.s_inodes_per_group
+        old_total = sb.s_blocks_count
+        sb.s_blocks_count = new_blocks
+        new_gdt = gdt_size_blocks(sb)
+        if new_gdt < old_gdt and sb.s_feature_compat & COMPAT_RESIZE_INODE:
+            sb.s_reserved_gdt_blocks += old_gdt - new_gdt
+        last = new_groups - 1
+        last_size = sb.blocks_in_group(last)
+        self._truncate_group_bitmap(image, last, last_size)
+        image.group_descs[last].bg_free_blocks_count = image.computed_free_blocks(last)
+        if sb.s_feature_compat & COMPAT_SPARSE_SUPER2:
+            first_backup = sb.s_backup_bgs[0]
+            sb.s_backup_bgs = (
+                first_backup if first_backup < new_groups else 0,
+                last if last >= 1 else 0,
+            )
+        sb.s_free_blocks_count = image.total_computed_free_blocks()
+        sb.s_free_inodes_count = image.total_computed_free_inodes()
+        sb.s_r_blocks_count = sb.s_r_blocks_count * new_blocks // max(1, old_total)
+        image.flush()
+        self.messages.append(
+            f"The filesystem on the device is now {new_blocks} blocks long."
+        )
+        return relocated_inodes
+
+    def _relocate_blocks(self, image: Ext4Image, cutoff: int) -> None:
+        """Move every used data block at or past ``cutoff`` below it."""
+        for ino, inode in list(image.iter_used_inodes()):
+            blocks = inode.data_blocks()
+            if not blocks or max(blocks) < cutoff:
+                continue
+            new_blocks: List[int] = []
+            for blockno in blocks:
+                if blockno < cutoff:
+                    new_blocks.append(blockno)
+                    continue
+                replacement = self._allocate_below(image, cutoff)
+                image.dev.write_block(replacement, image.dev.read_block(blockno))
+                image.free_block(blockno)
+                new_blocks.append(replacement)
+            if inode.uses_extents:
+                from repro.fsimage.image import _blocks_to_extents
+
+                inode.set_extents(_blocks_to_extents(sorted(new_blocks)))
+            else:
+                inode.set_direct_blocks(new_blocks)
+            image.write_inode(ino, inode)
+
+    def _allocate_below(self, image: Ext4Image, cutoff: int) -> int:
+        sb = image.sb
+        for g in range(sb.group_count):
+            base = sb.group_first_block(g)
+            if base >= cutoff:
+                break
+            idx = image.block_bitmaps[g].find_free()
+            while idx != -1:
+                blockno = base + idx
+                if blockno >= cutoff:
+                    break
+                image._take_block(blockno)
+                return blockno
+            # no free bit in this group; try the next
+        raise UsageError(
+            COMPONENT, "no free space below the shrink point; filesystem too full"
+        )
+
+    def _relocate_inodes(self, image: Ext4Image, new_groups: int) -> Dict[int, int]:
+        sb = image.sb
+        first_doomed_ino = new_groups * sb.s_inodes_per_group + 1
+        mapping: Dict[int, int] = {}
+        for ino, inode in list(image.iter_used_inodes()):
+            if ino < first_doomed_ino:
+                continue
+            new_ino = self._allocate_inode_below(image, new_groups)
+            image.write_inode(new_ino, inode)
+            # Free the doomed inode without touching its (shared) blocks.
+            g = (ino - 1) // sb.s_inodes_per_group
+            idx = (ino - 1) % sb.s_inodes_per_group
+            image.inode_bitmaps[g].clear(idx)
+            image.group_descs[g].bg_free_inodes_count += 1
+            sb.s_free_inodes_count += 1
+            mapping[ino] = new_ino
+        return mapping
+
+    def _allocate_inode_below(self, image: Ext4Image, new_groups: int) -> int:
+        sb = image.sb
+        for g in range(new_groups):
+            idx = image.inode_bitmaps[g].find_free()
+            if idx != -1:
+                image.inode_bitmaps[g].set(idx)
+                image.group_descs[g].bg_free_inodes_count -= 1
+                sb.s_free_inodes_count -= 1
+                return g * sb.s_inodes_per_group + idx + 1
+        raise UsageError(COMPONENT, "no free inodes below the shrink point")
+
+    @staticmethod
+    def _truncate_group_bitmap(image: Ext4Image, group: int, new_nbits: int) -> None:
+        old = image.block_bitmaps[group]
+        if new_nbits > old.nbits:
+            old.extend(new_nbits)
+            return
+        for i in range(new_nbits, old.nbits):
+            if not old.test(i):
+                continue
+        fresh = Bitmap(new_nbits, capacity_bytes=len(old.to_bytes()))
+        for i in old.iter_set():
+            if i < new_nbits:
+                fresh.set(i)
+        image.block_bitmaps[group] = fresh
+
+    # ------------------------------------------------------------------
+    # 64-bit conversion
+    # ------------------------------------------------------------------
+
+    def _convert_64bit(self, image: Ext4Image) -> ResizeResult:
+        sb = image.sb
+        if self.config.enable_64bit:
+            if sb.s_feature_incompat & INCOMPAT_64BIT:
+                self.messages.append("The filesystem is already 64-bit.")
+            else:
+                sb.s_feature_incompat |= INCOMPAT_64BIT
+                self.messages.append("Converting the filesystem to 64-bit.")
+        else:
+            if sb.s_blocks_count >= MAX_32BIT_BLOCKS:
+                raise UsageError(
+                    COMPONENT, "filesystem is too large to convert away from 64-bit"
+                )
+            if not sb.s_feature_incompat & INCOMPAT_64BIT:
+                self.messages.append("The filesystem is already 32-bit.")
+            else:
+                sb.s_feature_incompat &= ~INCOMPAT_64BIT
+                self.messages.append("Converting the filesystem to 32-bit.")
+        image.flush()
+        return ResizeResult(sb.s_blocks_count, sb.s_blocks_count,
+                            self.minimum_blocks(image), "convert", {}, self.messages)

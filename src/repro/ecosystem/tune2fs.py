@@ -1,0 +1,276 @@
+"""Simulated ``tune2fs`` — adjust parameters of an existing file system.
+
+tune2fs is the configuration surface *between* the stages of Figure 2:
+it rewrites superblock state that mke2fs chose, subject to its own
+dependency rules — several of which are cross-component by nature
+(what can be toggled depends on what mke2fs created):
+
+- structural features (``bigalloc``, ``meta_bg``, ``flex_bg``,
+  ``inline_data``, ``sparse_super2``, ``64bit``) cannot be toggled
+  after creation,
+- ``metadata_csum`` still conflicts with ``uninit_bg`` and additionally
+  requires a full e2fsck afterwards (the tool clears the clean state),
+- ``project`` still requires ``quota``; ``verity`` still requires the
+  mkfs-time ``extent`` feature,
+- removing ``has_journal`` releases the journal inode's blocks.
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from dataclasses import dataclass, field as dc_field
+from typing import List, Optional
+
+from repro.errors import AlreadyMountedError, UsageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.image import Ext4Image, journal_size_blocks
+from repro.fsimage.layout import JOURNAL_INO, STATE_CLEAN
+from repro.ecosystem.featureset import (
+    FeatureSet,
+    parse_feature_string,
+)
+
+COMPONENT = "tune2fs"
+
+#: Features frozen at mke2fs time: toggling them needs a reformat.
+STRUCTURAL_FEATURES = frozenset({
+    "bigalloc", "meta_bg", "flex_bg", "inline_data", "sparse_super2",
+    "64bit", "filetype", "extent",
+})
+
+VALID_ERRORS_MODES = ("continue", "remount-ro", "panic")
+_ERRORS_VALUE = {"continue": 1, "remount-ro": 2, "panic": 3}
+
+
+@dataclass
+class Tune2fsConfig:
+    """Parsed tune2fs parameters."""
+
+    max_mount_count: Optional[int] = None  # -c
+    errors_behavior: Optional[str] = None  # -e
+    label: Optional[str] = None  # -L
+    reserved_percent: Optional[int] = None  # -m
+    reserved_blocks: Optional[int] = None  # -r
+    feature_spec: Optional[str] = None  # -O
+    uuid: Optional[str] = None  # -U
+    list_contents: bool = False  # -l
+    force: bool = False  # -f
+
+    @classmethod
+    def from_args(cls, args: List[str]) -> "Tune2fsConfig":
+        """Parse a tune2fs-style argument vector."""
+        cfg = cls()
+        i = 0
+
+        def need_value(flag: str) -> str:
+            nonlocal i
+            i += 1
+            if i >= len(args):
+                raise UsageError(COMPONENT, f"option {flag} requires a value")
+            return args[i]
+
+        while i < len(args):
+            arg = args[i]
+            if arg == "-c":
+                cfg.max_mount_count = _parse_int(need_value("-c"), "-c")
+            elif arg == "-e":
+                cfg.errors_behavior = need_value("-e")
+            elif arg == "-L":
+                cfg.label = need_value("-L")
+            elif arg == "-m":
+                cfg.reserved_percent = _parse_int(need_value("-m"), "-m")
+            elif arg == "-r":
+                cfg.reserved_blocks = _parse_int(need_value("-r"), "-r")
+            elif arg == "-O":
+                cfg.feature_spec = need_value("-O")
+            elif arg == "-U":
+                cfg.uuid = need_value("-U")
+            elif arg == "-l":
+                cfg.list_contents = True
+            elif arg == "-f":
+                cfg.force = True
+            else:
+                raise UsageError(COMPONENT, f"unknown option {arg}")
+            i += 1
+        return cfg
+
+
+@dataclass
+class TuneResult:
+    """What one tune2fs run changed."""
+
+    messages: List[str] = dc_field(default_factory=list)
+    features_added: List[str] = dc_field(default_factory=list)
+    features_removed: List[str] = dc_field(default_factory=list)
+    needs_fsck: bool = False
+
+
+class Tune2fs:
+    """The in-place tuner."""
+
+    def __init__(self, config: Optional[Tune2fsConfig] = None) -> None:
+        self.config = config or Tune2fsConfig()
+
+    def run(self, dev: BlockDevice) -> TuneResult:
+        """Apply the configured adjustments to the image on ``dev``."""
+        cfg = self.config
+        if getattr(dev, "ext4_mounted", False):
+            raise AlreadyMountedError(f"{COMPONENT}: device is mounted; unmount first")
+        image = Ext4Image.open(dev)
+        sb = image.sb
+        result = TuneResult()
+
+        # --- simple superblock knobs (SD rules) -------------------------
+        if cfg.max_mount_count is not None:
+            if cfg.max_mount_count < -1 or cfg.max_mount_count > 65535:
+                raise UsageError(COMPONENT,
+                                 f"max mount count {cfg.max_mount_count} out of range [-1, 65535]")
+            sb.s_max_mnt_count = cfg.max_mount_count
+            result.messages.append(f"Setting maximal mount count to {cfg.max_mount_count}")
+        if cfg.errors_behavior is not None:
+            if cfg.errors_behavior not in VALID_ERRORS_MODES:
+                raise UsageError(COMPONENT,
+                                 f"invalid error behavior {cfg.errors_behavior!r}")
+            sb.s_errors = _ERRORS_VALUE[cfg.errors_behavior]
+            result.messages.append(f"Setting error behavior to {cfg.errors_behavior}")
+        if cfg.label is not None:
+            if len(cfg.label.encode("utf-8")) > 16:
+                raise UsageError(COMPONENT, f"label {cfg.label!r} longer than 16 bytes")
+            sb.s_volume_name = cfg.label
+            result.messages.append(f"Setting volume name to {cfg.label!r}")
+        if cfg.reserved_percent is not None:
+            if cfg.reserved_percent < 0 or cfg.reserved_percent > 50:
+                raise UsageError(COMPONENT,
+                                 f"reserved blocks percent {cfg.reserved_percent} out of range [0, 50]")
+            sb.s_r_blocks_count = sb.s_blocks_count * cfg.reserved_percent // 100
+            result.messages.append(
+                f"Setting reserved blocks percentage to {cfg.reserved_percent}%")
+        if cfg.reserved_blocks is not None:
+            if cfg.reserved_blocks < 0 or cfg.reserved_blocks > sb.s_blocks_count:
+                raise UsageError(COMPONENT,
+                                 f"reserved blocks count {cfg.reserved_blocks} out of range")
+            sb.s_r_blocks_count = cfg.reserved_blocks
+            result.messages.append(
+                f"Setting reserved blocks count to {cfg.reserved_blocks}")
+        if cfg.uuid is not None:
+            try:
+                sb.s_uuid = uuid_module.UUID(cfg.uuid).bytes
+            except ValueError:
+                raise UsageError(COMPONENT, f"invalid UUID {cfg.uuid!r}") from None
+            result.messages.append("Setting filesystem UUID")
+
+        # --- feature toggling (CPD/CCD rules) ----------------------------
+        if cfg.feature_spec is not None:
+            self._apply_features(image, result)
+
+        image.flush()
+        if result.needs_fsck:
+            result.messages.append(
+                "Please run e2fsck -f on the filesystem to complete the change.")
+        return result
+
+    # ------------------------------------------------------------------
+    # features
+    # ------------------------------------------------------------------
+
+    def _apply_features(self, image: Ext4Image, result: TuneResult) -> None:
+        cfg = self.config
+        sb = image.sb
+        try:
+            changes = parse_feature_string(cfg.feature_spec or "")
+        except KeyError as exc:
+            raise UsageError(COMPONENT,
+                             f"invalid filesystem option set: {exc.args[0]}") from None
+        features = FeatureSet.from_words(
+            sb.s_feature_compat, sb.s_feature_incompat, sb.s_feature_ro_compat)
+
+        for name, enable in changes:
+            # CCD: whether a feature is adjustable depends on what
+            # mke2fs built — structural features are frozen on disk.
+            if name in STRUCTURAL_FEATURES:
+                raise UsageError(
+                    COMPONENT,
+                    f"the {name} feature can only be set at filesystem creation "
+                    "(mke2fs)")
+            currently = name in features
+            if enable == currently:
+                continue
+            if enable:
+                self._check_enable_rules(name, features)
+                features.enable(name)
+                result.features_added.append(name)
+                if name in ("metadata_csum", "quota", "project"):
+                    result.needs_fsck = True
+                if name == "has_journal":
+                    self._create_journal(image)
+            else:
+                self._check_disable_rules(name, features)
+                features.disable(name)
+                result.features_removed.append(name)
+                if name == "has_journal":
+                    self._release_journal(image)
+        compat, incompat, ro_compat = features.pack_words()
+        sb.s_feature_compat = compat
+        sb.s_feature_incompat = incompat
+        sb.s_feature_ro_compat = ro_compat
+        if result.needs_fsck:
+            sb.s_state &= ~STATE_CLEAN
+
+    @staticmethod
+    def _check_enable_rules(name: str, features: FeatureSet) -> None:
+        if name == "metadata_csum" and "uninit_bg" in features:
+            raise UsageError(COMPONENT,
+                             "metadata_csum cannot be enabled while uninit_bg is set "
+                             "(clear uninit_bg first)")
+        if name == "uninit_bg" and "metadata_csum" in features:
+            raise UsageError(COMPONENT,
+                             "uninit_bg cannot be enabled while metadata_csum is set")
+        if name == "project" and "quota" not in features:
+            raise UsageError(COMPONENT, "project requires the quota feature")
+        if name == "verity" and "extent" not in features:
+            raise UsageError(COMPONENT,
+                             "verity requires the extent feature (set at mke2fs time)")
+        if name == "huge_file" and "large_file" not in features:
+            raise UsageError(COMPONENT, "huge_file requires the large_file feature")
+        if name == "encrypt" and "casefold" in features:
+            raise UsageError(COMPONENT, "encrypt cannot be combined with casefold")
+        if name == "casefold" and "encrypt" in features:
+            raise UsageError(COMPONENT, "casefold cannot be combined with encrypt")
+
+    @staticmethod
+    def _check_disable_rules(name: str, features: FeatureSet) -> None:
+        if name == "quota" and "project" in features:
+            raise UsageError(COMPONENT,
+                             "quota cannot be removed while project is enabled")
+        if name == "large_file" and "huge_file" in features:
+            raise UsageError(COMPONENT,
+                             "large_file cannot be removed while huge_file is enabled")
+
+    @staticmethod
+    def _create_journal(image: Ext4Image) -> None:
+        from repro.fsimage.inode import Inode, S_IFREG
+
+        size = journal_size_blocks(image.sb)
+        blocks = image.allocate_blocks(size, contiguous=True)
+        journal = Inode(i_mode=S_IFREG, i_links_count=1,
+                        i_size=size * image.sb.block_size)
+        journal.set_extents([(blocks[0], len(blocks))])
+        image.write_inode(JOURNAL_INO, journal)
+
+    @staticmethod
+    def _release_journal(image: Ext4Image) -> None:
+        journal = image.read_inode(JOURNAL_INO)
+        if not journal.in_use:
+            return
+        for blockno in journal.data_blocks():
+            image.free_block(blockno)
+        from repro.fsimage.inode import Inode
+
+        image.write_inode(JOURNAL_INO, Inode())
+
+
+def _parse_int(text: str, flag: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise UsageError(COMPONENT, f"option {flag} expects an integer, got {text!r}") from None

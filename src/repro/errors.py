@@ -1,0 +1,151 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  The hierarchy mirrors the major
+subsystems: the simulated block device and ext4 image, the ecosystem
+utilities (which model real exit-with-usage behaviour), the mini-C
+frontend, and the static analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# fsimage layer
+# ---------------------------------------------------------------------------
+
+
+class BlockDeviceError(ReproError):
+    """Base class for simulated block-device failures."""
+
+
+class OutOfRangeIO(BlockDeviceError):
+    """A read or write touched blocks outside the device."""
+
+
+class DeviceClosedError(BlockDeviceError):
+    """I/O was attempted on a closed device."""
+
+
+class ImageError(ReproError):
+    """Base class for ext4 image format errors."""
+
+
+class BadSuperblock(ImageError):
+    """The superblock is missing, has a bad magic, or fails validation."""
+
+
+class BadGroupDescriptor(ImageError):
+    """A block-group descriptor is inconsistent with the superblock."""
+
+
+class AllocationError(ImageError):
+    """Block or inode allocation failed (no free space)."""
+
+
+class CorruptionDetected(ImageError):
+    """A consistency check found corrupted metadata.
+
+    Raised by :mod:`repro.ecosystem.e2fsck` when a check fails and the
+    run is not in fix-it mode.
+    """
+
+
+# ---------------------------------------------------------------------------
+# ecosystem utilities
+# ---------------------------------------------------------------------------
+
+
+class UsageError(ReproError):
+    """A utility was invoked with invalid parameters.
+
+    Models the real utilities' ``usage(); exit(1)`` path: the message is
+    what the utility would print.  ``component`` names the utility.
+    """
+
+    def __init__(self, component: str, message: str) -> None:
+        super().__init__(f"{component}: {message}")
+        self.component = component
+        self.message = message
+
+
+class MountError(ReproError):
+    """ext4_fill_super rejected the mount (models -EINVAL at mount time)."""
+
+
+class NotMountedError(ReproError):
+    """An online operation was attempted on an unmounted file system."""
+
+
+class AlreadyMountedError(ReproError):
+    """An offline utility was run against a mounted file system."""
+
+
+# ---------------------------------------------------------------------------
+# mini-C frontend
+# ---------------------------------------------------------------------------
+
+
+class FrontendError(ReproError):
+    """Base class for mini-C frontend errors; carries a source location."""
+
+    def __init__(self, message: str, filename: str = "<input>", line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{filename}:{line}:{col}: {message}")
+        self.plain_message = message
+        self.filename = filename
+        self.line = line
+        self.col = col
+
+
+class LexError(FrontendError):
+    """The lexer met a character sequence it cannot tokenize."""
+
+
+class ParseError(FrontendError):
+    """The parser met a token sequence outside the mini-C grammar."""
+
+
+class SemanticError(FrontendError):
+    """Semantic analysis failed (unknown name, type mismatch, ...)."""
+
+
+class LoweringError(ReproError):
+    """AST-to-IR lowering met a construct it cannot translate."""
+
+
+# ---------------------------------------------------------------------------
+# static analysis
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for static-analysis failures."""
+
+
+class UnknownComponentError(AnalysisError):
+    """A scenario referenced a component with no corpus translation unit."""
+
+
+class UnknownFunctionError(AnalysisError):
+    """A pre-selected function name was not found in the corpus."""
+
+
+class SourceAnnotationError(AnalysisError):
+    """A configuration-source annotation does not match the corpus."""
+
+
+# ---------------------------------------------------------------------------
+# study / tools
+# ---------------------------------------------------------------------------
+
+
+class DatasetError(ReproError):
+    """The bug-patch dataset is malformed or fails its invariants."""
+
+
+class ManualError(ReproError):
+    """A manual page referenced by ConDocCk is missing or malformed."""

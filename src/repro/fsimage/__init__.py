@@ -1,0 +1,35 @@
+"""Simulated block device and simplified ext4 on-disk image format.
+
+This package is the execution substrate that replaces a real block
+device + ext4 kernel module in the paper's evaluation: a byte-serialized
+superblock, block-group descriptors, block/inode bitmaps, and an inode
+table, laid out per block group the way ext2/ext4 does (including
+``sparse_super`` and ``sparse_super2`` backup-superblock placement).
+
+Utilities in :mod:`repro.ecosystem` manipulate images through this
+layer, so configuration mistakes manifest as real, observable metadata
+corruption — which is what ConHandleCk and the Figure-1 reproduction
+need.
+"""
+
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.layout import GroupDescriptor, Superblock, EXT2_MAGIC
+from repro.fsimage.bitmap import Bitmap
+from repro.fsimage.inode import Inode
+from repro.fsimage.image import Ext4Image, GroupLayout
+from repro.fsimage.dirent import DirBlock, Dirent
+from repro.fsimage.dirtree import DirectoryTree
+
+__all__ = [
+    "BlockDevice",
+    "Superblock",
+    "GroupDescriptor",
+    "Bitmap",
+    "Inode",
+    "Ext4Image",
+    "GroupLayout",
+    "EXT2_MAGIC",
+    "Dirent",
+    "DirBlock",
+    "DirectoryTree",
+]

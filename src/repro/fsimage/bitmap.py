@@ -1,0 +1,150 @@
+"""Block/inode allocation bitmaps.
+
+One :class:`Bitmap` covers one block group.  Bit ``i`` set means the
+i-th block (or inode) of the group is in use.  Bits past ``nbits`` —
+the tail of the last, short group — are kept set, exactly like ext4
+pads its final bitmap, so a whole-bitmap popcount stays meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class Bitmap:
+    """A fixed-capacity bitmap backed by a bytearray."""
+
+    def __init__(self, nbits: int, capacity_bytes: Optional[int] = None) -> None:
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        min_bytes = (nbits + 7) // 8
+        if capacity_bytes is None:
+            capacity_bytes = min_bytes
+        if capacity_bytes < min_bytes:
+            raise ValueError(
+                f"capacity {capacity_bytes} bytes cannot hold {nbits} bits"
+            )
+        self.nbits = nbits
+        self._buf = bytearray(capacity_bytes)
+        self._pad_tail()
+
+    def _pad_tail(self) -> None:
+        """Set every bit at index >= nbits (ext4-style padding)."""
+        for i in range(self.nbits, len(self._buf) * 8):
+            self._buf[i >> 3] |= 1 << (i & 7)
+
+    # ------------------------------------------------------------------
+    # single-bit ops
+    # ------------------------------------------------------------------
+
+    def test(self, index: int) -> bool:
+        """True when bit ``index`` is set."""
+        self._check(index)
+        return bool(self._buf[index >> 3] & (1 << (index & 7)))
+
+    def set(self, index: int) -> bool:
+        """Set bit ``index``; returns the previous value."""
+        self._check(index)
+        prev = self.test(index)
+        self._buf[index >> 3] |= 1 << (index & 7)
+        return prev
+
+    def clear(self, index: int) -> bool:
+        """Clear bit ``index``; returns the previous value."""
+        self._check(index)
+        prev = self.test(index)
+        self._buf[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+        return prev
+
+    def _check(self, index: int) -> None:
+        if index < 0 or index >= self.nbits:
+            raise IndexError(f"bit {index} outside bitmap of {self.nbits} bits")
+
+    # ------------------------------------------------------------------
+    # bulk ops
+    # ------------------------------------------------------------------
+
+    def set_range(self, start: int, count: int) -> None:
+        """Set ``count`` bits starting at ``start``."""
+        for i in range(start, start + count):
+            self.set(i)
+
+    def count_set(self) -> int:
+        """Number of set bits within [0, nbits)."""
+        total = 0
+        for i in range(self.nbits):
+            if self._buf[i >> 3] & (1 << (i & 7)):
+                total += 1
+        return total
+
+    def count_free(self) -> int:
+        """Number of clear bits within [0, nbits)."""
+        return self.nbits - self.count_set()
+
+    def iter_set(self) -> Iterator[int]:
+        """Yield indices of set bits within [0, nbits)."""
+        for i in range(self.nbits):
+            if self._buf[i >> 3] & (1 << (i & 7)):
+                yield i
+
+    def find_free(self, start: int = 0) -> int:
+        """Index of the first clear bit at or after ``start``; -1 if none."""
+        for i in range(start, self.nbits):
+            if not self._buf[i >> 3] & (1 << (i & 7)):
+                return i
+        return -1
+
+    def find_free_run(self, length: int, start: int = 0) -> int:
+        """First index of ``length`` consecutive clear bits; -1 if none."""
+        if length <= 0:
+            raise ValueError(f"run length must be positive, got {length}")
+        run = 0
+        for i in range(start, self.nbits):
+            if self.test(i):
+                run = 0
+            else:
+                run += 1
+                if run == length:
+                    return i - length + 1
+        return -1
+
+    def extend(self, new_nbits: int) -> None:
+        """Grow the bitmap; new bits start clear (used by resize2fs).
+
+        Capacity grows as needed; previously padded tail bits inside the
+        new range are cleared.
+        """
+        if new_nbits < self.nbits:
+            raise ValueError(
+                f"cannot shrink bitmap from {self.nbits} to {new_nbits} bits"
+            )
+        needed = (new_nbits + 7) // 8
+        if needed > len(self._buf):
+            self._buf.extend(bytes(needed - len(self._buf)))
+        for i in range(self.nbits, new_nbits):
+            self._buf[i >> 3] &= ~(1 << (i & 7)) & 0xFF
+        self.nbits = new_nbits
+        self._pad_tail()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """The raw bitmap bytes (length == capacity)."""
+        return bytes(self._buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, nbits: int) -> "Bitmap":
+        """Rebuild a bitmap from raw bytes, trusting the stored bits."""
+        bm = cls(nbits, capacity_bytes=len(data))
+        bm._buf = bytearray(data)
+        return bm
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.nbits == other.nbits and list(self.iter_set()) == list(other.iter_set())
+
+    def __repr__(self) -> str:
+        return f"Bitmap(nbits={self.nbits}, set={self.count_set()})"

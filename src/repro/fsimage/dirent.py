@@ -1,0 +1,146 @@
+"""Directory entries, serialized ext2-style.
+
+Each directory data block holds a packed sequence of records::
+
+    +--------+---------+----------+-----------+---------...
+    | inode  | rec_len | name_len | file_type | name
+    | u32    | u16     | u8       | u8        | bytes
+    +--------+---------+----------+-----------+---------...
+
+``rec_len`` covers the whole record (the last record absorbs the block
+tail, as in ext2).  ``file_type`` is only meaningful when the
+``filetype`` feature is enabled — mke2fs decides that at create time,
+and e2fsck's pass 2 validates it against the referenced inode, which
+makes the directory layer another carrier of configuration-dependent
+behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ImageError
+
+_HEADER = struct.Struct("<IHBB")
+
+#: file_type values (EXT2_FT_*).
+FT_UNKNOWN = 0
+FT_REG_FILE = 1
+FT_DIR = 2
+
+#: Longest permitted name (ext2 limit).
+MAX_NAME_LEN = 255
+
+
+@dataclass
+class Dirent:
+    """One directory entry."""
+
+    inode: int
+    name: str
+    file_type: int = FT_UNKNOWN
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ImageError("directory entry needs a non-empty name")
+        if len(self.name.encode()) > MAX_NAME_LEN:
+            raise ImageError(f"name {self.name[:20]!r}... exceeds 255 bytes")
+        if "/" in self.name or "\x00" in self.name:
+            raise ImageError(f"illegal character in name {self.name!r}")
+
+    def record_len(self) -> int:
+        """Minimal record size, 4-byte aligned."""
+        raw = _HEADER.size + len(self.name.encode())
+        return (raw + 3) & ~3
+
+
+class DirBlock:
+    """Parse/serialize one directory data block."""
+
+    def __init__(self, block_size: int) -> None:
+        self.block_size = block_size
+        self.entries: List[Dirent] = []
+
+    def used_bytes(self) -> int:
+        """Bytes occupied by the current records."""
+        return sum(e.record_len() for e in self.entries)
+
+    def fits(self, entry: Dirent) -> bool:
+        """Whether ``entry`` still fits in this block."""
+        return self.used_bytes() + entry.record_len() <= self.block_size
+
+    def add(self, entry: Dirent) -> None:
+        """Append an entry; ImageError when the block is full."""
+        if not self.fits(entry):
+            raise ImageError(f"directory block full; cannot add {entry.name!r}")
+        self.entries.append(entry)
+
+    def remove(self, name: str) -> Dirent:
+        """Remove and return the entry named ``name``."""
+        for i, entry in enumerate(self.entries):
+            if entry.name == name:
+                return self.entries.pop(i)
+        raise ImageError(f"no entry named {name!r}")
+
+    def find(self, name: str) -> Optional[Dirent]:
+        """The entry named ``name``, or None."""
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly one block worth of bytes."""
+        out = bytearray()
+        for i, entry in enumerate(self.entries):
+            name_bytes = entry.name.encode()
+            rec_len = entry.record_len()
+            if i == len(self.entries) - 1:
+                rec_len = self.block_size - len(out)  # absorb the tail
+            out += _HEADER.pack(entry.inode, rec_len, len(name_bytes),
+                                entry.file_type)
+            out += name_bytes
+            out += bytes(rec_len - _HEADER.size - len(name_bytes))
+        if not self.entries:
+            # an empty directory block: one unused record spanning it all
+            out += _HEADER.pack(0, self.block_size, 0, 0)
+            out += bytes(self.block_size - _HEADER.size)
+        if len(out) != self.block_size:
+            raise ImageError(
+                f"directory block serialized to {len(out)} bytes, "
+                f"expected {self.block_size}"
+            )
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DirBlock":
+        """Parse one directory block; ImageError on corruption."""
+        block = cls(len(data))
+        offset = 0
+        while offset + _HEADER.size <= len(data):
+            inode, rec_len, name_len, file_type = _HEADER.unpack(
+                data[offset:offset + _HEADER.size])
+            if rec_len < _HEADER.size or offset + rec_len > len(data):
+                raise ImageError(
+                    f"corrupt directory record at offset {offset}: "
+                    f"rec_len={rec_len}"
+                )
+            if inode != 0 and name_len:
+                name = data[offset + _HEADER.size:
+                            offset + _HEADER.size + name_len].decode(
+                                "utf-8", "replace")
+                block.entries.append(Dirent(inode, name, file_type))
+            offset += rec_len
+        return block
+
+    def __iter__(self) -> Iterator[Dirent]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

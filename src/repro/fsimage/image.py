@@ -1,0 +1,562 @@
+"""The simulated ext4 image: layout computation, formatting, allocation.
+
+:class:`Ext4Image` is the shared substrate under every ecosystem
+utility.  ``mke2fs`` formats through :meth:`Ext4Image.format`,
+``mount`` opens and validates through :meth:`Ext4Image.open`,
+``resize2fs``/``e2fsck`` use the lower-level group primitives.  All
+metadata is byte-serialized onto a :class:`~repro.fsimage.BlockDevice`,
+so a utility that updates counters in the wrong order produces real,
+detectable corruption — the behaviour Figure 1 of the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AllocationError, BadSuperblock, ImageError
+from repro.fsimage.bitmap import Bitmap
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.inode import (
+    Inode,
+    N_BLOCK_SLOTS,
+    S_IFDIR,
+    S_IFREG,
+)
+from repro.fsimage.layout import (
+    GROUP_DESC_SIZE,
+    GroupDescriptor,
+    JOURNAL_INO,
+    ROOT_INO,
+    STATE_CLEAN,
+    Superblock,
+    SUPERBLOCK_OFFSET,
+    SUPERBLOCK_SIZE,
+)
+
+# Feature bits (shared with repro.ecosystem.featureset; kept numeric here
+# so the image layer has no dependency on the utility layer).
+COMPAT_HAS_JOURNAL = 0x0004
+COMPAT_RESIZE_INODE = 0x0010
+COMPAT_SPARSE_SUPER2 = 0x0200
+INCOMPAT_EXTENTS = 0x0040
+INCOMPAT_MMP = 0x0100
+INCOMPAT_FLEX_BG = 0x0200
+INCOMPAT_INLINE_DATA = 0x8000
+RO_COMPAT_SPARSE_SUPER = 0x0001
+RO_COMPAT_METADATA_CSUM = 0x0400
+RO_COMPAT_BIGALLOC = 0x0200
+
+
+@dataclass
+class GroupLayout:
+    """Computed block layout of one block group."""
+
+    group: int
+    first_block: int
+    nblocks: int
+    has_super: bool
+    gdt_blocks: int  # descriptor-table + reserved GDT blocks (0 if no super)
+    block_bitmap: int
+    inode_bitmap: int
+    inode_table: int
+    inode_table_blocks: int
+    first_data_block: int  # first block usable for file data
+
+    @property
+    def overhead_blocks(self) -> int:
+        """Metadata blocks at the front of the group."""
+        return self.first_data_block - self.first_block
+
+
+def gdt_size_blocks(sb: Superblock) -> int:
+    """Blocks needed for the group-descriptor table."""
+    total = sb.group_count * GROUP_DESC_SIZE
+    return (total + sb.block_size - 1) // sb.block_size
+
+
+def group_has_super(sb: Superblock, group: int) -> bool:
+    """Whether ``group`` holds a (backup) superblock under current features.
+
+    Mirrors ext4: with ``sparse_super2`` only the two groups recorded in
+    ``s_backup_bgs`` carry backups (plus group 0, the primary); with
+    ``sparse_super`` groups 0, 1 and powers of 3, 5, 7; otherwise every
+    group.
+    """
+    if group == 0:
+        return True
+    if sb.s_feature_compat & COMPAT_SPARSE_SUPER2:
+        return group in sb.s_backup_bgs
+    if sb.s_feature_ro_compat & RO_COMPAT_SPARSE_SUPER:
+        return group == 1 or _is_power_of(group, 3) or _is_power_of(group, 5) or _is_power_of(group, 7)
+    return True
+
+
+def _is_power_of(value: int, base: int) -> bool:
+    if value < 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+def compute_group_layout(sb: Superblock, group: int) -> GroupLayout:
+    """Derive the metadata layout of ``group`` from the superblock."""
+    first = sb.group_first_block(group)
+    nblocks = sb.blocks_in_group(group)
+    has_super = group_has_super(sb, group)
+    gdt = gdt_size_blocks(sb) + sb.s_reserved_gdt_blocks if has_super else 0
+    cursor = first + (1 + gdt if has_super else 0)
+    block_bitmap = cursor
+    inode_bitmap = cursor + 1
+    inode_table = cursor + 2
+    itb = inode_table_blocks(sb)
+    first_data = inode_table + itb
+    if first_data > first + nblocks:
+        raise ImageError(
+            f"group {group} too small for its metadata: "
+            f"{first_data - first} overhead blocks > {nblocks} group blocks"
+        )
+    return GroupLayout(
+        group=group,
+        first_block=first,
+        nblocks=nblocks,
+        has_super=has_super,
+        gdt_blocks=gdt,
+        block_bitmap=block_bitmap,
+        inode_bitmap=inode_bitmap,
+        inode_table=inode_table,
+        inode_table_blocks=itb,
+        first_data_block=first_data,
+    )
+
+
+def inode_table_blocks(sb: Superblock) -> int:
+    """Blocks needed for one group's inode table."""
+    total = sb.s_inodes_per_group * sb.s_inode_size
+    return (total + sb.block_size - 1) // sb.block_size
+
+
+class Ext4Image:
+    """An opened (or freshly formatted) simulated ext4 image."""
+
+    def __init__(self, dev: BlockDevice, sb: Superblock) -> None:
+        self.dev = dev
+        self.sb = sb
+        self.group_descs: List[GroupDescriptor] = []
+        self.block_bitmaps: List[Bitmap] = []
+        self.inode_bitmaps: List[Bitmap] = []
+        self._inode_cache: Dict[int, Inode] = {}
+
+    # ==================================================================
+    # formatting (mke2fs back end)
+    # ==================================================================
+
+    @classmethod
+    def format(cls, dev: BlockDevice, sb: Superblock) -> "Ext4Image":
+        """Write a fresh file system described by ``sb`` onto ``dev``.
+
+        ``sb`` must arrive with geometry fields set (block count, blocks
+        per group, inodes per group, features, reserved GDT blocks).
+        Free counts and state are computed here.
+        """
+        if sb.block_size != dev.block_size:
+            raise ImageError(
+                f"file-system block size {sb.block_size} != device block size {dev.block_size}"
+            )
+        if sb.s_blocks_count > dev.num_blocks:
+            raise ImageError(
+                f"superblock claims {sb.s_blocks_count} blocks but device has {dev.num_blocks}"
+            )
+        image = cls(dev, sb)
+        image._initialize_groups()
+        image._reserve_special_inodes()
+        image._create_root_directory()
+        if sb.s_feature_compat & COMPAT_HAS_JOURNAL:
+            image._create_journal()
+        if sb.s_feature_incompat & INCOMPAT_MMP:
+            image._reserve_mmp_block()
+        image._recount_free()
+        image.sb.s_state = STATE_CLEAN
+        image.flush()
+        return image
+
+    def _initialize_groups(self) -> None:
+        sb = self.sb
+        self.group_descs = []
+        self.block_bitmaps = []
+        self.inode_bitmaps = []
+        for g in range(sb.group_count):
+            layout = compute_group_layout(sb, g)
+            bbm = Bitmap(layout.nblocks, capacity_bytes=sb.block_size)
+            ibm = Bitmap(sb.s_inodes_per_group, capacity_bytes=sb.block_size)
+            # Mark group-local metadata as used.
+            bbm.set_range(0, layout.overhead_blocks)
+            gd = GroupDescriptor(
+                bg_block_bitmap=layout.block_bitmap,
+                bg_inode_bitmap=layout.inode_bitmap,
+                bg_inode_table=layout.inode_table,
+                bg_free_blocks_count=layout.nblocks - layout.overhead_blocks,
+                bg_free_inodes_count=sb.s_inodes_per_group,
+                bg_used_dirs_count=0,
+            )
+            self.group_descs.append(gd)
+            self.block_bitmaps.append(bbm)
+            self.inode_bitmaps.append(ibm)
+
+    def _reserve_special_inodes(self) -> None:
+        """Inodes 1..10 are reserved, as in real ext4."""
+        for ino in range(1, self.sb.s_first_ino):
+            self._mark_inode_used(ino)
+
+    def _create_root_directory(self) -> None:
+        from repro.fsimage.dirtree import init_root_directory
+
+        block = self.allocate_blocks(1)[0]
+        root = Inode(i_mode=S_IFDIR, i_links_count=2, i_size=self.sb.block_size)
+        root.set_direct_blocks([block])
+        self.write_inode(ROOT_INO, root)
+        self.group_descs[self._group_of_inode(ROOT_INO)].bg_used_dirs_count += 1
+        init_root_directory(self)
+
+    def _create_journal(self) -> None:
+        """Reserve a contiguous journal region owned by inode 8."""
+        size = journal_size_blocks(self.sb)
+        blocks = self.allocate_blocks(size, contiguous=True)
+        journal = Inode(i_mode=S_IFREG, i_links_count=1, i_size=size * self.sb.block_size)
+        journal.set_extents([(blocks[0], len(blocks))])
+        self.write_inode(JOURNAL_INO, journal)
+
+    def _reserve_mmp_block(self) -> None:
+        block = self.allocate_blocks(1)[0]
+        self.sb.s_mmp_block = block
+
+    # ==================================================================
+    # opening / persistence
+    # ==================================================================
+
+    @classmethod
+    def open(cls, dev: BlockDevice) -> "Ext4Image":
+        """Read an existing image; raises BadSuperblock when invalid."""
+        raw = dev.read_bytes(SUPERBLOCK_OFFSET, SUPERBLOCK_SIZE)
+        sb = Superblock.unpack(raw)
+        if sb.block_size != dev.block_size:
+            # Images are valid on devices with matching block size only;
+            # the simulation does not re-block.
+            raise BadSuperblock(
+                f"image block size {sb.block_size} != device block size {dev.block_size}"
+            )
+        if sb.s_blocks_count > dev.num_blocks:
+            raise BadSuperblock(
+                f"image claims {sb.s_blocks_count} blocks; device has {dev.num_blocks}"
+            )
+        image = cls(dev, sb)
+        image._load_metadata()
+        return image
+
+    def _load_metadata(self) -> None:
+        sb = self.sb
+        self.group_descs = []
+        self.block_bitmaps = []
+        self.inode_bitmaps = []
+        gdt_start = self._gdt_first_block()
+        raw = b"".join(
+            self.dev.read_block(gdt_start + i) for i in range(gdt_size_blocks(sb))
+        )
+        for g in range(sb.group_count):
+            off = g * GROUP_DESC_SIZE
+            gd = GroupDescriptor.unpack(raw[off : off + GROUP_DESC_SIZE])
+            self.group_descs.append(gd)
+            nblocks = sb.blocks_in_group(g)
+            self.block_bitmaps.append(
+                Bitmap.from_bytes(self.dev.read_block(gd.bg_block_bitmap), nblocks)
+            )
+            self.inode_bitmaps.append(
+                Bitmap.from_bytes(self.dev.read_block(gd.bg_inode_bitmap), sb.s_inodes_per_group)
+            )
+
+    def _gdt_first_block(self) -> int:
+        """Block number where the primary descriptor table starts."""
+        # With 1 KiB blocks the superblock occupies block 1, GDT at 2;
+        # with larger blocks the superblock lives inside block 0, GDT at 1.
+        return self.sb.s_first_data_block + 1
+
+    def flush(self) -> None:
+        """Persist superblock (+backups), descriptors, and bitmaps."""
+        self._write_superblock_primary()
+        self._write_gdt()
+        for g, gd in enumerate(self.group_descs):
+            self.dev.write_block(gd.bg_block_bitmap, self.block_bitmaps[g].to_bytes())
+            self.dev.write_block(gd.bg_inode_bitmap, self.inode_bitmaps[g].to_bytes())
+        self._write_backups()
+
+    def _write_superblock_primary(self) -> None:
+        self.dev.write_bytes(SUPERBLOCK_OFFSET, self.sb.pack())
+
+    def _write_gdt(self) -> None:
+        raw = b"".join(gd.pack() for gd in self.group_descs)
+        start = self._gdt_first_block()
+        bs = self.sb.block_size
+        for i in range(gdt_size_blocks(self.sb)):
+            self.dev.write_block(start + i, raw[i * bs : (i + 1) * bs])
+
+    def _write_backups(self) -> None:
+        """Copy superblock + GDT into each backup group."""
+        raw_sb = self.sb.pack()
+        raw_gdt = b"".join(gd.pack() for gd in self.group_descs)
+        bs = self.sb.block_size
+        for g in range(1, self.sb.group_count):
+            if not group_has_super(self.sb, g):
+                continue
+            base = self.sb.group_first_block(g)
+            self.dev.write_block(base, raw_sb)
+            for i in range(gdt_size_blocks(self.sb)):
+                self.dev.write_block(base + 1 + i, raw_gdt[i * bs : (i + 1) * bs])
+
+    # ==================================================================
+    # allocation
+    # ==================================================================
+
+    def allocate_blocks(self, count: int, contiguous: bool = False) -> List[int]:
+        """Allocate ``count`` data blocks; returns absolute block numbers.
+
+        Updates bitmaps and free counters immediately (superblock totals
+        are recomputed by the caller via flush()-time counters staying in
+        sync through :meth:`_take_block`).
+        """
+        if count <= 0:
+            raise ValueError(f"block count must be positive, got {count}")
+        if contiguous:
+            run = self._find_contiguous(count)
+            if run is None:
+                raise AllocationError(f"no contiguous run of {count} free blocks")
+            for blockno in range(run, run + count):
+                self._take_block(blockno)
+            return list(range(run, run + count))
+        taken: List[int] = []
+        for g, bbm in enumerate(self.block_bitmaps):
+            base = self.sb.group_first_block(g)
+            idx = bbm.find_free()
+            while idx != -1 and len(taken) < count:
+                self._take_block(base + idx)
+                taken.append(base + idx)
+                idx = bbm.find_free(idx + 1)
+            if len(taken) == count:
+                return taken
+        for blockno in taken:
+            self.free_block(blockno)
+        raise AllocationError(f"not enough free blocks for {count}")
+
+    def _find_contiguous(self, count: int) -> Optional[int]:
+        for g, bbm in enumerate(self.block_bitmaps):
+            start = bbm.find_free_run(count)
+            if start != -1:
+                return self.sb.group_first_block(g) + start
+        return None
+
+    def _take_block(self, blockno: int) -> None:
+        g, idx = self._locate_block(blockno)
+        if self.block_bitmaps[g].set(idx):
+            raise AllocationError(f"block {blockno} already allocated")
+        self.group_descs[g].bg_free_blocks_count -= 1
+        self.sb.s_free_blocks_count -= 1
+
+    def free_block(self, blockno: int) -> None:
+        """Return one block to the free pool."""
+        g, idx = self._locate_block(blockno)
+        if not self.block_bitmaps[g].clear(idx):
+            raise AllocationError(f"block {blockno} already free")
+        self.group_descs[g].bg_free_blocks_count += 1
+        self.sb.s_free_blocks_count += 1
+
+    def _locate_block(self, blockno: int) -> Tuple[int, int]:
+        sb = self.sb
+        if blockno < sb.s_first_data_block or blockno >= sb.s_blocks_count:
+            raise ImageError(f"block {blockno} outside file system")
+        rel = blockno - sb.s_first_data_block
+        g = rel // sb.s_blocks_per_group
+        return g, rel - g * sb.s_blocks_per_group
+
+    def allocate_inode(self) -> int:
+        """Allocate the lowest free inode number (1-based)."""
+        for g, ibm in enumerate(self.inode_bitmaps):
+            idx = ibm.find_free()
+            if idx != -1:
+                ibm.set(idx)
+                self.group_descs[g].bg_free_inodes_count -= 1
+                self.sb.s_free_inodes_count -= 1
+                return g * self.sb.s_inodes_per_group + idx + 1
+        raise AllocationError("no free inodes")
+
+    def _mark_inode_used(self, ino: int) -> None:
+        g = self._group_of_inode(ino)
+        idx = (ino - 1) % self.sb.s_inodes_per_group
+        if not self.inode_bitmaps[g].set(idx):
+            self.group_descs[g].bg_free_inodes_count -= 1
+            self.sb.s_free_inodes_count -= 1
+
+    def free_inode(self, ino: int) -> None:
+        """Return one inode to the free pool and clear its record."""
+        g = self._group_of_inode(ino)
+        idx = (ino - 1) % self.sb.s_inodes_per_group
+        if not self.inode_bitmaps[g].clear(idx):
+            raise AllocationError(f"inode {ino} already free")
+        self.group_descs[g].bg_free_inodes_count += 1
+        self.sb.s_free_inodes_count += 1
+        self.write_inode(ino, Inode())
+
+    def _group_of_inode(self, ino: int) -> int:
+        if ino < 1 or ino > self.sb.s_inodes_count:
+            raise ImageError(f"inode {ino} outside file system")
+        return (ino - 1) // self.sb.s_inodes_per_group
+
+    def _recount_free(self) -> None:
+        """Recompute superblock free totals from bitmaps (format time)."""
+        self.sb.s_free_blocks_count = sum(b.count_free() for b in self.block_bitmaps)
+        self.sb.s_free_inodes_count = sum(b.count_free() for b in self.inode_bitmaps)
+
+    # ==================================================================
+    # inode I/O
+    # ==================================================================
+
+    def read_inode(self, ino: int) -> Inode:
+        """Read one inode record from the inode table."""
+        g = self._group_of_inode(ino)
+        idx = (ino - 1) % self.sb.s_inodes_per_group
+        gd = self.group_descs[g]
+        byte_off = idx * self.sb.s_inode_size
+        blockno = gd.bg_inode_table + byte_off // self.sb.block_size
+        within = byte_off % self.sb.block_size
+        raw = self.dev.read_block(blockno)
+        return Inode.unpack(raw[within : within + self.sb.s_inode_size])
+
+    def write_inode(self, ino: int, inode: Inode) -> None:
+        """Write one inode record into the inode table."""
+        g = self._group_of_inode(ino)
+        idx = (ino - 1) % self.sb.s_inodes_per_group
+        gd = self.group_descs[g]
+        byte_off = idx * self.sb.s_inode_size
+        blockno = gd.bg_inode_table + byte_off // self.sb.block_size
+        within = byte_off % self.sb.block_size
+        raw = bytearray(self.dev.read_block(blockno))
+        raw[within : within + self.sb.s_inode_size] = inode.pack(self.sb.s_inode_size)
+        self.dev.write_block(blockno, bytes(raw))
+
+    # ==================================================================
+    # file-level helpers (used by the mounted FS and tests)
+    # ==================================================================
+
+    def create_file(self, nblocks: int, fragmented: bool = False, use_extents: bool = False) -> int:
+        """Create a regular file of ``nblocks`` data blocks; returns its inode.
+
+        ``fragmented=True`` deliberately allocates non-adjacent blocks so
+        e4defrag has work to do.
+        """
+        if nblocks <= 0:
+            raise ValueError(f"file needs at least one block, got {nblocks}")
+        if fragmented:
+            blocks = self._allocate_scattered(nblocks)
+        else:
+            blocks = self.allocate_blocks(nblocks, contiguous=True)
+        ino = self.allocate_inode()
+        inode = Inode(
+            i_mode=S_IFREG,
+            i_links_count=1,
+            i_size=nblocks * self.sb.block_size,
+        )
+        runs = _blocks_to_extents(blocks)
+        if use_extents and len(runs) <= N_BLOCK_SLOTS // 2:
+            inode.set_extents(runs)
+        elif len(blocks) <= N_BLOCK_SLOTS:
+            # Badly fragmented small files stay block-mapped, as ext4
+            # keeps pre-extent files.
+            inode.set_direct_blocks(blocks)
+        else:
+            raise AllocationError(
+                f"file of {nblocks} blocks in {len(runs)} fragments exceeds "
+                "the inode mapping capacity"
+            )
+        self.write_inode(ino, inode)
+        return ino
+
+    def _allocate_scattered(self, nblocks: int) -> List[int]:
+        """Allocate blocks that are pairwise non-adjacent."""
+        blocks: List[int] = []
+        hole: Optional[int] = None
+        while len(blocks) < nblocks:
+            pair = self.allocate_blocks(2, contiguous=True)
+            blocks.append(pair[0])
+            if hole is not None:
+                self.free_block(hole)
+            hole = pair[1]
+        if hole is not None:
+            self.free_block(hole)
+        return blocks
+
+    def delete_file(self, ino: int) -> None:
+        """Free a regular file's blocks and inode."""
+        inode = self.read_inode(ino)
+        for blockno in inode.data_blocks():
+            self.free_block(blockno)
+        self.free_inode(ino)
+
+    def iter_used_inodes(self):
+        """Yield (ino, Inode) for every in-use, non-reserved inode.
+
+        Clamped to the inodes the loaded bitmaps actually cover, so a
+        corrupt ``s_inodes_count`` cannot push the scan out of range
+        (e2fsck must survive such images and report, not crash).
+        """
+        covered = self.sb.s_inodes_per_group * len(self.inode_bitmaps)
+        for ino in range(1, min(self.sb.s_inodes_count, covered) + 1):
+            g = self._group_of_inode(ino)
+            idx = (ino - 1) % self.sb.s_inodes_per_group
+            if not self.inode_bitmaps[g].test(idx):
+                continue
+            if ino < self.sb.s_first_ino and ino not in (ROOT_INO, JOURNAL_INO):
+                continue
+            inode = self.read_inode(ino)
+            if inode.in_use:
+                yield ino, inode
+
+    # ==================================================================
+    # consistency views (e2fsck back end)
+    # ==================================================================
+
+    def computed_free_blocks(self, group: int) -> int:
+        """Free blocks in ``group`` according to its bitmap."""
+        return self.block_bitmaps[group].count_free()
+
+    def computed_free_inodes(self, group: int) -> int:
+        """Free inodes in ``group`` according to its bitmap."""
+        return self.inode_bitmaps[group].count_free()
+
+    def total_computed_free_blocks(self) -> int:
+        """Free blocks across all bitmaps."""
+        return sum(b.count_free() for b in self.block_bitmaps)
+
+    def total_computed_free_inodes(self) -> int:
+        """Free inodes across all bitmaps."""
+        return sum(b.count_free() for b in self.inode_bitmaps)
+
+
+def journal_size_blocks(sb: Superblock) -> int:
+    """Journal size heuristic: 1/32 of the FS, clamped to [64, 1024]."""
+    size = sb.s_blocks_count // 32
+    return max(64, min(1024, size))
+
+
+def _blocks_to_extents(blocks: List[int]) -> List[Tuple[int, int]]:
+    """Compress an ordered block list into (start, length) runs."""
+    if not blocks:
+        return []
+    runs: List[Tuple[int, int]] = []
+    start = prev = blocks[0]
+    for blockno in blocks[1:]:
+        if blockno == prev + 1:
+            prev = blockno
+            continue
+        runs.append((start, prev - start + 1))
+        start = prev = blockno
+    runs.append((start, prev - start + 1))
+    return runs

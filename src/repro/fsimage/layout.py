@@ -1,0 +1,318 @@
+"""Byte-serialized on-disk structures: superblock and group descriptors.
+
+The structures are a faithful *simplification* of ext4's
+``ext2_super_block`` / ``ext4_group_desc``: field names and meanings
+match the kernel's, the struct is fixed-size and packed little-endian,
+and the magic/state/feature words behave like the real ones.  Fields the
+reproduction does not exercise (e.g. RAID stride hints) are omitted.
+
+The shared superblock is the "metadata bridge" of the paper: every
+ecosystem component reads or writes these fields, which is what lets the
+static analyzer connect parameters of different components (§4.1).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import BadGroupDescriptor, BadSuperblock
+
+EXT2_MAGIC = 0xEF53
+
+#: Superblock byte offset within the device (matches ext2: byte 1024).
+SUPERBLOCK_OFFSET = 1024
+
+#: Serialized superblock length in bytes (fixed, zero-padded to this).
+SUPERBLOCK_SIZE = 1024
+
+#: File-system states (s_state).
+STATE_CLEAN = 0x0001
+STATE_ERRORS = 0x0002
+
+#: Behaviour on errors (s_errors).
+ERRORS_CONTINUE = 1
+ERRORS_RO = 2
+ERRORS_PANIC = 3
+
+#: First non-reserved inode number (inodes 1..10 are reserved; 2 = root).
+FIRST_INO = 11
+ROOT_INO = 2
+JOURNAL_INO = 8
+RESIZE_INO = 7
+
+_SB_FMT = "<IIIIIIIIIIIHhHHHIIHHIII16s16sH2xII II BBH I"
+# The format above, field by field:
+#   s_inodes_count s_blocks_count s_r_blocks_count s_free_blocks_count
+#   s_free_inodes_count s_first_data_block s_log_block_size
+#   s_log_cluster_size s_blocks_per_group s_clusters_per_group
+#   s_inodes_per_group s_mnt_count s_max_mnt_count s_magic s_state
+#   s_errors s_rev_level s_first_ino s_inode_size s_reserved_gdt_blocks
+#   s_feature_compat s_feature_incompat s_feature_ro_compat
+#   s_uuid s_volume_name s_def_mount_flags (pad)
+#   s_backup_bgs[0] s_backup_bgs[1]
+#   s_mmp_block s_mmp_update_interval
+#   s_log_groups_per_flex s_checksum_type s_default_mount_opts
+#   s_checksum
+_SB_STRUCT = struct.Struct(_SB_FMT.replace(" ", ""))
+
+
+@dataclass
+class Superblock:
+    """Simplified ``ext2_super_block``.
+
+    All counts are in file-system blocks unless the name says otherwise.
+    """
+
+    s_inodes_count: int = 0
+    s_blocks_count: int = 0
+    s_r_blocks_count: int = 0
+    s_free_blocks_count: int = 0
+    s_free_inodes_count: int = 0
+    s_first_data_block: int = 0
+    s_log_block_size: int = 2  # block size = 1024 << log (default 4096)
+    s_log_cluster_size: int = 2  # equals block size unless bigalloc
+    s_blocks_per_group: int = 32768
+    s_clusters_per_group: int = 32768
+    s_inodes_per_group: int = 0
+    s_mnt_count: int = 0
+    s_max_mnt_count: int = -1
+    s_magic: int = EXT2_MAGIC
+    s_state: int = STATE_CLEAN
+    s_errors: int = ERRORS_CONTINUE
+    s_rev_level: int = 1
+    s_first_ino: int = FIRST_INO
+    s_inode_size: int = 256
+    s_reserved_gdt_blocks: int = 0
+    s_feature_compat: int = 0
+    s_feature_incompat: int = 0
+    s_feature_ro_compat: int = 0
+    s_uuid: bytes = b"\x00" * 16
+    s_volume_name: str = ""
+    s_def_mount_flags: int = 0
+    s_backup_bgs: Tuple[int, int] = (0, 0)
+    s_mmp_block: int = 0
+    s_mmp_update_interval: int = 0
+    s_log_groups_per_flex: int = 0
+    s_checksum_type: int = 0
+    s_default_mount_opts: int = 0
+    s_checksum: int = field(default=0, compare=False)
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        """Block size in bytes (1024 << s_log_block_size)."""
+        return 1024 << self.s_log_block_size
+
+    @property
+    def cluster_size(self) -> int:
+        """Allocation-cluster size in bytes (equals block size w/o bigalloc)."""
+        return 1024 << self.s_log_cluster_size
+
+    @property
+    def group_count(self) -> int:
+        """Number of block groups implied by the block count."""
+        usable = self.s_blocks_count - self.s_first_data_block
+        if usable <= 0:
+            return 0
+        return (usable + self.s_blocks_per_group - 1) // self.s_blocks_per_group
+
+    def blocks_in_group(self, group: int) -> int:
+        """Number of blocks that belong to ``group`` (last group may be short)."""
+        if group < 0 or group >= self.group_count:
+            raise ValueError(f"group {group} outside [0, {self.group_count})")
+        start = self.group_first_block(group)
+        end = min(start + self.s_blocks_per_group, self.s_blocks_count)
+        return end - start
+
+    def group_first_block(self, group: int) -> int:
+        """First block number of ``group``."""
+        return self.s_first_data_block + group * self.s_blocks_per_group
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize to SUPERBLOCK_SIZE bytes with a fresh CRC."""
+        body = self._pack_with_checksum(0)
+        crc = zlib.crc32(body)
+        return self._pack_with_checksum(crc)
+
+    def _pack_with_checksum(self, crc: int) -> bytes:
+        raw = _SB_STRUCT.pack(
+            self.s_inodes_count,
+            self.s_blocks_count,
+            self.s_r_blocks_count,
+            self.s_free_blocks_count,
+            self.s_free_inodes_count,
+            self.s_first_data_block,
+            self.s_log_block_size,
+            self.s_log_cluster_size,
+            self.s_blocks_per_group,
+            self.s_clusters_per_group,
+            self.s_inodes_per_group,
+            self.s_mnt_count,
+            self.s_max_mnt_count,
+            self.s_magic,
+            self.s_state,
+            self.s_errors,
+            self.s_rev_level,
+            self.s_first_ino,
+            self.s_inode_size,
+            self.s_reserved_gdt_blocks,
+            self.s_feature_compat,
+            self.s_feature_incompat,
+            self.s_feature_ro_compat,
+            self.s_uuid,
+            self.s_volume_name.encode("utf-8")[:16],
+            self.s_def_mount_flags,
+            self.s_backup_bgs[0],
+            self.s_backup_bgs[1],
+            self.s_mmp_block,
+            self.s_mmp_update_interval,
+            self.s_log_groups_per_flex,
+            self.s_checksum_type,
+            self.s_default_mount_opts,
+            crc,
+        )
+        return raw + bytes(SUPERBLOCK_SIZE - len(raw))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Superblock":
+        """Deserialize; raises BadSuperblock on bad magic or short data."""
+        if len(data) < _SB_STRUCT.size:
+            raise BadSuperblock(
+                f"superblock needs {_SB_STRUCT.size} bytes, got {len(data)}"
+            )
+        fields = _SB_STRUCT.unpack(data[: _SB_STRUCT.size])
+        sb = cls(
+            s_inodes_count=fields[0],
+            s_blocks_count=fields[1],
+            s_r_blocks_count=fields[2],
+            s_free_blocks_count=fields[3],
+            s_free_inodes_count=fields[4],
+            s_first_data_block=fields[5],
+            s_log_block_size=fields[6],
+            s_log_cluster_size=fields[7],
+            s_blocks_per_group=fields[8],
+            s_clusters_per_group=fields[9],
+            s_inodes_per_group=fields[10],
+            s_mnt_count=fields[11],
+            s_max_mnt_count=fields[12],
+            s_magic=fields[13],
+            s_state=fields[14],
+            s_errors=fields[15],
+            s_rev_level=fields[16],
+            s_first_ino=fields[17],
+            s_inode_size=fields[18],
+            s_reserved_gdt_blocks=fields[19],
+            s_feature_compat=fields[20],
+            s_feature_incompat=fields[21],
+            s_feature_ro_compat=fields[22],
+            s_uuid=fields[23],
+            s_volume_name=fields[24].rstrip(b"\x00").decode("utf-8", "replace"),
+            s_def_mount_flags=fields[25],
+            s_backup_bgs=(fields[26], fields[27]),
+            s_mmp_block=fields[28],
+            s_mmp_update_interval=fields[29],
+            s_log_groups_per_flex=fields[30],
+            s_checksum_type=fields[31],
+            s_default_mount_opts=fields[32],
+            s_checksum=fields[33],
+        )
+        if sb.s_magic != EXT2_MAGIC:
+            raise BadSuperblock(
+                f"bad magic 0x{sb.s_magic:04x} (expected 0x{EXT2_MAGIC:04x})"
+            )
+        return sb
+
+    def checksum_valid(self, data: bytes) -> bool:
+        """Verify the stored CRC against a re-computed one."""
+        stored = self.s_checksum
+        body = self._pack_with_checksum(0)
+        return zlib.crc32(body) == stored and data[: _SB_STRUCT.size] == self._pack_with_checksum(stored)[: _SB_STRUCT.size]
+
+    def copy(self, **changes: object) -> "Superblock":
+        """Return a modified copy (dataclasses.replace wrapper)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+_GD_FMT = "<IIIHHHHH2x"
+_GD_STRUCT = struct.Struct(_GD_FMT)
+
+#: Serialized group-descriptor length in bytes.
+GROUP_DESC_SIZE = _GD_STRUCT.size
+
+#: bg_flags bits (mirror EXT4_BG_*).
+BG_INODE_UNINIT = 0x1
+BG_BLOCK_UNINIT = 0x2
+
+
+@dataclass
+class GroupDescriptor:
+    """Simplified ``ext4_group_desc`` for one block group."""
+
+    bg_block_bitmap: int = 0
+    bg_inode_bitmap: int = 0
+    bg_inode_table: int = 0
+    bg_free_blocks_count: int = 0
+    bg_free_inodes_count: int = 0
+    bg_used_dirs_count: int = 0
+    bg_flags: int = 0
+    bg_checksum: int = field(default=0, compare=False)
+
+    def pack(self) -> bytes:
+        """Serialize with a fresh 16-bit checksum."""
+        crc = self._crc16()
+        return _GD_STRUCT.pack(
+            self.bg_block_bitmap,
+            self.bg_inode_bitmap,
+            self.bg_inode_table,
+            self.bg_free_blocks_count,
+            self.bg_free_inodes_count,
+            self.bg_used_dirs_count,
+            self.bg_flags,
+            crc,
+        )
+
+    def _crc16(self) -> int:
+        payload = _GD_STRUCT.pack(
+            self.bg_block_bitmap,
+            self.bg_inode_bitmap,
+            self.bg_inode_table,
+            self.bg_free_blocks_count,
+            self.bg_free_inodes_count,
+            self.bg_used_dirs_count,
+            self.bg_flags,
+            0,
+        )
+        return zlib.crc32(payload) & 0xFFFF
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "GroupDescriptor":
+        """Deserialize one descriptor; raises BadGroupDescriptor when short."""
+        if len(data) < _GD_STRUCT.size:
+            raise BadGroupDescriptor(
+                f"group descriptor needs {_GD_STRUCT.size} bytes, got {len(data)}"
+            )
+        fields = _GD_STRUCT.unpack(data[: _GD_STRUCT.size])
+        return cls(
+            bg_block_bitmap=fields[0],
+            bg_inode_bitmap=fields[1],
+            bg_inode_table=fields[2],
+            bg_free_blocks_count=fields[3],
+            bg_free_inodes_count=fields[4],
+            bg_used_dirs_count=fields[5],
+            bg_flags=fields[6],
+            bg_checksum=fields[7],
+        )
+
+    def checksum_valid(self) -> bool:
+        """True when the stored checksum matches the payload."""
+        return self.bg_checksum == self._crc16()

@@ -1,0 +1,5 @@
+"""Cross-file-system configuration-method knowledge base (Table 1)."""
+
+from repro.knowledge.fstable import FS_CONFIG_METHODS, FileSystemEntry, config_method_table
+
+__all__ = ["FS_CONFIG_METHODS", "FileSystemEntry", "config_method_table"]

@@ -1,0 +1,84 @@
+"""Configuration methods of popular file systems (paper Table 1).
+
+Eight file systems across four operating systems, each configurable at
+the four stages of Figure 2 (create / mount / online / offline).  The
+entries name the real utilities the paper cites; MINIX has no online
+reconfiguration utility, matching the '-' cell in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class FileSystemEntry:
+    """One Table-1 row."""
+
+    fs: str
+    os: str
+    create: Tuple[str, ...]
+    mount: Tuple[str, ...]
+    online: Tuple[str, ...]
+    offline: Tuple[str, ...]
+
+    def label(self) -> str:
+        """The row label, e.g. 'Ext4 (Linux)'."""
+        return f"{self.fs} ({self.os})"
+
+    def stage_cells(self) -> Tuple[str, str, str, str]:
+        """The four stage cells, '-' for an empty stage."""
+        def render(utils: Tuple[str, ...]) -> str:
+            return ", ".join(utils) if utils else "-"
+        return (render(self.create), render(self.mount),
+                render(self.online), render(self.offline))
+
+
+FS_CONFIG_METHODS: Tuple[FileSystemEntry, ...] = (
+    FileSystemEntry(
+        "Ext4", "Linux",
+        create=("mke2fs",), mount=("mount",),
+        online=("e4defrag", "resize2fs"), offline=("e2fsck", "resize2fs"),
+    ),
+    FileSystemEntry(
+        "XFS", "Linux",
+        create=("mkfs.xfs",), mount=("mount",),
+        online=("xfs_fsr", "xfs_growfs"), offline=("xfs_admin", "xfs_repair"),
+    ),
+    FileSystemEntry(
+        "BtrFS", "Linux",
+        create=("mkfs.btrfs",), mount=("mount",),
+        online=("btrfs-balance", "btrfs-scrub"), offline=("btrfs-check",),
+    ),
+    FileSystemEntry(
+        "UFS", "FreeBSD",
+        create=("newfs",), mount=("mount",),
+        online=("growfs", "restore"), offline=("dump", "fsck_ufs"),
+    ),
+    FileSystemEntry(
+        "ZFS", "FreeBSD",
+        create=("zfs-create",), mount=("zfs-mount",),
+        online=("zfs-set", "zfs-rollback"), offline=("zfs-destroy",),
+    ),
+    FileSystemEntry(
+        "MINIX", "Minix",
+        create=("mkfs",), mount=("mount",),
+        online=(), offline=("fsck",),
+    ),
+    FileSystemEntry(
+        "NTFS", "Windows",
+        create=("format",), mount=("mountvol",),
+        online=("chkdsk", "defrag"), offline=("chkdsk", "shrink"),
+    ),
+    FileSystemEntry(
+        "APFS", "MacOS",
+        create=("diskutil",), mount=("diskutil", "mount_apfs"),
+        online=("diskutil",), offline=("diskutil", "fsck_apfs"),
+    ),
+)
+
+
+def config_method_table() -> List[FileSystemEntry]:
+    """All Table-1 rows, in the paper's order."""
+    return list(FS_CONFIG_METHODS)

@@ -1,0 +1,43 @@
+"""A mini-C frontend: lexer, parser, semantic checks, IR, and CFGs.
+
+This package substitutes for LLVM/Clang in the paper's pipeline.  It
+accepts the C subset used by the modelled corpus in
+:mod:`repro.corpus` — structs, enums, typedefs, ``#define`` object
+macros, functions, the usual statements and expressions (including
+``switch``), pointers and ``->`` member access — and lowers it to a
+small register IR with explicit loads/stores of struct fields, which is
+exactly the level the taint analysis needs.
+
+Typical use::
+
+    from repro.lang import compile_c
+    module = compile_c(source_text, filename="mke2fs.c")
+    for function in module.functions.values():
+        ...  # function.blocks, function.instructions
+"""
+
+from repro.lang.lexer import Lexer, Token, TokenKind, tokenize
+from repro.lang.parser import Parser, parse
+from repro.lang.sema import analyze
+from repro.lang.lower import lower
+from repro.lang.ir import Module as IRModule
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse",
+    "analyze",
+    "lower",
+    "IRModule",
+    "compile_c",
+]
+
+
+def compile_c(source: str, filename: str = "<input>") -> IRModule:
+    """Front-to-back compilation: source text to an IR module."""
+    tree = parse(source, filename)
+    analyze(tree)
+    return lower(tree)

@@ -1,0 +1,307 @@
+"""AST node classes for the mini-C subset.
+
+Plain dataclasses; every node carries a source line for diagnostics.
+The tree is deliberately close to the grammar — the IR lowering pass
+(:mod:`repro.lang.lower`) does the real normalization work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang.types import CType
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class of all expressions."""
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer (or character) literal."""
+    value: int = 0
+    macro: Optional[str] = None  # #define name the literal came from
+
+
+@dataclass
+class StrLit(Expr):
+    """String literal."""
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    """Name reference."""
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix/postfix unary operation."""
+    op: str = ""
+    operand: Expr = None
+    prefix: bool = True  # ++x vs x++
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operation."""
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """Simple or compound assignment."""
+    op: str = "="  # '=', '+=', '|=', ...
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    """Function call."""
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Member(Expr):
+    """Struct member access ('.' or '->')."""
+    base: Expr = None
+    field_name: str = ""
+    arrow: bool = False  # True for '->'
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript."""
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    """Conditional expression c ? a : b."""
+    cond: Expr = None
+    then: Expr = None
+    otherwise: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    """Type cast."""
+    ctype: CType = None
+    operand: Expr = None
+
+
+@dataclass
+class SizeOf(Expr):
+    """sizeof(type) or sizeof(expr)."""
+    ctype: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class AddressOf(Expr):
+    """&operand."""
+    operand: Expr = None
+
+
+@dataclass
+class Deref(Expr):
+    """*operand."""
+    operand: Expr = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class of all statements."""
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Local variable declaration."""
+    name: str = ""
+    ctype: CType = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """Expression evaluated for effect."""
+    expr: Expr = None
+
+
+@dataclass
+class Block(Stmt):
+    """Brace-enclosed statement list."""
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    """if / else."""
+    cond: Expr = None
+    then: Stmt = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    """while or do-while loop."""
+    cond: Expr = None
+    body: Stmt = None
+    do_while: bool = False
+
+
+@dataclass
+class For(Stmt):
+    """for loop."""
+    init: Optional[Stmt] = None  # VarDecl or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class Return(Stmt):
+    """return statement."""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    """break statement."""
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    """continue statement."""
+    pass
+
+
+@dataclass
+class SwitchCase:
+    """One ``case`` (value is None for ``default``)."""
+
+    value: Optional[Expr]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    """switch with its cases."""
+    subject: Expr = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Goto(Stmt):
+    """goto label."""
+    label: str = ""
+
+
+@dataclass
+class Label(Stmt):
+    """Statement label."""
+    name: str = ""
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StructField:
+    """One field of a struct declaration."""
+    name: str
+    ctype: CType
+    line: int = 0
+
+
+@dataclass
+class StructDecl:
+    """struct definition."""
+    name: str
+    fields: List[StructField]
+    line: int = 0
+
+
+@dataclass
+class EnumDecl:
+    """enum definition."""
+    name: Optional[str]
+    members: List[Tuple[str, int]]
+    line: int = 0
+
+
+@dataclass
+class Typedef:
+    """typedef declaration."""
+    name: str
+    ctype: CType
+    line: int = 0
+
+
+@dataclass
+class Param:
+    """One function parameter."""
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FunctionDef:
+    """Function definition or prototype (body None)."""
+    name: str
+    return_type: CType
+    params: List[Param]
+    body: Optional[Block]  # None for a prototype
+    line: int = 0
+    static: bool = False
+
+
+@dataclass
+class GlobalVar:
+    """File-scope variable."""
+    name: str
+    ctype: CType
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    """One parsed source file."""
+    filename: str
+    structs: List[StructDecl] = field(default_factory=list)
+    enums: List[EnumDecl] = field(default_factory=list)
+    typedefs: List[Typedef] = field(default_factory=list)
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        """Find a function definition by name; KeyError when absent."""
+        for fn in self.functions:
+            if fn.name == name and fn.body is not None:
+                return fn
+        raise KeyError(f"no function {name!r} in {self.filename}")

@@ -1,0 +1,124 @@
+"""Control-flow-graph utilities over the IR.
+
+Small and purpose-built: successors/predecessors, reachability, and the
+"does this path reach an error exit" query the constraint extractor
+asks when classifying a guard as a configuration dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lang.ir import BasicBlock, Branch, CallInstr, Const, Function, Ret
+
+#: Calls that mean "reject the configuration and bail", mirroring the
+#: error exits the paper's analyzer keys on (usage();exit(1); com_err).
+ERROR_CALLS = {
+    "usage", "exit", "abort", "fatal_error", "com_err", "ext2fs_fatal",
+    "bb_error_msg_and_die", "log_err",
+}
+
+
+class CFG:
+    """Successor/predecessor view of one function."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.succ: Dict[str, Tuple[str, ...]] = {}
+        self.pred: Dict[str, List[str]] = {label: [] for label in func.blocks}
+        for label, block in func.blocks.items():
+            succs = block.successors()
+            self.succ[label] = succs
+            for s in succs:
+                if s in self.pred:
+                    self.pred[s].append(label)
+
+    def reachable_from(self, label: str) -> Set[str]:
+        """Labels reachable from ``label`` (inclusive)."""
+        seen: Set[str] = set()
+        stack = [label]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.func.blocks:
+                continue
+            seen.add(current)
+            stack.extend(self.succ.get(current, ()))
+        return seen
+
+    def block(self, label: str) -> BasicBlock:
+        """The basic block with the given label."""
+        return self.func.blocks[label]
+
+    # ------------------------------------------------------------------
+    # error-exit queries
+    # ------------------------------------------------------------------
+
+    def block_is_error_exit(self, label: str) -> bool:
+        """True when the block itself errors out (error call or ret < 0)."""
+        block = self.func.blocks.get(label)
+        if block is None:
+            return False
+        for instr in block.instrs:
+            if isinstance(instr, CallInstr) and instr.func in ERROR_CALLS:
+                return True
+            if isinstance(instr, Ret) and instr.value is not None:
+                value = _resolve_const(block, instr.value)
+                if value is not None and (value >= 0x80000000 or _as_signed(value) < 0):
+                    return True
+        return False
+
+    def leads_to_error(self, label: str, max_depth: int = 3) -> bool:
+        """True when an error exit is reachable within ``max_depth`` blocks
+        without passing through a branch (i.e. unconditionally)."""
+        current: Optional[str] = label
+        for _ in range(max_depth + 1):
+            if current is None:
+                return False
+            if self.block_is_error_exit(current):
+                return True
+            block = self.func.blocks.get(current)
+            if block is None:
+                return False
+            term = block.terminator
+            if isinstance(term, Branch):
+                return False  # a further condition decides; not this guard
+            succs = self.succ.get(current, ())
+            current = succs[0] if succs else None
+        return False
+
+    def branch_error_sides(self, branch: Branch) -> Tuple[bool, bool]:
+        """(true_side_errors, false_side_errors) for one branch."""
+        return (
+            self.leads_to_error(branch.true_label),
+            self.leads_to_error(branch.false_label),
+        )
+
+
+def _resolve_const(block: BasicBlock, value) -> Optional[int]:
+    """Constant value of ``value`` using in-block definitions only."""
+    from repro.lang.ir import Move, Temp, UnOp, Var
+
+    if isinstance(value, Const):
+        return value.value
+    if not isinstance(value, (Temp, Var)):
+        return None
+    for instr in reversed(block.instrs):
+        if value in instr.defs():
+            if isinstance(instr, Move):
+                return _resolve_const(block, instr.src)
+            if isinstance(instr, UnOp) and instr.op == "-":
+                inner = _resolve_const(block, instr.operand)
+                return -inner if inner is not None else None
+            return None
+    return None
+
+
+def _as_signed(value: int, bits: int = 32) -> int:
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def build_cfg(func: Function) -> CFG:
+    """Construct the CFG for one function."""
+    return CFG(func)

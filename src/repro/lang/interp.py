@@ -1,0 +1,381 @@
+"""A concrete interpreter for the mini-C IR.
+
+Executes corpus functions with real values, which enables *differential
+validation* of the static analyzer: an extracted constraint (say,
+``blocksize in [1024, 65536]``) can be checked against the corpus by
+actually running the guard with in-range and out-of-range values and
+observing whether the error path fires.
+
+Semantics are the C subset's, over Python ints:
+
+- variables live in an environment; globals are zero-initialized,
+- structs are :class:`StructVal` instances; pointers to structs and the
+  structs themselves behave alike (field access goes to the same dict),
+- calls dispatch to (a) user-provided stubs, (b) other functions in the
+  module, or (c) default library models (``parse_int`` = ``int``, ...),
+- ``usage()`` / ``exit()`` raise :class:`ErrorExit`, recorded on the
+  result the way the analyzer's error-exit detection models it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.lang.ir import (
+    BinOp,
+    Branch,
+    CallInstr,
+    Const,
+    Function,
+    Jump,
+    LoadField,
+    LoadIndex,
+    Module,
+    Move,
+    Ret,
+    StoreField,
+    StoreIndex,
+    StrConst,
+    Temp,
+    UnOp,
+    Value,
+    Var,
+)
+
+
+class InterpError(Exception):
+    """The interpreter met something it cannot execute."""
+
+
+class ErrorExit(Exception):
+    """Raised when the program takes an error exit (usage/exit/abort)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class StructVal:
+    """A struct instance; unknown fields read as zero."""
+
+    def __init__(self, tag: str = "?") -> None:
+        self.tag = tag
+        self.fields: Dict[str, Any] = {}
+
+    def get(self, name: str) -> Any:
+        """Field value; unknown fields read as zero."""
+        return self.fields.get(name, 0)
+
+    def set(self, name: str, value: Any) -> None:
+        """Set one field."""
+        self.fields[name] = value
+
+    def __repr__(self) -> str:
+        return f"StructVal({self.tag}, {self.fields})"
+
+
+@dataclass
+class ExecResult:
+    """Outcome of executing one function."""
+
+    return_value: Any = None
+    error_exit: bool = False
+    error_reason: str = ""
+    messages: List[str] = dc_field(default_factory=list)
+    globals: Dict[str, Any] = dc_field(default_factory=dict)
+    steps: int = 0
+
+
+def _default_stubs() -> Dict[str, Callable[..., Any]]:
+    def com_err(whoami, code, fmt, *rest):
+        return 0
+
+    return {
+        "parse_int": lambda s: int(s),
+        "parse_uint": lambda s: int(s),
+        "parse_ulong": lambda s: int(s),
+        "parse_num_blocks": lambda s, log_bs: int(s),
+        "atoi": lambda s: int(s),
+        "atol": lambda s: int(s),
+        "strtoul": lambda s, *a: int(s),
+        "match_int": lambda s: int(s),
+        "abs": abs,
+        "strcmp": lambda a, b: 0 if a == b else (1 if str(a) > str(b) else -1),
+        "strlen": lambda s: len(str(s)),
+        "com_err": com_err,
+        "ext4_msg": lambda sbi, level, fmt: 0,
+        "printf": lambda *a: 0,
+        "fprintf": lambda *a: 0,
+    }
+
+
+class Interpreter:
+    """Execute functions of one IR module."""
+
+    def __init__(self, module: Module,
+                 stubs: Optional[Dict[str, Callable[..., Any]]] = None,
+                 globals_init: Optional[Dict[str, Any]] = None,
+                 max_steps: int = 100_000) -> None:
+        self.module = module
+        self.stubs = dict(_default_stubs())
+        if stubs:
+            self.stubs.update(stubs)
+        self.globals: Dict[str, Any] = dict(globals_init or {})
+        self.max_steps = max_steps
+        self._messages: List[str] = []
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def run(self, function: str, *args: Any) -> ExecResult:
+        """Execute ``function`` with ``args``; never raises ErrorExit."""
+        self._messages = []
+        self._steps = 0
+        result = ExecResult()
+        try:
+            result.return_value = self._call(function, list(args))
+        except ErrorExit as exc:
+            result.error_exit = True
+            result.error_reason = exc.reason
+        result.messages = list(self._messages)
+        result.globals = dict(self.globals)
+        result.steps = self._steps
+        return result
+
+    # ------------------------------------------------------------------
+    # function execution
+    # ------------------------------------------------------------------
+
+    def _call(self, name: str, args: List[Any]) -> Any:
+        if name in ("usage", "exit", "abort", "fatal_error"):
+            raise ErrorExit(name)
+        func = self.module.functions.get(name)
+        if func is not None:
+            return self._exec_function(func, args)
+        if name in self.stubs:
+            return self.stubs[name](*args)
+        raise InterpError(f"no body or stub for function {name!r}")
+
+    def _exec_function(self, func: Function, args: List[Any]) -> Any:
+        env: Dict[Value, Any] = {}
+        for param, arg in zip(func.params, args):
+            env[Var(param)] = arg
+        label = func.entry
+        while True:
+            block = func.blocks[label]
+            next_label: Optional[str] = None
+            for instr in block.instrs:
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise InterpError(f"step limit exceeded in {func.name}")
+                outcome = self._exec_instr(instr, env)
+                if isinstance(outcome, _Return):
+                    return outcome.value
+                if isinstance(outcome, str):
+                    next_label = outcome
+                    break
+            if next_label is None:
+                return None  # fell off a block with no terminator effect
+            label = next_label
+
+    # ------------------------------------------------------------------
+    # instruction execution
+    # ------------------------------------------------------------------
+
+    def _exec_instr(self, instr, env):
+        if isinstance(instr, Move):
+            self._write(instr.dst, self._read(instr.src, env), env)
+            return None
+        if isinstance(instr, BinOp):
+            left = self._read(instr.left, env)
+            right = self._read(instr.right, env)
+            env[instr.dst] = _binop(instr.op, left, right)
+            return None
+        if isinstance(instr, UnOp):
+            env[instr.dst] = self._unop(instr, env)
+            return None
+        if isinstance(instr, LoadField):
+            base = self._struct_of(self._read(instr.base, env), instr)
+            env[instr.dst] = base.get(instr.field)
+            return None
+        if isinstance(instr, StoreField):
+            base = self._struct_of(self._read(instr.base, env), instr)
+            base.set(instr.field, self._read(instr.src, env))
+            return None
+        if isinstance(instr, LoadIndex):
+            container = self._read(instr.base, env)
+            index = self._read(instr.index, env)
+            env[instr.dst] = _index_get(container, index)
+            return None
+        if isinstance(instr, StoreIndex):
+            container = self._read(instr.base, env)
+            index = self._read(instr.index, env)
+            _index_set(container, index, self._read(instr.src, env))
+            return None
+        if isinstance(instr, CallInstr):
+            args = [self._read(a, env) for a in instr.args]
+            value = self._call(instr.func, args)
+            if instr.dst is not None:
+                env[instr.dst] = value
+            return None
+        if isinstance(instr, Branch):
+            cond = self._read(instr.cond, env)
+            return instr.true_label if _truthy(cond) else instr.false_label
+        if isinstance(instr, Jump):
+            return instr.label
+        if isinstance(instr, Ret):
+            value = self._read(instr.value, env) if instr.value is not None else None
+            return _Return(value)
+        raise InterpError(f"cannot execute {type(instr).__name__}")
+
+    def _unop(self, instr: UnOp, env) -> Any:
+        operand = self._read(instr.operand, env)
+        if instr.op == "!":
+            return 0 if _truthy(operand) else 1
+        if instr.op == "-":
+            return -operand
+        if instr.op == "~":
+            return ~operand
+        if instr.op in ("&", "*"):
+            # address-of / deref: structs and pointers coincide here
+            return operand
+        raise InterpError(f"unknown unary operator {instr.op!r}")
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+
+    def _read(self, value: Value, env: Dict[Value, Any]) -> Any:
+        if isinstance(value, Const):
+            return value.value
+        if isinstance(value, StrConst):
+            return value.text
+        if isinstance(value, Temp):
+            return env.get(value, 0)
+        if isinstance(value, Var):
+            if value in env:
+                return env[value]
+            if value.name in self.globals:
+                return self.globals[value.name]
+            if self._is_global(value.name):
+                self.globals[value.name] = 0
+                return 0
+            return env.setdefault(value, 0)
+        raise InterpError(f"cannot read {value!r}")
+
+    def _write(self, dst: Value, value: Any, env: Dict[Value, Any]) -> None:
+        if isinstance(dst, Var) and (dst.name in self.globals
+                                     or self._is_global(dst.name)):
+            self.globals[dst.name] = value
+            return
+        env[dst] = value
+
+    def _is_global(self, name: str) -> bool:
+        # Anything not a parameter/local of some function and known at
+        # module scope is treated as a global; the corpus declares its
+        # globals, and locals shadow via env-first reads.
+        return name in self._global_names()
+
+    def _global_names(self):
+        cached = getattr(self, "_globals_cache", None)
+        if cached is None:
+            cached = set()
+            for func in self.module.functions.values():
+                local = set(func.params)
+                for instr in func.instructions():
+                    for v in list(instr.defs()) + list(instr.uses()):
+                        if isinstance(v, Var) and v.name not in local:
+                            cached.add(v.name)
+            self._globals_cache = cached
+        return cached
+
+    def _struct_of(self, value: Any, instr) -> StructVal:
+        if isinstance(value, StructVal):
+            return value
+        if value == 0 or value is None:
+            # lazily materialize globals like `fs_param`
+            fresh = StructVal(getattr(instr, "struct", "?"))
+            base = instr.base
+            if isinstance(base, Var):
+                self.globals[base.name] = fresh
+            return fresh
+        raise InterpError(f"field access on non-struct {value!r}")
+
+
+@dataclass
+class _Return:
+    value: Any
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, StructVal):
+        return True
+    return bool(value)
+
+
+def _binop(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise InterpError("division by zero")
+        return int(left / right) if (left < 0) != (right < 0) else left // right
+    if op == "%":
+        if right == 0:
+            raise InterpError("modulo by zero")
+        return left - right * int(left / right)
+    if op == "<":
+        return 1 if left < right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "&&":
+        return 1 if _truthy(left) and _truthy(right) else 0
+    if op == "||":
+        return 1 if _truthy(left) or _truthy(right) else 0
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return left << right
+    if op == ">>":
+        return left >> right
+    raise InterpError(f"unknown binary operator {op!r}")
+
+
+def _index_get(container: Any, index: Any) -> Any:
+    if isinstance(container, list):
+        return container[index] if 0 <= index < len(container) else 0
+    if isinstance(container, str):
+        return ord(container[index]) if 0 <= index < len(container) else 0
+    if container == 0 or container is None:
+        return 0
+    raise InterpError(f"indexing non-container {container!r}")
+
+
+def _index_set(container: Any, index: Any, value: Any) -> None:
+    if isinstance(container, list):
+        while len(container) <= index:
+            container.append(0)
+        container[index] = value
+        return
+    if container == 0 or container is None:
+        return  # writes through an unmaterialized array are dropped
+    raise InterpError(f"index-store into non-container {container!r}")

@@ -1,0 +1,294 @@
+"""Tokenizer for the mini-C subset, with object-like ``#define`` macros.
+
+Macros are expanded at the token level: ``#define NAME tokens...``
+records the replacement tokens, and later uses of ``NAME`` splice them
+in.  Expanded tokens remember the macro name in ``Token.macro`` — the
+analyzer uses this to recognize feature-bit constants like
+``EXT2_FEATURE_COMPAT_SPARSE_SUPER2`` even after substitution.
+``#include`` lines are skipped (the corpus is self-contained).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "int", "unsigned", "long", "short", "char", "void", "float", "double",
+    "struct", "union", "enum", "typedef", "static", "const", "extern",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "switch", "case", "default", "sizeof", "goto",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "?", ":", ",", ";", ".", "(", ")", "{", "}", "[", "]",
+]
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    STRING = "string"
+    CHAR = "char"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass
+class Token:
+    """One lexical token with position and macro origin."""
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+    value: Optional[int] = None  # numeric value for INT tokens
+    macro: Optional[str] = None  # macro this token came from, if any
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.col})"
+
+
+@dataclass
+class MacroDef:
+    """One object-like #define and its replacement tokens."""
+    name: str
+    tokens: List[Token]
+    line: int
+
+
+class Lexer:
+    """Tokenize one translation unit."""
+
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.macros: Dict[str, MacroDef] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        """Return all tokens with macros expanded, ending in EOF."""
+        raw = self._raw_tokens()
+        expanded = self._expand(raw)
+        expanded.append(Token(TokenKind.EOF, "", self.line, self.col))
+        return expanded
+
+    # ------------------------------------------------------------------
+    # raw scanning
+    # ------------------------------------------------------------------
+
+    def _raw_tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            self._skip_space_and_comments()
+            if self.pos >= len(self.source):
+                return out
+            ch = self.source[self.pos]
+            if ch == "#":
+                self._directive(out)
+                continue
+            token = self._next_token()
+            out.append(token)
+
+    def _skip_space_and_comments(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r":
+                self._advance(1)
+            elif ch == "\n":
+                self._advance(1)
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance(1)
+            elif src.startswith("/*", self.pos):
+                end = src.find("*/", self.pos + 2)
+                if end == -1:
+                    raise LexError("unterminated block comment", self.filename, self.line, self.col)
+                self._advance_to(end + 2)
+            else:
+                return
+
+    def _directive(self, out: List[Token]) -> None:
+        """Handle one preprocessor line (#define, #include, #if 0 ... )."""
+        line_start = self.line
+        text = self._take_logical_line()
+        body = text[1:].strip()
+        if body.startswith("include"):
+            return  # corpus is self-contained
+        if body.startswith("define"):
+            rest = body[len("define"):].strip()
+            if not rest:
+                raise LexError("empty #define", self.filename, line_start, 1)
+            name_end = 0
+            while name_end < len(rest) and (rest[name_end].isalnum() or rest[name_end] == "_"):
+                name_end += 1
+            name = rest[:name_end]
+            if name_end < len(rest) and rest[name_end] == "(":
+                raise LexError(
+                    f"function-like macro {name!r} not supported",
+                    self.filename, line_start, 1,
+                )
+            replacement = rest[name_end:].strip()
+            sub = Lexer(replacement, self.filename)
+            sub.line = line_start
+            tokens = sub._raw_tokens()
+            for t in tokens:
+                t.macro = name
+            self.macros[name] = MacroDef(name, tokens, line_start)
+            return
+        if body.startswith(("ifdef", "ifndef", "endif", "undef", "pragma", "if", "else", "elif")):
+            return  # tolerated and ignored (corpus avoids conditional code)
+        raise LexError(f"unsupported directive {text.split()[0]!r}", self.filename, line_start, 1)
+
+    def _take_logical_line(self) -> str:
+        """Consume to end of line, honouring backslash continuations."""
+        start = self.pos
+        src = self.source
+        while self.pos < len(src):
+            if src[self.pos] == "\\" and self.pos + 1 < len(src) and src[self.pos + 1] == "\n":
+                self._advance(2)
+                continue
+            if src[self.pos] == "\n":
+                break
+            self._advance(1)
+        text = src[start:self.pos].replace("\\\n", " ")
+        return text
+
+    def _next_token(self) -> Token:
+        src = self.source
+        ch = src[self.pos]
+        line, col = self.line, self.col
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self.pos < len(src) and (src[self.pos].isalnum() or src[self.pos] == "_"):
+                self._advance(1)
+            text = src[start:self.pos]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, line, col)
+        if ch.isdigit():
+            return self._number(line, col)
+        if ch == '"':
+            return self._string(line, col)
+        if ch == "'":
+            return self._char(line, col)
+        for op in _OPERATORS:
+            if src.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OP, op, line, col)
+        raise LexError(f"unexpected character {ch!r}", self.filename, line, col)
+
+    def _number(self, line: int, col: int) -> Token:
+        src = self.source
+        start = self.pos
+        if src.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while self.pos < len(src) and src[self.pos] in "0123456789abcdefABCDEF":
+                self._advance(1)
+            text = src[start:self.pos]
+            value = int(text, 16)
+        else:
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance(1)
+            text = src[start:self.pos]
+            value = int(text)
+        # integer suffixes (UL, LL, ...) are accepted and ignored
+        while self.pos < len(src) and src[self.pos] in "uUlL":
+            text += src[self.pos]
+            self._advance(1)
+        return Token(TokenKind.INT, text, line, col, value=value)
+
+    def _string(self, line: int, col: int) -> Token:
+        src = self.source
+        self._advance(1)
+        start = self.pos
+        out = []
+        while self.pos < len(src) and src[self.pos] != '"':
+            if src[self.pos] == "\\" and self.pos + 1 < len(src):
+                out.append(src[self.pos:self.pos + 2])
+                self._advance(2)
+            else:
+                out.append(src[self.pos])
+                self._advance(1)
+        if self.pos >= len(src):
+            raise LexError("unterminated string literal", self.filename, line, col)
+        self._advance(1)
+        return Token(TokenKind.STRING, "".join(out), line, col)
+
+    def _char(self, line: int, col: int) -> Token:
+        src = self.source
+        self._advance(1)
+        if self.pos >= len(src):
+            raise LexError("unterminated character literal", self.filename, line, col)
+        if src[self.pos] == "\\":
+            escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, "r": 13}
+            esc = src[self.pos + 1]
+            if esc not in escapes:
+                raise LexError(f"unknown escape \\{esc}", self.filename, line, col)
+            value = escapes[esc]
+            text = "\\" + esc
+            self._advance(2)
+        else:
+            value = ord(src[self.pos])
+            text = src[self.pos]
+            self._advance(1)
+        if self.pos >= len(src) or src[self.pos] != "'":
+            raise LexError("unterminated character literal", self.filename, line, col)
+        self._advance(1)
+        return Token(TokenKind.CHAR, text, line, col, value=value)
+
+    # ------------------------------------------------------------------
+    # macro expansion
+    # ------------------------------------------------------------------
+
+    def _expand(self, tokens: List[Token], active: Optional[frozenset] = None) -> List[Token]:
+        """Recursively expand macros; re-expansion of an active macro stops."""
+        active = active or frozenset()
+        out: List[Token] = []
+        for token in tokens:
+            name = token.text
+            if token.kind is TokenKind.IDENT and name in self.macros and name not in active:
+                macro = self.macros[name]
+                inner = self._expand(macro.tokens, active | {name})
+                for repl in inner:
+                    out.append(Token(repl.kind, repl.text, token.line, token.col,
+                                     value=repl.value, macro=repl.macro or name))
+            else:
+                out.append(token)
+        return out
+
+    # ------------------------------------------------------------------
+    # position tracking
+    # ------------------------------------------------------------------
+
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _advance_to(self, pos: int) -> None:
+        self._advance(pos - self.pos)
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` with macro expansion."""
+    return Lexer(source, filename).tokenize()

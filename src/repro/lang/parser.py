@@ -1,0 +1,610 @@
+"""Recursive-descent parser for the mini-C subset.
+
+Produces the AST of :mod:`repro.lang.ast_nodes`.  The accepted grammar
+covers everything the modelled corpus uses: struct/enum/typedef
+declarations, functions, the full statement set (including ``switch``
+and ``do``/``while``), and C expressions with standard precedence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.types import CType
+
+_TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "float", "double",
+                  "unsigned", "signed", "struct", "union", "const", "static",
+                  "extern", "enum"}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parse one translation unit."""
+
+    def __init__(self, tokens: List[Token], filename: str = "<input>") -> None:
+        self.tokens = tokens
+        self.filename = filename
+        self.pos = 0
+        self.typedef_names: Set[str] = set()
+        self.enum_constants: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        token = self._peek()
+        return token.text == text and token.kind in (TokenKind.OP, TokenKind.KEYWORD)
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._next()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if not self._check(text):
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}",
+                self.filename, token.line, token.col,
+            )
+        return self._next()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {token.text!r}",
+                self.filename, token.line, token.col,
+            )
+        return self._next()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, self.filename, token.line, token.col)
+
+    # ------------------------------------------------------------------
+    # translation unit
+    # ------------------------------------------------------------------
+
+    def parse_unit(self) -> A.TranslationUnit:
+        """Parse the token stream into a TranslationUnit."""
+        unit = A.TranslationUnit(self.filename)
+        while self._peek().kind is not TokenKind.EOF:
+            self._parse_top_level(unit)
+        return unit
+
+    def _parse_top_level(self, unit: A.TranslationUnit) -> None:
+        token = self._peek()
+        if self._check("typedef"):
+            unit.typedefs.append(self._parse_typedef())
+            return
+        if self._check("enum") and self._peek_is_decl_of("enum"):
+            unit.enums.append(self._parse_enum_decl())
+            return
+        if self._check("struct") and self._peek_is_decl_of("struct"):
+            unit.structs.append(self._parse_struct_decl())
+            return
+        # function or global variable
+        static = False
+        while self._check("static") or self._check("extern") or self._check("const"):
+            if self._peek().text == "static":
+                static = True
+            self._next()
+        ctype = self._parse_type_spec()
+        while self._accept("*"):
+            ctype = ctype.pointer_to()
+        name_token = self._expect_ident()
+        if self._check("("):
+            unit.functions.append(self._parse_function(ctype, name_token, static))
+            return
+        array = None
+        if self._accept("["):
+            size_token = self._peek()
+            if size_token.kind is TokenKind.INT:
+                self._next()
+                array = size_token.value
+            self._expect("]")
+        init = None
+        if self._accept("="):
+            init = self._parse_assignment()
+        self._expect(";")
+        gtype = CType(ctype.base, ctype.unsigned, ctype.struct_name, ctype.pointer,
+                      array, ctype.typedef_name)
+        unit.globals.append(A.GlobalVar(name_token.text, gtype, init, name_token.line))
+
+    def _peek_is_decl_of(self, keyword: str) -> bool:
+        """True when 'struct X { ... } ;' style declaration (not a variable)."""
+        offset = 1
+        if self._peek(offset).kind is TokenKind.IDENT:
+            offset += 1
+        return self._peek(offset).text == "{"
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def _parse_typedef(self) -> A.Typedef:
+        start = self._expect("typedef")
+        ctype = self._parse_type_spec()
+        while self._accept("*"):
+            ctype = ctype.pointer_to()
+        name = self._expect_ident()
+        self._expect(";")
+        self.typedef_names.add(name.text)
+        td = A.Typedef(name.text, ctype, start.line)
+        self._typedefs = getattr(self, "_typedefs", {})
+        self._typedefs[name.text] = ctype
+        return td
+
+    def _parse_struct_decl(self) -> A.StructDecl:
+        start = self._expect("struct")
+        name = self._expect_ident()
+        self._expect("{")
+        fields: List[A.StructField] = []
+        while not self._check("}"):
+            base = self._parse_type_spec()
+            while True:
+                ftype = base
+                while self._accept("*"):
+                    ftype = ftype.pointer_to()
+                fname = self._expect_ident()
+                if self._accept("["):
+                    size_token = self._next()
+                    if size_token.kind is not TokenKind.INT:
+                        raise self._error("array size must be an integer literal")
+                    ftype = CType(ftype.base, ftype.unsigned, ftype.struct_name,
+                                  ftype.pointer, size_token.value, ftype.typedef_name)
+                    self._expect("]")
+                fields.append(A.StructField(fname.text, ftype, fname.line))
+                if not self._accept(","):
+                    break
+            self._expect(";")
+        self._expect("}")
+        self._expect(";")
+        return A.StructDecl(name.text, fields, start.line)
+
+    def _parse_enum_decl(self) -> A.EnumDecl:
+        start = self._expect("enum")
+        name = None
+        if self._peek().kind is TokenKind.IDENT:
+            name = self._next().text
+        self._expect("{")
+        members: List[Tuple[str, int]] = []
+        next_value = 0
+        while not self._check("}"):
+            member = self._expect_ident()
+            if self._accept("="):
+                value_token = self._next()
+                if value_token.kind is not TokenKind.INT:
+                    raise self._error("enum value must be an integer literal")
+                next_value = value_token.value
+            members.append((member.text, next_value))
+            self.enum_constants.add(member.text)
+            next_value += 1
+            if not self._accept(","):
+                break
+        self._expect("}")
+        self._expect(";")
+        return A.EnumDecl(name, members, start.line)
+
+    def _parse_function(self, return_type: CType, name_token: Token, static: bool) -> A.FunctionDef:
+        self._expect("(")
+        params: List[A.Param] = []
+        if not self._check(")"):
+            if self._check("void") and self._peek(1).text == ")":
+                self._next()
+            else:
+                while True:
+                    ptype = self._parse_type_spec()
+                    while self._accept("*"):
+                        ptype = ptype.pointer_to()
+                    pname = self._expect_ident()
+                    if self._accept("["):
+                        self._expect("]")
+                        ptype = ptype.pointer_to()
+                    params.append(A.Param(pname.text, ptype))
+                    if not self._accept(","):
+                        break
+        self._expect(")")
+        if self._accept(";"):
+            return A.FunctionDef(name_token.text, return_type, params, None,
+                                 name_token.line, static)
+        body = self._parse_block()
+        return A.FunctionDef(name_token.text, return_type, params, body,
+                             name_token.line, static)
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def _starts_type(self) -> bool:
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
+            return True
+        return token.kind is TokenKind.IDENT and token.text in self.typedef_names
+
+    def _parse_type_spec(self) -> CType:
+        while self._check("const") or self._check("static") or self._check("extern"):
+            self._next()
+        unsigned = False
+        if self._accept("unsigned"):
+            unsigned = True
+        elif self._accept("signed"):
+            pass
+        token = self._peek()
+        if token.text == "struct" or token.text == "union":
+            self._next()
+            name = self._expect_ident()
+            return CType("struct", struct_name=name.text)
+        if token.text == "enum":
+            self._next()
+            self._expect_ident()
+            return CType("int")
+        if token.kind is TokenKind.KEYWORD and token.text in (
+            "void", "char", "short", "int", "long", "float", "double"
+        ):
+            base = self._next().text
+            if base == "long" and self._accept("long"):
+                pass
+            if base in ("short", "long") and self._accept("int"):
+                pass
+            if base == "short":
+                base = "short"
+            return CType(base if base != "signed" else "int", unsigned)
+        if token.kind is TokenKind.IDENT and token.text in self.typedef_names:
+            self._next()
+            resolved = getattr(self, "_typedefs", {}).get(token.text)
+            if resolved is not None:
+                return CType(resolved.base, resolved.unsigned or unsigned,
+                             resolved.struct_name, resolved.pointer,
+                             resolved.array, token.text)
+            return CType("int", unsigned, typedef_name=token.text)
+        if unsigned:
+            return CType("int", True)
+        raise self._error(f"expected a type, found {token.text!r}")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> A.Block:
+        start = self._expect("{")
+        statements: List[A.Stmt] = []
+        while not self._check("}"):
+            statements.append(self._parse_statement())
+        self._expect("}")
+        return A.Block(start.line, statements)
+
+    def _parse_statement(self) -> A.Stmt:
+        token = self._peek()
+        if self._check("{"):
+            return self._parse_block()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            return self._parse_while()
+        if self._check("do"):
+            return self._parse_do_while()
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("switch"):
+            return self._parse_switch()
+        if self._check("return"):
+            self._next()
+            value = None
+            if not self._check(";"):
+                value = self._parse_expression()
+            self._expect(";")
+            return A.Return(token.line, value)
+        if self._check("break"):
+            self._next()
+            self._expect(";")
+            return A.Break(token.line)
+        if self._check("continue"):
+            self._next()
+            self._expect(";")
+            return A.Continue(token.line)
+        if self._check("goto"):
+            self._next()
+            label = self._expect_ident()
+            self._expect(";")
+            return A.Goto(token.line, label.text)
+        if (token.kind is TokenKind.IDENT and self._peek(1).text == ":"
+                and self._peek(2).text != ":"):
+            self._next()
+            self._next()
+            return A.Label(token.line, token.text)
+        if self._starts_type():
+            return self._parse_var_decl()
+        if self._accept(";"):
+            return A.Block(token.line, [])
+        expr = self._parse_expression()
+        self._expect(";")
+        return A.ExprStmt(token.line, expr)
+
+    def _parse_var_decl(self) -> A.Stmt:
+        token = self._peek()
+        base = self._parse_type_spec()
+        decls: List[A.Stmt] = []
+        while True:
+            ctype = base
+            while self._accept("*"):
+                ctype = ctype.pointer_to()
+            name = self._expect_ident()
+            if self._accept("["):
+                size_token = self._peek()
+                array = None
+                if size_token.kind is TokenKind.INT:
+                    self._next()
+                    array = size_token.value
+                self._expect("]")
+                ctype = CType(ctype.base, ctype.unsigned, ctype.struct_name,
+                              ctype.pointer, array, ctype.typedef_name)
+            init = None
+            if self._accept("="):
+                init = self._parse_assignment()
+            decls.append(A.VarDecl(name.line, name.text, ctype, init))
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return A.Block(token.line, decls)
+
+    def _parse_if(self) -> A.If:
+        start = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept("else"):
+            otherwise = self._parse_statement()
+        return A.If(start.line, cond, then, otherwise)
+
+    def _parse_while(self) -> A.While:
+        start = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return A.While(start.line, cond, body, do_while=False)
+
+    def _parse_do_while(self) -> A.While:
+        start = self._expect("do")
+        body = self._parse_statement()
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        self._expect(";")
+        return A.While(start.line, cond, body, do_while=True)
+
+    def _parse_for(self) -> A.For:
+        start = self._expect("for")
+        self._expect("(")
+        init: Optional[A.Stmt] = None
+        if not self._check(";"):
+            if self._starts_type():
+                init = self._parse_var_decl()
+            else:
+                expr = self._parse_expression()
+                self._expect(";")
+                init = A.ExprStmt(start.line, expr)
+        else:
+            self._expect(";")
+        if isinstance(init, A.VarDecl) or isinstance(init, A.Block):
+            pass  # _parse_var_decl consumed the ';'
+        cond = None
+        if not self._check(";"):
+            cond = self._parse_expression()
+        self._expect(";")
+        step = None
+        if not self._check(")"):
+            step = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return A.For(start.line, init, cond, step, body)
+
+    def _parse_switch(self) -> A.Switch:
+        start = self._expect("switch")
+        self._expect("(")
+        subject = self._parse_expression()
+        self._expect(")")
+        self._expect("{")
+        cases: List[A.SwitchCase] = []
+        while not self._check("}"):
+            token = self._peek()
+            if self._accept("case"):
+                value = self._parse_ternary()
+                self._expect(":")
+                cases.append(A.SwitchCase(value, [], token.line))
+            elif self._accept("default"):
+                self._expect(":")
+                cases.append(A.SwitchCase(None, [], token.line))
+            else:
+                if not cases:
+                    raise self._error("statement before first case label")
+                cases[-1].body.append(self._parse_statement())
+        self._expect("}")
+        return A.Switch(start.line, subject, cases)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing, C order)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> A.Expr:
+        expr = self._parse_assignment()
+        while self._accept(","):
+            right = self._parse_assignment()
+            expr = A.Binary(expr.line, ",", expr, right)
+        return expr
+
+    def _parse_assignment(self) -> A.Expr:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.kind is TokenKind.OP and token.text in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assignment()
+            return A.Assign(left.line, token.text, left, value)
+        return left
+
+    def _parse_ternary(self) -> A.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("?"):
+            then = self._parse_assignment()
+            self._expect(":")
+            otherwise = self._parse_assignment()
+            return A.Ternary(cond.line, cond, then, otherwise)
+        return cond
+
+    _BINARY_LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> A.Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self._parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        expr = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OP and token.text in ops:
+                self._next()
+                right = self._parse_binary(level + 1)
+                expr = A.Binary(expr.line, token.text, expr, right)
+            else:
+                return expr
+
+    def _parse_unary(self) -> A.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.OP:
+            if token.text in ("!", "~", "-", "+"):
+                self._next()
+                operand = self._parse_unary()
+                if token.text == "+":
+                    return operand
+                return A.Unary(token.line, token.text, operand)
+            if token.text in ("++", "--"):
+                self._next()
+                operand = self._parse_unary()
+                return A.Unary(token.line, token.text, operand, prefix=True)
+            if token.text == "&":
+                self._next()
+                operand = self._parse_unary()
+                return A.AddressOf(token.line, operand)
+            if token.text == "*":
+                self._next()
+                operand = self._parse_unary()
+                return A.Deref(token.line, operand)
+            if token.text == "(" and self._is_cast():
+                self._next()
+                ctype = self._parse_type_spec()
+                while self._accept("*"):
+                    ctype = ctype.pointer_to()
+                self._expect(")")
+                operand = self._parse_unary()
+                return A.Cast(token.line, ctype, operand)
+        if self._check("sizeof"):
+            self._next()
+            self._expect("(")
+            if self._starts_type():
+                ctype = self._parse_type_spec()
+                while self._accept("*"):
+                    ctype = ctype.pointer_to()
+                self._expect(")")
+                return A.SizeOf(token.line, ctype, None)
+            operand = self._parse_expression()
+            self._expect(")")
+            return A.SizeOf(token.line, None, operand)
+        return self._parse_postfix()
+
+    def _is_cast(self) -> bool:
+        """Lookahead: '(' type-spec '*'* ')' followed by a unary start."""
+        if self._peek().text != "(":
+            return False
+        nxt = self._peek(1)
+        if nxt.kind is TokenKind.KEYWORD and nxt.text in _TYPE_KEYWORDS - {"const", "static", "extern"}:
+            return True
+        return nxt.kind is TokenKind.IDENT and nxt.text in self.typedef_names
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if self._accept("."):
+                name = self._expect_ident()
+                expr = A.Member(token.line, expr, name.text, arrow=False)
+            elif self._accept("->"):
+                name = self._expect_ident()
+                expr = A.Member(token.line, expr, name.text, arrow=True)
+            elif self._accept("["):
+                index = self._parse_expression()
+                self._expect("]")
+                expr = A.Index(token.line, expr, index)
+            elif token.text in ("++", "--") and token.kind is TokenKind.OP:
+                self._next()
+                expr = A.Unary(token.line, token.text, expr, prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> A.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._next()
+            return A.IntLit(token.line, token.value, token.macro)
+        if token.kind is TokenKind.CHAR:
+            self._next()
+            return A.IntLit(token.line, token.value, token.macro)
+        if token.kind is TokenKind.STRING:
+            self._next()
+            return A.StrLit(token.line, token.text)
+        if token.kind is TokenKind.IDENT:
+            self._next()
+            if self._check("("):
+                self._next()
+                args: List[A.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return A.Call(token.line, token.text, args)
+            return A.Ident(token.line, token.text)
+        if self._accept("("):
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+
+def parse(source: str, filename: str = "<input>") -> A.TranslationUnit:
+    """Tokenize and parse ``source`` into a translation unit."""
+    tokens = tokenize(source, filename)
+    return Parser(tokens, filename).parse_unit()

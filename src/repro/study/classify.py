@@ -1,0 +1,123 @@
+"""Classification tallies over the bug dataset (Tables 3 and 4).
+
+Table 3 counts, per usage scenario, how many bug cases involve each
+dependency category (SD / CPD / CCD).  Table 4 counts the *unique*
+critical dependencies per sub-kind across the whole dataset, marking
+which sub-kinds were observed at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.model import Category, SubKind
+from repro.study.patches import (
+    BugPatch,
+    SCENARIO_NAMES,
+    load_dataset,
+    unique_dependencies,
+)
+
+
+@dataclass
+class ScenarioRow:
+    """One row of Table 3."""
+
+    scenario: str
+    bug_count: int
+    sd_bugs: int
+    cpd_bugs: int
+    ccd_bugs: int
+
+    def pct(self, count: int) -> float:
+        """``count`` as a percentage of this row's bugs."""
+        if not self.bug_count:
+            return 0.0
+        return 100.0 * count / self.bug_count
+
+
+@dataclass
+class TaxonomyRow:
+    """One row of Table 4."""
+
+    kind: SubKind
+    description: str
+    observed: bool
+    count: int
+
+
+_DESCRIPTIONS: Dict[SubKind, str] = {
+    SubKind.SD_DATA_TYPE: "parameter P must be of a specific data type",
+    SubKind.SD_VALUE_RANGE: "P must be within a specific value range",
+    SubKind.CPD_CONTROL: "P1 of C1 can be enabled iff P2 of C1 is enabled/disabled",
+    SubKind.CPD_VALUE: "P1's value depends on P2's value",
+    SubKind.CCD_CONTROL: "P1 of C1 can be enabled iff P2 of C2 is enabled/disabled",
+    SubKind.CCD_VALUE: "P1's value depends on P2 from another component",
+    SubKind.CCD_BEHAVIORAL: "component C1's behavior depends on P2 of C2",
+}
+
+
+def scenario_table(bugs: Optional[List[BugPatch]] = None) -> List[ScenarioRow]:
+    """Rows of Table 3 (plus callers usually append the Total row)."""
+    bugs = bugs if bugs is not None else load_dataset()
+    rows: List[ScenarioRow] = []
+    for name in SCENARIO_NAMES:
+        scenario_bugs = [b for b in bugs if b.scenario == name]
+        rows.append(ScenarioRow(
+            scenario=name,
+            bug_count=len(scenario_bugs),
+            sd_bugs=_bugs_with(scenario_bugs, Category.SD),
+            cpd_bugs=_bugs_with(scenario_bugs, Category.CPD),
+            ccd_bugs=_bugs_with(scenario_bugs, Category.CCD),
+        ))
+    return rows
+
+
+def total_row(rows: List[ScenarioRow]) -> ScenarioRow:
+    """The Total row of Table 3."""
+    return ScenarioRow(
+        scenario="Total",
+        bug_count=sum(r.bug_count for r in rows),
+        sd_bugs=sum(r.sd_bugs for r in rows),
+        cpd_bugs=sum(r.cpd_bugs for r in rows),
+        ccd_bugs=sum(r.ccd_bugs for r in rows),
+    )
+
+
+def _bugs_with(bugs: List[BugPatch], category: Category) -> int:
+    return sum(
+        1 for b in bugs if any(d.kind.category is category for d in b.deps)
+    )
+
+
+def taxonomy_table(bugs: Optional[List[BugPatch]] = None) -> List[TaxonomyRow]:
+    """Rows of Table 4: unique dependency counts per sub-kind.
+
+    The two "Value" sub-kinds are listed as unobserved (the paper keeps
+    them in the taxonomy for completeness, based on the literature).
+    """
+    bugs = bugs if bugs is not None else load_dataset()
+    uniq = unique_dependencies(bugs)
+    counts: Dict[SubKind, int] = {}
+    for dep in uniq.values():
+        counts[dep.kind] = counts.get(dep.kind, 0) + 1
+    rows: List[TaxonomyRow] = []
+    for kind in (SubKind.SD_DATA_TYPE, SubKind.SD_VALUE_RANGE,
+                 SubKind.CPD_CONTROL, SubKind.CPD_VALUE,
+                 SubKind.CCD_CONTROL, SubKind.CCD_VALUE,
+                 SubKind.CCD_BEHAVIORAL):
+        count = counts.get(kind, 0)
+        rows.append(TaxonomyRow(
+            kind=kind,
+            description=_DESCRIPTIONS[kind],
+            observed=count > 0,
+            count=count,
+        ))
+    return rows
+
+
+def observed_subkinds(rows: Optional[List[TaxonomyRow]] = None) -> Tuple[int, int]:
+    """(observed sub-kinds, total sub-kinds) — the paper's "5/7"."""
+    rows = rows if rows is not None else taxonomy_table()
+    return sum(1 for r in rows if r.observed), len(rows)

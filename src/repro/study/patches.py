@@ -1,0 +1,298 @@
+"""The curated configuration-bug dataset (paper §3.1).
+
+67 bug records, each modelled on a real Ext4-ecosystem bug class and
+annotated with (a) the usage scenario it manifests in and (b) the
+*critical dependencies* that directly determine its manifestation.
+Counting unique dependencies across the dataset reproduces Table 4
+(33 SD data-type, 30 SD value-range, 4 CPD control, 1 CCD control,
+64 CCD behavioral — 132 total); counting per-scenario involvement
+reproduces Table 3.
+
+Dependency shorthand used in the records:
+
+- ``dt:component.param``       SD data type
+- ``rng:component.param``      SD value range
+- ``cpdc:a+b`` / ``cpdv:a+b``  CPD control / value
+- ``ccdc:a+b`` / ``ccdb:a+b``  CCD control / behavioral
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.model import SubKind
+from repro.errors import DatasetError
+
+#: Scenario names, aligned with Tables 3 and 5.
+SCENARIO_NAMES: Tuple[str, ...] = (
+    "mke2fs - mount - Ext4",
+    "mke2fs - mount - Ext4 - e4defrag",
+    "mke2fs - mount - Ext4 - umount - resize2fs",
+    "mke2fs - mount - Ext4 - umount - e2fsck",
+)
+
+_KIND_OF_TAG = {
+    "dt": SubKind.SD_DATA_TYPE,
+    "rng": SubKind.SD_VALUE_RANGE,
+    "cpdc": SubKind.CPD_CONTROL,
+    "cpdv": SubKind.CPD_VALUE,
+    "ccdc": SubKind.CCD_CONTROL,
+    "ccdb": SubKind.CCD_BEHAVIORAL,
+}
+
+
+@dataclass(frozen=True)
+class CriticalDependency:
+    """One critical dependency of one bug (study-level record)."""
+
+    kind: SubKind
+    params: Tuple[str, ...]
+
+    def key(self) -> str:
+        """Stable identity used for unique counting."""
+        return f"{self.kind.value}:{','.join(sorted(self.params))}"
+
+    @classmethod
+    def parse(cls, spec: str) -> "CriticalDependency":
+        """Parse the 'tag:params' shorthand into a record."""
+        tag, _, rest = spec.partition(":")
+        if tag not in _KIND_OF_TAG:
+            raise DatasetError(f"unknown dependency tag in {spec!r}")
+        params = tuple(rest.split("+"))
+        if not all("." in p for p in params):
+            raise DatasetError(f"malformed parameter list in {spec!r}")
+        return cls(_KIND_OF_TAG[tag], params)
+
+
+@dataclass(frozen=True)
+class BugPatch:
+    """One configuration-related bug patch."""
+
+    patch_id: str
+    title: str
+    scenario: str
+    year: int
+    commit: str
+    summary: str
+    deps: Tuple[CriticalDependency, ...]
+
+    def dep_categories(self) -> Tuple[str, ...]:
+        """The dependency categories this bug involves."""
+        return tuple(sorted({d.kind.category.value for d in self.deps}))
+
+
+# (scenario index 1-4, year, title, [dep specs])
+_RECORDS: List[Tuple[int, int, str, List[str]]] = [
+    # ------------------------------------------------------------------
+    # Scenario 1: mke2fs - mount - Ext4 (13 bugs)
+    # ------------------------------------------------------------------
+    (1, 2014, "mke2fs: bigalloc without extents creates unmountable filesystem",
+     ["cpdc:mke2fs.bigalloc+mke2fs.extent", "dt:mke2fs.cluster_size",
+      "rng:mke2fs.cluster_size", "ccdb:ext4.*+mke2fs.bigalloc"]),
+    (1, 2016, "ext4: -o dax mount crashes when block size differs from page size",
+     ["dt:mke2fs.blocksize", "rng:mke2fs.blocksize",
+      "ccdb:mount.dax+mke2fs.blocksize"]),
+    (1, 2015, "ext4: journal_checksum mount option oopses on no-journal filesystem",
+     ["dt:mount.commit", "ccdb:mount.journal_checksum+mke2fs.has_journal"]),
+    (1, 2013, "ext4: data=journal on journal-less image silently falls back and corrupts",
+     ["rng:mount.commit", "ccdb:mount.data+mke2fs.has_journal"]),
+    (1, 2017, "ext4: inline_data with 128-byte inodes loses directory entries",
+     ["dt:mke2fs.inode_size", "rng:mke2fs.inode_size",
+      "ccdb:ext4.*+mke2fs.inline_data"]),
+    (1, 2012, "ext4: mounting meta_bg image with stale resize_inode hint panics",
+     ["dt:mke2fs.blocks_per_group", "rng:mke2fs.blocks_per_group",
+      "ccdb:ext4.*+mke2fs.meta_bg"]),
+    (1, 2018, "ext4: journal_async_commit without on-disk journal checksum support",
+     ["dt:mount.barrier", "rng:mount.barrier",
+      "ccdb:mount.journal_async_commit+mke2fs.has_journal"]),
+    (1, 2019, "ext4: MMP update interval misread on mount stalls all writers",
+     ["dt:mount.stripe", "rng:mount.stripe", "ccdb:ext4.*+mke2fs.mmp"]),
+    (1, 2015, "ext4: flex_bg with single-group flex clusters divides by zero",
+     ["dt:mke2fs.number_of_groups", "rng:mke2fs.number_of_groups",
+      "ccdb:ext4.*+mke2fs.flex_bg"]),
+    (1, 2020, "ext4: quota feature mount ignores resuid reservation",
+     ["dt:mount.resuid", "rng:mount.resuid", "ccdb:ext4.*+mke2fs.quota"]),
+    (1, 2021, "ext4: casefold directory hash mismatch after strict-mode mount",
+     ["dt:mount.resgid", "rng:mount.resgid", "ccdb:ext4.*+mke2fs.casefold"]),
+    (1, 2016, "ext4: lazy inode-table init races with uninit_bg groups",
+     ["dt:mke2fs.lazy_itable_init", "rng:mke2fs.lazy_itable_init",
+      "ccdb:ext4.*+mke2fs.uninit_bg"]),
+    (1, 2014, "ext4: -o sb= accepts block numbers that are not backup superblocks",
+     ["dt:mount.sb", "rng:mount.sb", "ccdb:mount.sb+mke2fs.sparse_super"]),
+    # ------------------------------------------------------------------
+    # Scenario 2: + e4defrag (1 bug)
+    # ------------------------------------------------------------------
+    (2, 2013, "e4defrag: EOPNOTSUPP loop on files created without the extent feature",
+     ["dt:e4defrag.target", "ccdb:e4defrag.*+mke2fs.extent"]),
+    # ------------------------------------------------------------------
+    # Scenario 3: + umount + resize2fs (17 bugs)
+    # ------------------------------------------------------------------
+    (3, 2020, "resize2fs: expanding sparse_super2 filesystem corrupts free block counts",
+     ["dt:resize2fs.size", "rng:resize2fs.size",
+      "ccdb:resize2fs.*+mke2fs.sparse_super2",
+      "ccdb:resize2fs.size+mke2fs.fs_size"]),
+    (3, 2014, "resize2fs: growth past the reserved GDT area fails after moving blocks",
+     ["dt:mke2fs.resize_limit", "rng:mke2fs.stride",
+      "ccdb:resize2fs.size+mke2fs.resize_limit"]),
+    (3, 2012, "resize2fs: grow on filesystem without resize_inode corrupts group descriptors",
+     ["rng:resize2fs.size", "ccdb:resize2fs.size+mke2fs.resize_inode"]),
+    (3, 2016, "resize2fs: 16TiB boundary crossed without 64bit feature wraps block numbers",
+     ["dt:resize2fs.size", "ccdb:resize2fs.*+mke2fs.64bit"]),
+    (3, 2015, "resize2fs: shrink miscomputes minimum size for 1k block filesystems",
+     ["dt:mke2fs.fs_size", "rng:mke2fs.fs_size",
+      "ccdb:resize2fs.minimize+mke2fs.blocksize"]),
+    (3, 2018, "resize2fs: meta_bg descriptor relocation breaks on grow",
+     ["rng:resize2fs.size", "ccdb:resize2fs.*+mke2fs.meta_bg"]),
+    (3, 2013, "resize2fs: flex_bg metadata clusters scattered after expansion",
+     ["dt:resize2fs.debug_flags", "rng:resize2fs.debug_flags",
+      "ccdb:resize2fs.*+mke2fs.flex_bg"]),
+    (3, 2017, "resize2fs: bigalloc cluster accounting off by one on shrink",
+     ["rng:resize2fs.size", "ccdb:resize2fs.*+mke2fs.bigalloc"]),
+    (3, 2019, "resize2fs: -M underestimates inode table space with dense inode ratios",
+     ["dt:mke2fs.inode_ratio", "rng:mke2fs.inode_ratio",
+      "ccdb:resize2fs.minimize+mke2fs.inode_ratio"]),
+    (3, 2011, "resize2fs: -P prints wrong minimum with non-default reserved percent",
+     ["dt:mke2fs.reserved_percent", "rng:mke2fs.reserved_percent",
+      "ccdb:resize2fs.print_min_size+mke2fs.reserved_percent"]),
+    (3, 2014, "resize2fs: uninit_bg groups not initialized when grown into",
+     ["rng:resize2fs.size", "ccdb:resize2fs.*+mke2fs.uninit_bg"]),
+    (3, 2016, "resize2fs: MMP sequence not bumped during offline resize",
+     ["dt:resize2fs.stride", "rng:resize2fs.stride",
+      "ccdb:resize2fs.*+mke2fs.mmp"]),
+    (3, 2015, "resize2fs: RAID stride hint ignored when relocating block groups",
+     ["dt:mke2fs.stride", "rng:mke2fs.stripe_width",
+      "ccdb:resize2fs.stride+mke2fs.stride"]),
+    (3, 2020, "resize2fs: quota inodes not updated after shrink relocation",
+     ["rng:resize2fs.size", "ccdb:resize2fs.*+mke2fs.quota"]),
+    (3, 2018, "resize2fs: shrinking below first metadata checksum seed corrupts checksums",
+     ["dt:mke2fs.journal_size", "rng:mke2fs.journal_size",
+      "ccdb:resize2fs.*+mke2fs.metadata_csum"]),
+    (3, 2012, "resize2fs: revision-0 filesystems resized with dynamic-inode assumptions",
+     ["dt:mke2fs.revision", "rng:mke2fs.revision",
+      "ccdb:resize2fs.*+mke2fs.revision"]),
+    (3, 2019, "resize2fs: expansion ignores journal placement and overwrites it",
+     ["rng:resize2fs.size", "ccdb:resize2fs.*+mke2fs.has_journal"]),
+    # ------------------------------------------------------------------
+    # Scenario 4: + umount + e2fsck (36 bugs)
+    # ------------------------------------------------------------------
+    (4, 2018, "e2fsck: -p and -n together silently run destructive preen",
+     ["cpdc:e2fsck.no_changes+e2fsck.assume_yes", "dt:e2fsck.ea_ver",
+      "rng:e2fsck.ea_ver"]),
+    (4, 2014, "e2fsck: -B without -b probes superblocks at the wrong offsets",
+     ["cpdc:e2fsck.superblock+e2fsck.blocksize", "dt:e2fsck.blocksize",
+      "rng:e2fsck.blocksize"]),
+    (4, 2016, "e2fsck: -D with -n rewrites directories on a read-only check",
+     ["cpdc:e2fsck.optimize_dirs+e2fsck.no_changes", "dt:e2fsck.progress_fd",
+      "rng:e2fsck.progress_fd", "ccdb:e2fsck.*+mke2fs.dir_index"]),
+    (4, 2019, "e2fsck: preen answers conflict when both -a and -y are inherited from fstab",
+     ["cpdc:e2fsck.no_changes+e2fsck.assume_yes", "dt:e2fsck.superblock",
+      "rng:e2fsck.superblock", "ccdb:e2fsck.preen+mke2fs.has_journal"]),
+    (4, 2013, "e2fsck: -b picks sparse_super backup location on sparse_super2 image",
+     ["ccdc:e2fsck.superblock+mke2fs.sparse_super",
+      "rng:e2fsck.superblock", "ccdb:e2fsck.*+mke2fs.sparse_super2"]),
+    (4, 2015, "e2fsck: journal replay skipped on has_journal image with external journal flag",
+     ["dt:mke2fs.journal_size", "ccdb:e2fsck.*+mke2fs.has_journal"]),
+    (4, 2017, "e2fsck: metadata_csum verification reads uninitialized group checksums",
+     ["rng:mke2fs.blocksize", "ccdb:e2fsck.*+mke2fs.metadata_csum"]),
+    (4, 2012, "e2fsck: uninit_bg inode table scan reads past initialized region",
+     ["dt:mke2fs.inode_count", "ccdb:e2fsck.*+mke2fs.uninit_bg"]),
+    (4, 2020, "e2fsck: bigalloc cluster bitmap check uses block-sized strides",
+     ["rng:mke2fs.cluster_size", "ccdb:e2fsck.*+mke2fs.bigalloc"]),
+    (4, 2014, "e2fsck: extent tree depth check rejects valid deep trees",
+     ["dt:mke2fs.fs_size", "ccdb:e2fsck.*+mke2fs.extent"]),
+    (4, 2018, "e2fsck: inline_data inodes flagged as corrupt during pass 1",
+     ["rng:mke2fs.inode_size", "ccdb:e2fsck.*+mke2fs.inline_data"]),
+    (4, 2016, "e2fsck: htree index rebuild loses entries on dir_index filesystems",
+     ["dt:mke2fs.blocks_per_group", "ccdb:e2fsck.*+mke2fs.dir_index"]),
+    (4, 2021, "e2fsck: large_dir hash collisions trigger spurious pass-2 fixes",
+     ["rng:mke2fs.inode_ratio", "ccdb:e2fsck.*+mke2fs.large_dir"]),
+    (4, 2019, "e2fsck: casefold name check mangles non-UTF8 names",
+     ["dt:mke2fs.revision", "ccdb:e2fsck.*+mke2fs.casefold"]),
+    (4, 2020, "e2fsck: encrypted filename checks read beyond key-less entries",
+     ["rng:mke2fs.revision", "ccdb:e2fsck.*+mke2fs.encrypt"]),
+    (4, 2015, "e2fsck: quota inode rebuild drops project quota file",
+     ["dt:mke2fs.reserved_percent", "ccdb:e2fsck.*+mke2fs.quota"]),
+    (4, 2017, "e2fsck: project feature check crashes on pre-quota images",
+     ["rng:mke2fs.number_of_groups", "ccdb:e2fsck.*+mke2fs.project"]),
+    (4, 2013, "e2fsck: huge_file block accounting overflows 32-bit i_blocks",
+     ["dt:mke2fs.stripe_width", "ccdb:e2fsck.*+mke2fs.huge_file"]),
+    (4, 2011, "e2fsck: large_file flag cleared although 2GiB files exist",
+     ["rng:mke2fs.journal_size", "ccdb:e2fsck.*+mke2fs.large_file"]),
+    (4, 2014, "e2fsck: dir_nlink overflow check resets valid 65000+ link counts",
+     ["dt:mount.max_batch_time", "rng:mount.max_batch_time",
+      "ccdb:e2fsck.*+mke2fs.dir_nlink"]),
+    (4, 2018, "e2fsck: ea_inode reference counting double-frees shared xattrs",
+     ["dt:mount.min_batch_time", "rng:mount.min_batch_time",
+      "ccdb:e2fsck.*+mke2fs.ea_inode"]),
+    (4, 2016, "e2fsck: flex_bg bitmap placement heuristic flags valid layouts",
+     ["dt:mount.auto_da_alloc", "rng:mount.auto_da_alloc",
+      "ccdb:e2fsck.*+mke2fs.flex_bg"]),
+    (4, 2012, "e2fsck: meta_bg descriptor backup locations computed with classic layout",
+     ["dt:mount.journal_ioprio", "rng:mount.journal_ioprio",
+      "ccdb:e2fsck.*+mke2fs.meta_bg"]),
+    (4, 2019, "e2fsck: MMP block not re-validated after fix, locking out mounts",
+     ["rng:mke2fs.lazy_itable_init", "ccdb:e2fsck.*+mke2fs.mmp"]),
+    (4, 2021, "e2fsck: 64bit group descriptor size misparsed on mixed images",
+     ["dt:mke2fs.resize_limit", "ccdb:e2fsck.*+mke2fs.64bit"]),
+    (4, 2013, "e2fsck: sparse_super backup writeback clobbers data blocks",
+     ["rng:mke2fs.stride", "ccdb:e2fsck.*+mke2fs.sparse_super"]),
+    (4, 2015, "e2fsck: resize_inode repair recreates reserved GDT in wrong groups",
+     ["dt:mke2fs.number_of_groups", "ccdb:e2fsck.*+mke2fs.resize_inode"]),
+    (4, 2017, "e2fsck: filetype feature backfill writes wrong dirent types",
+     ["rng:mke2fs.blocks_per_group", "ccdb:e2fsck.*+mke2fs.filetype"]),
+    (4, 2014, "e2fsck: ext_attr block refcount fix leaks shared blocks",
+     ["dt:mke2fs.inode_ratio", "ccdb:e2fsck.*+mke2fs.ext_attr"]),
+    (4, 2020, "e2fsck: verity descriptor validation rejects final partial block",
+     ["rng:mke2fs.blocksize", "ccdb:e2fsck.*+mke2fs.verity"]),
+    (4, 2018, "e2fsck: journal size probe reads past a tiny -J size journal",
+     ["dt:mke2fs.blocksize", "ccdb:e2fsck.*+mke2fs.journal_size"]),
+    (4, 2016, "e2fsck: inode size extension check corrupts 128-byte inode tables",
+     ["rng:mke2fs.inode_size", "ccdb:e2fsck.*+mke2fs.inode_size"]),
+    (4, 2012, "e2fsck: block size probing loops on 1k-block images with backup -b",
+     ["dt:mount.sb", "ccdb:e2fsck.*+mke2fs.blocksize"]),
+    (4, 2019, "e2fsck: inode ratio heuristics misjudge badly fragmented small files",
+     ["rng:mke2fs.fs_size", "ccdb:e2fsck.*+mke2fs.inode_ratio"]),
+    (4, 2021, "e2fsck: -y on dirty journal replays transactions twice",
+     ["dt:mount.commit", "ccdb:e2fsck.assume_yes+mke2fs.metadata_csum"]),
+    (4, 2015, "e2fsck: preen mode skips orphan processing on journalled filesystems",
+     ["rng:mount.commit", "ccdb:e2fsck.preen+mke2fs.has_journal"]),
+]
+
+
+def _commit_hash(patch_id: str, title: str) -> str:
+    return hashlib.sha1(f"{patch_id}:{title}".encode()).hexdigest()[:12]
+
+
+def load_dataset() -> List[BugPatch]:
+    """Build and validate the 67-bug dataset."""
+    bugs: List[BugPatch] = []
+    for index, (scenario_idx, year, title, dep_specs) in enumerate(_RECORDS, 1):
+        patch_id = f"EXT4-CFG-{index:04d}"
+        deps = tuple(CriticalDependency.parse(spec) for spec in dep_specs)
+        if not deps:
+            raise DatasetError(f"{patch_id} has no critical dependencies")
+        if not any(d.kind.category.value == "SD" for d in deps):
+            raise DatasetError(f"{patch_id} lacks a self-dependency: {title}")
+        bugs.append(BugPatch(
+            patch_id=patch_id,
+            title=title,
+            scenario=SCENARIO_NAMES[scenario_idx - 1],
+            year=year,
+            commit=_commit_hash(patch_id, title),
+            summary=title,
+            deps=deps,
+        ))
+    if len(bugs) != 67:
+        raise DatasetError(f"dataset must hold 67 bugs, found {len(bugs)}")
+    return bugs
+
+
+def unique_dependencies(bugs: List[BugPatch]) -> Dict[str, CriticalDependency]:
+    """Unique critical dependencies across the dataset, keyed."""
+    out: Dict[str, CriticalDependency] = {}
+    for bug in bugs:
+        for dep in bug.deps:
+            out.setdefault(dep.key(), dep)
+    return out

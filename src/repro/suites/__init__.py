@@ -1,0 +1,14 @@
+"""Test-suite models and configuration-coverage computation (Table 2)."""
+
+from repro.suites.xfstest import XFSTEST_SUITE
+from repro.suites.e2fsprogs_test import E2FSCK_SUITE, RESIZE2FS_SUITE
+from repro.suites.coverage import CoverageRow, compute_coverage, coverage_table
+
+__all__ = [
+    "XFSTEST_SUITE",
+    "E2FSCK_SUITE",
+    "RESIZE2FS_SUITE",
+    "CoverageRow",
+    "compute_coverage",
+    "coverage_table",
+]

@@ -1,0 +1,38 @@
+"""Models of the e2fsprogs regression suite's configuration usage.
+
+The e2fsprogs tree ships test directories (``tests/f_*``, ``tests/r_*``)
+that run e2fsck and resize2fs against prepared images.  The models list
+the options those scripts actually pass (Table 2: 6 of >35 e2fsck
+parameters, 7 of >15 resize2fs parameters).
+"""
+
+from __future__ import annotations
+
+from repro.suites.xfstest import SuiteModel
+
+E2FSCK_SUITE = SuiteModel(
+    name="e2fsprogs-test",
+    target="e2fsck",
+    used=(
+        ("e2fsck", "preen_mode"),     # -p, ubiquitous in f_* tests
+        ("e2fsck", "assume_yes"),     # -y, second pass of every f_* test
+        ("e2fsck", "force"),          # -f
+        ("e2fsck", "no_changes"),     # -n, read-only checks
+        ("e2fsck", "superblock"),     # -b, backup superblock tests
+        ("e2fsck", "blocksize"),      # -B, paired with -b
+    ),
+)
+
+RESIZE2FS_SUITE = SuiteModel(
+    name="e2fsprogs-test",
+    target="resize2fs",
+    used=(
+        ("resize2fs", "size"),            # explicit sizes in r_* tests
+        ("resize2fs", "minimize"),        # -M
+        ("resize2fs", "progress"),        # -p
+        ("resize2fs", "force"),           # -f
+        ("resize2fs", "enable_64bit"),    # -b, r_64bit_big_expand
+        ("resize2fs", "disable_64bit"),   # -s
+        ("resize2fs", "print_min_size"),  # -P
+    ),
+)

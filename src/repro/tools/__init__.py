@@ -1,0 +1,22 @@
+"""The three dependency-consuming checkers of paper §4.2.
+
+- :mod:`repro.tools.condocck` — ConDocCk: manual/code inconsistency,
+- :mod:`repro.tools.conhandleck` — ConHandleCk: dependency-violation
+  robustness testing against the simulated ecosystem,
+- :mod:`repro.tools.conbugck` — ConBugCk: dependency-respecting
+  configuration generation that drives tests deep into the target.
+"""
+
+from repro.tools.condocck import ConDocCk, DocIssue
+from repro.tools.conhandleck import ConHandleCk, ViolationOutcome, ViolationReport
+from repro.tools.conbugck import ConBugCk, GeneratedConfig
+
+__all__ = [
+    "ConDocCk",
+    "DocIssue",
+    "ConHandleCk",
+    "ViolationOutcome",
+    "ViolationReport",
+    "ConBugCk",
+    "GeneratedConfig",
+]

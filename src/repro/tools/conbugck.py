@@ -1,0 +1,270 @@
+"""ConBugCk: dependency-respecting configuration generation (§4.2).
+
+ConBugCk is a plugin for test suites with limited configuration
+coverage: it replaces the configuration-loading logic and generates
+configuration states that satisfy the extracted multi-level
+dependencies, so the enhanced tests drive deep into the target code
+instead of dying on shallow validation errors.
+
+``generate`` produces dependency-respecting configurations,
+``generate_naive`` produces unconstrained random ones (the baseline),
+and ``drive`` executes either kind through the simulated ecosystem
+(mkfs → mount → use → umount → fsck), reporting how deep each
+configuration gets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.model import Category, Dependency, SubKind
+from repro.ecosystem.featureset import DEFAULT_EXT4_FEATURES, all_feature_names
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
+from repro.errors import ReproError
+from repro.fsimage.blockdev import BlockDevice
+
+#: Stages a driven configuration can reach.
+STAGES = ("mkfs", "mount", "use", "fsck-clean")
+
+
+@dataclass
+class GeneratedConfig:
+    """One configuration state for the create+mount pipeline."""
+
+    features: Tuple[str, ...]
+    blocksize: int
+    inode_size: int
+    inode_ratio: int
+    reserved_percent: int
+    mount_options: str
+
+    def mke2fs_args(self, fs_blocks: int) -> List[str]:
+        # "-O none" first: the generated feature set is complete, not a
+        # delta against mke2fs's defaults.
+        """The mke2fs argument vector for this configuration."""
+        spec = ["-O", "none"]
+        if self.features:
+            spec += ["-O", ",".join(self.features)]
+        return spec + [
+            "-b", str(self.blocksize),
+            "-I", str(self.inode_size),
+            "-i", str(self.inode_ratio),
+            "-m", str(self.reserved_percent),
+            str(fs_blocks),
+        ]
+
+
+@dataclass
+class DriveStats:
+    """How deep each driven configuration reached."""
+
+    total: int = 0
+    reached: Dict[str, int] = field(default_factory=lambda: {s: 0 for s in STAGES})
+    failures: List[str] = field(default_factory=list)
+
+    def depth_rate(self, stage: str) -> float:
+        """Fraction of configurations reaching ``stage``."""
+        return self.reached[stage] / self.total if self.total else 0.0
+
+
+class ConBugCk:
+    """Dependency-respecting configuration generator + driver."""
+
+    #: Numeric parameters ConBugCk samples, with power-of-two handling.
+    _POW2 = {"blocksize", "inode_size"}
+
+    def __init__(self, dependencies: Sequence[Dependency], seed: int = 2022) -> None:
+        self.dependencies = list(dependencies)
+        self.rng = random.Random(seed)
+        self._requires: List[Tuple[str, str]] = []
+        self._conflicts: List[Tuple[str, str]] = []
+        self._ranges: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        self._index_dependencies()
+
+    @classmethod
+    def from_extraction(cls, seed: int = 2022) -> "ConBugCk":
+        """Build from a fresh Table-5 extraction (validated deps only)."""
+        from repro.analysis.extractor import extract_all
+
+        return cls(extract_all().true_dependencies(), seed=seed)
+
+    def _index_dependencies(self) -> None:
+        feature_names = set(all_feature_names())
+        for dep in self.dependencies:
+            if dep.kind is SubKind.CPD_CONTROL and \
+                    dep.params[0].component == "mke2fs":
+                a, b = dep.params[0].name, dep.params[-1].name
+                if a in feature_names and b in feature_names:
+                    relation = dep.constraint_dict.get("relation")
+                    if relation == "requires":
+                        self._requires.append((a, b))
+                    else:
+                        self._conflicts.append((a, b))
+            elif dep.kind is SubKind.SD_VALUE_RANGE and \
+                    dep.params[0].component == "mke2fs":
+                cdict = dep.constraint_dict
+                self._ranges[dep.params[0].name] = (
+                    cdict.get("min"), cdict.get("max"))
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+
+    def generate(self, count: int) -> List[GeneratedConfig]:
+        """Generate ``count`` dependency-respecting configurations."""
+        return [self._generate_one() for _ in range(count)]
+
+    def _generate_one(self) -> GeneratedConfig:
+        features = self._sample_features()
+        blocksize = self._sample_pow2("blocksize", (1024, 2048, 4096))
+        inode_size = self._sample_pow2("inode_size", (128, 256, 512, 1024))
+        # CPD value: inode_size <= blocksize.
+        inode_size = min(inode_size, blocksize)
+        inode_ratio = self._sample_range("inode_ratio", default=(1024, 65536))
+        reserved = self._sample_range("reserved_percent", default=(0, 50))
+        mount_options = self._sample_mount_options(features)
+        return GeneratedConfig(
+            features=tuple(sorted(features)),
+            blocksize=blocksize,
+            inode_size=inode_size,
+            inode_ratio=inode_ratio,
+            reserved_percent=reserved,
+            mount_options=mount_options,
+        )
+
+    def _sample_features(self) -> Set[str]:
+        candidates = list(DEFAULT_EXT4_FEATURES) + [
+            "sparse_super2", "bigalloc", "inline_data", "metadata_csum",
+            "uninit_bg", "64bit", "quota", "project", "huge_file",
+            "dir_nlink", "ea_inode", "large_dir", "encrypt",
+            "casefold", "meta_bg",
+        ]
+        chosen = {f for f in candidates if self.rng.random() < 0.45}
+        return self._repair_features(chosen)
+
+    def _repair_features(self, chosen: Set[str]) -> Set[str]:
+        """Enforce the extracted requires/conflicts dependencies."""
+        for _ in range(10):
+            changed = False
+            for a, b in self._requires:
+                if a in chosen and b not in chosen:
+                    chosen.add(b)
+                    changed = True
+            for a, b in self._conflicts:
+                if a in chosen and b in chosen:
+                    chosen.discard(self.rng.choice((a, b)))
+                    changed = True
+            if not changed:
+                return chosen
+        raise ReproError("feature repair did not converge")
+
+    def _sample_pow2(self, name: str, choices: Tuple[int, ...]) -> int:
+        lo, hi = self._ranges.get(name, (None, None))
+        valid = [c for c in choices
+                 if (lo is None or c >= lo) and (hi is None or c <= hi)]
+        return self.rng.choice(valid or list(choices))
+
+    def _sample_range(self, name: str, default: Tuple[int, int]) -> int:
+        lo, hi = self._ranges.get(name, (None, None))
+        lo = lo if lo is not None else default[0]
+        hi = hi if hi is not None else default[1]
+        return self.rng.randint(lo, min(hi, default[1]))
+
+    def _sample_mount_options(self, features: Set[str]) -> str:
+        opts: List[str] = []
+        if self.rng.random() < 0.3:
+            opts.append("noatime")
+        if self.rng.random() < 0.3:
+            opts.append(f"commit={self.rng.randint(0, 900)}")
+        if self.rng.random() < 0.2 and "has_journal" in features:
+            # CPD: journal_async_commit requires journal_checksum.
+            opts.append("journal_checksum")
+            if self.rng.random() < 0.5:
+                opts.append("journal_async_commit")
+        if self.rng.random() < 0.2:
+            mode = self.rng.choice(("ordered", "writeback"))
+            opts.append(f"data={mode}")
+        if self.rng.random() < 0.2:
+            opts.append(f"journal_ioprio={self.rng.randint(0, 7)}")
+        return ",".join(opts)
+
+    # ------------------------------------------------------------------
+    # naive baseline
+    # ------------------------------------------------------------------
+
+    def generate_naive(self, count: int) -> List[GeneratedConfig]:
+        """Random configurations with no dependency awareness."""
+        out: List[GeneratedConfig] = []
+        feature_pool = list(all_feature_names())
+        for _ in range(count):
+            features = tuple(sorted(
+                f for f in feature_pool if self.rng.random() < 0.3))
+            opts: List[str] = []
+            if self.rng.random() < 0.4:
+                opts.append(f"commit={self.rng.randint(-100, 2000)}")
+            if self.rng.random() < 0.3:
+                opts.append("journal_async_commit")
+            if self.rng.random() < 0.3:
+                opts.append("data=journal")
+            if self.rng.random() < 0.2:
+                opts.append("noload")
+            out.append(GeneratedConfig(
+                features=features,
+                blocksize=self.rng.choice((512, 1024, 2048, 4096, 131072)),
+                inode_size=self.rng.choice((64, 128, 256, 8192)),
+                inode_ratio=self.rng.choice((256, 1024, 16384, 8388608)),
+                reserved_percent=self.rng.randint(0, 60),
+                mount_options=",".join(opts),
+            ))
+        return out
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def drive(self, configs: Sequence[GeneratedConfig],
+              fs_blocks: int = 512) -> DriveStats:
+        """Run each configuration through the full ecosystem pipeline."""
+        stats = DriveStats(total=len(configs))
+        for config in configs:
+            self._drive_one(config, fs_blocks, stats)
+        return stats
+
+    def _drive_one(self, config: GeneratedConfig, fs_blocks: int,
+                   stats: DriveStats) -> None:
+        try:
+            dev = BlockDevice(fs_blocks, config.blocksize)
+        except ValueError as exc:
+            stats.failures.append(f"device: {exc}")
+            return
+        try:
+            Mke2fs.from_args(config.mke2fs_args(fs_blocks)).run(dev)
+        except ReproError as exc:
+            stats.failures.append(f"mkfs: {exc}")
+            return
+        stats.reached["mkfs"] += 1
+        try:
+            handle = Ext4Mount.mount(dev, config.mount_options)
+        except ReproError as exc:
+            stats.failures.append(f"mount: {exc}")
+            return
+        stats.reached["mount"] += 1
+        try:
+            ino = handle.create_file(4, fragmented=True)
+            handle.delete_file(ino)
+            handle.create_file(2)
+            handle.umount()
+        except ReproError as exc:
+            stats.failures.append(f"use: {exc}")
+            return
+        stats.reached["use"] += 1
+        result = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
+        if result.is_clean:
+            stats.reached["fsck-clean"] += 1
+        else:
+            stats.failures.append(
+                f"fsck: {len(result.problems)} problems under {config.features}")

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsimage.blockdev import BlockDevice
+from repro.ecosystem.mke2fs import Mke2fs
+
+
+@pytest.fixture
+def dev() -> BlockDevice:
+    """A 16 MiB device with 4 KiB blocks."""
+    return BlockDevice(num_blocks=4096, block_size=4096)
+
+
+@pytest.fixture
+def small_dev() -> BlockDevice:
+    """A 2 MiB device with 4 KiB blocks."""
+    return BlockDevice(num_blocks=512, block_size=4096)
+
+
+@pytest.fixture
+def formatted_dev(dev: BlockDevice) -> BlockDevice:
+    """A device carrying a default-featured 2048-block file system."""
+    Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+    return dev
+
+
+@pytest.fixture(scope="session")
+def extraction_report():
+    """The full Table-5 extraction, computed once per session."""
+    from repro.analysis.extractor import extract_all
+
+    return extract_all()
+
+
+@pytest.fixture(scope="session")
+def bug_dataset():
+    """The curated 67-bug dataset."""
+    from repro.study.patches import load_dataset
+
+    return load_dataset()

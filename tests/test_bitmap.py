@@ -1,0 +1,165 @@
+"""Tests for the allocation bitmap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fsimage.bitmap import Bitmap
+
+
+class TestBasics:
+    def test_starts_clear(self):
+        bm = Bitmap(100)
+        assert bm.count_set() == 0
+        assert bm.count_free() == 100
+
+    def test_set_and_test(self):
+        bm = Bitmap(16)
+        assert bm.set(5) is False
+        assert bm.test(5)
+        assert bm.set(5) is True  # already set
+
+    def test_clear(self):
+        bm = Bitmap(16)
+        bm.set(3)
+        assert bm.clear(3) is True
+        assert not bm.test(3)
+        assert bm.clear(3) is False
+
+    def test_bounds_checked(self):
+        bm = Bitmap(8)
+        with pytest.raises(IndexError):
+            bm.test(8)
+        with pytest.raises(IndexError):
+            bm.set(-1)
+
+    def test_negative_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(-1)
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(100, capacity_bytes=2)
+
+    def test_set_range(self):
+        bm = Bitmap(32)
+        bm.set_range(4, 8)
+        assert bm.count_set() == 8
+        assert all(bm.test(i) for i in range(4, 12))
+
+    def test_iter_set(self):
+        bm = Bitmap(16)
+        bm.set(1)
+        bm.set(9)
+        assert list(bm.iter_set()) == [1, 9]
+
+
+class TestSearch:
+    def test_find_free(self):
+        bm = Bitmap(8)
+        bm.set_range(0, 3)
+        assert bm.find_free() == 3
+
+    def test_find_free_from_offset(self):
+        bm = Bitmap(8)
+        assert bm.find_free(5) == 5
+
+    def test_find_free_none_left(self):
+        bm = Bitmap(4)
+        bm.set_range(0, 4)
+        assert bm.find_free() == -1
+
+    def test_find_free_run(self):
+        bm = Bitmap(16)
+        bm.set(4)
+        assert bm.find_free_run(4) == 0
+        assert bm.find_free_run(5) == 5
+
+    def test_find_free_run_no_fit(self):
+        bm = Bitmap(6)
+        bm.set(3)
+        assert bm.find_free_run(4) == -1
+
+    def test_find_free_run_invalid_length(self):
+        with pytest.raises(ValueError):
+            Bitmap(4).find_free_run(0)
+
+
+class TestPaddingAndExtend:
+    def test_tail_padding_not_counted(self):
+        # 10 bits in 1 byte capacity impossible; use 10 bits, 2 bytes:
+        bm = Bitmap(10, capacity_bytes=2)
+        assert bm.count_free() == 10
+        raw = bm.to_bytes()
+        # bits 10..15 are padded set
+        assert raw[1] & 0b11111100 == 0b11111100
+
+    def test_extend_clears_new_range(self):
+        bm = Bitmap(10, capacity_bytes=4)
+        bm.extend(20)
+        assert bm.nbits == 20
+        assert bm.count_free() == 20
+
+    def test_extend_grows_capacity(self):
+        bm = Bitmap(4, capacity_bytes=1)
+        bm.extend(64)
+        assert bm.count_free() == 64
+
+    def test_extend_preserves_set_bits(self):
+        bm = Bitmap(8)
+        bm.set(2)
+        bm.extend(16)
+        assert bm.test(2)
+        assert bm.count_set() == 1
+
+    def test_shrink_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(8).extend(4)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        bm = Bitmap(50, capacity_bytes=16)
+        bm.set(0)
+        bm.set(49)
+        again = Bitmap.from_bytes(bm.to_bytes(), 50)
+        assert again == bm
+
+    def test_equality_by_set_bits(self):
+        a = Bitmap(10, capacity_bytes=2)
+        b = Bitmap(10, capacity_bytes=8)
+        a.set(3)
+        b.set(3)
+        assert a == b
+
+    def test_repr(self):
+        bm = Bitmap(8)
+        bm.set(1)
+        assert "set=1" in repr(bm)
+
+
+class TestProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=199), max_size=50))
+    def test_count_matches_operations(self, indices):
+        bm = Bitmap(200)
+        for i in indices:
+            bm.set(i)
+        assert bm.count_set() == len(indices)
+        assert sorted(bm.iter_set()) == sorted(indices)
+
+    @given(st.sets(st.integers(min_value=0, max_value=99), max_size=30),
+           st.integers(min_value=100, max_value=160))
+    def test_extend_never_loses_bits(self, indices, new_size):
+        bm = Bitmap(100)
+        for i in indices:
+            bm.set(i)
+        bm.extend(new_size)
+        assert set(bm.iter_set()) == indices
+        assert bm.count_free() == new_size - len(indices)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63), max_size=64))
+    def test_serialization_round_trip(self, indices):
+        bm = Bitmap(64, capacity_bytes=32)
+        for i in indices:
+            bm.set(i)
+        again = Bitmap.from_bytes(bm.to_bytes(), 64)
+        assert set(again.iter_set()) == indices

@@ -1,0 +1,117 @@
+"""Tests for the simulated block device."""
+
+import pytest
+
+from repro.errors import DeviceClosedError, OutOfRangeIO
+from repro.fsimage.blockdev import BlockDevice
+
+
+class TestGeometry:
+    def test_basic_geometry(self):
+        dev = BlockDevice(num_blocks=16, block_size=1024)
+        assert dev.num_blocks == 16
+        assert dev.size_bytes == 16 * 1024
+
+    def test_block_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BlockDevice(4, block_size=3000)
+
+    def test_block_size_bounds(self):
+        with pytest.raises(ValueError):
+            BlockDevice(4, block_size=256)
+        with pytest.raises(ValueError):
+            BlockDevice(4, block_size=131072)
+
+    def test_needs_at_least_one_block(self):
+        with pytest.raises(ValueError):
+            BlockDevice(0)
+
+    def test_grow_extends_with_zeroes(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(3, b"x" * 1024)
+        dev.grow(8)
+        assert dev.num_blocks == 8
+        assert dev.read_block(7) == bytes(1024)
+        assert dev.read_block(3) == b"x" * 1024
+
+    def test_shrink_rejected(self):
+        dev = BlockDevice(8, 1024)
+        with pytest.raises(ValueError):
+            dev.grow(4)
+
+
+class TestIO:
+    def test_write_read_round_trip(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(2, b"hello")
+        assert dev.read_block(2)[:5] == b"hello"
+
+    def test_short_write_zero_padded(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(0, b"ab")
+        assert dev.read_block(0) == b"ab" + bytes(1022)
+
+    def test_oversized_write_rejected(self):
+        dev = BlockDevice(4, 1024)
+        with pytest.raises(ValueError):
+            dev.write_block(0, b"x" * 1025)
+
+    def test_out_of_range_read(self):
+        dev = BlockDevice(4, 1024)
+        with pytest.raises(OutOfRangeIO):
+            dev.read_block(4)
+
+    def test_negative_block_rejected(self):
+        dev = BlockDevice(4, 1024)
+        with pytest.raises(OutOfRangeIO):
+            dev.read_block(-1)
+
+    def test_byte_level_io(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_bytes(1500, b"span")
+        assert dev.read_bytes(1500, 4) == b"span"
+
+    def test_byte_io_bounds_checked(self):
+        dev = BlockDevice(1, 1024)
+        with pytest.raises(OutOfRangeIO):
+            dev.write_bytes(1020, b"12345")
+        with pytest.raises(OutOfRangeIO):
+            dev.read_bytes(1020, 5)
+
+    def test_zero_block(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(1, b"junk")
+        dev.zero_block(1)
+        assert dev.read_block(1) == bytes(1024)
+
+    def test_io_accounting(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(1, b"a")
+        dev.write_block(1, b"b")
+        dev.read_block(1)
+        assert dev.writes[1] == 2
+        assert dev.reads[1] == 1
+
+
+class TestLifecycle:
+    def test_closed_device_rejects_io(self):
+        dev = BlockDevice(4, 1024)
+        dev.close()
+        assert dev.closed
+        with pytest.raises(DeviceClosedError):
+            dev.read_block(0)
+        with pytest.raises(DeviceClosedError):
+            dev.write_block(0, b"")
+
+    def test_snapshot_restore_round_trip(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(2, b"before")
+        snap = dev.snapshot()
+        dev.write_block(2, b"after!")
+        dev.restore(snap)
+        assert dev.read_block(2)[:6] == b"before"
+
+    def test_restore_rejects_unaligned_snapshot(self):
+        dev = BlockDevice(4, 1024)
+        with pytest.raises(ValueError):
+            dev.restore(b"x" * 1000)

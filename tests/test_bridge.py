@@ -1,0 +1,141 @@
+"""Tests for the metadata bridge (CCD extraction)."""
+
+import pytest
+
+from repro.analysis.bridge import ComponentSummary, MetadataBridge
+from repro.analysis.constraints import BranchUse
+from repro.analysis.model import ParamRef, SubKind
+from repro.analysis.taint import FieldTaint, FieldWrite
+
+
+def write(component, field, param_name, struct="ext2_super_block"):
+    return FieldWrite(
+        struct=struct,
+        field=field,
+        labels=frozenset([ParamRef(component, param_name)]),
+        function="writer_fn",
+        instr=None,
+    )
+
+
+def use(field, params=(), feature=None, error=False, enabled=True,
+        struct="ext2_super_block"):
+    ft = FieldTaint(struct, field, feature)
+    return BranchUse(
+        function="reader_fn",
+        line=10,
+        params=frozenset(params),
+        fields=frozenset([ft]),
+        error_guard=error,
+        feature_enabled_in_violation={ft: enabled} if feature else {},
+    )
+
+
+def join(writer_writes, reader_uses, writer="mke2fs", reader="resize2fs"):
+    summaries = [
+        ComponentSummary(writer, f"{writer}.c", field_writes=writer_writes),
+        ComponentSummary(reader, f"{reader}.c", branch_uses=reader_uses),
+    ]
+    return MetadataBridge(summaries).join()
+
+
+class TestJoins:
+    def test_plain_field_join_is_behavioral(self):
+        deps = join([write("mke2fs", "s_blocks_count", "fs_size")],
+                    [use("s_blocks_count",
+                         params=[ParamRef("resize2fs", "size")])])
+        assert len(deps) == 1
+        dep = deps[0]
+        assert dep.kind is SubKind.CCD_BEHAVIORAL
+        assert dep.bridge_field == "s_blocks_count"
+        assert dep.params[-1] == ParamRef("mke2fs", "fs_size")
+
+    def test_no_reader_params_uses_star(self):
+        deps = join([write("mke2fs", "s_blocks_count", "fs_size")],
+                    [use("s_blocks_count")])
+        assert deps[0].params[0] == ParamRef("resize2fs", "*")
+
+    def test_feature_join_matches_on_feature_name(self):
+        deps = join(
+            [write("mke2fs", "s_feature_compat", "sparse_super2"),
+             write("mke2fs", "s_feature_compat", "resize_inode")],
+            [use("s_feature_compat", feature="sparse_super2")])
+        assert len(deps) == 1
+        assert deps[0].params[-1] == ParamRef("mke2fs", "sparse_super2")
+
+    def test_flag_reader_param_on_error_guard_is_control(self):
+        deps = join(
+            [write("mke2fs", "s_feature_incompat", "64bit")],
+            [use("s_feature_incompat", feature="64bit", error=True,
+                 params=[ParamRef("resize2fs", "enable_64bit")])])
+        assert deps[0].kind is SubKind.CCD_CONTROL
+        assert deps[0].constraint_dict["relation"] == "conflicts"
+
+    def test_feature_required_relation(self):
+        deps = join(
+            [write("mke2fs", "s_feature_incompat", "64bit")],
+            [use("s_feature_incompat", feature="64bit", error=True,
+                 enabled=False,
+                 params=[ParamRef("resize2fs", "enable_64bit")])])
+        assert deps[0].constraint_dict["relation"] == "requires"
+
+    def test_non_flag_reader_param_stays_behavioral(self):
+        deps = join(
+            [write("mke2fs", "s_feature_compat", "resize_inode")],
+            [use("s_feature_compat", feature="resize_inode", error=True,
+                 params=[ParamRef("resize2fs", "size")])])
+        assert deps[0].kind is SubKind.CCD_BEHAVIORAL
+
+
+class TestJoinScoping:
+    def test_different_field_does_not_join(self):
+        deps = join([write("mke2fs", "s_blocks_count", "fs_size")],
+                    [use("s_inodes_per_group")])
+        assert deps == []
+
+    def test_non_bridge_struct_ignored(self):
+        deps = join([write("mke2fs", "options", "x", struct="ctx")],
+                    [use("options", struct="ctx")])
+        assert deps == []
+
+    def test_same_component_never_joins(self):
+        summaries = [ComponentSummary(
+            "resize2fs", "resize2fs.c",
+            field_writes=[write("resize2fs", "s_blocks_count", "size")],
+            branch_uses=[use("s_blocks_count")],
+        )]
+        assert MetadataBridge(summaries).join() == []
+
+    def test_stage_order_matters(self):
+        """A later-stage component's writes never flow backwards."""
+        summaries = [
+            ComponentSummary("mke2fs", "mke2fs.c",
+                             branch_uses=[use("s_blocks_count")]),
+            ComponentSummary("resize2fs", "resize2fs.c",
+                             field_writes=[write("resize2fs", "s_blocks_count",
+                                                 "size")]),
+        ]
+        assert MetadataBridge(summaries).join() == []
+
+    def test_duplicate_joins_deduped(self):
+        deps = join(
+            [write("mke2fs", "s_blocks_count", "fs_size")],
+            [use("s_blocks_count", params=[ParamRef("resize2fs", "size")]),
+             use("s_blocks_count", params=[ParamRef("resize2fs", "size")])])
+        assert len(deps) == 1
+
+    def test_kill_ignored_produces_false_positive(self):
+        """The reader overwrote the field first; the bridge joins anyway
+        (the paper's CCD false-positive mechanism)."""
+        reader = ComponentSummary(
+            "resize2fs", "resize2fs.c",
+            field_writes=[write("resize2fs", "s_inodes_per_group", "size")],
+            branch_uses=[use("s_inodes_per_group")],
+        )
+        writer = ComponentSummary(
+            "mke2fs", "mke2fs.c",
+            field_writes=[write("mke2fs", "s_inodes_per_group", "inode_ratio")],
+        )
+        deps = MetadataBridge([writer, reader]).join()
+        assert len(deps) == 1
+        assert deps[0].params[-1] == ParamRef("mke2fs", "inode_ratio")

@@ -1,0 +1,80 @@
+"""Tests for CFG construction and error-exit detection."""
+
+from repro.lang import compile_c
+from repro.lang.cfg import build_cfg
+from repro.lang.ir import Branch
+
+
+def cfg_of(body, prelude="void usage(void);\nvoid com_err(const char *w, int c, const char *f);\n"):
+    module = compile_c(prelude + f"int f(int a, int b) {{ {body} }}")
+    fn = module.function("f")
+    return fn, build_cfg(fn)
+
+
+def first_branch(fn):
+    return next(i for i in fn.instructions() if isinstance(i, Branch))
+
+
+class TestStructure:
+    def test_successors_of_branch(self):
+        fn, cfg = cfg_of("if (a) { b = 1; } return b;")
+        entry_succs = cfg.succ["entry"]
+        assert len(entry_succs) == 2
+
+    def test_predecessors(self):
+        fn, cfg = cfg_of("if (a) { b = 1; } return b;")
+        merge = next(l for l in fn.blocks if "if.end" in l)
+        assert len(cfg.pred[merge]) == 2
+
+    def test_reachability(self):
+        fn, cfg = cfg_of("while (a) { a = a - 1; } return 0;")
+        reached = cfg.reachable_from("entry")
+        assert set(fn.blocks) == reached
+
+    def test_block_accessor(self):
+        fn, cfg = cfg_of("return 0;")
+        assert cfg.block("entry") is fn.blocks["entry"]
+
+
+class TestErrorExits:
+    def test_usage_call_is_error(self):
+        fn, cfg = cfg_of("if (a < 0) { usage(); return -1; } return 0;")
+        assert cfg.branch_error_sides(first_branch(fn)) == (True, False)
+
+    def test_negative_return_is_error(self):
+        fn, cfg = cfg_of("if (a < 0) { return -22; } return 0;")
+        assert cfg.branch_error_sides(first_branch(fn)) == (True, False)
+
+    def test_com_err_is_error(self):
+        fn, cfg = cfg_of('if (a) { com_err("f", 0, "bad"); return -1; } return 0;')
+        assert cfg.branch_error_sides(first_branch(fn))[0]
+
+    def test_positive_return_is_not_error(self):
+        fn, cfg = cfg_of("if (a) { return 1; } return 0;")
+        assert cfg.branch_error_sides(first_branch(fn)) == (False, False)
+
+    def test_error_on_false_side(self):
+        fn, cfg = cfg_of("if (a >= 0) { b = 1; } else { usage(); return -1; } return b;")
+        assert cfg.branch_error_sides(first_branch(fn)) == (False, True)
+
+    def test_error_through_unconditional_chain(self):
+        fn, cfg = cfg_of("if (a) { b = 1; goto fail; } return 0; fail: usage(); return -1;")
+        assert cfg.branch_error_sides(first_branch(fn))[0]
+
+    def test_further_branch_stops_propagation(self):
+        fn, cfg = cfg_of("""
+        if (a) {
+            if (b) { usage(); return -1; }
+        }
+        return 0;
+        """)
+        # the outer branch does not *unconditionally* error
+        assert cfg.branch_error_sides(first_branch(fn)) == (False, False)
+
+    def test_unknown_label_not_error(self):
+        fn, cfg = cfg_of("return 0;")
+        assert not cfg.block_is_error_exit("nonexistent")
+
+    def test_plain_return_zero_not_error(self):
+        fn, cfg = cfg_of("return 0;")
+        assert not cfg.block_is_error_exit("entry")

@@ -1,0 +1,72 @@
+"""Tests for the command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    main_conbugck,
+    main_condocck,
+    main_conhandleck,
+    main_demo,
+    main_extract,
+    main_study,
+)
+
+
+class TestExtractCli:
+    def test_prints_table5(self, capsys):
+        assert main_extract([]) == 0
+        out = capsys.readouterr().out
+        assert "Total Unique" in out
+
+    def test_list_prints_keys(self, capsys):
+        main_extract(["--list"])
+        out = capsys.readouterr().out
+        assert "SD.value_range:mke2fs.blocksize:[1024,65536]" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = str(tmp_path / "deps.json")
+        main_extract(["--json", path])
+        payload = json.loads(open(path).read())
+        assert len(payload) == 64
+
+
+class TestCheckerClis:
+    def test_condocck_exit_code_signals_issues(self, capsys):
+        assert main_condocck([]) == 1
+        out = capsys.readouterr().out
+        assert "12 inaccurate documentations" in out
+
+    def test_conhandleck_reports_bad_handling(self, capsys):
+        assert main_conhandleck([]) == 1
+        out = capsys.readouterr().out
+        assert "BAD HANDLING" in out
+        assert "rejected" in out
+
+    def test_conhandleck_verbose(self, capsys):
+        main_conhandleck(["--verbose"])
+        out = capsys.readouterr().out
+        assert out.count("[rejected]") >= 50
+
+    def test_conbugck_table(self, capsys):
+        assert main_conbugck(["-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "guided" in out
+        assert "fsck-clean" in out
+
+    def test_demo_prints_figures(self, capsys):
+        assert main_demo([]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+        assert "CORRUPTED" in out
+
+    def test_study_prints_all_tables(self, capsys):
+        assert main_study([]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "Table 4" in out
+        assert "2700" in out

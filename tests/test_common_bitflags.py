@@ -1,0 +1,73 @@
+"""Tests for repro.common.bitflags."""
+
+import pytest
+
+from repro.common.bitflags import FlagRegistry
+
+
+@pytest.fixture
+def registry() -> FlagRegistry:
+    return FlagRegistry("demo", [("alpha", 0x1), ("beta", 0x2), ("gamma", 0x8)])
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            FlagRegistry("bad", [("a", 0x1), ("a", 0x2)])
+
+    def test_duplicate_bit_rejected(self):
+        with pytest.raises(ValueError):
+            FlagRegistry("bad", [("a", 0x4), ("b", 0x4)])
+
+    def test_multi_bit_value_rejected(self):
+        with pytest.raises(ValueError):
+            FlagRegistry("bad", [("a", 0x3)])
+
+    def test_zero_bit_rejected(self):
+        with pytest.raises(ValueError):
+            FlagRegistry("bad", [("a", 0)])
+
+
+class TestLookup:
+    def test_contains(self, registry):
+        assert "alpha" in registry
+        assert "delta" not in registry
+
+    def test_bit(self, registry):
+        assert registry.bit("gamma") == 0x8
+
+    def test_bit_unknown_raises_keyerror_with_registry_name(self, registry):
+        with pytest.raises(KeyError) as excinfo:
+            registry.bit("delta")
+        assert "demo" in str(excinfo.value)
+
+    def test_len_and_iter(self, registry):
+        assert len(registry) == 3
+        assert list(registry) == ["alpha", "beta", "gamma"]
+
+    def test_names_preserves_registration_order(self, registry):
+        assert registry.names() == ("alpha", "beta", "gamma")
+
+
+class TestPackUnpack:
+    def test_pack(self, registry):
+        assert registry.pack(["alpha", "gamma"]) == 0x9
+
+    def test_pack_empty(self, registry):
+        assert registry.pack([]) == 0
+
+    def test_unpack(self, registry):
+        assert registry.unpack(0x9) == frozenset({"alpha", "gamma"})
+
+    def test_unpack_ignores_unknown_bits(self, registry):
+        assert registry.unpack(0x10 | 0x2) == frozenset({"beta"})
+
+    def test_unknown_bits(self, registry):
+        assert registry.unknown_bits(0x10 | 0x2) == 0x10
+
+    def test_unknown_bits_zero_when_all_known(self, registry):
+        assert registry.unknown_bits(0xB) == 0
+
+    def test_pack_unpack_round_trip(self, registry):
+        names = {"beta", "gamma"}
+        assert registry.unpack(registry.pack(names)) == frozenset(names)

@@ -1,0 +1,65 @@
+"""Tests for repro.common.texttable."""
+
+import pytest
+
+from repro.common.texttable import TextTable
+
+
+class TestTextTable:
+    def test_render_includes_title_and_headers(self):
+        table = TextTable(["a", "b"], title="My Table")
+        table.add_row(1, 2)
+        output = table.render()
+        assert output.startswith("My Table")
+        assert "a" in output and "b" in output
+
+    def test_render_without_title(self):
+        table = TextTable(["x"])
+        table.add_row("y")
+        assert table.render().splitlines()[0].startswith("x")
+
+    def test_columns_padded_to_widest_cell(self):
+        table = TextTable(["h"])
+        table.add_row("a-very-long-cell")
+        lines = table.render().splitlines()
+        assert len(lines[1]) == len("a-very-long-cell")  # separator row
+
+    def test_cell_count_mismatch_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_cells_stringified(self):
+        table = TextTable(["n"])
+        table.add_row(42)
+        assert "42" in table.render()
+
+    def test_rows_returns_copy(self):
+        table = TextTable(["n"])
+        table.add_row(1)
+        rows = table.rows
+        rows[0][0] = "tampered"
+        assert table.rows[0][0] == "1"
+
+    def test_separator_row_present(self):
+        table = TextTable(["a", "b"])
+        table.add_row("x", "y")
+        assert "-+-" in table.render().splitlines()[1]
+
+    def test_no_trailing_whitespace_on_rows(self):
+        table = TextTable(["a", "b"])
+        table.add_row("x", "y")
+        for line in table.render().splitlines():
+            assert line == line.rstrip()
+
+    def test_multiple_rows_in_order(self):
+        table = TextTable(["n"])
+        table.add_row("first")
+        table.add_row("second")
+        lines = table.render().splitlines()
+        assert lines[2] == "first " .rstrip() or "first" in lines[2]
+        assert "second" in lines[3]

@@ -1,0 +1,109 @@
+"""Tests for repro.common.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import format_size, parse_size
+from repro.errors import UsageError
+
+
+class TestParseSize:
+    def test_bare_integer_is_block_count(self):
+        assert parse_size("1024") == 1024
+
+    def test_zero(self):
+        assert parse_size("0") == 0
+
+    def test_kilobyte_suffix(self):
+        assert parse_size("8K", block_size=1024) == 8
+
+    def test_megabyte_suffix(self):
+        assert parse_size("8M", block_size=4096) == 2048
+
+    def test_gigabyte_suffix(self):
+        assert parse_size("1G", block_size=4096) == 262144
+
+    def test_terabyte_suffix(self):
+        assert parse_size("1T", block_size=4096) == 268435456
+
+    def test_sector_suffix(self):
+        assert parse_size("8s", block_size=4096) == 1
+
+    def test_suffix_case_insensitive(self):
+        assert parse_size("4k", 1024) == parse_size("4K", 1024)
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  512  ") == 512
+
+    def test_unaligned_byte_quantity_rejected(self):
+        with pytest.raises(UsageError):
+            parse_size("3K", block_size=4096)
+
+    def test_empty_rejected(self):
+        with pytest.raises(UsageError):
+            parse_size("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(UsageError):
+            parse_size("lots")
+
+    def test_negative_rejected(self):
+        with pytest.raises(UsageError):
+            parse_size("-5")
+
+    def test_float_rejected(self):
+        with pytest.raises(UsageError):
+            parse_size("1.5K")
+
+    def test_suffix_only_rejected(self):
+        with pytest.raises(UsageError):
+            parse_size("K")
+
+    def test_component_appears_in_error(self):
+        with pytest.raises(UsageError) as excinfo:
+            parse_size("x", component="resize2fs")
+        assert "resize2fs" in str(excinfo.value)
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("1", block_size=0)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_bare_integers_round_trip(self, value):
+        assert parse_size(str(value)) == value
+
+    @given(st.integers(min_value=1, max_value=2**20),
+           st.sampled_from([1024, 2048, 4096, 65536]))
+    def test_kib_consistent_with_blocksize(self, kib, block_size):
+        total_bytes = kib * 1024
+        if total_bytes % block_size:
+            with pytest.raises(UsageError):
+                parse_size(f"{kib}K", block_size)
+        else:
+            assert parse_size(f"{kib}K", block_size) == total_bytes // block_size
+
+
+class TestFormatSize:
+    def test_exact_megabytes(self):
+        assert format_size(8 * 1024 * 1024) == "8M"
+
+    def test_exact_kilobytes(self):
+        assert format_size(4096) == "4K"
+
+    def test_unaligned_stays_bytes(self):
+        assert format_size(1536) == "1536"
+
+    def test_zero(self):
+        assert format_size(0) == "0"
+
+    def test_terabytes(self):
+        assert format_size(2 * 1024**4) == "2T"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_round_trips_through_parse(self, num_bytes):
+        text = format_size(num_bytes)
+        assert parse_size(text, block_size=1) == num_bytes

@@ -1,0 +1,99 @@
+"""Tests for ConBugCk."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tools.conbugck import ConBugCk, STAGES
+
+
+@pytest.fixture(scope="module")
+def generator(extraction_report):
+    return ConBugCk(extraction_report.true_dependencies(), seed=2022)
+
+
+class TestGeneration:
+    def test_generates_requested_count(self, generator):
+        assert len(generator.generate(10)) == 10
+
+    def test_deterministic_for_seed(self, extraction_report):
+        a = ConBugCk(extraction_report.true_dependencies(), seed=5).generate(5)
+        b = ConBugCk(extraction_report.true_dependencies(), seed=5).generate(5)
+        assert a == b
+
+    def test_different_seeds_differ(self, extraction_report):
+        a = ConBugCk(extraction_report.true_dependencies(), seed=1).generate(8)
+        b = ConBugCk(extraction_report.true_dependencies(), seed=2).generate(8)
+        assert a != b
+
+    def test_requires_dependencies_satisfied(self, generator):
+        for config in generator.generate(50):
+            feats = set(config.features)
+            for a, b in generator._requires:
+                if a in feats:
+                    assert b in feats, f"{a} requires {b}: {sorted(feats)}"
+
+    def test_conflict_dependencies_satisfied(self, generator):
+        for config in generator.generate(50):
+            feats = set(config.features)
+            for a, b in generator._conflicts:
+                assert not (a in feats and b in feats), \
+                    f"{a} conflicts {b}: {sorted(feats)}"
+
+    def test_numeric_ranges_respected(self, generator):
+        for config in generator.generate(50):
+            assert 1024 <= config.blocksize <= 65536
+            assert 128 <= config.inode_size <= 4096
+            assert config.inode_size <= config.blocksize
+            assert 1024 <= config.inode_ratio <= 4194304
+            assert 0 <= config.reserved_percent <= 50
+
+    def test_mke2fs_args_start_with_reset(self, generator):
+        config = generator.generate(1)[0]
+        args = config.mke2fs_args(512)
+        assert args[:2] == ["-O", "none"]
+        assert args[-1] == "512"
+
+
+class TestDriving:
+    def test_guided_configs_reach_deepest_stage(self, generator):
+        stats = generator.drive(generator.generate(20))
+        assert stats.total == 20
+        assert stats.reached["fsck-clean"] == 20
+        assert stats.failures == []
+
+    def test_naive_configs_die_shallow(self, generator):
+        stats = generator.drive(generator.generate_naive(20))
+        assert stats.reached["fsck-clean"] < 5
+        assert stats.failures
+
+    def test_stage_counts_monotone(self, generator):
+        stats = generator.drive(generator.generate(15))
+        for earlier, later in zip(STAGES, STAGES[1:]):
+            assert stats.reached[earlier] >= stats.reached[later]
+
+    def test_depth_rate(self, generator):
+        stats = generator.drive(generator.generate(10))
+        assert stats.depth_rate("fsck-clean") == 1.0
+
+    def test_naive_failures_name_the_stage(self, generator):
+        stats = generator.drive(generator.generate_naive(15))
+        assert all(f.split(":")[0] in ("device", "mkfs", "mount", "use", "fsck")
+                   for f in stats.failures)
+
+    def test_from_extraction_builder(self):
+        generator = ConBugCk.from_extraction(seed=1)
+        assert generator.dependencies
+
+
+class TestPropertyNeverViolates:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_any_seed_respects_dependencies(self, extraction_report, seed):
+        generator = ConBugCk(extraction_report.true_dependencies(), seed=seed)
+        for config in generator.generate(5):
+            feats = set(config.features)
+            for a, b in generator._requires:
+                assert not (a in feats and b not in feats)
+            for a, b in generator._conflicts:
+                assert not (a in feats and b in feats)
+            assert config.inode_size <= config.blocksize

@@ -1,0 +1,129 @@
+"""Tests for ConDocCk."""
+
+import pytest
+
+from repro.analysis.model import (
+    Dependency,
+    ParamRef,
+    SubKind,
+    make_constraint,
+)
+from repro.ecosystem.manpages import DocConstraint, ManualPage, build_manual_corpus
+from repro.tools.condocck import ConDocCk, DocIssue
+
+
+@pytest.fixture(scope="module")
+def issues(extraction_report):
+    return ConDocCk().check(extraction_report.true_dependencies())
+
+
+class TestPaperResult:
+    def test_exactly_twelve_issues(self, issues):
+        assert len(issues) == 12
+
+    def test_papers_example_present(self, issues):
+        """'meta_bg and resize_inode can not be used together, which is
+        missing from the manual' (§4.3)."""
+        match = [i for i in issues
+                 if {str(p) for p in i.dependency.params}
+                 == {"mke2fs.meta_bg", "mke2fs.resize_inode"}]
+        assert len(match) == 1
+        assert match[0].issue == "missing"
+
+    def test_issue_breakdown(self, issues):
+        missing = sum(1 for i in issues if i.issue == "missing")
+        incorrect = sum(1 for i in issues if i.issue == "incorrect")
+        assert (missing, incorrect) == (8, 4)
+
+    def test_known_wrong_ranges_flagged(self, issues):
+        wrong = {str(i.dependency.params[0]) for i in issues
+                 if i.issue == "incorrect"}
+        assert wrong == {"mke2fs.blocksize", "mke2fs.inode_size",
+                         "mke2fs.reserved_percent", "mount.commit"}
+
+    def test_false_positives_not_checked(self, extraction_report):
+        """Only validated dependencies go to the doc check."""
+        checker = ConDocCk()
+        all_issues = checker.check(extraction_report.union)
+        true_issues = checker.check(extraction_report.true_dependencies())
+        assert len(all_issues) > len(true_issues)
+
+    def test_str_rendering(self, issues):
+        text = str(issues[0])
+        assert text.startswith("[")
+        assert "—" in text
+
+
+class TestMatchingRules:
+    def _dep_range(self, lo, hi):
+        return Dependency(SubKind.SD_VALUE_RANGE,
+                          (ParamRef("demo", "size"),),
+                          make_constraint(min=lo, max=hi))
+
+    def _manual(self, *constraints):
+        page = ManualPage("demo")
+        page.add("size", "the size option", *constraints)
+        return ConDocCk({"demo": page})
+
+    def test_matching_range_passes(self):
+        checker = self._manual(DocConstraint("range", min_value=1, max_value=9))
+        assert checker.check([self._dep_range(1, 9)]) == []
+
+    def test_wrong_range_flagged(self):
+        checker = self._manual(DocConstraint("range", min_value=1, max_value=5))
+        issues = checker.check([self._dep_range(1, 9)])
+        assert issues[0].issue == "incorrect"
+
+    def test_absent_range_flagged(self):
+        checker = self._manual(DocConstraint("type", ctype="int"))
+        issues = checker.check([self._dep_range(1, 9)])
+        assert issues[0].issue == "missing"
+
+    def test_absent_entry_flagged(self):
+        checker = ConDocCk({"demo": ManualPage("demo")})
+        issues = checker.check([self._dep_range(1, 9)])
+        assert issues[0].issue == "missing"
+
+    def test_type_match(self):
+        checker = self._manual(DocConstraint("type", ctype="int"))
+        dep = Dependency(SubKind.SD_DATA_TYPE, (ParamRef("demo", "size"),),
+                         make_constraint(ctype="int"))
+        assert checker.check([dep]) == []
+
+    def test_type_mismatch(self):
+        checker = self._manual(DocConstraint("type", ctype="int"))
+        dep = Dependency(SubKind.SD_DATA_TYPE, (ParamRef("demo", "size"),),
+                         make_constraint(ctype="unsigned long"))
+        assert checker.check([dep])[0].issue == "incorrect"
+
+    def test_relational_matches_on_either_side(self):
+        page = ManualPage("demo")
+        page.add("a", "a option")
+        page.add("b", "b option",
+                 DocConstraint("conflicts", partner="demo.a"))
+        checker = ConDocCk({"demo": page})
+        dep = Dependency(SubKind.CPD_CONTROL,
+                         (ParamRef("demo", "a"), ParamRef("demo", "b")),
+                         make_constraint(relation="conflicts"))
+        assert checker.check([dep]) == []
+
+    def test_behavioral_searches_whole_page(self):
+        page = ManualPage("reader")
+        page.add("notes", "see also",
+                 DocConstraint("behavioral", partner="writer.thing"))
+        checker = ConDocCk({"reader": page})
+        dep = Dependency(SubKind.CCD_BEHAVIORAL,
+                         (ParamRef("reader", "*"), ParamRef("writer", "thing")),
+                         bridge_field="f")
+        assert checker.check([dep]) == []
+
+    def test_behavioral_missing_flagged(self):
+        checker = ConDocCk({"reader": ManualPage("reader")})
+        dep = Dependency(SubKind.CCD_BEHAVIORAL,
+                         (ParamRef("reader", "*"), ParamRef("writer", "thing")),
+                         bridge_field="f")
+        assert checker.check([dep])[0].issue == "missing"
+
+    def test_default_corpus_loaded(self):
+        checker = ConDocCk()
+        assert set(checker.manuals) == set(build_manual_corpus())

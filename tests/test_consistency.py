@@ -1,0 +1,124 @@
+"""Cross-artifact consistency checks.
+
+The reproduction has several independent encodings of the same facts
+(corpus ``#define`` values, the kernel bit registry, source
+annotations, parameter registries, manual corpus).  These tests pin
+them together so drift in one artifact fails loudly.
+"""
+
+import pytest
+
+from repro.analysis.model import ParamRef
+from repro.analysis.sources import FEATURE_MACROS, SOURCES_BY_UNIT
+from repro.corpus.loader import UNIT_COMPONENTS, load_unit
+from repro.ecosystem.featureset import COMPAT, INCOMPAT, RO_COMPAT, all_feature_names
+from repro.ecosystem.params import ALL_REGISTRIES, find_param
+from repro.lang.lexer import Lexer, TokenKind
+
+
+def corpus_defines(filename):
+    """#define name -> numeric value for one corpus unit."""
+    source = load_unit(filename).source
+    lexer = Lexer(source, filename)
+    lexer.tokenize()
+    out = {}
+    for name, macro in lexer.macros.items():
+        ints = [t.value for t in macro.tokens if t.kind is TokenKind.INT]
+        if len(ints) == 1:
+            out[name] = ints[0]
+    return out
+
+
+class TestFeatureMacroBits:
+    """Every EXT*_FEATURE_* macro in the corpus must carry the kernel's
+    real bit value for the feature the annotations map it to."""
+
+    @pytest.mark.parametrize("filename", sorted(UNIT_COMPONENTS))
+    def test_corpus_macros_match_registry_bits(self, filename):
+        defines = corpus_defines(filename)
+        for macro, value in defines.items():
+            feature = FEATURE_MACROS.get(macro)
+            if feature is None or feature in ("crc", "finobt", "reflink", "rmapbt"):
+                continue  # XFS bits have no ext4 registry entry
+            for registry in (COMPAT, INCOMPAT, RO_COMPAT):
+                if feature in registry:
+                    assert registry.bit(feature) == value, (
+                        f"{filename}: {macro}=0x{value:x} but registry says "
+                        f"0x{registry.bit(feature):x}")
+                    break
+            else:
+                pytest.fail(f"{macro} maps to unknown feature {feature!r}")
+
+    def test_every_ext_feature_macro_is_annotated(self):
+        """Corpus feature macros the bridge relies on must be mapped."""
+        for filename in ("mke2fs.c", "resize2fs.c"):
+            for macro in corpus_defines(filename):
+                if "_FEATURE_" in macro:
+                    assert macro in FEATURE_MACROS, f"{filename}: {macro}"
+
+    def test_annotated_feature_names_exist(self):
+        xfs = {"crc", "finobt", "reflink", "rmapbt"}
+        for feature in FEATURE_MACROS.values():
+            if feature in xfs:
+                continue
+            assert feature in all_feature_names(), feature
+
+
+class TestAnnotationsAgainstRegistries:
+    """Every annotated parameter should resolve in a registry (so docs,
+    checkers, and the bridge's flag-kind lookup all work)."""
+
+    _KNOWN_UNREGISTERED = {
+        # XFS extension parameters live outside the Table-2 registries.
+        ParamRef("mkfs.xfs", "blocksize"), ParamRef("mkfs.xfs", "sectsize"),
+        ParamRef("mkfs.xfs", "agcount"), ParamRef("mkfs.xfs", "dblocks"),
+        ParamRef("mkfs.xfs", "crc"), ParamRef("mkfs.xfs", "finobt"),
+        ParamRef("mkfs.xfs", "reflink"), ParamRef("mkfs.xfs", "rmapbt"),
+        ParamRef("xfs_growfs", "dblocks"), ParamRef("xfs_growfs", "datasec"),
+    }
+
+    def test_annotated_params_are_registered(self):
+        for sources in SOURCES_BY_UNIT.values():
+            for mapping in sources.param_vars.values():
+                for param in mapping.values():
+                    if param in self._KNOWN_UNREGISTERED:
+                        continue
+                    find_param(param.component, param.name)  # raises on miss
+
+    def test_extracted_params_are_registered(self, extraction_report):
+        for dep in extraction_report.union:
+            for param in dep.params:
+                if param.name == "*":
+                    continue
+                find_param(param.component, param.name)
+
+    def test_registry_sb_fields_exist_on_superblock(self):
+        from repro.fsimage.layout import Superblock
+
+        sb_fields = set(Superblock.__dataclass_fields__)
+        known_virtual = {"s_first_meta_bg"}  # documented, not modelled
+        for registry in ALL_REGISTRIES.values():
+            for param in registry:
+                for field in param.sb_fields:
+                    assert field in sb_fields or field in known_virtual, (
+                        f"{param.component}.{param.name} references unknown "
+                        f"superblock field {field}")
+
+
+class TestManualCoverage:
+    """Every parameter of a true extracted dependency must at least have
+    a manual entry to check against (else ConDocCk's 'missing entry'
+    verdicts would be artifacts of corpus gaps, not doc bugs)."""
+
+    def test_manuals_cover_extracted_components(self, extraction_report):
+        from repro.ecosystem.manpages import build_manual_corpus
+        from repro.analysis.groundtruth import is_false_positive
+
+        manuals = build_manual_corpus()
+        for dep in extraction_report.union:
+            if is_false_positive(dep):
+                continue
+            for param in dep.params:
+                if param.name == "*":
+                    continue
+                assert param.component in manuals, param

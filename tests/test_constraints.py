@@ -1,0 +1,163 @@
+"""Tests for SD/CPD constraint derivation from guards."""
+
+import pytest
+
+from repro.analysis.constraints import derive_constraints
+from repro.analysis.model import ParamRef, SubKind
+from repro.analysis.sources import ComponentSources
+from repro.analysis.taint import analyze_function
+from repro.lang import compile_c
+from repro.lang.cfg import build_cfg
+
+PRELUDE = """
+typedef unsigned int __u32;
+struct ext2_super_block { __u32 s_blocks_count; __u32 s_feature_compat; };
+int parse_int(const char *str);
+char *optarg_value(void);
+void usage(void);
+void com_err(const char *w, int c, const char *f);
+#define EXT4_FEATURE_COMPAT_SPARSE_SUPER2 0x0200
+int flag_x;
+int flag_y;
+int value_v;
+int value_w;
+"""
+
+SOURCES = ComponentSources("mke2fs", {"*": {
+    "flag_x": ParamRef("mke2fs", "x"),
+    "flag_y": ParamRef("mke2fs", "y"),
+    "value_v": ParamRef("mke2fs", "v"),
+    "value_w": ParamRef("mke2fs", "w"),
+}})
+
+
+def findings(body, params="struct ext2_super_block *sb"):
+    module = compile_c(PRELUDE + f"int f({params}) {{ {body} }}")
+    fn = module.function("f")
+    state = analyze_function(fn, SOURCES, "mke2fs")
+    return derive_constraints(fn, build_cfg(fn), state, SOURCES, "mke2fs", "t.c")
+
+
+def dep_keys(body, **kwargs):
+    return {d.key() for d in findings(body, **kwargs).dependencies}
+
+
+class TestSdRange:
+    def test_double_bound_guard(self):
+        keys = dep_keys("if (value_v < 1024 || value_v > 65536) { usage(); return -1; } return 0;")
+        assert "SD.value_range:mke2fs.v:[1024,65536]" in keys
+
+    def test_lower_bound_only(self):
+        keys = dep_keys("if (value_v < 64) { usage(); return -1; } return 0;")
+        assert "SD.value_range:mke2fs.v:[64,]" in keys
+
+    def test_upper_bound_only(self):
+        keys = dep_keys("if (value_v > 50) { usage(); return -1; } return 0;")
+        assert "SD.value_range:mke2fs.v:[,50]" in keys
+
+    def test_error_on_false_side_flips_polarity(self):
+        keys = dep_keys(
+            "if (value_v >= 0 && value_v <= 50) { return 0; } usage(); return -1;")
+        assert "SD.value_range:mke2fs.v:[0,50]" in keys
+
+    def test_strict_comparisons_adjust_bounds(self):
+        keys = dep_keys("if (value_v <= 0) { usage(); return -1; } return 0;")
+        assert "SD.value_range:mke2fs.v:[1,]" in keys
+
+    def test_constant_on_left(self):
+        keys = dep_keys("if (50 < value_v) { usage(); return -1; } return 0;")
+        assert "SD.value_range:mke2fs.v:[,50]" in keys
+
+    def test_no_error_exit_no_sd(self):
+        keys = dep_keys("if (value_v < 1024) { value_v = 1024; } return 0;")
+        assert not any(k.startswith("SD.value_range") for k in keys)
+
+    def test_untainted_guard_ignored(self):
+        keys = dep_keys("int z; z = 3; if (z > 2) { usage(); return -1; } return 0;")
+        assert keys == set()
+
+    def test_negated_condition(self):
+        keys = dep_keys("if (!(value_v >= 64)) { usage(); return -1; } return 0;")
+        assert "SD.value_range:mke2fs.v:[64,]" in keys
+
+
+class TestSdDataType:
+    def test_typed_parse_into_source_var(self):
+        keys = dep_keys(
+            "value_v = parse_int(optarg_value());"
+            " if (value_v < 1) { usage(); return -1; } return 0;")
+        assert "SD.data_type:mke2fs.v:int" in keys
+
+    def test_untyped_assignment_gives_no_type(self):
+        keys = dep_keys("value_v = 7; return 0;")
+        assert not any(k.startswith("SD.data_type") for k in keys)
+
+
+class TestCpd:
+    def test_conflict_pair(self):
+        keys = dep_keys("if (flag_x && flag_y) { usage(); return -1; } return 0;")
+        assert "CPD.control:mke2fs.x,mke2fs.y:conflicts" in keys
+
+    def test_requires_pair(self):
+        keys = dep_keys("if (flag_x && !flag_y) { usage(); return -1; } return 0;")
+        assert "CPD.control:mke2fs.x,mke2fs.y:requires" in keys
+
+    def test_requires_direction(self):
+        deps = findings("if (flag_x && !flag_y) { usage(); return -1; } return 0;").dependencies
+        cpd = next(d for d in deps if d.kind is SubKind.CPD_CONTROL)
+        assert cpd.params[0] == ParamRef("mke2fs", "x")  # x requires y
+
+    def test_value_comparison(self):
+        keys = dep_keys("if (value_v > value_w) { usage(); return -1; } return 0;")
+        assert "CPD.value:mke2fs.v,mke2fs.w:<=" in keys
+
+    def test_flag_plus_value_comparison_yields_value_dep(self):
+        keys = dep_keys(
+            "if (value_v && value_v <= value_w) { usage(); return -1; } return 0;")
+        assert "CPD.value:mke2fs.v,mke2fs.w:>" in keys
+
+    def test_three_params_emit_nothing_for_flags(self):
+        keys = dep_keys(
+            "if (flag_x && flag_y && value_v) { usage(); return -1; } return 0;")
+        assert not any(k.startswith("CPD.control") for k in keys)
+
+    def test_single_flag_no_cpd(self):
+        keys = dep_keys("if (flag_x) { usage(); return -1; } return 0;")
+        assert not any(k.startswith("CPD") for k in keys)
+
+    def test_duplicate_guards_deduped(self):
+        keys = dep_keys(
+            "if (flag_x && flag_y) { usage(); return -1; }"
+            "if (flag_x && flag_y) { usage(); return -1; } return 0;")
+        assert sum(1 for k in keys if k.startswith("CPD.control")) == 1
+
+
+class TestBranchUses:
+    def test_field_guard_summarized_for_bridge(self):
+        result = findings(
+            "if (sb->s_blocks_count > 100) { usage(); return -1; } return 0;")
+        assert result.branch_uses
+        use = result.branch_uses[0]
+        assert use.error_guard
+        assert any(f.field == "s_blocks_count" for f in use.fields)
+
+    def test_feature_polarity_recorded(self):
+        result = findings(
+            "if (sb->s_feature_compat & EXT4_FEATURE_COMPAT_SPARSE_SUPER2)"
+            " { usage(); return -1; } return 0;")
+        use = result.branch_uses[0]
+        polarity = list(use.feature_enabled_in_violation.values())
+        assert polarity == [True]
+
+    def test_param_and_field_guard(self):
+        result = findings(
+            "if (value_v > sb->s_blocks_count) { usage(); return -1; } return 0;")
+        use = result.branch_uses[0]
+        assert ParamRef("mke2fs", "v") in use.params
+        assert any(f.field == "s_blocks_count" for f in use.fields)
+
+    def test_non_error_field_branch_still_summarized(self):
+        result = findings(
+            "if (sb->s_blocks_count > 100) { value_v = 1; } return 0;")
+        use = result.branch_uses[0]
+        assert not use.error_guard

@@ -1,0 +1,125 @@
+"""Tests for the modelled C corpus and its loader."""
+
+import pytest
+
+from repro.analysis.sources import SOURCES_BY_UNIT
+from repro.corpus.loader import (
+    UNIT_COMPONENTS,
+    corpus_path,
+    load_corpus,
+    load_unit,
+)
+from repro.errors import UnknownComponentError
+
+
+class TestLoader:
+    def test_all_units_compile(self):
+        units = load_corpus()
+        assert {u.filename for u in units} == set(UNIT_COMPONENTS)
+
+    def test_component_tagging(self):
+        assert load_unit("mke2fs.c").component == "mke2fs"
+        assert load_unit("ext4_super.c").component == "ext4"
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(UnknownComponentError):
+            load_unit("ntfs.c")
+
+    def test_cache_returns_same_object(self):
+        assert load_unit("mke2fs.c") is load_unit("mke2fs.c")
+
+    def test_cache_bypass(self):
+        fresh = load_unit("mke2fs.c", use_cache=False)
+        assert fresh is not load_unit("mke2fs.c")
+
+    def test_corpus_path_exists(self):
+        import os
+
+        assert os.path.exists(corpus_path("resize2fs.c"))
+
+    def test_every_unit_has_source_annotations(self):
+        for filename in UNIT_COMPONENTS:
+            assert filename in SOURCES_BY_UNIT
+
+
+class TestPreselectedFunctions:
+    """Every function the extractor pre-selects must exist."""
+
+    def test_scenario_functions_exist(self):
+        from repro.analysis.extractor import SCENARIOS
+
+        for scenario in SCENARIOS:
+            for filename, functions in scenario.selected:
+                module = load_unit(filename).module
+                for name in functions:
+                    module.function(name)  # raises on absence
+
+    def test_annotated_variables_exist_in_units(self):
+        """Source annotations must refer to real corpus variables."""
+        for filename, sources in SOURCES_BY_UNIT.items():
+            unit = load_unit(filename)
+            module_vars = set()
+            for fn in unit.module.functions.values():
+                module_vars.update(fn.params)
+                for instr in fn.instructions():
+                    for v in list(instr.defs()) + list(instr.uses()):
+                        if hasattr(v, "name"):
+                            module_vars.add(v.name)
+            for func, mapping in sources.param_vars.items():
+                for var in mapping:
+                    assert var in module_vars, (
+                        f"{filename}: annotated variable {var!r} not in corpus"
+                    )
+
+
+class TestCorpusShape:
+    def test_mke2fs_defines_bridge_struct(self):
+        module = load_unit("mke2fs.c").module
+        assert "ext2_super_block" in module.structs
+
+    def test_resize2fs_reads_bridge_struct(self):
+        from repro.lang.ir import LoadField
+
+        module = load_unit("resize2fs.c").module
+        loads = [i for fn in module.functions.values()
+                 for i in fn.instructions()
+                 if isinstance(i, LoadField) and i.struct == "ext2_super_block"]
+        assert loads
+
+    def test_ext4_fill_super_avoids_bridge_struct(self):
+        """ext4_fill_super (the pre-selected function) reads only the
+        ext4_sb_info *copies*; the ext2_super_block loads live in
+        ext4_load_super — the designed inter-procedural gap (Table 5:
+        no mount-row CCDs for the intra-procedural prototype)."""
+        from repro.lang.ir import LoadField
+
+        module = load_unit("ext4_super.c").module
+        fill_super_loads = [
+            i for i in module.function("ext4_fill_super").instructions()
+            if isinstance(i, LoadField) and i.struct == "ext2_super_block"
+        ]
+        assert fill_super_loads == []
+        load_super_loads = [
+            i for i in module.function("ext4_load_super").instructions()
+            if isinstance(i, LoadField) and i.struct == "ext2_super_block"
+        ]
+        assert load_super_loads  # the copies do come from the bridge struct
+
+    def test_e2fsck_avoids_bridge_struct(self):
+        from repro.lang.ir import LoadField
+
+        module = load_unit("e2fsck.c").module
+        loads = [i for fn in module.functions.values()
+                 for i in fn.instructions()
+                 if isinstance(i, LoadField) and i.struct == "ext2_super_block"]
+        assert loads == []
+
+    def test_mke2fs_stores_every_bridged_field(self):
+        from repro.lang.ir import StoreField
+
+        module = load_unit("mke2fs.c").module
+        stored = {i.field for fn in module.functions.values()
+                  for i in fn.instructions() if isinstance(i, StoreField)}
+        for field in ("s_blocks_count", "s_feature_compat",
+                      "s_reserved_gdt_blocks", "s_inodes_per_group"):
+            assert field in stored

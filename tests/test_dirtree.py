@@ -1,0 +1,321 @@
+"""Tests for directory entries, the directory tree, and e2fsck pass 2."""
+
+import pytest
+
+from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.errors import ImageError, MountError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.dirent import (
+    DirBlock,
+    Dirent,
+    FT_DIR,
+    FT_REG_FILE,
+    FT_UNKNOWN,
+)
+from repro.fsimage.dirtree import DirectoryTree
+from repro.fsimage.image import Ext4Image
+from repro.fsimage.layout import ROOT_INO
+
+
+def format_dev(args=None, blocks=2048):
+    dev = BlockDevice(4096, 4096)
+    Mke2fs.from_args((args or []) + ["-b", "4096", str(blocks)]).run(dev)
+    return dev
+
+
+def fsck(dev, **kwargs):
+    kwargs.setdefault("force", True)
+    kwargs.setdefault("no_changes", True)
+    return E2fsck(E2fsckConfig(**kwargs)).run(dev)
+
+
+class TestDirent:
+    def test_record_len_aligned(self):
+        entry = Dirent(12, "abc")
+        assert entry.record_len() % 4 == 0
+        assert entry.record_len() >= 8 + 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ImageError):
+            Dirent(1, "")
+
+    def test_slash_rejected(self):
+        with pytest.raises(ImageError):
+            Dirent(1, "a/b")
+
+    def test_long_name_rejected(self):
+        with pytest.raises(ImageError):
+            Dirent(1, "x" * 300)
+
+
+class TestDirBlock:
+    def test_round_trip(self):
+        block = DirBlock(1024)
+        block.add(Dirent(2, ".", FT_DIR))
+        block.add(Dirent(2, "..", FT_DIR))
+        block.add(Dirent(12, "data.bin", FT_REG_FILE))
+        again = DirBlock.from_bytes(block.to_bytes())
+        assert [(e.inode, e.name, e.file_type) for e in again] == \
+               [(2, ".", FT_DIR), (2, "..", FT_DIR), (12, "data.bin", FT_REG_FILE)]
+
+    def test_serialized_length_is_block_size(self):
+        block = DirBlock(1024)
+        block.add(Dirent(5, "f"))
+        assert len(block.to_bytes()) == 1024
+
+    def test_empty_block_round_trip(self):
+        block = DirBlock(1024)
+        again = DirBlock.from_bytes(block.to_bytes())
+        assert len(again) == 0
+
+    def test_remove(self):
+        block = DirBlock(1024)
+        block.add(Dirent(5, "keep"))
+        block.add(Dirent(6, "drop"))
+        block.remove("drop")
+        assert block.find("drop") is None
+        assert block.find("keep").inode == 5
+
+    def test_overflow_rejected(self):
+        block = DirBlock(64)
+        block.add(Dirent(1, "a" * 40))
+        assert not block.fits(Dirent(2, "b" * 40))
+        with pytest.raises(ImageError):
+            block.add(Dirent(2, "b" * 40))
+
+    def test_corrupt_record_rejected(self):
+        with pytest.raises(ImageError):
+            DirBlock.from_bytes(b"\x01\x00\x00\x00\x02\x00\x05x" + bytes(56))
+
+
+class TestDirBlockProperties:
+    from hypothesis import given, strategies as st
+
+    _names = st.from_regex(r"[A-Za-z0-9_.\-]{1,24}", fullmatch=True)
+
+    @given(entries=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=2**31),
+                  _names,
+                  st.sampled_from([FT_UNKNOWN, FT_REG_FILE, FT_DIR])),
+        max_size=12, unique_by=lambda t: t[1]))
+    def test_round_trip_property(self, entries):
+        block = DirBlock(4096)
+        for ino, name, ftype in entries:
+            block.add(Dirent(ino, name, ftype))
+        again = DirBlock.from_bytes(block.to_bytes())
+        assert [(e.inode, e.name, e.file_type) for e in again] == entries
+
+    @given(entries=st.lists(_names, min_size=1, max_size=10, unique=True))
+    def test_remove_preserves_others(self, entries):
+        block = DirBlock(4096)
+        for i, name in enumerate(entries, 1):
+            block.add(Dirent(i, name))
+        victim = entries[len(entries) // 2]
+        block.remove(victim)
+        remaining = {e.name for e in DirBlock.from_bytes(block.to_bytes())}
+        assert remaining == set(entries) - {victim}
+
+
+class TestDirectoryTree:
+    def test_root_has_dot_entries(self):
+        image = Ext4Image.open(format_dev())
+        tree = DirectoryTree(image)
+        entries = {e.name: e.inode for e in tree.entries(ROOT_INO)}
+        assert entries["."] == ROOT_INO
+        assert entries[".."] == ROOT_INO
+
+    def test_add_lookup_remove(self):
+        image = Ext4Image.open(format_dev())
+        tree = DirectoryTree(image)
+        ino = image.create_file(2)
+        tree.add_entry(ROOT_INO, "hello.txt", ino)
+        assert tree.lookup(ROOT_INO, "hello.txt") == ino
+        tree.remove_entry(ROOT_INO, "hello.txt")
+        assert tree.lookup(ROOT_INO, "hello.txt") is None
+
+    def test_duplicate_name_rejected(self):
+        image = Ext4Image.open(format_dev())
+        tree = DirectoryTree(image)
+        ino = image.create_file(1)
+        tree.add_entry(ROOT_INO, "x", ino)
+        with pytest.raises(ImageError):
+            tree.add_entry(ROOT_INO, "x", ino)
+
+    def test_cannot_remove_dot(self):
+        image = Ext4Image.open(format_dev())
+        with pytest.raises(ImageError):
+            DirectoryTree(image).remove_entry(ROOT_INO, ".")
+
+    def test_directory_grows_new_block(self):
+        image = Ext4Image.open(format_dev())
+        tree = DirectoryTree(image)
+        root_before = image.read_inode(ROOT_INO)
+        for i in range(40):
+            ino = image.create_file(1)
+            tree.add_entry(ROOT_INO, f"file-with-a-long-name-{i:04d}-" + "x" * 120, ino)
+        root_after = image.read_inode(ROOT_INO)
+        assert len(root_after.data_blocks()) > len(root_before.data_blocks())
+        assert len(tree.names(ROOT_INO)) == 40
+
+    def test_filetype_feature_controls_entry_types(self):
+        image = Ext4Image.open(format_dev())  # filetype on by default
+        tree = DirectoryTree(image)
+        ino = image.create_file(1)
+        tree.add_entry(ROOT_INO, "typed", ino)
+        entry = next(e for e in tree.entries(ROOT_INO) if e.name == "typed")
+        assert entry.file_type == FT_REG_FILE
+
+        image2 = Ext4Image.open(format_dev(["-O", "^filetype"]))
+        tree2 = DirectoryTree(image2)
+        ino2 = image2.create_file(1)
+        tree2.add_entry(ROOT_INO, "untyped", ino2)
+        entry2 = next(e for e in tree2.entries(ROOT_INO) if e.name == "untyped")
+        assert entry2.file_type == FT_UNKNOWN
+
+    def test_make_directory_link_counts(self):
+        image = Ext4Image.open(format_dev())
+        tree = DirectoryTree(image)
+        sub = tree.make_directory(ROOT_INO, "subdir")
+        assert image.read_inode(sub).i_links_count == 2
+        assert image.read_inode(ROOT_INO).i_links_count == 3
+        assert tree.lookup(sub, "..") == ROOT_INO
+
+
+class TestMountNamespace:
+    def test_named_create_and_readdir(self):
+        handle = Ext4Mount.mount(format_dev())
+        handle.create_file(2, name="a.txt")
+        handle.create_file(2, name="b.txt")
+        assert sorted(handle.readdir()) == ["a.txt", "b.txt"]
+        handle.umount()
+
+    def test_lookup_and_unlink(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        ino = handle.create_file(2, name="doomed")
+        assert handle.lookup("doomed") == ino
+        handle.unlink("doomed")
+        assert handle.lookup("doomed") is None
+        handle.umount()
+        assert fsck(dev).is_clean
+
+    def test_unlink_missing_rejected(self):
+        handle = Ext4Mount.mount(format_dev())
+        with pytest.raises(MountError):
+            handle.unlink("ghost")
+        handle.umount()
+
+    def test_mkdir_and_nested_files(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        sub = handle.mkdir("docs")
+        ino = handle.create_file(1)
+        from repro.fsimage.dirtree import DirectoryTree
+
+        DirectoryTree(handle.image).add_entry(sub, "inner.txt", ino)
+        assert handle.readdir(sub) == ["inner.txt"]
+        handle.umount()
+        assert fsck(dev).is_clean
+
+    def test_namespace_survives_remount(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        handle.create_file(2, name="persist.dat")
+        handle.umount()
+        handle = Ext4Mount.mount(dev)
+        assert handle.lookup("persist.dat") is not None
+        handle.umount()
+
+
+class TestPass2:
+    def test_clean_namespace_passes(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        handle.create_file(2, name="ok")
+        handle.mkdir("dir")
+        handle.umount()
+        assert fsck(dev).is_clean
+
+    def _image_with_named_file(self, args=None):
+        dev = format_dev(args)
+        handle = Ext4Mount.mount(dev)
+        ino = handle.create_file(2, name="victim")
+        handle.umount()
+        return dev, ino
+
+    def test_dangling_entry_detected_and_fixed(self):
+        dev, ino = self._image_with_named_file()
+        image = Ext4Image.open(dev)
+        image.delete_file(ino)  # inode gone, entry remains
+        image.flush()
+        result = fsck(dev)
+        assert any(p.code == "DIRENT_UNUSED_INO" for p in result.problems)
+        repair = fsck(dev, no_changes=False, assume_yes=True)
+        assert repair.exit_code == 1
+        assert fsck(dev).is_clean
+
+    def test_bad_inode_number_detected(self):
+        dev, _ino = self._image_with_named_file()
+        image = Ext4Image.open(dev)
+        DirectoryTree(image).add_entry  # (tree used below)
+        from repro.fsimage.dirent import DirBlock
+
+        root = image.read_inode(ROOT_INO)
+        blockno = root.data_blocks()[0]
+        block = DirBlock.from_bytes(image.dev.read_block(blockno))
+        block.find("victim").inode = 99999
+        image.dev.write_block(blockno, block.to_bytes())
+        result = fsck(dev)
+        assert any(p.code == "DIRENT_BAD_INO" for p in result.problems)
+
+    def test_wrong_filetype_detected_and_fixed(self):
+        dev, _ino = self._image_with_named_file()
+        image = Ext4Image.open(dev)
+        from repro.fsimage.dirent import DirBlock
+
+        root = image.read_inode(ROOT_INO)
+        blockno = root.data_blocks()[0]
+        block = DirBlock.from_bytes(image.dev.read_block(blockno))
+        block.find("victim").file_type = FT_DIR  # it is a regular file
+        image.dev.write_block(blockno, block.to_bytes())
+        result = fsck(dev)
+        assert any(p.code == "DIRENT_BAD_TYPE" for p in result.problems)
+        fsck(dev, no_changes=False, assume_yes=True)
+        assert fsck(dev).is_clean
+
+    def test_type_without_feature_detected(self):
+        """CCD flavour: filetype data on disk although mke2fs never
+        enabled the feature."""
+        dev, _ino = self._image_with_named_file(["-O", "^filetype"])
+        image = Ext4Image.open(dev)
+        from repro.fsimage.dirent import DirBlock
+
+        root = image.read_inode(ROOT_INO)
+        blockno = root.data_blocks()[0]
+        block = DirBlock.from_bytes(image.dev.read_block(blockno))
+        block.find("victim").file_type = FT_REG_FILE
+        image.dev.write_block(blockno, block.to_bytes())
+        result = fsck(dev)
+        assert any(p.code == "DIRENT_TYPE_NO_FEATURE" for p in result.problems)
+
+    def test_link_count_mismatch_detected_and_fixed(self):
+        dev, ino = self._image_with_named_file()
+        image = Ext4Image.open(dev)
+        inode = image.read_inode(ino)
+        inode.i_links_count = 7
+        image.write_inode(ino, inode)
+        image.flush()
+        result = fsck(dev)
+        assert any(p.code == "LINK_COUNT" for p in result.problems)
+        fsck(dev, no_changes=False, assume_yes=True)
+        assert fsck(dev).is_clean
+
+    def test_corrupt_directory_block_detected(self):
+        dev, _ino = self._image_with_named_file()
+        image = Ext4Image.open(dev)
+        root = image.read_inode(ROOT_INO)
+        image.dev.write_block(root.data_blocks()[0], b"\xff" * 64)
+        result = fsck(dev)
+        assert any(p.code == "DIR_CORRUPT" for p in result.problems)

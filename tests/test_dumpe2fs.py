@@ -1,0 +1,90 @@
+"""Tests for the dumpe2fs inspector."""
+
+import pytest
+
+from repro.ecosystem.dumpe2fs import Dumpe2fs, Dumpe2fsConfig
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.errors import BadSuperblock, UsageError
+from repro.fsimage.blockdev import BlockDevice
+
+
+def format_dev(args=None, blocks=2048):
+    dev = BlockDevice(4096, 4096)
+    Mke2fs.from_args((args or []) + ["-b", "4096", str(blocks)]).run(dev)
+    return dev
+
+
+class TestConfig:
+    def test_flags(self):
+        cfg = Dumpe2fsConfig.from_args(["-h"])
+        assert cfg.header_only
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(UsageError):
+            Dumpe2fsConfig.from_args(["-Z"])
+
+
+class TestDump:
+    def test_reports_geometry(self):
+        report = Dumpe2fs().run(format_dev(["-L", "demo"]))
+        assert report.blocks_count == 2048
+        assert report.block_size == 4096
+        assert report.volume_name == "demo"
+        assert report.state_clean
+
+    def test_reports_features(self):
+        report = Dumpe2fs().run(format_dev())
+        assert "extent" in report.features
+        assert "has_journal" in report.features
+
+    def test_reports_sparse_super2_backups(self):
+        dev = BlockDevice(16384, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256",
+                          "-O", "sparse_super2,^resize_inode,^has_journal",
+                          "8192"]).run(dev)
+        report = Dumpe2fs().run(dev)
+        assert len(report.backup_groups) == 2
+
+    def test_groups_cover_filesystem(self):
+        dev = format_dev(["-g", "1024"])
+        report = Dumpe2fs().run(dev)
+        assert len(report.groups) == 2
+        assert report.groups[0].first_block == 0
+        assert report.groups[-1].last_block == 2047
+
+    def test_header_only_skips_groups(self):
+        report = Dumpe2fs(Dumpe2fsConfig(header_only=True)).run(format_dev())
+        assert report.groups == []
+        assert report.blocks_count == 2048
+
+    def test_free_counts_match_image(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        handle.create_file(10)
+        handle.umount()
+        report = Dumpe2fs().run(dev)
+        assert report.free_blocks == sum(g.free_blocks for g in report.groups)
+
+    def test_unclean_state_reported(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        report = None
+        try:
+            dev.ext4_mounted = False  # peek mid-mount, as dumpe2fs can
+            report = Dumpe2fs().run(dev)
+        finally:
+            dev.ext4_mounted = True
+            handle.umount()
+        assert report is not None
+        assert not report.state_clean
+
+    def test_blank_device_rejected(self):
+        with pytest.raises(BadSuperblock):
+            Dumpe2fs().run(BlockDevice(64, 4096))
+
+    def test_render(self):
+        text = Dumpe2fs().run(format_dev(["-L", "vol"])).render()
+        assert "Filesystem volume name:   vol" in text
+        assert "Block count:              2048" in text
+        assert "Group 0:" in text

@@ -1,0 +1,270 @@
+"""Tests for the simulated e2fsck."""
+
+import pytest
+
+from repro.ecosystem.e2fsck import (
+    E2fsck,
+    E2fsckConfig,
+    EXIT_FIXED,
+    EXIT_OK,
+    EXIT_OP_ERROR,
+    EXIT_UNFIXED,
+)
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.errors import AlreadyMountedError, UsageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.image import Ext4Image
+from repro.fsimage.layout import SUPERBLOCK_OFFSET
+
+
+def format_dev(args=None, blocks=2048):
+    dev = BlockDevice(4096, 4096)
+    Mke2fs.from_args((args or []) + ["-b", "4096", str(blocks)]).run(dev)
+    return dev
+
+
+def run_fsck(dev, **kwargs):
+    return E2fsck(E2fsckConfig(**kwargs)).run(dev)
+
+
+class TestConfigParsing:
+    def test_flags(self):
+        cfg = E2fsckConfig.from_args(["-p", "-f", "-v", "-D"])
+        assert cfg.preen and cfg.force and cfg.verbose and cfg.optimize_dirs
+
+    def test_dash_a_is_preen(self):
+        assert E2fsckConfig.from_args(["-a"]).preen
+
+    def test_backup_superblock(self):
+        cfg = E2fsckConfig.from_args(["-b", "32768", "-B", "4096"])
+        assert cfg.superblock == 32768
+        assert cfg.blocksize == 4096
+
+    def test_extended_options(self):
+        cfg = E2fsckConfig.from_args(["-E", "journal_only,fragcheck"])
+        assert cfg.journal_only and cfg.fragcheck
+
+    def test_unknown_extended_rejected(self):
+        with pytest.raises(UsageError):
+            E2fsckConfig.from_args(["-E", "warp"])
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(UsageError):
+            E2fsckConfig.from_args(["-q"])
+
+
+class TestCrossParameterRules:
+    def test_p_n_y_mutually_exclusive(self):
+        dev = format_dev()
+        for kwargs in ({"preen": True, "assume_yes": True},
+                       {"preen": True, "no_changes": True},
+                       {"assume_yes": True, "no_changes": True}):
+            with pytest.raises(UsageError):
+                run_fsck(dev, **kwargs)
+
+    def test_optimize_dirs_conflicts_no_changes(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            run_fsck(dev, optimize_dirs=True, no_changes=True)
+
+    def test_blocksize_requires_superblock(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            run_fsck(dev, blocksize=4096)
+
+
+class TestCleanHandling:
+    def test_clean_fs_skipped_without_force(self):
+        result = run_fsck(format_dev())
+        assert result.clean_skip
+        assert result.exit_code == EXIT_OK
+
+    def test_force_runs_full_check(self):
+        result = run_fsck(format_dev(), force=True, no_changes=True)
+        assert not result.clean_skip
+        assert result.is_clean
+
+    def test_unclean_fs_checked_automatically(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_state = 0
+        image.flush()
+        result = run_fsck(dev, no_changes=True)
+        assert not result.clean_skip
+
+    def test_mounted_device_rejected(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        with pytest.raises(AlreadyMountedError):
+            run_fsck(dev)
+        handle.umount()
+
+    def test_blank_device_is_operational_error(self):
+        result = run_fsck(BlockDevice(64, 4096))
+        assert result.exit_code == EXIT_OP_ERROR
+
+
+class TestDetection:
+    def test_free_count_mismatch_detected(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_free_blocks_count += 7
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "SB_FREE_BLOCKS" for p in result.problems)
+        assert result.exit_code == EXIT_UNFIXED
+
+    def test_group_free_count_mismatch_detected(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.group_descs[0].bg_free_blocks_count -= 3
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "GD_FREE_BLOCKS" for p in result.problems)
+
+    def test_free_inode_mismatch_detected(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_free_inodes_count -= 2
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "SB_FREE_INODES" for p in result.problems)
+
+    def test_unmarked_block_detected(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        ino = image.create_file(2)
+        block = image.read_inode(ino).data_blocks()[0]
+        g, idx = image._locate_block(block)
+        image.block_bitmaps[g].clear(idx)
+        image.group_descs[g].bg_free_blocks_count += 1
+        image.sb.s_free_blocks_count += 1
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "BLOCK_UNMARKED" for p in result.problems)
+
+    def test_shared_block_detected(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        first = image.create_file(2)
+        second = image.create_file(2)
+        inode = image.read_inode(second)
+        inode.set_direct_blocks(image.read_inode(first).data_blocks())
+        image.write_inode(second, inode)
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "BLOCK_SHARED" for p in result.problems)
+
+    def test_out_of_range_block_detected(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        ino = image.create_file(1)
+        inode = image.read_inode(ino)
+        inode.set_direct_blocks([image.sb.s_blocks_count + 5])
+        image.write_inode(ino, inode)
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "BLOCK_RANGE" for p in result.problems)
+
+    def test_bad_backup_bgs_detected(self):
+        dev = format_dev(["-O", "sparse_super2,^resize_inode"])
+        image = Ext4Image.open(dev)
+        image.sb.s_backup_bgs = (1, 99)
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "SB_BACKUP_BGS" for p in result.problems)
+
+    def test_inode_count_mismatch_detected(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_inodes_count += 8
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True)
+        assert any(p.code == "SB_INODES" for p in result.problems)
+
+
+class TestRepair:
+    def test_assume_yes_fixes_free_counts(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_free_blocks_count += 5
+        image.group_descs[0].bg_free_inodes_count -= 1
+        image.flush()
+        result = run_fsck(dev, force=True, assume_yes=True)
+        assert result.exit_code == EXIT_FIXED
+        assert all(p.fixed for p in result.problems)
+        again = run_fsck(dev, force=True, no_changes=True)
+        assert again.is_clean
+
+    def test_preen_fixes_too(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_free_blocks_count -= 1
+        image.flush()
+        result = run_fsck(dev, force=True, preen=True)
+        assert result.exit_code == EXIT_FIXED
+
+    def test_no_changes_never_writes(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_free_blocks_count += 5
+        image.flush()
+        snapshot = dev.snapshot()
+        run_fsck(dev, force=True, no_changes=True)
+        assert dev.snapshot() == snapshot
+
+    def test_repair_restores_clean_state(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_state = 0
+        image.sb.s_free_blocks_count += 1
+        image.flush()
+        run_fsck(dev, assume_yes=True)
+        from repro.fsimage.layout import STATE_CLEAN
+
+        assert Ext4Image.open(dev).sb.s_state & STATE_CLEAN
+
+
+class TestBackupSuperblock:
+    def test_recover_from_destroyed_primary(self):
+        dev = format_dev(["-g", "1024"])  # 2 groups => backup in group 1
+        image = Ext4Image.open(dev)
+        backup_locations = E2fsck().backup_superblock_locations(image)
+        assert backup_locations
+        # destroy the primary superblock
+        dev.write_bytes(SUPERBLOCK_OFFSET, b"\x00" * 1024)
+        plain = run_fsck(dev)
+        assert plain.exit_code == EXIT_OP_ERROR
+        rescued = run_fsck(dev, superblock=backup_locations[0], assume_yes=True)
+        assert rescued.exit_code in (EXIT_OK, EXIT_FIXED)
+        # primary restored
+        assert Ext4Image.open(dev).sb.s_blocks_count == 2048
+
+    def test_backup_location_depends_on_mkfs_layout(self):
+        """CCD: e2fsck -b vs mke2fs sparse_super placement."""
+        dev = format_dev(["-g", "1024"])
+        image = Ext4Image.open(dev)
+        locations = E2fsck().backup_superblock_locations(image)
+        assert locations == [image.sb.group_first_block(1)]
+
+    def test_bad_backup_block_reported(self):
+        dev = format_dev()
+        dev.write_bytes(SUPERBLOCK_OFFSET, b"\x00" * 1024)
+        result = run_fsck(dev, superblock=3)  # not a backup location
+        assert result.exit_code == EXIT_OP_ERROR
+
+    def test_blocksize_mismatch_reported(self):
+        dev = format_dev()
+        result = E2fsck(E2fsckConfig(superblock=512, blocksize=1024)).run(dev)
+        assert result.exit_code == EXIT_OP_ERROR
+
+
+class TestFragcheck:
+    def test_fragcheck_reports_fragments(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.create_file(4, fragmented=True)
+        image.flush()
+        result = run_fsck(dev, force=True, no_changes=True, fragcheck=True)
+        assert any("fragments" in m for m in result.messages)

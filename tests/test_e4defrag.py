@@ -1,0 +1,121 @@
+"""Tests for the simulated e4defrag."""
+
+import pytest
+
+from repro.ecosystem.e4defrag import E4defrag, E4defragConfig
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.errors import NotMountedError, UsageError
+from repro.fsimage.blockdev import BlockDevice
+
+
+def mounted(feature_args=None, options=""):
+    dev = BlockDevice(4096, 4096)
+    Mke2fs.from_args((feature_args or []) + ["-b", "4096", "2048"]).run(dev)
+    return Ext4Mount.mount(dev, options)
+
+
+class TestConfig:
+    def test_from_args(self):
+        cfg = E4defragConfig.from_args(["-c", "-v", "12"])
+        assert cfg.check_only and cfg.verbose and cfg.target == 12
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(UsageError):
+            E4defragConfig.from_args(["-x"])
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(UsageError):
+            E4defragConfig.from_args(["notanumber"])
+
+
+class TestDefrag:
+    def test_defragments_fragmented_file(self):
+        handle = mounted()
+        ino = handle.create_file(5, fragmented=True)
+        assert handle.image.read_inode(ino).fragment_count() == 5
+        report = E4defrag().run(handle)
+        assert report.defragmented == 1
+        assert handle.image.read_inode(ino).fragment_count() == 1
+        handle.umount()
+
+    def test_defragmented_file_becomes_extent_mapped(self):
+        handle = mounted()
+        ino = handle.create_file(5, fragmented=True)
+        E4defrag().run(handle)
+        assert handle.image.read_inode(ino).uses_extents
+        handle.umount()
+
+    def test_contiguous_file_untouched(self):
+        handle = mounted()
+        handle.create_file(5)
+        report = E4defrag().run(handle)
+        assert report.already_ideal == 1
+        assert report.defragmented == 0
+        handle.umount()
+
+    def test_check_only_changes_nothing(self):
+        handle = mounted()
+        ino = handle.create_file(5, fragmented=True)
+        report = E4defrag(E4defragConfig(check_only=True)).run(handle)
+        assert report.defragmented == 0
+        assert handle.image.read_inode(ino).fragment_count() == 5
+        handle.umount()
+
+    def test_requires_extent_feature(self):
+        """CCD behavioral: e4defrag depends on mke2fs -O extent."""
+        handle = mounted(["-O", "^extent"])
+        with pytest.raises(UsageError):
+            E4defrag().run(handle)
+        handle.umount()
+
+    def test_requires_mounted_fs(self):
+        handle = mounted()
+        handle.umount()
+        with pytest.raises(NotMountedError):
+            E4defrag().run(handle)
+
+    def test_read_only_mount_rejected_unless_check(self):
+        handle = mounted(options="ro")
+        with pytest.raises(UsageError):
+            E4defrag().run(handle)
+        report = E4defrag(E4defragConfig(check_only=True)).run(handle)
+        assert report.examined == 0
+        handle.umount()
+
+    def test_target_filters_files(self):
+        handle = mounted()
+        first = handle.create_file(4, fragmented=True)
+        second = handle.create_file(4, fragmented=True)
+        report = E4defrag(E4defragConfig(target=first)).run(handle)
+        assert report.examined == 1
+        assert handle.image.read_inode(first).fragment_count() == 1
+        assert handle.image.read_inode(second).fragment_count() == 4
+        handle.umount()
+
+    def test_verbose_records_messages(self):
+        handle = mounted()
+        handle.create_file(4, fragmented=True)
+        tool = E4defrag(E4defragConfig(verbose=True))
+        tool.run(handle)
+        assert any("extents" in m for m in tool.messages)
+        handle.umount()
+
+    def test_score_reflects_fragmentation(self):
+        handle = mounted()
+        handle.create_file(4, fragmented=True)
+        before = E4defrag(E4defragConfig(check_only=True)).run(handle)
+        assert before.score > 1.0
+        E4defrag().run(handle)
+        after = E4defrag(E4defragConfig(check_only=True)).run(handle)
+        assert after.score == 1.0
+        handle.umount()
+
+    def test_consistency_preserved(self):
+        handle = mounted()
+        for _ in range(3):
+            handle.create_file(4, fragmented=True)
+        E4defrag().run(handle)
+        image = handle.image
+        assert image.sb.s_free_blocks_count == image.total_computed_free_blocks()
+        handle.umount()

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.BlockDeviceError, errors.OutOfRangeIO, errors.DeviceClosedError,
+        errors.ImageError, errors.BadSuperblock, errors.BadGroupDescriptor,
+        errors.AllocationError, errors.CorruptionDetected, errors.UsageError,
+        errors.MountError, errors.NotMountedError, errors.AlreadyMountedError,
+        errors.FrontendError, errors.LexError, errors.ParseError,
+        errors.SemanticError, errors.LoweringError, errors.AnalysisError,
+        errors.UnknownComponentError, errors.UnknownFunctionError,
+        errors.SourceAnnotationError, errors.DatasetError, errors.ManualError,
+    ])
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_io_errors_are_block_device_errors(self):
+        assert issubclass(errors.OutOfRangeIO, errors.BlockDeviceError)
+        assert issubclass(errors.DeviceClosedError, errors.BlockDeviceError)
+
+    def test_format_errors_are_image_errors(self):
+        assert issubclass(errors.BadSuperblock, errors.ImageError)
+        assert issubclass(errors.CorruptionDetected, errors.ImageError)
+
+    def test_frontend_errors_carry_location(self):
+        exc = errors.ParseError("unexpected token", "foo.c", 12, 3)
+        assert str(exc) == "foo.c:12:3: unexpected token"
+        assert (exc.filename, exc.line, exc.col) == ("foo.c", 12, 3)
+        assert exc.plain_message == "unexpected token"
+
+    def test_usage_error_carries_component(self):
+        exc = errors.UsageError("mke2fs", "invalid block size")
+        assert exc.component == "mke2fs"
+        assert str(exc) == "mke2fs: invalid block size"
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.UnknownFunctionError("missing")

@@ -1,0 +1,162 @@
+"""Tests for the scenario extractor — the Table-5 reproduction."""
+
+import pytest
+
+from repro.analysis.extractor import Extractor, SCENARIOS, ScenarioSpec
+from repro.analysis.groundtruth import (
+    EXPECTED_UNIQUE,
+    FALSE_POSITIVE_KEYS,
+    split_validated,
+)
+from repro.analysis.model import Category, ParamRef, SubKind
+from repro.errors import UnknownFunctionError
+
+
+class TestTable5Headline:
+    """The paper's §4.3 headline numbers, exactly."""
+
+    def test_total_unique_64(self, extraction_report):
+        assert extraction_report.total_extracted == 64
+
+    def test_five_false_positives(self, extraction_report):
+        assert extraction_report.total_false_positives == 5
+
+    def test_overall_fp_rate(self, extraction_report):
+        assert extraction_report.overall_fp_rate == pytest.approx(5 / 64)
+
+    @pytest.mark.parametrize("category", list(Category))
+    def test_union_counts_per_category(self, extraction_report, category):
+        expected_count, expected_fp = EXPECTED_UNIQUE[category]
+        counts = extraction_report.union_counts()[category]
+        assert counts.extracted == expected_count
+        assert counts.false_positives == expected_fp
+
+    def test_fifty_nine_true_dependencies(self, extraction_report):
+        assert len(extraction_report.true_dependencies()) == 59
+
+
+class TestTable5Rows:
+    """Per-scenario rows (CPD and CCD exactly as printed; SD rows match
+    the paper where set semantics permit — see DESIGN.md)."""
+
+    def test_cpd_rows(self, extraction_report):
+        rows = [r.counts()[Category.CPD].extracted
+                for r in extraction_report.scenarios]
+        assert rows == [24, 24, 26, 26]
+
+    def test_ccd_rows(self, extraction_report):
+        rows = [r.counts()[Category.CCD].extracted
+                for r in extraction_report.scenarios]
+        assert rows == [0, 0, 6, 0]
+
+    def test_sd_rows(self, extraction_report):
+        rows = [r.counts()[Category.SD].extracted
+                for r in extraction_report.scenarios]
+        assert rows == [29, 29, 32, 32]
+
+    def test_ccd_fp_only_in_resize_scenario(self, extraction_report):
+        fps = [r.counts()[Category.CCD].false_positives
+               for r in extraction_report.scenarios]
+        assert fps == [0, 0, 1, 0]
+
+    def test_e4defrag_adds_nothing(self, extraction_report):
+        base, defrag = extraction_report.scenarios[:2]
+        assert {d.key() for d in base.dependencies} == \
+               {d.key() for d in defrag.dependencies}
+
+    def test_scenario_names_match_tables(self, extraction_report):
+        names = [r.spec.name for r in extraction_report.scenarios]
+        assert names == [
+            "mke2fs - mount - Ext4",
+            "mke2fs - mount - Ext4 - e4defrag",
+            "mke2fs - mount - Ext4 - umount - resize2fs",
+            "mke2fs - mount - Ext4 - umount - e2fsck",
+        ]
+
+
+class TestExtractedContent:
+    def test_figure1_dependencies_extracted(self, extraction_report):
+        """Figure 1's two dependencies must both be found."""
+        keys = {d.key() for d in extraction_report.union}
+        assert "CCD.behavioral:mke2fs.sparse_super2,resize2fs.*@s_feature_compat" in keys
+        assert "CCD.behavioral:mke2fs.fs_size,resize2fs.size@s_blocks_count" in keys
+
+    def test_papers_cpd_example_extracted(self, extraction_report):
+        """'meta_bg and resize_inode can not be used together' (§4.3)."""
+        keys = {d.key() for d in extraction_report.union}
+        assert "CPD.control:mke2fs.meta_bg,mke2fs.resize_inode:conflicts" in keys
+
+    def test_exactly_one_ccd_control(self, extraction_report):
+        controls = [d for d in extraction_report.union
+                    if d.kind is SubKind.CCD_CONTROL]
+        assert len(controls) == 1
+        assert controls[0].params == (ParamRef("resize2fs", "enable_64bit"),
+                                      ParamRef("mke2fs", "64bit"))
+
+    def test_every_ccd_names_bridge_field(self, extraction_report):
+        for dep in extraction_report.union:
+            if dep.category is Category.CCD:
+                assert dep.bridge_field
+
+    def test_all_fp_keys_actually_extracted(self, extraction_report):
+        keys = {d.key() for d in extraction_report.union}
+        assert FALSE_POSITIVE_KEYS <= keys
+
+    def test_split_validated(self, extraction_report):
+        true_deps, false_deps = split_validated(extraction_report.union)
+        assert len(true_deps) == 59
+        assert len(false_deps) == 5
+
+    def test_evidence_points_into_corpus(self, extraction_report):
+        for dep in extraction_report.union:
+            assert dep.evidence.filename.endswith(".c")
+            assert dep.evidence.function
+
+    def test_union_has_no_duplicate_keys(self, extraction_report):
+        keys = [d.key() for d in extraction_report.union]
+        assert len(keys) == len(set(keys))
+
+    def test_determinism(self, extraction_report):
+        again = Extractor().extract_all()
+        assert {d.key() for d in again.union} == \
+               {d.key() for d in extraction_report.union}
+
+
+class TestCustomScenarios:
+    def test_single_component_scenario(self):
+        spec = ScenarioSpec(
+            name="mke2fs only",
+            key_utilities=("mke2fs",),
+            selected=(("mke2fs.c", ("parse_mke2fs_options",)),),
+        )
+        result = Extractor((spec,)).extract_scenario(spec)
+        counts = result.counts()
+        assert counts[Category.SD].extracted > 0
+        assert counts[Category.CCD].extracted == 0
+
+    def test_unknown_function_rejected(self):
+        spec = ScenarioSpec(
+            name="bad",
+            key_utilities=("mke2fs",),
+            selected=(("mke2fs.c", ("no_such_function",)),),
+        )
+        with pytest.raises(UnknownFunctionError):
+            Extractor((spec,)).extract_scenario(spec)
+
+    def test_writer_only_scenario_has_no_ccd(self):
+        spec = ScenarioSpec(
+            name="writer only",
+            key_utilities=("mke2fs",),
+            selected=(("mke2fs.c", ("write_superblock",)),),
+        )
+        result = Extractor((spec,)).extract_scenario(spec)
+        assert result.counts()[Category.CCD].extracted == 0
+
+    def test_reader_without_writer_has_no_ccd(self):
+        spec = ScenarioSpec(
+            name="reader only",
+            key_utilities=("resize2fs",),
+            selected=(("resize2fs.c", ("resize_fs",)),),
+        )
+        result = Extractor((spec,)).extract_scenario(spec)
+        assert result.counts()[Category.CCD].extracted == 0

@@ -1,0 +1,106 @@
+"""Tests for the ext4 feature registry."""
+
+import pytest
+
+from repro.ecosystem.featureset import (
+    COMPAT,
+    DEFAULT_EXT4_FEATURES,
+    FeatureSet,
+    INCOMPAT,
+    RO_COMPAT,
+    all_feature_names,
+    parse_feature_string,
+    word_of,
+)
+
+
+class TestRegistry:
+    def test_kernel_bit_values(self):
+        assert COMPAT.bit("has_journal") == 0x0004
+        assert COMPAT.bit("sparse_super2") == 0x0200
+        assert INCOMPAT.bit("extent") == 0x0040
+        assert INCOMPAT.bit("64bit") == 0x0080
+        assert INCOMPAT.bit("inline_data") == 0x8000
+        assert RO_COMPAT.bit("sparse_super") == 0x0001
+        assert RO_COMPAT.bit("metadata_csum") == 0x0400
+
+    def test_word_of(self):
+        assert word_of("has_journal") == "compat"
+        assert word_of("extent") == "incompat"
+        assert word_of("bigalloc") == "ro_compat"
+
+    def test_word_of_unknown(self):
+        with pytest.raises(KeyError):
+            word_of("warp_drive")
+
+    def test_no_name_collisions_across_words(self):
+        names = all_feature_names()
+        assert len(names) == len(set(names))
+
+    def test_total_feature_count(self):
+        assert len(all_feature_names()) == len(COMPAT) + len(INCOMPAT) + len(RO_COMPAT)
+
+
+class TestFeatureSet:
+    def test_defaults(self):
+        features = FeatureSet.ext4_defaults()
+        assert set(DEFAULT_EXT4_FEATURES) == features.enabled()
+
+    def test_enable_disable(self):
+        features = FeatureSet()
+        features.enable("bigalloc")
+        assert "bigalloc" in features
+        features.disable("bigalloc")
+        assert "bigalloc" not in features
+
+    def test_disable_absent_is_noop(self):
+        FeatureSet().disable("bigalloc")
+
+    def test_enable_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            FeatureSet().enable("hyperspace")
+
+    def test_pack_words(self):
+        features = FeatureSet(["has_journal", "extent", "sparse_super"])
+        compat, incompat, ro = features.pack_words()
+        assert compat == 0x0004
+        assert incompat == 0x0040
+        assert ro == 0x0001
+
+    def test_from_words_round_trip(self):
+        features = FeatureSet(["has_journal", "64bit", "bigalloc", "extent"])
+        again = FeatureSet.from_words(*features.pack_words())
+        assert again.enabled() == features.enabled()
+
+    def test_copy_is_independent(self):
+        features = FeatureSet(["extent"])
+        clone = features.copy()
+        clone.enable("64bit")
+        assert "64bit" not in features
+
+    def test_iteration_sorted(self):
+        features = FeatureSet(["quota", "extent", "bigalloc"])
+        assert list(features) == sorted(["quota", "extent", "bigalloc"])
+
+    def test_len(self):
+        assert len(FeatureSet(["extent", "quota"])) == 2
+
+
+class TestParseFeatureString:
+    def test_single_enable(self):
+        assert parse_feature_string("extent") == (("extent", True),)
+
+    def test_caret_disables(self):
+        assert parse_feature_string("^resize_inode") == (("resize_inode", False),)
+
+    def test_mixed_list(self):
+        parsed = parse_feature_string("sparse_super2,^resize_inode, extent")
+        assert parsed == (("sparse_super2", True), ("resize_inode", False),
+                          ("extent", True))
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(KeyError):
+            parse_feature_string("sparse_super3")
+
+    def test_empty_tokens_skipped(self):
+        assert parse_feature_string("extent,,") == (("extent", True),)

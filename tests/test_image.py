@@ -1,0 +1,279 @@
+"""Tests for the ext4 image layer: formatting, allocation, persistence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, BadSuperblock, ImageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.image import (
+    COMPAT_HAS_JOURNAL,
+    COMPAT_SPARSE_SUPER2,
+    Ext4Image,
+    RO_COMPAT_SPARSE_SUPER,
+    _blocks_to_extents,
+    compute_group_layout,
+    gdt_size_blocks,
+    group_has_super,
+    journal_size_blocks,
+)
+from repro.fsimage.layout import JOURNAL_INO, ROOT_INO, Superblock
+
+
+def make_sb(blocks=8192, bpg=1024, ipg=64, **kwargs) -> Superblock:
+    return Superblock(
+        s_blocks_count=blocks,
+        s_first_data_block=0,
+        s_log_block_size=2,
+        s_log_cluster_size=2,
+        s_blocks_per_group=bpg,
+        s_clusters_per_group=bpg,
+        s_inodes_per_group=ipg,
+        s_inodes_count=ipg * ((blocks + bpg - 1) // bpg),
+        s_inode_size=256,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def image(dev) -> Ext4Image:
+    return Ext4Image.format(dev, make_sb(blocks=4096))
+
+
+class TestBackupPlacement:
+    def test_group_zero_always_has_super(self):
+        assert group_has_super(make_sb(), 0)
+
+    def test_no_sparse_every_group_has_super(self):
+        sb = make_sb()
+        assert all(group_has_super(sb, g) for g in range(sb.group_count))
+
+    def test_sparse_super_powers(self):
+        sb = make_sb(blocks=32768, s_feature_ro_compat=RO_COMPAT_SPARSE_SUPER)
+        with_super = [g for g in range(sb.group_count) if group_has_super(sb, g)]
+        assert with_super == [0, 1, 3, 5, 7, 9, 25, 27]
+
+    def test_sparse_super2_only_recorded_groups(self):
+        sb = make_sb(blocks=8192, s_feature_compat=COMPAT_SPARSE_SUPER2,
+                     s_backup_bgs=(1, 7))
+        with_super = [g for g in range(sb.group_count) if group_has_super(sb, g)]
+        assert with_super == [0, 1, 7]
+
+
+class TestLayout:
+    def test_layout_overhead_ordering(self):
+        sb = make_sb()
+        layout = compute_group_layout(sb, 0)
+        assert layout.block_bitmap < layout.inode_bitmap < layout.inode_table
+        assert layout.first_data_block == layout.inode_table + layout.inode_table_blocks
+
+    def test_group_without_super_has_no_gdt(self):
+        sb = make_sb(blocks=8192, s_feature_ro_compat=RO_COMPAT_SPARSE_SUPER)
+        layout = compute_group_layout(sb, 2)
+        assert not layout.has_super
+        assert layout.gdt_blocks == 0
+        assert layout.block_bitmap == layout.first_block
+
+    def test_too_small_group_rejected(self):
+        sb = make_sb(bpg=256, ipg=4096)  # inode table larger than the group
+        with pytest.raises(ImageError):
+            compute_group_layout(sb, 0)
+
+    def test_gdt_size(self):
+        sb = make_sb(blocks=8192, bpg=1024)  # 8 groups, 24B each
+        assert gdt_size_blocks(sb) == 1
+
+    def test_journal_size_clamped(self):
+        assert journal_size_blocks(make_sb(blocks=1024)) == 64
+        assert journal_size_blocks(make_sb(blocks=10**6)) == 1024
+
+
+class TestFormat:
+    def test_format_writes_valid_superblock(self, image):
+        again = Ext4Image.open(image.dev)
+        assert again.sb.s_blocks_count == 4096
+
+    def test_format_counts_consistent(self, image):
+        assert image.sb.s_free_blocks_count == image.total_computed_free_blocks()
+        assert image.sb.s_free_inodes_count == image.total_computed_free_inodes()
+
+    def test_root_inode_is_directory(self, image):
+        assert image.read_inode(ROOT_INO).is_directory
+
+    def test_reserved_inodes_marked_used(self, image):
+        assert image.computed_free_inodes(0) <= image.sb.s_inodes_per_group - 10
+
+    def test_journal_created_when_requested(self, dev):
+        image = Ext4Image.format(dev, make_sb(
+            blocks=4096, s_feature_compat=COMPAT_HAS_JOURNAL))
+        journal = image.read_inode(JOURNAL_INO)
+        assert journal.in_use
+        assert journal.fragment_count() == 1  # journal is contiguous
+
+    def test_block_size_mismatch_rejected(self, dev):
+        sb = make_sb(blocks=1024)
+        sb = sb.copy(s_log_block_size=0, s_log_cluster_size=0)
+        with pytest.raises(ImageError):
+            Ext4Image.format(dev, sb)
+
+    def test_oversized_fs_rejected(self, small_dev):
+        with pytest.raises(ImageError):
+            Ext4Image.format(small_dev, make_sb(blocks=100000))
+
+    def test_backups_written_for_sparse_super(self, dev):
+        sb = make_sb(blocks=4096, s_feature_ro_compat=RO_COMPAT_SPARSE_SUPER)
+        image = Ext4Image.format(dev, sb)
+        backup_block = sb.group_first_block(1)
+        raw = dev.read_block(backup_block)
+        backup = Superblock.unpack(raw[:1024])
+        assert backup.s_blocks_count == 4096
+
+
+class TestOpen:
+    def test_open_rejects_blank_device(self, dev):
+        with pytest.raises(BadSuperblock):
+            Ext4Image.open(dev)
+
+    def test_open_rejects_wrong_block_size(self, image):
+        other = BlockDevice(image.dev.num_blocks * 4, 1024)
+        other.write_bytes(1024, image.sb.pack())
+        with pytest.raises(BadSuperblock):
+            Ext4Image.open(other)
+
+    def test_open_rejects_image_larger_than_device(self, image):
+        from repro.fsimage.layout import SUPERBLOCK_OFFSET
+
+        tampered = image.sb.copy(s_blocks_count=image.dev.num_blocks + 1)
+        image.dev.write_bytes(SUPERBLOCK_OFFSET, tampered.pack())
+        with pytest.raises(BadSuperblock):
+            Ext4Image.open(image.dev)
+
+    def test_open_round_trips_bitmaps(self, image):
+        ino = image.create_file(3)
+        image.flush()
+        again = Ext4Image.open(image.dev)
+        assert again.total_computed_free_blocks() == image.total_computed_free_blocks()
+        assert again.read_inode(ino).data_blocks() == image.read_inode(ino).data_blocks()
+
+
+class TestAllocation:
+    def test_allocate_updates_counts(self, image):
+        before = image.sb.s_free_blocks_count
+        blocks = image.allocate_blocks(5)
+        assert len(blocks) == 5
+        assert image.sb.s_free_blocks_count == before - 5
+
+    def test_contiguous_allocation(self, image):
+        blocks = image.allocate_blocks(8, contiguous=True)
+        assert blocks == list(range(blocks[0], blocks[0] + 8))
+
+    def test_free_returns_blocks(self, image):
+        blocks = image.allocate_blocks(3)
+        before = image.sb.s_free_blocks_count
+        for b in blocks:
+            image.free_block(b)
+        assert image.sb.s_free_blocks_count == before + 3
+
+    def test_double_free_rejected(self, image):
+        block = image.allocate_blocks(1)[0]
+        image.free_block(block)
+        with pytest.raises(AllocationError):
+            image.free_block(block)
+
+    def test_exhaustion_raises_and_rolls_back(self, image):
+        free = image.sb.s_free_blocks_count
+        with pytest.raises(AllocationError):
+            image.allocate_blocks(free + 1)
+        assert image.sb.s_free_blocks_count == free
+
+    def test_zero_count_rejected(self, image):
+        with pytest.raises(ValueError):
+            image.allocate_blocks(0)
+
+    def test_inode_allocation(self, image):
+        before = image.sb.s_free_inodes_count
+        ino = image.allocate_inode()
+        assert ino >= image.sb.s_first_ino
+        assert image.sb.s_free_inodes_count == before - 1
+
+    def test_out_of_range_block_rejected(self, image):
+        with pytest.raises(ImageError):
+            image.free_block(image.sb.s_blocks_count + 10)
+
+
+class TestFiles:
+    def test_create_contiguous_file(self, image):
+        ino = image.create_file(4)
+        inode = image.read_inode(ino)
+        assert inode.is_regular
+        assert inode.fragment_count() == 1
+
+    def test_create_fragmented_file(self, image):
+        ino = image.create_file(5, fragmented=True)
+        assert image.read_inode(ino).fragment_count() == 5
+
+    def test_extent_file(self, image):
+        ino = image.create_file(4, use_extents=True)
+        assert image.read_inode(ino).uses_extents
+
+    def test_fragmented_extent_file_falls_back_to_block_map(self, image):
+        ino = image.create_file(8, fragmented=True, use_extents=True)
+        inode = image.read_inode(ino)
+        assert not inode.uses_extents
+        assert inode.fragment_count() == 8
+
+    def test_delete_file_releases_resources(self, image):
+        free_blocks = image.sb.s_free_blocks_count
+        free_inodes = image.sb.s_free_inodes_count
+        ino = image.create_file(4)
+        image.delete_file(ino)
+        assert image.sb.s_free_blocks_count == free_blocks
+        assert image.sb.s_free_inodes_count == free_inodes
+
+    def test_iter_used_inodes_lists_files(self, image):
+        ino = image.create_file(2)
+        listed = dict(image.iter_used_inodes())
+        assert ino in listed
+        assert ROOT_INO in listed
+
+    def test_zero_block_file_rejected(self, image):
+        with pytest.raises(ValueError):
+            image.create_file(0)
+
+
+class TestBlocksToExtents:
+    def test_empty(self):
+        assert _blocks_to_extents([]) == []
+
+    def test_single_run(self):
+        assert _blocks_to_extents([4, 5, 6]) == [(4, 3)]
+
+    def test_multiple_runs(self):
+        assert _blocks_to_extents([4, 5, 9, 10, 20]) == [(4, 2), (9, 2), (20, 1)]
+
+
+class TestImageProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["alloc", "free", "file", "delete"]),
+                    min_size=1, max_size=30),
+           st.randoms(use_true_random=False))
+    def test_counts_stay_consistent_under_random_ops(self, ops, rng):
+        dev = BlockDevice(2048, 4096)
+        image = Ext4Image.format(dev, make_sb(blocks=2048))
+        held_blocks = []
+        held_files = []
+        for op in ops:
+            if op == "alloc":
+                held_blocks.extend(image.allocate_blocks(rng.randint(1, 4)))
+            elif op == "free" and held_blocks:
+                image.free_block(held_blocks.pop())
+            elif op == "file":
+                held_files.append(
+                    image.create_file(rng.randint(1, 6),
+                                      fragmented=rng.random() < 0.5))
+            elif op == "delete" and held_files:
+                image.delete_file(held_files.pop())
+            assert image.sb.s_free_blocks_count == image.total_computed_free_blocks()
+            assert image.sb.s_free_inodes_count == image.total_computed_free_inodes()
+        image.flush()
+        again = Ext4Image.open(dev)
+        assert again.sb.s_free_blocks_count == image.sb.s_free_blocks_count

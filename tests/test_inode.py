@@ -1,0 +1,128 @@
+"""Tests for on-disk inodes."""
+
+import pytest
+
+from repro.fsimage.inode import (
+    EXT4_EXTENTS_FL,
+    INODE_CORE_SIZE,
+    Inode,
+    N_BLOCK_SLOTS,
+    S_IFDIR,
+    S_IFREG,
+)
+
+
+class TestClassification:
+    def test_regular(self):
+        assert Inode(i_mode=S_IFREG, i_links_count=1).is_regular
+
+    def test_directory(self):
+        inode = Inode(i_mode=S_IFDIR, i_links_count=2)
+        assert inode.is_directory
+        assert not inode.is_regular
+
+    def test_in_use_by_link_count(self):
+        assert not Inode().in_use
+        assert Inode(i_links_count=1).in_use
+
+    def test_uses_extents_flag(self):
+        assert Inode(i_flags=EXT4_EXTENTS_FL).uses_extents
+
+
+class TestDirectBlocks:
+    def test_set_and_read(self):
+        inode = Inode()
+        inode.set_direct_blocks([10, 11, 15])
+        assert inode.data_blocks() == [10, 11, 15]
+        assert inode.i_blocks == 3
+
+    def test_clears_extent_flag(self):
+        inode = Inode(i_flags=EXT4_EXTENTS_FL)
+        inode.set_direct_blocks([1])
+        assert not inode.uses_extents
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            Inode().set_direct_blocks(list(range(1, N_BLOCK_SLOTS + 2)))
+
+    def test_zero_pointers_skipped(self):
+        inode = Inode()
+        inode.set_direct_blocks([7])
+        assert inode.data_blocks() == [7]
+
+
+class TestExtents:
+    def test_set_and_read(self):
+        inode = Inode()
+        inode.set_extents([(100, 4), (200, 2)])
+        assert inode.uses_extents
+        assert inode.extents() == [(100, 4), (200, 2)]
+        assert inode.data_blocks() == [100, 101, 102, 103, 200, 201]
+        assert inode.i_blocks == 6
+
+    def test_extents_on_non_extent_inode_rejected(self):
+        inode = Inode()
+        inode.set_direct_blocks([1])
+        with pytest.raises(ValueError):
+            inode.extents()
+
+    def test_too_many_extents_rejected(self):
+        with pytest.raises(ValueError):
+            Inode().set_extents([(i * 10, 1) for i in range(1, 8)])
+
+    def test_non_positive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Inode().set_extents([(0, 4)])
+        with pytest.raises(ValueError):
+            Inode().set_extents([(5, 0)])
+
+
+class TestFragmentCount:
+    def test_empty_file(self):
+        assert Inode().fragment_count() == 0
+
+    def test_contiguous_is_one(self):
+        inode = Inode()
+        inode.set_direct_blocks([5, 6, 7])
+        assert inode.fragment_count() == 1
+
+    def test_scattered(self):
+        inode = Inode()
+        inode.set_direct_blocks([5, 7, 9])
+        assert inode.fragment_count() == 3
+
+    def test_extent_fragments(self):
+        inode = Inode()
+        inode.set_extents([(10, 2), (20, 3)])
+        assert inode.fragment_count() == 2
+
+    def test_adjacent_extents_merge_in_count(self):
+        inode = Inode()
+        inode.set_extents([(10, 2), (12, 3)])
+        assert inode.fragment_count() == 1
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        inode = Inode(i_mode=S_IFREG, i_links_count=1, i_size=4096,
+                      i_flags=EXT4_EXTENTS_FL, i_generation=7)
+        inode.set_extents([(44, 3)])
+        again = Inode.unpack(inode.pack(256))
+        assert again == inode
+
+    def test_record_padding(self):
+        raw = Inode().pack(512)
+        assert len(raw) == 512
+        assert raw[INODE_CORE_SIZE:] == bytes(512 - INODE_CORE_SIZE)
+
+    def test_record_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Inode().pack(16)
+
+    def test_unpack_short_rejected(self):
+        with pytest.raises(ValueError):
+            Inode.unpack(b"\x00" * 8)
+
+    def test_block_list_normalized_on_init(self):
+        inode = Inode(i_block=[1, 2])
+        assert len(inode.i_block) == N_BLOCK_SLOTS

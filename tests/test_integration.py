@@ -1,0 +1,165 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro import (
+    BlockDevice,
+    E2fsck,
+    E2fsckConfig,
+    E4defrag,
+    E4defragConfig,
+    Ext4Mount,
+    Mke2fs,
+    Resize2fs,
+    Resize2fsConfig,
+    extract_all,
+)
+from repro.fsimage.image import Ext4Image
+from repro.fsimage.layout import SUPERBLOCK_OFFSET
+
+
+def fsck(dev, **kwargs):
+    kwargs.setdefault("force", True)
+    kwargs.setdefault("no_changes", True)
+    return E2fsck(E2fsckConfig(**kwargs)).run(dev)
+
+
+class TestFullLifecycle:
+    def test_figure2_pipeline(self):
+        """create -> mount -> use -> online -> offline, clean throughout."""
+        dev = BlockDevice(8192, 4096)
+        Mke2fs.from_args(["-b", "4096", "4096"]).run(dev)
+        handle = Ext4Mount.mount(dev, "noatime,commit=10")
+        files = [handle.create_file(4, fragmented=True) for _ in range(4)]
+        report = E4defrag(E4defragConfig()).run(handle)
+        assert report.defragmented == 4
+        handle.umount()
+        assert fsck(dev).is_clean
+        Resize2fs(Resize2fsConfig(size="8192")).run(dev)
+        assert fsck(dev).is_clean
+        handle = Ext4Mount.mount(dev)
+        assert len(list(handle.image.iter_used_inodes())) >= len(files)
+        handle.umount()
+
+    def test_grow_shrink_grow_consistency(self):
+        dev = BlockDevice(8192, 4096)
+        Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+        for size in ("4096", "1024", "8192", "2048"):
+            Resize2fs(Resize2fsConfig(size=size)).run(dev)
+            result = fsck(dev)
+            assert result.is_clean, f"corrupt after resize to {size}"
+
+    def test_files_survive_many_operations(self):
+        dev = BlockDevice(8192, 4096)
+        Mke2fs.from_args(["-b", "4096", "4096"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        ino = handle.create_file(6, fragmented=True)
+        payload = handle.image.read_inode(ino).data_blocks()
+        for block in payload:
+            dev.write_block(block, b"payload-" + bytes([block % 256]))
+        contents = [dev.read_block(b) for b in payload]
+        E4defrag().run(handle)
+        handle.umount()
+        Resize2fs(Resize2fsConfig(size="8192")).run(dev)
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        image = Ext4Image.open(dev)
+        moved = image.read_inode(ino).data_blocks()
+        assert [dev.read_block(b) for b in moved] == contents
+
+    def test_remount_after_unclean_state_then_fsck(self):
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        handle.create_file(2)
+        # simulate a crash: forget to umount, clear the mounted marker
+        dev.ext4_mounted = False
+        result = fsck(dev, no_changes=False, assume_yes=True)
+        assert result.exit_code in (0, 1)
+        assert fsck(dev).is_clean
+
+
+class TestFailureInjection:
+    def test_random_superblock_corruption_detected_or_rejected(self):
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-b", "4096", "-g", "1024", "2048"]).run(dev)
+        raw = bytearray(dev.read_bytes(SUPERBLOCK_OFFSET, 64))
+        raw[12] ^= 0xFF  # corrupt s_free_blocks_count
+        dev.write_bytes(SUPERBLOCK_OFFSET, bytes(raw))
+        result = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
+        assert result.exit_code != 0 or result.problems
+
+    def test_backup_superblock_rescues_zeroed_primary(self):
+        dev = BlockDevice(8192, 4096)
+        Mke2fs.from_args(["-b", "4096", "-g", "1024", "4096"]).run(dev)
+        image = Ext4Image.open(dev)
+        backup = E2fsck().backup_superblock_locations(image)[0]
+        dev.write_bytes(SUPERBLOCK_OFFSET, bytes(1024))
+        rescued = E2fsck(E2fsckConfig(superblock=backup, assume_yes=True)).run(dev)
+        assert rescued.exit_code in (0, 1)
+        assert Ext4Image.open(dev).sb.s_blocks_count == 4096
+
+    def test_bitmap_corruption_detected_and_repaired(self):
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+        image = Ext4Image.open(dev)
+        ino = image.create_file(3)
+        for block in image.read_inode(ino).data_blocks():
+            g, idx = image._locate_block(block)
+            image.block_bitmaps[g].clear(idx)
+            image.group_descs[g].bg_free_blocks_count += 1
+            image.sb.s_free_blocks_count += 1
+        image.flush()
+        detected = fsck(dev)
+        assert any(p.code == "BLOCK_UNMARKED" for p in detected.problems)
+        repaired = fsck(dev, no_changes=False, assume_yes=True)
+        assert repaired.exit_code == 1
+        assert fsck(dev).is_clean
+
+    def test_torn_resize_detected(self):
+        """A resize interrupted between superblock and bitmap writes."""
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+        image = Ext4Image.open(dev)
+        # write only the new superblock size, not the grown group state
+        torn = image.sb.copy(s_blocks_count=2500,
+                             s_free_blocks_count=image.sb.s_free_blocks_count + 452)
+        dev.write_bytes(SUPERBLOCK_OFFSET, torn.pack())
+        result = fsck(dev)
+        assert result.problems
+
+
+class TestAnalysisToEcosystemConsistency:
+    """The analyzer's output must describe what the ecosystem enforces."""
+
+    def test_extracted_mke2fs_ranges_match_validation(self):
+        from repro.errors import UsageError
+        from repro.analysis.groundtruth import is_false_positive
+        from repro.analysis.model import SubKind
+
+        report = extract_all()
+        ranged = [d for d in report.union
+                  if d.kind is SubKind.SD_VALUE_RANGE
+                  and not is_false_positive(d)
+                  and d.params[0].component == "mke2fs"
+                  and d.params[0].name in ("blocksize", "inode_size",
+                                           "reserved_percent", "inode_ratio")]
+        assert ranged
+        flag_of = {"blocksize": "-b", "inode_size": "-I",
+                   "reserved_percent": "-m", "inode_ratio": "-i"}
+        for dep in ranged:
+            bounds = dep.constraint_dict
+            flag = flag_of[dep.params[0].name]
+            too_big = str(int(bounds["max"]) * 2)
+            dev = BlockDevice(1024, 4096)
+            with pytest.raises(UsageError):
+                Mke2fs.from_args([flag, too_big]).run(dev)
+
+    def test_extracted_figure1_dependency_is_executable(self):
+        """The extracted sparse_super2 CCD corresponds to real corruption."""
+        keys = {d.key() for d in extract_all().union}
+        assert "CCD.behavioral:mke2fs.sparse_super2,resize2fs.*@s_feature_compat" in keys
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-O", "sparse_super2,^resize_inode",
+                          "-b", "4096", "2048"]).run(dev)
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        assert fsck(dev).problems

@@ -1,0 +1,138 @@
+"""End-to-end integration across namespace, tuning, resize, and checking."""
+
+import pytest
+
+from repro import (
+    BlockDevice,
+    E2fsck,
+    E2fsckConfig,
+    E4defrag,
+    E4defragConfig,
+    Ext4Mount,
+    Mke2fs,
+    Resize2fs,
+    Resize2fsConfig,
+)
+from repro.ecosystem.dumpe2fs import Dumpe2fs
+from repro.ecosystem.tune2fs import Tune2fs, Tune2fsConfig
+from repro.fsimage.image import Ext4Image
+
+
+def fsck(dev, **kwargs):
+    kwargs.setdefault("force", True)
+    kwargs.setdefault("no_changes", True)
+    return E2fsck(E2fsckConfig(**kwargs)).run(dev)
+
+
+class TestNamespaceThroughLifecycle:
+    def test_names_survive_grow_and_shrink(self):
+        dev = BlockDevice(16384, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256", "-O", "^has_journal",
+                          "8192"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        payload = {}
+        for i in range(5):
+            ino = handle.create_file(3, name=f"doc-{i}.txt")
+            payload[f"doc-{i}.txt"] = ino
+        sub = handle.mkdir("nested")
+        handle.umount()
+
+        Resize2fs(Resize2fsConfig(size="12288")).run(dev)
+        assert fsck(dev).is_clean
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        assert fsck(dev).is_clean
+
+        handle = Ext4Mount.mount(dev)
+        names = set(handle.readdir())
+        assert names == {f"doc-{i}.txt" for i in range(5)} | {"nested"}
+        for name in payload:
+            assert handle.lookup(name) is not None
+        handle.umount()
+
+    def test_shrink_remaps_relocated_inode_names(self):
+        """When shrink relocates inodes out of dropped groups, the
+        directory entries must be remapped too — this documents the
+        remapping contract via the resize result."""
+        dev = BlockDevice(16384, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256", "-O", "^has_journal",
+                          "-N", "4096", "8192"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        handle.create_file(2, name="early.txt")
+        handle.umount()
+        result = Resize2fs(Resize2fsConfig(size="2048")).run(dev)
+        # no relocated inodes in this layout (low inode numbers), so the
+        # namespace stays intact without remapping
+        handle = Ext4Mount.mount(dev)
+        assert "early.txt" in handle.readdir()
+        handle.umount()
+        assert isinstance(result.relocated_inodes, dict)
+
+    def test_defrag_preserves_namespace(self):
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        ino = handle.create_file(5, fragmented=True, name="frag.bin")
+        E4defrag(E4defragConfig()).run(handle)
+        assert handle.lookup("frag.bin") == ino
+        assert handle.image.read_inode(ino).fragment_count() == 1
+        handle.umount()
+        assert fsck(dev).is_clean
+
+    def test_tune_then_mount_then_check(self):
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        handle.create_file(2, name="kept")
+        handle.umount()
+        Tune2fs(Tune2fsConfig.from_args(["-O", "quota", "-m", "1"])).run(dev)
+        handle = Ext4Mount.mount(dev)
+        assert "quota" in handle.features
+        assert handle.lookup("kept") is not None
+        handle.umount()
+        assert fsck(dev).is_clean
+
+    def test_dumpe2fs_after_full_lifecycle(self):
+        dev = BlockDevice(8192, 4096)
+        Mke2fs.from_args(["-b", "4096", "-L", "life", "4096"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        for i in range(3):
+            handle.create_file(2, name=f"f{i}")
+        handle.umount()
+        Resize2fs(Resize2fsConfig(size="8192")).run(dev)
+        Tune2fs(Tune2fsConfig.from_args(["-e", "panic"])).run(dev)
+        report = Dumpe2fs().run(dev)
+        assert report.blocks_count == 8192
+        assert report.volume_name == "life"
+        assert report.free_blocks == sum(g.free_blocks for g in report.groups)
+        assert fsck(dev).is_clean
+
+    def test_unlink_everything_returns_all_space(self):
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-b", "4096", "2048"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        before = handle.statfs()["bfree"]
+        for i in range(6):
+            handle.create_file(4, name=f"tmp-{i}")
+        for i in range(6):
+            handle.unlink(f"tmp-{i}")
+        after = handle.statfs()["bfree"]
+        handle.umount()
+        assert after == before
+        assert fsck(dev).is_clean
+
+    def test_figure1_bug_with_named_files(self):
+        """The Figure-1 corruption coexists with a populated namespace;
+        e2fsck repairs the counters without touching the files."""
+        dev = BlockDevice(4096, 4096)
+        Mke2fs.from_args(["-O", "sparse_super2,^resize_inode",
+                          "-b", "4096", "2048"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        handle.create_file(3, name="precious.db")
+        handle.umount()
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        assert not fsck(dev).is_clean
+        E2fsck(E2fsckConfig(force=True, assume_yes=True)).run(dev)
+        assert fsck(dev).is_clean
+        handle = Ext4Mount.mount(dev)
+        assert handle.lookup("precious.db") is not None
+        handle.umount()

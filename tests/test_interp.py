@@ -1,0 +1,226 @@
+"""Tests for the mini-C IR interpreter."""
+
+import pytest
+
+from repro.lang import compile_c
+from repro.lang.interp import ErrorExit, InterpError, Interpreter, StructVal
+
+
+def run(source, function, *args, stubs=None, globals_init=None):
+    module = compile_c(source)
+    interp = Interpreter(module, stubs=stubs, globals_init=globals_init)
+    return interp.run(function, *args), interp
+
+
+PRELUDE = "void usage(void);\nvoid com_err(const char *w, int c, const char *f);\n"
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        result, _ = run("int f(int a, int b) { return a * b + 2; }", "f", 3, 4)
+        assert result.return_value == 14
+
+    def test_division_truncates_toward_zero(self):
+        result, _ = run("int f(int a, int b) { return a / b; }", "f", -7, 2)
+        assert result.return_value == -3  # C semantics, not Python floor
+
+    def test_modulo_c_semantics(self):
+        result, _ = run("int f(int a, int b) { return a % b; }", "f", -7, 2)
+        assert result.return_value == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            run("int f(int a) { return a / 0; }", "f", 1)
+
+    def test_comparisons_and_logic(self):
+        src = "int f(int a) { return a > 2 && a < 10; }"
+        assert run(src, "f", 5)[0].return_value == 1
+        assert run(src, "f", 12)[0].return_value == 0
+
+    def test_bitwise(self):
+        src = "int f(int a) { return (a | 4) & 12; }"
+        assert run(src, "f", 8)[0].return_value == 12
+
+    def test_shift(self):
+        assert run("int f(int a) { return 1024 << a; }", "f", 2)[0].return_value == 4096
+
+    def test_unary_not_and_neg(self):
+        assert run("int f(int a) { return !a; }", "f", 0)[0].return_value == 1
+        assert run("int f(int a) { return -a; }", "f", 5)[0].return_value == -5
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int f(int a) { if (a > 0) { return 1; } else { return 2; } }"
+        assert run(src, "f", 5)[0].return_value == 1
+        assert run(src, "f", -5)[0].return_value == 2
+
+    def test_while_loop(self):
+        src = "int f(int n) { int s; s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"
+        assert run(src, "f", 4)[0].return_value == 10
+
+    def test_for_loop(self):
+        src = "int f(int n) { int s; s = 0; for (int i = 1; i <= n; i++) { s = s + i; } return s; }"
+        assert run(src, "f", 5)[0].return_value == 15
+
+    def test_switch(self):
+        src = """
+        int f(int c) {
+            int r;
+            switch (c) {
+            case 'a': r = 1; break;
+            case 'b': r = 2; break;
+            default: r = 0; break;
+            }
+            return r;
+        }
+        """
+        assert run(src, "f", ord("b"))[0].return_value == 2
+        assert run(src, "f", ord("z"))[0].return_value == 0
+
+    def test_switch_fallthrough(self):
+        src = """
+        int f(int c) {
+            int r;
+            r = 0;
+            switch (c) {
+            case 1: r = r + 1;
+            case 2: r = r + 2; break;
+            default: break;
+            }
+            return r;
+        }
+        """
+        assert run(src, "f", 1)[0].return_value == 3  # falls through
+        assert run(src, "f", 2)[0].return_value == 2
+
+    def test_ternary(self):
+        src = "int f(int a) { return a ? 10 : 20; }"
+        assert run(src, "f", 1)[0].return_value == 10
+        assert run(src, "f", 0)[0].return_value == 20
+
+    def test_infinite_loop_hits_step_limit(self):
+        module = compile_c("int f(void) { while (1) { } return 0; }")
+        interp = Interpreter(module, max_steps=1000)
+        with pytest.raises(InterpError):
+            interp.run("f")
+
+
+class TestDataModel:
+    def test_globals_zero_initialized(self):
+        src = "int g;\nint f(void) { return g + 1; }"
+        assert run(src, "f")[0].return_value == 1
+
+    def test_globals_persist_across_calls(self):
+        src = "int g;\nint bump(void) { g = g + 1; return g; }"
+        module = compile_c(src)
+        interp = Interpreter(module)
+        assert interp.run("bump").return_value == 1
+        assert interp.run("bump").return_value == 2
+
+    def test_globals_init(self):
+        src = "int g;\nint f(void) { return g; }"
+        result, _ = run(src, "f", globals_init={"g": 42})
+        assert result.return_value == 42
+
+    def test_struct_fields(self):
+        src = """
+        struct sb { int count; int flags; };
+        struct sb g;
+        int f(void) { g.count = 7; g.flags = g.count + 1; return g.flags; }
+        """
+        result, interp = run(src, "f")
+        assert result.return_value == 8
+        assert interp.globals["g"].get("count") == 7
+
+    def test_struct_pointer_param(self):
+        src = """
+        struct sb { int n; };
+        int f(struct sb *s) { s->n = s->n * 2; return s->n; }
+        """
+        module = compile_c(src)
+        interp = Interpreter(module)
+        sb = StructVal("sb")
+        sb.set("n", 21)
+        assert interp.run("f", sb).return_value == 42
+        assert sb.get("n") == 42
+
+    def test_local_function_calls(self):
+        src = """
+        int helper(int x) { return x + 1; }
+        int f(int a) { return helper(helper(a)); }
+        """
+        assert run(src, "f", 5)[0].return_value == 7
+
+    def test_stub_calls(self):
+        src = "int probe(void);\nint f(void) { return probe() * 2; }"
+        result, _ = run(src, "f", stubs={"probe": lambda: 21})
+        assert result.return_value == 42
+
+    def test_default_library_stubs(self):
+        src = 'int f(void) { return atoi("17") + 1; }'
+        assert run(src, "f")[0].return_value == 18
+
+    def test_missing_function_raises(self):
+        with pytest.raises(InterpError):
+            run("int mystery(void);\nint f(void) { return mystery(); }", "f",
+                stubs={"mystery2": lambda: 0})
+
+
+class TestErrorExits:
+    def test_usage_records_error_exit(self):
+        src = PRELUDE + "int f(int a) { if (a < 0) { usage(); } return a; }"
+        result, _ = run(src, "f", -1)
+        assert result.error_exit
+        assert result.error_reason == "usage"
+
+    def test_happy_path_no_error(self):
+        src = PRELUDE + "int f(int a) { if (a < 0) { usage(); } return a; }"
+        result, _ = run(src, "f", 3)
+        assert not result.error_exit
+        assert result.return_value == 3
+
+    def test_negative_return_not_error_exit(self):
+        """Error *returns* are the caller's business; only exit-style
+        calls set error_exit (mirrors the CFG error-exit model)."""
+        result, _ = run(PRELUDE + "int f(void) { return -1; }", "f")
+        assert not result.error_exit
+        assert result.return_value == -1
+
+
+class TestCorpusExecution:
+    def test_mke2fs_guard_fires_concretely(self):
+        from repro.corpus.loader import load_unit
+
+        module = load_unit("mke2fs.c").module
+        chars = iter([ord("b"), 0])
+        values = iter(["512", "128"])
+        interp = Interpreter(module, stubs={
+            "getopt": lambda argc, argv: next(chars),
+            "optarg_value": lambda: next(values),
+            "parse_feature_word": lambda s: 0,
+        })
+        assert interp.run("parse_mke2fs_options", 2, 0).error_exit
+
+    def test_resize2fs_figure1_path_executes(self):
+        from repro.corpus.loader import load_unit
+
+        module = load_unit("resize2fs.c").module
+        fs = StructVal("ext2_filsys")
+        sb = StructVal("ext2_super_block")
+        sb.set("s_blocks_count", 2048)
+        sb.set("s_feature_compat", 0x0200)  # sparse_super2
+        sb.set("s_reserved_gdt_blocks", 100)
+        fs.set("super", sb)
+        interp = Interpreter(module, globals_init={"new_size": 4096},
+                             stubs={
+                                 "compute_group_free": lambda fs, g: 500,
+                                 "extend_last_group": lambda fs, n: 0,
+                                 "add_new_groups": lambda fs, n: 0,
+                                 "move_blocks_down": lambda fs, n: 0,
+                             })
+        result = interp.run("resize_fs", fs)
+        assert result.return_value == 0
+        # the buggy path wrote the stale free count into the superblock
+        assert sb.get("s_free_blocks_count") == 500
+        assert sb.get("s_blocks_count") == 4096

@@ -1,0 +1,127 @@
+"""Tests for the inter-procedural extension and the recall metrics."""
+
+import pytest
+
+from repro.analysis.extractor import extract_all
+from repro.analysis.interproc import (
+    InterproceduralExtractor,
+    UnitAnalysis,
+    extract_interprocedural,
+    full_pipeline_spec,
+)
+from repro.analysis.metrics import KNOWN_MISSES, recall_report
+from repro.analysis.model import Category, ParamRef
+from repro.analysis.sources import SOURCES_BY_UNIT, ComponentSources
+from repro.analysis.taint import FieldTaint
+from repro.corpus.loader import load_unit
+from repro.lang.ir import Var
+
+
+@pytest.fixture(scope="module")
+def interproc_report():
+    return extract_interprocedural()
+
+
+class TestUnitAnalysis:
+    def test_converges(self):
+        unit = load_unit("ext4_super.c")
+        analysis = UnitAnalysis(unit, SOURCES_BY_UNIT["ext4_super.c"])
+        states = analysis.run()
+        assert analysis.rounds < 12
+        assert set(states) == set(unit.module.functions)
+
+    def test_field_taint_crosses_functions(self):
+        """ext4_fill_super's sbi loads carry ext2_super_block taint that
+        only ext4_load_super's stores introduce."""
+        unit = load_unit("ext4_super.c")
+        states = UnitAnalysis(unit, SOURCES_BY_UNIT["ext4_super.c"]).run()
+        fill_super = states["ext4_fill_super"]
+        bridge_fields = set()
+        for labels in fill_super.taint.values():
+            for label in labels:
+                if isinstance(label, FieldTaint) and label.struct == "ext2_super_block":
+                    bridge_fields.add(label.field)
+        assert "s_log_block_size" in bridge_fields
+        assert "s_feature_compat" in bridge_fields
+
+    def test_call_argument_propagation(self):
+        """Caller argument taint reaches callee parameters (e4defrag's
+        main loop passes argv entries into defrag_file)."""
+        unit = load_unit("resize2fs.c")
+        states = UnitAnalysis(unit, SOURCES_BY_UNIT["resize2fs.c"]).run()
+        # convert_64bit's parameter keeps working; new_size still tainted
+        assert states["resize_fs"].params(Var("new_size"))
+
+    def test_intra_results_are_a_subset(self, extraction_report, interproc_report):
+        intra = {d.key() for d in extraction_report.union}
+        inter = {d.key() for d in interproc_report.union}
+        # everything except the one classification shift survives
+        shifted = {
+            "CCD.control:mke2fs.64bit,resize2fs.enable_64bit:conflicts@s_feature_incompat",
+        }
+        assert intra - shifted <= inter
+
+
+class TestInterproceduralExtraction:
+    def test_finds_more_than_intra(self, extraction_report, interproc_report):
+        assert interproc_report.total_extracted > extraction_report.total_extracted
+
+    def test_mount_ccds_extracted(self, interproc_report):
+        """The paper's §6 expectation: inter-procedural analysis
+        surfaces the mount-time cross-component dependencies."""
+        keys = {d.key() for d in interproc_report.union}
+        assert "CCD.behavioral:mke2fs.blocksize,mount.dax@s_log_block_size" in keys
+        assert "CCD.behavioral:mke2fs.has_journal,mount.data@s_feature_compat" in keys
+
+    def test_unselected_function_cpds_extracted(self, interproc_report):
+        keys = {d.key() for d in interproc_report.union}
+        assert "CPD.control:resize2fs.disable_64bit,resize2fs.enable_64bit:conflicts" in keys
+
+    def test_ccd_count_grows(self, extraction_report, interproc_report):
+        intra_ccd = extraction_report.union_counts()[Category.CCD].extracted
+        inter_ccd = interproc_report.union_counts()[Category.CCD].extracted
+        assert intra_ccd == 6
+        assert inter_ccd >= 9
+
+    def test_full_pipeline_spec_covers_corpus(self):
+        spec = full_pipeline_spec()
+        assert len(spec.selected) == 7
+
+    def test_custom_scenario(self):
+        spec = full_pipeline_spec()
+        extractor = InterproceduralExtractor((spec,))
+        report = extractor.extract_all()
+        assert report.total_extracted > 0
+
+
+class TestRecall:
+    @pytest.fixture(scope="class")
+    def report(self, interproc_report):
+        return recall_report(extract_all(), interproc_report)
+
+    def test_ground_truth_size(self, report):
+        assert report.truth_total() == 59 + len(KNOWN_MISSES)
+
+    def test_intra_recall_per_category(self, report):
+        assert report.recall_intra(Category.SD) == 1.0
+        assert report.recall_intra(Category.CCD) < 0.6
+
+    def test_interproc_improves_ccd_recall_most(self, report):
+        gain_ccd = (report.recall_interproc(Category.CCD)
+                    - report.recall_intra(Category.CCD))
+        gain_sd = (report.recall_interproc(Category.SD)
+                   - report.recall_intra(Category.SD))
+        assert gain_ccd > gain_sd
+        assert report.recall_interproc(Category.CCD) > 0.8
+
+    def test_residue_is_syscall_and_helper_boundaries(self, report):
+        missed = {e.description for e in report.still_missed()}
+        assert missed == {
+            "e2fsck accepts only one of -p/-a, -n, -y",
+            "e4defrag only works on extent-mapped files (mke2fs -O extent)",
+        }
+
+    def test_render(self, report):
+        text = report.render()
+        assert "recall(intra)" in text
+        assert "still missed" in text

@@ -1,0 +1,185 @@
+"""Tests for on-disk structures (superblock, group descriptors)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BadGroupDescriptor, BadSuperblock
+from repro.fsimage.layout import (
+    EXT2_MAGIC,
+    GROUP_DESC_SIZE,
+    GroupDescriptor,
+    STATE_CLEAN,
+    Superblock,
+    SUPERBLOCK_SIZE,
+)
+
+
+class TestSuperblockGeometry:
+    def test_block_size_derivation(self):
+        assert Superblock(s_log_block_size=0).block_size == 1024
+        assert Superblock(s_log_block_size=2).block_size == 4096
+        assert Superblock(s_log_block_size=6).block_size == 65536
+
+    def test_cluster_size(self):
+        sb = Superblock(s_log_block_size=2, s_log_cluster_size=4)
+        assert sb.cluster_size == 16384
+
+    def test_group_count(self):
+        sb = Superblock(s_blocks_count=8192, s_first_data_block=0,
+                        s_blocks_per_group=1024)
+        assert sb.group_count == 8
+
+    def test_group_count_with_partial_last_group(self):
+        sb = Superblock(s_blocks_count=2500, s_first_data_block=0,
+                        s_blocks_per_group=1024)
+        assert sb.group_count == 3
+        assert sb.blocks_in_group(2) == 452
+
+    def test_group_count_with_first_data_block(self):
+        sb = Superblock(s_blocks_count=1025, s_first_data_block=1,
+                        s_blocks_per_group=1024)
+        assert sb.group_count == 1
+        assert sb.blocks_in_group(0) == 1024
+
+    def test_group_first_block(self):
+        sb = Superblock(s_blocks_count=4096, s_first_data_block=1,
+                        s_blocks_per_group=1024)
+        assert sb.group_first_block(0) == 1
+        assert sb.group_first_block(2) == 2049
+
+    def test_blocks_in_group_bounds(self):
+        sb = Superblock(s_blocks_count=2048, s_blocks_per_group=1024)
+        with pytest.raises(ValueError):
+            sb.blocks_in_group(2)
+
+    def test_zero_size_has_no_groups(self):
+        assert Superblock(s_blocks_count=0).group_count == 0
+
+
+class TestSuperblockSerialization:
+    def test_pack_length(self):
+        assert len(Superblock(s_blocks_count=100).pack()) == SUPERBLOCK_SIZE
+
+    def test_round_trip(self):
+        sb = Superblock(
+            s_inodes_count=512,
+            s_blocks_count=8192,
+            s_free_blocks_count=1000,
+            s_free_inodes_count=400,
+            s_log_block_size=2,
+            s_blocks_per_group=1024,
+            s_inodes_per_group=64,
+            s_inode_size=256,
+            s_feature_compat=0x214,
+            s_feature_incompat=0x242,
+            s_feature_ro_compat=0x3,
+            s_volume_name="testvol",
+            s_backup_bgs=(1, 7),
+            s_max_mnt_count=-1,
+            s_reserved_gdt_blocks=17,
+        )
+        again = Superblock.unpack(sb.pack())
+        assert again == sb
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(Superblock(s_blocks_count=1).pack())
+        sb = Superblock.unpack(bytes(raw))
+        assert sb.s_magic == EXT2_MAGIC
+        corrupted = Superblock(s_blocks_count=1, s_magic=0xBEEF).pack()
+        with pytest.raises(BadSuperblock):
+            Superblock.unpack(corrupted)
+
+    def test_short_data_rejected(self):
+        with pytest.raises(BadSuperblock):
+            Superblock.unpack(b"\x00" * 10)
+
+    def test_checksum_valid_on_fresh_pack(self):
+        sb = Superblock(s_blocks_count=64)
+        raw = sb.pack()
+        again = Superblock.unpack(raw)
+        assert again.checksum_valid(raw)
+
+    def test_checksum_detects_field_tampering(self):
+        sb = Superblock(s_blocks_count=64)
+        raw = bytearray(sb.pack())
+        raw[4] ^= 0xFF  # flip a byte inside s_blocks_count
+        tampered = Superblock.unpack(bytes(raw))
+        assert not tampered.checksum_valid(bytes(raw))
+
+    def test_copy_changes_one_field(self):
+        sb = Superblock(s_blocks_count=64)
+        bigger = sb.copy(s_blocks_count=128)
+        assert bigger.s_blocks_count == 128
+        assert sb.s_blocks_count == 64
+
+    def test_volume_name_truncated_to_16_bytes(self):
+        sb = Superblock(s_blocks_count=1, s_volume_name="x" * 40)
+        again = Superblock.unpack(sb.pack())
+        assert len(again.s_volume_name.encode()) <= 16
+
+    def test_negative_max_mnt_count_survives(self):
+        sb = Superblock(s_blocks_count=1, s_max_mnt_count=-1)
+        assert Superblock.unpack(sb.pack()).s_max_mnt_count == -1
+
+    def test_default_state_clean(self):
+        assert Superblock().s_state & STATE_CLEAN
+
+    @given(
+        blocks=st.integers(min_value=1, max_value=2**31 - 1),
+        free=st.integers(min_value=0, max_value=2**31 - 1),
+        compat=st.integers(min_value=0, max_value=2**32 - 1),
+        backup0=st.integers(min_value=0, max_value=2**16),
+        backup1=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_round_trip_property(self, blocks, free, compat, backup0, backup1):
+        sb = Superblock(
+            s_blocks_count=blocks,
+            s_free_blocks_count=free,
+            s_feature_compat=compat,
+            s_backup_bgs=(backup0, backup1),
+        )
+        assert Superblock.unpack(sb.pack()) == sb
+
+
+class TestGroupDescriptor:
+    def test_round_trip(self):
+        gd = GroupDescriptor(
+            bg_block_bitmap=100,
+            bg_inode_bitmap=101,
+            bg_inode_table=102,
+            bg_free_blocks_count=900,
+            bg_free_inodes_count=60,
+            bg_used_dirs_count=3,
+            bg_flags=0x1,
+        )
+        again = GroupDescriptor.unpack(gd.pack())
+        assert again == gd
+
+    def test_pack_length(self):
+        assert len(GroupDescriptor().pack()) == GROUP_DESC_SIZE
+
+    def test_short_data_rejected(self):
+        with pytest.raises(BadGroupDescriptor):
+            GroupDescriptor.unpack(b"\x00" * 4)
+
+    def test_checksum_valid_after_round_trip(self):
+        gd = GroupDescriptor(bg_block_bitmap=5, bg_free_blocks_count=10)
+        assert GroupDescriptor.unpack(gd.pack()).checksum_valid()
+
+    def test_checksum_detects_tampering(self):
+        raw = bytearray(GroupDescriptor(bg_block_bitmap=5).pack())
+        raw[0] ^= 0xFF
+        assert not GroupDescriptor.unpack(bytes(raw)).checksum_valid()
+
+    @given(
+        bitmap=st.integers(min_value=0, max_value=2**32 - 1),
+        free_blocks=st.integers(min_value=0, max_value=2**16 - 1),
+        free_inodes=st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_round_trip_property(self, bitmap, free_blocks, free_inodes):
+        gd = GroupDescriptor(
+            bg_block_bitmap=bitmap,
+            bg_free_blocks_count=free_blocks,
+            bg_free_inodes_count=free_inodes,
+        )
+        assert GroupDescriptor.unpack(gd.pack()) == gd

@@ -1,0 +1,181 @@
+"""Tests for AST-to-IR lowering and the IR itself."""
+
+import pytest
+
+from repro.lang import compile_c
+from repro.lang.ir import (
+    BinOp,
+    Branch,
+    CallInstr,
+    Const,
+    Jump,
+    LoadField,
+    Move,
+    Ret,
+    StoreField,
+    Temp,
+    UnOp,
+    Var,
+)
+
+
+def lower_fn(body, prelude=""):
+    module = compile_c(prelude + f"\nint f(int a, int b) {{ {body} }}")
+    return module.function("f")
+
+
+def instrs_of(fn, kind):
+    return [i for i in fn.instructions() if isinstance(i, kind)]
+
+
+class TestExpressions:
+    def test_assignment_becomes_move(self):
+        fn = lower_fn("a = 5; return a;")
+        moves = instrs_of(fn, Move)
+        assert any(m.dst == Var("a") and m.src == Const(5) for m in moves)
+
+    def test_binop(self):
+        fn = lower_fn("return a + b * 2;")
+        ops = [i.op for i in instrs_of(fn, BinOp)]
+        assert ops == ["*", "+"]
+
+    def test_compound_assignment_loads_then_stores(self):
+        fn = lower_fn("a |= 4; return a;")
+        binop = instrs_of(fn, BinOp)[0]
+        assert binop.op == "|"
+
+    def test_macro_constant_preserved(self):
+        module = compile_c("#define FLAG 0x10\nint f(int x) { return x & FLAG; }")
+        binop = instrs_of(module.function("f"), BinOp)[0]
+        assert isinstance(binop.right, Const)
+        assert binop.right.macro == "FLAG"
+
+    def test_call_lowering(self):
+        fn = lower_fn('return atoi("4") + a;')
+        call = instrs_of(fn, CallInstr)[0]
+        assert call.func == "atoi"
+        assert call.dst is not None
+
+    def test_field_load_store(self):
+        source = """
+        struct sb { int count; };
+        int f(struct sb *s) { s->count = s->count + 1; return 0; }
+        """
+        fn = compile_c(source).function("f")
+        load = instrs_of(fn, LoadField)[0]
+        store = instrs_of(fn, StoreField)[0]
+        assert load.struct == "sb" and load.field == "count"
+        assert store.struct == "sb" and store.field == "count"
+
+    def test_increment_rewrites_to_add(self):
+        fn = lower_fn("a++; return a;")
+        assert any(i.op == "+" and i.right == Const(1)
+                   for i in instrs_of(fn, BinOp))
+
+    def test_ternary_creates_select_control_flow(self):
+        fn = lower_fn("return a ? 1 : 2;")
+        labels = list(fn.blocks)
+        assert any("sel.then" in l for l in labels)
+        assert any("sel.else" in l for l in labels)
+
+    def test_negation_unop(self):
+        fn = lower_fn("return -a;")
+        assert any(i.op == "-" for i in instrs_of(fn, UnOp))
+
+
+class TestControlFlow:
+    def test_if_creates_branch(self):
+        fn = lower_fn("if (a) { b = 1; } return b;")
+        branch = instrs_of(fn, Branch)[0]
+        assert branch.true_label.startswith("if.then")
+
+    def test_if_else_blocks(self):
+        fn = lower_fn("if (a) { b = 1; } else { b = 2; } return b;")
+        assert any("if.else" in l for l in fn.blocks)
+
+    def test_while_loop_shape(self):
+        fn = lower_fn("while (a) { a = a - 1; } return 0;")
+        labels = list(fn.blocks)
+        assert any("while.cond" in l for l in labels)
+        assert any("while.body" in l for l in labels)
+
+    def test_for_loop_shape(self):
+        fn = lower_fn("for (a = 0; a < 4; a++) { b = b + 1; } return b;")
+        labels = list(fn.blocks)
+        assert any("for.step" in l for l in labels)
+
+    def test_break_jumps_to_end(self):
+        fn = lower_fn("while (1) { break; } return 0;")
+        body = next(b for l, b in fn.blocks.items() if "while.body" in l)
+        assert isinstance(body.terminator, Jump)
+        assert "while.end" in body.terminator.label
+
+    def test_switch_comparison_chain(self):
+        fn = lower_fn("""
+        switch (a) {
+        case 1: b = 1; break;
+        case 2: b = 2; break;
+        default: b = 0; break;
+        }
+        return b;
+        """)
+        eq_ops = [i for i in instrs_of(fn, BinOp) if i.op == "=="]
+        assert len(eq_ops) == 2  # default has no comparison
+
+    def test_switch_fallthrough(self):
+        fn = lower_fn("""
+        switch (a) {
+        case 1: b = 1;
+        case 2: b = 2; break;
+        }
+        return b;
+        """)
+        case0 = next(b for l, b in fn.blocks.items() if l.startswith("case.0"))
+        assert isinstance(case0.terminator, Jump)
+        assert case0.terminator.label.startswith("case.1")
+
+    def test_every_block_terminated(self):
+        fn = lower_fn("if (a) { return 1; } return 2;")
+        for block in fn.blocks.values():
+            assert block.terminator is not None
+
+    def test_missing_return_synthesized(self):
+        fn = lower_fn("a = 1;")
+        last = list(fn.blocks.values())[-1]
+        assert isinstance(last.instrs[-1], Ret)
+
+    def test_goto_label(self):
+        fn = lower_fn("if (a) goto out; b = 1; out: return b;")
+        assert any("label_out" in l for l in fn.blocks)
+
+
+class TestDefsUses:
+    def test_move_defs_uses(self):
+        instr = Move(0, Var("x"), Const(1))
+        assert instr.defs() == (Var("x"),)
+        assert instr.uses() == (Const(1),)
+
+    def test_binop_defs_uses(self):
+        instr = BinOp(0, Temp(1), "+", Var("a"), Var("b"))
+        assert instr.defs() == (Temp(1),)
+        assert set(instr.uses()) == {Var("a"), Var("b")}
+
+    def test_store_field_has_no_defs(self):
+        instr = StoreField(0, Var("s"), "sb", "n", Const(1))
+        assert instr.defs() == ()
+
+    def test_branch_uses_condition(self):
+        instr = Branch(0, Temp(3), "a", "b")
+        assert instr.uses() == (Temp(3),)
+
+    def test_module_function_lookup(self):
+        module = compile_c("int f(void) { return 0; }")
+        assert module.function("f").name == "f"
+        with pytest.raises(KeyError):
+            module.function("g")
+
+    def test_str_renders(self):
+        module = compile_c("int f(int a) { return a + 1; }")
+        text = str(module)
+        assert "func f(a)" in text
+        assert "ret" in text

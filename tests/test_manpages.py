@@ -1,0 +1,83 @@
+"""Tests for the manual corpus."""
+
+import pytest
+
+from repro.ecosystem.manpages import (
+    DocConstraint,
+    ManualPage,
+    build_manual_corpus,
+    render_page,
+)
+from repro.errors import ManualError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_manual_corpus()
+
+
+class TestCorpusShape:
+    def test_all_components_present(self, corpus):
+        assert set(corpus) == {"mke2fs", "mount", "e4defrag", "resize2fs", "e2fsck"}
+
+    def test_every_entry_has_text(self, corpus):
+        for page in corpus.values():
+            for entry in page.entries.values():
+                assert entry.text
+
+    def test_entry_lookup(self, corpus):
+        entry = corpus["mke2fs"].entry("blocksize")
+        assert "block" in entry.text.lower()
+
+    def test_missing_entry_raises(self, corpus):
+        with pytest.raises(ManualError):
+            corpus["mke2fs"].entry("warp_factor")
+
+    def test_add_and_entry(self):
+        page = ManualPage("demo")
+        page.add("x", "The x option.", DocConstraint("type", ctype="int"))
+        assert page.entry("x").constraints[0].ctype == "int"
+
+
+class TestSeededInaccuracies:
+    """The 12 seeded doc bugs must be present as documented."""
+
+    def test_d1_meta_bg_conflict_absent(self, corpus):
+        entry = corpus["mke2fs"].entry("meta_bg")
+        assert not any(c.partner == "mke2fs.resize_inode" for c in entry.constraints)
+        entry = corpus["mke2fs"].entry("resize_inode")
+        assert not any(c.partner == "mke2fs.meta_bg" for c in entry.constraints)
+
+    def test_d2_blocksize_range_wrong(self, corpus):
+        ranges = [c for c in corpus["mke2fs"].entry("blocksize").constraints
+                  if c.kind == "range"]
+        assert ranges[0].max_value == 4096  # code allows 65536
+
+    def test_d4_reserved_percent_wrong(self, corpus):
+        ranges = [c for c in corpus["mke2fs"].entry("reserved_percent").constraints
+                  if c.kind == "range"]
+        assert ranges[0].max_value == 100  # code rejects above 50
+
+    def test_d8_commit_range_wrong(self, corpus):
+        ranges = [c for c in corpus["mount"].entry("commit").constraints
+                  if c.kind == "range"]
+        assert ranges[0].max_value == 300  # code allows 900
+
+    def test_correctly_documented_conflict_example(self, corpus):
+        entry = corpus["mke2fs"].entry("sparse_super2")
+        assert any(c.kind == "conflicts" and c.partner == "mke2fs.sparse_super"
+                   for c in entry.constraints)
+
+    def test_resize2fs_documents_behavioral_deps(self, corpus):
+        page = corpus["resize2fs"]
+        partners = {c.partner for e in page.entries.values() for c in e.constraints}
+        assert "mke2fs.sparse_super2" in partners
+        assert "mke2fs.resize_inode" in partners
+
+
+class TestRendering:
+    def test_render_page(self, corpus):
+        text = render_page(corpus["mke2fs"])
+        assert text.startswith("MKE2FS(8)")
+        assert "OPTIONS" in text
+        assert "-b block-size" in text

@@ -1,0 +1,150 @@
+"""Tests for the dependency model and JSON persistence."""
+
+import io
+
+import pytest
+
+from repro.analysis.jsonio import (
+    dependency_from_dict,
+    dependency_to_dict,
+    dump_dependencies,
+    load_dependencies,
+)
+from repro.analysis.model import (
+    Category,
+    Dependency,
+    Evidence,
+    ParamRef,
+    SubKind,
+    make_constraint,
+)
+
+
+def sd_range(component="mke2fs", name="blocksize", lo=1024, hi=65536):
+    return Dependency(
+        kind=SubKind.SD_VALUE_RANGE,
+        params=(ParamRef(component, name),),
+        constraint=make_constraint(min=lo, max=hi),
+        evidence=Evidence("mke2fs.c", "parse", 42),
+    )
+
+
+class TestParamRef:
+    def test_str(self):
+        assert str(ParamRef("mke2fs", "blocksize")) == "mke2fs.blocksize"
+
+    def test_parse(self):
+        assert ParamRef.parse("mount.dax") == ParamRef("mount", "dax")
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ParamRef.parse("nodot")
+
+    def test_ordering(self):
+        assert ParamRef("a", "x") < ParamRef("b", "a")
+
+
+class TestDependencyValidation:
+    def test_sd_needs_exactly_one_param(self):
+        with pytest.raises(ValueError):
+            Dependency(SubKind.SD_VALUE_RANGE,
+                       (ParamRef("a", "x"), ParamRef("a", "y")))
+
+    def test_cpd_needs_same_component(self):
+        with pytest.raises(ValueError):
+            Dependency(SubKind.CPD_CONTROL,
+                       (ParamRef("a", "x"), ParamRef("b", "y")))
+
+    def test_ccd_needs_multiple_components(self):
+        with pytest.raises(ValueError):
+            Dependency(SubKind.CCD_BEHAVIORAL,
+                       (ParamRef("a", "x"), ParamRef("a", "y")))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Dependency(SubKind.SD_DATA_TYPE, ())
+
+    def test_category_derived_from_kind(self):
+        assert sd_range().category is Category.SD
+        assert SubKind.CCD_BEHAVIORAL.category is Category.CCD
+
+
+class TestKeysAndDescriptions:
+    def test_key_includes_bounds(self):
+        assert sd_range().key() == "SD.value_range:mke2fs.blocksize:[1024,65536]"
+        assert sd_range(lo=1, hi=64).key() != sd_range().key()
+
+    def test_key_for_relation(self):
+        dep = Dependency(SubKind.CPD_CONTROL,
+                         (ParamRef("mke2fs", "a"), ParamRef("mke2fs", "b")),
+                         make_constraint(relation="conflicts"))
+        assert dep.key().endswith(":conflicts")
+
+    def test_key_includes_bridge_field(self):
+        dep = Dependency(SubKind.CCD_BEHAVIORAL,
+                         (ParamRef("resize2fs", "*"), ParamRef("mke2fs", "x")),
+                         make_constraint(effect="guards-behaviour"),
+                         bridge_field="s_blocks_count")
+        assert dep.key().endswith("@s_blocks_count")
+
+    def test_describe_range(self):
+        assert "must be in [1024, 65536]" in sd_range().describe()
+
+    def test_describe_conflict(self):
+        dep = Dependency(SubKind.CPD_CONTROL,
+                         (ParamRef("mke2fs", "a"), ParamRef("mke2fs", "b")),
+                         make_constraint(relation="conflicts"))
+        assert "cannot be used together" in dep.describe()
+
+    def test_describe_requires(self):
+        dep = Dependency(SubKind.CPD_CONTROL,
+                         (ParamRef("mke2fs", "a"), ParamRef("mke2fs", "b")),
+                         make_constraint(relation="requires"))
+        assert "requires" in dep.describe()
+
+    def test_describe_behavioral(self):
+        dep = Dependency(SubKind.CCD_BEHAVIORAL,
+                         (ParamRef("resize2fs", "*"), ParamRef("mke2fs", "x")),
+                         bridge_field="s_blocks_count")
+        text = dep.describe()
+        assert "behaviour of resize2fs" in text
+        assert "s_blocks_count" in text
+
+    def test_evidence_not_part_of_equality(self):
+        a = sd_range()
+        b = Dependency(a.kind, a.params, a.constraint,
+                       evidence=Evidence("other.c", "g", 1))
+        assert a == b
+
+
+class TestJsonIO:
+    def test_dict_round_trip(self):
+        dep = sd_range()
+        assert dependency_from_dict(dependency_to_dict(dep)) == dep
+
+    def test_dict_contains_description_and_key(self):
+        record = dependency_to_dict(sd_range())
+        assert record["key"] == sd_range().key()
+        assert record["category"] == "SD"
+        assert "description" in record
+
+    def test_stream_round_trip(self):
+        deps = [sd_range(), sd_range(name="inode_size", lo=128, hi=4096)]
+        buffer = io.StringIO()
+        dump_dependencies(deps, buffer)
+        buffer.seek(0)
+        again = load_dependencies(buffer)
+        assert again == deps
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "deps.json")
+        deps = [sd_range()]
+        dump_dependencies(deps, path)
+        assert load_dependencies(path) == deps
+
+    def test_full_extraction_round_trips(self, extraction_report, tmp_path):
+        path = str(tmp_path / "all.json")
+        dump_dependencies(extraction_report.union, path)
+        again = load_dependencies(path)
+        assert {d.key() for d in again} == \
+               {d.key() for d in extraction_report.union}

@@ -1,0 +1,237 @@
+"""Tests for mount option parsing and ext4_fill_super validation."""
+
+import pytest
+
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount, MountConfig, PAGE_SIZE
+from repro.errors import MountError, NotMountedError, UsageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.layout import STATE_CLEAN
+
+
+def format_dev(args=None, blocks=2048, block_size=4096):
+    dev = BlockDevice(blocks * 2, block_size)
+    Mke2fs.from_args((args or []) + ["-b", str(block_size), str(blocks)]).run(dev)
+    return dev
+
+
+class TestOptionParsing:
+    def test_defaults(self):
+        cfg = MountConfig.from_option_string("")
+        assert not cfg.ro
+        assert cfg.data == "ordered"
+        assert cfg.commit == 5
+
+    def test_flags(self):
+        cfg = MountConfig.from_option_string("ro,noatime,dax,discard,lazytime")
+        assert cfg.ro and cfg.noatime and cfg.dax and cfg.discard and cfg.lazytime
+
+    def test_negated_flags(self):
+        cfg = MountConfig.from_option_string("noatime,atime,nodiscard")
+        assert not cfg.noatime
+        assert not cfg.discard
+
+    def test_rw_overrides_ro(self):
+        assert not MountConfig.from_option_string("ro,rw").ro
+
+    def test_valued_options(self):
+        cfg = MountConfig.from_option_string("commit=30,resuid=100,stripe=8")
+        assert cfg.commit == 30
+        assert cfg.resuid == 100
+        assert cfg.stripe == 8
+
+    def test_data_mode(self):
+        assert MountConfig.from_option_string("data=writeback").data == "writeback"
+
+    def test_data_requires_value(self):
+        with pytest.raises(UsageError):
+            MountConfig.from_option_string("data=")
+
+    def test_nobarrier(self):
+        assert MountConfig.from_option_string("nobarrier").barrier == 0
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(UsageError):
+            MountConfig.from_option_string("quantum")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(UsageError):
+            MountConfig.from_option_string("commit=soon")
+
+    def test_empty_tokens_skipped(self):
+        cfg = MountConfig.from_option_string("ro,,noatime,")
+        assert cfg.ro and cfg.noatime
+
+
+class TestOptionValidation:
+    """SD + CPD rules over the option set."""
+
+    @pytest.mark.parametrize("opts", [
+        "data=fast",
+        "errors=explode",
+        "commit=901",
+        "barrier=2",
+        "auto_da_alloc=7",
+        "journal_ioprio=8",
+        "max_batch_time=-5",
+        "min_batch_time=-5",
+        "resuid=-1",
+        "stripe=-4",
+        "min_batch_time=20000,max_batch_time=10000",
+        "journal_async_commit",               # requires journal_checksum
+        "dax,data=journal",                   # CPD conflict
+        "noload",                             # requires ro
+    ])
+    def test_invalid_option_sets_rejected(self, opts):
+        dev = format_dev(["-j"])
+        with pytest.raises(UsageError):
+            Ext4Mount.mount(dev, opts)
+
+
+class TestFillSuper:
+    """Cross-component checks against on-disk state."""
+
+    def test_plain_mount_succeeds(self):
+        handle = Ext4Mount.mount(format_dev())
+        assert handle.mounted
+        handle.umount()
+
+    def test_dax_requires_page_size_blocks(self):
+        dev = format_dev(blocks=8192, block_size=1024)
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev, "ro,dax")
+
+    def test_dax_with_page_size_blocks_ok(self):
+        assert PAGE_SIZE == 4096
+        handle = Ext4Mount.mount(format_dev(), "dax")
+        handle.umount()
+
+    def test_data_journal_requires_journal(self):
+        dev = format_dev(["-O", "^has_journal"])
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev, "data=journal")
+
+    def test_journal_checksum_requires_journal(self):
+        dev = format_dev(["-O", "^has_journal"])
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev, "journal_checksum")
+
+    def test_noload_requires_journal_on_disk(self):
+        dev = format_dev(["-O", "^has_journal"])
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev, "ro,noload")
+
+    def test_data_journal_forces_delalloc_off(self):
+        handle = Ext4Mount.mount(format_dev(["-j"]), "data=journal,delalloc")
+        assert not handle.config.delalloc
+        handle.umount()
+
+    def test_unknown_ro_compat_feature_mounts_readonly_only(self):
+        dev = format_dev(["-O", "verity"])
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev)
+        handle = Ext4Mount.mount(dev, "ro")
+        handle.umount()
+
+    def test_bigalloc_without_extents_rejected(self):
+        # forge the on-disk state (mke2fs would refuse to create it)
+        from repro.fsimage.image import Ext4Image
+
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_feature_ro_compat |= 0x0200  # bigalloc
+        image.sb.s_feature_incompat &= ~0x0040  # clear extent
+        image.flush()
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev, "ro")
+
+    def test_alternate_sb_beyond_end_rejected(self):
+        dev = format_dev()
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev, "sb=999999")
+
+    def test_double_mount_rejected(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev)
+        handle.umount()
+
+
+class TestMountedState:
+    def test_rw_mount_clears_clean_bit(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        assert not handle.image.sb.s_state & STATE_CLEAN
+        handle.umount()
+        assert handle.image.sb.s_state & STATE_CLEAN
+
+    def test_ro_mount_preserves_state(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev, "ro")
+        assert handle.image.sb.s_state & STATE_CLEAN
+        assert handle.image.sb.s_mnt_count == 0
+        handle.umount()
+
+    def test_mount_count_incremented(self):
+        dev = format_dev()
+        for _ in range(3):
+            Ext4Mount.mount(dev).umount()
+        from repro.fsimage.image import Ext4Image
+
+        assert Ext4Image.open(dev).sb.s_mnt_count == 3
+
+    def test_file_ops_after_umount_rejected(self):
+        handle = Ext4Mount.mount(format_dev())
+        handle.umount()
+        with pytest.raises(NotMountedError):
+            handle.create_file(1)
+        with pytest.raises(NotMountedError):
+            handle.umount()
+
+    def test_write_on_ro_mount_rejected(self):
+        handle = Ext4Mount.mount(format_dev(), "ro")
+        with pytest.raises(MountError):
+            handle.create_file(1)
+        handle.umount()
+
+    def test_create_and_delete_file(self):
+        handle = Ext4Mount.mount(format_dev())
+        ino = handle.create_file(4)
+        assert handle.image.read_inode(ino).in_use
+        handle.delete_file(ino)
+        assert not handle.image.read_inode(ino).in_use
+        handle.umount()
+
+    def test_extent_feature_controls_file_mapping(self):
+        handle = Ext4Mount.mount(format_dev())
+        ino = handle.create_file(4)
+        assert handle.image.read_inode(ino).uses_extents
+        handle.umount()
+
+        dev = format_dev(["-O", "^extent"])
+        handle = Ext4Mount.mount(dev)
+        ino = handle.create_file(4)
+        assert not handle.image.read_inode(ino).uses_extents
+        handle.umount()
+
+    def test_statfs(self):
+        handle = Ext4Mount.mount(format_dev())
+        stats = handle.statfs()
+        assert 0 < stats["bfree"] <= stats["blocks"]
+        assert stats["bavail"] <= stats["bfree"]
+        handle.umount()
+
+    def test_statfs_minixdf_reports_raw_blocks(self):
+        dev = format_dev()
+        plain = Ext4Mount.mount(dev)
+        normal_blocks = plain.statfs()["blocks"]
+        plain.umount()
+        minix = Ext4Mount.mount(dev, "minixdf")
+        assert minix.statfs()["blocks"] > normal_blocks
+        minix.umount()
+
+    def test_features_property(self):
+        handle = Ext4Mount.mount(format_dev())
+        assert "extent" in handle.features
+        handle.umount()

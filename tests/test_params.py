@@ -1,0 +1,117 @@
+"""Tests for the parameter registries (Table 2 totals)."""
+
+import pytest
+
+from repro.ecosystem.params import (
+    ALL_REGISTRIES,
+    ConfigParam,
+    E2FSCK_REGISTRY,
+    E4DEFRAG_REGISTRY,
+    EXT4_REGISTRY,
+    ParamKind,
+    ParamRegistry,
+    RESIZE2FS_REGISTRY,
+    Stage,
+    find_param,
+    registry_totals,
+)
+
+
+class TestTotals:
+    """The paper's Table-2 lower bounds must hold."""
+
+    def test_ext4_exceeds_85(self):
+        assert len(EXT4_REGISTRY) > 85
+
+    def test_e2fsck_exceeds_35(self):
+        assert len(E2FSCK_REGISTRY) > 35
+
+    def test_resize2fs_exceeds_15(self):
+        assert len(RESIZE2FS_REGISTRY) > 15
+
+    def test_registry_totals_helper(self):
+        totals = registry_totals()
+        assert totals["ext4"] == len(EXT4_REGISTRY)
+        assert set(totals) == set(ALL_REGISTRIES)
+
+
+class TestRegistryInvariants:
+    @pytest.mark.parametrize("registry", list(ALL_REGISTRIES.values()),
+                             ids=list(ALL_REGISTRIES))
+    def test_every_param_has_description(self, registry):
+        for param in registry:
+            assert param.description, f"{param.component}.{param.name}"
+
+    @pytest.mark.parametrize("registry", list(ALL_REGISTRIES.values()),
+                             ids=list(ALL_REGISTRIES))
+    def test_ranges_are_sane(self, registry):
+        for param in registry:
+            if param.min_value is not None and param.max_value is not None:
+                assert param.min_value <= param.max_value
+
+    @pytest.mark.parametrize("registry", list(ALL_REGISTRIES.values()),
+                             ids=list(ALL_REGISTRIES))
+    def test_enum_params_have_choices(self, registry):
+        for param in registry:
+            if param.kind is ParamKind.ENUM:
+                assert param.choices
+
+    def test_ext4_registry_components(self):
+        assert set(EXT4_REGISTRY.components()) == {"mke2fs", "mount"}
+
+    def test_duplicate_add_rejected(self):
+        registry = ParamRegistry("demo")
+        param = ConfigParam("x", "c", ParamKind.FLAG, Stage.CREATE, "d")
+        registry.add(param)
+        with pytest.raises(ValueError):
+            registry.add(param)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            EXT4_REGISTRY.get("mke2fs", "warp_speed")
+
+
+class TestSpecificParams:
+    def test_blocksize_range_matches_code(self):
+        param = EXT4_REGISTRY.get("mke2fs", "blocksize")
+        assert (param.min_value, param.max_value) == (1024, 65536)
+        assert "s_log_block_size" in param.sb_fields
+
+    def test_reserved_percent_range(self):
+        param = EXT4_REGISTRY.get("mke2fs", "reserved_percent")
+        assert (param.min_value, param.max_value) == (0, 50)
+
+    def test_commit_range(self):
+        param = EXT4_REGISTRY.get("mount", "commit")
+        assert (param.min_value, param.max_value) == (0, 900)
+
+    def test_data_mode_choices(self):
+        param = EXT4_REGISTRY.get("mount", "data")
+        assert set(param.choices) == {"journal", "ordered", "writeback"}
+
+    def test_in_range_helper(self):
+        param = EXT4_REGISTRY.get("mke2fs", "blocksize")
+        assert param.in_range(4096)
+        assert not param.in_range(512)
+        assert not param.in_range(10**6)
+
+    def test_fs_size_present_with_bridge_field(self):
+        param = EXT4_REGISTRY.get("mke2fs", "fs_size")
+        assert "s_blocks_count" in param.sb_fields
+
+    def test_find_param_across_registries(self):
+        assert find_param("resize2fs", "size").kind is ParamKind.SIZE
+        assert find_param("e2fsck", "preen").kind is ParamKind.FLAG
+        assert find_param("e4defrag", "check_only").kind is ParamKind.FLAG
+
+    def test_find_param_unknown(self):
+        with pytest.raises(KeyError):
+            find_param("mke2fs", "nonexistent")
+
+    def test_feature_params_are_create_stage(self):
+        for param in EXT4_REGISTRY:
+            if param.kind is ParamKind.FEATURE:
+                assert param.stage is Stage.CREATE
+
+    def test_e4defrag_params(self):
+        assert len(E4DEFRAG_REGISTRY) == 3

@@ -1,0 +1,272 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+
+
+def parse_stmts(body):
+    unit = parse(f"void f(void) {{ {body} }}")
+    return unit.function("f").body.statements
+
+
+def parse_expr(expr):
+    stmts = parse_stmts(f"x = {expr};")
+    return stmts[0].expr.value
+
+
+class TestDeclarations:
+    def test_struct(self):
+        unit = parse("""
+        typedef unsigned int __u32;
+        struct point { __u32 x; __u32 y; int tags[4]; };
+        """)
+        struct = unit.structs[0]
+        assert struct.name == "point"
+        assert [f.name for f in struct.fields] == ["x", "y", "tags"]
+        assert struct.fields[2].ctype.array == 4
+
+    def test_struct_multi_declarator_field(self):
+        unit = parse("struct s { int a, b; };")
+        assert [f.name for f in unit.structs[0].fields] == ["a", "b"]
+
+    def test_typedef(self):
+        unit = parse("typedef unsigned short __u16;")
+        td = unit.typedefs[0]
+        assert td.name == "__u16"
+        assert td.ctype.unsigned
+        assert td.ctype.base == "short"
+
+    def test_typedef_usable_as_type(self):
+        unit = parse("typedef unsigned int __u32;\n__u32 counter;")
+        assert unit.globals[0].ctype.unsigned
+
+    def test_enum(self):
+        unit = parse("enum color { RED, GREEN = 5, BLUE };")
+        assert unit.enums[0].members == [("RED", 0), ("GREEN", 5), ("BLUE", 6)]
+
+    def test_global_with_init(self):
+        unit = parse("int answer = 42;")
+        assert unit.globals[0].name == "answer"
+        assert unit.globals[0].init.value == 42
+
+    def test_global_array(self):
+        unit = parse("int table[16];")
+        assert unit.globals[0].ctype.array == 16
+
+    def test_global_pointer(self):
+        unit = parse("char *name;")
+        assert unit.globals[0].ctype.pointer == 1
+
+    def test_function_prototype(self):
+        unit = parse("int getopt(int argc, char **argv);")
+        fn = unit.functions[0]
+        assert fn.body is None
+        assert fn.params[1].ctype.pointer == 2
+
+    def test_function_definition(self):
+        unit = parse("static int f(void) { return 1; }")
+        fn = unit.function("f")
+        assert fn.static
+        assert fn.params == []
+
+    def test_struct_pointer_param(self):
+        unit = parse("""
+        struct sb { int x; };
+        int f(struct sb *s);
+        """)
+        param = unit.functions[0].params[0]
+        assert param.ctype.struct_name == "sb"
+        assert param.ctype.pointer == 1
+
+    def test_function_lookup_missing(self):
+        unit = parse("int f(void);")
+        with pytest.raises(KeyError):
+            unit.function("f")  # prototype only, no body
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmts = parse_stmts("if (a) { b = 1; } else { b = 2; }")
+        node = stmts[0]
+        assert isinstance(node, A.If)
+        assert node.otherwise is not None
+
+    def test_while(self):
+        node = parse_stmts("while (x > 0) x = x - 1;")[0]
+        assert isinstance(node, A.While)
+        assert not node.do_while
+
+    def test_do_while(self):
+        node = parse_stmts("do { x = 1; } while (x);")[0]
+        assert node.do_while
+
+    def test_for(self):
+        node = parse_stmts("for (i = 0; i < 4; i++) { }")[0]
+        assert isinstance(node, A.For)
+        assert node.cond is not None and node.step is not None
+
+    def test_for_with_decl(self):
+        node = parse_stmts("for (int i = 0; i < 4; i++) { }")[0]
+        assert isinstance(node.init, A.VarDecl)
+
+    def test_for_empty_clauses(self):
+        node = parse_stmts("for (;;) { break; }")[0]
+        assert node.init is None and node.cond is None and node.step is None
+
+    def test_return_value(self):
+        node = parse_stmts("return -1;")[0]
+        assert isinstance(node, A.Return)
+        assert isinstance(node.value, A.Unary)
+
+    def test_bare_return(self):
+        assert parse_stmts("return;")[0].value is None
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while (1) { break; } while (1) { continue; }")
+        assert isinstance(stmts[0].body.statements[0], A.Break)
+        assert isinstance(stmts[1].body.statements[0], A.Continue)
+
+    def test_switch(self):
+        node = parse_stmts("""
+        switch (c) {
+        case 'a': x = 1; break;
+        case 'b': x = 2; break;
+        default: x = 0; break;
+        }
+        """)[0]
+        assert isinstance(node, A.Switch)
+        assert len(node.cases) == 3
+        assert node.cases[2].value is None  # default
+
+    def test_switch_statement_before_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts("switch (c) { x = 1; }")
+
+    def test_var_decl_with_init(self):
+        node = parse_stmts("int n = 5;")[0]
+        assert isinstance(node, A.VarDecl)
+        assert node.init.value == 5
+
+    def test_multi_var_decl(self):
+        node = parse_stmts("int a, b;")[0]
+        assert isinstance(node, A.Block)
+        assert len(node.statements) == 2
+
+    def test_goto_and_label(self):
+        stmts = parse_stmts("goto out; out: x = 1;")
+        assert isinstance(stmts[0], A.Goto)
+        assert isinstance(stmts[1], A.Label)
+
+    def test_empty_statement(self):
+        assert parse_stmts(";") != []
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_comparison_binds_tighter_than_logical(self):
+        expr = parse_expr("a < 4 && b > 2")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_bitand_vs_equality(self):
+        # C quirk: == binds tighter than &
+        expr = parse_expr("x & 4 == 0")
+        assert expr.op == "&"
+        assert expr.right.op == "=="
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_not(self):
+        expr = parse_expr("!flag")
+        assert isinstance(expr, A.Unary)
+        assert expr.op == "!"
+
+    def test_member_access(self):
+        expr = parse_expr("sb->s_blocks_count")
+        assert isinstance(expr, A.Member)
+        assert expr.arrow
+
+    def test_chained_member_access(self):
+        expr = parse_expr("fs->super->s_magic")
+        assert isinstance(expr.base, A.Member)
+
+    def test_dot_access(self):
+        expr = parse_expr("param.s_inode_size")
+        assert isinstance(expr, A.Member)
+        assert not expr.arrow
+
+    def test_index(self):
+        expr = parse_expr("bgs[1]")
+        assert isinstance(expr, A.Index)
+
+    def test_call_with_args(self):
+        expr = parse_expr("parse_int(s, 10)")
+        assert isinstance(expr, A.Call)
+        assert len(expr.args) == 2
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, A.Ternary)
+
+    def test_compound_assignment(self):
+        node = parse_stmts("x |= 4;")[0].expr
+        assert isinstance(node, A.Assign)
+        assert node.op == "|="
+
+    def test_assignment_right_associative(self):
+        node = parse_stmts("a = b = 1;")[0].expr
+        assert isinstance(node.value, A.Assign)
+
+    def test_address_of_and_deref(self):
+        assert isinstance(parse_expr("&x"), A.AddressOf)
+        assert isinstance(parse_expr("*p"), A.Deref)
+
+    def test_cast(self):
+        unit = parse("typedef unsigned int __u32;\n"
+                     "void f(void) { x = (__u32) y; }")
+        expr = unit.function("f").body.statements[0].expr.value
+        assert isinstance(expr, A.Cast)
+
+    def test_sizeof_type(self):
+        expr = parse_expr("sizeof(int)")
+        assert isinstance(expr, A.SizeOf)
+        assert expr.ctype is not None
+
+    def test_prefix_and_postfix_increment(self):
+        pre = parse_stmts("++i;")[0].expr
+        post = parse_stmts("i++;")[0].expr
+        assert pre.prefix and not post.prefix
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { return 1 }")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { if (x) {")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { x = ; }")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("int f(void) {\n  x = ;\n}", filename="bad.c")
+        assert "bad.c:2" in str(excinfo.value)

@@ -1,0 +1,75 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.reporting.tables import (
+    render_figure1,
+    render_figure2,
+    render_mining,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_usages,
+)
+
+
+class TestTableRenderers:
+    def test_table1_lists_all_filesystems(self):
+        text = render_table1()
+        for fs in ("Ext4", "XFS", "BtrFS", "UFS", "ZFS", "MINIX", "NTFS", "APFS"):
+            assert fs in text
+
+    def test_table2_shows_paper_bounds(self):
+        text = render_table2()
+        assert ">85" in text
+        assert ">35" in text
+        assert ">15" in text
+        assert "< 34.1%" in text
+
+    def test_table3_totals(self):
+        text = render_table3()
+        assert "67" in text
+        assert "97.0%" in text
+        assert "7.5%" in text
+
+    def test_table4_counts(self):
+        text = render_table4()
+        assert "132" in text
+        assert "5/7" in text
+
+    def test_table5_headline(self, extraction_report):
+        text = render_table5(extraction_report)
+        assert "64 unique dependencies" in text
+        assert "7.8%" in text
+        assert "Total Unique" in text
+
+    def test_table5_computes_fresh_when_unseeded(self):
+        assert "Total Unique" in render_table5()
+
+
+class TestFigureRenderers:
+    def test_figure1_shows_corruption_and_fix(self):
+        text = render_figure1()
+        assert "CORRUPTED" in text
+        assert "free blocks count wrong" in text
+        assert "with the upstream fix applied: clean" in text
+
+    def test_figure2_walks_all_stages(self):
+        text = render_figure2()
+        for marker in ("create", "mount", "online", "offline"):
+            assert marker in text
+        assert "clean" in text
+
+    def test_mining_numbers(self):
+        text = render_mining()
+        assert "2700" in text
+        assert "400" in text
+        assert "67" in text
+
+    def test_usages_summary(self, extraction_report):
+        text = render_usages(extraction_report)
+        assert "ConDocCk: 12 inaccurate documentations" in text
+        assert "BAD HANDLING" in text
+        assert "ConBugCk" in text

@@ -1,0 +1,253 @@
+"""Tests for the simulated resize2fs, including the Figure-1 bug."""
+
+import pytest
+
+from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.ecosystem.resize2fs import Resize2fs, Resize2fsConfig
+from repro.errors import AlreadyMountedError, UsageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.image import Ext4Image
+
+
+def format_dev(args=None, device_blocks=4096, fs_blocks=2048, block_size=4096):
+    dev = BlockDevice(device_blocks, block_size)
+    Mke2fs.from_args((args or []) + ["-b", str(block_size), str(fs_blocks)]).run(dev)
+    return dev
+
+
+def fsck_problems(dev):
+    return E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev).problems
+
+
+class TestConfigParsing:
+    def test_flags(self):
+        cfg = Resize2fsConfig.from_args(["-f", "-M", "-p", "-P", "-F"])
+        assert cfg.force and cfg.minimize and cfg.progress
+        assert cfg.print_min_size and cfg.flush
+
+    def test_size_operand(self):
+        assert Resize2fsConfig.from_args(["8192"]).size == "8192"
+
+    def test_64bit_flags(self):
+        assert Resize2fsConfig.from_args(["-b"]).enable_64bit
+        assert Resize2fsConfig.from_args(["-s"]).disable_64bit
+
+    def test_stride_and_undo(self):
+        cfg = Resize2fsConfig.from_args(["-S", "16", "-z", "undo.e2"])
+        assert cfg.stride == 16
+        assert cfg.undo_file == "undo.e2"
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(UsageError):
+            Resize2fsConfig.from_args(["-S"])
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(UsageError):
+            Resize2fsConfig.from_args(["-Q"])
+
+
+class TestPreconditions:
+    def test_mounted_device_rejected(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        with pytest.raises(AlreadyMountedError):
+            Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        handle.umount()
+
+    def test_unclean_fs_needs_force(self):
+        dev = format_dev()
+        image = Ext4Image.open(dev)
+        image.sb.s_state = 0
+        image.flush()
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        Resize2fs(Resize2fsConfig(size="4096", force=True)).run(dev)
+
+    def test_b_and_s_conflict(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(enable_64bit=True, disable_64bit=True)).run(dev)
+
+    def test_minimize_with_size_conflict(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(minimize=True, size="4096")).run(dev)
+
+    def test_print_min_with_size_conflict(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(print_min_size=True, size="4096")).run(dev)
+
+    def test_invalid_debug_flags(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(size="4096", debug_flags=999)).run(dev)
+
+
+class TestNoOpAndPrint:
+    def test_same_size_is_noop(self):
+        dev = format_dev()
+        result = Resize2fs(Resize2fsConfig(size="2048")).run(dev)
+        assert result.action == "none"
+        assert any("Nothing to do" in m for m in result.messages)
+
+    def test_print_min_size(self):
+        dev = format_dev()
+        result = Resize2fs(Resize2fsConfig(print_min_size=True)).run(dev)
+        assert result.action == "print_min"
+        assert 64 <= result.min_blocks <= 2048
+
+
+class TestExpand:
+    def test_expand_updates_geometry(self):
+        dev = format_dev()
+        result = Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        assert (result.old_blocks, result.new_blocks) == (2048, 4096)
+        image = Ext4Image.open(dev)
+        assert image.sb.s_blocks_count == 4096
+
+    def test_expand_stays_consistent(self):
+        dev = format_dev()
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        assert fsck_problems(dev) == []
+
+    def test_expand_preserves_files(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        ino = handle.create_file(5)
+        blocks = handle.image.read_inode(ino).data_blocks()
+        handle.umount()
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        assert Ext4Image.open(dev).read_inode(ino).data_blocks() == blocks
+
+    def test_expand_beyond_device_rejected(self):
+        dev = format_dev(device_blocks=3000)
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+
+    def test_expand_adds_groups(self):
+        dev = BlockDevice(16384, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256", "-O", "^has_journal",
+                          "8192"]).run(dev)
+        before = Ext4Image.open(dev).sb.group_count
+        Resize2fs(Resize2fsConfig(size="10240")).run(dev)
+        image = Ext4Image.open(dev)
+        assert image.sb.group_count > before
+        assert fsck_problems(dev) == []
+
+    def test_grow_without_resize_inode_rejected(self):
+        dev = BlockDevice(16384, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256",
+                          "-O", "^resize_inode,^has_journal", "8192"]).run(dev)
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(size="12288")).run(dev)
+
+    def test_grow_past_reserved_gdt_rejected(self):
+        dev = BlockDevice(32768, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256", "-O", "^has_journal",
+                          "-E", "resize=11264", "8192"]).run(dev)
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(size="28672")).run(dev)
+
+
+class TestFigure1Bug:
+    def _expand_sparse2(self, fixed):
+        dev = format_dev(["-O", "sparse_super2,^resize_inode"])
+        Resize2fs(Resize2fsConfig(size="4096"), fixed=fixed).run(dev)
+        return dev
+
+    def test_buggy_path_corrupts_free_counts(self):
+        dev = self._expand_sparse2(fixed=False)
+        codes = {p.code for p in fsck_problems(dev)}
+        assert "SB_FREE_BLOCKS" in codes or "GD_FREE_BLOCKS" in codes
+
+    def test_fixed_path_is_clean(self):
+        dev = self._expand_sparse2(fixed=True)
+        assert fsck_problems(dev) == []
+
+    def test_bug_requires_expansion(self):
+        """Shrinking (or same size) never triggers it."""
+        dev = format_dev(["-O", "sparse_super2,^resize_inode"])
+        Resize2fs(Resize2fsConfig(size="2048")).run(dev)  # no-op
+        assert fsck_problems(dev) == []
+
+    def test_bug_requires_sparse_super2(self):
+        dev = format_dev()  # default features, no sparse_super2
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        assert fsck_problems(dev) == []
+
+    def test_e2fsck_repairs_the_damage(self):
+        dev = self._expand_sparse2(fixed=False)
+        repair = E2fsck(E2fsckConfig(force=True, assume_yes=True)).run(dev)
+        assert repair.exit_code == 1  # fixed
+        assert fsck_problems(dev) == []
+
+    def test_backup_group_moves_on_grow(self):
+        dev = BlockDevice(16384, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256",
+                          "-O", "sparse_super2,^resize_inode,^has_journal",
+                          "8192"]).run(dev)
+        before = Ext4Image.open(dev).sb.s_backup_bgs
+        Resize2fs(Resize2fsConfig(size="10240"), fixed=True).run(dev)
+        image = Ext4Image.open(dev)
+        assert image.sb.s_backup_bgs[1] == image.sb.group_count - 1
+        assert image.sb.s_backup_bgs != before
+
+
+class TestShrink:
+    def test_shrink_below_minimum_rejected(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            Resize2fs(Resize2fsConfig(size="8")).run(dev)
+
+    def test_shrink_to_minimum(self):
+        dev = format_dev()
+        result = Resize2fs(Resize2fsConfig(minimize=True)).run(dev)
+        assert result.action == "shrink"
+        assert result.new_blocks == result.min_blocks
+        assert fsck_problems(dev) == []
+
+    def test_shrink_relocates_file_data(self):
+        dev = BlockDevice(16384, 1024)
+        Mke2fs.from_args(["-b", "1024", "-g", "256", "-O", "^has_journal",
+                          "8192"]).run(dev)
+        handle = Ext4Mount.mount(dev)
+        # place a file near the end of the fs
+        image = handle.image
+        tail_block = image.sb.s_blocks_count - 10
+        inos = [handle.create_file(3) for _ in range(2)]
+        handle.umount()
+        Resize2fs(Resize2fsConfig(size="4096")).run(dev)
+        image = Ext4Image.open(dev)
+        for ino in inos:
+            for block in image.read_inode(ino).data_blocks():
+                assert block < 4096
+        assert fsck_problems(dev) == []
+
+    def test_shrink_then_grow_round_trip(self):
+        dev = format_dev()
+        Resize2fs(Resize2fsConfig(size="1024")).run(dev)
+        assert fsck_problems(dev) == []
+        Resize2fs(Resize2fsConfig(size="2048")).run(dev)
+        assert fsck_problems(dev) == []
+        assert Ext4Image.open(dev).sb.s_blocks_count == 2048
+
+
+class Test64BitConversion:
+    def test_enable(self):
+        dev = format_dev()
+        result = Resize2fs(Resize2fsConfig(enable_64bit=True)).run(dev)
+        assert result.action == "convert"
+        assert Ext4Image.open(dev).sb.s_feature_incompat & 0x0080
+
+    def test_enable_twice_notices(self):
+        dev = format_dev(["-O", "64bit"])
+        result = Resize2fs(Resize2fsConfig(enable_64bit=True)).run(dev)
+        assert any("already" in m for m in result.messages)
+
+    def test_disable(self):
+        dev = format_dev(["-O", "64bit"])
+        Resize2fs(Resize2fsConfig(disable_64bit=True)).run(dev)
+        assert not Ext4Image.open(dev).sb.s_feature_incompat & 0x0080

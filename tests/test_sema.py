@@ -1,0 +1,99 @@
+"""Tests for semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def check(source):
+    unit = parse(source)
+    return analyze(unit), unit
+
+
+class TestSymbolResolution:
+    def test_locals_and_params_resolve(self):
+        check("int f(int a) { int b; b = a; return b; }")
+
+    def test_globals_resolve(self):
+        check("int g;\nint f(void) { return g; }")
+
+    def test_enum_constants_resolve(self):
+        check("enum e { A, B };\nint f(void) { return A + B; }")
+
+    def test_undeclared_identifier_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int f(void) { return ghost; }")
+
+    def test_builtin_functions_allowed(self):
+        check('int f(void) { return atoi("1"); }')
+
+    def test_declared_prototype_callable(self):
+        check("int helper(int x);\nint f(void) { return helper(1); }")
+
+    def test_undeclared_function_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int f(void) { return mystery(); }")
+
+    def test_block_scoping(self):
+        check("int f(void) { if (1) { int x; x = 1; } return 0; }")
+
+    def test_shadowing_allowed(self):
+        check("int x;\nint f(void) { int x; x = 2; return x; }")
+
+
+class TestMemberAccess:
+    SB = "struct sb { int count; int flags; };\n"
+
+    def test_arrow_on_pointer(self):
+        check(self.SB + "int f(struct sb *s) { return s->count; }")
+
+    def test_dot_on_value(self):
+        check(self.SB + "struct sb g;\nint f(void) { return g.count; }")
+
+    def test_arrow_on_value_rejected(self):
+        with pytest.raises(SemanticError):
+            check(self.SB + "struct sb g;\nint f(void) { return g->count; }")
+
+    def test_dot_on_pointer_rejected(self):
+        with pytest.raises(SemanticError):
+            check(self.SB + "int f(struct sb *s) { return s.count; }")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SemanticError):
+            check(self.SB + "int f(struct sb *s) { return s->missing; }")
+
+    def test_unknown_struct_rejected(self):
+        with pytest.raises(SemanticError):
+            check("int f(struct ghost *g) { return g->x; }")
+
+    def test_chained_access(self):
+        source = (
+            "struct sb { int count; };\n"
+            "struct fs { struct sb *super; };\n"
+            "int f(struct fs *fs) { return fs->super->count; }"
+        )
+        _checker, unit = check(source)
+        ret = unit.function("f").body.statements[0]
+        assert ret.value.ctype.base == "int"  # annotated by sema
+
+    def test_struct_redefinition_rejected(self):
+        with pytest.raises(SemanticError):
+            check("struct a { int x; };\nstruct a { int y; };")
+
+
+class TestTypeAnnotation:
+    def test_expression_types_annotated(self):
+        _checker, unit = check(
+            "struct sb { int n; };\n"
+            "int f(struct sb *s) { return s->n + 1; }"
+        )
+        ret = unit.function("f").body.statements[0]
+        assert hasattr(ret.value, "ctype")
+
+    def test_index_derives_element_type(self):
+        _checker, unit = check("int f(char **argv) { return argv[0] != 0; }")
+
+    def test_address_of_adds_pointer(self):
+        _checker, unit = check("int f(void) { int x; x = 0; return &x != 0; }")

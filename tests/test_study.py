@@ -1,0 +1,178 @@
+"""Tests for the empirical study: dataset, mining, classification."""
+
+import pytest
+
+from repro.analysis.model import Category, SubKind
+from repro.study.classify import (
+    observed_subkinds,
+    scenario_table,
+    taxonomy_table,
+    total_row,
+)
+from repro.study.mining import (
+    CONFIG_KEYWORDS,
+    MiningPipeline,
+    SAMPLE_SIZE,
+    TARGET_KEYWORD_HITS,
+    TARGET_RELEVANT,
+    generate_history,
+)
+from repro.study.patches import (
+    BugPatch,
+    CriticalDependency,
+    SCENARIO_NAMES,
+    load_dataset,
+    unique_dependencies,
+)
+from repro.errors import DatasetError
+
+
+class TestDatasetInvariants:
+    def test_sixty_seven_bugs(self, bug_dataset):
+        assert len(bug_dataset) == 67
+
+    def test_scenario_distribution(self, bug_dataset):
+        counts = {name: 0 for name in SCENARIO_NAMES}
+        for bug in bug_dataset:
+            counts[bug.scenario] += 1
+        assert list(counts.values()) == [13, 1, 17, 36]
+
+    def test_every_bug_has_sd(self, bug_dataset):
+        for bug in bug_dataset:
+            assert "SD" in bug.dep_categories()
+
+    def test_unique_ids_and_commits(self, bug_dataset):
+        ids = [b.patch_id for b in bug_dataset]
+        commits = [b.commit for b in bug_dataset]
+        assert len(set(ids)) == 67
+        assert len(set(commits)) == 67
+
+    def test_titles_unique(self, bug_dataset):
+        assert len({b.title for b in bug_dataset}) == 67
+
+    def test_dependency_parse_shorthand(self):
+        dep = CriticalDependency.parse("ccdb:resize2fs.*+mke2fs.sparse_super2")
+        assert dep.kind is SubKind.CCD_BEHAVIORAL
+        assert dep.params == ("resize2fs.*", "mke2fs.sparse_super2")
+
+    def test_bad_shorthand_rejected(self):
+        with pytest.raises(DatasetError):
+            CriticalDependency.parse("xyz:a.b")
+        with pytest.raises(DatasetError):
+            CriticalDependency.parse("dt:nodot")
+
+
+class TestTable3:
+    """Exact reproduction of Table 3."""
+
+    def test_rows(self, bug_dataset):
+        rows = scenario_table(bug_dataset)
+        observed = [(r.bug_count, r.sd_bugs, r.cpd_bugs, r.ccd_bugs)
+                    for r in rows]
+        assert observed == [
+            (13, 13, 1, 13),
+            (1, 1, 0, 1),
+            (17, 17, 0, 17),
+            (36, 36, 4, 34),
+        ]
+
+    def test_total_row(self, bug_dataset):
+        rows = scenario_table(bug_dataset)
+        total = total_row(rows)
+        assert (total.bug_count, total.sd_bugs, total.cpd_bugs,
+                total.ccd_bugs) == (67, 67, 5, 65)
+
+    def test_percentages(self, bug_dataset):
+        total = total_row(scenario_table(bug_dataset))
+        assert total.pct(total.sd_bugs) == pytest.approx(100.0)
+        assert total.pct(total.cpd_bugs) == pytest.approx(7.5, abs=0.05)
+        assert total.pct(total.ccd_bugs) == pytest.approx(97.0, abs=0.05)
+
+    def test_scenario4_cpd_percentage(self, bug_dataset):
+        row = scenario_table(bug_dataset)[3]
+        assert row.pct(row.cpd_bugs) == pytest.approx(11.1, abs=0.05)
+
+
+class TestTable4:
+    """Exact reproduction of Table 4."""
+
+    def test_subkind_counts(self, bug_dataset):
+        rows = {r.kind: r.count for r in taxonomy_table(bug_dataset)}
+        assert rows[SubKind.SD_DATA_TYPE] == 33
+        assert rows[SubKind.SD_VALUE_RANGE] == 30
+        assert rows[SubKind.CPD_CONTROL] == 4
+        assert rows[SubKind.CPD_VALUE] == 0
+        assert rows[SubKind.CCD_CONTROL] == 1
+        assert rows[SubKind.CCD_VALUE] == 0
+        assert rows[SubKind.CCD_BEHAVIORAL] == 64
+
+    def test_total_132_critical_dependencies(self, bug_dataset):
+        assert len(unique_dependencies(bug_dataset)) == 132
+
+    def test_five_of_seven_observed(self, bug_dataset):
+        assert observed_subkinds(taxonomy_table(bug_dataset)) == (5, 7)
+
+    def test_value_subkinds_unobserved(self, bug_dataset):
+        rows = {r.kind: r for r in taxonomy_table(bug_dataset)}
+        assert not rows[SubKind.CPD_VALUE].observed
+        assert not rows[SubKind.CCD_VALUE].observed
+
+    def test_more_dependencies_than_bugs(self, bug_dataset):
+        """'132 ... larger than the number of bug cases' (§3.2)."""
+        assert len(unique_dependencies(bug_dataset)) > len(bug_dataset)
+
+
+class TestMining:
+    @pytest.fixture(scope="class")
+    def history(self):
+        return generate_history()
+
+    def test_history_size(self, history):
+        assert len(history) == 12000
+
+    def test_keyword_hits_are_2700(self, history):
+        pipeline = MiningPipeline(history)
+        assert len(pipeline.keyword_search()) == TARGET_KEYWORD_HITS == 2700
+
+    def test_curated_commits_match_keywords(self, history):
+        relevant_shas = {c.sha for c in history if c.relevant}
+        for bug in load_dataset():
+            assert bug.commit in relevant_shas
+
+    def test_full_pipeline(self, history):
+        result = MiningPipeline(history).run()
+        assert result.sampled == SAMPLE_SIZE == 400
+        assert result.relevant == TARGET_RELEVANT == 67
+        assert len(result.curated) == 67
+
+    def test_sampling_deterministic(self, history):
+        pipeline = MiningPipeline(history)
+        hits = pipeline.keyword_search()
+        seed = pipeline.find_representative_seed(hits)
+        first = pipeline.sample(hits, seed)
+        second = pipeline.sample(hits, seed)
+        assert [c.sha for c in first] == [c.sha for c in second]
+
+    def test_noise_commits_keyword_free(self, history):
+        non_hits = [c for c in history if not c.matches_keywords()]
+        assert len(non_hits) == 12000 - 2700
+        for commit in non_hits[:50]:
+            assert not any(k in commit.subject.lower() for k in CONFIG_KEYWORDS)
+
+    def test_history_generation_deterministic(self):
+        a = generate_history()
+        b = generate_history()
+        assert [c.sha for c in a] == [c.sha for c in b]
+
+
+class TestStudyVsExtraction:
+    def test_study_ccd_universe_larger_than_extracted(self, bug_dataset,
+                                                      extraction_report):
+        """§4.3: the study shows CCDs matter (97%), extraction finds only
+        6 — the inter-procedural gap."""
+        study_ccds = sum(1 for d in unique_dependencies(bug_dataset).values()
+                         if d.kind.category is Category.CCD)
+        extracted_ccds = extraction_report.union_counts()[Category.CCD].extracted
+        assert study_ccds == 65
+        assert extracted_ccds == 6
+        assert extracted_ccds < study_ccds

@@ -1,0 +1,99 @@
+"""Tests for the Table-2 coverage models and the Table-1 knowledge base."""
+
+import pytest
+
+from repro.knowledge.fstable import FS_CONFIG_METHODS, config_method_table
+from repro.suites.coverage import (
+    CoverageRow,
+    DEFAULT_SUITES,
+    compute_coverage,
+    coverage_table,
+)
+from repro.suites.e2fsprogs_test import E2FSCK_SUITE, RESIZE2FS_SUITE
+from repro.suites.xfstest import SuiteModel, XFSTEST_SUITE
+
+
+class TestTable2:
+    """Exact reproduction of Table 2's used counts and bounds."""
+
+    def test_xfstest_uses_29_of_more_than_85(self):
+        row = compute_coverage(XFSTEST_SUITE)
+        assert row.used == 29
+        assert row.total > 85
+        assert row.used_fraction < 0.5  # "less than half"
+
+    def test_e2fsck_uses_6_of_more_than_35(self):
+        row = compute_coverage(E2FSCK_SUITE)
+        assert row.used == 6
+        assert row.total > 35
+
+    def test_resize2fs_uses_7_of_more_than_15(self):
+        row = compute_coverage(RESIZE2FS_SUITE)
+        assert row.used == 7
+        assert row.total > 15
+
+    def test_paper_style_percentages(self):
+        rows = {r.target: r for r in coverage_table()}
+        assert rows["Ext4"].paper_style_pct == pytest.approx(100 * 29 / 85)
+        assert rows["e2fsck"].paper_style_pct == pytest.approx(100 * 6 / 35)
+        assert rows["resize2fs"].paper_style_pct == pytest.approx(100 * 7 / 15)
+
+    def test_coverage_below_half_everywhere(self):
+        for row in coverage_table():
+            assert row.used_fraction < 0.5
+
+    def test_suite_models_reference_real_params(self):
+        """compute_coverage validates every (component, name) pair."""
+        for suite in DEFAULT_SUITES:
+            compute_coverage(suite)  # raises KeyError on a bad model
+
+    def test_bad_suite_model_rejected(self):
+        bad = SuiteModel("bogus", "ext4", (("mke2fs", "warp_factor"),))
+        with pytest.raises(KeyError):
+            compute_coverage(bad)
+
+    def test_duplicate_usage_counted_once(self):
+        doubled = SuiteModel("dup", "ext4",
+                             (("mount", "ro"), ("mount", "ro")))
+        assert compute_coverage(doubled).used == 1
+
+    def test_table_order(self):
+        rows = coverage_table()
+        assert [r.target for r in rows] == ["Ext4", "e2fsck", "resize2fs"]
+
+
+class TestTable1:
+    def test_eight_file_systems(self):
+        assert len(FS_CONFIG_METHODS) == 8
+
+    def test_paper_row_order(self):
+        labels = [e.label() for e in config_method_table()]
+        assert labels == [
+            "Ext4 (Linux)", "XFS (Linux)", "BtrFS (Linux)", "UFS (FreeBSD)",
+            "ZFS (FreeBSD)", "MINIX (Minix)", "NTFS (Windows)", "APFS (MacOS)",
+        ]
+
+    def test_four_stages_everywhere(self):
+        for entry in FS_CONFIG_METHODS:
+            assert len(entry.stage_cells()) == 4
+
+    def test_minix_has_no_online_utility(self):
+        minix = next(e for e in FS_CONFIG_METHODS if e.fs == "MINIX")
+        assert minix.stage_cells()[2] == "-"
+
+    def test_every_fs_has_create_and_mount(self):
+        for entry in FS_CONFIG_METHODS:
+            assert entry.create
+            assert entry.mount
+
+    def test_ext4_row_matches_ecosystem(self):
+        ext4 = FS_CONFIG_METHODS[0]
+        assert ext4.create == ("mke2fs",)
+        assert "resize2fs" in ext4.offline
+        assert "e4defrag" in ext4.online
+
+    def test_chkdsk_appears_for_ntfs(self):
+        """The paper's motivating NTFS/ChkDsk example."""
+        ntfs = next(e for e in FS_CONFIG_METHODS if e.fs == "NTFS")
+        assert "chkdsk" in ntfs.online
+        assert "chkdsk" in ntfs.offline

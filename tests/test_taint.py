@@ -1,0 +1,146 @@
+"""Tests for the taint engine."""
+
+import pytest
+
+from repro.analysis.model import ParamRef
+from repro.analysis.sources import ComponentSources
+from repro.analysis.taint import FieldTaint, analyze_function
+from repro.lang import compile_c
+from repro.lang.ir import Var
+
+PRELUDE = """
+typedef unsigned int __u32;
+struct ext2_super_block { __u32 s_blocks_count; __u32 s_feature_compat; };
+int parse_int(const char *str);
+char *optarg_value(void);
+int opaque(int x);
+void usage(void);
+#define EXT2_FEATURE_COMPAT_RESIZE_INODE 0x0010
+"""
+
+
+def analyze(body, sources=None, component="mke2fs", params="int a, int b"):
+    module = compile_c(PRELUDE + f"int f({params}) {{ {body} }}")
+    fn = module.function("f")
+    sources = sources or ComponentSources(
+        component, {"*": {"a": ParamRef(component, "alpha")}})
+    return analyze_function(fn, sources, component)
+
+
+class TestPropagation:
+    def test_source_variable_tainted(self):
+        state = analyze("return a;")
+        assert state.params(Var("a")) == {ParamRef("mke2fs", "alpha")}
+
+    def test_move_propagates(self):
+        state = analyze("b = a; return b;")
+        assert state.params(Var("b")) == {ParamRef("mke2fs", "alpha")}
+
+    def test_arithmetic_propagates(self):
+        state = analyze("b = a * 4 + 1; return b;")
+        assert state.params(Var("b")) == {ParamRef("mke2fs", "alpha")}
+
+    def test_untainted_stays_clean(self):
+        state = analyze("b = 7; return b;")
+        assert state.params(Var("b")) == frozenset()
+
+    def test_taint_preserving_call(self):
+        state = analyze("b = parse_int(optarg_value()); b = abs(a); return b;")
+        assert ParamRef("mke2fs", "alpha") in state.params(Var("b"))
+
+    def test_opaque_call_blocks_taint(self):
+        """The paper's intra-procedural limitation, literally."""
+        state = analyze("b = opaque(a); return b;")
+        assert state.params(Var("b")) == frozenset()
+
+    def test_flow_insensitive_keeps_stale_taint(self):
+        """Kills are ignored (the FP mechanism)."""
+        state = analyze("b = a; b = 0; return b;")
+        assert ParamRef("mke2fs", "alpha") in state.params(Var("b"))
+
+    def test_loop_converges(self):
+        state = analyze("while (b < 10) { b = b + a; } return b;")
+        assert ParamRef("mke2fs", "alpha") in state.params(Var("b"))
+
+    def test_multi_param_map(self):
+        sources = ComponentSources("mke2fs", {"*": {
+            "a": ParamRef("mke2fs", "alpha"),
+            "b": ParamRef("mke2fs", "beta"),
+        }})
+        state = analyze("int c; c = a + b; return c;", sources=sources)
+        multi = state.multi_param_map
+        assert Var("c") in multi
+        assert multi[Var("c")] == {ParamRef("mke2fs", "alpha"),
+                                   ParamRef("mke2fs", "beta")}
+
+    def test_trace_records_instructions(self):
+        state = analyze("b = a; return b;")
+        assert state.trace[Var("b")]
+
+
+class TestFieldEvents:
+    SB_PARAM = "struct ext2_super_block *sb, int a"
+
+    def test_load_field_taints_with_field_label(self):
+        state = analyze("int x; x = sb->s_blocks_count; return x;",
+                        params=self.SB_PARAM)
+        fields = state.fields(Var("x"))
+        assert FieldTaint("ext2_super_block", "s_blocks_count") in fields
+
+    def test_field_reads_recorded(self):
+        state = analyze("int x; x = sb->s_blocks_count; return x;",
+                        params=self.SB_PARAM)
+        assert any(r.field == "s_blocks_count" for r in state.field_reads)
+
+    def test_field_write_records_taint(self):
+        state = analyze("sb->s_blocks_count = a; return 0;",
+                        params=self.SB_PARAM)
+        write = state.field_writes[0]
+        assert write.field == "s_blocks_count"
+        assert ParamRef("mke2fs", "alpha") in write.labels
+
+    def test_feature_or_store_attributed_to_feature_param(self):
+        state = analyze(
+            "sb->s_feature_compat |= EXT2_FEATURE_COMPAT_RESIZE_INODE; return 0;",
+            params=self.SB_PARAM)
+        writes = [w for w in state.field_writes if w.field == "s_feature_compat"]
+        assert ParamRef("mke2fs", "resize_inode") in writes[0].labels
+
+    def test_feature_mask_refines_field_taint(self):
+        state = analyze(
+            "int x; x = sb->s_feature_compat & EXT2_FEATURE_COMPAT_RESIZE_INODE;"
+            " return x;",
+            params=self.SB_PARAM)
+        fields = state.fields(Var("x"))
+        assert FieldTaint("ext2_super_block", "s_feature_compat",
+                          "resize_inode") in fields
+
+    def test_unmasked_feature_word_stays_unrefined(self):
+        state = analyze("int x; x = sb->s_feature_compat; return x;",
+                        params=self.SB_PARAM)
+        fields = state.fields(Var("x"))
+        assert FieldTaint("ext2_super_block", "s_feature_compat") in fields
+
+
+class TestSourceScoping:
+    def test_function_specific_sources(self):
+        sources = ComponentSources("mke2fs", {
+            "f": {"a": ParamRef("mke2fs", "only_f")},
+        })
+        state = analyze("return a;", sources=sources)
+        assert state.params(Var("a")) == {ParamRef("mke2fs", "only_f")}
+
+    def test_star_and_specific_merge(self):
+        sources = ComponentSources("mke2fs", {
+            "*": {"a": ParamRef("mke2fs", "alpha")},
+            "f": {"b": ParamRef("mke2fs", "beta")},
+        })
+        merged = sources.sources_for("f")
+        assert set(merged) == {"a", "b"}
+
+    def test_other_function_sources_not_applied(self):
+        sources = ComponentSources("mke2fs", {
+            "g": {"a": ParamRef("mke2fs", "alpha")},
+        })
+        state = analyze("return a;", sources=sources)
+        assert state.params(Var("a")) == frozenset()

@@ -1,0 +1,212 @@
+"""Tests for the simulated tune2fs."""
+
+import pytest
+
+from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.ecosystem.mount import Ext4Mount
+from repro.ecosystem.tune2fs import Tune2fs, Tune2fsConfig
+from repro.errors import AlreadyMountedError, UsageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.fsimage.image import Ext4Image
+from repro.fsimage.layout import JOURNAL_INO, STATE_CLEAN
+
+
+def format_dev(args=None, blocks=2048):
+    dev = BlockDevice(4096, 4096)
+    Mke2fs.from_args((args or []) + ["-b", "4096", str(blocks)]).run(dev)
+    return dev
+
+
+def tune(dev, *args):
+    return Tune2fs(Tune2fsConfig.from_args(list(args))).run(dev)
+
+
+def fsck_clean(dev):
+    return E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev).is_clean
+
+
+class TestConfigParsing:
+    def test_flags(self):
+        cfg = Tune2fsConfig.from_args(["-c", "30", "-e", "panic", "-L", "v",
+                                       "-m", "10", "-f", "-l"])
+        assert cfg.max_mount_count == 30
+        assert cfg.errors_behavior == "panic"
+        assert cfg.label == "v"
+        assert cfg.reserved_percent == 10
+        assert cfg.force and cfg.list_contents
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(UsageError):
+            Tune2fsConfig.from_args(["-Z"])
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(UsageError):
+            Tune2fsConfig.from_args(["-c"])
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(UsageError):
+            Tune2fsConfig.from_args(["-c", "weekly"])
+
+
+class TestSimpleKnobs:
+    def test_max_mount_count(self):
+        dev = format_dev()
+        tune(dev, "-c", "42")
+        assert Ext4Image.open(dev).sb.s_max_mnt_count == 42
+
+    def test_max_mount_count_range(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-c", "70000")
+        with pytest.raises(UsageError):
+            tune(dev, "-c", "-2")
+
+    def test_errors_behavior(self):
+        dev = format_dev()
+        tune(dev, "-e", "remount-ro")
+        assert Ext4Image.open(dev).sb.s_errors == 2
+
+    def test_errors_behavior_enum(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-e", "explode")
+
+    def test_label(self):
+        dev = format_dev()
+        tune(dev, "-L", "newname")
+        assert Ext4Image.open(dev).sb.s_volume_name == "newname"
+
+    def test_label_length(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-L", "x" * 20)
+
+    def test_reserved_percent(self):
+        dev = format_dev()
+        tune(dev, "-m", "10")
+        assert Ext4Image.open(dev).sb.s_r_blocks_count == 204
+
+    def test_reserved_percent_range(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-m", "80")
+
+    def test_reserved_blocks_absolute(self):
+        dev = format_dev()
+        tune(dev, "-r", "333")
+        assert Ext4Image.open(dev).sb.s_r_blocks_count == 333
+
+    def test_uuid(self):
+        dev = format_dev()
+        tune(dev, "-U", "9cfdd4ab-b782-4308-8b90-7766b07b0e42")
+        assert Ext4Image.open(dev).sb.s_uuid != b"\x00" * 16
+
+    def test_bad_uuid_rejected(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-U", "not-a-uuid")
+
+    def test_mounted_device_rejected(self):
+        dev = format_dev()
+        handle = Ext4Mount.mount(dev)
+        with pytest.raises(AlreadyMountedError):
+            tune(dev, "-L", "x")
+        handle.umount()
+
+
+class TestFeatureToggling:
+    @pytest.mark.parametrize("feature", [
+        "bigalloc", "meta_bg", "flex_bg", "inline_data", "sparse_super2",
+        "64bit", "filetype", "extent",
+    ])
+    def test_structural_features_frozen(self, feature):
+        """CCD: what tune2fs may change depends on what mke2fs built."""
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-O", feature)
+        with pytest.raises(UsageError):
+            tune(dev, "-O", f"^{feature}")
+
+    def test_enable_simple_feature(self):
+        dev = format_dev()
+        result = tune(dev, "-O", "quota")
+        assert "quota" in result.features_added
+        image = Ext4Image.open(dev)
+        assert image.sb.s_feature_ro_compat & 0x0100
+
+    def test_enable_is_idempotent(self):
+        dev = format_dev()
+        tune(dev, "-O", "quota")
+        again = tune(dev, "-O", "quota")
+        assert again.features_added == []
+
+    def test_project_requires_quota(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-O", "project")
+        tune(dev, "-O", "quota")
+        result = tune(dev, "-O", "project")
+        assert "project" in result.features_added
+
+    def test_quota_removal_blocked_by_project(self):
+        dev = format_dev()
+        tune(dev, "-O", "quota")
+        tune(dev, "-O", "project")
+        with pytest.raises(UsageError):
+            tune(dev, "-O", "^quota")
+
+    def test_metadata_csum_conflicts_uninit_bg(self):
+        dev = format_dev(["-O", "uninit_bg"])
+        with pytest.raises(UsageError):
+            tune(dev, "-O", "metadata_csum")
+
+    def test_metadata_csum_requires_fsck_afterwards(self):
+        dev = format_dev()
+        result = tune(dev, "-O", "metadata_csum")
+        assert result.needs_fsck
+        assert not Ext4Image.open(dev).sb.s_state & STATE_CLEAN
+        repair = E2fsck(E2fsckConfig(assume_yes=True)).run(dev)
+        assert repair.exit_code in (0, 1)
+        assert fsck_clean(dev)
+
+    def test_verity_requires_mkfs_extent(self):
+        dev = format_dev(["-O", "^extent,^verity"])
+        with pytest.raises(UsageError):
+            tune(dev, "-O", "verity")
+
+    def test_remove_journal_frees_blocks(self):
+        dev = format_dev(["-j"])
+        image = Ext4Image.open(dev)
+        free_before = image.sb.s_free_blocks_count
+        journal_blocks = len(image.read_inode(JOURNAL_INO).data_blocks())
+        assert journal_blocks > 0
+        result = tune(dev, "-O", "^has_journal")
+        assert "has_journal" in result.features_removed
+        image = Ext4Image.open(dev)
+        assert image.sb.s_free_blocks_count == free_before + journal_blocks
+        assert fsck_clean(dev)
+
+    def test_add_journal_allocates_blocks(self):
+        dev = format_dev(["-O", "^has_journal"])
+        result = tune(dev, "-O", "has_journal")
+        assert "has_journal" in result.features_added
+        image = Ext4Image.open(dev)
+        assert image.read_inode(JOURNAL_INO).in_use
+        assert fsck_clean(dev)
+
+    def test_journal_round_trip_then_mountable(self):
+        dev = format_dev(["-j"])
+        tune(dev, "-O", "^has_journal")
+        from repro.errors import MountError
+
+        with pytest.raises(MountError):
+            Ext4Mount.mount(dev, "data=journal")  # no journal anymore
+        tune(dev, "-O", "has_journal")
+        handle = Ext4Mount.mount(dev, "data=journal")
+        handle.umount()
+
+    def test_unknown_feature_rejected(self):
+        dev = format_dev()
+        with pytest.raises(UsageError):
+            tune(dev, "-O", "warp_drive")

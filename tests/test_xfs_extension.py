@@ -1,0 +1,65 @@
+"""Tests for the §6 XFS extension (methodology generality)."""
+
+import pytest
+
+from repro.analysis.extractor import Extractor, SCENARIOS, XFS_SCENARIO
+from repro.analysis.model import Category, SubKind
+from repro.corpus.loader import load_unit
+
+
+@pytest.fixture(scope="module")
+def xfs_result():
+    return Extractor((XFS_SCENARIO,)).extract_scenario(XFS_SCENARIO)
+
+
+class TestXfsCorpus:
+    def test_units_compile(self):
+        assert load_unit("xfs_mkfs.c").component == "mkfs.xfs"
+        assert load_unit("xfs_growfs.c").component == "xfs_growfs"
+
+    def test_xfs_not_in_default_scenarios(self):
+        """Table 5 stays an Ext4 evaluation."""
+        for spec in SCENARIOS:
+            for filename, _fns in spec.selected:
+                assert not filename.startswith("xfs")
+
+
+class TestXfsExtraction:
+    def test_category_counts(self, xfs_result):
+        counts = xfs_result.counts()
+        assert counts[Category.SD].extracted == 8
+        assert counts[Category.CPD].extracted == 4
+        assert counts[Category.CCD].extracted == 2
+
+    def test_real_mkfs_xfs_rules_extracted(self, xfs_result):
+        keys = {d.key() for d in xfs_result.dependencies}
+        # real mkfs.xfs rules: V5-metadata prerequisites
+        assert "CPD.control:mkfs.xfs.crc,mkfs.xfs.finobt:requires" in keys
+        assert "CPD.control:mkfs.xfs.crc,mkfs.xfs.reflink:requires" in keys
+        assert "CPD.control:mkfs.xfs.crc,mkfs.xfs.rmapbt:requires" in keys
+        assert "SD.value_range:mkfs.xfs.blocksize:[512,65536]" in keys
+
+    def test_cannot_shrink_ccd_extracted(self, xfs_result):
+        """xfs_growfs's size is validated against mkfs-time sb_dblocks."""
+        keys = {d.key() for d in xfs_result.dependencies}
+        assert "CCD.behavioral:mkfs.xfs.dblocks,xfs_growfs.dblocks@sb_dblocks" in keys
+
+    def test_ag_geometry_ccd_extracted(self, xfs_result):
+        keys = {d.key() for d in xfs_result.dependencies}
+        assert "CCD.behavioral:mkfs.xfs.agcount,xfs_growfs.dblocks@sb_agcount" in keys
+
+    def test_bridge_struct_is_xfs_sb(self, xfs_result):
+        for dep in xfs_result.dependencies:
+            if dep.category is Category.CCD:
+                assert dep.bridge_field.startswith("sb_")
+
+    def test_no_false_positives_in_xfs(self, xfs_result):
+        from repro.analysis.groundtruth import is_false_positive
+
+        assert not any(is_false_positive(d) for d in xfs_result.dependencies)
+
+    def test_xfs_does_not_contaminate_ext4_extraction(self, extraction_report):
+        for dep in extraction_report.union:
+            for param in dep.params:
+                assert not param.component.startswith("xfs")
+                assert param.component != "mkfs.xfs"

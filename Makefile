@@ -1,0 +1,21 @@
+# Development targets.  `make verify` is the gate: the full test suite
+# plus the pipeline perf smoke benchmark, which fails loudly when the
+# warm-cache speedup regresses below its floor or parallel extraction
+# stops being byte-identical to sequential.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_pipeline.py --smoke
+
+bench:
+	$(PYTHON) benchmarks/bench_pipeline.py
+
+verify: test bench-smoke
+	@echo "verify: OK"

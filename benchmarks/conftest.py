@@ -24,6 +24,19 @@ def emit(name: str, text: str) -> None:
         fh.write(text + "\n")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_ir_cache(tmp_path_factory):
+    """Benchmarks must never read a pre-warmed IR cache from the
+    developer's machine — cold numbers would silently stop being cold."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("ir-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 @pytest.fixture(scope="session")
 def extraction_report():
     from repro.analysis.extractor import extract_all

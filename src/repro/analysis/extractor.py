@@ -24,6 +24,7 @@ from repro.analysis.taint import analyze_function
 from repro.corpus.loader import load_unit
 from repro.errors import UnknownFunctionError
 from repro.lang.cfg import build_cfg
+from repro.perf import resolve_jobs, run_ordered, timed
 
 
 @dataclass(frozen=True)
@@ -182,41 +183,64 @@ class ExtractionReport:
 
 
 class Extractor:
-    """Run extraction over scenarios."""
+    """Run extraction over scenarios.
 
-    def __init__(self, scenarios: Sequence[ScenarioSpec] = SCENARIOS) -> None:
+    ``jobs`` controls the fan-out width (``None`` defers to the
+    ``REPRO_JOBS`` environment knob, default sequential).  The parallel
+    path analyzes (unit, function) pairs concurrently but *merges in
+    spec order*, so its dependency sets are byte-identical to a
+    sequential run: ordering comes from the assembly loop, never from
+    thread completion order.
+    """
+
+    def __init__(self, scenarios: Sequence[ScenarioSpec] = SCENARIOS,
+                 jobs: Optional[int] = None) -> None:
         self.scenarios = tuple(scenarios)
+        self.jobs = resolve_jobs(jobs)
 
     # ------------------------------------------------------------------
     # per-scenario
     # ------------------------------------------------------------------
 
+    def _analyze_one(self, task: Tuple[str, str]):
+        """Taint + constraints for one pre-selected function."""
+        filename, fn_name = task
+        unit = load_unit(filename)
+        sources = SOURCES_BY_UNIT[filename]
+        try:
+            func = unit.module.function(fn_name)
+        except KeyError:
+            raise UnknownFunctionError(
+                f"pre-selected function {fn_name!r} missing from {filename}"
+            ) from None
+        cfg = build_cfg(func)
+        state = analyze_function(func, sources, unit.component)
+        findings = derive_constraints(
+            func, cfg, state, sources, unit.component, filename
+        )
+        return state, findings
+
     def extract_scenario(self, spec: ScenarioSpec) -> ScenarioResult:
         """Extract one scenario's unique dependency set."""
-        deps: List[Dependency] = []
-        summaries: List[ComponentSummary] = []
-        for filename, functions in spec.selected:
-            unit = load_unit(filename)
-            sources = SOURCES_BY_UNIT[filename]
-            summary = ComponentSummary(unit.component, filename)
-            for fn_name in functions:
-                try:
-                    func = unit.module.function(fn_name)
-                except KeyError:
-                    raise UnknownFunctionError(
-                        f"pre-selected function {fn_name!r} missing from {filename}"
-                    ) from None
-                cfg = build_cfg(func)
-                state = analyze_function(func, sources, unit.component)
-                findings = derive_constraints(
-                    func, cfg, state, sources, unit.component, filename
-                )
-                deps.extend(findings.dependencies)
-                summary.field_writes.extend(state.field_writes)
-                summary.branch_uses.extend(findings.branch_uses)
-            summaries.append(summary)
-        deps.extend(MetadataBridge(summaries).join())
-        return ScenarioResult(spec, _dedupe(deps))
+        with timed("extract.scenario"):
+            tasks = [(filename, fn_name)
+                     for filename, functions in spec.selected
+                     for fn_name in functions]
+            analyzed = iter(run_ordered(self.jobs, self._analyze_one, tasks))
+            deps: List[Dependency] = []
+            summaries: List[ComponentSummary] = []
+            for filename, functions in spec.selected:
+                unit = load_unit(filename)
+                summary = ComponentSummary(unit.component, filename)
+                for _fn_name in functions:
+                    state, findings = next(analyzed)
+                    deps.extend(findings.dependencies)
+                    summary.field_writes.extend(state.field_writes)
+                    summary.branch_uses.extend(findings.branch_uses)
+                summaries.append(summary)
+            with timed("extract.bridge"):
+                deps.extend(MetadataBridge(summaries).join())
+            return ScenarioResult(spec, _dedupe(deps))
 
     # ------------------------------------------------------------------
     # all scenarios
@@ -224,11 +248,12 @@ class Extractor:
 
     def extract_all(self) -> ExtractionReport:
         """Extract every scenario plus the unique union."""
-        results = [self.extract_scenario(spec) for spec in self.scenarios]
-        union: List[Dependency] = []
-        for result in results:
-            union.extend(result.dependencies)
-        return ExtractionReport(results, _dedupe(union))
+        with timed("extract.all"):
+            results = run_ordered(self.jobs, self.extract_scenario, self.scenarios)
+            union: List[Dependency] = []
+            for result in results:
+                union.extend(result.dependencies)
+            return ExtractionReport(results, _dedupe(union))
 
 
 def _dedupe(deps: List[Dependency]) -> List[Dependency]:
@@ -243,6 +268,7 @@ def _dedupe(deps: List[Dependency]) -> List[Dependency]:
     return out
 
 
-def extract_all(scenarios: Sequence[ScenarioSpec] = SCENARIOS) -> ExtractionReport:
+def extract_all(scenarios: Sequence[ScenarioSpec] = SCENARIOS,
+                jobs: Optional[int] = None) -> ExtractionReport:
     """Convenience: run the full Table-5 extraction."""
-    return Extractor(scenarios).extract_all()
+    return Extractor(scenarios, jobs=jobs).extract_all()

@@ -40,6 +40,7 @@ from repro.analysis.taint import Label, TaintEngine, TaintState
 from repro.corpus.loader import CorpusUnit, load_unit
 from repro.lang.cfg import build_cfg
 from repro.lang.ir import CallInstr, Ret
+from repro.perf import resolve_jobs, run_ordered, timed
 
 #: Upper bound on fixpoint rounds (label sets are finite; this is a
 #: safety net, not a tuning knob).
@@ -48,10 +49,17 @@ MAX_ROUNDS = 12
 
 @dataclass
 class UnitAnalysis:
-    """Inter-procedural analysis of one translation unit."""
+    """Inter-procedural analysis of one translation unit.
+
+    ``jobs`` fans the per-function engines of each fixpoint round out
+    across threads; the summary updates between rounds stay sequential
+    (they fold over every function's state), so results are identical
+    to a sequential run.
+    """
 
     unit: CorpusUnit
     sources: ComponentSources
+    jobs: int = 1
     states: Dict[str, TaintState] = dc_field(default_factory=dict)
     rounds: int = 0
 
@@ -79,10 +87,11 @@ class UnitAnalysis:
     # ------------------------------------------------------------------
 
     def _analyze_all(self, param_taint, field_inj, call_ret) -> Dict[str, TaintState]:
-        states: Dict[str, TaintState] = {}
         frozen_inj = {k: frozenset(v) for k, v in field_inj.items()}
         frozen_ret = {k: frozenset(v) for k, v in call_ret.items() if v}
-        for name, func in self.unit.module.functions.items():
+
+        def run_one(item: Tuple[str, object]) -> Tuple[str, TaintState]:
+            name, func = item
             initial = {
                 var: frozenset(labels)
                 for var, labels in param_taint[name].items()
@@ -94,8 +103,12 @@ class UnitAnalysis:
                 field_injections=frozen_inj,
                 call_returns=frozen_ret,
             )
-            states[name] = engine.run()
-        return states
+            return name, engine.run()
+
+        with timed("interproc.round"):
+            results = run_ordered(self.jobs, run_one,
+                                  list(self.unit.module.functions.items()))
+        return dict(results)
 
     @staticmethod
     def _update_field_summaries(states: Dict[str, TaintState],
@@ -161,10 +174,17 @@ def full_pipeline_spec() -> ScenarioSpec:
 
 
 class InterproceduralExtractor:
-    """Scenario extraction with the inter-procedural engine."""
+    """Scenario extraction with the inter-procedural engine.
 
-    def __init__(self, scenarios: Optional[Sequence[ScenarioSpec]] = None) -> None:
+    ``jobs`` fans out both the per-unit fixpoint engines and the
+    scenario loop; merge order mirrors the sequential loops, so output
+    is byte-identical to ``jobs=1``.
+    """
+
+    def __init__(self, scenarios: Optional[Sequence[ScenarioSpec]] = None,
+                 jobs: Optional[int] = None) -> None:
         self.scenarios = tuple(scenarios) if scenarios else (full_pipeline_spec(),)
+        self.jobs = resolve_jobs(jobs)
 
     def extract_scenario(self, spec: ScenarioSpec) -> ScenarioResult:
         """Extract one scenario with the inter-procedural engine."""
@@ -173,15 +193,20 @@ class InterproceduralExtractor:
         for filename, functions in spec.selected:
             unit = load_unit(filename)
             sources = SOURCES_BY_UNIT[filename]
-            states = UnitAnalysis(unit, sources).run()
-            summary = ComponentSummary(unit.component, filename)
-            for fn_name in functions:
+            states = UnitAnalysis(unit, sources, jobs=self.jobs).run()
+
+            def derive_one(fn_name: str):
                 func = unit.module.function(fn_name)
                 state = states[fn_name]
                 findings = derive_constraints(
                     func, build_cfg(func), state, sources,
                     unit.component, filename,
                 )
+                return state, findings
+
+            derived = run_ordered(self.jobs, derive_one, functions)
+            summary = ComponentSummary(unit.component, filename)
+            for state, findings in derived:
                 deps.extend(findings.dependencies)
                 summary.field_writes.extend(state.field_writes)
                 summary.branch_uses.extend(findings.branch_uses)
@@ -191,13 +216,13 @@ class InterproceduralExtractor:
 
     def extract_all(self) -> ExtractionReport:
         """Extract every configured scenario plus the union."""
-        results = [self.extract_scenario(spec) for spec in self.scenarios]
+        results = run_ordered(self.jobs, self.extract_scenario, self.scenarios)
         union: List[Dependency] = []
         for result in results:
             union.extend(result.dependencies)
         return ExtractionReport(results, _dedupe(union))
 
 
-def extract_interprocedural() -> ExtractionReport:
+def extract_interprocedural(jobs: Optional[int] = None) -> ExtractionReport:
     """Run the full-pipeline inter-procedural extraction."""
-    return InterproceduralExtractor().extract_all()
+    return InterproceduralExtractor(jobs=jobs).extract_all()

@@ -11,6 +11,7 @@ analysis setup so drift between corpus and annotations is caught early.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
@@ -100,6 +101,27 @@ class ComponentSources:
         merged.update(self.param_vars.get("*", {}))
         merged.update(self.param_vars.get(function, {}))
         return merged
+
+    def fingerprint(self) -> str:
+        """Stable content hash of these annotations.
+
+        Part of the per-function memo keys in
+        :mod:`repro.analysis.taint` / ``constraints``: two annotation
+        objects with the same content share cache entries, and object
+        identity (which Python may recycle) never leaks into a key.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            payload = (self.component, tuple(sorted(
+                (fn, tuple(sorted(
+                    (var, ref.component, ref.name)
+                    for var, ref in mapping.items()
+                )))
+                for fn, mapping in self.param_vars.items()
+            )))
+            cached = hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
+            self.__dict__["_fingerprint"] = cached
+        return cached
 
 
 def _p(component: str, name: str) -> ParamRef:

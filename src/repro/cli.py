@@ -24,14 +24,31 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
                         help="write the unique dependencies as JSON")
     parser.add_argument("--list", action="store_true",
                         help="print every dependency key")
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                        help="parallel analysis workers (0 = one per CPU; "
+                             "default: $REPRO_JOBS or sequential)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase timing breakdown afterwards")
+    parser.add_argument("--cold", action="store_true",
+                        help="drop the persistent IR cache first "
+                             "(measure a from-scratch run)")
     args = parser.parse_args(argv)
 
     from repro.analysis.extractor import extract_all
     from repro.analysis.jsonio import dump_dependencies
+    from repro.corpus.loader import clear_cache
+    from repro.perf import render_profile, reset_profile
     from repro.reporting.tables import render_table5
 
-    report = extract_all()
+    if args.cold:
+        clear_cache(disk=True)
+    if args.profile:
+        reset_profile()
+    report = extract_all(jobs=args.jobs)
     print(render_table5(report))
+    if args.profile:
+        print()
+        print(render_profile())
     if args.list:
         print()
         for dep in sorted(report.union, key=lambda d: d.key()):

@@ -1,0 +1,176 @@
+"""Persistent on-disk cache of compiled IR modules.
+
+The mini-C frontend dominates cold-pipeline time (compiling the corpus
+costs ~10x the analysis itself), and every CLI invocation used to pay
+it again.  This cache pickles each compiled :class:`repro.lang.ir.Module`
+under a key derived from **content, not timestamps**:
+
+    sha256(cache schema | frontend version | filename | source text)
+
+so invalidation is automatic and exact: editing a corpus file changes
+its source text and therefore its key, and bumping
+:data:`repro.lang.FRONTEND_VERSION` (any change to lexer / parser /
+sema / lower semantics) orphans every old entry at once.  Stale entries
+are never *wrong*, only unreachable; :func:`clear_disk_cache` prunes
+them.
+
+Entries are written atomically (temp file + ``os.replace``) so
+concurrent processes never observe a torn pickle, and any entry that
+fails to unpickle is treated as a miss and deleted.
+
+Knobs:
+
+- ``REPRO_CACHE_DIR``      — cache directory (default ``~/.cache/repro/ir``)
+- ``REPRO_NO_DISK_CACHE``  — set to ``1`` to disable the cache entirely
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang import FRONTEND_VERSION
+from repro.lang.ir import Module
+from repro.perf import bump, timed
+
+#: Environment override for the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Set to a truthy value to disable the disk cache.
+DISABLE_ENV = "REPRO_NO_DISK_CACHE"
+
+#: Bump when the on-disk entry layout itself changes.
+CACHE_SCHEMA = 1
+
+
+@dataclass
+class DiskCacheStats:
+    """Per-process tallies of disk-cache traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+
+_STATS = DiskCacheStats()
+
+
+def cache_stats() -> DiskCacheStats:
+    """The process-wide disk-cache tallies (live object)."""
+    return _STATS
+
+
+def reset_cache_stats() -> None:
+    """Zero the tallies (used by tests and benchmarks)."""
+    _STATS.hits = _STATS.misses = _STATS.stores = _STATS.errors = 0
+
+
+def disk_cache_enabled() -> bool:
+    """False when ``REPRO_NO_DISK_CACHE`` is set to a truthy value."""
+    return os.environ.get(DISABLE_ENV, "").strip() not in ("1", "true", "yes")
+
+
+def cache_dir() -> str:
+    """The cache directory (not necessarily existing yet)."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "ir")
+
+
+def module_key(source: str, filename: str) -> str:
+    """Content hash identifying one compiled translation unit."""
+    digest = hashlib.sha256()
+    digest.update(f"schema={CACHE_SCHEMA}\n".encode("utf-8"))
+    digest.update(f"frontend={FRONTEND_VERSION}\n".encode("utf-8"))
+    digest.update(f"filename={filename}\n".encode("utf-8"))
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _entry_path(key: str) -> str:
+    return os.path.join(cache_dir(), f"{key}.ir.pkl")
+
+
+def load_module(key: str) -> Optional[Module]:
+    """The cached module under ``key``, or None on miss/corruption."""
+    path = _entry_path(key)
+    try:
+        with timed("cache.disk.load"):
+            with open(path, "rb") as handle:
+                module = pickle.load(handle)
+    except FileNotFoundError:
+        _STATS.misses += 1
+        bump("cache.disk.miss")
+        return None
+    except Exception:
+        # A torn or version-skewed entry: drop it and recompile.
+        _STATS.errors += 1
+        bump("cache.disk.error")
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+    if not isinstance(module, Module):
+        _STATS.errors += 1
+        bump("cache.disk.error")
+        return None
+    _STATS.hits += 1
+    bump("cache.disk.hit")
+    return module
+
+
+def store_module(key: str, module: Module) -> bool:
+    """Atomically persist ``module`` under ``key``; False on failure.
+
+    Failures (read-only cache dir, disk full) are non-fatal: the cache
+    degrades to a recompile, never to an error.
+    """
+    path = _entry_path(key)
+    try:
+        with timed("cache.disk.store"):
+            os.makedirs(cache_dir(), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=cache_dir(), prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(module, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
+    except Exception:
+        _STATS.errors += 1
+        bump("cache.disk.error")
+        return False
+    _STATS.stores += 1
+    bump("cache.disk.store")
+    return True
+
+
+def clear_disk_cache() -> int:
+    """Delete every cache entry; returns the number removed."""
+    removed = 0
+    try:
+        names = os.listdir(cache_dir())
+    except OSError:
+        return 0
+    for name in names:
+        if not name.endswith(".ir.pkl"):
+            continue
+        try:
+            os.remove(os.path.join(cache_dir(), name))
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -1,19 +1,29 @@
 """Load and compile the corpus translation units.
 
-Units compile through the mini-C frontend once and are cached for the
-process; each resulting IR module is tagged with its component name so
-the analyzer knows which parameters belong where.
+Units resolve through a two-tier cache: a per-process table (same
+:class:`CorpusUnit` object back on every call) in front of the
+persistent on-disk IR cache (:mod:`repro.corpus.cache`), which lets
+``compile_c`` results survive across processes.  Each resulting IR
+module is tagged with its component name so the analyzer knows which
+parameters belong where, and with its content fingerprint so the
+per-function analysis memos (:mod:`repro.analysis.taint`,
+:mod:`repro.analysis.constraints`) can key off it.
+
+Loading is thread-safe: the parallel extractor may ask for the same
+unit from several workers at once.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import UnknownComponentError
 from repro.lang import compile_c
 from repro.lang.ir import Module
+from repro.perf import clear_memos, timed
 
 #: Translation unit -> ecosystem component.
 UNIT_COMPONENTS: Dict[str, str] = {
@@ -41,6 +51,7 @@ class CorpusUnit:
 
 
 _CACHE: Dict[str, CorpusUnit] = {}
+_LOAD_LOCK = threading.RLock()
 
 
 def corpus_path(filename: str) -> str:
@@ -52,30 +63,83 @@ def corpus_path(filename: str) -> str:
     return path
 
 
+def _compile_unit(filename: str, use_cache: bool) -> CorpusUnit:
+    """Compile ``filename`` (or fetch its pickled IR from disk)."""
+    from repro.corpus import cache as disk
+
+    with open(corpus_path(filename), encoding="utf-8") as handle:
+        source = handle.read()
+    key = disk.module_key(source, filename)
+    module: Optional[Module] = None
+    if use_cache and disk.disk_cache_enabled():
+        module = disk.load_module(key)
+    if module is None:
+        with timed("frontend.compile"):
+            module = compile_c(source, filename)
+        if use_cache and disk.disk_cache_enabled():
+            disk.store_module(key, module)
+    module.component = UNIT_COMPONENTS[filename]
+    module.fingerprint = key
+    for func in module.functions.values():
+        # Lets the per-function analysis memos key off pure content
+        # without a back-pointer walk (set after pickling, so disk
+        # entries stay annotation-free).
+        func.module_fingerprint = key
+    return CorpusUnit(filename, module.component, source, module)
+
+
 def load_unit(filename: str, use_cache: bool = True) -> CorpusUnit:
     """Compile (or fetch the cached) corpus unit ``filename``."""
-    if use_cache and filename in _CACHE:
-        return _CACHE[filename]
+    if use_cache:
+        unit = _CACHE.get(filename)
+        if unit is not None:
+            return unit
     if filename not in UNIT_COMPONENTS:
         raise UnknownComponentError(
             f"unknown corpus unit {filename!r}; known: {sorted(UNIT_COMPONENTS)}"
         )
-    with open(corpus_path(filename), encoding="utf-8") as handle:
-        source = handle.read()
-    module = compile_c(source, filename)
-    module.component = UNIT_COMPONENTS[filename]
-    unit = CorpusUnit(filename, module.component, source, module)
-    if use_cache:
-        _CACHE[filename] = unit
+    if not use_cache:
+        return _compile_unit(filename, use_cache=False)
+    with _LOAD_LOCK:
+        unit = _CACHE.get(filename)  # a racing worker may have won
+        if unit is None:
+            unit = _compile_unit(filename, use_cache=True)
+            _CACHE[filename] = unit
     return unit
 
 
 def load_corpus(filenames: Optional[List[str]] = None) -> List[CorpusUnit]:
-    """Compile several units (default: the whole corpus)."""
+    """Compile several units (default: the whole corpus).
+
+    Repeated filenames are deduped (first occurrence wins the slot), so
+    scenario specs that mention a unit twice load it once and the
+    returned list carries no aliased duplicates.
+    """
     names = filenames if filenames is not None else sorted(UNIT_COMPONENTS)
-    return [load_unit(name) for name in names]
+    seen = set()
+    unique = []
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        unique.append(name)
+    return [load_unit(name) for name in unique]
 
 
-def clear_cache() -> None:
-    """Drop compiled units (used by tests that mutate sources)."""
-    _CACHE.clear()
+def clear_cache(disk: bool = False) -> None:
+    """Drop compiled units and every per-function analysis memo.
+
+    The analysis memos (taint states, constraint findings, CFGs) key
+    off unit fingerprints and function objects; dropping units without
+    dropping them would at best leak and at worst serve results for
+    modules no caller can reach any more, so the two always clear
+    together.  Pass ``disk=True`` to also purge the persistent IR
+    cache.
+    """
+    with _LOAD_LOCK:
+        _CACHE.clear()
+        clear_memos()
+    if disk:
+        from repro.corpus.cache import clear_disk_cache
+
+        clear_disk_cache()

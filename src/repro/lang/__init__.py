@@ -16,6 +16,13 @@ Typical use::
         ...  # function.blocks, function.instructions
 """
 
+#: Version of the frontend's *semantics* (lexer, parser, sema, lowering,
+#: IR shape).  Part of the persistent IR-cache key
+#: (:mod:`repro.corpus.cache`): bump it whenever a change makes
+#: previously compiled modules stale, and every old cache entry is
+#: orphaned at once.
+FRONTEND_VERSION = "1"
+
 from repro.lang.lexer import Lexer, Token, TokenKind, tokenize
 from repro.lang.parser import Parser, parse
 from repro.lang.sema import analyze
@@ -23,6 +30,7 @@ from repro.lang.lower import lower
 from repro.lang.ir import Module as IRModule
 
 __all__ = [
+    "FRONTEND_VERSION",
     "Lexer",
     "Token",
     "TokenKind",

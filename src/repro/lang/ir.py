@@ -327,6 +327,7 @@ class Module:
     functions: Dict[str, Function] = dc_field(default_factory=dict)
     structs: Dict[str, List[str]] = dc_field(default_factory=dict)  # tag -> field names
     component: str = ""  # set by the corpus loader
+    fingerprint: str = ""  # content hash (cache key), set by the corpus loader
 
     def function(self, name: str) -> Function:
         """Look up one function; KeyError when absent."""

@@ -1,0 +1,54 @@
+"""Performance substrate for the analysis pipeline.
+
+Three small, dependency-free pieces:
+
+- :mod:`repro.perf.timers` — context-manager phase timers and named
+  counters, rendered as a text table by the ``--profile`` CLI flag;
+- :mod:`repro.perf.parallel` — the ``--jobs``/``REPRO_JOBS`` fan-out
+  helper with deterministic (submission-order) result merging;
+- the memo registry below — every process-level memo table in the
+  analyzer registers a clear callback here so
+  :func:`repro.corpus.loader.clear_cache` can drop them all without
+  import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.perf.parallel import resolve_jobs, run_ordered
+from repro.perf.timers import (
+    bump,
+    counters,
+    render_profile,
+    reset_profile,
+    stats,
+    timed,
+)
+
+__all__ = [
+    "bump",
+    "counters",
+    "clear_memos",
+    "register_memo",
+    "render_profile",
+    "reset_profile",
+    "resolve_jobs",
+    "run_ordered",
+    "stats",
+    "timed",
+]
+
+#: name -> clear callback for every registered memo table.
+_MEMO_REGISTRY: Dict[str, Callable[[], None]] = {}
+
+
+def register_memo(name: str, clear: Callable[[], None]) -> None:
+    """Register a memo table's clear callback under ``name``."""
+    _MEMO_REGISTRY[name] = clear
+
+
+def clear_memos() -> None:
+    """Clear every registered memo table (taint, constraints, CFG...)."""
+    for clear in _MEMO_REGISTRY.values():
+        clear()

@@ -1,0 +1,50 @@
+"""Deterministic fan-out helpers (the ``--jobs`` knob).
+
+``run_ordered`` maps a function over items with a thread pool but
+returns results in submission order, so parallel extraction merges
+byte-identically to a sequential run.  Threads (not processes) are the
+right fit: the per-function analyses are small, all memo tables are
+shared in-process, and the IR modules never need to cross a process
+boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+#: Environment override for the default job count.
+JOBS_ENV = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_JOBS``, else 1.
+
+    ``0`` (or the env value ``auto``) means "one worker per CPU".
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip().lower()
+        if not raw:
+            return 1
+        jobs = 0 if raw == "auto" else int(raw)
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def run_ordered(jobs: int, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    """Apply ``fn`` to every item, results in submission order.
+
+    With ``jobs <= 1`` (or one item) this is a plain sequential loop —
+    no pool, no overhead — which is also the reference ordering the
+    parallel path must reproduce.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

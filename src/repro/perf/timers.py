@@ -1,0 +1,104 @@
+"""Phase timers and counters for the analysis pipeline.
+
+Instrumentation is always on — one dict update per phase enter/exit is
+far below the noise floor of the phases it measures — and thread-safe,
+because the extractor fans scenarios and functions out across worker
+threads.  ``repro-extract --profile`` prints the accumulated breakdown
+via :func:`render_profile`.
+
+Typical use::
+
+    from repro.perf import timed, bump
+
+    with timed("frontend.compile"):
+        module = compile_c(source, filename)
+    bump("cache.disk.miss")
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from repro.common.texttable import TextTable
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall time of one named phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean wall time per call, in milliseconds."""
+        if not self.calls:
+            return 0.0
+        return self.seconds / self.calls * 1e3
+
+
+_LOCK = threading.Lock()
+_STATS: Dict[str, PhaseStat] = {}
+_COUNTERS: Dict[str, int] = {}
+
+
+@contextmanager
+def timed(phase: str) -> Iterator[None]:
+    """Accumulate the wall time of the ``with`` body under ``phase``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        with _LOCK:
+            stat = _STATS.setdefault(phase, PhaseStat())
+            stat.calls += 1
+            stat.seconds += elapsed
+
+
+def bump(counter: str, amount: int = 1) -> None:
+    """Increment the named counter."""
+    with _LOCK:
+        _COUNTERS[counter] = _COUNTERS.get(counter, 0) + amount
+
+
+def stats() -> Dict[str, PhaseStat]:
+    """Snapshot of the phase timings."""
+    with _LOCK:
+        return {name: PhaseStat(s.calls, s.seconds) for name, s in _STATS.items()}
+
+
+def counters() -> Dict[str, int]:
+    """Snapshot of the counters."""
+    with _LOCK:
+        return dict(_COUNTERS)
+
+
+def reset_profile() -> None:
+    """Drop all accumulated timings and counters."""
+    with _LOCK:
+        _STATS.clear()
+        _COUNTERS.clear()
+
+
+def render_profile(title: str = "pipeline profile") -> str:
+    """Render phases and counters as one diff-friendly text block."""
+    phase_table = TextTable(["phase", "calls", "total s", "mean ms"], title=title)
+    phase_snapshot = stats()
+    for name in sorted(phase_snapshot):
+        stat = phase_snapshot[name]
+        phase_table.add_row(name, stat.calls, f"{stat.seconds:.4f}",
+                            f"{stat.mean_ms:.3f}")
+    lines = [phase_table.render()]
+    counter_snapshot = counters()
+    if counter_snapshot:
+        counter_table = TextTable(["counter", "count"])
+        for name in sorted(counter_snapshot):
+            counter_table.add_row(name, counter_snapshot[name])
+        lines.append("")
+        lines.append(counter_table.render())
+    return "\n".join(lines)

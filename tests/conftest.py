@@ -2,7 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_ir_cache(tmp_path_factory):
+    """Point the persistent IR cache at a per-run temp dir.
+
+    Keeps the suite hermetic: no test observes (or leaves behind)
+    entries from the developer's real ``~/.cache`` tree.
+    """
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("ir-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 from repro.fsimage.blockdev import BlockDevice
 from repro.ecosystem.mke2fs import Mke2fs

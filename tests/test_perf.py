@@ -1,0 +1,151 @@
+"""Tests for the perf substrate: timers, counters, fan-out helpers."""
+
+import threading
+import time
+
+import pytest
+
+from repro import perf
+from repro.perf.parallel import JOBS_ENV, resolve_jobs, run_ordered
+from repro.perf.timers import PhaseStat
+
+
+@pytest.fixture(autouse=True)
+def _fresh_profile():
+    perf.reset_profile()
+    yield
+    perf.reset_profile()
+
+
+class TestTimers:
+    def test_timed_accumulates_calls_and_seconds(self):
+        for _ in range(3):
+            with perf.timed("phase.a"):
+                time.sleep(0.001)
+        stat = perf.stats()["phase.a"]
+        assert stat.calls == 3
+        assert stat.seconds >= 0.003
+
+    def test_timed_records_on_exception(self):
+        with pytest.raises(ValueError):
+            with perf.timed("phase.err"):
+                raise ValueError("boom")
+        assert perf.stats()["phase.err"].calls == 1
+
+    def test_bump_and_counters(self):
+        perf.bump("c.one")
+        perf.bump("c.one", 4)
+        assert perf.counters()["c.one"] == 5
+
+    def test_reset_profile(self):
+        with perf.timed("phase.a"):
+            pass
+        perf.bump("c.one")
+        perf.reset_profile()
+        assert perf.stats() == {}
+        assert perf.counters() == {}
+
+    def test_mean_ms(self):
+        stat = PhaseStat(calls=4, seconds=0.008)
+        assert stat.mean_ms == pytest.approx(2.0)
+        assert PhaseStat().mean_ms == 0.0
+
+    def test_thread_safety(self):
+        def work():
+            for _ in range(200):
+                with perf.timed("phase.mt"):
+                    pass
+                perf.bump("c.mt")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert perf.stats()["phase.mt"].calls == 800
+        assert perf.counters()["c.mt"] == 800
+
+
+class TestRenderProfile:
+    def test_contains_phases_and_counters(self):
+        with perf.timed("phase.render"):
+            pass
+        perf.bump("counter.render")
+        text = perf.render_profile(title="test profile")
+        assert "test profile" in text
+        assert "phase.render" in text
+        assert "counter.render" in text
+
+    def test_empty_profile_renders(self):
+        assert "phase" in perf.render_profile()
+
+
+class TestResolveJobs:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "6")
+        assert resolve_jobs(None) == 6
+
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_env_auto(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv(JOBS_ENV, "auto")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_negative_clamped(self):
+        assert resolve_jobs(-4) == 1
+
+
+class TestRunOrdered:
+    def test_sequential_path(self):
+        assert run_ordered(1, lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_parallel_preserves_submission_order(self):
+        def slow_for_small(x):
+            time.sleep(0.002 * (5 - x))  # earlier items finish later
+            return x * 10
+
+        assert run_ordered(4, slow_for_small, [1, 2, 3, 4]) == [10, 20, 30, 40]
+
+    def test_parallel_propagates_exceptions(self):
+        def boom(x):
+            if x == 2:
+                raise RuntimeError("task failed")
+            return x
+
+        with pytest.raises(RuntimeError):
+            run_ordered(3, boom, [1, 2, 3])
+
+    def test_empty_items(self):
+        assert run_ordered(4, lambda x: x, []) == []
+
+
+class TestMemoRegistry:
+    def test_registered_clear_called(self):
+        cleared = []
+        perf.register_memo("test.memo", lambda: cleared.append(True))
+        try:
+            perf.clear_memos()
+            assert cleared
+        finally:
+            perf._MEMO_REGISTRY.pop("test.memo", None)
+
+    def test_analysis_memos_registered(self):
+        import repro.analysis.constraints  # noqa: F401  (registers on import)
+        import repro.analysis.taint  # noqa: F401
+        import repro.lang.cfg  # noqa: F401
+
+        for name in ("taint.analyze", "constraints.derive", "cfg.build"):
+            assert name in perf._MEMO_REGISTRY

@@ -1,0 +1,210 @@
+"""Correctness of the pipeline acceleration layer.
+
+The contract under test: no observable behaviour may depend on cache
+state or parallelism.  Cold, disk-warm, and memo-warm runs produce
+identical extractions; editing a corpus source invalidates its disk
+entry; ``jobs=4`` output is byte-identical to ``jobs=1``.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.analysis import constraints as constraints_mod
+from repro.analysis import taint as taint_mod
+from repro.analysis.extractor import extract_all
+from repro.corpus import cache as disk_cache
+from repro.corpus.loader import clear_cache, corpus_path, load_corpus, load_unit
+from repro.lang import cfg as cfg_mod
+
+
+@pytest.fixture
+def ir_cache_dir(tmp_path, monkeypatch):
+    """A private disk-cache dir; memory + memo caches start empty."""
+    monkeypatch.setenv(disk_cache.CACHE_DIR_ENV, str(tmp_path))
+    monkeypatch.delenv(disk_cache.DISABLE_ENV, raising=False)
+    disk_cache.reset_cache_stats()
+    clear_cache()
+    yield tmp_path
+    clear_cache()
+    disk_cache.reset_cache_stats()
+
+
+def _canonical(report):
+    lines = []
+    for result in report.scenarios:
+        lines.append(f"## {result.spec.name}")
+        lines.extend(dep.key() for dep in result.dependencies)
+    lines.append("## union")
+    lines.extend(dep.key() for dep in report.union)
+    return "\n".join(lines)
+
+
+class TestDiskCache:
+    def test_store_load_roundtrip(self, ir_cache_dir):
+        unit = load_unit("mke2fs.c", use_cache=False)
+        key = disk_cache.module_key(unit.source, "mke2fs.c")
+        assert disk_cache.store_module(key, unit.module)
+        loaded = disk_cache.load_module(key)
+        assert loaded is not None
+        assert set(loaded.functions) == set(unit.module.functions)
+
+    def test_miss_on_unknown_key(self, ir_cache_dir):
+        assert disk_cache.load_module("0" * 64) is None
+        assert disk_cache.cache_stats().misses == 1
+
+    def test_key_depends_on_source_and_filename(self):
+        assert (disk_cache.module_key("int x;", "a.c")
+                != disk_cache.module_key("int y;", "a.c"))
+        assert (disk_cache.module_key("int x;", "a.c")
+                != disk_cache.module_key("int x;", "b.c"))
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, ir_cache_dir):
+        key = "f" * 64
+        path = os.path.join(str(ir_cache_dir), f"{key}.ir.pkl")
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert disk_cache.load_module(key) is None
+        assert disk_cache.cache_stats().errors == 1
+        assert not os.path.exists(path)
+
+    def test_disable_env(self, ir_cache_dir, monkeypatch):
+        monkeypatch.setenv(disk_cache.DISABLE_ENV, "1")
+        load_unit("mount.c")
+        assert os.listdir(str(ir_cache_dir)) == []
+
+    def test_loader_populates_and_hits(self, ir_cache_dir):
+        load_unit("mount.c")
+        assert disk_cache.cache_stats().stores == 1
+        clear_cache()  # drop memory, keep disk: simulates a new process
+        load_unit("mount.c")
+        assert disk_cache.cache_stats().hits == 1
+
+    def test_clear_disk_cache(self, ir_cache_dir):
+        load_unit("mount.c")
+        assert os.listdir(str(ir_cache_dir))
+        assert disk_cache.clear_disk_cache() == 1
+        assert [n for n in os.listdir(str(ir_cache_dir))
+                if n.endswith(".ir.pkl")] == []
+
+
+class TestInvalidation:
+    def test_edited_corpus_file_invalidates(self, ir_cache_dir, tmp_path,
+                                            monkeypatch):
+        edited = tmp_path / "mke2fs.c"
+        shutil.copy(corpus_path("mke2fs.c"), edited)
+        monkeypatch.setattr("repro.corpus.loader.corpus_path",
+                            lambda name: str(edited))
+
+        first = load_unit("mke2fs.c")
+        assert disk_cache.cache_stats().stores == 1
+
+        clear_cache()
+        cached = load_unit("mke2fs.c")
+        assert disk_cache.cache_stats().hits == 1
+        assert cached.module.fingerprint == first.module.fingerprint
+
+        # Touching content (even whitespace) must change the key.
+        with open(edited, "a", encoding="utf-8") as fh:
+            fh.write("\n")
+        clear_cache()
+        recompiled = load_unit("mke2fs.c")
+        assert disk_cache.cache_stats().hits == 1  # unchanged: no stale hit
+        assert disk_cache.cache_stats().stores == 2
+        assert recompiled.module.fingerprint != first.module.fingerprint
+
+    def test_frontend_version_in_key(self, monkeypatch):
+        before = disk_cache.module_key("int x;", "a.c")
+        monkeypatch.setattr("repro.lang.FRONTEND_VERSION", "999-test")
+        monkeypatch.setattr("repro.corpus.cache.FRONTEND_VERSION", "999-test")
+        assert disk_cache.module_key("int x;", "a.c") != before
+
+
+class TestWarmEqualsCold:
+    def test_warm_disk_run_identical_to_cold(self, ir_cache_dir):
+        clear_cache(disk=True)
+        cold = _canonical(extract_all())
+        clear_cache()  # new-process simulation: memory empty, disk warm
+        warm = _canonical(extract_all())
+        assert disk_cache.cache_stats().hits > 0
+        assert warm == cold
+
+    def test_memo_warm_run_identical(self, ir_cache_dir):
+        first = _canonical(extract_all())
+        again = _canonical(extract_all())  # fully memoized
+        assert again == first
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_jobs_output_byte_identical(self, ir_cache_dir, jobs):
+        clear_cache(disk=True)
+        sequential = _canonical(extract_all(jobs=1))
+        clear_cache(disk=True)
+        parallel = _canonical(extract_all(jobs=jobs))
+        assert parallel == sequential
+
+    def test_interproc_jobs_identical(self, ir_cache_dir):
+        from repro.analysis.interproc import extract_interprocedural
+
+        clear_cache(disk=True)
+        sequential = [d.key() for d in extract_interprocedural(jobs=1).union]
+        clear_cache(disk=True)
+        parallel = [d.key() for d in extract_interprocedural(jobs=4).union]
+        assert parallel == sequential
+
+
+class TestMemoTables:
+    def test_extraction_populates_memos(self, ir_cache_dir):
+        extract_all()
+        assert taint_mod._ANALYSIS_MEMO
+        assert constraints_mod._FINDINGS_MEMO
+        assert cfg_mod._CFG_MEMO
+
+    def test_memo_returns_same_state_object(self, ir_cache_dir):
+        from repro.analysis.sources import SOURCES_BY_UNIT
+        from repro.analysis.taint import analyze_function
+
+        unit = load_unit("ext4_super.c")
+        func = unit.module.function("ext4_fill_super")
+        sources = SOURCES_BY_UNIT["ext4_super.c"]
+        first = analyze_function(func, sources, unit.component)
+        second = analyze_function(func, sources, unit.component)
+        assert second is first
+
+    def test_cfg_memo_returns_same_object(self, ir_cache_dir):
+        from repro.lang.cfg import build_cfg
+
+        func = load_unit("mount.c").module.function("parse_mount_options")
+        assert build_cfg(func) is build_cfg(func)
+
+    def test_clear_cache_clears_memos(self, ir_cache_dir):
+        extract_all()
+        clear_cache()
+        assert not taint_mod._ANALYSIS_MEMO
+        assert not constraints_mod._FINDINGS_MEMO
+        assert not cfg_mod._CFG_MEMO
+
+    def test_adhoc_functions_not_memoized(self):
+        """Functions built by hand (no fingerprint) bypass the memo."""
+        from repro.analysis.sources import ComponentSources
+        from repro.analysis.taint import analyze_function
+        from repro.lang import compile_c
+
+        module = compile_c("int f(int a) { return a; }", "adhoc.c")
+        func = module.function("f")
+        sources = ComponentSources(component="c")
+        before = len(taint_mod._ANALYSIS_MEMO)
+        analyze_function(func, sources, "c")
+        assert len(taint_mod._ANALYSIS_MEMO) == before
+
+
+class TestLoadCorpusDedupe:
+    def test_repeated_filenames_deduped(self):
+        units = load_corpus(["mke2fs.c", "mount.c", "mke2fs.c", "mount.c"])
+        assert [u.filename for u in units] == ["mke2fs.c", "mount.c"]
+
+    def test_first_occurrence_order_kept(self):
+        units = load_corpus(["mount.c", "mke2fs.c", "mount.c"])
+        assert [u.filename for u in units] == ["mount.c", "mke2fs.c"]

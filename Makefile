@@ -1,7 +1,8 @@
 # Development targets.  `make verify` is the gate: the full test suite
-# plus the pipeline perf smoke benchmark, which fails loudly when the
-# warm-cache speedup regresses below its floor or parallel extraction
-# stops being byte-identical to sequential.
+# plus the perf smoke benchmarks, which fail loudly when a cache/engine
+# speedup regresses below its floor or a parallel run stops being
+# byte-identical to sequential.  The campaign benchmark also refreshes
+# the machine-readable BENCH_campaign.json at the repo root.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -13,9 +14,11 @@ test:
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline.py --smoke
+	$(PYTHON) benchmarks/bench_campaign.py --smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
+	$(PYTHON) benchmarks/bench_campaign.py
 
 verify: test bench-smoke
 	@echo "verify: OK"

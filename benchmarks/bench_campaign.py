@@ -1,0 +1,212 @@
+"""Campaign engine performance: serial-cold vs snapshot-warm vs parallel.
+
+Benchmarks the checker campaign engine (``repro.perf.campaign``) on a
+realistic workload: a mount-option sweep over a few shared on-disk
+formats, most configurations dying at mount validation — the shape the
+paper's ConBugCk campaigns take.  Three engine configurations run the
+same sweep:
+
+- **serial-cold**    — jobs=1, snapshot cache off, I/O accounting on
+  (the pre-engine behavior: every config re-runs mkfs);
+- **snapshot-warm**  — jobs=1, snapshot cache on: configs sharing an
+  mkfs tuple clone one formatted image instead of re-formatting;
+- **parallel**       — jobs=4 with the cache and accounting off (the
+  full engine as ``--jobs`` enables it).
+
+Contract (the ``verify`` target runs ``--smoke`` and fails loudly):
+
+- snapshot-warm must beat serial-cold by ``MIN_CACHE_SPEEDUP`` (1.5x);
+- the parallel engine must beat serial-cold by ``MIN_ENGINE_SPEEDUP``
+  (2.0x);
+- every configuration, any job count: byte-identical DriveStats.
+
+Results additionally land machine-readable in ``BENCH_campaign.json``
+at the repository root.
+
+Runnable standalone (``python benchmarks/bench_campaign.py [--smoke]``)
+or under pytest (``test_campaign_perf`` applies the smoke workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+#: Required speedup of the snapshot cache alone (jobs=1, cache on).
+MIN_CACHE_SPEEDUP = 1.5
+#: Required speedup of the full engine (jobs=4 + cache + no accounting).
+MIN_ENGINE_SPEEDUP = 2.0
+
+#: Sweep geometry: small blocks and a small device keep mkfs the
+#: dominant serial cost (as it is for full-size campaign images), and a
+#: high violation rate reproduces the paper's observation that naive
+#: configurations die shallow at mount validation.
+BLOCK_SIZE = 1024
+FS_BLOCKS = 384
+BASES = 3
+VIOLATE_RATE = 0.8
+SEED = 2022
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_campaign.json")
+
+
+def _ensure_imports() -> None:
+    """Allow standalone invocation from a source checkout."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        here = os.path.dirname(os.path.abspath(__file__))
+        sys.path.insert(0, os.path.join(os.path.dirname(here), "src"))
+
+
+def _canonical(stats) -> str:
+    """Byte-stable serialization of a campaign's DriveStats."""
+    lines = [f"total={stats.total}"]
+    lines += [f"reached[{s}]={n}" for s, n in sorted(stats.reached.items())]
+    lines.append(f"truncated={stats.failures_truncated}")
+    lines.extend(stats.failures)
+    return "\n".join(lines)
+
+
+def _best_of(repeat: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(smoke: bool = False, jobs: int = 4, repeat: int = 5,
+                  count: int = 800, emit_fn=None) -> int:
+    """Measure, render, and enforce the perf contract; 0 on success."""
+    _ensure_imports()
+
+    from repro.analysis.extractor import extract_all
+    from repro.common.texttable import TextTable
+    from repro.tools.conbugck import ConBugCk
+
+    if smoke:
+        repeat, count = 3, 300
+
+    deps = extract_all().true_dependencies()
+    sweep = ConBugCk(deps, seed=SEED).generate_mount_sweep(
+        count, bases=BASES, fs_blocks=FS_BLOCKS, blocksize=BLOCK_SIZE,
+        violate_rate=VIOLATE_RATE)
+
+    outputs: List[str] = []
+
+    def timed_run(jobs_arg: int, cache: bool, track_io: bool) -> float:
+        def one_run():
+            stats = ConBugCk(deps, seed=SEED).drive(
+                sweep, fs_blocks=FS_BLOCKS, jobs=jobs_arg,
+                snapshot_cache=cache, track_io=track_io)
+            outputs.append(_canonical(stats))
+        return _best_of(repeat, one_run)
+
+    serial_cold = timed_run(1, cache=False, track_io=True)
+    snapshot_warm = timed_run(1, cache=True, track_io=True)
+    parallel = timed_run(jobs, cache=True, track_io=False)
+
+    cache_speedup = serial_cold / snapshot_warm if snapshot_warm else float("inf")
+    engine_speedup = serial_cold / parallel if parallel else float("inf")
+
+    mode = "smoke" if smoke else "full"
+    table = TextTable(
+        ["configuration", "best s", "vs serial"],
+        title=f"campaign wall time ({count} configs, best of {repeat}, {mode})")
+    table.add_row("serial-cold (mkfs per config)", f"{serial_cold:.4f}", "1.00x")
+    table.add_row("snapshot-warm (jobs=1, cache)", f"{snapshot_warm:.4f}",
+                  f"{cache_speedup:.2f}x")
+    table.add_row(f"parallel engine (jobs={jobs})", f"{parallel:.4f}",
+                  f"{engine_speedup:.2f}x")
+    rendered = table.render()
+
+    identical = all(out == outputs[0] for out in outputs[1:])
+    rendered += (f"\n\noutputs byte-identical across all engine "
+                 f"configurations: {'yes' if identical else 'NO'}")
+    rendered += (f"\nsnapshot-cache speedup {cache_speedup:.2f}x "
+                 f"(required >= {MIN_CACHE_SPEEDUP:.1f}x)")
+    rendered += (f"\nparallel-engine speedup {engine_speedup:.2f}x "
+                 f"(required >= {MIN_ENGINE_SPEEDUP:.1f}x)")
+
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump({
+            "mode": mode,
+            "workload": {
+                "configs": count, "bases": BASES, "fs_blocks": FS_BLOCKS,
+                "block_size": BLOCK_SIZE, "violate_rate": VIOLATE_RATE,
+                "seed": SEED, "jobs": jobs, "repeat": repeat,
+            },
+            "seconds": {
+                "serial_cold": serial_cold,
+                "snapshot_warm": snapshot_warm,
+                "parallel": parallel,
+            },
+            "speedups": {
+                "snapshot_cache": cache_speedup,
+                "parallel_engine": engine_speedup,
+            },
+            "floors": {
+                "snapshot_cache": MIN_CACHE_SPEEDUP,
+                "parallel_engine": MIN_ENGINE_SPEEDUP,
+            },
+            "identical_outputs": identical,
+        }, fh, indent=2)
+        fh.write("\n")
+    rendered += f"\nwrote {os.path.basename(JSON_PATH)}"
+
+    if emit_fn is not None:
+        emit_fn("campaign", rendered)
+    else:
+        print(rendered)
+
+    if not identical:
+        print("FAIL: engine configurations produced different campaign stats",
+              file=sys.stderr)
+        return 1
+    if cache_speedup < MIN_CACHE_SPEEDUP:
+        print(f"FAIL: snapshot-cache speedup {cache_speedup:.2f}x is below "
+              f"the {MIN_CACHE_SPEEDUP:.1f}x floor — perf regression",
+              file=sys.stderr)
+        return 1
+    if engine_speedup < MIN_ENGINE_SPEEDUP:
+        print(f"FAIL: parallel-engine speedup {engine_speedup:.2f}x is below "
+              f"the {MIN_ENGINE_SPEEDUP:.1f}x floor — perf regression",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_campaign_perf():
+    """Pytest entry: smoke workload, same floors as the verify target."""
+    from conftest import emit
+
+    assert run_benchmark(smoke=True, emit_fn=emit) == 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the campaign engine: serial-cold vs "
+                    "snapshot-warm vs parallel checker execution.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller sweep, fewer repetitions "
+                             "(the CI verify mode; floors unchanged)")
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker count for the parallel run (default 4)")
+    parser.add_argument("--repeat", type=int, default=5, metavar="N",
+                        help="repetitions per configuration, best-of (default 5)")
+    parser.add_argument("--count", type=int, default=800, metavar="N",
+                        help="sweep size in configurations (default 800)")
+    args = parser.parse_args(argv)
+    return run_benchmark(smoke=args.smoke, jobs=args.jobs,
+                         repeat=args.repeat, count=args.count)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,11 +85,22 @@ def main_conhandleck(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--verbose", action="store_true",
                         help="print every violation outcome")
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                        help="parallel violation workers (0 = one per CPU; "
+                             "default: $REPRO_JOBS or sequential)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase timing breakdown afterwards")
     args = parser.parse_args(argv)
 
+    from repro.perf import render_profile, reset_profile
     from repro.tools.conhandleck import ConHandleCk
 
-    report = ConHandleCk().check_extracted()
+    if args.profile:
+        reset_profile()
+    report = ConHandleCk().check_extracted(jobs=args.jobs)
+    if args.profile:
+        print(render_profile())
+        print()
     if args.verbose:
         for result in report.results:
             print(result)
@@ -112,16 +123,27 @@ def main_conbugck(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("-n", "--count", type=int, default=30)
     parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                        help="parallel campaign workers (0 = one per CPU; "
+                             "default: $REPRO_JOBS or sequential)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase timing breakdown afterwards")
     args = parser.parse_args(argv)
 
+    from repro.perf import render_profile, reset_profile
     from repro.tools.conbugck import ConBugCk, STAGES
 
+    if args.profile:
+        reset_profile()
     generator = ConBugCk.from_extraction(seed=args.seed)
-    guided = generator.drive(generator.generate(args.count))
-    naive = generator.drive(generator.generate_naive(args.count))
+    guided = generator.drive(generator.generate(args.count), jobs=args.jobs)
+    naive = generator.drive(generator.generate_naive(args.count), jobs=args.jobs)
     print(f"{'stage':>12s} {'guided':>8s} {'naive':>8s}")
     for stage in STAGES:
         print(f"{stage:>12s} {guided.reached[stage]:>8d} {naive.reached[stage]:>8d}")
+    if args.profile:
+        print()
+        print(render_profile())
     return 0
 
 

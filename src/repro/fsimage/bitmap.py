@@ -14,7 +14,8 @@ from typing import Iterator, Optional
 class Bitmap:
     """A fixed-capacity bitmap backed by a bytearray."""
 
-    def __init__(self, nbits: int, capacity_bytes: Optional[int] = None) -> None:
+    def __init__(self, nbits: int, capacity_bytes: Optional[int] = None,
+                 _pad: bool = True) -> None:
         if nbits < 0:
             raise ValueError(f"nbits must be non-negative, got {nbits}")
         min_bytes = (nbits + 7) // 8
@@ -26,12 +27,23 @@ class Bitmap:
             )
         self.nbits = nbits
         self._buf = bytearray(capacity_bytes)
-        self._pad_tail()
+        if _pad:
+            self._pad_tail()
 
     def _pad_tail(self) -> None:
-        """Set every bit at index >= nbits (ext4-style padding)."""
-        for i in range(self.nbits, len(self._buf) * 8):
-            self._buf[i >> 3] |= 1 << (i & 7)
+        """Set every bit at index >= nbits (ext4-style padding).
+
+        Byte-granular: the partial boundary byte gets its high bits OR-ed
+        in, every byte past it is filled whole.  The naive per-bit loop
+        here used to dominate entire mkfs+fsck pipelines (a device-sized
+        bitmap pads tens of thousands of bits).
+        """
+        full, rem = divmod(self.nbits, 8)
+        if rem:
+            self._buf[full] |= ~((1 << rem) - 1) & 0xFF
+            full += 1
+        if full < len(self._buf):
+            self._buf[full:] = b"\xff" * (len(self._buf) - full)
 
     # ------------------------------------------------------------------
     # single-bit ops
@@ -66,15 +78,31 @@ class Bitmap:
 
     def set_range(self, start: int, count: int) -> None:
         """Set ``count`` bits starting at ``start``."""
-        for i in range(start, start + count):
-            self.set(i)
+        if count <= 0:
+            return
+        self._check(start)
+        self._check(start + count - 1)
+        end = start + count
+        first_full, head = divmod(start, 8)
+        if head:
+            first_full += 1
+            stop = min(end, first_full * 8)
+            for i in range(start, stop):
+                self._buf[i >> 3] |= 1 << (i & 7)
+            if stop == end:
+                return
+        last_full, tail = divmod(end, 8)
+        if last_full > first_full:
+            self._buf[first_full:last_full] = b"\xff" * (last_full - first_full)
+        for i in range(last_full * 8, end):
+            self._buf[i >> 3] |= 1 << (i & 7)
 
     def count_set(self) -> int:
-        """Number of set bits within [0, nbits)."""
-        total = 0
-        for i in range(self.nbits):
-            if self._buf[i >> 3] & (1 << (i & 7)):
-                total += 1
+        """Number of set bits within [0, nbits) (byte-wise popcount)."""
+        full, rem = divmod(self.nbits, 8)
+        total = int.from_bytes(self._buf[:full], "little").bit_count()
+        if rem:
+            total += (self._buf[full] & ((1 << rem) - 1)).bit_count()
         return total
 
     def count_free(self) -> int:
@@ -82,30 +110,65 @@ class Bitmap:
         return self.nbits - self.count_set()
 
     def iter_set(self) -> Iterator[int]:
-        """Yield indices of set bits within [0, nbits)."""
-        for i in range(self.nbits):
-            if self._buf[i >> 3] & (1 << (i & 7)):
-                yield i
+        """Yield indices of set bits within [0, nbits), skipping zero bytes."""
+        for byteno in range((self.nbits + 7) // 8):
+            byte = self._buf[byteno]
+            if not byte:
+                continue
+            base = byteno << 3
+            for bit in range(8):
+                if byte & (1 << bit) and base + bit < self.nbits:
+                    yield base + bit
 
     def find_free(self, start: int = 0) -> int:
-        """Index of the first clear bit at or after ``start``; -1 if none."""
-        for i in range(start, self.nbits):
-            if not self._buf[i >> 3] & (1 << (i & 7)):
+        """Index of the first clear bit at or after ``start``; -1 if none.
+
+        Whole 0xFF bytes (fully allocated runs, the common case in a
+        packed group) are skipped without per-bit tests.
+        """
+        i = start
+        while i < self.nbits:
+            byte = self._buf[i >> 3]
+            if byte == 0xFF:
+                i = ((i >> 3) + 1) << 3
+                continue
+            if not byte & (1 << (i & 7)):
                 return i
+            i += 1
         return -1
 
     def find_free_run(self, length: int, start: int = 0) -> int:
-        """First index of ``length`` consecutive clear bits; -1 if none."""
+        """First index of ``length`` consecutive clear bits; -1 if none.
+
+        Fully-allocated (0xFF) and fully-free (0x00) bytes advance eight
+        bits at a time, so scans over packed metadata regions and empty
+        data regions cost one byte test instead of eight bit tests.
+        """
         if length <= 0:
             raise ValueError(f"run length must be positive, got {length}")
         run = 0
-        for i in range(start, self.nbits):
-            if self.test(i):
+        i = start
+        buf = self._buf
+        while i < self.nbits:
+            byte = buf[i >> 3]
+            if not i & 7 and i + 8 <= self.nbits:
+                if byte == 0xFF:
+                    run = 0
+                    i += 8
+                    continue
+                if byte == 0x00:
+                    run += 8
+                    if run >= length:
+                        return i + 8 - run  # run started before or at i
+                    i += 8
+                    continue
+            if byte & (1 << (i & 7)):
                 run = 0
             else:
                 run += 1
                 if run == length:
                     return i - length + 1
+            i += 1
         return -1
 
     def extend(self, new_nbits: int) -> None:
@@ -121,8 +184,16 @@ class Bitmap:
         needed = (new_nbits + 7) // 8
         if needed > len(self._buf):
             self._buf.extend(bytes(needed - len(self._buf)))
-        for i in range(self.nbits, new_nbits):
+        first_full, head = divmod(self.nbits, 8)
+        stop = min(new_nbits, (first_full + 1) * 8) if head else self.nbits
+        for i in range(self.nbits, stop):
             self._buf[i >> 3] &= ~(1 << (i & 7)) & 0xFF
+        if stop < new_nbits:
+            begin, last = (stop + 7) // 8, new_nbits // 8
+            if last > begin:
+                self._buf[begin:last] = bytes(last - begin)
+            for i in range(last * 8, new_nbits):
+                self._buf[i >> 3] &= ~(1 << (i & 7)) & 0xFF
         self.nbits = new_nbits
         self._pad_tail()
 
@@ -136,8 +207,13 @@ class Bitmap:
 
     @classmethod
     def from_bytes(cls, data: bytes, nbits: int) -> "Bitmap":
-        """Rebuild a bitmap from raw bytes, trusting the stored bits."""
-        bm = cls(nbits, capacity_bytes=len(data))
+        """Rebuild a bitmap from raw bytes, trusting the stored bits.
+
+        Skips construction-time tail padding — the stored bytes replace
+        the whole buffer, padding included.  ``data`` may be any
+        buffer-protocol object (bytes, bytearray, memoryview).
+        """
+        bm = cls(nbits, capacity_bytes=len(data), _pad=False)
         bm._buf = bytearray(data)
         return bm
 

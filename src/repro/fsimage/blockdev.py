@@ -20,7 +20,8 @@ MAX_BLOCK_SIZE = 65536
 class BlockDevice:
     """A resizable in-memory device addressed in fixed-size blocks."""
 
-    def __init__(self, num_blocks: int, block_size: int = 4096) -> None:
+    def __init__(self, num_blocks: int, block_size: int = 4096,
+                 track_io: bool = True) -> None:
         if block_size < MIN_BLOCK_SIZE or block_size > MAX_BLOCK_SIZE:
             raise ValueError(
                 f"block size must be in [{MIN_BLOCK_SIZE}, {MAX_BLOCK_SIZE}], got {block_size}"
@@ -32,8 +33,31 @@ class BlockDevice:
         self.block_size = block_size
         self._buf = bytearray(num_blocks * block_size)
         self._closed = False
+        #: Per-block access accounting.  The I/O-pattern benchmarks read
+        #: these dicts; campaign runs that never consume them construct
+        #: the device with ``track_io=False`` to skip the per-access
+        #: dict updates entirely.
+        self.track_io = track_io
         self.reads: Dict[int, int] = {}
         self.writes: Dict[int, int] = {}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: bytes, block_size: int,
+                      track_io: bool = True) -> "BlockDevice":
+        """A fresh, independent device initialized from a snapshot.
+
+        This is the campaign engine's clone primitive: restoring a
+        post-mkfs snapshot into a new device is a plain buffer copy,
+        orders of magnitude cheaper than re-running mkfs, and the clone
+        shares no mutable state with the device the snapshot came from.
+        """
+        if not snapshot or len(snapshot) % block_size:
+            raise ValueError(
+                f"snapshot of {len(snapshot)} bytes is not a whole number "
+                f"of {block_size}-byte blocks")
+        dev = cls(len(snapshot) // block_size, block_size, track_io=track_io)
+        dev._buf = bytearray(snapshot)
+        return dev
 
     # ------------------------------------------------------------------
     # geometry
@@ -71,9 +95,28 @@ class BlockDevice:
         """Return the contents of one block."""
         self._check_open()
         self._check_range(blockno)
-        self.reads[blockno] = self.reads.get(blockno, 0) + 1
+        if self.track_io:
+            self.reads[blockno] = self.reads.get(blockno, 0) + 1
         start = blockno * self.block_size
         return bytes(self._buf[start : start + self.block_size])
+
+    def read_block_view(self, blockno: int) -> memoryview:
+        """Zero-copy read of one block.
+
+        Returns a read-only :class:`memoryview` into the device buffer —
+        no bytes are copied, which is what makes whole-table scans (the
+        e2fsck inode and bitmap passes) cheap.  The view reflects the
+        *live* buffer and must not outlive the next write to the block;
+        callers that need to keep data around copy it with ``bytes()``.
+        A held view also blocks :meth:`grow` (the underlying buffer
+        cannot be resized while exported), so consume views promptly.
+        """
+        self._check_open()
+        self._check_range(blockno)
+        if self.track_io:
+            self.reads[blockno] = self.reads.get(blockno, 0) + 1
+        start = blockno * self.block_size
+        return memoryview(self._buf).toreadonly()[start : start + self.block_size]
 
     def write_block(self, blockno: int, data: bytes) -> None:
         """Write one block; short data is zero-padded, long data rejected."""
@@ -83,10 +126,14 @@ class BlockDevice:
             raise ValueError(
                 f"write of {len(data)} bytes exceeds block size {self.block_size}"
             )
-        self.writes[blockno] = self.writes.get(blockno, 0) + 1
+        if self.track_io:
+            self.writes[blockno] = self.writes.get(blockno, 0) + 1
         start = blockno * self.block_size
-        padded = data + bytes(self.block_size - len(data))
-        self._buf[start : start + self.block_size] = padded
+        if len(data) == self.block_size:
+            self._buf[start : start + self.block_size] = data
+        else:
+            self._buf[start : start + self.block_size] = (
+                data + bytes(self.block_size - len(data)))
 
     def read_bytes(self, offset: int, length: int) -> bytes:
         """Byte-granular read (used for the 1024-byte superblock window)."""

@@ -260,20 +260,23 @@ class Ext4Image:
         self.block_bitmaps = []
         self.inode_bitmaps = []
         gdt_start = self._gdt_first_block()
-        raw = b"".join(
-            self.dev.read_block(gdt_start + i) for i in range(gdt_size_blocks(sb))
-        )
+        # One byte-granular read for the whole descriptor table, then
+        # zero-copy views for the per-group bitmaps (Bitmap.from_bytes
+        # copies into its own mutable buffer exactly once).
+        raw = self.dev.read_bytes(
+            gdt_start * sb.block_size, gdt_size_blocks(sb) * sb.block_size)
         for g in range(sb.group_count):
             off = g * GROUP_DESC_SIZE
             gd = GroupDescriptor.unpack(raw[off : off + GROUP_DESC_SIZE])
             self.group_descs.append(gd)
             nblocks = sb.blocks_in_group(g)
-            self.block_bitmaps.append(
-                Bitmap.from_bytes(self.dev.read_block(gd.bg_block_bitmap), nblocks)
-            )
+            bbm_view = self.dev.read_block_view(gd.bg_block_bitmap)
+            self.block_bitmaps.append(Bitmap.from_bytes(bbm_view, nblocks))
+            bbm_view.release()
+            ibm_view = self.dev.read_block_view(gd.bg_inode_bitmap)
             self.inode_bitmaps.append(
-                Bitmap.from_bytes(self.dev.read_block(gd.bg_inode_bitmap), sb.s_inodes_per_group)
-            )
+                Bitmap.from_bytes(ibm_view, sb.s_inodes_per_group))
+            ibm_view.release()
 
     def _gdt_first_block(self) -> int:
         """Block number where the primary descriptor table starts."""
@@ -420,15 +423,20 @@ class Ext4Image:
     # ==================================================================
 
     def read_inode(self, ino: int) -> Inode:
-        """Read one inode record from the inode table."""
+        """Read one inode record from the inode table (zero-copy scan path)."""
         g = self._group_of_inode(ino)
         idx = (ino - 1) % self.sb.s_inodes_per_group
         gd = self.group_descs[g]
         byte_off = idx * self.sb.s_inode_size
         blockno = gd.bg_inode_table + byte_off // self.sb.block_size
         within = byte_off % self.sb.block_size
-        raw = self.dev.read_block(blockno)
-        return Inode.unpack(raw[within : within + self.sb.s_inode_size])
+        raw = self.dev.read_block_view(blockno)
+        record = raw[within : within + self.sb.s_inode_size]
+        try:
+            return Inode.unpack(record)
+        finally:
+            record.release()
+            raw.release()
 
     def write_inode(self, ino: int, inode: Inode) -> None:
         """Write one inode record into the inode table."""
@@ -438,7 +446,7 @@ class Ext4Image:
         byte_off = idx * self.sb.s_inode_size
         blockno = gd.bg_inode_table + byte_off // self.sb.block_size
         within = byte_off % self.sb.block_size
-        raw = bytearray(self.dev.read_block(blockno))
+        raw = bytearray(self.dev.read_block_view(blockno))
         raw[within : within + self.sb.s_inode_size] = inode.pack(self.sb.s_inode_size)
         self.dev.write_block(blockno, bytes(raw))
 
@@ -507,17 +515,24 @@ class Ext4Image:
         corrupt ``s_inodes_count`` cannot push the scan out of range
         (e2fsck must survive such images and report, not crash).
         """
-        covered = self.sb.s_inodes_per_group * len(self.inode_bitmaps)
-        for ino in range(1, min(self.sb.s_inodes_count, covered) + 1):
-            g = self._group_of_inode(ino)
-            idx = (ino - 1) % self.sb.s_inodes_per_group
-            if not self.inode_bitmaps[g].test(idx):
-                continue
-            if ino < self.sb.s_first_ino and ino not in (ROOT_INO, JOURNAL_INO):
-                continue
-            inode = self.read_inode(ino)
-            if inode.in_use:
-                yield ino, inode
+        per_group = self.sb.s_inodes_per_group
+        limit = min(self.sb.s_inodes_count, per_group * len(self.inode_bitmaps))
+        for g, ibm in enumerate(self.inode_bitmaps):
+            base = g * per_group
+            if base >= limit:
+                break
+            # Walk only the *set* bits: a mostly-free inode table costs
+            # one zero-byte skip per eight inodes instead of a per-inode
+            # bitmap test.
+            for idx in ibm.iter_set():
+                ino = base + idx + 1
+                if ino > limit:
+                    break
+                if ino < self.sb.s_first_ino and ino not in (ROOT_INO, JOURNAL_INO):
+                    continue
+                inode = self.read_inode(ino)
+                if inode.in_use:
+                    yield ino, inode
 
     # ==================================================================
     # consistency views (e2fsck back end)

@@ -1,11 +1,13 @@
-"""Performance substrate for the analysis pipeline.
+"""Performance substrate for the analysis pipeline and the checkers.
 
-Three small, dependency-free pieces:
+Four small pieces:
 
 - :mod:`repro.perf.timers` — context-manager phase timers and named
   counters, rendered as a text table by the ``--profile`` CLI flag;
 - :mod:`repro.perf.parallel` — the ``--jobs``/``REPRO_JOBS`` fan-out
   helper with deterministic (submission-order) result merging;
+- :mod:`repro.perf.campaign` — the checker campaign engine: parallel
+  fan-out with spec-order merging plus the post-mkfs snapshot cache;
 - the memo registry below — every process-level memo table in the
   analyzer registers a clear callback here so
   :func:`repro.corpus.loader.clear_cache` can drop them all without
@@ -16,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.perf.campaign import SnapshotCache, run_campaign
 from repro.perf.parallel import resolve_jobs, run_ordered
 from repro.perf.timers import (
     bump,
@@ -34,7 +37,9 @@ __all__ = [
     "render_profile",
     "reset_profile",
     "resolve_jobs",
+    "run_campaign",
     "run_ordered",
+    "SnapshotCache",
     "stats",
     "timed",
 ]

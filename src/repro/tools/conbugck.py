@@ -16,8 +16,8 @@ configuration gets.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.model import Category, Dependency, SubKind
 from repro.ecosystem.featureset import DEFAULT_EXT4_FEATURES, all_feature_names
@@ -26,9 +26,30 @@ from repro.ecosystem.mount import Ext4Mount
 from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
 from repro.errors import ReproError
 from repro.fsimage.blockdev import BlockDevice
+from repro.perf import SnapshotCache, bump, run_campaign, timed
 
 #: Stages a driven configuration can reach.
 STAGES = ("mkfs", "mount", "use", "fsck-clean")
+
+#: How many failure messages a campaign keeps verbatim.  Counts stay
+#: exact past the cap (``failures_truncated``); only the stored strings
+#: are bounded, so a million-config campaign cannot hoard memory.
+MAX_STORED_FAILURES = 200
+
+#: Mount options violating an extracted dependency — each is refused by
+#: the kernel's option validation regardless of on-disk state.
+#: ``generate_mount_sweep`` draws from this pool to model the paper's
+#: naive campaigns, whose configurations mostly die at mount.
+VIOLATING_MOUNT_OPTIONS = (
+    "commit=1000",
+    "journal_ioprio=9",
+    "journal_async_commit",
+    "barrier=2",
+    "auto_da_alloc=5",
+    "max_batch_time=-1",
+    "data=flush",
+    "noload",
+)
 
 
 @dataclass
@@ -65,10 +86,31 @@ class DriveStats:
     total: int = 0
     reached: Dict[str, int] = field(default_factory=lambda: {s: 0 for s in STAGES})
     failures: List[str] = field(default_factory=list)
+    #: Failure messages dropped once ``failures`` hit the storage cap.
+    failures_truncated: int = 0
+    max_stored_failures: int = MAX_STORED_FAILURES
 
     def depth_rate(self, stage: str) -> float:
-        """Fraction of configurations reaching ``stage``."""
-        return self.reached[stage] / self.total if self.total else 0.0
+        """Fraction of configurations reaching ``stage``.
+
+        An empty campaign (``total == 0``) has a rate of 0.0 at every
+        stage rather than a division error.
+        """
+        if not self.total:
+            return 0.0
+        return self.reached[stage] / self.total
+
+    @property
+    def failure_count(self) -> int:
+        """Exact number of failures, stored messages plus truncated."""
+        return len(self.failures) + self.failures_truncated
+
+    def record_failure(self, message: str) -> None:
+        """Count a failure; store its message unless the cap is reached."""
+        if len(self.failures) < self.max_stored_failures:
+            self.failures.append(message)
+        else:
+            self.failures_truncated += 1
 
 
 class ConBugCk:
@@ -223,48 +265,156 @@ class ConBugCk:
         return out
 
     # ------------------------------------------------------------------
+    # campaign sweeps
+    # ------------------------------------------------------------------
+
+    def generate_mount_sweep(self, count: int, bases: int = 3,
+                             fs_blocks: int = 512,
+                             blocksize: Optional[int] = None,
+                             violate_rate: float = 0.7,
+                             ) -> List[GeneratedConfig]:
+        """A mount-option sweep over a handful of shared on-disk formats.
+
+        Checker campaigns sweep cheap runtime knobs (mount options) far
+        more often than they churn the on-disk format: the sweep samples
+        ``bases`` dependency-respecting mkfs tuples — each validated
+        against a scratch device, resampling rejects — then emits
+        ``count`` configurations cycling over them, differing only in
+        mount options.  A ``violate_rate`` fraction draws from
+        :data:`VIOLATING_MOUNT_OPTIONS` (the paper's observation that
+        naive configurations die shallow, at mount validation); the rest
+        sample guided options.  ``blocksize`` pins the on-disk block
+        size (inode size clamped to match).  RNG consumption is strictly
+        sequential, so a sweep reproduces exactly no matter how it is
+        later driven.
+        """
+        if bases <= 0:
+            raise ValueError(f"bases must be positive, got {bases}")
+        base_configs: List[GeneratedConfig] = []
+        attempts = 0
+        while len(base_configs) < bases:
+            attempts += 1
+            if attempts > 50 * bases:
+                raise ReproError("mount sweep found too few mkfs-valid bases")
+            cand = self._generate_one()
+            if blocksize is not None:
+                cand = replace(cand, blocksize=blocksize,
+                               inode_size=min(cand.inode_size, blocksize))
+            try:
+                scratch = BlockDevice(fs_blocks, cand.blocksize)
+                Mke2fs.from_args(cand.mke2fs_args(fs_blocks)).run(scratch)
+            except (ValueError, ReproError):
+                continue
+            base_configs.append(cand)
+        sweep: List[GeneratedConfig] = []
+        for i in range(count):
+            base = base_configs[i % len(base_configs)]
+            if self.rng.random() < violate_rate:
+                options = self.rng.choice(VIOLATING_MOUNT_OPTIONS)
+            else:
+                options = self._sample_mount_options(set(base.features))
+            sweep.append(replace(base, mount_options=options))
+        return sweep
+
+    # ------------------------------------------------------------------
     # driving
     # ------------------------------------------------------------------
 
     def drive(self, configs: Sequence[GeneratedConfig],
-              fs_blocks: int = 512) -> DriveStats:
-        """Run each configuration through the full ecosystem pipeline."""
+              fs_blocks: int = 512,
+              jobs: Optional[int] = None,
+              snapshot_cache: Union[bool, SnapshotCache] = True,
+              track_io: bool = True) -> DriveStats:
+        """Run each configuration through the full ecosystem pipeline.
+
+        This is the campaign engine's main entry: configurations fan out
+        over the ``--jobs``/``REPRO_JOBS`` thread pool (driving only —
+        generation already consumed the RNG sequentially) and per-config
+        outcomes are merged in spec order, so the returned
+        :class:`DriveStats` is identical for any job count.
+
+        ``snapshot_cache`` controls the post-mkfs snapshot cache:
+        ``True`` (default) uses a fresh per-campaign cache, ``False``
+        re-runs mkfs for every configuration, and passing a
+        :class:`~repro.perf.SnapshotCache` shares snapshots across
+        campaigns.  mkfs is deterministic, so the cache never changes
+        results — configurations sharing the mkfs-relevant tuple clone
+        one formatted image instead of re-formatting.  ``track_io=False``
+        skips the per-block accounting campaigns never read.
+        """
+        cache: Optional[SnapshotCache]
+        if snapshot_cache is True:
+            cache = SnapshotCache()
+        elif snapshot_cache is False:
+            cache = None
+        else:
+            cache = snapshot_cache
+        outcomes = run_campaign(
+            lambda config: self._drive_one(config, fs_blocks, cache, track_io),
+            configs, jobs=jobs, phase="campaign.drive")
         stats = DriveStats(total=len(configs))
-        for config in configs:
-            self._drive_one(config, fs_blocks, stats)
+        for reached, failure in outcomes:
+            for stage in reached:
+                stats.reached[stage] += 1
+            if failure is not None:
+                stats.record_failure(failure)
         return stats
 
-    def _drive_one(self, config: GeneratedConfig, fs_blocks: int,
-                   stats: DriveStats) -> None:
-        try:
-            dev = BlockDevice(fs_blocks, config.blocksize)
-        except ValueError as exc:
-            stats.failures.append(f"device: {exc}")
-            return
-        try:
+    def _mkfs_device(self, config: GeneratedConfig, fs_blocks: int,
+                     cache: Optional[SnapshotCache],
+                     track_io: bool) -> BlockDevice:
+        """A freshly formatted device for ``config`` (cached or cold)."""
+        def build(dev: BlockDevice) -> None:
             Mke2fs.from_args(config.mke2fs_args(fs_blocks)).run(dev)
-        except ReproError as exc:
-            stats.failures.append(f"mkfs: {exc}")
-            return
-        stats.reached["mkfs"] += 1
+
+        if cache is None:
+            dev = BlockDevice(fs_blocks, config.blocksize, track_io=track_io)
+            build(dev)
+            return dev
+        # Everything mkfs consumes — mount_options is the only field of
+        # a GeneratedConfig that is not part of the on-disk format.
+        key = (config.features, config.blocksize, config.inode_size,
+               config.inode_ratio, config.reserved_percent, fs_blocks)
+        return cache.device_for(key, fs_blocks, config.blocksize, build,
+                                track_io=track_io)
+
+    def _drive_one(self, config: GeneratedConfig, fs_blocks: int,
+                   cache: Optional[SnapshotCache] = None,
+                   track_io: bool = True,
+                   ) -> Tuple[Tuple[str, ...], Optional[str]]:
+        """Drive one configuration; returns (stages reached, failure).
+
+        Pure with respect to the generator: no RNG, no shared mutable
+        state — which is what makes the parallel fan-out deterministic.
+        """
+        reached: List[str] = []
         try:
-            handle = Ext4Mount.mount(dev, config.mount_options)
+            with timed("campaign.stage.mkfs"):
+                dev = self._mkfs_device(config, fs_blocks, cache, track_io)
+        except ValueError as exc:
+            return (), f"device: {exc}"
         except ReproError as exc:
-            stats.failures.append(f"mount: {exc}")
-            return
-        stats.reached["mount"] += 1
+            return (), f"mkfs: {exc}"
+        reached.append("mkfs")
         try:
-            ino = handle.create_file(4, fragmented=True)
-            handle.delete_file(ino)
-            handle.create_file(2)
-            handle.umount()
+            with timed("campaign.stage.mount"):
+                handle = Ext4Mount.mount(dev, config.mount_options)
         except ReproError as exc:
-            stats.failures.append(f"use: {exc}")
-            return
-        stats.reached["use"] += 1
-        result = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
+            return tuple(reached), f"mount: {exc}"
+        reached.append("mount")
+        try:
+            with timed("campaign.stage.use"):
+                ino = handle.create_file(4, fragmented=True)
+                handle.delete_file(ino)
+                handle.create_file(2)
+                handle.umount()
+        except ReproError as exc:
+            return tuple(reached), f"use: {exc}"
+        reached.append("use")
+        with timed("campaign.stage.fsck"):
+            result = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
         if result.is_clean:
-            stats.reached["fsck-clean"] += 1
-        else:
-            stats.failures.append(
-                f"fsck: {len(result.problems)} problems under {config.features}")
+            reached.append("fsck-clean")
+            return tuple(reached), None
+        return tuple(reached), (
+            f"fsck: {len(result.problems)} problems under {config.features}")

@@ -31,6 +31,7 @@ from repro.ecosystem.mount import Ext4Mount
 from repro.ecosystem.resize2fs import Resize2fs, Resize2fsConfig
 from repro.errors import MountError, ReproError, UsageError
 from repro.fsimage.blockdev import BlockDevice
+from repro.perf import SnapshotCache, run_campaign
 
 
 class ViolationOutcome(enum.Enum):
@@ -144,23 +145,34 @@ class ConHandleCk:
     def __init__(self, device_blocks: int = 4096, block_size: int = 4096) -> None:
         self.device_blocks = device_blocks
         self.block_size = block_size
+        # Post-mkfs snapshots shared across violation runs: every mount
+        # violation formats the same base image, and SD violations repeat
+        # argument vectors — mkfs is deterministic, so cloning is exact.
+        self._snapshots = SnapshotCache()
 
     # ------------------------------------------------------------------
     # entry points
     # ------------------------------------------------------------------
 
-    def check(self, dependencies: Sequence[Dependency]) -> ViolationReport:
-        """Violate every dependency; returns the report."""
+    def check(self, dependencies: Sequence[Dependency],
+              jobs: Optional[int] = None) -> ViolationReport:
+        """Violate every dependency; returns the report.
+
+        Violations fan out over the ``--jobs``/``REPRO_JOBS`` thread
+        pool and merge back in dependency order — each run builds its
+        own device (snapshot clones included), so the report is
+        identical for any job count.
+        """
         report = ViolationReport()
-        for dep in dependencies:
-            report.results.append(self.violate(dep))
+        report.results.extend(run_campaign(
+            self.violate, dependencies, jobs=jobs, phase="campaign.violate"))
         return report
 
-    def check_extracted(self) -> ViolationReport:
+    def check_extracted(self, jobs: Optional[int] = None) -> ViolationReport:
         """Run extraction and violate every validated dependency."""
         from repro.analysis.extractor import extract_all
 
-        return self.check(extract_all().true_dependencies())
+        return self.check(extract_all().true_dependencies(), jobs=jobs)
 
     # ------------------------------------------------------------------
     # single-dependency drivers
@@ -351,21 +363,26 @@ class ConHandleCk:
     # execution helpers
     # ------------------------------------------------------------------
 
+    def _formatted_device(self, mk_args: List[str]) -> BlockDevice:
+        """A fresh device formatted with ``mk_args``, via the snapshot cache."""
+        return self._snapshots.device_for(
+            ("mke2fs", tuple(mk_args), self.device_blocks, self.block_size),
+            self.device_blocks, self.block_size,
+            lambda dev: Mke2fs.from_args(mk_args).run(dev))
+
     def _run_mke2fs(self, dep: Dependency, args: List[str]) -> ViolationResult:
-        dev = BlockDevice(self.device_blocks, self.block_size)
         try:
-            Mke2fs.from_args(args).run(dev)
+            dev = self._formatted_device(args)
         except UsageError as exc:
             return ViolationResult(dep, ViolationOutcome.REJECTED, str(exc))
         return self._fsck_verdict(dep, dev, f"mke2fs accepted {args}")
 
     def _run_mount(self, dep: Dependency, options: str,
                    journal: bool = False) -> ViolationResult:
-        dev = BlockDevice(self.device_blocks, self.block_size)
         mk_args = ["-b", str(self.block_size), str(self.device_blocks)]
         if journal:
             mk_args = ["-j"] + mk_args
-        Mke2fs.from_args(mk_args).run(dev)
+        dev = self._formatted_device(mk_args)
         try:
             handle = Ext4Mount.mount(dev, options)
         except (UsageError, MountError) as exc:

@@ -1,0 +1,267 @@
+"""Tests for the campaign engine (repro.perf.campaign + checker wiring)."""
+
+import pytest
+
+from repro.ecosystem.mke2fs import Mke2fs
+from repro.errors import UsageError
+from repro.fsimage.blockdev import BlockDevice
+from repro.perf import SnapshotCache, run_campaign
+from repro.perf.campaign import _sparse_snapshot
+from repro.tools.conbugck import (
+    ConBugCk,
+    DriveStats,
+    MAX_STORED_FAILURES,
+    VIOLATING_MOUNT_OPTIONS,
+)
+from repro.tools.conhandleck import ConHandleCk
+
+
+@pytest.fixture(scope="module")
+def deps(extraction_report):
+    return extraction_report.true_dependencies()
+
+
+def _canonical(stats: DriveStats):
+    return (stats.total, stats.reached, stats.failures,
+            stats.failures_truncated)
+
+
+# ---------------------------------------------------------------------------
+# run_campaign
+# ---------------------------------------------------------------------------
+
+class TestRunCampaign:
+    def test_preserves_spec_order(self):
+        items = list(range(97))
+        for jobs in (1, 2, 8):
+            assert run_campaign(lambda x: x * x, items, jobs=jobs) == \
+                [x * x for x in items]
+
+    def test_empty_items(self):
+        assert run_campaign(lambda x: x, [], jobs=4) == []
+
+    def test_single_item_stays_sequential(self):
+        assert run_campaign(lambda x: -x, [7], jobs=8) == [-7]
+
+
+# ---------------------------------------------------------------------------
+# SnapshotCache
+# ---------------------------------------------------------------------------
+
+class TestSnapshotCache:
+    @staticmethod
+    def _mkfs(dev: BlockDevice) -> None:
+        Mke2fs.from_args(["-b", "1024", "512"]).run(dev)
+
+    def test_clone_matches_cold_build(self):
+        cache = SnapshotCache()
+        cold = cache.device_for(("k",), 512, 1024, self._mkfs)
+        clone = cache.device_for(("k",), 512, 1024, self._mkfs)
+        assert clone is not cold
+        assert clone.snapshot() == cold.snapshot()
+
+    def test_clone_isolation(self):
+        cache = SnapshotCache()
+        reference = cache.device_for(("k",), 512, 1024, self._mkfs).snapshot()
+        mutated = cache.device_for(("k",), 512, 1024, self._mkfs)
+        mutated.write_block(3, b"\xde\xad" * 512)
+        # A mutated clone never leaks back into the cache.
+        assert cache.device_for(("k",), 512, 1024, self._mkfs).snapshot() == \
+            reference
+
+    def test_builds_once_per_key(self):
+        calls = []
+
+        def build(dev):
+            calls.append(1)
+            self._mkfs(dev)
+
+        cache = SnapshotCache()
+        for _ in range(4):
+            cache.device_for(("k",), 512, 1024, build)
+        assert len(calls) == 1
+        assert len(cache) == 1
+
+    def test_deterministic_error_cached(self):
+        def build(dev):
+            raise UsageError("mke2fs", "bad geometry")
+
+        cache = SnapshotCache()
+        with pytest.raises(UsageError, match="bad geometry"):
+            cache.device_for(("bad",), 512, 1024, build)
+        # The replayed rejection is the identical error, not a rebuild.
+        with pytest.raises(UsageError, match="bad geometry"):
+            cache.device_for(("bad",), 512, 1024,
+                             lambda dev: pytest.fail("must not rebuild"))
+
+    def test_track_io_flows_to_clones(self):
+        cache = SnapshotCache()
+        cache.device_for(("k",), 512, 1024, self._mkfs)
+        clone = cache.device_for(("k",), 512, 1024, self._mkfs,
+                                 track_io=False)
+        clone.read_block(0)
+        clone.write_block(0, b"x")
+        assert clone.reads == {} and clone.writes == {}
+
+    def test_sparse_snapshot_roundtrip(self):
+        dev = BlockDevice(64, 1024)
+        self_blocks = (0, 1, 2, 9, 10, 40)
+        for b in self_blocks:
+            dev.write_block(b, bytes([b + 1]) * 1024)
+        runs = _sparse_snapshot(dev.snapshot(), 1024)
+        # Adjacent blocks coalesce: (0,1,2), (9,10), (40).
+        assert [r[0] for r in runs] == [0, 9, 40]
+        restored = BlockDevice(64, 1024)
+        for blockno, data in runs:
+            restored.write_bytes(blockno * 1024, data)
+        assert restored.snapshot() == dev.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# BlockDevice fast paths
+# ---------------------------------------------------------------------------
+
+class TestBlockDeviceFastPath:
+    def test_read_block_view_zero_copy(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(2, b"\xaa" * 1024)
+        view = dev.read_block_view(2)
+        assert isinstance(view, memoryview)
+        assert view.readonly
+        assert bytes(view) == b"\xaa" * 1024
+        view.release()
+
+    def test_accounting_opt_out(self):
+        dev = BlockDevice(4, 1024, track_io=False)
+        dev.read_block(1)
+        dev.read_block_view(1).release()
+        dev.write_block(1, b"z")
+        assert dev.reads == {} and dev.writes == {}
+
+    def test_accounting_default_on(self):
+        dev = BlockDevice(4, 1024)
+        dev.read_block(1)
+        dev.read_block_view(1).release()
+        dev.write_block(1, b"z")
+        assert dev.reads == {1: 2} and dev.writes == {1: 1}
+
+    def test_from_snapshot(self):
+        dev = BlockDevice(4, 1024)
+        dev.write_block(0, b"hello")
+        clone = BlockDevice.from_snapshot(dev.snapshot(), 1024)
+        assert clone.snapshot() == dev.snapshot()
+        clone.write_block(0, b"bye")
+        assert dev.read_block(0)[:5] == b"hello"
+
+    def test_from_snapshot_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            BlockDevice.from_snapshot(b"\x00" * 1500, 1024)
+        with pytest.raises(ValueError):
+            BlockDevice.from_snapshot(b"", 1024)
+
+
+# ---------------------------------------------------------------------------
+# DriveStats guards and failure capping
+# ---------------------------------------------------------------------------
+
+class TestDriveStats:
+    def test_depth_rate_empty_campaign(self):
+        stats = DriveStats()
+        for stage in stats.reached:
+            assert stats.depth_rate(stage) == 0.0
+
+    def test_failure_cap_exact_counts(self):
+        stats = DriveStats(total=0, max_stored_failures=5)
+        for i in range(12):
+            stats.record_failure(f"boom {i}")
+        assert len(stats.failures) == 5
+        assert stats.failures == [f"boom {i}" for i in range(5)]
+        assert stats.failures_truncated == 7
+        assert stats.failure_count == 12
+
+    def test_default_cap(self):
+        assert DriveStats().max_stored_failures == MAX_STORED_FAILURES
+
+    def test_drive_applies_cap(self, deps):
+        gen = ConBugCk(deps, seed=3)
+        sweep = gen.generate_mount_sweep(30, bases=2, violate_rate=1.0)
+        stats = gen.drive(sweep)
+        stats_capped = ConBugCk(deps, seed=3).drive(sweep)
+        # Same sweep, same failures, regardless of how often it's driven.
+        assert stats.failures == stats_capped.failures
+        assert stats.failure_count == len(sweep)
+
+
+# ---------------------------------------------------------------------------
+# parallel-vs-sequential equivalence
+# ---------------------------------------------------------------------------
+
+class TestEquivalence:
+    def test_drive_identical_across_jobs(self, deps):
+        gen = ConBugCk(deps, seed=11)
+        configs = gen.generate(12) + gen.generate_naive(12)
+        baseline = ConBugCk(deps, seed=11).drive(
+            configs, jobs=1, snapshot_cache=False)
+        for jobs in (1, 2, 8):
+            stats = ConBugCk(deps, seed=11).drive(configs, jobs=jobs)
+            assert _canonical(stats) == _canonical(baseline), f"jobs={jobs}"
+
+    def test_drive_identical_without_accounting(self, deps):
+        gen = ConBugCk(deps, seed=11)
+        configs = gen.generate(10)
+        with_io = gen.drive(configs, track_io=True)
+        without_io = gen.drive(configs, track_io=False)
+        assert _canonical(with_io) == _canonical(without_io)
+
+    def test_drive_shared_cache_identical(self, deps):
+        gen = ConBugCk(deps, seed=11)
+        configs = gen.generate(10)
+        cold = gen.drive(configs, snapshot_cache=False)
+        shared = SnapshotCache()
+        first = gen.drive(configs, snapshot_cache=shared)
+        second = gen.drive(configs, snapshot_cache=shared)
+        assert _canonical(first) == _canonical(cold)
+        assert _canonical(second) == _canonical(cold)
+
+    def test_conhandleck_identical_across_jobs(self, deps):
+        baseline = [str(r) for r in ConHandleCk().check(deps, jobs=1).results]
+        for jobs in (2, 8):
+            results = [str(r) for r in ConHandleCk().check(deps, jobs=jobs).results]
+            assert results == baseline, f"jobs={jobs}"
+
+
+# ---------------------------------------------------------------------------
+# mount sweeps
+# ---------------------------------------------------------------------------
+
+class TestMountSweep:
+    def test_deterministic_for_seed(self, deps):
+        a = ConBugCk(deps, seed=9).generate_mount_sweep(40, bases=3)
+        b = ConBugCk(deps, seed=9).generate_mount_sweep(40, bases=3)
+        assert a == b
+
+    def test_shares_mkfs_tuples(self, deps):
+        sweep = ConBugCk(deps, seed=9).generate_mount_sweep(40, bases=3)
+        tuples = {(c.features, c.blocksize, c.inode_size, c.inode_ratio,
+                   c.reserved_percent) for c in sweep}
+        assert len(sweep) == 40
+        assert len(tuples) <= 3
+
+    def test_violations_die_at_mount(self, deps):
+        gen = ConBugCk(deps, seed=9)
+        sweep = gen.generate_mount_sweep(30, bases=2, violate_rate=1.0)
+        assert all(c.mount_options in VIOLATING_MOUNT_OPTIONS for c in sweep)
+        stats = gen.drive(sweep)
+        assert stats.reached["mkfs"] == 30
+        assert stats.reached["mount"] == 0
+        assert all(f.startswith("mount:") for f in stats.failures)
+
+    def test_blocksize_pin(self, deps):
+        sweep = ConBugCk(deps, seed=9).generate_mount_sweep(
+            10, bases=2, blocksize=1024)
+        assert all(c.blocksize == 1024 for c in sweep)
+        assert all(c.inode_size <= 1024 for c in sweep)
+
+    def test_rejects_nonpositive_bases(self, deps):
+        with pytest.raises(ValueError):
+            ConBugCk(deps, seed=9).generate_mount_sweep(10, bases=0)

@@ -1,8 +1,9 @@
 # Development targets.  `make verify` is the gate: the full test suite
 # plus the perf smoke benchmarks, which fail loudly when a cache/engine
 # speedup regresses below its floor or a parallel run stops being
-# byte-identical to sequential.  The campaign benchmark also refreshes
-# the machine-readable BENCH_campaign.json at the repo root.
+# byte-identical to sequential.  The solver and campaign benchmarks
+# also refresh the machine-readable BENCH_solver.json and
+# BENCH_campaign.json at the repo root.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -14,10 +15,12 @@ test:
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline.py --smoke
+	$(PYTHON) benchmarks/bench_solver.py --smoke
 	$(PYTHON) benchmarks/bench_campaign.py --smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
+	$(PYTHON) benchmarks/bench_solver.py
 	$(PYTHON) benchmarks/bench_campaign.py
 
 verify: test bench-smoke

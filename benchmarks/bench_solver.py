@@ -1,0 +1,262 @@
+"""Cold analysis path: sparse worklist solver vs the dense baseline.
+
+``bench_pipeline`` measures what the caches buy; this module measures
+what the *engines* buy when no cache can help — the cold path a fresh
+checkout pays on its first ``repro-extract`` run.  Two configurations
+run the same workload (full-corpus extraction, all scenarios plus the
+union, disk cache disabled, in-memory memos dropped before every rep):
+
+- **dense baseline** — round-robin dense fixpoint, per-character
+  lexer, recursive-ladder expression parser, plain (allocating) label
+  lattice: the pipeline as it was before the solver rework;
+- **optimized**      — sparse worklist solver over def-use chains,
+  master-regex lexer, precedence-climbing parser, interned lattice
+  with the memoized join.
+
+Contract (the ``verify`` target runs ``--smoke`` and fails loudly):
+
+- both configurations produce byte-identical dependency reports
+  (``identical_outputs`` in ``BENCH_solver.json``);
+- the optimized path must beat the baseline by ``MIN_COLD_SPEEDUP``
+  (2x full; ``--smoke`` relaxes to 1.5x so a loaded CI box does not
+  flake the verify target).
+
+Reps interleave the two configurations (so drift hits both equally)
+and the GC is paused around each timed region; best-of is reported.
+Results additionally land machine-readable in ``BENCH_solver.json`` at
+the repo root, including the solver work counters and lattice memo hit
+rates from one profiled rep per configuration.
+
+Runnable standalone (``python benchmarks/bench_solver.py [--smoke]``)
+or under pytest (``test_solver_perf`` applies the smoke thresholds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Required dense/sparse cold-path speedup (full mode; --smoke relaxes
+#: the floor so a loaded CI box does not flake the verify target).
+MIN_COLD_SPEEDUP = 2.0
+SMOKE_COLD_SPEEDUP = 1.5
+
+#: Engine selections per configuration (env var -> mode).
+BASELINE_CONFIG = {
+    "REPRO_SOLVER": "dense",
+    "REPRO_LEX": "scan",
+    "REPRO_PARSER": "ladder",
+    "REPRO_LATTICE": "plain",
+}
+OPTIMIZED_CONFIG = {
+    "REPRO_SOLVER": "sparse",
+    "REPRO_LEX": "regex",
+    "REPRO_PARSER": "climb",
+    "REPRO_LATTICE": "intern",
+}
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_solver.json")
+
+
+def _ensure_imports() -> None:
+    """Allow standalone invocation from a source checkout."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        here = os.path.dirname(os.path.abspath(__file__))
+        sys.path.insert(0, os.path.join(os.path.dirname(here), "src"))
+
+
+def _canonical(report) -> str:
+    """Byte-stable serialization of a full extraction report."""
+    lines: List[str] = []
+    for result in report.scenarios:
+        lines.append(f"## {result.spec.name}")
+        lines.extend(dep.key() for dep in result.dependencies)
+    lines.append("## union")
+    lines.extend(dep.key() for dep in report.union)
+    return "\n".join(lines)
+
+
+def run_benchmark(smoke: bool = False, repeat: int = 15,
+                  emit_fn=None) -> int:
+    """Measure, render, and enforce the perf contract; 0 on success."""
+    _ensure_imports()
+
+    from repro import perf
+    from repro.analysis.extractor import extract_all
+    from repro.common.texttable import TextTable
+    from repro.corpus.loader import clear_cache
+    from repro.perf.timers import hit_rates
+
+    if smoke:
+        repeat = max(3, repeat // 5)
+    min_speedup = SMOKE_COLD_SPEEDUP if smoke else MIN_COLD_SPEEDUP
+
+    saved = {name: os.environ.get(name)
+             for config in (BASELINE_CONFIG, OPTIMIZED_CONFIG)
+             for name in config}
+    saved["REPRO_NO_DISK_CACHE"] = os.environ.get("REPRO_NO_DISK_CACHE")
+
+    def apply(config: Dict[str, str]) -> None:
+        os.environ.update(config)
+
+    def cold_rep() -> Tuple[float, str]:
+        """One cold extraction: memos dropped, GC paused while timed."""
+        clear_cache(disk=False)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            report = extract_all(jobs=1)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        return elapsed, _canonical(report)
+
+    try:
+        os.environ["REPRO_NO_DISK_CACHE"] = "1"
+
+        # Warm both configurations once (imports, intern tables, pyc).
+        apply(BASELINE_CONFIG)
+        cold_rep()
+        apply(OPTIMIZED_CONFIG)
+        cold_rep()
+
+        base_times: List[float] = []
+        opt_times: List[float] = []
+        outputs: List[str] = []
+        for _ in range(max(1, repeat)):
+            apply(BASELINE_CONFIG)
+            elapsed, out = cold_rep()
+            base_times.append(elapsed)
+            outputs.append(out)
+            apply(OPTIMIZED_CONFIG)
+            elapsed, out = cold_rep()
+            opt_times.append(elapsed)
+            outputs.append(out)
+
+        # One profiled rep per configuration for the work counters.
+        def profiled(config: Dict[str, str]) -> Dict[str, int]:
+            apply(config)
+            perf.reset_profile()
+            cold_rep()
+            return perf.counters()
+
+        base_counters = profiled(BASELINE_CONFIG)
+        opt_counters = profiled(OPTIMIZED_CONFIG)
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        clear_cache(disk=False)
+        perf.reset_profile()
+
+    base_best = min(base_times)
+    opt_best = min(opt_times)
+    speedup = base_best / opt_best if opt_best > 0 else float("inf")
+    identical = all(out == outputs[0] for out in outputs[1:])
+
+    table = TextTable(
+        ["configuration", "best s", "speedup"],
+        title="cold extraction wall time "
+              f"(best of {repeat}, interleaved, "
+              f"{'smoke' if smoke else 'full'})")
+    table.add_row("dense solver + scan lexer + ladder parser + plain "
+                  "lattice", f"{base_best:.4f}", "1.00x")
+    table.add_row("sparse solver + regex lexer + climb parser + "
+                  "interned lattice", f"{opt_best:.4f}", f"{speedup:.2f}x")
+    rendered = table.render()
+
+    opt_rates = hit_rates(opt_counters)
+    rendered += ("\n\nsparse solver: "
+                 f"{opt_counters.get('solver.sparse.pops', 0)} worklist "
+                 f"pops over {opt_counters.get('solver.sparse.rounds', 0)} "
+                 "rounds; dense baseline: "
+                 f"{base_counters.get('solver.dense.evals', 0)} transfer "
+                 f"evals over {base_counters.get('solver.dense.sweeps', 0)} "
+                 "sweeps")
+    rendered += ("\nlattice memo hit rates: "
+                 f"intern {opt_rates.get('lattice.intern', 0.0):.1%}, "
+                 f"join {opt_rates.get('lattice.join', 0.0):.1%}")
+    rendered += (f"\noutputs byte-identical across both configurations: "
+                 f"{'yes' if identical else 'NO'}")
+    rendered += (f"\ncold-path speedup {speedup:.2f}x "
+                 f"(required >= {min_speedup:.1f}x)")
+
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump({
+            "mode": "smoke" if smoke else "full",
+            "workload": {
+                "description": "full-corpus extraction, all scenarios + "
+                               "union, jobs=1, disk cache disabled, "
+                               "in-memory memos dropped per rep",
+                "repeat": repeat,
+            },
+            "configs": {
+                "baseline": BASELINE_CONFIG,
+                "optimized": OPTIMIZED_CONFIG,
+            },
+            "seconds": {
+                "dense_cold": base_best,
+                "sparse_cold": opt_best,
+            },
+            "speedups": {"cold_path": speedup},
+            "floors": {"cold_path": min_speedup},
+            "counters": {
+                "baseline": base_counters,
+                "optimized": opt_counters,
+            },
+            "hit_rates": opt_rates,
+            "identical_outputs": identical,
+        }, fh, indent=2)
+        fh.write("\n")
+    rendered += f"\nwrote {os.path.basename(JSON_PATH)}"
+
+    if emit_fn is not None:
+        emit_fn("solver", rendered)
+    else:
+        print(rendered)
+
+    if not identical:
+        print("FAIL: dense and sparse configurations produced different "
+              "dependency reports", file=sys.stderr)
+        return 1
+    if speedup < min_speedup:
+        print(f"FAIL: cold-path speedup {speedup:.2f}x is below the "
+              f"{min_speedup:.1f}x floor — perf regression", file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_solver_perf():
+    """Pytest entry: smoke thresholds."""
+    from conftest import emit
+
+    assert run_benchmark(smoke=True, emit_fn=emit) == 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the cold analysis path: sparse worklist "
+                    "solver + interned lattice vs the dense baseline.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer repetitions, relaxed 1.5x threshold "
+                             "(the CI verify mode)")
+    parser.add_argument("--repeat", type=int, default=15, metavar="N",
+                        help="interleaved repetitions per configuration, "
+                             "best-of (default 15)")
+    args = parser.parse_args(argv)
+    return run_benchmark(smoke=args.smoke, repeat=args.repeat)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,13 +115,12 @@ class ConstraintDeriver:
         deps: List[Dependency] = []
         uses: List[BranchUse] = []
         deps.extend(self._data_type_deps())
-        for instr in self.func.instructions():
-            if not isinstance(instr, Branch):
-                continue
+        for instr in self.cfg.branches():
             true_err, false_err = self.cfg.branch_error_sides(instr)
-            labels = self.state.labels(instr.cond)
-            params = frozenset(l for l in labels if isinstance(l, ParamRef))
-            fields = frozenset(l for l in labels if isinstance(l, FieldTaint))
+            # params/fields come pre-split from the taint layer's
+            # content-keyed split memo (same canonical sets recur).
+            params = self.state.params(instr.cond)
+            fields = self.state.fields(instr.cond)
             error_guard = true_err or false_err
             if fields:
                 uses.append(self._branch_use(instr, params, fields, error_guard))

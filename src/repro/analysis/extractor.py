@@ -190,13 +190,17 @@ class Extractor:
     path analyzes (unit, function) pairs concurrently but *merges in
     spec order*, so its dependency sets are byte-identical to a
     sequential run: ordering comes from the assembly loop, never from
-    thread completion order.
+    thread completion order.  ``solver`` picks the taint fixpoint
+    scheduler (``None`` defers to ``$REPRO_SOLVER``); both schedulers
+    extract identical dependency sets.
     """
 
     def __init__(self, scenarios: Sequence[ScenarioSpec] = SCENARIOS,
-                 jobs: Optional[int] = None) -> None:
+                 jobs: Optional[int] = None,
+                 solver: Optional[str] = None) -> None:
         self.scenarios = tuple(scenarios)
         self.jobs = resolve_jobs(jobs)
+        self.solver = solver
 
     # ------------------------------------------------------------------
     # per-scenario
@@ -214,7 +218,8 @@ class Extractor:
                 f"pre-selected function {fn_name!r} missing from {filename}"
             ) from None
         cfg = build_cfg(func)
-        state = analyze_function(func, sources, unit.component)
+        state = analyze_function(func, sources, unit.component,
+                                 solver=self.solver)
         findings = derive_constraints(
             func, cfg, state, sources, unit.component, filename
         )
@@ -269,6 +274,7 @@ def _dedupe(deps: List[Dependency]) -> List[Dependency]:
 
 
 def extract_all(scenarios: Sequence[ScenarioSpec] = SCENARIOS,
-                jobs: Optional[int] = None) -> ExtractionReport:
+                jobs: Optional[int] = None,
+                solver: Optional[str] = None) -> ExtractionReport:
     """Convenience: run the full Table-5 extraction."""
-    return Extractor(scenarios, jobs=jobs).extract_all()
+    return Extractor(scenarios, jobs=jobs, solver=solver).extract_all()

@@ -40,7 +40,14 @@ class SubKind(enum.Enum):
     @property
     def category(self) -> Category:
         """The major category this sub-kind belongs to."""
-        return Category(self.value.split(".")[0])
+        return _SUBKIND_CATEGORY[self]
+
+
+#: SubKind -> Category, computed once (the property is hot: dependency
+#: validation and classification consult it per object).
+_SUBKIND_CATEGORY: Dict[SubKind, Category] = {
+    kind: Category(kind.value.split(".")[0]) for kind in SubKind
+}
 
 
 @dataclass(frozen=True, order=True)
@@ -125,8 +132,12 @@ class Dependency:
 
         Range constraints contribute their bounds, so "blocksize in
         [1024, 65536]" and "blocksize >= 256" stay distinct; relations
-        contribute the relation token.
+        contribute the relation token.  Cached on the (immutable)
+        instance: dedup and reporting ask repeatedly.
         """
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
         params = ",".join(sorted(str(p) for p in self.params))
         extra = ""
         cdict = self.constraint_dict
@@ -137,7 +148,9 @@ class Dependency:
         elif "relation" in cdict:
             extra = f":{cdict['relation']}"
         bridge = f"@{self.bridge_field}" if self.bridge_field else ""
-        return f"{self.kind.value}:{params}{extra}{bridge}"
+        result = f"{self.kind.value}:{params}{extra}{bridge}"
+        object.__setattr__(self, "_key", result)
+        return result
 
     def describe(self) -> str:
         """One-line human-readable description."""

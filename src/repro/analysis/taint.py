@@ -19,10 +19,37 @@ Two taint label kinds exist:
 Field stores and loads are recorded as :class:`FieldWrite` /
 :class:`FieldRead` events; :mod:`repro.analysis.bridge` joins them
 across components.
+
+Solvers
+-------
+
+Two schedulers drive the same transfer functions to the same least
+fixpoint:
+
+- ``dense`` — the original chaotic iteration: full sweeps over every
+  instruction until a sweep changes nothing;
+- ``sparse`` (default) — a worklist solver over def-use edges
+  (:meth:`~repro.lang.ir.Instr.flow_dst` /
+  :meth:`~repro.lang.ir.Instr.flow_srcs`): only instructions whose
+  inputs changed are re-evaluated.  Rounds are structured to *replay*
+  the dense sweep schedule exactly — within a round instructions fire
+  in ascending reverse-postorder position, and a change at position
+  ``p`` re-schedules users after ``p`` into the current round and users
+  at or before ``p`` into the next — so the two solvers produce
+  byte-identical :class:`TaintState`\\ s (the skipped evaluations are
+  provably no-ops: transfers are deterministic and leave no footprint
+  when their inputs are unchanged).
+
+Both iterate instructions in reverse postorder of the CFG and run on
+the interned label-set lattice (:mod:`repro.perf.lattice`), so "did
+this transfer change anything" is a pointer comparison.  Select with
+``REPRO_SOLVER=sparse|dense`` or the ``--solver`` CLI flag.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
@@ -35,6 +62,7 @@ from repro.analysis.sources import (
     TYPED_PARSERS,
     ComponentSources,
 )
+from repro.lang.cfg import build_cfg
 from repro.lang.ir import (
     BinOp,
     Branch,
@@ -55,6 +83,30 @@ from repro.lang.ir import (
     Value,
     Var,
 )
+from repro.perf import lattice
+
+#: Environment knob selecting the fixpoint scheduler.
+SOLVER_ENV = "REPRO_SOLVER"
+
+#: Recognized scheduler names (first is the default).
+SOLVER_MODES = ("sparse", "dense")
+
+#: Extra sweeps/rounds the convergence bound allows beyond the
+#: instruction count.  The longest dependency chain a flow-insensitive
+#: sweep can still be propagating along is bounded by the number of
+#: instructions, so ``n + slack`` sweeps means the transfer functions
+#: are not monotone — a bug, not a big function.
+CONVERGENCE_SLACK = 16
+
+
+def resolve_solver(explicit: Optional[str] = None) -> str:
+    """The scheduler to use: ``explicit`` arg, else $REPRO_SOLVER, else sparse."""
+    mode = explicit or os.environ.get(SOLVER_ENV, "").strip().lower() or SOLVER_MODES[0]
+    if mode not in SOLVER_MODES:
+        raise ValueError(
+            f"unknown taint solver {mode!r}; expected one of {', '.join(SOLVER_MODES)}"
+        )
+    return mode
 
 
 @dataclass(frozen=True)
@@ -99,6 +151,61 @@ class FieldRead:
     instr: LoadField
 
 
+#: label set -> (parameter labels, field labels).  Content-keyed (no
+#: identity hazard: a frozenset caches its own hash) and shared across
+#: states — the constraint deriver splits the same canonical sets for
+#: every branch atom it classifies.
+_SPLIT_MEMO: Dict[FrozenSet[Label], Tuple[FrozenSet[ParamRef], FrozenSet[FieldTaint]]] = {}
+
+perf.register_memo("taint.split", _SPLIT_MEMO.clear)
+
+
+class _FuncPrep:
+    """Memoized per-function solver inputs (see ``TaintEngine._prep``).
+
+    Everything here is derived from the immutable function body and is
+    treated as read-only by every consumer: ``defs`` is installed on
+    each :class:`TaintState` *without copying* (``defining()`` only
+    reads it) and ``field_instrs`` is the store/load subsequence the
+    field-event collector walks instead of the whole body.
+    """
+
+    __slots__ = ("func", "order", "users", "defs", "field_instrs")
+
+    def __init__(self, func: Function, order: List[Instr],
+                 users: Optional[Dict[Value, List[int]]],
+                 defs: Dict[Value, List[Instr]],
+                 field_instrs: List[Instr]) -> None:
+        self.func = func
+        self.order = order
+        self.users = users
+        self.defs = defs
+        self.field_instrs = field_instrs
+
+
+#: id(function) -> its _FuncPrep.  The entry pins the function object
+#: (strong reference), so an id can never be recycled while its entry
+#: lives; racing workers compute identical entries, so last-write-wins
+#: under the GIL is safe.
+_PREP_MEMO: Dict[int, _FuncPrep] = {}
+
+perf.register_memo("taint.prep", _PREP_MEMO.clear)
+
+
+def _split_labels(
+    labels: FrozenSet[Label],
+) -> Tuple[FrozenSet[ParamRef], FrozenSet[FieldTaint]]:
+    """``labels`` partitioned into (params, fields), memoized by content."""
+    cached = _SPLIT_MEMO.get(labels)
+    if cached is None:
+        cached = (
+            frozenset(l for l in labels if isinstance(l, ParamRef)),
+            frozenset(l for l in labels if isinstance(l, FieldTaint)),
+        )
+        _SPLIT_MEMO[labels] = cached
+    return cached
+
+
 @dataclass
 class TaintState:
     """Result of analyzing one function."""
@@ -110,33 +217,54 @@ class TaintState:
     field_writes: List[FieldWrite] = dc_field(default_factory=list)
     field_reads: List[FieldRead] = dc_field(default_factory=list)
     defs: Dict[Value, List[Instr]] = dc_field(default_factory=dict)
+    #: lazily computed multi-parameter map; dropped on every taint
+    #: mutation (the engine owns invalidation while it runs).
+    _mpm_cache: Optional[Dict[Value, FrozenSet[ParamRef]]] = dc_field(
+        default=None, repr=False, compare=False
+    )
 
     def labels(self, value: Value) -> FrozenSet[Label]:
         """Taint labels of ``value`` (constants are clean)."""
-        if isinstance(value, (Const, StrConst)) or value is None:
-            return frozenset()
-        return self.taint.get(value, frozenset())
+        t = type(value)  # exact types: the IR hierarchy is flat
+        if t is Const or t is StrConst or value is None:
+            return lattice.EMPTY
+        return self.taint.get(value, lattice.EMPTY)
 
     def params(self, value: Value) -> FrozenSet[ParamRef]:
         """Only the parameter labels of ``value``."""
-        return frozenset(l for l in self.labels(value) if isinstance(l, ParamRef))
+        return _split_labels(self.labels(value))[0]
 
     def fields(self, value: Value) -> FrozenSet[FieldTaint]:
         """Only the metadata-field labels of ``value``."""
-        return frozenset(l for l in self.labels(value) if isinstance(l, FieldTaint))
+        return _split_labels(self.labels(value))[1]
 
     @property
     def multi_param_map(self) -> Dict[Value, FrozenSet[ParamRef]]:
-        """Values derived from two or more parameters (paper §4.1)."""
-        out = {}
-        for value, labels in self.taint.items():
-            params = frozenset(l for l in labels if isinstance(l, ParamRef))
-            if len(params) >= 2:
-                out[value] = params
-        return out
+        """Values derived from two or more parameters (paper §4.1).
+
+        Cached after the first access; the engine invalidates the cache
+        whenever it mutates :attr:`taint`, so post-analysis consumers
+        (the deriver asks per branch atom) pay the scan once.
+        """
+        if self._mpm_cache is None:
+            out: Dict[Value, FrozenSet[ParamRef]] = {}
+            for value, labels in self.taint.items():
+                params = _split_labels(labels)[0]
+                if len(params) >= 2:
+                    out[value] = params
+            self._mpm_cache = out
+        return self._mpm_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop derived caches after a direct mutation of :attr:`taint`."""
+        self._mpm_cache = None
 
     def defining(self, value: Value) -> List[Instr]:
-        """Instructions that define ``value`` in this function."""
+        """Instructions that define ``value`` in this function.
+
+        Served from the :attr:`defs` index the engine builds up front —
+        O(1) per query instead of a scan over the function body.
+        """
         return self.defs.get(value, [])
 
 
@@ -153,20 +281,40 @@ class TaintEngine:
       additionally receives (unit-wide store/load matching),
     - ``call_returns`` — labels the result of a call to a unit-local
       function receives (return-taint summaries).
+
+    ``solver`` picks the fixpoint scheduler (see the module docstring);
+    ``None`` defers to ``$REPRO_SOLVER``.  Hook label sets are interned
+    on entry so every set the transfer functions touch is canonical —
+    the identity-keyed join memo in :mod:`repro.perf.lattice` requires
+    it.
     """
 
     def __init__(self, func: Function, sources: ComponentSources,
                  component: str,
                  initial_taint: Optional[Dict[str, FrozenSet[Label]]] = None,
                  field_injections: Optional[Dict[Tuple[str, str], FrozenSet[Label]]] = None,
-                 call_returns: Optional[Dict[str, FrozenSet[Label]]] = None) -> None:
+                 call_returns: Optional[Dict[str, FrozenSet[Label]]] = None,
+                 solver: Optional[str] = None) -> None:
         self.func = func
         self.sources = sources
         self.component = component
-        self.initial_taint = initial_taint or {}
-        self.field_injections = field_injections or {}
-        self.call_returns = call_returns or {}
+        lattice.apply_mode()  # honour $REPRO_LATTICE (cheap when unchanged)
+        self.initial_taint = {
+            name: lattice.intern_labels(labels)
+            for name, labels in (initial_taint or {}).items()
+        }
+        self.field_injections = {
+            key: lattice.intern_labels(labels)
+            for key, labels in (field_injections or {}).items()
+        }
+        self.call_returns = {
+            name: lattice.intern_labels(labels)
+            for name, labels in (call_returns or {}).items()
+        }
+        self.solver = resolve_solver(solver)
         self.state = TaintState(function=func.name)
+        #: (struct, field) -> canonical labels a load of it produces.
+        self._load_labels: Dict[Tuple[str, str], FrozenSet[Label]] = {}
 
     # ------------------------------------------------------------------
     # driver
@@ -176,29 +324,177 @@ class TaintEngine:
         """Run the fixpoint; returns the populated TaintState."""
         state = self.state
         for var, param in self.sources.sources_for(self.func.name).items():
-            state.taint[Var(var)] = frozenset([param])
+            state.taint[Var(var)] = lattice.intern_labels(frozenset([param]))
         for var, labels in self.initial_taint.items():
-            state.taint[Var(var)] = state.taint.get(Var(var), frozenset()) | labels
-        self._index_defs()
-        changed = True
-        iterations = 0
-        while changed:
-            changed = False
-            iterations += 1
-            if iterations > 1000:
-                raise RuntimeError(
-                    f"taint fixpoint did not converge in {self.func.name}"
-                )
-            for instr in self.func.instructions():
-                if self._transfer(instr):
-                    changed = True
-        self._collect_field_events()
+            value = Var(var)
+            state.taint[value] = lattice.join(
+                state.taint.get(value, lattice.EMPTY), labels
+            )
+        state.invalidate_caches()
+        prep = self._prep()
+        state.defs = prep.defs  # shared, read-only (see _FuncPrep)
+        if self.solver == "sparse":
+            users = prep.users
+            if users is None:
+                users = prep.users = self._use_edges(prep.order)
+            self._solve_sparse(prep.order, users)
+        else:
+            self._solve_dense(prep.order)
+        self._collect_field_events(prep.field_instrs)
         return state
 
-    def _index_defs(self) -> None:
+    def _prep(self) -> "_FuncPrep":
+        """Per-function solver inputs, memoized across engine runs.
+
+        Instruction order, the def index, and the def-use edges depend
+        only on the (immutable) function body, while the engine re-runs
+        per component and per interprocedural round.  The memo holds a
+        strong reference to the function, so its ``id`` key can never
+        be recycled while the entry is alive.  Use edges are filled
+        lazily — only the sparse scheduler needs them.
+        """
+        key = id(self.func)
+        cached = _PREP_MEMO.get(key)
+        if cached is not None and cached.func is self.func:
+            return cached
+        defs: Dict[Value, List[Instr]] = {}
+        field_instrs: List[Instr] = []
         for instr in self.func.instructions():
             for dst in instr.defs():
-                self.state.defs.setdefault(dst, []).append(instr)
+                defs.setdefault(dst, []).append(instr)
+            t = type(instr)
+            if t is StoreField or t is LoadField:
+                field_instrs.append(instr)
+        prep = _FuncPrep(self.func, self._instruction_order(), None, defs,
+                         field_instrs)
+        _PREP_MEMO[key] = prep
+        return prep
+
+    def _instruction_order(self) -> List[Instr]:
+        """Instructions flattened in reverse postorder of the CFG.
+
+        RPO lets one sweep push taint through every forward dependency
+        chain, so only loop-carried (backward) flows cost extra sweeps
+        or worklist rounds.  The analysis itself is flow-insensitive:
+        the order affects convergence speed and trace ordering, never
+        the fixpoint.
+        """
+        cfg = build_cfg(self.func)
+        blocks = self.func.blocks
+        order: List[Instr] = []
+        for label in cfg.reverse_postorder():
+            order.extend(blocks[label].instrs)
+        return order
+
+    # ------------------------------------------------------------------
+    # schedulers
+    # ------------------------------------------------------------------
+
+    def _sweep_limit(self, n_instrs: int) -> int:
+        """Convergence bound proportional to function size."""
+        return max(1, n_instrs + CONVERGENCE_SLACK)
+
+    def _diverged(self, scheduler: str, rounds: int, n_instrs: int,
+                  pending: int, evaluations: int) -> RuntimeError:
+        return RuntimeError(
+            f"taint fixpoint did not converge in {self.func.name!r}: "
+            f"{scheduler} solver ran {rounds} rounds over {n_instrs} "
+            f"instructions ({evaluations} transfer evaluations, "
+            f"{pending} still pending) — bound is instructions + "
+            f"{CONVERGENCE_SLACK}, so a transfer function is not monotone"
+        )
+
+    def _solve_dense(self, order: List[Instr]) -> None:
+        """Chaotic iteration: full sweeps until nothing changes."""
+        limit = self._sweep_limit(len(order))
+        sweeps = 0
+        evaluations = 0
+        changed = True
+        while changed:
+            changed = False
+            sweeps += 1
+            if sweeps > limit:
+                raise self._diverged("dense", sweeps, len(order),
+                                     len(order), evaluations)
+            for instr in order:
+                evaluations += 1
+                if self._transfer(instr):
+                    changed = True
+        perf.bump("solver.dense.sweeps", sweeps)
+        perf.bump("solver.dense.evals", evaluations)
+
+    def _solve_sparse(self, order: List[Instr],
+                      users: Dict[Value, List[int]]) -> None:
+        """Worklist iteration replaying the dense sweep schedule.
+
+        Each round is a min-heap of pending positions, popped in
+        ascending order (the heap only ever holds positions after the
+        last pop, so a position fires at most once per round).  When a
+        transfer at position ``p`` changes its destination, every user
+        of that value after ``p`` joins the current round and every
+        user at or before ``p`` joins the next — exactly the positions
+        at which the dense schedule would next observe the change.
+        Instructions left out of a round are no-ops by construction:
+        their inputs have not changed since they last fired.
+        """
+        n = len(order)
+        limit = self._sweep_limit(n)
+        current = list(range(n))  # ascending == already a valid heap
+        in_current = [True] * n
+        nxt: List[int] = []
+        in_next = [False] * n
+        rounds = 0
+        pops = 0
+        heappop, heappush = heapq.heappop, heapq.heappush
+        transfer = self._transfer
+        users_get = users.get
+        while current:
+            rounds += 1
+            if rounds > limit:
+                raise self._diverged("sparse", rounds, n, len(current), pops)
+            while current:
+                pos = heappop(current)
+                in_current[pos] = False
+                pops += 1
+                instr = order[pos]
+                if not transfer(instr):
+                    continue
+                dst = instr.flow_dst()
+                for user in users_get(dst, ()):
+                    if user > pos:
+                        if not in_current[user]:
+                            in_current[user] = True
+                            heappush(current, user)
+                    elif not in_next[user]:
+                        in_next[user] = True
+                        nxt.append(user)
+            for pos in nxt:
+                in_next[pos] = False
+                in_current[pos] = True
+            heapq.heapify(nxt)
+            current, nxt = nxt, []
+        perf.bump("solver.sparse.rounds", rounds)
+        perf.bump("solver.sparse.pops", pops)
+
+    def _use_edges(self, order: List[Instr]) -> Dict[Value, List[int]]:
+        """value -> ascending positions of instructions it feeds.
+
+        Built from :meth:`~repro.lang.ir.Instr.flow_srcs`, filtered to
+        the calls whose transfer actually reads argument taint — an
+        opaque or summarized call's output is independent of its
+        arguments, so re-evaluating it on argument changes would be
+        pure overhead (though never incorrect).
+        """
+        users: Dict[Value, List[int]] = {}
+        for pos, instr in enumerate(order):
+            if type(instr) is CallInstr and instr.func not in TAINT_PRESERVING_CALLS:
+                continue
+            for src in instr.flow_srcs():
+                t = type(src)
+                if src is None or t is Const or t is StrConst:
+                    continue
+                users.setdefault(src, []).append(pos)
+        return users
 
     # ------------------------------------------------------------------
     # transfer functions
@@ -206,55 +502,58 @@ class TaintEngine:
 
     def _transfer(self, instr: Instr) -> bool:
         state = self.state
-        if isinstance(instr, Move):
+        t = type(instr)  # exact types: the IR hierarchy is flat
+        if t is Move:
             return self._add(instr.dst, state.labels(instr.src), instr)
-        if isinstance(instr, BinOp):
-            labels = self._binop_labels(instr)
-            changed = self._add(instr.dst, labels, instr)
-            if instr.dst in state.parsed_type:
-                pass
-            return changed
-        if isinstance(instr, UnOp):
+        if t is BinOp:
+            return self._add(instr.dst, self._binop_labels(instr), instr)
+        if t is CallInstr:
+            return self._transfer_call(instr)
+        if t is LoadField:
+            key = (instr.struct, instr.field)
+            labels = self._load_labels.get(key)
+            if labels is None:
+                labels = lattice.join(
+                    lattice.intern_labels(frozenset([FieldTaint(*key)])),
+                    self.field_injections.get(key, lattice.EMPTY),
+                )
+                self._load_labels[key] = labels
+            return self._add(instr.dst, labels, instr)
+        if t is UnOp:
             return self._add(instr.dst, state.labels(instr.operand), instr)
-        if isinstance(instr, LoadField):
-            labels: Set[Label] = {FieldTaint(instr.struct, instr.field)}
-            labels |= self.field_injections.get((instr.struct, instr.field),
-                                                frozenset())
-            return self._add(instr.dst, frozenset(labels), instr)
-        if isinstance(instr, LoadIndex):
+        if t is LoadIndex:
             return self._add(instr.dst, state.labels(instr.base), instr)
-        if isinstance(instr, StoreIndex):
+        if t is StoreIndex:
             # Writing through an array cell taints the base aggregate.
             return self._add(instr.base, state.labels(instr.src), instr)
-        if isinstance(instr, CallInstr):
-            return self._transfer_call(instr)
         return False
 
     def _binop_labels(self, instr: BinOp) -> FrozenSet[Label]:
         state = self.state
-        left, right = state.labels(instr.left), state.labels(instr.right)
-        combined: Set[Label] = set(left | right)
-        if instr.op == "&":
+        combined = lattice.join(state.labels(instr.left), state.labels(instr.right))
+        if instr.op == "&" and combined:
             feature = _feature_of(instr.left) or _feature_of(instr.right)
-            if feature is not None:
+            if feature is not None and any(
+                isinstance(l, FieldTaint) and l.feature is None for l in combined
+            ):
                 refined: Set[Label] = set()
                 for label in combined:
                     if isinstance(label, FieldTaint) and label.feature is None:
                         refined.add(FieldTaint(label.struct, label.field, feature))
                     else:
                         refined.add(label)
-                combined = refined
-        return frozenset(combined)
+                combined = lattice.intern_labels(refined)
+        return combined
 
     def _transfer_call(self, instr: CallInstr) -> bool:
         state = self.state
         if instr.dst is None:
             return False
         if instr.func in TAINT_PRESERVING_CALLS:
-            labels: Set[Label] = set()
+            labels = lattice.EMPTY
             for arg in instr.args:
-                labels |= state.labels(arg)
-            changed = self._add(instr.dst, frozenset(labels), instr)
+                labels = lattice.join(labels, state.labels(arg))
+            changed = self._add(instr.dst, labels, instr)
             if instr.func in TYPED_PARSERS and instr.dst not in state.parsed_type:
                 state.parsed_type[instr.dst] = TYPED_PARSERS[instr.func]
                 changed = True
@@ -268,16 +567,20 @@ class TaintEngine:
         if dst is None or not labels:
             return False
         state = self.state
-        current = state.taint.get(dst, frozenset())
-        merged = current | labels
-        if merged == current:
+        current = state.taint.get(dst, lattice.EMPTY)
+        merged = lattice.join(current, labels)
+        # Interned sets settle "did anything change" on the pointer
+        # check; the plain (legacy) lattice allocates fresh unions, so
+        # equal content needs the comparison — same fixpoint, more work.
+        if merged is current or merged == current:
             return False
         state.taint[dst] = merged
-        state.trace.setdefault(dst, [])
-        if instr not in state.trace[dst]:
-            state.trace[dst].append(instr)
+        state._mpm_cache = None
+        trace = state.trace.setdefault(dst, [])
+        if instr not in trace:
+            trace.append(instr)
         # Parsed-type information rides along moves into named variables.
-        if isinstance(instr, Move) and instr.src in state.parsed_type:
+        if type(instr) is Move and instr.src in state.parsed_type:
             state.parsed_type.setdefault(dst, state.parsed_type[instr.src])
         return True
 
@@ -285,9 +588,9 @@ class TaintEngine:
     # field events
     # ------------------------------------------------------------------
 
-    def _collect_field_events(self) -> None:
+    def _collect_field_events(self, field_instrs: List[Instr]) -> None:
         state = self.state
-        for instr in self.func.instructions():
+        for instr in field_instrs:
             if isinstance(instr, StoreField):
                 labels = set(state.labels(instr.src))
                 feature = self._stored_feature(instr)
@@ -331,39 +634,45 @@ def _feature_of(value: Value) -> Optional[str]:
     return None
 
 
-#: (unit fingerprint, function name, sources fingerprint, component) ->
-#: TaintState.  Shared across scenarios and checkers: the four Table-5
-#: scenarios all pre-select e.g. ``ext4_fill_super``, and the three
-#: checkers each re-run extraction, so one process used to analyze the
-#: same function a dozen times.  Safe to share because a TaintState is
-#: never mutated after :meth:`TaintEngine.run` returns, keys are pure
-#: content (a re-loaded module with the same source hits the same
-#: entry), and only the hook-free intra-procedural engine is memoized —
-#: :mod:`repro.analysis.interproc` builds its hooked engines directly.
-_ANALYSIS_MEMO: Dict[Tuple[str, str, str, str], TaintState] = {}
+#: (unit fingerprint, function name, sources fingerprint, component,
+#: solver) -> TaintState.  Shared across scenarios and checkers: the
+#: four Table-5 scenarios all pre-select e.g. ``ext4_fill_super``, and
+#: the three checkers each re-run extraction, so one process used to
+#: analyze the same function a dozen times.  Safe to share because a
+#: TaintState is never mutated after :meth:`TaintEngine.run` returns,
+#: keys are pure content (a re-loaded module with the same source hits
+#: the same entry), and only the hook-free intra-procedural engine is
+#: memoized — :mod:`repro.analysis.interproc` builds its hooked engines
+#: directly.  The solver and lattice modes are part of the key so
+#: differential tests comparing schedulers or lattice implementations
+#: never serve one configuration from another's cache.
+_ANALYSIS_MEMO: Dict[Tuple[str, str, str, str, str, str], TaintState] = {}
 
 perf.register_memo("taint.analyze", _ANALYSIS_MEMO.clear)
 
 
 def analyze_function(func: Function, sources: ComponentSources,
-                     component: str) -> TaintState:
+                     component: str, solver: Optional[str] = None) -> TaintState:
     """Run the taint engine on one function (memoized per content).
 
     Results are memoized when the function belongs to a fingerprinted
     module (anything loaded through :mod:`repro.corpus.loader`); ad-hoc
-    functions built by tests analyze unmemoized.
+    functions built by tests analyze unmemoized.  ``solver`` picks the
+    fixpoint scheduler; ``None`` defers to ``$REPRO_SOLVER``.
     """
+    mode = resolve_solver(solver)
     fingerprint = getattr(func, "module_fingerprint", "")
-    key: Optional[Tuple[str, str, str, str]] = None
+    key: Optional[Tuple[str, str, str, str, str, str]] = None
     if fingerprint:
-        key = (fingerprint, func.name, sources.fingerprint(), component)
+        key = (fingerprint, func.name, sources.fingerprint(), component, mode,
+               lattice.resolve_lattice_mode())
         cached = _ANALYSIS_MEMO.get(key)
         if cached is not None:
             perf.bump("memo.taint.hit")
             return cached
         perf.bump("memo.taint.miss")
     with perf.timed("analysis.taint"):
-        state = TaintEngine(func, sources, component).run()
+        state = TaintEngine(func, sources, component, solver=mode).run()
     if key is not None:
         _ANALYSIS_MEMO[key] = state
     return state

@@ -28,10 +28,15 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
                         help="parallel analysis workers (0 = one per CPU; "
                              "default: $REPRO_JOBS or sequential)")
     parser.add_argument("--profile", action="store_true",
-                        help="print a per-phase timing breakdown afterwards")
+                        help="print a per-phase timing breakdown afterwards "
+                             "(includes solver and lattice counters)")
     parser.add_argument("--cold", action="store_true",
                         help="drop the persistent IR cache first "
                              "(measure a from-scratch run)")
+    parser.add_argument("--solver", choices=("sparse", "dense"), default=None,
+                        help="taint fixpoint scheduler (default: $REPRO_SOLVER "
+                             "or sparse; dense is the reference escape hatch — "
+                             "both produce identical dependencies)")
     args = parser.parse_args(argv)
 
     from repro.analysis.extractor import extract_all
@@ -44,7 +49,7 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
         clear_cache(disk=True)
     if args.profile:
         reset_profile()
-    report = extract_all(jobs=args.jobs)
+    report = extract_all(jobs=args.jobs, solver=args.solver)
     print(render_table5(report))
     if args.profile:
         print()

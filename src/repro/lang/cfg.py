@@ -34,6 +34,51 @@ class CFG:
             for s in succs:
                 if s in self.pred:
                     self.pred[s].append(label)
+        self._rpo: Optional[Tuple[str, ...]] = None
+        # Error-exit queries are pure functions of the (immutable)
+        # blocks, and the constraint extractor asks them repeatedly for
+        # the same labels — cache per CFG.
+        self._error_exit: Dict[str, bool] = {}
+        self._error_path: Dict[Tuple[str, int], bool] = {}
+        self._branches: Optional[List[Branch]] = None
+
+    def reverse_postorder(self) -> Tuple[str, ...]:
+        """Block labels in reverse postorder from the entry (cached).
+
+        Unreachable blocks are appended afterwards in declaration
+        order: the taint analysis is flow-insensitive, so their
+        instructions still participate in the fixpoint.
+        """
+        if self._rpo is not None:
+            return self._rpo
+        blocks = self.func.blocks
+        order: List[str] = []
+        seen: Set[str] = set()
+        entry = self.func.entry
+        if entry in blocks:
+            # Iterative DFS with an explicit successor cursor so deep
+            # graphs cannot overflow the Python stack.
+            seen.add(entry)
+            stack: List[Tuple[str, int]] = [(entry, 0)]
+            while stack:
+                label, cursor = stack[-1]
+                succs = self.succ.get(label, ())
+                while cursor < len(succs) and (
+                    succs[cursor] in seen or succs[cursor] not in blocks
+                ):
+                    cursor += 1
+                if cursor < len(succs):
+                    stack[-1] = (label, cursor + 1)
+                    succ = succs[cursor]
+                    seen.add(succ)
+                    stack.append((succ, 0))
+                else:
+                    stack.pop()
+                    order.append(label)
+            order.reverse()
+        order.extend(label for label in blocks if label not in seen)
+        self._rpo = tuple(order)
+        return self._rpo
 
     def reachable_from(self, label: str) -> Set[str]:
         """Labels reachable from ``label`` (inclusive)."""
@@ -51,12 +96,31 @@ class CFG:
         """The basic block with the given label."""
         return self.func.blocks[label]
 
+    def branches(self) -> List[Branch]:
+        """Branch instructions in declaration order (cached)."""
+        if self._branches is None:
+            self._branches = [
+                instr
+                for block in self.func.blocks.values()
+                for instr in block.instrs
+                if type(instr) is Branch
+            ]
+        return self._branches
+
     # ------------------------------------------------------------------
     # error-exit queries
     # ------------------------------------------------------------------
 
     def block_is_error_exit(self, label: str) -> bool:
         """True when the block itself errors out (error call or ret < 0)."""
+        cached = self._error_exit.get(label)
+        if cached is not None:
+            return cached
+        result = self._block_is_error_exit(label)
+        self._error_exit[label] = result
+        return result
+
+    def _block_is_error_exit(self, label: str) -> bool:
         block = self.func.blocks.get(label)
         if block is None:
             return False
@@ -72,6 +136,15 @@ class CFG:
     def leads_to_error(self, label: str, max_depth: int = 3) -> bool:
         """True when an error exit is reachable within ``max_depth`` blocks
         without passing through a branch (i.e. unconditionally)."""
+        key = (label, max_depth)
+        cached = self._error_path.get(key)
+        if cached is not None:
+            return cached
+        result = self._leads_to_error(label, max_depth)
+        self._error_path[key] = result
+        return result
+
+    def _leads_to_error(self, label: str, max_depth: int) -> bool:
         current: Optional[str] = label
         for _ in range(max_depth + 1):
             if current is None:

@@ -77,7 +77,17 @@ Register = Union[Temp, Var]
 
 @dataclass
 class Instr:
-    """Base instruction; subclasses define defs()/uses()."""
+    """Base instruction; subclasses define defs()/uses().
+
+    ``flow_dst``/``flow_srcs`` describe the *taint dataflow* surface of
+    the instruction — the one value its transfer function may taint,
+    and the operand values whose taint feeds that transfer.  They
+    differ from ``defs``/``uses`` where taint semantics differ from
+    SSA-style def/use: a ``StoreIndex`` defines nothing but taints its
+    base aggregate, and a ``LoadField``'s output taint is independent
+    of its base operand.  The sparse worklist solver builds its
+    def-use edges from these.
+    """
 
     line: int = 0
 
@@ -85,6 +95,14 @@ class Instr:
         return ()
 
     def uses(self) -> Tuple[Value, ...]:
+        return ()
+
+    def flow_dst(self) -> Optional[Value]:
+        """The value this instruction's taint transfer may taint."""
+        return None
+
+    def flow_srcs(self) -> Tuple[Value, ...]:
+        """Operands whose taint feeds this instruction's transfer."""
         return ()
 
 
@@ -98,6 +116,12 @@ class Move(Instr):
         return (self.dst,)
 
     def uses(self):
+        return (self.src,)
+
+    def flow_dst(self):
+        return self.dst
+
+    def flow_srcs(self):
         return (self.src,)
 
     def __str__(self) -> str:
@@ -118,6 +142,12 @@ class BinOp(Instr):
     def uses(self):
         return (self.left, self.right)
 
+    def flow_dst(self):
+        return self.dst
+
+    def flow_srcs(self):
+        return (self.left, self.right)
+
     def __str__(self) -> str:
         return f"{self.dst} = {self.left} {self.op} {self.right}"
 
@@ -133,6 +163,12 @@ class UnOp(Instr):
         return (self.dst,)
 
     def uses(self):
+        return (self.operand,)
+
+    def flow_dst(self):
+        return self.dst
+
+    def flow_srcs(self):
         return (self.operand,)
 
     def __str__(self) -> str:
@@ -152,6 +188,11 @@ class LoadField(Instr):
 
     def uses(self):
         return (self.base,)
+
+    def flow_dst(self):
+        # Output taint is the field label (+ unit-wide injections),
+        # independent of the base operand's own taint.
+        return self.dst
 
     def __str__(self) -> str:
         return f"{self.dst} = load {self.base}->{self.field} [{self.struct}]"
@@ -185,6 +226,12 @@ class LoadIndex(Instr):
     def uses(self):
         return (self.base, self.index)
 
+    def flow_dst(self):
+        return self.dst
+
+    def flow_srcs(self):
+        return (self.base,)
+
     def __str__(self) -> str:
         return f"{self.dst} = {self.base}[{self.index}]"
 
@@ -198,6 +245,13 @@ class StoreIndex(Instr):
 
     def uses(self):
         return (self.base, self.index, self.src)
+
+    def flow_dst(self):
+        # Writing through an array cell taints the base aggregate.
+        return self.base
+
+    def flow_srcs(self):
+        return (self.src,)
 
     def __str__(self) -> str:
         return f"{self.base}[{self.index}] = {self.src}"
@@ -214,6 +268,14 @@ class CallInstr(Instr):
         return (self.dst,) if self.dst is not None else ()
 
     def uses(self):
+        return tuple(self.args)
+
+    def flow_dst(self):
+        return self.dst
+
+    def flow_srcs(self):
+        # Arguments only matter for taint-preserving callees; the
+        # engine filters, the edge set just has to be a superset.
         return tuple(self.args)
 
     def __str__(self) -> str:

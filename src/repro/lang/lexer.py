@@ -6,15 +6,47 @@ in.  Expanded tokens remember the macro name in ``Token.macro`` — the
 analyzer uses this to recognize feature-bit constants like
 ``EXT2_FEATURE_COMPAT_SPARSE_SUPER2`` even after substitution.
 ``#include`` lines are skipped (the corpus is self-contained).
+
+Two scanners produce identical token streams:
+
+- ``regex`` (default) — one compiled master pattern consumes a whole
+  token (or whitespace/comment run) per match, tracking line/column
+  from the matched text;
+- ``scan`` — the original per-character scanner, kept as the reference
+  and the error path: whenever the master pattern cannot match (an
+  unterminated literal, an unknown character, a malformed hex prefix),
+  the regex scanner hands that position to the per-character scanner
+  so diagnostics stay byte-identical.
+
+Select with ``REPRO_LEX=regex|scan``.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+import re
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional
 
 from repro.errors import LexError
+
+#: Environment knob selecting the scanner implementation.
+LEX_ENV = "REPRO_LEX"
+
+#: Recognized scanner names (first is the default).
+LEX_MODES = ("regex", "scan")
+
+
+def resolve_lex_mode(explicit: Optional[str] = None) -> str:
+    """The scanner to use: ``explicit`` arg, else $REPRO_LEX, else regex."""
+    mode = explicit or os.environ.get(LEX_ENV, "").strip().lower() or LEX_MODES[0]
+    if mode not in LEX_MODES:
+        raise ValueError(
+            f"unknown lexer mode {mode!r}; expected one of {', '.join(LEX_MODES)}"
+        )
+    return mode
+
 
 KEYWORDS = {
     "int", "unsigned", "long", "short", "char", "void", "float", "double",
@@ -32,6 +64,48 @@ _OPERATORS = [
     "?", ":", ",", ";", ".", "(", ")", "{", "}", "[", "]",
 ]
 
+#: Character-literal escapes (shared by both scanners).
+_CHAR_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, "r": 13}
+
+#: One master pattern, one token per match.  The leading non-capturing
+#: part swallows the whitespace/comment run in front of the token, so
+#: the scanner pays one regex call per *token* rather than one per
+#: lexeme-or-gap.  Alternation order matters: the skip part runs first
+#: (so ``//`` and ``/*`` never lex as division), hex before decimal,
+#: and the operator branch reuses ``_OPERATORS``'s longest-first order
+#: for maximal munch.  The token part is optional: a match with no
+#: group is a pure gap (trailing space, or space in front of a ``#``
+#: directive or an error), and a zero-width match hands the position
+#: to the per-character scanner, which owns all error diagnostics.
+#: Inside the operator branch, punctuation that is no prefix of any
+#: longer operator leads as one charset (a single test for the most
+#: common tokens); the rest keeps ``_OPERATORS``'s longest-first
+#: order so maximal munch is unchanged.
+_MASTER = re.compile(
+    r"""
+    (?: [ \t\r\n]+ | //[^\n]* | /\*.*?\*/ )*
+    (?:
+      (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<hex>0[xX][0-9a-fA-F]+[uUlL]*)
+    | (?P<int>[0-9]+[uUlL]*)
+    | (?P<string>"(?:\\.|[^"\\])*")
+    | (?P<char>'(?:\\.|[^'\\])')
+    | (?P<op>[;,()\[\]{}~?:]
+             |""" + "|".join(re.escape(op) for op in _OPERATORS
+                             if op not in ";,()[]{}~?:") + r""")
+    )?
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+#: Group numbers for integer dispatch on ``match.lastindex``.
+_G_IDENT = _MASTER.groupindex["ident"]
+_G_HEX = _MASTER.groupindex["hex"]
+_G_INT = _MASTER.groupindex["int"]
+_G_STRING = _MASTER.groupindex["string"]
+_G_CHAR = _MASTER.groupindex["char"]
+_G_OP = _MASTER.groupindex["op"]
+
 
 class TokenKind(enum.Enum):
     """Lexical token categories."""
@@ -44,7 +118,7 @@ class TokenKind(enum.Enum):
     EOF = "eof"
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     """One lexical token with position and macro origin."""
     kind: TokenKind
@@ -69,9 +143,11 @@ class MacroDef:
 class Lexer:
     """Tokenize one translation unit."""
 
-    def __init__(self, source: str, filename: str = "<input>") -> None:
+    def __init__(self, source: str, filename: str = "<input>",
+                 mode: Optional[str] = None) -> None:
         self.source = source
         self.filename = filename
+        self.mode = resolve_lex_mode(mode)
         self.pos = 0
         self.line = 1
         self.col = 1
@@ -93,6 +169,11 @@ class Lexer:
     # ------------------------------------------------------------------
 
     def _raw_tokens(self) -> List[Token]:
+        if self.mode == "regex":
+            return self._raw_tokens_regex()
+        return self._raw_tokens_scan()
+
+    def _raw_tokens_scan(self) -> List[Token]:
         out: List[Token] = []
         while True:
             self._skip_space_and_comments()
@@ -104,6 +185,124 @@ class Lexer:
                 continue
             token = self._next_token()
             out.append(token)
+
+    def _raw_tokens_regex(self) -> List[Token]:
+        """Master-pattern scanner; see the module docstring.
+
+        Position tracking lives in locals (the per-character
+        ``_advance`` is the old scanner's hot spot) and syncs with the
+        instance fields around the two slow paths: directives and
+        anything the pattern cannot match.
+        """
+        out: List[Token] = []
+        append = out.append
+        src = self.source
+        n = len(src)
+        match_at = _MASTER.match
+        keywords = KEYWORDS
+        tok = Token
+        keyword, ident = TokenKind.KEYWORD, TokenKind.IDENT
+        op_kind, int_kind = TokenKind.OP, TokenKind.INT
+        pos, line, col = self.pos, self.line, self.col
+        while pos < n:
+            if src[pos] == "#":
+                self.pos, self.line, self.col = pos, line, col
+                self._directive(out)
+                pos, line, col = self.pos, self.line, self.col
+                continue
+            m = match_at(src, pos)
+            idx = m.lastindex
+            if idx is None:
+                # Pure gap: whitespace/comments up to EOF, a ``#``, or
+                # something the pattern cannot lex.  Zero width means
+                # no progress — the reference scanner owns the error.
+                end = m.end()
+                if end == pos:
+                    self.pos, self.line, self.col = pos, line, col
+                    out.append(self._next_token())
+                    pos, line, col = self.pos, self.line, self.col
+                    continue
+                gap = src[pos:end]
+                newlines = gap.count("\n")
+                if newlines:
+                    line += newlines
+                    col = len(gap) - gap.rfind("\n")
+                else:
+                    col += len(gap)
+                pos = end
+                continue
+            start, end = m.span(idx)
+            if start != pos:
+                # Skip prefix in front of the token.
+                gap = src[pos:start]
+                newlines = gap.count("\n")
+                if newlines:
+                    line += newlines
+                    col = len(gap) - gap.rfind("\n")
+                else:
+                    col += len(gap)
+                pos = start
+            text = src[start:end]
+            if idx == _G_IDENT:
+                append(tok(
+                    keyword if text in keywords else ident,
+                    text, line, col,
+                ))
+                pos = end
+                col += end - start  # identifiers never span lines
+                continue
+            if idx == _G_OP:
+                if text == "/" and src.startswith("/*", pos):
+                    # ``bcomment`` only loses to ``op`` when unclosed.
+                    raise LexError("unterminated block comment",
+                                   self.filename, line, col)
+                append(tok(op_kind, text, line, col))
+                pos = end
+                col += end - start
+                continue
+            if idx == _G_INT:
+                if end < n and text == "0" and src[end] in "xX":
+                    # '0' then 'x': a hex prefix with no digits; the
+                    # reference scanner owns the (mis)handling.
+                    self.pos, self.line, self.col = pos, line, col
+                    out.append(self._next_token())
+                    pos, line, col = self.pos, self.line, self.col
+                    continue
+                append(tok(int_kind, text, line, col,
+                           value=int(text.rstrip("uUlL"))))
+                pos = end
+                col += end - start
+                continue
+            if idx == _G_HEX:
+                append(tok(int_kind, text, line, col,
+                           value=int(text.rstrip("uUlL"), 16)))
+                pos = end
+                col += end - start
+                continue
+            if idx == _G_STRING:
+                append(tok(TokenKind.STRING, text[1:-1], line, col))
+            else:  # char literal
+                if text[1] == "\\" and text[2] not in _CHAR_ESCAPES:
+                    # an escape the reference scanner rejects
+                    self.pos, self.line, self.col = pos, line, col
+                    out.append(self._next_token())
+                    pos, line, col = self.pos, self.line, self.col
+                    continue
+                body = text[1:-1]
+                value = (_CHAR_ESCAPES[body[1]] if body[0] == "\\"
+                         else ord(body))
+                append(tok(TokenKind.CHAR, body, line, col, value=value))
+            # Only string literals can span lines, so the newline count
+            # lives on this shared tail.
+            pos = end
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                col = len(text) - text.rfind("\n")
+            else:
+                col += len(text)
+        self.pos, self.line, self.col = pos, line, col
+        return out
 
     def _skip_space_and_comments(self) -> None:
         src = self.source
@@ -145,7 +344,7 @@ class Lexer:
                     self.filename, line_start, 1,
                 )
             replacement = rest[name_end:].strip()
-            sub = Lexer(replacement, self.filename)
+            sub = Lexer(replacement, self.filename, mode=self.mode)
             sub.line = line_start
             tokens = sub._raw_tokens()
             for t in tokens:
@@ -158,17 +357,23 @@ class Lexer:
 
     def _take_logical_line(self) -> str:
         """Consume to end of line, honouring backslash continuations."""
-        start = self.pos
         src = self.source
-        while self.pos < len(src):
-            if src[self.pos] == "\\" and self.pos + 1 < len(src) and src[self.pos + 1] == "\n":
-                self._advance(2)
+        n = len(src)
+        start = pos = self.pos
+        line, col = self.line, self.col
+        while pos < n:
+            ch = src[pos]
+            if ch == "\\" and pos + 1 < n and src[pos + 1] == "\n":
+                pos += 2
+                line += 1
+                col = 1
                 continue
-            if src[self.pos] == "\n":
+            if ch == "\n":
                 break
-            self._advance(1)
-        text = src[start:self.pos].replace("\\\n", " ")
-        return text
+            pos += 1
+            col += 1
+        self.pos, self.line, self.col = pos, line, col
+        return src[start:pos].replace("\\\n", " ")
 
     def _next_token(self) -> Token:
         src = self.source
@@ -236,11 +441,10 @@ class Lexer:
         if self.pos >= len(src):
             raise LexError("unterminated character literal", self.filename, line, col)
         if src[self.pos] == "\\":
-            escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, "r": 13}
             esc = src[self.pos + 1]
-            if esc not in escapes:
+            if esc not in _CHAR_ESCAPES:
                 raise LexError(f"unknown escape \\{esc}", self.filename, line, col)
-            value = escapes[esc]
+            value = _CHAR_ESCAPES[esc]
             text = "\\" + esc
             self._advance(2)
         else:
@@ -258,18 +462,24 @@ class Lexer:
 
     def _expand(self, tokens: List[Token], active: Optional[frozenset] = None) -> List[Token]:
         """Recursively expand macros; re-expansion of an active macro stops."""
+        macros = self.macros
+        if not macros:
+            return tokens
         active = active or frozenset()
         out: List[Token] = []
+        append = out.append
+        ident = TokenKind.IDENT
         for token in tokens:
             name = token.text
-            if token.kind is TokenKind.IDENT and name in self.macros and name not in active:
-                macro = self.macros[name]
+            # The dict probe rejects almost every token; check it first.
+            if name in macros and token.kind is ident and name not in active:
+                macro = macros[name]
                 inner = self._expand(macro.tokens, active | {name})
                 for repl in inner:
-                    out.append(Token(repl.kind, repl.text, token.line, token.col,
-                                     value=repl.value, macro=repl.macro or name))
+                    append(Token(repl.kind, repl.text, token.line, token.col,
+                                 value=repl.value, macro=repl.macro or name))
             else:
-                out.append(token)
+                append(token)
         return out
 
     # ------------------------------------------------------------------
@@ -289,6 +499,7 @@ class Lexer:
         self._advance(pos - self.pos)
 
 
-def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+def tokenize(source: str, filename: str = "<input>",
+             mode: Optional[str] = None) -> List[Token]:
     """Convenience wrapper: tokenize ``source`` with macro expansion."""
-    return Lexer(source, filename).tokenize()
+    return Lexer(source, filename, mode=mode).tokenize()

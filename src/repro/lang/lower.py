@@ -54,6 +54,10 @@ class FunctionLowering:
         self._select_counter = 0
         self.current = self._new_block("entry")
         self.func.entry = "entry"
+        #: Whether ``current`` already has a terminator.  Mirrors
+        #: ``current.terminator is not None`` so the per-instruction
+        #: emit check is one flag read instead of a property scan.
+        self._sealed = False
         self._break_stack: List[str] = []
         self._continue_stack: List[str] = []
         self._goto_labels: Dict[str, BasicBlock] = {}
@@ -74,15 +78,24 @@ class FunctionLowering:
         return block
 
     def _emit(self, instr: Instr) -> None:
-        if self.current.terminator is None:
+        """Append a non-terminator to the current block (if still open)."""
+        if not self._sealed:
             self.current.instrs.append(instr)
+
+    def _emit_term(self, instr: Instr) -> None:
+        """Append a terminator (Branch/Ret) and seal the block."""
+        if not self._sealed:
+            self.current.instrs.append(instr)
+            self._sealed = True
 
     def _switch_to(self, block: BasicBlock) -> None:
         self.current = block
+        self._sealed = block.terminator is not None
 
     def _terminate_with_jump(self, target: str) -> None:
-        if self.current.terminator is None:
+        if not self._sealed:
             self.current.instrs.append(Jump(0, target))
+            self._sealed = True
 
     # ------------------------------------------------------------------
     # entry
@@ -104,38 +117,41 @@ class FunctionLowering:
     # ------------------------------------------------------------------
 
     def _lower_stmt(self, stmt: A.Stmt) -> None:
-        if isinstance(stmt, A.Block):
+        # Exact-type dispatch (the AST hierarchy is flat), most common
+        # statement kinds first.
+        t = type(stmt)
+        if t is A.ExprStmt:
+            self._lower_expr(stmt.expr)
+        elif t is A.If:
+            self._lower_if(stmt)
+        elif t is A.Block:
             for child in stmt.statements:
                 self._lower_stmt(child)
-        elif isinstance(stmt, A.VarDecl):
+        elif t is A.VarDecl:
             if stmt.init is not None:
                 value = self._lower_expr(stmt.init)
                 self._emit(Move(stmt.line, Var(stmt.name), value))
-        elif isinstance(stmt, A.ExprStmt):
-            self._lower_expr(stmt.expr)
-        elif isinstance(stmt, A.If):
-            self._lower_if(stmt)
-        elif isinstance(stmt, A.While):
-            self._lower_while(stmt)
-        elif isinstance(stmt, A.For):
-            self._lower_for(stmt)
-        elif isinstance(stmt, A.Return):
+        elif t is A.Return:
             value = self._lower_expr(stmt.value) if stmt.value is not None else None
-            self._emit(Ret(stmt.line, value))
-        elif isinstance(stmt, A.Break):
+            self._emit_term(Ret(stmt.line, value))
+        elif t is A.While:
+            self._lower_while(stmt)
+        elif t is A.For:
+            self._lower_for(stmt)
+        elif t is A.Break:
             if not self._break_stack:
                 raise LoweringError(f"{self.filename}:{stmt.line}: break outside loop/switch")
             self._terminate_with_jump(self._break_stack[-1])
-        elif isinstance(stmt, A.Continue):
+        elif t is A.Continue:
             if not self._continue_stack:
                 raise LoweringError(f"{self.filename}:{stmt.line}: continue outside loop")
             self._terminate_with_jump(self._continue_stack[-1])
-        elif isinstance(stmt, A.Switch):
+        elif t is A.Switch:
             self._lower_switch(stmt)
-        elif isinstance(stmt, A.Goto):
+        elif t is A.Goto:
             target = self._goto_block(stmt.label)
             self._terminate_with_jump(target.label)
-        elif isinstance(stmt, A.Label):
+        elif t is A.Label:
             target = self._goto_block(stmt.name)
             self._terminate_with_jump(target.label)
             self._switch_to(target)
@@ -153,7 +169,7 @@ class FunctionLowering:
         then_block = self._new_block("if.then")
         else_block = self._new_block("if.else") if stmt.otherwise else None
         merge = self._new_block("if.end")
-        self._emit(Branch(stmt.line, cond, then_block.label,
+        self._emit_term(Branch(stmt.line, cond, then_block.label,
                           (else_block or merge).label))
         self._switch_to(then_block)
         self._lower_stmt(stmt.then)
@@ -174,7 +190,7 @@ class FunctionLowering:
             self._terminate_with_jump(head.label)
         self._switch_to(head)
         cond = self._lower_expr(stmt.cond)
-        self._emit(Branch(stmt.line, cond, body.label, end.label))
+        self._emit_term(Branch(stmt.line, cond, body.label, end.label))
         self._switch_to(body)
         self._break_stack.append(end.label)
         self._continue_stack.append(head.label)
@@ -195,7 +211,7 @@ class FunctionLowering:
         self._switch_to(head)
         if stmt.cond is not None:
             cond = self._lower_expr(stmt.cond)
-            self._emit(Branch(stmt.line, cond, body.label, end.label))
+            self._emit_term(Branch(stmt.line, cond, body.label, end.label))
         else:
             self._terminate_with_jump(body.label)
         self._switch_to(body)
@@ -225,7 +241,7 @@ class FunctionLowering:
             cmp = self._new_temp()
             self._emit(BinOp(case.line, cmp, "==", subject, value))
             next_test = self._new_block(f"switch.test.{i}")
-            self._emit(Branch(case.line, cmp, body_blocks[i].label, next_test.label))
+            self._emit_term(Branch(case.line, cmp, body_blocks[i].label, next_test.label))
             self._switch_to(next_test)
         self._terminate_with_jump(
             body_blocks[default_index].label if default_index is not None else end.label
@@ -246,13 +262,14 @@ class FunctionLowering:
     # ------------------------------------------------------------------
 
     def _lower_expr(self, expr: A.Expr) -> Value:
-        if isinstance(expr, A.IntLit):
-            return Const(expr.value, expr.macro)
-        if isinstance(expr, A.StrLit):
-            return StrConst(expr.value)
-        if isinstance(expr, A.Ident):
+        # Exact-type dispatch (the AST hierarchy is flat), most common
+        # expression kinds first.
+        t = type(expr)
+        if t is A.Ident:
             return Var(expr.name)
-        if isinstance(expr, A.Binary):
+        if t is A.IntLit:
+            return Const(expr.value, expr.macro)
+        if t is A.Binary:
             if expr.op == ",":
                 self._lower_expr(expr.left)
                 return self._lower_expr(expr.right)
@@ -261,39 +278,41 @@ class FunctionLowering:
             dst = self._new_temp()
             self._emit(BinOp(expr.line, dst, expr.op, left, right))
             return dst
-        if isinstance(expr, A.Unary):
-            return self._lower_unary(expr)
-        if isinstance(expr, A.Assign):
-            return self._lower_assign(expr)
-        if isinstance(expr, A.Call):
-            args = [self._lower_expr(a) for a in expr.args]
-            dst = self._new_temp()
-            self._emit(CallInstr(expr.line, dst, expr.func, args))
-            return dst
-        if isinstance(expr, A.Member):
+        if t is A.Member:
             base = self._lower_expr(expr.base)
             struct = self._struct_of(expr.base)
             dst = self._new_temp()
             self._emit(LoadField(expr.line, dst, base, struct, expr.field_name))
             return dst
-        if isinstance(expr, A.Index):
+        if t is A.Call:
+            args = [self._lower_expr(a) for a in expr.args]
+            dst = self._new_temp()
+            self._emit(CallInstr(expr.line, dst, expr.func, args))
+            return dst
+        if t is A.Assign:
+            return self._lower_assign(expr)
+        if t is A.Unary:
+            return self._lower_unary(expr)
+        if t is A.StrLit:
+            return StrConst(expr.value)
+        if t is A.Index:
             base = self._lower_expr(expr.base)
             index = self._lower_expr(expr.index)
             dst = self._new_temp()
             self._emit(LoadIndex(expr.line, dst, base, index))
             return dst
-        if isinstance(expr, A.Ternary):
+        if t is A.Ternary:
             return self._lower_ternary(expr)
-        if isinstance(expr, A.Cast):
+        if t is A.Cast:
             return self._lower_expr(expr.operand)
-        if isinstance(expr, A.SizeOf):
+        if t is A.SizeOf:
             return Const(8)
-        if isinstance(expr, A.AddressOf):
+        if t is A.AddressOf:
             operand = self._lower_expr(expr.operand)
             dst = self._new_temp()
             self._emit(UnOp(expr.line, dst, "&", operand))
             return dst
-        if isinstance(expr, A.Deref):
+        if t is A.Deref:
             operand = self._lower_expr(expr.operand)
             dst = self._new_temp()
             self._emit(UnOp(expr.line, dst, "*", operand))
@@ -323,7 +342,7 @@ class FunctionLowering:
         then_block = self._new_block("sel.then")
         else_block = self._new_block("sel.else")
         merge = self._new_block("sel.end")
-        self._emit(Branch(expr.line, cond, then_block.label, else_block.label))
+        self._emit_term(Branch(expr.line, cond, then_block.label, else_block.label))
         self._switch_to(then_block)
         then_value = self._lower_expr(expr.then)
         self._emit(Move(expr.line, select, then_value))

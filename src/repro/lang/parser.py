@@ -4,10 +4,23 @@ Produces the AST of :mod:`repro.lang.ast_nodes`.  The accepted grammar
 covers everything the modelled corpus uses: struct/enum/typedef
 declarations, functions, the full statement set (including ``switch``
 and ``do``/``while``), and C expressions with standard precedence.
+
+Binary expressions parse through one of two equivalent engines:
+
+- ``climb`` (default) — precedence climbing with a single operator →
+  precedence table: one recursion level per *operand*, not one per
+  grammar level, so ``a + b`` costs 2 calls instead of 11;
+- ``ladder`` — the original 10-level recursive ladder, kept as the
+  reference implementation.
+
+Ladder level ``L`` corresponds to climbing with minimum precedence
+``L + 1`` and both build left-associative trees, so the ASTs are
+identical node for node.  Select with ``REPRO_PARSER=climb|ladder``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Set, Tuple
 
 from repro.errors import ParseError
@@ -21,13 +34,46 @@ _TYPE_KEYWORDS = {"void", "char", "short", "int", "long", "float", "double",
 
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
 
+#: Tokens that continue a postfix expression (or start a call).
+_POSTFIX_START = {".", "->", "[", "++", "--", "("}
+
+#: Environment knob selecting the binary-expression engine.
+PARSER_ENV = "REPRO_PARSER"
+
+#: Recognized engine names (first is the default).
+PARSER_MODES = ("climb", "ladder")
+
+
+def resolve_parser_mode(explicit: Optional[str] = None) -> str:
+    """The engine to use: ``explicit`` arg, else $REPRO_PARSER, else climb."""
+    mode = explicit or os.environ.get(PARSER_ENV, "").strip().lower() or PARSER_MODES[0]
+    if mode not in PARSER_MODES:
+        raise ValueError(
+            f"unknown parser mode {mode!r}; expected one of {', '.join(PARSER_MODES)}"
+        )
+    return mode
+
+
+#: Binary operator -> precedence (higher binds tighter); all left-assoc.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
 
 class Parser:
     """Parse one translation unit."""
 
-    def __init__(self, tokens: List[Token], filename: str = "<input>") -> None:
+    def __init__(self, tokens: List[Token], filename: str = "<input>",
+                 mode: Optional[str] = None) -> None:
         self.tokens = tokens
         self.filename = filename
+        self.mode = resolve_parser_mode(mode)
+        self._climb = self.mode == "climb"
         self.pos = 0
         self.typedef_names: Set[str] = set()
         self.enum_constants: Set[str] = set()
@@ -37,33 +83,39 @@ class Parser:
     # ------------------------------------------------------------------
 
     def _peek(self, offset: int = 0) -> Token:
-        idx = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[idx]
+        tokens = self.tokens
+        idx = self.pos + offset
+        return tokens[idx] if idx < len(tokens) else tokens[-1]
 
     def _next(self) -> Token:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.kind is not TokenKind.EOF:
             self.pos += 1
         return token
 
     def _check(self, text: str) -> bool:
-        token = self._peek()
-        return token.text == text and token.kind in (TokenKind.OP, TokenKind.KEYWORD)
+        token = self.tokens[self.pos]
+        return token.text == text and (token.kind is TokenKind.OP
+                                       or token.kind is TokenKind.KEYWORD)
 
     def _accept(self, text: str) -> bool:
-        if self._check(text):
-            self._next()
+        token = self.tokens[self.pos]
+        if token.text == text and (token.kind is TokenKind.OP
+                                   or token.kind is TokenKind.KEYWORD):
+            self.pos += 1
             return True
         return False
 
     def _expect(self, text: str) -> Token:
-        token = self._peek()
-        if not self._check(text):
-            raise ParseError(
-                f"expected {text!r}, found {token.text!r}",
-                self.filename, token.line, token.col,
-            )
-        return self._next()
+        token = self.tokens[self.pos]
+        if token.text == text and (token.kind is TokenKind.OP
+                                   or token.kind is TokenKind.KEYWORD):
+            self.pos += 1
+            return token
+        raise ParseError(
+            f"expected {text!r}, found {token.text!r}",
+            self.filename, token.line, token.col,
+        )
 
     def _expect_ident(self) -> Token:
         token = self._peek()
@@ -240,8 +292,14 @@ class Parser:
         return token.kind is TokenKind.IDENT and token.text in self.typedef_names
 
     def _parse_type_spec(self) -> CType:
-        while self._check("const") or self._check("static") or self._check("extern"):
-            self._next()
+        tokens = self.tokens
+        while True:
+            token = tokens[self.pos]
+            if (token.kind is TokenKind.KEYWORD
+                    and token.text in ("const", "static", "extern")):
+                self.pos += 1
+            else:
+                break
         unsigned = False
         if self._accept("unsigned"):
             unsigned = True
@@ -292,48 +350,64 @@ class Parser:
         return A.Block(start.line, statements)
 
     def _parse_statement(self) -> A.Stmt:
-        token = self._peek()
-        if self._check("{"):
-            return self._parse_block()
-        if self._check("if"):
-            return self._parse_if()
-        if self._check("while"):
-            return self._parse_while()
-        if self._check("do"):
-            return self._parse_do_while()
-        if self._check("for"):
-            return self._parse_for()
-        if self._check("switch"):
-            return self._parse_switch()
-        if self._check("return"):
-            self._next()
-            value = None
-            if not self._check(";"):
-                value = self._parse_expression()
-            self._expect(";")
-            return A.Return(token.line, value)
-        if self._check("break"):
-            self._next()
-            self._expect(";")
-            return A.Break(token.line)
-        if self._check("continue"):
-            self._next()
-            self._expect(";")
-            return A.Continue(token.line)
-        if self._check("goto"):
-            self._next()
-            label = self._expect_ident()
-            self._expect(";")
-            return A.Goto(token.line, label.text)
-        if (token.kind is TokenKind.IDENT and self._peek(1).text == ":"
-                and self._peek(2).text != ":"):
-            self._next()
-            self._next()
-            return A.Label(token.line, token.text)
-        if self._starts_type():
-            return self._parse_var_decl()
-        if self._accept(";"):
-            return A.Block(token.line, [])
+        token = self.tokens[self.pos]
+        kind = token.kind
+        # Single dispatch on the already-fetched token: keywords and
+        # ``{``/``;`` can only arrive as KEYWORD/OP tokens, so one text
+        # comparison replaces the old chain of _check calls.
+        if kind is TokenKind.KEYWORD or kind is TokenKind.OP:
+            text = token.text
+            if text == "{":
+                return self._parse_block()
+            if text == "if":
+                return self._parse_if()
+            if text == "while":
+                return self._parse_while()
+            if text == "do":
+                return self._parse_do_while()
+            if text == "for":
+                return self._parse_for()
+            if text == "switch":
+                return self._parse_switch()
+            if text == "return":
+                self.pos += 1
+                value = None
+                if not self._check(";"):
+                    value = self._parse_expression()
+                self._expect(";")
+                return A.Return(token.line, value)
+            if text == "break":
+                self.pos += 1
+                self._expect(";")
+                return A.Break(token.line)
+            if text == "continue":
+                self.pos += 1
+                self._expect(";")
+                return A.Continue(token.line)
+            if text == "goto":
+                self.pos += 1
+                label = self._expect_ident()
+                self._expect(";")
+                return A.Goto(token.line, label.text)
+            if text == ";":
+                self.pos += 1
+                return A.Block(token.line, [])
+            # Remaining keywords: either a declaration type or an
+            # expression keyword (sizeof) — same split _starts_type
+            # makes, without re-fetching the token.
+            if kind is TokenKind.KEYWORD and text in _TYPE_KEYWORDS:
+                return self._parse_var_decl()
+        elif kind is TokenKind.IDENT:
+            # Labels: ``name :`` not followed by another ``:``.  The
+            # stream always ends in EOF (text ""), so pos+1 is safe,
+            # and pos+2 exists whenever pos+1 is not the EOF.
+            tokens = self.tokens
+            if (tokens[self.pos + 1].text == ":"
+                    and tokens[self.pos + 2].text != ":"):
+                self.pos += 2
+                return A.Label(token.line, token.text)
+            if token.text in self.typedef_names:
+                return self._parse_var_decl()
         expr = self._parse_expression()
         self._expect(";")
         return A.ExprStmt(token.line, expr)
@@ -458,15 +532,18 @@ class Parser:
 
     def _parse_assignment(self) -> A.Expr:
         left = self._parse_ternary()
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.kind is TokenKind.OP and token.text in _ASSIGN_OPS:
-            self._next()
+            self.pos += 1
             value = self._parse_assignment()
             return A.Assign(left.line, token.text, left, value)
         return left
 
     def _parse_ternary(self) -> A.Expr:
-        cond = self._parse_binary(0)
+        if self._climb:
+            cond = self._parse_binary_climb(1)
+        else:
+            cond = self._parse_binary(0)
         if self._accept("?"):
             then = self._parse_assignment()
             self._expect(":")
@@ -488,6 +565,7 @@ class Parser:
     ]
 
     def _parse_binary(self, level: int) -> A.Expr:
+        """Reference engine: one recursion level per grammar level."""
         if level >= len(self._BINARY_LEVELS):
             return self._parse_unary()
         ops = self._BINARY_LEVELS[level]
@@ -501,37 +579,71 @@ class Parser:
             else:
                 return expr
 
+    def _parse_binary_climb(self, min_prec: int) -> A.Expr:
+        """Precedence climbing over :data:`_PRECEDENCE`.
+
+        Recursing with ``prec + 1`` for the right operand makes every
+        operator left-associative — the same trees the ladder builds.
+        """
+        expr = self._parse_unary()
+        tokens = self.tokens
+        get_prec = _PRECEDENCE.get
+        while True:
+            token = tokens[self.pos]
+            if token.kind is not TokenKind.OP:
+                return expr
+            prec = get_prec(token.text)
+            if prec is None or prec < min_prec:
+                return expr
+            self.pos += 1
+            right = self._parse_binary_climb(prec + 1)
+            expr = A.Binary(expr.line, token.text, expr, right)
+
     def _parse_unary(self) -> A.Expr:
-        token = self._peek()
-        if token.kind is TokenKind.OP:
-            if token.text in ("!", "~", "-", "+"):
-                self._next()
+        tokens = self.tokens
+        token = tokens[self.pos]
+        kind = token.kind
+        # Plain atoms (an identifier or literal with no postfix
+        # continuation) are the bulk of all expressions; build them
+        # here instead of descending through postfix and primary.
+        if kind is TokenKind.IDENT:
+            if tokens[self.pos + 1].text not in _POSTFIX_START:
+                self.pos += 1
+                return A.Ident(token.line, token.text)
+        elif kind is TokenKind.INT or kind is TokenKind.CHAR:
+            if tokens[self.pos + 1].text not in _POSTFIX_START:
+                self.pos += 1
+                return A.IntLit(token.line, token.value, token.macro)
+        elif kind is TokenKind.OP:
+            text = token.text
+            if text in ("!", "~", "-", "+"):
+                self.pos += 1
                 operand = self._parse_unary()
-                if token.text == "+":
+                if text == "+":
                     return operand
-                return A.Unary(token.line, token.text, operand)
-            if token.text in ("++", "--"):
-                self._next()
+                return A.Unary(token.line, text, operand)
+            if text in ("++", "--"):
+                self.pos += 1
                 operand = self._parse_unary()
-                return A.Unary(token.line, token.text, operand, prefix=True)
-            if token.text == "&":
-                self._next()
+                return A.Unary(token.line, text, operand, prefix=True)
+            if text == "&":
+                self.pos += 1
                 operand = self._parse_unary()
                 return A.AddressOf(token.line, operand)
-            if token.text == "*":
-                self._next()
+            if text == "*":
+                self.pos += 1
                 operand = self._parse_unary()
                 return A.Deref(token.line, operand)
-            if token.text == "(" and self._is_cast():
-                self._next()
+            if text == "(" and self._is_cast():
+                self.pos += 1
                 ctype = self._parse_type_spec()
                 while self._accept("*"):
                     ctype = ctype.pointer_to()
                 self._expect(")")
                 operand = self._parse_unary()
                 return A.Cast(token.line, ctype, operand)
-        if self._check("sizeof"):
-            self._next()
+        elif kind is TokenKind.KEYWORD and token.text == "sizeof":
+            self.pos += 1
             self._expect("(")
             if self._starts_type():
                 ctype = self._parse_type_spec()
@@ -555,39 +667,41 @@ class Parser:
 
     def _parse_postfix(self) -> A.Expr:
         expr = self._parse_primary()
+        tokens = self.tokens
         while True:
-            token = self._peek()
-            if self._accept("."):
+            token = tokens[self.pos]
+            # Every postfix continuation is an operator token.
+            if token.kind is not TokenKind.OP:
+                return expr
+            text = token.text
+            if text == ".":
+                self.pos += 1
                 name = self._expect_ident()
                 expr = A.Member(token.line, expr, name.text, arrow=False)
-            elif self._accept("->"):
+            elif text == "->":
+                self.pos += 1
                 name = self._expect_ident()
                 expr = A.Member(token.line, expr, name.text, arrow=True)
-            elif self._accept("["):
+            elif text == "[":
+                self.pos += 1
                 index = self._parse_expression()
                 self._expect("]")
                 expr = A.Index(token.line, expr, index)
-            elif token.text in ("++", "--") and token.kind is TokenKind.OP:
-                self._next()
-                expr = A.Unary(token.line, token.text, expr, prefix=False)
+            elif text == "++" or text == "--":
+                self.pos += 1
+                expr = A.Unary(token.line, text, expr, prefix=False)
             else:
                 return expr
 
     def _parse_primary(self) -> A.Expr:
-        token = self._peek()
-        if token.kind is TokenKind.INT:
-            self._next()
-            return A.IntLit(token.line, token.value, token.macro)
-        if token.kind is TokenKind.CHAR:
-            self._next()
-            return A.IntLit(token.line, token.value, token.macro)
-        if token.kind is TokenKind.STRING:
-            self._next()
-            return A.StrLit(token.line, token.text)
-        if token.kind is TokenKind.IDENT:
-            self._next()
-            if self._check("("):
-                self._next()
+        tokens = self.tokens
+        token = tokens[self.pos]
+        kind = token.kind
+        if kind is TokenKind.IDENT:
+            self.pos += 1
+            nxt = tokens[self.pos]
+            if nxt.kind is TokenKind.OP and nxt.text == "(":
+                self.pos += 1
                 args: List[A.Expr] = []
                 if not self._check(")"):
                     while True:
@@ -597,14 +711,27 @@ class Parser:
                 self._expect(")")
                 return A.Call(token.line, token.text, args)
             return A.Ident(token.line, token.text)
-        if self._accept("("):
+        if kind is TokenKind.INT or kind is TokenKind.CHAR:
+            self.pos += 1
+            return A.IntLit(token.line, token.value, token.macro)
+        if kind is TokenKind.STRING:
+            self.pos += 1
+            return A.StrLit(token.line, token.text)
+        if kind is TokenKind.OP and token.text == "(":
+            self.pos += 1
             expr = self._parse_expression()
             self._expect(")")
             return expr
         raise self._error(f"unexpected token {token.text!r} in expression")
 
 
-def parse(source: str, filename: str = "<input>") -> A.TranslationUnit:
-    """Tokenize and parse ``source`` into a translation unit."""
-    tokens = tokenize(source, filename)
-    return Parser(tokens, filename).parse_unit()
+def parse(source: str, filename: str = "<input>",
+          lex_mode: Optional[str] = None,
+          parser_mode: Optional[str] = None) -> A.TranslationUnit:
+    """Tokenize and parse ``source`` into a translation unit.
+
+    ``lex_mode``/``parser_mode`` pick the scanner and binary-expression
+    engines (``None`` defers to ``$REPRO_LEX``/``$REPRO_PARSER``).
+    """
+    tokens = tokenize(source, filename, mode=lex_mode)
+    return Parser(tokens, filename, mode=parser_mode).parse_unit()

@@ -85,6 +85,9 @@ class SemanticAnalyzer:
         self.functions: Dict[str, A.FunctionDef] = {}
         self.enum_constants: Dict[str, int] = {}
         self.globals = Scope()
+        # struct name -> {field name -> type}; built lazily per struct so
+        # member resolution is one dict probe instead of a field scan.
+        self._field_maps: Dict[str, Dict[str, CType]] = {}
 
     def run(self) -> None:
         """Check the whole unit; raises SemanticError on the first fault."""
@@ -115,25 +118,31 @@ class SemanticAnalyzer:
         self._check_stmt(fn.body, scope, fn)
 
     def _check_stmt(self, stmt: A.Stmt, scope: Scope, fn: A.FunctionDef) -> None:
-        if isinstance(stmt, A.Block):
-            inner = Scope(scope)
-            for child in stmt.statements:
-                self._check_stmt(child, inner, fn)
-        elif isinstance(stmt, A.VarDecl):
-            if stmt.init is not None:
-                self._check_expr(stmt.init, scope, fn)
-            scope.declare(stmt.name, stmt.ctype)
-        elif isinstance(stmt, A.ExprStmt):
+        # Exact-type dispatch (the AST hierarchy is flat), most common
+        # statement kinds first.
+        t = type(stmt)
+        if t is A.ExprStmt:
             self._check_expr(stmt.expr, scope, fn)
-        elif isinstance(stmt, A.If):
+        elif t is A.If:
             self._check_expr(stmt.cond, scope, fn)
             self._check_stmt(stmt.then, scope, fn)
             if stmt.otherwise is not None:
                 self._check_stmt(stmt.otherwise, scope, fn)
-        elif isinstance(stmt, A.While):
+        elif t is A.Block:
+            inner = Scope(scope)
+            for child in stmt.statements:
+                self._check_stmt(child, inner, fn)
+        elif t is A.VarDecl:
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope, fn)
+            scope.declare(stmt.name, stmt.ctype)
+        elif t is A.Return:
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope, fn)
+        elif t is A.While:
             self._check_expr(stmt.cond, scope, fn)
             self._check_stmt(stmt.body, scope, fn)
-        elif isinstance(stmt, A.For):
+        elif t is A.For:
             inner = Scope(scope)
             if stmt.init is not None:
                 self._check_stmt(stmt.init, inner, fn)
@@ -142,10 +151,7 @@ class SemanticAnalyzer:
             if stmt.step is not None:
                 self._check_expr(stmt.step, inner, fn)
             self._check_stmt(stmt.body, inner, fn)
-        elif isinstance(stmt, A.Return):
-            if stmt.value is not None:
-                self._check_expr(stmt.value, scope, fn)
-        elif isinstance(stmt, A.Switch):
+        elif t is A.Switch:
             self._check_expr(stmt.subject, scope, fn)
             for case in stmt.cases:
                 if case.value is not None:
@@ -153,7 +159,7 @@ class SemanticAnalyzer:
                 inner = Scope(scope)
                 for child in case.body:
                     self._check_stmt(child, inner, fn)
-        elif isinstance(stmt, (A.Break, A.Continue, A.Goto, A.Label)):
+        elif t in (A.Break, A.Continue, A.Goto, A.Label):
             pass
         else:
             raise SemanticError(f"unhandled statement {type(stmt).__name__}",
@@ -168,12 +174,19 @@ class SemanticAnalyzer:
         expr.ctype = ctype  # type: ignore[attr-defined]
         return ctype
 
+    def _field_type(self, struct: A.StructDecl, field_name: str) -> Optional[CType]:
+        """Field type on ``struct``, via a lazily built per-struct map."""
+        table = self._field_maps.get(struct.name)
+        if table is None:
+            table = {field.name: field.ctype for field in struct.fields}
+            self._field_maps[struct.name] = table
+        return table.get(field_name)
+
     def _infer(self, expr: A.Expr, scope: Scope, fn: A.FunctionDef) -> CType:
-        if isinstance(expr, A.IntLit):
-            return INT
-        if isinstance(expr, A.StrLit):
-            return CHAR_PTR
-        if isinstance(expr, A.Ident):
+        # Exact-type dispatch (the AST hierarchy is flat), most common
+        # expression kinds first.
+        t = type(expr)
+        if t is A.Ident:
             found = scope.lookup(expr.name)
             if found is not None:
                 return found
@@ -183,29 +196,13 @@ class SemanticAnalyzer:
                 return INT  # function designator used as value
             raise SemanticError(f"undeclared identifier {expr.name!r}",
                                 self.unit.filename, expr.line)
-        if isinstance(expr, A.Unary):
-            self._check_expr(expr.operand, scope, fn)
-            return INT
-        if isinstance(expr, A.Binary):
+        if t is A.Binary:
             self._check_expr(expr.left, scope, fn)
             right = self._check_expr(expr.right, scope, fn)
             if expr.op == ",":
                 return right
             return INT
-        if isinstance(expr, A.Assign):
-            self._check_expr(expr.target, scope, fn)
-            self._check_expr(expr.value, scope, fn)
-            return getattr(expr.target, "ctype", INT)
-        if isinstance(expr, A.Call):
-            for arg in expr.args:
-                self._check_expr(arg, scope, fn)
-            if expr.func in self.functions:
-                return self.functions[expr.func].return_type
-            if expr.func in BUILTIN_FUNCTIONS:
-                return BUILTIN_FUNCTIONS[expr.func]
-            raise SemanticError(f"call to undeclared function {expr.func!r}",
-                                self.unit.filename, expr.line)
-        if isinstance(expr, A.Member):
+        if t is A.Member:
             base = self._check_expr(expr.base, scope, fn)
             if expr.arrow and not base.is_struct_pointer:
                 raise SemanticError(
@@ -219,35 +216,55 @@ class SemanticAnalyzer:
             if struct is None:
                 raise SemanticError(f"unknown struct {base.struct_name!r}",
                                     self.unit.filename, expr.line)
-            for field in struct.fields:
-                if field.name == expr.field_name:
-                    return field.ctype
+            ctype = self._field_type(struct, expr.field_name)
+            if ctype is not None:
+                return ctype
             raise SemanticError(
                 f"struct {struct.name!r} has no field {expr.field_name!r}",
                 self.unit.filename, expr.line)
-        if isinstance(expr, A.Index):
+        if t is A.IntLit:
+            return INT
+        if t is A.Call:
+            for arg in expr.args:
+                self._check_expr(arg, scope, fn)
+            if expr.func in self.functions:
+                return self.functions[expr.func].return_type
+            if expr.func in BUILTIN_FUNCTIONS:
+                return BUILTIN_FUNCTIONS[expr.func]
+            raise SemanticError(f"call to undeclared function {expr.func!r}",
+                                self.unit.filename, expr.line)
+        if t is A.Assign:
+            self._check_expr(expr.target, scope, fn)
+            self._check_expr(expr.value, scope, fn)
+            return getattr(expr.target, "ctype", INT)
+        if t is A.Unary:
+            self._check_expr(expr.operand, scope, fn)
+            return INT
+        if t is A.StrLit:
+            return CHAR_PTR
+        if t is A.Index:
             base = self._check_expr(expr.base, scope, fn)
             self._check_expr(expr.index, scope, fn)
             try:
                 return base.deref()
             except ValueError:
                 return INT
-        if isinstance(expr, A.Ternary):
+        if t is A.Ternary:
             self._check_expr(expr.cond, scope, fn)
             then = self._check_expr(expr.then, scope, fn)
             self._check_expr(expr.otherwise, scope, fn)
             return then
-        if isinstance(expr, A.Cast):
+        if t is A.Cast:
             self._check_expr(expr.operand, scope, fn)
             return expr.ctype
-        if isinstance(expr, A.SizeOf):
+        if t is A.SizeOf:
             if expr.operand is not None:
                 self._check_expr(expr.operand, scope, fn)
             return CType("long", unsigned=True)
-        if isinstance(expr, A.AddressOf):
+        if t is A.AddressOf:
             inner = self._check_expr(expr.operand, scope, fn)
             return inner.pointer_to()
-        if isinstance(expr, A.Deref):
+        if t is A.Deref:
             inner = self._check_expr(expr.operand, scope, fn)
             try:
                 return inner.deref()

@@ -1,6 +1,6 @@
 """Performance substrate for the analysis pipeline and the checkers.
 
-Four small pieces:
+Five small pieces:
 
 - :mod:`repro.perf.timers` — context-manager phase timers and named
   counters, rendered as a text table by the ``--profile`` CLI flag;
@@ -8,6 +8,9 @@ Four small pieces:
   helper with deterministic (submission-order) result merging;
 - :mod:`repro.perf.campaign` — the checker campaign engine: parallel
   fan-out with spec-order merging plus the post-mkfs snapshot cache;
+- :mod:`repro.perf.lattice` — the hash-consed label-set lattice the
+  sparse taint solver runs on (interned ``frozenset``s + memoized
+  binary join);
 - the memo registry below — every process-level memo table in the
   analyzer registers a clear callback here so
   :func:`repro.corpus.loader.clear_cache` can drop them all without
@@ -23,16 +26,22 @@ from repro.perf.parallel import resolve_jobs, run_ordered
 from repro.perf.timers import (
     bump,
     counters,
+    hit_rates,
+    register_counter_source,
     render_profile,
     reset_profile,
     stats,
     timed,
 )
+from repro.perf import lattice
 
 __all__ = [
     "bump",
     "counters",
     "clear_memos",
+    "hit_rates",
+    "lattice",
+    "register_counter_source",
     "register_memo",
     "render_profile",
     "reset_profile",
@@ -57,3 +66,10 @@ def clear_memos() -> None:
     """Clear every registered memo table (taint, constraints, CFG...)."""
     for clear in _MEMO_REGISTRY.values():
         clear()
+
+
+# The lattice's intern/join tables are one memo (identity keys from the
+# join table point into the intern table), and its lock-free tallies
+# surface in ``--profile`` output through the counter-source hook.
+register_memo("perf.lattice", lattice.clear)
+register_counter_source(lattice.counters, lattice.reset_tallies)

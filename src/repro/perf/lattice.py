@@ -1,0 +1,210 @@
+"""Hash-consed (interned) label-set lattice with a memoized binary join.
+
+The taint solver's domain is "finite sets of labels ordered by
+inclusion".  The dense engine allocated a fresh ``frozenset`` on every
+transfer and compared by content; at fixpoint scale that is the hot
+allocation site of the whole analysis.  This module interns the sets:
+
+- :func:`intern_labels` returns one canonical object per distinct set
+  content, so equal sets *are* the same object and "did this transfer
+  change anything" degrades to a pointer comparison;
+- :func:`join` unions two canonical sets through a memo table keyed by
+  object identity, so the joins the fixpoint recomputes over and over
+  (the same pair of operand sets meeting at the same instruction) cost
+  one dict probe instead of a set union.
+
+Identity keys are safe because the intern table pins every canonical
+set alive for the lifetime of the table: an ``id`` can never be
+recycled while it is a memo key.  The two tables therefore always clear
+*together* (registered as one memo under ``perf.clear_memos``).
+
+Interning takes a small lock so racing workers agree on one canonical
+object per content (the solver's change detection relies on identity).
+The hit/miss tallies are deliberately unlocked — they are diagnostics,
+and a lost increment under thread races is acceptable where a lock on
+the join fast path is not.
+
+``$REPRO_LATTICE`` selects between two modes:
+
+- ``intern`` (default) — the hash-consed lattice described above;
+- ``plain`` — the legacy allocation behaviour this PR replaced: every
+  join builds a fresh ``frozenset`` and callers compare by content.
+  It exists so the cold-path benchmark can measure the dense baseline
+  as it actually was, and as a differential check that interning is
+  purely an optimization.
+
+Both modes produce content-identical label sets; only object identity
+and allocation behaviour differ.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, TypeVar
+
+L = TypeVar("L")
+
+#: Environment knob selecting the lattice implementation.
+LATTICE_ENV = "REPRO_LATTICE"
+
+#: Recognized lattice modes (first is the default).
+LATTICE_MODES = ("intern", "plain")
+
+
+def resolve_lattice_mode(explicit: Optional[str] = None) -> str:
+    """The mode to use: ``explicit`` arg, else $REPRO_LATTICE, else intern."""
+    mode = (explicit or os.environ.get(LATTICE_ENV, "").strip().lower()
+            or LATTICE_MODES[0])
+    if mode not in LATTICE_MODES:
+        raise ValueError(
+            f"unknown lattice mode {mode!r}; expected one of "
+            f"{', '.join(LATTICE_MODES)}"
+        )
+    return mode
+
+_LOCK = threading.Lock()
+
+#: content -> the canonical frozenset for that content.
+_INTERN: Dict[FrozenSet, FrozenSet] = {}
+
+#: (id(a), id(b)) of canonical sets -> canonical a | b.
+_JOIN: Dict[Tuple[int, int], FrozenSet] = {}
+
+#: The canonical empty set (also the lattice bottom).
+EMPTY: FrozenSet = frozenset()
+_INTERN[EMPTY] = EMPTY
+
+# Unlocked diagnostic tallies (see module docstring).
+_HITS = {"intern.hit": 0, "intern.miss": 0, "join.hit": 0, "join.miss": 0}
+
+
+def _intern_labels_interned(labels: Iterable[L]) -> FrozenSet[L]:
+    """The canonical frozenset whose content equals ``labels``."""
+    content = labels if isinstance(labels, frozenset) else frozenset(labels)
+    canonical = _INTERN.get(content)
+    if canonical is not None:
+        _HITS["intern.hit"] += 1
+        return canonical
+    with _LOCK:
+        canonical = _INTERN.setdefault(content, content)
+    _HITS["intern.miss"] += 1
+    return canonical
+
+
+def _join_interned(a: FrozenSet[L], b: FrozenSet[L]) -> FrozenSet[L]:
+    """Canonical ``a | b`` for two *canonical* sets (memoized)."""
+    if a is b:
+        return a
+    if not a:
+        return b
+    if not b:
+        return a
+    key = (id(a), id(b))
+    merged = _JOIN.get(key)
+    if merged is not None:
+        _HITS["join.hit"] += 1
+        return merged
+    merged = _intern_labels_interned(a | b)
+    _JOIN[key] = merged
+    _HITS["join.miss"] += 1
+    return merged
+
+
+def _intern_labels_plain(labels: Iterable[L]) -> FrozenSet[L]:
+    """Legacy behaviour: a frozenset of the content, nothing shared."""
+    return labels if isinstance(labels, frozenset) else frozenset(labels)
+
+
+def _join_plain(a: FrozenSet[L], b: FrozenSet[L]) -> FrozenSet[L]:
+    """Legacy behaviour: a fresh union allocation on every join."""
+    if not a:
+        return b
+    if not b:
+        return a
+    return a | b
+
+
+#: The active implementations; rebind through :func:`apply_mode` only.
+intern_labels = _intern_labels_interned
+join = _join_interned
+_MODE = "intern"
+
+
+def mode() -> str:
+    """The active lattice mode ('intern' or 'plain')."""
+    return _MODE
+
+
+def apply_mode(new_mode: Optional[str] = None) -> str:
+    """Switch the active implementations; returns the mode applied.
+
+    ``None`` re-reads ``$REPRO_LATTICE``.  Rebinding module attributes
+    is atomic under the GIL, and every caller accesses the functions
+    through the module, so the switch takes effect immediately.  The
+    tables are left alone — stale canonical sets stay content-correct
+    in plain mode, and interned mode re-fills them on demand.
+    """
+    global _MODE, intern_labels, join
+    resolved = resolve_lattice_mode(new_mode)
+    if resolved != _MODE:
+        if resolved == "plain":
+            intern_labels = _intern_labels_plain
+            join = _join_plain
+        else:
+            intern_labels = _intern_labels_interned
+            join = _join_interned
+        _MODE = resolved
+    return resolved
+
+
+def is_interned(labels: FrozenSet) -> bool:
+    """Whether ``labels`` is the canonical object for its content."""
+    return _INTERN.get(labels) is labels
+
+
+def table_sizes() -> Tuple[int, int]:
+    """(intern entries, join entries) — table footprint right now."""
+    return len(_INTERN), len(_JOIN)
+
+
+def counters() -> Dict[str, int]:
+    """Diagnostic tallies, namespaced for the profile rendering.
+
+    Empty while the tallies are zero, so an idle (or freshly reset)
+    process still reports an empty counter snapshot.  Table footprint
+    is state rather than profile data — ask :func:`table_sizes`.
+    """
+    if not any(_HITS.values()):
+        return {}
+    return {f"lattice.{name}": count for name, count in _HITS.items()}
+
+
+def reset_tallies() -> None:
+    """Zero the diagnostic tallies (the tables themselves survive)."""
+    for name in _HITS:
+        _HITS[name] = 0
+
+
+def hit_rate(kind: str = "join") -> float:
+    """Memo hit rate in [0, 1] for ``kind`` ('join' or 'intern')."""
+    hits = _HITS[f"{kind}.hit"]
+    misses = _HITS[f"{kind}.miss"]
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def clear() -> None:
+    """Drop both tables (and re-seat EMPTY) plus the tallies."""
+    with _LOCK:
+        _JOIN.clear()
+        _INTERN.clear()
+        _INTERN[EMPTY] = EMPTY
+    reset_tallies()
+
+
+# Registration with the perf memo registry and the profile counter
+# sources happens in :mod:`repro.perf`'s __init__ (avoids an import
+# cycle); the join table's identity keys point into the intern table,
+# so the two tables always clear together through the single
+# :func:`clear` callback.

@@ -21,7 +21,7 @@ import threading
 import time
 from dataclasses import dataclass
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.texttable import TextTable
 
@@ -44,6 +44,24 @@ class PhaseStat:
 _LOCK = threading.Lock()
 _STATS: Dict[str, PhaseStat] = {}
 _COUNTERS: Dict[str, int] = {}
+
+#: (snapshot, reset) pairs for subsystems with their own (cheaper,
+#: lock-free) tallies — they show up in ``--profile`` output without
+#: funnelling every increment through the global lock, and
+#: :func:`reset_profile` zeroes them alongside the built-in counters.
+#: The solver's lattice registers here.
+_COUNTER_SOURCES: List[Tuple[Callable[[], Dict[str, int]],
+                             Optional[Callable[[], None]]]] = []
+
+
+def register_counter_source(source: Callable[[], Dict[str, int]],
+                            reset: Optional[Callable[[], None]] = None) -> None:
+    """Merge ``source()`` into every :func:`counters` snapshot.
+
+    ``reset``, when given, is invoked by :func:`reset_profile` so the
+    external tallies drop with everything else.
+    """
+    _COUNTER_SOURCES.append((source, reset))
 
 
 @contextmanager
@@ -73,9 +91,12 @@ def stats() -> Dict[str, PhaseStat]:
 
 
 def counters() -> Dict[str, int]:
-    """Snapshot of the counters."""
+    """Snapshot of the counters (including registered sources)."""
     with _LOCK:
-        return dict(_COUNTERS)
+        out = dict(_COUNTERS)
+    for source, _reset in _COUNTER_SOURCES:
+        out.update(source())
+    return out
 
 
 def reset_profile() -> None:
@@ -83,6 +104,9 @@ def reset_profile() -> None:
     with _LOCK:
         _STATS.clear()
         _COUNTERS.clear()
+    for _source, reset in _COUNTER_SOURCES:
+        if reset is not None:
+            reset()
 
 
 def render_profile(title: str = "pipeline profile") -> str:
@@ -101,4 +125,27 @@ def render_profile(title: str = "pipeline profile") -> str:
             counter_table.add_row(name, counter_snapshot[name])
         lines.append("")
         lines.append(counter_table.render())
+    rates = hit_rates(counter_snapshot)
+    if rates:
+        rate_table = TextTable(["memo", "hit rate"])
+        for name in sorted(rates):
+            rate_table.add_row(name, f"{rates[name] * 100:.1f}%")
+        lines.append("")
+        lines.append(rate_table.render())
     return "\n".join(lines)
+
+
+def hit_rates(counter_snapshot: Dict[str, int]) -> Dict[str, float]:
+    """Hit rates derived from every ``<memo>.hit``/``<memo>.miss`` pair."""
+    rates: Dict[str, float] = {}
+    for name, hits in counter_snapshot.items():
+        if not name.endswith(".hit"):
+            continue
+        base = name[: -len(".hit")]
+        misses = counter_snapshot.get(f"{base}.miss")
+        if misses is None:
+            continue
+        total = hits + misses
+        if total:
+            rates[base] = hits / total
+    return rates

@@ -1,14 +1,16 @@
-# Development targets.  `make verify` is the gate: the full test suite
-# plus the perf smoke benchmarks, which fail loudly when a cache/engine
-# speedup regresses below its floor or a parallel run stops being
-# byte-identical to sequential.  The solver and campaign benchmarks
-# also refresh the machine-readable BENCH_solver.json and
-# BENCH_campaign.json at the repo root.
+# Development targets.  `make verify` is the gate: the full test suite,
+# the perf smoke benchmarks — which fail loudly when a cache/engine
+# speedup regresses below its floor, a parallel run stops being
+# byte-identical to sequential, or disabled tracing stops being (near)
+# free — and a traced end-to-end extraction whose artifacts must
+# validate against the checked-in schemas.  The solver, campaign, and
+# obs benchmarks also refresh the machine-readable BENCH_*.json files
+# at the repo root.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench verify
+.PHONY: test bench-smoke bench trace-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,11 +19,29 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_pipeline.py --smoke
 	$(PYTHON) benchmarks/bench_solver.py --smoke
 	$(PYTHON) benchmarks/bench_campaign.py --smoke
+	$(PYTHON) benchmarks/bench_obs.py --smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
 	$(PYTHON) benchmarks/bench_solver.py
 	$(PYTHON) benchmarks/bench_campaign.py
+	$(PYTHON) benchmarks/bench_obs.py
 
-verify: test bench-smoke
+# End-to-end trace smoke: run a traced, manifested extraction through
+# the real CLI and validate every artifact it writes.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(PYTHON) -c "import sys; from repro.cli import main_extract; \
+	sys.exit(main_extract(['--trace', '$$tmp/run.jsonl', \
+	'--chrome-trace', '$$tmp/run.json', '--manifest', '$$tmp/manifest.json', \
+	'-j', '4', '--explain', 'sparse_super2']))" >/dev/null && \
+	$(PYTHON) -c "from repro.obs import events, manifest; \
+	n = events.validate_events_file('$$tmp/run.jsonl'); \
+	assert events.validate_chrome_trace_file('$$tmp/run.json') == n; \
+	m = manifest.load_manifest('$$tmp/manifest.json'); \
+	assert m['tool'] == 'repro-extract' and m['report']['count'], m; \
+	print(f'trace-smoke: OK ({n} spans, ' \
+	      f'{m[\"report\"][\"count\"]} dependencies)')"
+
+verify: test bench-smoke trace-smoke
 	@echo "verify: OK"

@@ -24,6 +24,7 @@ from repro.analysis.taint import analyze_function
 from repro.corpus.loader import load_unit
 from repro.errors import UnknownFunctionError
 from repro.lang.cfg import build_cfg
+from repro.obs.tracer import span
 from repro.perf import resolve_jobs, run_ordered, timed
 
 
@@ -209,25 +210,27 @@ class Extractor:
     def _analyze_one(self, task: Tuple[str, str]):
         """Taint + constraints for one pre-selected function."""
         filename, fn_name = task
-        unit = load_unit(filename)
-        sources = SOURCES_BY_UNIT[filename]
-        try:
-            func = unit.module.function(fn_name)
-        except KeyError:
-            raise UnknownFunctionError(
-                f"pre-selected function {fn_name!r} missing from {filename}"
-            ) from None
-        cfg = build_cfg(func)
-        state = analyze_function(func, sources, unit.component,
-                                 solver=self.solver)
-        findings = derive_constraints(
-            func, cfg, state, sources, unit.component, filename
-        )
-        return state, findings
+        with span("extract.function", unit=filename, function=fn_name):
+            unit = load_unit(filename)
+            sources = SOURCES_BY_UNIT[filename]
+            try:
+                func = unit.module.function(fn_name)
+            except KeyError:
+                raise UnknownFunctionError(
+                    f"pre-selected function {fn_name!r} missing from {filename}"
+                ) from None
+            cfg = build_cfg(func)
+            state = analyze_function(func, sources, unit.component,
+                                     solver=self.solver)
+            findings = derive_constraints(
+                func, cfg, state, sources, unit.component, filename
+            )
+            return state, findings
 
     def extract_scenario(self, spec: ScenarioSpec) -> ScenarioResult:
         """Extract one scenario's unique dependency set."""
-        with timed("extract.scenario"):
+        with span("extract.scenario", scenario=spec.name), \
+                timed("extract.scenario"):
             tasks = [(filename, fn_name)
                      for filename, functions in spec.selected
                      for fn_name in functions]
@@ -243,7 +246,8 @@ class Extractor:
                     summary.field_writes.extend(state.field_writes)
                     summary.branch_uses.extend(findings.branch_uses)
                 summaries.append(summary)
-            with timed("extract.bridge"):
+            with span("extract.bridge", scenario=spec.name), \
+                    timed("extract.bridge"):
                 deps.extend(MetadataBridge(summaries).join())
             return ScenarioResult(spec, _dedupe(deps))
 
@@ -253,7 +257,8 @@ class Extractor:
 
     def extract_all(self) -> ExtractionReport:
         """Extract every scenario plus the unique union."""
-        with timed("extract.all"):
+        with span("extract.all", scenarios=len(self.scenarios),
+                  jobs=self.jobs), timed("extract.all"):
             results = run_ordered(self.jobs, self.extract_scenario, self.scenarios)
             union: List[Dependency] = []
             for result in results:

@@ -40,6 +40,7 @@ from repro.analysis.taint import Label, TaintEngine, TaintState
 from repro.corpus.loader import CorpusUnit, load_unit
 from repro.lang.cfg import build_cfg
 from repro.lang.ir import CallInstr, Ret
+from repro.obs.tracer import span
 from repro.perf import resolve_jobs, run_ordered, timed
 
 #: Upper bound on fixpoint rounds (label sets are finite; this is a
@@ -107,7 +108,8 @@ class UnitAnalysis:
             )
             return name, engine.run()
 
-        with timed("interproc.round"):
+        with span("interproc.round", unit=self.unit.filename,
+                  round=self.rounds), timed("interproc.round"):
             results = run_ordered(self.jobs, run_one,
                                   list(self.unit.module.functions.items()))
         return dict(results)

@@ -63,6 +63,7 @@ from repro.analysis.sources import (
     ComponentSources,
 )
 from repro.lang.cfg import build_cfg
+from repro.obs.tracer import span as obs_span
 from repro.lang.ir import (
     BinOp,
     Branch,
@@ -671,7 +672,8 @@ def analyze_function(func: Function, sources: ComponentSources,
             perf.bump("memo.taint.hit")
             return cached
         perf.bump("memo.taint.miss")
-    with perf.timed("analysis.taint"):
+    with obs_span("taint.solve", function=func.name, solver=mode), \
+            perf.timed("analysis.taint"):
         state = TaintEngine(func, sources, component, solver=mode).run()
     if key is not None:
         _ANALYSIS_MEMO[key] = state

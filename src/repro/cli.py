@@ -5,13 +5,126 @@
 - ``repro-conhandleck`` violate dependencies against the simulated ecosystem
 - ``repro-conbugck``    generate and drive dependency-respecting configs
 - ``repro-study``       print the study tables (Tables 1-4) and mining stats
+- ``repro-demo``        run the executable Figure 1/2 demonstrations
+- ``repro-runs``        inspect and diff run manifests
+
+Every command takes the shared observability flags (``--trace``,
+``--chrome-trace``, ``--manifest``); results stay on stdout while
+status lines — profile breakdowns, "wrote N ..." notes, trace/manifest
+confirmations — go to stderr, so piping stdout into a file or another
+tool always yields machine-parseable output.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Any, List, Optional
+
+
+def _status(message: str) -> None:
+    """One status line on stderr (stdout stays machine-parseable)."""
+    print(message, file=sys.stderr)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags every repro-* command takes."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the span tree as JSONL events")
+    group.add_argument("--chrome-trace", metavar="PATH", default=None,
+                       help="write the span tree in Chrome trace format "
+                            "(load in chrome://tracing or Perfetto)")
+    group.add_argument("--manifest", metavar="PATH", default=None,
+                       help="write a run manifest (engine modes, corpus "
+                            "hashes, counters, report digest)")
+
+
+class _ObsSession:
+    """Per-command observability lifecycle.
+
+    Installs a tracer when ``--trace``/``--chrome-trace`` asked for one,
+    opens a root span named after the tool (so every run is a single
+    rooted tree), and on exit writes the requested artifacts — trace
+    JSONL, Chrome trace, run manifest — with status lines on stderr.
+    """
+
+    def __init__(self, tool: str, args: argparse.Namespace,
+                 argv: Optional[List[str]]) -> None:
+        self.tool = tool
+        self.args = args
+        self.argv = list(argv) if argv is not None else sys.argv[1:]
+        self.report_keys: Optional[List[str]] = None
+        self.report_summary: Optional[str] = None
+        self.engine_overrides: dict = {}
+        self._tracer = None
+        self._root_cm = None
+        self._start = 0.0
+
+    def set_report(self, keys: Optional[List[str]],
+                   summary: Optional[str] = None) -> None:
+        """Attach the run's result digest inputs for the manifest."""
+        self.report_keys = list(keys) if keys is not None else None
+        self.report_summary = summary
+
+    def set_engine(self, **modes: Optional[str]) -> None:
+        """Record engine knobs the run pinned explicitly (e.g. --solver)."""
+        self.engine_overrides.update(modes)
+
+    def __enter__(self) -> "_ObsSession":
+        self._start = time.perf_counter()
+        if self.args.trace or self.args.chrome_trace:
+            from repro.obs import tracer as obs_tracer
+
+            self._tracer = obs_tracer.Tracer(self.tool)
+            obs_tracer.enable(self._tracer)
+            self._root_cm = obs_tracer.span(self.tool,
+                                            argv=list(self.argv))
+            self._root_cm.__enter__()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        wall = time.perf_counter() - self._start
+        if self._tracer is not None:
+            from repro.obs import tracer as obs_tracer
+
+            self._root_cm.__exit__(exc_type, exc, tb)
+            obs_tracer.disable()
+        if exc_type is not None:
+            return False
+        if self.args.trace:
+            from repro.obs.events import write_jsonl
+
+            count = write_jsonl(self._tracer, self.args.trace)
+            _status(f"wrote {count} spans to {self.args.trace}")
+        if self.args.chrome_trace:
+            from repro.obs.events import write_chrome_trace
+
+            count = write_chrome_trace(self._tracer, self.args.chrome_trace)
+            _status(f"wrote {count} chrome trace events to "
+                    f"{self.args.chrome_trace}")
+        if self.args.manifest:
+            from repro.obs.manifest import build_manifest, write_manifest
+
+            manifest = build_manifest(
+                self.tool,
+                wall_seconds=wall,
+                jobs=self._resolved_jobs(),
+                argv=self.argv,
+                report_keys=self.report_keys,
+                report_summary=self.report_summary,
+                trace=self.args.trace,
+                engine_overrides=self.engine_overrides,
+            )
+            write_manifest(manifest, self.args.manifest)
+            _status(f"wrote run manifest to {self.args.manifest}")
+        return False
+
+    def _resolved_jobs(self) -> int:
+        from repro.perf import resolve_jobs
+
+        return resolve_jobs(getattr(self.args, "jobs", None))
 
 
 def main_extract(argv: Optional[List[str]] = None) -> int:
@@ -37,6 +150,15 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
                         help="taint fixpoint scheduler (default: $REPRO_SOLVER "
                              "or sparse; dense is the reference escape hatch — "
                              "both produce identical dependencies)")
+    parser.add_argument("--explain", metavar="PARAM", action="append",
+                        default=None,
+                        help="print the taint provenance of one parameter "
+                             "(name or component.name; repeatable) instead "
+                             "of the extraction table")
+    parser.add_argument("--provenance", action="store_true",
+                        help="embed per-dependency provenance records in "
+                             "the --json report")
+    _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     from repro.analysis.extractor import extract_all
@@ -49,18 +171,54 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
         clear_cache(disk=True)
     if args.profile:
         reset_profile()
-    report = extract_all(jobs=args.jobs, solver=args.solver)
-    print(render_table5(report))
-    if args.profile:
-        print()
-        print(render_profile())
-    if args.list:
-        print()
-        for dep in sorted(report.union, key=lambda d: d.key()):
-            print(dep.key())
-    if args.json:
-        dump_dependencies(report.union, args.json)
-        print(f"\nwrote {len(report.union)} dependencies to {args.json}")
+
+    with _ObsSession("repro-extract", args, argv) as obs:
+        if args.solver:
+            obs.set_engine(solver=args.solver)
+        report = extract_all(jobs=args.jobs, solver=args.solver)
+        obs.set_report([d.key() for d in report.union],
+                       summary=f"{len(report.union)} unique dependencies, "
+                               f"{len(report.scenarios)} scenarios")
+
+        index = None
+        if args.explain or args.provenance:
+            from repro.obs.provenance import ProvenanceIndex
+
+            index = ProvenanceIndex.build(report=report, solver=args.solver)
+
+        if args.explain:
+            try:
+                records = [index.explain(text) for text in args.explain]
+            except ValueError as exc:
+                _status(f"repro-extract: {exc}")
+                return 2
+            print("\n\n".join(record.render() for record in records))
+        else:
+            print(render_table5(report))
+        if args.profile:
+            _status("")
+            _status(render_profile())
+        if args.list:
+            print()
+            for dep in sorted(report.union, key=lambda d: d.key()):
+                print(dep.key())
+        if args.json:
+            if args.provenance:
+                import json as json_mod
+
+                from repro.analysis.jsonio import dependency_to_dict
+                from repro.obs.provenance import dependency_provenance
+
+                payload = []
+                for dep in report.union:
+                    entry = dependency_to_dict(dep)
+                    entry["provenance"] = dependency_provenance(index, dep)
+                    payload.append(entry)
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    json_mod.dump(payload, handle, indent=2, sort_keys=True)
+            else:
+                dump_dependencies(report.union, args.json)
+            _status(f"wrote {len(report.union)} dependencies to {args.json}")
     return 0
 
 
@@ -70,14 +228,18 @@ def main_condocck(argv: Optional[List[str]] = None) -> int:
         prog="repro-condocck",
         description="Check the manual corpus against extracted dependencies.",
     )
-    parser.parse_args(argv)
+    _add_obs_args(parser)
+    args = parser.parse_args(argv)
 
     from repro.tools.condocck import ConDocCk
 
-    issues = ConDocCk().check_extracted()
-    for issue in issues:
-        print(issue)
-    print(f"\n{len(issues)} inaccurate documentations")
+    with _ObsSession("repro-condocck", args, argv) as obs:
+        issues = ConDocCk().check_extracted()
+        obs.set_report([str(issue) for issue in issues],
+                       summary=f"{len(issues)} inaccurate documentations")
+        for issue in issues:
+            print(issue)
+        print(f"\n{len(issues)} inaccurate documentations")
     return 0 if not issues else 1
 
 
@@ -95,6 +257,7 @@ def main_conhandleck(argv: Optional[List[str]] = None) -> int:
                              "default: $REPRO_JOBS or sequential)")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown afterwards")
+    _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     from repro.perf import render_profile, reset_profile
@@ -102,20 +265,24 @@ def main_conhandleck(argv: Optional[List[str]] = None) -> int:
 
     if args.profile:
         reset_profile()
-    report = ConHandleCk().check_extracted(jobs=args.jobs)
-    if args.profile:
-        print(render_profile())
-        print()
-    if args.verbose:
-        for result in report.results:
-            print(result)
-        print()
-    for outcome, count in report.by_outcome().items():
-        if count:
-            print(f"{outcome.value:>14s}: {count}")
-    bad = report.bad_handling()
-    for result in bad:
-        print(f"\nBAD HANDLING: {result}")
+    with _ObsSession("repro-conhandleck", args, argv) as obs:
+        report = ConHandleCk().check_extracted(jobs=args.jobs)
+        summary = ", ".join(f"{o.value}={c}"
+                            for o, c in report.by_outcome().items() if c)
+        obs.set_report([str(r) for r in report.results], summary=summary)
+        if args.profile:
+            _status(render_profile())
+            _status("")
+        if args.verbose:
+            for result in report.results:
+                print(result)
+            print()
+        for outcome, count in report.by_outcome().items():
+            if count:
+                print(f"{outcome.value:>14s}: {count}")
+        bad = report.bad_handling()
+        for result in bad:
+            print(f"\nBAD HANDLING: {result}")
     return 0 if not bad else 1
 
 
@@ -133,6 +300,7 @@ def main_conbugck(argv: Optional[List[str]] = None) -> int:
                              "default: $REPRO_JOBS or sequential)")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown afterwards")
+    _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     from repro.perf import render_profile, reset_profile
@@ -140,15 +308,25 @@ def main_conbugck(argv: Optional[List[str]] = None) -> int:
 
     if args.profile:
         reset_profile()
-    generator = ConBugCk.from_extraction(seed=args.seed)
-    guided = generator.drive(generator.generate(args.count), jobs=args.jobs)
-    naive = generator.drive(generator.generate_naive(args.count), jobs=args.jobs)
-    print(f"{'stage':>12s} {'guided':>8s} {'naive':>8s}")
-    for stage in STAGES:
-        print(f"{stage:>12s} {guided.reached[stage]:>8d} {naive.reached[stage]:>8d}")
-    if args.profile:
-        print()
-        print(render_profile())
+    with _ObsSession("repro-conbugck", args, argv) as obs:
+        generator = ConBugCk.from_extraction(seed=args.seed)
+        guided = generator.drive(generator.generate(args.count), jobs=args.jobs)
+        naive = generator.drive(generator.generate_naive(args.count),
+                                jobs=args.jobs)
+        obs.set_report(
+            [f"{kind}.{stage}={stats.reached[stage]}"
+             for kind, stats in (("guided", guided), ("naive", naive))
+             for stage in STAGES],
+            summary=f"{args.count} configs each; guided fsck-clean="
+                    f"{guided.reached['fsck-clean']}, naive fsck-clean="
+                    f"{naive.reached['fsck-clean']}")
+        print(f"{'stage':>12s} {'guided':>8s} {'naive':>8s}")
+        for stage in STAGES:
+            print(f"{stage:>12s} {guided.reached[stage]:>8d} "
+                  f"{naive.reached[stage]:>8d}")
+        if args.profile:
+            _status("")
+            _status(render_profile())
     return 0
 
 
@@ -158,13 +336,15 @@ def main_demo(argv: Optional[List[str]] = None) -> int:
         prog="repro-demo",
         description="Run the executable Figure-1 and Figure-2 demonstrations.",
     )
-    parser.parse_args(argv)
+    _add_obs_args(parser)
+    args = parser.parse_args(argv)
 
     from repro.reporting.tables import render_figure1, render_figure2
 
-    print(render_figure1())
-    print()
-    print(render_figure2())
+    with _ObsSession("repro-demo", args, argv):
+        print(render_figure1())
+        print()
+        print(render_figure2())
     return 0
 
 
@@ -174,7 +354,8 @@ def main_study(argv: Optional[List[str]] = None) -> int:
         prog="repro-study",
         description="Print the study results (Tables 1-4) and mining stats.",
     )
-    parser.parse_args(argv)
+    _add_obs_args(parser)
+    args = parser.parse_args(argv)
 
     from repro.reporting.tables import (
         render_mining,
@@ -184,11 +365,59 @@ def main_study(argv: Optional[List[str]] = None) -> int:
         render_table4,
     )
 
-    for render in (render_table1, render_table2, render_mining,
-                   render_table3, render_table4):
-        print(render())
-        print()
+    with _ObsSession("repro-study", args, argv):
+        for render in (render_table1, render_table2, render_mining,
+                       render_table3, render_table4):
+            print(render())
+            print()
     return 0
+
+
+def main_runs(argv: Optional[List[str]] = None) -> int:
+    """``repro-runs``: inspect and diff run manifests."""
+    parser = argparse.ArgumentParser(
+        prog="repro-runs",
+        description="Inspect run manifests written with --manifest.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    show = sub.add_parser("show", help="pretty-print one manifest")
+    show.add_argument("path")
+    diff = sub.add_parser(
+        "diff", help="explain how two runs differ (exit 1 when they do)")
+    diff.add_argument("a")
+    diff.add_argument("b")
+    args = parser.parse_args(argv)
+
+    from repro.obs.manifest import (
+        diff_manifests,
+        load_manifest,
+        manifests_equivalent,
+        render_diff,
+    )
+
+    if args.command == "show":
+        manifest = load_manifest(args.path)
+        engine = manifest.get("engine", {})
+        report = manifest.get("report", {})
+        print(f"tool:        {manifest.get('tool')}")
+        print(f"created:     {manifest.get('created_iso')}")
+        print(f"wall:        {manifest.get('wall_seconds'):.4f}s")
+        print(f"jobs:        {manifest.get('jobs')}")
+        print("engine:      " + ", ".join(
+            f"{k}={engine[k]}" for k in sorted(engine)))
+        print(f"corpus:      {len(manifest.get('corpus', {}))} units")
+        print(f"counters:    {len(manifest.get('counters', {}))} recorded")
+        digest = report.get("digest")
+        print(f"report:      count={report.get('count')} "
+              f"digest={digest[:12] if digest else None}")
+        if report.get("summary"):
+            print(f"summary:     {report['summary']}")
+        return 0
+
+    a = load_manifest(args.a)
+    b = load_manifest(args.b)
+    print(render_diff(a, b))
+    return 0 if manifests_equivalent(diff_manifests(a, b)) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation aid

@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.lang import FRONTEND_VERSION
 from repro.lang.ir import Module
+from repro.obs.tracer import span
 from repro.perf import bump, timed
 
 #: Environment override for the cache directory.
@@ -101,7 +102,7 @@ def load_module(key: str) -> Optional[Module]:
     """The cached module under ``key``, or None on miss/corruption."""
     path = _entry_path(key)
     try:
-        with timed("cache.disk.load"):
+        with span("cache.disk.load", key=key[:12]), timed("cache.disk.load"):
             with open(path, "rb") as handle:
                 module = pickle.load(handle)
     except FileNotFoundError:
@@ -134,7 +135,7 @@ def store_module(key: str, module: Module) -> bool:
     """
     path = _entry_path(key)
     try:
-        with timed("cache.disk.store"):
+        with span("cache.disk.store", key=key[:12]), timed("cache.disk.store"):
             os.makedirs(cache_dir(), exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=cache_dir(), prefix=".tmp-", suffix=".pkl"

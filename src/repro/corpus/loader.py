@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.errors import UnknownComponentError
 from repro.lang import compile_c
 from repro.lang.ir import Module
+from repro.obs.tracer import span
 from repro.perf import clear_memos, timed
 
 #: Translation unit -> ecosystem component.
@@ -74,7 +75,7 @@ def _compile_unit(filename: str, use_cache: bool) -> CorpusUnit:
     if use_cache and disk.disk_cache_enabled():
         module = disk.load_module(key)
     if module is None:
-        with timed("frontend.compile"):
+        with span("corpus.compile", unit=filename), timed("frontend.compile"):
             module = compile_c(source, filename)
         if use_cache and disk.disk_cache_enabled():
             disk.store_module(key, module)

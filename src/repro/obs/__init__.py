@@ -1,0 +1,49 @@
+"""Observability for the reproduction pipeline (``repro.obs``).
+
+Four pieces, layered bottom-up:
+
+- :mod:`repro.obs.metrics` — the metrics registry: phase timings and
+  counters; :mod:`repro.perf.timers` is now a thin view over it, so
+  ``--profile`` renders the same store the manifests snapshot;
+- :mod:`repro.obs.tracer` — hierarchical spans with contextvar
+  propagation and an explicit cross-thread handoff, near-zero cost
+  when disabled;
+- :mod:`repro.obs.events` — the JSONL event sink (``--trace``) and
+  Chrome-trace-format exporter (``--chrome-trace``), both validated
+  against checked-in schemas;
+- :mod:`repro.obs.manifest` — atomic per-run manifests plus the
+  ``repro-runs diff`` engine.
+
+:mod:`repro.obs.provenance` (per-dependency taint-path records,
+``--explain``) is imported lazily: it sits *above* the analysis layer,
+and importing it here would cycle through :mod:`repro.perf`, which
+imports the tracer and metrics submodules directly.
+"""
+
+from __future__ import annotations
+
+from repro.obs import events, manifest, metrics, tracer
+from repro.obs.metrics import REGISTRY, MetricsRegistry, PhaseStat
+from repro.obs.tracer import Span, Tracer, span
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "PhaseStat",
+    "Span",
+    "Tracer",
+    "events",
+    "manifest",
+    "metrics",
+    "provenance",
+    "span",
+    "tracer",
+]
+
+
+def __getattr__(name: str):
+    if name == "provenance":
+        import repro.obs.provenance as module
+
+        return module
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

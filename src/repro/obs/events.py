@@ -1,0 +1,200 @@
+"""Structured event sinks for span trees: JSONL and Chrome trace.
+
+Two export formats over the same :class:`~repro.obs.tracer.Tracer`:
+
+- **JSONL** (``--trace out.jsonl``) — one JSON object per line; the
+  first line is a trace header, every following line one finished
+  span.  Machine-diffable, streamable, and round-trippable via
+  :func:`read_jsonl`.  Every line validates against the checked-in
+  ``event_schema.json``.
+- **Chrome trace format** (``--chrome-trace out.json``) — the
+  ``traceEvents`` JSON that ``chrome://tracing`` and Perfetto load
+  directly: complete (``"ph": "X"``) events with microsecond
+  timestamps, one ``tid`` per worker thread plus thread-name metadata
+  records.
+
+Both writers are atomic (temp file + ``os.replace``), matching the
+repo's other on-disk artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.schema import load_schema, validate
+from repro.obs.tracer import Span, Tracer
+
+#: Bump when the JSONL line layout changes.
+EVENT_SCHEMA_VERSION = 1
+
+_EVENT_SCHEMA: Dict[str, Any] = load_schema("event_schema.json")
+
+
+def span_to_event(span: Span) -> Dict[str, Any]:
+    """One finished span as its JSONL event dict."""
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "ts": span.start_wall,
+        "dur": span.duration,
+        "thread": span.thread,
+        "error": span.error,
+        "attrs": dict(span.attrs),
+    }
+
+
+def trace_header(tracer: Tracer) -> Dict[str, Any]:
+    """The header event leading a JSONL trace file."""
+    return {
+        "type": "trace",
+        "schema": EVENT_SCHEMA_VERSION,
+        "trace": tracer.name,
+        "created": tracer.created_wall,
+        "spans": len(tracer),
+    }
+
+
+def validate_event(event: Dict[str, Any]) -> None:
+    """Raise when one event line violates the checked-in schema."""
+    validate(event, _EVENT_SCHEMA)
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-obs-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write the trace as JSONL; returns the number of span lines."""
+    events = [trace_header(tracer)]
+    events.extend(span_to_event(span) for span in tracer.spans)
+    lines = [json.dumps(event, sort_keys=True) for event in events]
+    _atomic_write(path, "\n".join(lines) + "\n")
+    return len(events) - 1
+
+
+def read_jsonl(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a JSONL trace back; returns (header, span events)."""
+    with open(path, encoding="utf-8") as handle:
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("type") != "trace":
+        raise ValueError(f"{path}: first line is not a trace header")
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+def validate_events_file(path: str) -> int:
+    """Validate every line of a JSONL trace; returns the span count.
+
+    Beyond per-line schema conformance this checks referential
+    integrity: every ``parent`` id must name another span in the file.
+    """
+    header, events = read_jsonl(path)
+    validate_event(header)
+    ids = {event["id"] for event in events}
+    for event in events:
+        validate_event(event)
+        parent = event["parent"]
+        if parent is not None and parent not in ids:
+            raise ValueError(
+                f"{path}: span {event['id']} references missing parent "
+                f"{parent}")
+    if header.get("spans") != len(events):
+        raise ValueError(
+            f"{path}: header counts {header.get('spans')} spans, "
+            f"file has {len(events)}")
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace format (chrome://tracing, Perfetto)
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The span tree as a Chrome-trace-format dict.
+
+    Timestamps are microseconds relative to the earliest span so the
+    viewer opens at t=0; threads map to stable ``tid``\\ s in order of
+    first appearance, each announced with a ``thread_name`` metadata
+    event.
+    """
+    spans = sorted(tracer.spans, key=lambda s: s.span_id)
+    origin = min((s.start_wall for s in spans), default=0.0)
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        tid = tids.setdefault(span.thread, len(tids) + 1)
+        args: Dict[str, Any] = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.error is not None:
+            args["error"] = span.error
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span.start_wall - origin) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        })
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": tracer.name}},
+    ]
+    for thread, tid in tids.items():
+        metadata.append({"name": "thread_name", "ph": "M", "pid": 1,
+                         "tid": tid, "args": {"name": thread}})
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome trace JSON; returns the duration-event count."""
+    payload = to_chrome_trace(tracer)
+    _atomic_write(path, json.dumps(payload, sort_keys=True, indent=1))
+    return sum(1 for e in payload["traceEvents"] if e["ph"] == "X")
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> int:
+    """Structural check of a Chrome trace dict; returns the X count."""
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("chrome trace must be an object with traceEvents")
+    count = 0
+    for event in payload["traceEvents"]:
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                raise ValueError(f"chrome trace event missing {key!r}: {event}")
+        if event["ph"] == "X":
+            count += 1
+            for key in ("ts", "dur", "tid"):
+                if not isinstance(event.get(key), (int, float)):
+                    raise ValueError(
+                        f"chrome trace X event needs numeric {key!r}: {event}")
+    return count
+
+
+def validate_chrome_trace_file(path: str) -> int:
+    """Validate a Chrome trace file; returns the duration-event count."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_chrome_trace(json.load(handle))

@@ -1,0 +1,231 @@
+"""Per-run manifests: what ran, over what, in which modes, to what end.
+
+A manifest is the run-level complement of a span trace: one JSON
+document capturing everything needed to explain *why two runs differ*
+— corpus content hashes, the four engine-mode knobs
+(``REPRO_SOLVER``/``REPRO_LEX``/``REPRO_PARSER``/``REPRO_LATTICE``),
+the job count, the counter snapshot, wall time, and a digest of the
+dependency report.  ``repro-runs diff a.json b.json`` reads two
+manifests and prints exactly what differed; the digest comparison is
+what turns "the outputs look the same" into a checked fact.
+
+Manifests are written atomically and validate against the checked-in
+``manifest_schema.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.schema import load_schema, validate
+
+#: Bump when the manifest layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+_MANIFEST_SCHEMA: Dict[str, Any] = load_schema("manifest_schema.json")
+
+
+def report_digest(keys: Iterable[str]) -> str:
+    """Order-independent sha256 over a report's dependency keys.
+
+    Sorting first makes the digest a property of the dependency *set*,
+    so any two runs extracting the same dependencies — sequential or
+    parallel, dense or sparse — produce the same digest.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(keys):
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def engine_modes() -> Dict[str, str]:
+    """The resolved engine-mode knobs of this process."""
+    # Imported lazily: repro.perf imports repro.obs submodules, so the
+    # reverse module-level import would cycle.
+    from repro.analysis.taint import resolve_solver
+    from repro.lang.lexer import resolve_lex_mode
+    from repro.lang.parser import resolve_parser_mode
+    from repro.perf.lattice import resolve_lattice_mode
+
+    return {
+        "solver": resolve_solver(),
+        "lex": resolve_lex_mode(),
+        "parser": resolve_parser_mode(),
+        "lattice": resolve_lattice_mode(),
+    }
+
+
+def corpus_hashes() -> Dict[str, str]:
+    """sha256 of every corpus translation unit's source text."""
+    from repro.corpus.loader import UNIT_COMPONENTS, corpus_path
+
+    out: Dict[str, str] = {}
+    for filename in sorted(UNIT_COMPONENTS):
+        with open(corpus_path(filename), "rb") as handle:
+            out[filename] = hashlib.sha256(handle.read()).hexdigest()
+    return out
+
+
+def build_manifest(tool: str,
+                   wall_seconds: float,
+                   jobs: int = 1,
+                   argv: Optional[List[str]] = None,
+                   report_keys: Optional[Iterable[str]] = None,
+                   report_summary: Optional[str] = None,
+                   trace: Optional[str] = None,
+                   engine_overrides: Optional[Dict[str, str]] = None,
+                   ) -> Dict[str, Any]:
+    """Assemble the manifest dict for one finished run.
+
+    ``engine_overrides`` records knobs the run pinned explicitly (e.g.
+    a ``--solver`` flag) that the environment-based resolution below
+    would miss.
+    """
+    keys = list(report_keys) if report_keys is not None else None
+    engine = engine_modes()
+    for knob, mode in (engine_overrides or {}).items():
+        if mode is not None:
+            engine[knob] = mode
+    created = time.time()
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "tool": tool,
+        "created": created,
+        "created_iso": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                     time.localtime(created)),
+        "wall_seconds": wall_seconds,
+        "jobs": jobs,
+        "argv": list(argv or []),
+        "engine": engine,
+        "corpus": corpus_hashes(),
+        "counters": {k: v for k, v in sorted(REGISTRY.counters().items())},
+        "trace": trace,
+        "report": {
+            "digest": report_digest(keys) if keys is not None else None,
+            "count": len(keys) if keys is not None else None,
+            "summary": report_summary,
+        },
+    }
+
+
+def validate_manifest(manifest: Dict[str, Any]) -> None:
+    """Raise when a manifest violates the checked-in schema."""
+    validate(manifest, _MANIFEST_SCHEMA)
+
+
+def write_manifest(manifest: Dict[str, Any], path: str) -> None:
+    """Atomically persist a (validated) manifest."""
+    validate_manifest(manifest)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-manifest-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Read and validate a manifest file."""
+    with open(path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    validate_manifest(manifest)
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# diffing
+# ---------------------------------------------------------------------------
+
+
+def diff_manifests(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Human-readable lines explaining how run ``b`` differs from ``a``.
+
+    Returns an empty list only when the two runs are equivalent in
+    every way that can change results (tool, engine modes, corpus,
+    report digest/count); informational drift (wall time, counters)
+    is reported but prefixed with ``~`` so callers can filter it.
+    """
+    lines: List[str] = []
+
+    if a.get("tool") != b.get("tool"):
+        lines.append(f"tool: {a.get('tool')} -> {b.get('tool')}")
+
+    ea, eb = a.get("engine", {}), b.get("engine", {})
+    for knob in sorted(set(ea) | set(eb)):
+        if ea.get(knob) != eb.get(knob):
+            lines.append(f"engine.{knob}: {ea.get(knob)} -> {eb.get(knob)}")
+
+    if a.get("jobs") != b.get("jobs"):
+        lines.append(f"jobs: {a.get('jobs')} -> {b.get('jobs')}")
+
+    ca, cb = a.get("corpus", {}), b.get("corpus", {})
+    for unit in sorted(set(ca) | set(cb)):
+        ha, hb = ca.get(unit), cb.get(unit)
+        if ha == hb:
+            continue
+        if ha is None:
+            lines.append(f"corpus.{unit}: added ({hb[:12]})")
+        elif hb is None:
+            lines.append(f"corpus.{unit}: removed (was {ha[:12]})")
+        else:
+            lines.append(f"corpus.{unit}: content changed "
+                         f"({ha[:12]} -> {hb[:12]})")
+
+    ra, rb = a.get("report", {}), b.get("report", {})
+    if ra.get("digest") != rb.get("digest"):
+        lines.append(f"report.digest: {_short(ra.get('digest'))} -> "
+                     f"{_short(rb.get('digest'))}")
+    if ra.get("count") != rb.get("count"):
+        lines.append(f"report.count: {ra.get('count')} -> {rb.get('count')}")
+
+    # Informational drift: never makes the runs "different", but often
+    # explains a perf question at a glance.
+    wa, wb = a.get("wall_seconds"), b.get("wall_seconds")
+    if isinstance(wa, (int, float)) and isinstance(wb, (int, float)) and wa:
+        lines.append(f"~wall_seconds: {wa:.4f} -> {wb:.4f} "
+                     f"({wb / wa:.2f}x)")
+    ka, kb = a.get("counters", {}), b.get("counters", {})
+    for counter in sorted(set(ka) | set(kb)):
+        va, vb = ka.get(counter, 0), kb.get(counter, 0)
+        if va != vb:
+            lines.append(f"~counters.{counter}: {va} -> {vb}")
+
+    return lines
+
+
+def manifests_equivalent(diff: List[str]) -> bool:
+    """Whether a diff contains only informational (``~``) drift."""
+    return all(line.startswith("~") for line in diff)
+
+
+def render_diff(a: Dict[str, Any], b: Dict[str, Any]) -> str:
+    """The full diff report ``repro-runs diff`` prints."""
+    diff = diff_manifests(a, b)
+    if manifests_equivalent(diff):
+        ra = a.get("report", {})
+        head = ("runs are equivalent: same engine modes, corpus, and "
+                f"report ({ra.get('count')} dependencies, digest "
+                f"{_short(ra.get('digest'))})")
+    else:
+        head = "runs differ:"
+    body = "\n".join(f"  {line}" for line in diff)
+    return head + ("\n" + body if body else "")
+
+
+def _short(digest: Optional[str]) -> str:
+    return digest[:12] if isinstance(digest, str) else str(digest)

@@ -1,0 +1,130 @@
+"""The metrics registry: phase timings and counters, one store.
+
+Historically :mod:`repro.perf.timers` kept three module-level dicts
+(stats, counters, counter sources).  The observability layer needs the
+same numbers — run manifests snapshot them, span attrs reference them —
+so the storage moved here and ``repro.perf.timers`` became a thin view
+over the process-wide :data:`REGISTRY`.  ``--profile`` output is
+unchanged; it now renders this registry.
+
+Two long-standing defects of the old module are fixed here:
+
+- **counter-source registration is keyed** (idempotent): registering
+  the same source twice — easy to do from a module that a test reloads
+  or from two subsystems sharing a helper — replaces the previous
+  entry instead of double-counting every snapshot;
+- **source iteration is race-free**: :meth:`MetricsRegistry.counters`
+  snapshots the source table under the lock before calling out, so a
+  concurrent registration can never resize the dict mid-iteration.
+
+This module deliberately imports nothing from :mod:`repro.perf` or
+:mod:`repro.analysis` — it sits at the bottom of the observability
+stack and everything else layers on top.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall time of one named phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean wall time per call, in milliseconds."""
+        if not self.calls:
+            return 0.0
+        return self.seconds / self.calls * 1e3
+
+
+#: A counter source: a snapshot callable plus an optional reset hook.
+CounterSource = Tuple[Callable[[], Dict[str, int]], Optional[Callable[[], None]]]
+
+
+class MetricsRegistry:
+    """Thread-safe store of phase timings, counters, and counter sources."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: Dict[str, PhaseStat] = {}
+        self._counters: Dict[str, int] = {}
+        self._sources: Dict[str, CounterSource] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Fold one timed call into the named phase."""
+        with self._lock:
+            stat = self._stats.setdefault(phase, PhaseStat())
+            stat.calls += 1
+            stat.seconds += seconds
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment the named counter."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def register_source(self, name: str,
+                        source: Callable[[], Dict[str, int]],
+                        reset: Optional[Callable[[], None]] = None) -> None:
+        """Merge ``source()`` into every :meth:`counters` snapshot.
+
+        Registration is keyed by ``name``: registering the same name
+        again *replaces* the previous source, so repeated module
+        imports or re-initialisation never double-count.  ``reset``,
+        when given, is invoked by :meth:`reset` so external tallies
+        drop with everything else.
+        """
+        with self._lock:
+            self._sources[name] = (source, reset)
+
+    def unregister_source(self, name: str) -> bool:
+        """Remove a registered source; True when it existed."""
+        with self._lock:
+            return self._sources.pop(name, None) is not None
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, PhaseStat]:
+        """Snapshot of the phase timings."""
+        with self._lock:
+            return {name: PhaseStat(s.calls, s.seconds)
+                    for name, s in self._stats.items()}
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the counters (registered sources merged in).
+
+        The source table is copied under the lock; the sources run
+        outside it (they keep their own, often lock-free, tallies).
+        """
+        with self._lock:
+            out = dict(self._counters)
+            sources = list(self._sources.values())
+        for source, _reset in sources:
+            out.update(source())
+        return out
+
+    def reset(self) -> None:
+        """Drop all timings and counters; reset every source."""
+        with self._lock:
+            self._stats.clear()
+            self._counters.clear()
+            sources = list(self._sources.values())
+        for _source, reset in sources:
+            if reset is not None:
+                reset()
+
+
+#: The process-wide registry every subsystem records into.
+REGISTRY = MetricsRegistry()

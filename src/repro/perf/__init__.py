@@ -3,7 +3,9 @@
 Five small pieces:
 
 - :mod:`repro.perf.timers` — context-manager phase timers and named
-  counters, rendered as a text table by the ``--profile`` CLI flag;
+  counters, rendered as a text table by the ``--profile`` CLI flag
+  (storage lives in :data:`repro.obs.metrics.REGISTRY`, so manifests
+  and span attrs read the same numbers);
 - :mod:`repro.perf.parallel` — the ``--jobs``/``REPRO_JOBS`` fan-out
   helper with deterministic (submission-order) result merging;
 - :mod:`repro.perf.campaign` — the checker campaign engine: parallel
@@ -71,5 +73,8 @@ def clear_memos() -> None:
 # The lattice's intern/join tables are one memo (identity keys from the
 # join table point into the intern table), and its lock-free tallies
 # surface in ``--profile`` output through the counter-source hook.
+# Registration is keyed, so re-importing this module (or anything that
+# re-runs it) replaces the entry instead of double-counting.
 register_memo("perf.lattice", lattice.clear)
-register_counter_source(lattice.counters, lattice.reset_tallies)
+register_counter_source(lattice.counters, lattice.reset_tallies,
+                        name="perf.lattice")

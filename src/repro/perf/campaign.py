@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Uni
 
 from repro.errors import ReproError
 from repro.fsimage.blockdev import BlockDevice
+from repro.obs.tracer import span
 from repro.perf.parallel import resolve_jobs, run_ordered
 from repro.perf.timers import bump, timed
 
@@ -102,7 +103,9 @@ class SnapshotCache:
         bump("campaign.snapshot.miss")
         dev = BlockDevice(num_blocks, block_size, track_io=track_io)
         try:
-            build(dev)
+            with span("campaign.snapshot.build", blocks=num_blocks,
+                      block_size=block_size):
+                build(dev)
         except ReproError as exc:
             with self._lock:
                 self._entries.setdefault(
@@ -162,7 +165,7 @@ def run_campaign(worker: Callable[[T], R], items: Sequence[T],
     items = list(items)
     jobs = resolve_jobs(jobs)
     bump("campaign.items", len(items))
-    with timed(phase):
+    with span(phase, items=len(items), jobs=jobs), timed(phase):
         if jobs <= 1 or len(items) <= 1:
             return [worker(item) for item in items]
         nchunks = min(len(items), jobs * 4)

@@ -6,6 +6,13 @@ byte-identically to a sequential run.  Threads (not processes) are the
 right fit: the per-function analyses are small, all memo tables are
 shared in-process, and the IR modules never need to cross a process
 boundary.
+
+When tracing is enabled (:mod:`repro.obs.tracer`), the submitting
+thread's current span is captured and explicitly handed to every
+worker: spans opened inside a worker parent to the span that was open
+at fan-out time, so a ``--jobs N`` run produces the same single rooted
+span tree as a sequential one.  With tracing disabled the handoff is a
+single ``None`` check.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.obs import tracer
 
 #: Environment override for the default job count.
 JOBS_ENV = "REPRO_JOBS"
@@ -46,5 +55,12 @@ def run_ordered(jobs: int, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    parent = tracer.capture()
+    if parent is not None:
+        inner = fn
+
+        def fn(item: T) -> R:  # type: ignore[no-redef]
+            with tracer.adopt(parent):
+                return inner(item)
     with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
         return list(pool.map(fn, items))

@@ -6,6 +6,14 @@ because the extractor fans scenarios and functions out across worker
 threads.  ``repro-extract --profile`` prints the accumulated breakdown
 via :func:`render_profile`.
 
+Storage lives in the observability layer's metrics registry
+(:data:`repro.obs.metrics.REGISTRY`): the functions here are thin
+views over it, so ``--profile`` output, run manifests
+(:mod:`repro.obs.manifest`), and span attributes all read the *same*
+numbers.  Counter-source registration is keyed (idempotent — a
+re-registration replaces, never double-counts) and snapshots copy the
+source table under the registry lock before iterating.
+
 Typical use::
 
     from repro.perf import timed, bump
@@ -17,51 +25,42 @@ Typical use::
 
 from __future__ import annotations
 
-import threading
 import time
-from dataclasses import dataclass
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.common.texttable import TextTable
+from repro.obs.metrics import REGISTRY, PhaseStat
 
-
-@dataclass
-class PhaseStat:
-    """Accumulated wall time of one named phase."""
-
-    calls: int = 0
-    seconds: float = 0.0
-
-    @property
-    def mean_ms(self) -> float:
-        """Mean wall time per call, in milliseconds."""
-        if not self.calls:
-            return 0.0
-        return self.seconds / self.calls * 1e3
-
-
-_LOCK = threading.Lock()
-_STATS: Dict[str, PhaseStat] = {}
-_COUNTERS: Dict[str, int] = {}
-
-#: (snapshot, reset) pairs for subsystems with their own (cheaper,
-#: lock-free) tallies — they show up in ``--profile`` output without
-#: funnelling every increment through the global lock, and
-#: :func:`reset_profile` zeroes them alongside the built-in counters.
-#: The solver's lattice registers here.
-_COUNTER_SOURCES: List[Tuple[Callable[[], Dict[str, int]],
-                             Optional[Callable[[], None]]]] = []
+__all__ = [
+    "PhaseStat",
+    "bump",
+    "counters",
+    "hit_rates",
+    "register_counter_source",
+    "render_profile",
+    "reset_profile",
+    "stats",
+    "timed",
+]
 
 
 def register_counter_source(source: Callable[[], Dict[str, int]],
-                            reset: Optional[Callable[[], None]] = None) -> None:
+                            reset: Optional[Callable[[], None]] = None,
+                            name: Optional[str] = None) -> None:
     """Merge ``source()`` into every :func:`counters` snapshot.
 
-    ``reset``, when given, is invoked by :func:`reset_profile` so the
-    external tallies drop with everything else.
+    Registration is keyed by ``name`` (default: the source callable's
+    module-qualified name), so registering the same source twice — a
+    reloaded module, a re-initialised subsystem — replaces the old
+    entry instead of double-counting every snapshot.  ``reset``, when
+    given, is invoked by :func:`reset_profile` so the external tallies
+    drop with everything else.
     """
-    _COUNTER_SOURCES.append((source, reset))
+    if name is None:
+        name = (f"{getattr(source, '__module__', '?')}."
+                f"{getattr(source, '__qualname__', repr(source))}")
+    REGISTRY.register_source(name, source, reset)
 
 
 @contextmanager
@@ -71,42 +70,27 @@ def timed(phase: str) -> Iterator[None]:
     try:
         yield
     finally:
-        elapsed = time.perf_counter() - start
-        with _LOCK:
-            stat = _STATS.setdefault(phase, PhaseStat())
-            stat.calls += 1
-            stat.seconds += elapsed
+        REGISTRY.record_phase(phase, time.perf_counter() - start)
 
 
 def bump(counter: str, amount: int = 1) -> None:
     """Increment the named counter."""
-    with _LOCK:
-        _COUNTERS[counter] = _COUNTERS.get(counter, 0) + amount
+    REGISTRY.bump(counter, amount)
 
 
 def stats() -> Dict[str, PhaseStat]:
     """Snapshot of the phase timings."""
-    with _LOCK:
-        return {name: PhaseStat(s.calls, s.seconds) for name, s in _STATS.items()}
+    return REGISTRY.stats()
 
 
 def counters() -> Dict[str, int]:
     """Snapshot of the counters (including registered sources)."""
-    with _LOCK:
-        out = dict(_COUNTERS)
-    for source, _reset in _COUNTER_SOURCES:
-        out.update(source())
-    return out
+    return REGISTRY.counters()
 
 
 def reset_profile() -> None:
     """Drop all accumulated timings and counters."""
-    with _LOCK:
-        _STATS.clear()
-        _COUNTERS.clear()
-    for _source, reset in _COUNTER_SOURCES:
-        if reset is not None:
-            reset()
+    REGISTRY.reset()
 
 
 def render_profile(title: str = "pipeline profile") -> str:

@@ -26,6 +26,7 @@ from repro.ecosystem.mount import Ext4Mount
 from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
 from repro.errors import ReproError
 from repro.fsimage.blockdev import BlockDevice
+from repro.obs.tracer import span
 from repro.perf import SnapshotCache, bump, run_campaign, timed
 
 #: Stages a driven configuration can reach.
@@ -387,6 +388,14 @@ class ConBugCk:
         Pure with respect to the generator: no RNG, no shared mutable
         state — which is what makes the parallel fan-out deterministic.
         """
+        with span("conbugck.config", blocksize=config.blocksize,
+                  mount_options=config.mount_options):
+            return self._drive_one_inner(config, fs_blocks, cache, track_io)
+
+    def _drive_one_inner(self, config: GeneratedConfig, fs_blocks: int,
+                         cache: Optional[SnapshotCache],
+                         track_io: bool,
+                         ) -> Tuple[Tuple[str, ...], Optional[str]]:
         reached: List[str] = []
         try:
             with timed("campaign.stage.mkfs"):

@@ -29,6 +29,7 @@ from repro.ecosystem.manpages import (
     ManualPage,
     build_manual_corpus,
 )
+from repro.obs.tracer import span
 
 
 @dataclass
@@ -55,12 +56,13 @@ class ConDocCk:
 
     def check(self, dependencies: Sequence[Dependency]) -> List[DocIssue]:
         """Cross-check every dependency; returns the found issues."""
-        issues: List[DocIssue] = []
-        for dep in dependencies:
-            issue = self._check_one(dep)
-            if issue is not None:
-                issues.append(issue)
-        return issues
+        with span("condocck.check", dependencies=len(dependencies)):
+            issues: List[DocIssue] = []
+            for dep in dependencies:
+                issue = self._check_one(dep)
+                if issue is not None:
+                    issues.append(issue)
+            return issues
 
     def check_extracted(self) -> List[DocIssue]:
         """Run extraction and check the validated true dependencies."""

@@ -31,6 +31,7 @@ from repro.ecosystem.mount import Ext4Mount
 from repro.ecosystem.resize2fs import Resize2fs, Resize2fsConfig
 from repro.errors import MountError, ReproError, UsageError
 from repro.fsimage.blockdev import BlockDevice
+from repro.obs.tracer import span
 from repro.perf import SnapshotCache, run_campaign
 
 
@@ -180,20 +181,21 @@ class ConHandleCk:
 
     def violate(self, dep: Dependency) -> ViolationResult:
         """Construct and run the violation for one dependency."""
-        try:
-            if dep.kind is SubKind.SD_VALUE_RANGE:
-                return self._violate_sd(dep, _RANGE_VIOLATIONS)
-            if dep.kind is SubKind.SD_DATA_TYPE:
-                return self._violate_sd(dep, _TYPE_VIOLATIONS)
-            if dep.category is Category.CPD:
-                return self._violate_cpd(dep)
-            if dep.category is Category.CCD:
-                return self._violate_ccd(dep)
-        except ReproError as exc:  # defensive: unexpected error path
-            return ViolationResult(dep, ViolationOutcome.ACCEPTED,
-                                   f"unexpected error {exc}")
-        return ViolationResult(dep, ViolationOutcome.NOT_EXERCISED,
-                               "no violation driver")
+        with span("conhandleck.violate", dependency=dep.key()):
+            try:
+                if dep.kind is SubKind.SD_VALUE_RANGE:
+                    return self._violate_sd(dep, _RANGE_VIOLATIONS)
+                if dep.kind is SubKind.SD_DATA_TYPE:
+                    return self._violate_sd(dep, _TYPE_VIOLATIONS)
+                if dep.category is Category.CPD:
+                    return self._violate_cpd(dep)
+                if dep.category is Category.CCD:
+                    return self._violate_ccd(dep)
+            except ReproError as exc:  # defensive: unexpected error path
+                return ViolationResult(dep, ViolationOutcome.ACCEPTED,
+                                       f"unexpected error {exc}")
+            return ViolationResult(dep, ViolationOutcome.NOT_EXERCISED,
+                                   "no violation driver")
 
     # ---- SD --------------------------------------------------------------
 

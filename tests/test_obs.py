@@ -1,0 +1,574 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the tracer (nesting, thread handoff, disabled fast path), the
+JSONL/Chrome event sinks and their checked-in schemas, run manifests
+and ``repro-runs diff``, dependency provenance, the metrics registry
+(idempotent counter-source registration), and the CLI surface:
+results on stdout, status on stderr, one rooted span tree per run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import events, manifest, tracer
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.schema import SchemaError, validate
+
+
+# ---------------------------------------------------------------------------
+# tracer core
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_span_is_shared_noop():
+    assert not tracer.is_enabled()
+    cm = tracer.span("anything", attr=1)
+    assert cm is tracer.span("something.else")
+    with cm:
+        pass  # reentrant, stateless
+    cm.set_attr("dropped", True)  # silently ignored
+
+
+def test_span_nesting_builds_a_tree():
+    t = tracer.Tracer("unit")
+    with tracer.enabled(t):
+        with tracer.span("root", kind="outer"):
+            with tracer.span("child.a"):
+                pass
+            with tracer.span("child.b"):
+                with tracer.span("grandchild"):
+                    pass
+    assert len(t) == 4
+    roots = t.roots()
+    assert [s.name for s in roots] == ["root"]
+    children = t.children(roots[0])
+    assert [s.name for s in children] == ["child.a", "child.b"]
+    assert [s.name for s in t.children(children[1])] == ["grandchild"]
+    assert roots[0].attrs == {"kind": "outer"}
+    assert all(s.duration >= 0.0 for s in t.spans)
+
+
+def test_span_records_exception_and_reraises():
+    t = tracer.Tracer("unit")
+    with tracer.enabled(t):
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+    (span,) = t.spans
+    assert span.error == "ValueError: boom"
+
+
+def test_enabled_restores_previous_tracer():
+    outer = tracer.Tracer("outer")
+    inner = tracer.Tracer("inner")
+    with tracer.enabled(outer):
+        with tracer.enabled(inner):
+            assert tracer.active() is inner
+        assert tracer.active() is outer
+    assert tracer.active() is None
+
+
+def test_capture_adopt_stitches_worker_threads():
+    t = tracer.Tracer("unit")
+    with tracer.enabled(t):
+        with tracer.span("fanout"):
+            parent = tracer.capture()
+
+            def worker():
+                with tracer.adopt(parent):
+                    with tracer.span("in.worker"):
+                        pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+    root = t.roots()[0]
+    assert root.name == "fanout"
+    (child,) = t.children(root)
+    assert child.name == "in.worker"
+    assert child.thread != root.thread
+
+
+def test_capture_returns_none_when_disabled():
+    assert tracer.capture() is None
+
+
+def test_run_ordered_hands_spans_to_workers():
+    from repro.perf.parallel import run_ordered
+
+    t = tracer.Tracer("unit")
+    with tracer.enabled(t):
+        with tracer.span("pool"):
+            def work(i):
+                with tracer.span("item", index=i):
+                    return i * 2
+            assert run_ordered(4, work, [0, 1, 2, 3]) == [0, 2, 4, 6]
+    root = t.roots()[0]
+    items = t.children(root)
+    assert sorted(s.attrs["index"] for s in items) == [0, 1, 2, 3]
+    assert all(s.parent_id == root.span_id for s in items)
+
+
+# ---------------------------------------------------------------------------
+# schema validator
+# ---------------------------------------------------------------------------
+
+
+def test_schema_validate_accepts_and_rejects():
+    schema = {
+        "type": "object",
+        "properties": {
+            "n": {"type": "integer", "minimum": 1},
+            "tag": {"type": "string", "enum": ["a", "b"]},
+            "items": {"type": "array", "items": {"type": "number"}},
+        },
+        "required": ["n"],
+        "additionalProperties": False,
+    }
+    validate({"n": 3, "tag": "a", "items": [1, 2.5]}, schema)
+    with pytest.raises(SchemaError):
+        validate({"n": 0}, schema)  # minimum
+    with pytest.raises(SchemaError):
+        validate({"tag": "a"}, schema)  # required
+    with pytest.raises(SchemaError):
+        validate({"n": 1, "extra": 1}, schema)  # additionalProperties
+    with pytest.raises(SchemaError):
+        validate({"n": True}, schema)  # bool is not an integer
+    with pytest.raises(SchemaError):
+        validate({"n": 1, "tag": "c"}, schema)  # enum
+
+
+def test_schema_rejects_unknown_keywords():
+    with pytest.raises(SchemaError):
+        validate(1, {"type": "integer", "multipleOf": 3})
+
+
+# ---------------------------------------------------------------------------
+# metrics registry (satellite: idempotent counter sources)
+# ---------------------------------------------------------------------------
+
+
+def test_counter_source_registration_is_idempotent():
+    registry = MetricsRegistry()
+
+    def source():
+        return {"test.counter": 7}
+
+    registry.register_source("test.src", source)
+    registry.register_source("test.src", source)  # replaces, not stacks
+    assert registry.counters()["test.counter"] == 7
+
+
+def test_global_register_counter_source_keyed_by_name():
+    from repro.perf.timers import counters, register_counter_source
+
+    tally = {"value": 0}
+
+    def source():
+        tally["value"] += 1
+        return {"test.obs.source.calls": tally["value"]}
+
+    try:
+        register_counter_source(source, name="test.obs.source")
+        register_counter_source(source, name="test.obs.source")
+        before = tally["value"]
+        counters()
+        # One snapshot -> exactly one call; a double registration of
+        # the old list-based implementation would have called it twice.
+        assert tally["value"] == before + 1
+    finally:
+        assert REGISTRY.unregister_source("test.obs.source")
+
+
+def test_counter_source_reset_hook_runs_on_reset():
+    registry = MetricsRegistry()
+    state = {"n": 5}
+    registry.register_source("test.src", lambda: {"x": state["n"]},
+                             lambda: state.update(n=0))
+    registry.bump("y", 3)
+    registry.reset()
+    assert state["n"] == 0
+    assert registry.counters() == {"x": 0}
+
+
+# ---------------------------------------------------------------------------
+# extraction under tracing: shape and byte-identity
+# ---------------------------------------------------------------------------
+
+#: Span names the extractor emits deterministically — one per analyzed
+#: unit of work, independent of memo state.  Cache and solver spans
+#: (corpus.compile, taint.solve, cache.disk.*) depend on which worker
+#: loses a memo race, so tree tests filter to this set.
+_DETERMINISTIC = {"extract.all", "extract.scenario", "extract.function",
+                  "extract.bridge"}
+
+#: Attrs that identify a span's work item (jobs/timings excluded).
+_SHAPE_ATTRS = ("scenario", "unit", "function", "scenarios")
+
+
+def _shape(t: tracer.Tracer, span=None):
+    """Order-independent canonical form of the deterministic span tree."""
+    nodes = t.roots() if span is None else t.children(span)
+    out = []
+    for node in nodes:
+        if node.name not in _DETERMINISTIC:
+            continue
+        attrs = tuple((k, node.attrs[k]) for k in _SHAPE_ATTRS
+                      if k in node.attrs)
+        out.append((node.name, attrs, tuple(sorted(_shape(t, node)))))
+    return sorted(out)
+
+
+def _traced_extraction(jobs):
+    from repro.analysis.extractor import extract_all
+
+    t = tracer.Tracer(f"jobs{jobs}")
+    with tracer.enabled(t):
+        report = extract_all(jobs=jobs)
+    return t, report
+
+
+def _canonical(report):
+    lines = []
+    for result in report.scenarios:
+        lines.append(f"## {result.spec.name}")
+        lines.extend(dep.key() for dep in result.dependencies)
+    lines.append("## union")
+    lines.extend(dep.key() for dep in report.union)
+    return "\n".join(lines)
+
+
+def test_span_tree_same_shape_sequential_and_parallel(extraction_report):
+    t1, r1 = _traced_extraction(jobs=1)
+    t4, r4 = _traced_extraction(jobs=4)
+    assert _canonical(r1) == _canonical(r4)
+    shape1, shape4 = _shape(t1), _shape(t4)
+    assert shape1 == shape4
+    # The tree really is populated: 1 extract.all root, 4 scenarios.
+    assert len(shape1) == 1
+    assert shape1[0][0] == "extract.all"
+    assert len(shape1[0][2]) == 4
+
+
+def test_parallel_trace_is_single_rooted(extraction_report):
+    t, _report = _traced_extraction(jobs=4)
+    by_id = {s.span_id: s for s in t.spans}
+    roots = [s for s in t.spans if s.parent_id is None]
+    assert len(roots) == 1
+    for span in t.spans:
+        if span.parent_id is not None:
+            assert span.parent_id in by_id
+
+
+def test_tracing_does_not_change_the_report(extraction_report):
+    from repro.analysis.extractor import extract_all
+    from repro.corpus.loader import clear_cache
+
+    clear_cache()
+    plain = _canonical(extract_all())
+    clear_cache()
+    t = tracer.Tracer("check")
+    with tracer.enabled(t):
+        traced = _canonical(extract_all())
+    assert len(t) > 0
+    assert plain == traced
+
+
+# ---------------------------------------------------------------------------
+# event sinks
+# ---------------------------------------------------------------------------
+
+
+def _small_trace():
+    t = tracer.Tracer("unit")
+    with tracer.enabled(t):
+        with tracer.span("outer", n=1):
+            with tracer.span("inner", tag="x"):
+                pass
+    return t
+
+
+def test_jsonl_round_trip_and_schema(tmp_path):
+    t = _small_trace()
+    path = str(tmp_path / "trace.jsonl")
+    assert events.write_jsonl(t, path) == 2
+    assert events.validate_events_file(path) == 2
+    header, spans = events.read_jsonl(path)
+    assert header["trace"] == "unit"
+    assert header["spans"] == 2
+    by_name = {e["name"]: e for e in spans}
+    assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+    assert by_name["inner"]["attrs"] == {"tag": "x"}
+    assert by_name["outer"]["error"] is None
+
+
+def test_jsonl_validation_catches_corruption(tmp_path):
+    t = _small_trace()
+    path = str(tmp_path / "trace.jsonl")
+    events.write_jsonl(t, path)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    # Drop the root: the child now references a missing parent.
+    bad = [lines[0]] + [l for l in lines[1:]
+                        if json.loads(l)["name"] != "outer"]
+    (tmp_path / "bad.jsonl").write_text("\n".join(bad) + "\n")
+    with pytest.raises(ValueError):
+        events.validate_events_file(str(tmp_path / "bad.jsonl"))
+
+
+def test_chrome_trace_export(tmp_path):
+    t = _small_trace()
+    path = str(tmp_path / "chrome.json")
+    assert events.write_chrome_trace(t, path) == 2
+    assert events.validate_chrome_trace_file(path) == 2
+    payload = json.load(open(path, encoding="utf-8"))
+    xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in xs}
+    assert names == {"outer", "inner"}
+    assert all(e["ts"] >= 0 for e in xs)
+    metas = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+    assert any(e["name"] == "thread_name" for e in metas)
+
+
+# ---------------------------------------------------------------------------
+# manifests
+# ---------------------------------------------------------------------------
+
+
+def test_report_digest_is_order_independent():
+    a = manifest.report_digest(["k1", "k2", "k3"])
+    b = manifest.report_digest(["k3", "k1", "k2"])
+    assert a == b
+    assert a != manifest.report_digest(["k1", "k2"])
+
+
+def test_manifest_build_write_load(tmp_path):
+    m = manifest.build_manifest("repro-extract", wall_seconds=1.5, jobs=2,
+                                argv=["--json", "x"],
+                                report_keys=["a", "b"], report_summary="2 deps")
+    path = str(tmp_path / "run.json")
+    manifest.write_manifest(m, path)
+    loaded = manifest.load_manifest(path)
+    assert loaded["tool"] == "repro-extract"
+    assert loaded["report"]["count"] == 2
+    assert loaded["report"]["digest"] == manifest.report_digest(["a", "b"])
+    assert set(loaded["engine"]) == {"solver", "lex", "parser", "lattice"}
+    assert len(loaded["corpus"]) == 9
+
+
+def test_manifest_schema_rejects_bad_engine_mode(tmp_path):
+    m = manifest.build_manifest("t", wall_seconds=0.0)
+    m["engine"]["solver"] = "quantum"
+    with pytest.raises(SchemaError):
+        manifest.write_manifest(m, str(tmp_path / "bad.json"))
+
+
+def test_manifest_diff_flags_solver_and_digest():
+    a = manifest.build_manifest("t", 1.0, report_keys=["x", "y"])
+    b = manifest.build_manifest("t", 2.0, report_keys=["x", "y"],
+                                engine_overrides={"solver": "dense"})
+    diff = manifest.diff_manifests(a, b)
+    assert any(line == "engine.solver: sparse -> dense" for line in diff)
+    assert not manifest.manifests_equivalent(diff)
+    assert "runs differ:" in manifest.render_diff(a, b)
+
+    c = manifest.build_manifest("t", 3.0, report_keys=["y", "x"])
+    diff_ac = manifest.diff_manifests(a, c)
+    assert manifest.manifests_equivalent(diff_ac)
+    assert "runs are equivalent" in manifest.render_diff(a, c)
+
+    d = manifest.build_manifest("t", 1.0, report_keys=["x"])
+    assert any(line.startswith("report.digest:")
+               for line in manifest.diff_manifests(a, d))
+
+
+# ---------------------------------------------------------------------------
+# provenance
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def provenance_index(extraction_report):
+    from repro.obs.provenance import ProvenanceIndex
+
+    return ProvenanceIndex.build(report=extraction_report)
+
+
+def test_provenance_names_shared_struct_fields(provenance_index):
+    shared = [p for p in provenance_index.known_params()
+              if provenance_index.explain(p).shared_fields]
+    # The acceptance floor: provenance output names the shared-struct
+    # fields for at least five corpus parameters.
+    assert len(shared) >= 5
+    record = provenance_index.explain("mke2fs.sparse_super2")
+    assert "ext2_super_block.s_feature_compat" in record.shared_fields
+    assert any(st["struct"] == "ext2_super_block" for st in record.stores)
+    assert any(ld["component"] != "mke2fs" for ld in record.loads)
+
+
+def test_provenance_links_dependencies(provenance_index):
+    record = provenance_index.explain("mke2fs.blocksize")
+    assert record.entry_points
+    assert any("blocksize" in key for key in record.dependencies)
+    rendered = record.render()
+    assert "provenance for mke2fs.blocksize" in rendered
+    assert "enters the analysis at" in rendered
+
+
+def test_provenance_resolve(provenance_index):
+    assert provenance_index.resolve("sparse_super2") == "mke2fs.sparse_super2"
+    with pytest.raises(ValueError):
+        provenance_index.resolve("definitely_not_a_param")
+    # 'size' exists in both resize2fs and e2fsck contexts? if unique it
+    # resolves; ambiguity must raise rather than guess.
+    known = provenance_index.known_params()
+    bare = {}
+    for param in known:
+        bare.setdefault(param.split(".", 1)[1], []).append(param)
+    ambiguous = [n for n, ps in bare.items() if len(ps) > 1]
+    if ambiguous:
+        with pytest.raises(ValueError):
+            provenance_index.resolve(ambiguous[0])
+
+
+def test_dependency_provenance_records(provenance_index, extraction_report):
+    from repro.obs.provenance import dependency_provenance
+
+    dep = next(d for d in extraction_report.union
+               if "sparse_super2" in d.key() and "resize2fs" in d.key())
+    prov = dependency_provenance(provenance_index, dep)
+    assert str(dep.params[0]) in prov
+    record = prov["mke2fs.sparse_super2"]
+    assert record["shared_fields"] == ["ext2_super_block.s_feature_compat"]
+    assert "trace" not in record  # compact by default
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+
+def test_cli_trace_explain_end_to_end(tmp_path, capsys):
+    from repro.cli import main_extract
+
+    trace = str(tmp_path / "run.jsonl")
+    chrome = str(tmp_path / "run.json")
+    man = str(tmp_path / "manifest.json")
+    rc = main_extract(["--trace", trace, "--chrome-trace", chrome,
+                       "--manifest", man, "-j", "4",
+                       "--explain", "sparse_super2"])
+    assert rc == 0
+    out, err = capsys.readouterr()
+    # stdout: the provenance report; stderr: the artifact status lines.
+    assert "provenance for mke2fs.sparse_super2" in out
+    assert "wrote" not in out
+    assert trace in err and chrome in err and man in err
+
+    spans = events.validate_events_file(trace)
+    assert spans > 0
+    header, span_events = events.read_jsonl(trace)
+    roots = [e for e in span_events if e["parent"] is None]
+    assert len(roots) == 1 and roots[0]["name"] == "repro-extract"
+    assert events.validate_chrome_trace_file(chrome) == spans
+
+    m = manifest.load_manifest(man)
+    assert m["tool"] == "repro-extract"
+    assert m["jobs"] == 4
+    assert m["report"]["count"] == 64
+
+
+def test_cli_manifest_digest_matches_report(tmp_path, capsys,
+                                            extraction_report):
+    from repro.cli import main_extract
+
+    man = str(tmp_path / "m.json")
+    assert main_extract(["--manifest", man]) == 0
+    capsys.readouterr()
+    m = manifest.load_manifest(man)
+    expected = manifest.report_digest(
+        d.key() for d in extraction_report.union)
+    assert m["report"]["digest"] == expected
+    assert m["report"]["count"] == len(extraction_report.union)
+
+
+def test_cli_runs_diff(tmp_path, capsys):
+    from repro.cli import main_extract, main_runs
+
+    a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+    assert main_extract(["--manifest", a, "--solver", "sparse"]) == 0
+    assert main_extract(["--manifest", b, "--solver", "dense"]) == 0
+    capsys.readouterr()
+    rc = main_runs(["diff", a, b])
+    out, _err = capsys.readouterr()
+    assert rc == 1
+    assert "engine.solver: sparse -> dense" in out
+    # Same modes -> equivalent, exit 0.
+    assert main_extract(["--manifest", b, "--solver", "sparse"]) == 0
+    capsys.readouterr()
+    rc = main_runs(["diff", a, b])
+    out, _err = capsys.readouterr()
+    assert rc == 0
+    assert "runs are equivalent" in out
+
+
+def test_cli_runs_show(tmp_path, capsys):
+    from repro.cli import main_extract, main_runs
+
+    man = str(tmp_path / "m.json")
+    assert main_extract(["--manifest", man]) == 0
+    capsys.readouterr()
+    assert main_runs(["show", man]) == 0
+    out, _err = capsys.readouterr()
+    assert "tool:        repro-extract" in out
+    assert "count=64" in out
+
+
+def test_cli_profile_and_status_go_to_stderr(tmp_path, capsys):
+    from repro.cli import main_extract
+
+    path = str(tmp_path / "deps.json")
+    assert main_extract(["--profile", "--json", path]) == 0
+    out, err = capsys.readouterr()
+    assert "Table 5" in out
+    assert "pipeline profile" not in out
+    assert "pipeline profile" in err
+    assert f"wrote 64 dependencies to {path}" in err
+    assert "wrote" not in out
+
+
+def test_cli_provenance_embeds_records(tmp_path, capsys):
+    from repro.cli import main_extract
+
+    path = str(tmp_path / "deps.json")
+    assert main_extract(["--json", path, "--provenance"]) == 0
+    capsys.readouterr()
+    payload = json.load(open(path, encoding="utf-8"))
+    assert len(payload) == 64
+    assert all("provenance" in d for d in payload)
+    with_shared = [
+        d for d in payload
+        if any(not rec.get("unresolved") and rec.get("shared_fields")
+               for rec in d["provenance"].values())
+    ]
+    assert len(with_shared) >= 5
+    # The report remains loadable by the plain reader (extra key ignored).
+    from repro.analysis.jsonio import load_dependencies
+
+    deps = load_dependencies(path)
+    assert len(deps) == 64
+
+
+def test_cli_json_identical_with_and_without_tracing(tmp_path, capsys):
+    from repro.cli import main_extract
+
+    plain = tmp_path / "plain.json"
+    traced = tmp_path / "traced.json"
+    assert main_extract(["--json", str(plain)]) == 0
+    assert main_extract(["--json", str(traced),
+                         "--trace", str(tmp_path / "t.jsonl")]) == 0
+    capsys.readouterr()
+    assert plain.read_bytes() == traced.read_bytes()

@@ -3,14 +3,15 @@
 # speedup regresses below its floor, a parallel run stops being
 # byte-identical to sequential, or disabled tracing stops being (near)
 # free — and a traced end-to-end extraction whose artifacts must
-# validate against the checked-in schemas.  The solver, campaign, and
-# obs benchmarks also refresh the machine-readable BENCH_*.json files
-# at the repo root.
+# validate against the checked-in schemas.  The solver, campaign, obs,
+# and backend benchmarks refresh the machine-readable BENCH_*.json
+# files at the repo root, and bench-report folds them into one
+# BENCH_report.json trajectory.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench trace-smoke verify
+.PHONY: test bench-smoke bench bench-report trace-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,12 +21,17 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_solver.py --smoke
 	$(PYTHON) benchmarks/bench_campaign.py --smoke
 	$(PYTHON) benchmarks/bench_obs.py --smoke
+	$(PYTHON) benchmarks/bench_backend.py --smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
 	$(PYTHON) benchmarks/bench_solver.py
 	$(PYTHON) benchmarks/bench_campaign.py
 	$(PYTHON) benchmarks/bench_obs.py
+	$(PYTHON) benchmarks/bench_backend.py
+
+bench-report:
+	$(PYTHON) benchmarks/bench_report.py
 
 # End-to-end trace smoke: run a traced, manifested extraction through
 # the real CLI and validate every artifact it writes.
@@ -43,5 +49,5 @@ trace-smoke:
 	print(f'trace-smoke: OK ({n} spans, ' \
 	      f'{m[\"report\"][\"count\"]} dependencies)')"
 
-verify: test bench-smoke trace-smoke
+verify: test bench-smoke bench-report trace-smoke
 	@echo "verify: OK"

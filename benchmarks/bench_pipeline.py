@@ -22,6 +22,7 @@ or under pytest (``test_pipeline_perf`` applies the smoke thresholds).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import tempfile
@@ -32,6 +33,9 @@ from typing import List, Optional
 #: a loaded CI box does not flake the verify target).
 MIN_WARM_SPEEDUP = 3.0
 SMOKE_WARM_SPEEDUP = 2.0
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_pipeline.json")
 
 
 def _ensure_imports() -> None:
@@ -117,6 +121,30 @@ def run_benchmark(smoke: bool = False, jobs: int = 4, repeat: int = 3,
                  f"{'yes' if identical else 'NO'}")
     rendered += (f"\nwarm-disk speedup {warm_speedup:.2f}x "
                  f"(required >= {min_speedup:.1f}x)")
+
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump({
+            "mode": "smoke" if smoke else "full",
+            "repeat": repeat,
+            "jobs": jobs,
+            "seconds": {
+                "cold": cold,
+                "warm_disk": warm_disk,
+                "warm_memo": warm_memo,
+                "parallel_cold": par_cold,
+                "parallel_warm": par_warm,
+            },
+            "speedups": {
+                "warm_disk": warm_speedup,
+                "warm_memo": memo_speedup,
+            },
+            "floors": {"warm_disk": min_speedup},
+            "floor_enforced": {"warm_disk": True},
+            "ir_cache": {"hits": stats.hits, "misses": stats.misses,
+                         "stores": stats.stores, "errors": stats.errors},
+            "identical_outputs": bool(identical),
+        }, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
     if emit_fn is not None:
         emit_fn("pipeline", rendered)

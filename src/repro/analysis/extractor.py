@@ -16,16 +16,26 @@ from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.bridge import ComponentSummary, MetadataBridge
-from repro.analysis.constraints import derive_constraints
+from repro.analysis.constraints import (
+    derive_constraints,
+    findings_peek,
+    findings_seed,
+)
 from repro.analysis.groundtruth import is_false_positive
 from repro.analysis.model import Category, Dependency
 from repro.analysis.sources import SOURCES_BY_UNIT
-from repro.analysis.taint import analyze_function
-from repro.corpus.loader import load_unit
+from repro.analysis.taint import (
+    analyze_function,
+    memo_peek,
+    memo_seed,
+    resolve_solver,
+)
+from repro.corpus import cache as disk
+from repro.corpus.loader import CorpusUnit, load_unit, unit_slices
 from repro.errors import UnknownFunctionError
 from repro.lang.cfg import build_cfg
 from repro.obs.tracer import span
-from repro.perf import resolve_jobs, run_ordered, timed
+from repro.perf import lattice, modes, resolve_jobs, run_ordered, timed
 
 
 @dataclass(frozen=True)
@@ -194,21 +204,39 @@ class Extractor:
     thread completion order.  ``solver`` picks the taint fixpoint
     scheduler (``None`` defers to ``$REPRO_SOLVER``); both schedulers
     extract identical dependency sets.
+
+    ``backend`` picks the execution engine (``None`` defers to
+    ``$REPRO_BACKEND``): ``thread`` fans out inside this process,
+    ``process`` puts the CPU-bound phases — unit compiles and function
+    analyses — on a spawn-based worker pool
+    (:mod:`repro.perf.procpool`), then assembles scenarios in the
+    parent from seeded memos.  Both backends produce byte-identical
+    reports; only wall-clock differs.
     """
 
     def __init__(self, scenarios: Sequence[ScenarioSpec] = SCENARIOS,
                  jobs: Optional[int] = None,
-                 solver: Optional[str] = None) -> None:
+                 solver: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
         self.scenarios = tuple(scenarios)
         self.jobs = resolve_jobs(jobs)
         self.solver = solver
+        self.backend = modes.resolve_mode("backend", backend)
 
     # ------------------------------------------------------------------
     # per-scenario
     # ------------------------------------------------------------------
 
     def _analyze_one(self, task: Tuple[str, str]):
-        """Taint + constraints for one pre-selected function."""
+        """Taint + constraints for one pre-selected function.
+
+        Resolution order is memo → disk store → compute: the in-memory
+        memos win within a process, the function-level analysis store
+        (:mod:`repro.corpus.cache`) carries results across processes,
+        and only genuinely new content pays for a fixpoint.  A store
+        hit seeds both memos, so the pair keeps the identity coupling
+        (``findings`` derived from exactly ``state``) the memos assert.
+        """
         filename, fn_name = task
         with span("extract.function", unit=filename, function=fn_name):
             unit = load_unit(filename)
@@ -219,13 +247,58 @@ class Extractor:
                 raise UnknownFunctionError(
                     f"pre-selected function {fn_name!r} missing from {filename}"
                 ) from None
+            component = unit.component
+            state = memo_peek(func, sources, component, self.solver)
+            if state is not None:
+                findings = findings_peek(func, state, sources, component,
+                                         filename)
+                if findings is not None:
+                    return state, findings
+            store_key = self._store_key(unit, fn_name, sources)
+            if store_key:
+                pair = disk.load_analysis(store_key)
+                if pair is not None:
+                    state, findings = pair
+                    if (getattr(state, "function", None) == fn_name
+                            and getattr(findings, "function", None) == fn_name):
+                        memo_seed(func, sources, component, state, self.solver)
+                        findings_seed(func, state, findings, sources,
+                                      component, filename)
+                        self._record_graph(unit, fn_name, store_key, state)
+                        return state, findings
             cfg = build_cfg(func)
-            state = analyze_function(func, sources, unit.component,
+            state = analyze_function(func, sources, component,
                                      solver=self.solver)
             findings = derive_constraints(
-                func, cfg, state, sources, unit.component, filename
+                func, cfg, state, sources, component, filename
             )
+            if store_key:
+                disk.store_analysis(store_key, state, findings)
+                self._record_graph(unit, fn_name, store_key, state)
             return state, findings
+
+    def _store_key(self, unit: CorpusUnit, fn_name: str, sources) -> str:
+        """The analysis-store key for one function, or '' when disabled."""
+        if not disk.disk_cache_enabled():
+            return ""
+        slice_hash = unit_slices(unit).get(fn_name, "")
+        if not slice_hash:
+            return ""
+        return disk.analysis_key(
+            unit.filename, fn_name, slice_hash, sources.fingerprint(),
+            unit.component, resolve_solver(self.solver),
+            lattice.resolve_lattice_mode(),
+        )
+
+    @staticmethod
+    def _record_graph(unit: CorpusUnit, fn_name: str, key: str,
+                      state) -> None:
+        """Queue this function's invalidation-graph record."""
+        disk.record_analysis(
+            unit.filename, fn_name, unit_slices(unit)[fn_name], key,
+            reads=(f"{r.struct}.{r.field}" for r in state.field_reads),
+            writes=(f"{w.struct}.{w.field}" for w in state.field_writes),
+        )
 
     def extract_scenario(self, spec: ScenarioSpec) -> ScenarioResult:
         """Extract one scenario's unique dependency set."""
@@ -255,15 +328,96 @@ class Extractor:
     # all scenarios
     # ------------------------------------------------------------------
 
+    def _unit_names(self) -> List[str]:
+        """Distinct unit filenames across the scenarios, in first-use order."""
+        seen = []
+        for spec in self.scenarios:
+            for filename, _functions in spec.selected:
+                if filename not in seen:
+                    seen.append(filename)
+        return seen
+
+    def _invalidate_stale(self) -> None:
+        """Eagerly prune store entries orphaned by corpus edits."""
+        if not disk.disk_cache_enabled():
+            return
+        current = {
+            filename: dict(unit_slices(load_unit(filename)))
+            for filename in self._unit_names()
+        }
+        disk.invalidate_changed(current)
+
     def extract_all(self) -> ExtractionReport:
         """Extract every scenario plus the unique union."""
         with span("extract.all", scenarios=len(self.scenarios),
-                  jobs=self.jobs), timed("extract.all"):
+                  jobs=self.jobs, backend=self.backend), timed("extract.all"):
+            if self.backend == "process":
+                self._process_prepare()
+            else:
+                self._invalidate_stale()
             results = run_ordered(self.jobs, self.extract_scenario, self.scenarios)
             union: List[Dependency] = []
             for result in results:
                 union.extend(result.dependencies)
+            disk.flush_graph()
             return ExtractionReport(results, _dedupe(union))
+
+    # ------------------------------------------------------------------
+    # process backend
+    # ------------------------------------------------------------------
+
+    def _process_prepare(self) -> None:
+        """Run the CPU-bound phases on the worker pool, seed the memos.
+
+        Two pool phases ahead of assembly:
+
+        1. distribute the distinct unit *compiles* across workers —
+           compiled IR lands in the shared disk cache, so the parent's
+           own loads afterwards are cheap decodes (with the disk cache
+           disabled this phase is skipped and the parent compiles);
+        2. dedupe the distinct ``(unit, function)`` analyses across
+           all scenarios — each Table-5 scenario re-selects mostly the
+           same functions — and fan them out; results return as codec
+           blobs and seed the parent's memos.
+
+        Assembly then runs the ordinary thread path: every
+        ``_analyze_one`` is a memo hit, the bridge joins in the parent,
+        and merge order comes from the spec — which is how a process
+        run stays byte-identical to thread and sequential runs.
+        """
+        from repro.perf import codec, procpool
+
+        with span("extract.procpool", jobs=self.jobs):
+            pool = procpool.get_pool(self.jobs)
+            unit_names = self._unit_names()
+            if disk.disk_cache_enabled():
+                with span("extract.procpool.compile", units=len(unit_names)):
+                    pool.run_ordered(
+                        [("corpus.compile", (name,)) for name in unit_names]
+                    )
+            self._invalidate_stale()
+            tasks: List[Tuple[str, str]] = []
+            seen = set()
+            for spec in self.scenarios:
+                for filename, functions in spec.selected:
+                    for fn_name in functions:
+                        if (filename, fn_name) not in seen:
+                            seen.add((filename, fn_name))
+                            tasks.append((filename, fn_name))
+            with span("extract.procpool.analyze", functions=len(tasks)):
+                results = pool.run_ordered([
+                    ("extract.function", (filename, fn_name, self.solver))
+                    for filename, fn_name in tasks
+                ])
+            for (filename, fn_name), (blob, records) in zip(tasks, results):
+                state, findings = codec.loads(blob)
+                unit = load_unit(filename)
+                func = unit.module.function(fn_name)
+                sources = SOURCES_BY_UNIT[filename]
+                memo_seed(func, sources, unit.component, state, self.solver)
+                findings_seed(func, state, findings, sources, unit.component,
+                              filename)
+                disk.merge_pending(records)
 
 
 def _dedupe(deps: List[Dependency]) -> List[Dependency]:
@@ -280,6 +434,8 @@ def _dedupe(deps: List[Dependency]) -> List[Dependency]:
 
 def extract_all(scenarios: Sequence[ScenarioSpec] = SCENARIOS,
                 jobs: Optional[int] = None,
-                solver: Optional[str] = None) -> ExtractionReport:
+                solver: Optional[str] = None,
+                backend: Optional[str] = None) -> ExtractionReport:
     """Convenience: run the full Table-5 extraction."""
-    return Extractor(scenarios, jobs=jobs, solver=solver).extract_all()
+    return Extractor(scenarios, jobs=jobs, solver=solver,
+                     backend=backend).extract_all()

@@ -49,7 +49,6 @@ this transfer change anything" is a pointer comparison.  Select with
 from __future__ import annotations
 
 import heapq
-import os
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
@@ -84,13 +83,13 @@ from repro.lang.ir import (
     Value,
     Var,
 )
-from repro.perf import lattice
+from repro.perf import lattice, modes
 
 #: Environment knob selecting the fixpoint scheduler.
-SOLVER_ENV = "REPRO_SOLVER"
+SOLVER_ENV = modes.knob("solver").env
 
 #: Recognized scheduler names (first is the default).
-SOLVER_MODES = ("sparse", "dense")
+SOLVER_MODES = modes.knob("solver").modes
 
 #: Extra sweeps/rounds the convergence bound allows beyond the
 #: instruction count.  The longest dependency chain a flow-insensitive
@@ -102,12 +101,7 @@ CONVERGENCE_SLACK = 16
 
 def resolve_solver(explicit: Optional[str] = None) -> str:
     """The scheduler to use: ``explicit`` arg, else $REPRO_SOLVER, else sparse."""
-    mode = explicit or os.environ.get(SOLVER_ENV, "").strip().lower() or SOLVER_MODES[0]
-    if mode not in SOLVER_MODES:
-        raise ValueError(
-            f"unknown taint solver {mode!r}; expected one of {', '.join(SOLVER_MODES)}"
-        )
-    return mode
+    return modes.resolve_mode("solver", explicit)
 
 
 @dataclass(frozen=True)
@@ -650,6 +644,39 @@ def _feature_of(value: Value) -> Optional[str]:
 _ANALYSIS_MEMO: Dict[Tuple[str, str, str, str, str, str], TaintState] = {}
 
 perf.register_memo("taint.analyze", _ANALYSIS_MEMO.clear)
+
+
+def _memo_key(func: Function, sources: ComponentSources, component: str,
+              solver: str) -> Optional[Tuple[str, str, str, str, str, str]]:
+    """The analysis-memo key for ``func``, or None when unkeyable."""
+    fingerprint = getattr(func, "module_fingerprint", "")
+    if not fingerprint:
+        return None
+    return (fingerprint, func.name, sources.fingerprint(), component, solver,
+            lattice.resolve_lattice_mode())
+
+
+def memo_peek(func: Function, sources: ComponentSources, component: str,
+              solver: Optional[str] = None) -> Optional[TaintState]:
+    """The memoized state for ``func``, without computing on a miss."""
+    key = _memo_key(func, sources, component, resolve_solver(solver))
+    return _ANALYSIS_MEMO.get(key) if key is not None else None
+
+
+def memo_seed(func: Function, sources: ComponentSources, component: str,
+              state: TaintState, solver: Optional[str] = None) -> bool:
+    """Install a state (e.g. decoded from the disk store) into the memo.
+
+    Returns False when ``func`` carries no module fingerprint (nothing
+    to key by).  Seeding makes every later :func:`analyze_function`
+    call for the same content return *this exact object*, which is what
+    lets the constraint layer's identity-checked memo pair up with it.
+    """
+    key = _memo_key(func, sources, component, resolve_solver(solver))
+    if key is None:
+        return False
+    _ANALYSIS_MEMO[key] = state
+    return True
 
 
 def analyze_function(func: Function, sources: ComponentSources,

@@ -28,6 +28,17 @@ def _status(message: str) -> None:
     print(message, file=sys.stderr)
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--backend`` flag (extraction execution engine)."""
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default=None,
+                        help="extraction execution backend (default: "
+                             "$REPRO_BACKEND or thread; process runs the "
+                             "frontend and taint fixpoints on real cores "
+                             "via a warm spawn pool — reports are "
+                             "byte-identical either way)")
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     """The shared observability flags every repro-* command takes."""
     group = parser.add_argument_group("observability")
@@ -150,6 +161,7 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
                         help="taint fixpoint scheduler (default: $REPRO_SOLVER "
                              "or sparse; dense is the reference escape hatch — "
                              "both produce identical dependencies)")
+    _add_backend_arg(parser)
     parser.add_argument("--explain", metavar="PARAM", action="append",
                         default=None,
                         help="print the taint provenance of one parameter "
@@ -175,7 +187,10 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
     with _ObsSession("repro-extract", args, argv) as obs:
         if args.solver:
             obs.set_engine(solver=args.solver)
-        report = extract_all(jobs=args.jobs, solver=args.solver)
+        if args.backend:
+            obs.set_engine(backend=args.backend)
+        report = extract_all(jobs=args.jobs, solver=args.solver,
+                             backend=args.backend)
         obs.set_report([d.key() for d in report.union],
                        summary=f"{len(report.union)} unique dependencies, "
                                f"{len(report.scenarios)} scenarios")
@@ -255,6 +270,7 @@ def main_conhandleck(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="parallel violation workers (0 = one per CPU; "
                              "default: $REPRO_JOBS or sequential)")
+    _add_backend_arg(parser)
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown afterwards")
     _add_obs_args(parser)
@@ -266,7 +282,10 @@ def main_conhandleck(argv: Optional[List[str]] = None) -> int:
     if args.profile:
         reset_profile()
     with _ObsSession("repro-conhandleck", args, argv) as obs:
-        report = ConHandleCk().check_extracted(jobs=args.jobs)
+        if args.backend:
+            obs.set_engine(backend=args.backend)
+        report = ConHandleCk().check_extracted(jobs=args.jobs,
+                                               backend=args.backend)
         summary = ", ".join(f"{o.value}={c}"
                             for o, c in report.by_outcome().items() if c)
         obs.set_report([str(r) for r in report.results], summary=summary)
@@ -298,6 +317,7 @@ def main_conbugck(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="parallel campaign workers (0 = one per CPU; "
                              "default: $REPRO_JOBS or sequential)")
+    _add_backend_arg(parser)
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown afterwards")
     _add_obs_args(parser)
@@ -309,7 +329,10 @@ def main_conbugck(argv: Optional[List[str]] = None) -> int:
     if args.profile:
         reset_profile()
     with _ObsSession("repro-conbugck", args, argv) as obs:
-        generator = ConBugCk.from_extraction(seed=args.seed)
+        if args.backend:
+            obs.set_engine(backend=args.backend)
+        generator = ConBugCk.from_extraction(seed=args.seed, jobs=args.jobs,
+                                             backend=args.backend)
         guided = generator.drive(generator.generate(args.count), jobs=args.jobs)
         naive = generator.drive(generator.generate_naive(args.count),
                                 jobs=args.jobs)

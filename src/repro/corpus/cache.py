@@ -1,37 +1,66 @@
-"""Persistent on-disk cache of compiled IR modules.
+"""Persistent on-disk caches: compiled IR modules + analysis results.
 
-The mini-C frontend dominates cold-pipeline time (compiling the corpus
-costs ~10x the analysis itself), and every CLI invocation used to pay
-it again.  This cache pickles each compiled :class:`repro.lang.ir.Module`
-under a key derived from **content, not timestamps**:
+Two stores share one directory and one invalidation philosophy — keys
+derive from **content, not timestamps**, so stale entries are never
+*wrong*, only unreachable.
+
+**Module cache.**  The mini-C frontend dominates cold-pipeline time
+(compiling the corpus costs ~10x the analysis itself), and every CLI
+invocation used to pay it again.  Each compiled
+:class:`repro.lang.ir.Module` is pickled under
 
     sha256(cache schema | frontend version | filename | source text)
 
-so invalidation is automatic and exact: editing a corpus file changes
-its source text and therefore its key, and bumping
+so editing a corpus file changes its key, and bumping
 :data:`repro.lang.FRONTEND_VERSION` (any change to lexer / parser /
-sema / lower semantics) orphans every old entry at once.  Stale entries
-are never *wrong*, only unreachable; :func:`clear_disk_cache` prunes
-them.
+sema / lower semantics) orphans every old entry at once.
 
-Entries are written atomically (temp file + ``os.replace``) so
-concurrent processes never observe a torn pickle, and any entry that
-fails to unpickle is treated as a miss and deleted.
+**Function-level analysis store.**  Warm processes skip re-*analysis*
+through in-memory memos, but a fresh process used to redo every taint
+fixpoint even when the corpus had not changed.  The store persists one
+``(TaintState, FunctionFindings)`` pair per analyzed function —
+serialized with the compact :mod:`repro.perf.codec`, not pickle —
+keyed by the function's **source slice**, not the whole unit:
+
+    sha256(analysis schema | codec schema | frontend version
+           | filename | function | slice hash | sources fingerprint
+           | component | solver | lattice)
+
+The slice hash covers the unit's preamble (macros, struct layouts)
+plus the lines of the function itself, so editing one function's body
+re-analyzes *that function only*; every other function in the unit —
+and every other unit — keeps hitting the store.
+
+**Invalidation graph.**  ``an_graph.json`` records, per unit and
+function, the slice hash, the store key, and the ``struct.field``
+traffic the function reads and writes.  At extraction start,
+:func:`invalidate_changed` compares current slices against the graph
+and deletes the entries of changed functions **and** of bridge-affected
+neighbors — functions in *other* units sharing ``struct.field``
+traffic with a changed function.  Content keys already make stale
+entries unreachable; the graph makes the pruning eager and records the
+cross-unit dependency structure for inspection.
+
+All entries are written atomically (temp file + ``os.replace``) so
+concurrent processes never observe a torn entry, and any entry that
+fails to decode is treated as a miss and deleted.
 
 Knobs:
 
 - ``REPRO_CACHE_DIR``      — cache directory (default ``~/.cache/repro/ir``)
-- ``REPRO_NO_DISK_CACHE``  — set to ``1`` to disable the cache entirely
+- ``REPRO_NO_DISK_CACHE``  — set to ``1`` to disable both stores entirely
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.lang import FRONTEND_VERSION
 from repro.lang.ir import Module
@@ -47,6 +76,11 @@ DISABLE_ENV = "REPRO_NO_DISK_CACHE"
 #: Bump when the on-disk entry layout itself changes.
 CACHE_SCHEMA = 1
 
+#: Bump when analysis *semantics* change without a frontend change
+#: (e.g. new taint transfer rules, new constraint classifiers) — the
+#: analysis store has no way to see those from corpus content alone.
+ANALYSIS_SCHEMA = 1
+
 
 @dataclass
 class DiskCacheStats:
@@ -60,15 +94,24 @@ class DiskCacheStats:
 
 _STATS = DiskCacheStats()
 
+#: Separate tallies for the function-level analysis store.
+_AN_STATS = DiskCacheStats()
+
 
 def cache_stats() -> DiskCacheStats:
     """The process-wide disk-cache tallies (live object)."""
     return _STATS
 
 
+def analysis_stats() -> DiskCacheStats:
+    """The process-wide analysis-store tallies (live object)."""
+    return _AN_STATS
+
+
 def reset_cache_stats() -> None:
     """Zero the tallies (used by tests and benchmarks)."""
     _STATS.hits = _STATS.misses = _STATS.stores = _STATS.errors = 0
+    _AN_STATS.hits = _AN_STATS.misses = _AN_STATS.stores = _AN_STATS.errors = 0
 
 
 def disk_cache_enabled() -> bool:
@@ -160,18 +203,368 @@ def store_module(key: str, module: Module) -> bool:
 
 
 def clear_disk_cache() -> int:
-    """Delete every cache entry; returns the number removed."""
+    """Delete every cache entry (both stores + graph); returns the count.
+
+    Covers the module cache (``*.ir.pkl``), the function-level analysis
+    store (``*.an.bin``), and the invalidation graph, so a cleared cache
+    directory can never serve half a pipeline from before the clear.
+    """
     removed = 0
     try:
         names = os.listdir(cache_dir())
     except OSError:
         return 0
     for name in names:
-        if not name.endswith(".ir.pkl"):
+        if not (name.endswith(".ir.pkl") or name.endswith(".an.bin")
+                or name == _GRAPH_NAME):
             continue
         try:
             os.remove(os.path.join(cache_dir(), name))
             removed += 1
         except OSError:
             pass
+    with _GRAPH_LOCK:
+        _GRAPH_PENDING.clear()
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# function source slices
+# ---------------------------------------------------------------------------
+
+
+def function_slices(source: str, line_of: Dict[str, int]) -> Dict[str, str]:
+    """Per-function source-slice hashes for one translation unit.
+
+    ``line_of`` maps function name to its 1-based definition line (the
+    IR carries it).  A function's slice is the unit *preamble* — every
+    line before the first function, i.e. the macros and struct layouts
+    all functions see — plus its own lines up to the next function (or
+    EOF for the last one).  Hash of slice unchanged ⇒ the function's
+    analysis inputs from this unit are unchanged.
+    """
+    if not line_of:
+        return {}
+    lines = source.splitlines(keepends=True)
+    ordered = sorted(line_of.items(), key=lambda item: item[1])
+    first_line = ordered[0][1]
+    preamble = hashlib.sha256(
+        "".join(lines[:max(first_line - 1, 0)]).encode("utf-8")
+    ).hexdigest()
+    out: Dict[str, str] = {}
+    for index, (name, line) in enumerate(ordered):
+        start = max(line - 1, 0)
+        end = ordered[index + 1][1] - 1 if index + 1 < len(ordered) else len(lines)
+        digest = hashlib.sha256()
+        digest.update(preamble.encode("ascii"))
+        digest.update("".join(lines[start:end]).encode("utf-8"))
+        out[name] = digest.hexdigest()
+    return out
+
+
+def analysis_key(filename: str, function: str, slice_hash: str,
+                 sources_fp: str, component: str, solver: str,
+                 lattice_mode: str) -> str:
+    """Content hash identifying one function's analysis result."""
+    from repro.perf import codec
+
+    digest = hashlib.sha256()
+    digest.update(f"an-schema={ANALYSIS_SCHEMA}\n".encode("utf-8"))
+    digest.update(f"codec={codec.schema()}\n".encode("utf-8"))
+    digest.update(f"frontend={FRONTEND_VERSION}\n".encode("utf-8"))
+    digest.update(f"filename={filename}\n".encode("utf-8"))
+    digest.update(f"function={function}\n".encode("utf-8"))
+    digest.update(f"slice={slice_hash}\n".encode("utf-8"))
+    digest.update(f"sources={sources_fp}\n".encode("utf-8"))
+    digest.update(f"component={component}\n".encode("utf-8"))
+    digest.update(f"solver={solver}\n".encode("utf-8"))
+    digest.update(f"lattice={lattice_mode}\n".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _analysis_path(key: str) -> str:
+    return os.path.join(cache_dir(), f"{key}.an.bin")
+
+
+# ---------------------------------------------------------------------------
+# function-level analysis store
+# ---------------------------------------------------------------------------
+
+
+def load_analysis(key: str) -> Optional[Tuple[Any, Any]]:
+    """The cached ``(TaintState, FunctionFindings)`` pair, or None.
+
+    Corrupt or truncated entries — a killed writer, a flipped bit, a
+    codec-schema skew that slipped past the key — decode to a loud
+    :exc:`~repro.perf.codec.CodecError`, which we treat as a miss and
+    delete: the store degrades to a recompute, never to a wrong result.
+    """
+    from repro.perf import codec
+
+    path = _analysis_path(key)
+    try:
+        with span("cache.an.load", key=key[:12]), timed("cache.an.load"):
+            with open(path, "rb") as handle:
+                pair = codec.loads(handle.read())
+    except FileNotFoundError:
+        _AN_STATS.misses += 1
+        bump("cache.an.miss")
+        return None
+    except Exception:
+        _AN_STATS.errors += 1
+        bump("cache.an.error")
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return None
+    if not (isinstance(pair, tuple) and len(pair) == 2):
+        _AN_STATS.errors += 1
+        bump("cache.an.error")
+        return None
+    _AN_STATS.hits += 1
+    bump("cache.an.hit")
+    return pair
+
+
+def store_analysis(key: str, state: Any, findings: Any) -> bool:
+    """Atomically persist one analysis result; False on failure."""
+    from repro.perf import codec
+
+    path = _analysis_path(key)
+    try:
+        with span("cache.an.store", key=key[:12]), timed("cache.an.store"):
+            blob = codec.dumps((state, findings))
+            os.makedirs(cache_dir(), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=cache_dir(), prefix=".tmp-", suffix=".bin"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
+    except Exception:
+        _AN_STATS.errors += 1
+        bump("cache.an.error")
+        return False
+    _AN_STATS.stores += 1
+    bump("cache.an.store")
+    return True
+
+
+# ---------------------------------------------------------------------------
+# invalidation graph
+# ---------------------------------------------------------------------------
+
+_GRAPH_NAME = "an_graph.json"
+
+#: Graph-file layout version.
+_GRAPH_SCHEMA = 1
+
+_GRAPH_LOCK = threading.Lock()
+
+#: unit -> fn -> record, accumulated in-process and merged into the
+#: on-disk graph by :func:`flush_graph`.
+_GRAPH_PENDING: Dict[str, Dict[str, Dict[str, Any]]] = {}
+
+
+def _graph_path() -> str:
+    return os.path.join(cache_dir(), _GRAPH_NAME)
+
+
+def _load_graph() -> Dict[str, Dict[str, Dict[str, Any]]]:
+    """The on-disk graph, or empty on absence/corruption/version skew."""
+    try:
+        with open(_graph_path(), encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(raw, dict) or raw.get("schema") != _GRAPH_SCHEMA:
+        return {}
+    units = raw.get("units")
+    return units if isinstance(units, dict) else {}
+
+
+def _write_graph(units: Dict[str, Dict[str, Dict[str, Any]]]) -> None:
+    payload = {"schema": _GRAPH_SCHEMA, "units": units}
+    os.makedirs(cache_dir(), exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=cache_dir(), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp_path, _graph_path())
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def record_analysis(filename: str, function: str, slice_hash: str,
+                    key: str, reads: Iterable[str],
+                    writes: Iterable[str]) -> None:
+    """Queue one function's graph record (flushed by :func:`flush_graph`).
+
+    ``reads``/``writes`` are ``struct.field`` strings — the traffic the
+    metadata bridge joins across units, i.e. the edges along which an
+    edit in one unit can affect another unit's *extraction* output.
+    """
+    record = {
+        "slice": slice_hash,
+        "key": key,
+        "reads": sorted(set(reads)),
+        "writes": sorted(set(writes)),
+    }
+    with _GRAPH_LOCK:
+        _GRAPH_PENDING.setdefault(filename, {})[function] = record
+
+
+def take_pending() -> Dict[str, Dict[str, Dict[str, Any]]]:
+    """Drain the queued graph records (for a process-boundary crossing).
+
+    Worker processes cannot usefully flush — their graph merge would
+    race the parent's — so they drain their pending records, ship them
+    back with the task result, and the parent re-queues them with
+    :func:`merge_pending` and flushes once.
+    """
+    with _GRAPH_LOCK:
+        out = {unit: dict(fns) for unit, fns in _GRAPH_PENDING.items()}
+        _GRAPH_PENDING.clear()
+    return out
+
+
+def merge_pending(records: Dict[str, Dict[str, Dict[str, Any]]]) -> None:
+    """Re-queue records drained in another process by :func:`take_pending`."""
+    with _GRAPH_LOCK:
+        for unit, fns in records.items():
+            _GRAPH_PENDING.setdefault(unit, {}).update(fns)
+
+
+def flush_graph() -> None:
+    """Merge queued records into the on-disk graph (last write wins).
+
+    The read-merge-write runs under an advisory file lock so two
+    concurrent CLI invocations cannot drop each other's batches.
+    Failures are non-fatal — the graph is an eager-pruning accelerator
+    and an inspection artifact, not a correctness dependency (keys are
+    content-derived).
+    """
+    with _GRAPH_LOCK:
+        if not _GRAPH_PENDING or not disk_cache_enabled():
+            _GRAPH_PENDING.clear()
+            return
+        pending = {unit: dict(fns) for unit, fns in _GRAPH_PENDING.items()}
+        _GRAPH_PENDING.clear()
+    try:
+        with span("cache.an.graph.flush"), _graph_file_lock():
+            units = _load_graph()
+            for unit, fns in pending.items():
+                units.setdefault(unit, {}).update(fns)
+            _write_graph(units)
+    except Exception:
+        bump("cache.an.error")
+
+
+def _graph_file_lock():
+    """Advisory cross-process lock guarding graph read-merge-write.
+
+    Degrades to a no-op where ``fcntl`` is unavailable — the merge then
+    falls back to last-write-wins, which only ever loses graph records,
+    never correctness.
+    """
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _lock():
+        try:
+            import fcntl
+        except ImportError:
+            yield
+            return
+        os.makedirs(cache_dir(), exist_ok=True)
+        path = os.path.join(cache_dir(), ".an_graph.lock")
+        with open(path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    return _lock()
+
+
+def invalidate_changed(current: Dict[str, Dict[str, str]]) -> int:
+    """Eagerly drop store entries invalidated by corpus edits.
+
+    ``current`` maps unit filename -> {function -> slice hash} for the
+    units about to be analyzed.  Two waves of deletion against the
+    persisted graph:
+
+    1. every function whose slice hash changed (or vanished);
+    2. every function in a *different* unit whose recorded
+       ``struct.field`` reads or writes intersect the changed
+       functions' traffic — the bridge-affected neighbors.
+
+    Returns the number of store entries deleted.  Purely an eager prune:
+    content keys already make the changed functions' old entries
+    unreachable, and neighbor *results* are bitwise unaffected (the
+    bridge joins live states in-process), but re-deriving neighbors
+    keeps the graph's recorded traffic in step with the new corpus.
+    """
+    if not disk_cache_enabled():
+        return 0
+    with _graph_file_lock():
+        return _invalidate_changed_locked(current)
+
+
+def _invalidate_changed_locked(current: Dict[str, Dict[str, str]]) -> int:
+    units = _load_graph()
+    if not units:
+        return 0
+    changed_traffic: Set[str] = set()
+    doomed: List[Tuple[str, str]] = []  # (unit, fn)
+    for unit, fns in units.items():
+        now = current.get(unit)
+        if now is None:
+            continue  # unit not part of this run; leave its entries be
+        for fn, record in fns.items():
+            if now.get(fn) != record.get("slice"):
+                doomed.append((unit, fn))
+                changed_traffic.update(record.get("reads", ()))
+                changed_traffic.update(record.get("writes", ()))
+    if not doomed:
+        return 0
+    changed_units = {unit for unit, _fn in doomed}
+    for unit, fns in units.items():
+        if unit in changed_units:
+            continue
+        for fn, record in fns.items():
+            traffic = set(record.get("reads", ())) | set(record.get("writes", ()))
+            if traffic & changed_traffic:
+                doomed.append((unit, fn))
+    removed = 0
+    with span("cache.an.invalidate", entries=len(doomed)):
+        for unit, fn in doomed:
+            record = units[unit].pop(fn, None)
+            key = (record or {}).get("key", "")
+            if key:
+                try:
+                    os.remove(_analysis_path(key))
+                    removed += 1
+                except OSError:
+                    pass
+        try:
+            _write_graph(units)
+        except Exception:
+            bump("cache.an.error")
+    bump("cache.an.invalidated", removed)
     return removed

@@ -24,7 +24,13 @@ from repro.errors import UnknownComponentError
 from repro.lang import compile_c
 from repro.lang.ir import Module
 from repro.obs.tracer import span
-from repro.perf import clear_memos, timed
+from repro.perf import clear_memos, register_memo, timed
+
+#: Environment override for the corpus directory.  Points the whole
+#: pipeline (loader, caches, benchmarks) at a copy of the corpus —
+#: how the incremental benchmarks edit one file without touching the
+#: checked-in corpus.
+CORPUS_DIR_ENV = "REPRO_CORPUS_DIR"
 
 #: Translation unit -> ecosystem component.
 UNIT_COMPONENTS: Dict[str, str] = {
@@ -51,14 +57,23 @@ class CorpusUnit:
     module: Module
 
 
-_CACHE: Dict[str, CorpusUnit] = {}
+#: (resolved corpus dir, filename) -> unit.  The directory is part of
+#: the key so flipping ``$REPRO_CORPUS_DIR`` mid-process (tests and the
+#: incremental benchmarks do) can never serve a unit from the other
+#: corpus; the analysis memos stay safe regardless because they key off
+#: content fingerprints.
+_CACHE: Dict[tuple, CorpusUnit] = {}
 _LOAD_LOCK = threading.RLock()
 
 
+def _corpus_dir() -> str:
+    override = os.environ.get(CORPUS_DIR_ENV, "").strip()
+    return override or os.path.dirname(os.path.abspath(__file__))
+
+
 def corpus_path(filename: str) -> str:
-    """Absolute path of one corpus file."""
-    here = os.path.dirname(os.path.abspath(__file__))
-    path = os.path.join(here, filename)
+    """Absolute path of one corpus file (honors ``$REPRO_CORPUS_DIR``)."""
+    path = os.path.join(_corpus_dir(), filename)
     if not os.path.exists(path):
         raise UnknownComponentError(f"no corpus unit {filename!r}")
     return path
@@ -91,8 +106,9 @@ def _compile_unit(filename: str, use_cache: bool) -> CorpusUnit:
 
 def load_unit(filename: str, use_cache: bool = True) -> CorpusUnit:
     """Compile (or fetch the cached) corpus unit ``filename``."""
+    cache_key = (_corpus_dir(), filename)
     if use_cache:
-        unit = _CACHE.get(filename)
+        unit = _CACHE.get(cache_key)
         if unit is not None:
             return unit
     if filename not in UNIT_COMPONENTS:
@@ -102,10 +118,10 @@ def load_unit(filename: str, use_cache: bool = True) -> CorpusUnit:
     if not use_cache:
         return _compile_unit(filename, use_cache=False)
     with _LOAD_LOCK:
-        unit = _CACHE.get(filename)  # a racing worker may have won
+        unit = _CACHE.get(cache_key)  # a racing worker may have won
         if unit is None:
             unit = _compile_unit(filename, use_cache=True)
-            _CACHE[filename] = unit
+            _CACHE[cache_key] = unit
     return unit
 
 
@@ -127,6 +143,27 @@ def load_corpus(filenames: Optional[List[str]] = None) -> List[CorpusUnit]:
     return [load_unit(name) for name in unique]
 
 
+#: module fingerprint -> {function -> slice hash}; derived data, so
+#: keyed by content and safe to share across corpus-dir flips.
+_SLICES: Dict[str, Dict[str, str]] = {}
+
+register_memo("corpus.slices", _SLICES.clear)
+
+
+def unit_slices(unit: CorpusUnit) -> Dict[str, str]:
+    """Per-function source-slice hashes of one loaded unit (memoized)."""
+    cached = _SLICES.get(unit.module.fingerprint)
+    if cached is None:
+        from repro.corpus.cache import function_slices
+
+        cached = function_slices(
+            unit.source,
+            {name: fn.line for name, fn in unit.module.functions.items()},
+        )
+        _SLICES[unit.module.fingerprint] = cached
+    return cached
+
+
 def clear_cache(disk: bool = False) -> None:
     """Drop compiled units and every per-function analysis memo.
 
@@ -134,8 +171,9 @@ def clear_cache(disk: bool = False) -> None:
     off unit fingerprints and function objects; dropping units without
     dropping them would at best leak and at worst serve results for
     modules no caller can reach any more, so the two always clear
-    together.  Pass ``disk=True`` to also purge the persistent IR
-    cache.
+    together.  Pass ``disk=True`` to also purge the persistent caches —
+    the IR module cache *and* the function-level analysis store plus
+    its invalidation graph.
     """
     with _LOAD_LOCK:
         _CACHE.clear()

@@ -24,28 +24,23 @@ Select with ``REPRO_LEX=regex|scan``.
 from __future__ import annotations
 
 import enum
-import os
 import re
 from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional
 
 from repro.errors import LexError
+from repro.perf import modes as engine_modes
 
 #: Environment knob selecting the scanner implementation.
-LEX_ENV = "REPRO_LEX"
+LEX_ENV = engine_modes.knob("lex").env
 
 #: Recognized scanner names (first is the default).
-LEX_MODES = ("regex", "scan")
+LEX_MODES = engine_modes.knob("lex").modes
 
 
 def resolve_lex_mode(explicit: Optional[str] = None) -> str:
     """The scanner to use: ``explicit`` arg, else $REPRO_LEX, else regex."""
-    mode = explicit or os.environ.get(LEX_ENV, "").strip().lower() or LEX_MODES[0]
-    if mode not in LEX_MODES:
-        raise ValueError(
-            f"unknown lexer mode {mode!r}; expected one of {', '.join(LEX_MODES)}"
-        )
-    return mode
+    return engine_modes.resolve_mode("lex", explicit)
 
 
 KEYWORDS = {

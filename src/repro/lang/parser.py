@@ -20,11 +20,11 @@ identical node for node.  Select with ``REPRO_PARSER=climb|ladder``.
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional, Set, Tuple
 
 from repro.errors import ParseError
 from repro.lang import ast_nodes as A
+from repro.perf import modes as engine_modes
 from repro.lang.lexer import Token, TokenKind, tokenize
 from repro.lang.types import CType
 
@@ -38,20 +38,15 @@ _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="
 _POSTFIX_START = {".", "->", "[", "++", "--", "("}
 
 #: Environment knob selecting the binary-expression engine.
-PARSER_ENV = "REPRO_PARSER"
+PARSER_ENV = engine_modes.knob("parser").env
 
 #: Recognized engine names (first is the default).
-PARSER_MODES = ("climb", "ladder")
+PARSER_MODES = engine_modes.knob("parser").modes
 
 
 def resolve_parser_mode(explicit: Optional[str] = None) -> str:
     """The engine to use: ``explicit`` arg, else $REPRO_PARSER, else climb."""
-    mode = explicit or os.environ.get(PARSER_ENV, "").strip().lower() or PARSER_MODES[0]
-    if mode not in PARSER_MODES:
-        raise ValueError(
-            f"unknown parser mode {mode!r}; expected one of {', '.join(PARSER_MODES)}"
-        )
-    return mode
+    return engine_modes.resolve_mode("parser", explicit)
 
 
 #: Binary operator -> precedence (higher binds tighter); all left-assoc.

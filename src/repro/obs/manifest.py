@@ -49,17 +49,9 @@ def engine_modes() -> Dict[str, str]:
     """The resolved engine-mode knobs of this process."""
     # Imported lazily: repro.perf imports repro.obs submodules, so the
     # reverse module-level import would cycle.
-    from repro.analysis.taint import resolve_solver
-    from repro.lang.lexer import resolve_lex_mode
-    from repro.lang.parser import resolve_parser_mode
-    from repro.perf.lattice import resolve_lattice_mode
+    from repro.perf import modes
 
-    return {
-        "solver": resolve_solver(),
-        "lex": resolve_lex_mode(),
-        "parser": resolve_parser_mode(),
-        "lattice": resolve_lattice_mode(),
-    }
+    return modes.resolve_modes()
 
 
 def corpus_hashes() -> Dict[str, str]:

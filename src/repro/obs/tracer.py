@@ -243,6 +243,71 @@ def capture() -> Optional[Span]:
     return _CURRENT.get()
 
 
+# ---------------------------------------------------------------------------
+# cross-process handoff (used by repro.perf.procpool)
+# ---------------------------------------------------------------------------
+
+
+def export_spans(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Every recorded span as a plain dict (for a queue/pipe crossing).
+
+    Span ids are only meaningful within ``tracer``; :func:`graft`
+    remaps them into the receiving tracer's id space.
+    """
+    with tracer._lock:
+        spans = list(tracer.spans)
+    return [{
+        "name": s.name,
+        "span_id": s.span_id,
+        "parent_id": s.parent_id,
+        "start_wall": s.start_wall,
+        "start": s.start,
+        "duration": s.duration,
+        "attrs": s.attrs,
+        "thread": s.thread,
+        "error": s.error,
+    } for s in spans]
+
+
+def graft(exported: List[Dict[str, Any]], tracer: Tracer,
+          parent: Optional[Span] = None) -> int:
+    """Splice spans exported from another process into ``tracer``.
+
+    Fresh span ids are allocated under the receiving tracer's lock so
+    referential integrity holds alongside locally recorded spans;
+    worker-side roots re-parent to ``parent`` (the span that was open
+    at fan-out time), which keeps a ``--backend process --trace`` run
+    a *single* rooted tree.  Returns the number of spans grafted.
+    """
+    if not exported:
+        return 0
+    with tracer._lock:
+        # Allocate new ids in the worker's *start* order (ids were
+        # handed out at open time) so sort-by-span_id keeps meaning
+        # "start order" after the graft.
+        remap: Dict[int, int] = {}
+        for record in sorted(exported, key=lambda r: r["span_id"]):
+            tracer._next_id += 1
+            remap[record["span_id"]] = tracer._next_id
+        for record in exported:
+            span = Span.__new__(Span)
+            span.name = record["name"]
+            span.span_id = remap[record["span_id"]]
+            old_parent = record["parent_id"]
+            if old_parent is not None and old_parent in remap:
+                span.parent_id = remap[old_parent]
+            else:
+                span.parent_id = parent.span_id if parent is not None else None
+            span.start_wall = record["start_wall"]
+            span.start = record["start"]
+            span.duration = record["duration"]
+            span.attrs = dict(record["attrs"])
+            span.thread = record["thread"]
+            span.error = record["error"]
+            tracer.spans.append(span)
+    return len(exported)
+
+
 @contextmanager
 def adopt(parent: Span) -> Iterator[None]:
     """Run the ``with`` body as a logical child of ``parent``.

@@ -39,29 +39,23 @@ and allocation behaviour differ.
 
 from __future__ import annotations
 
-import os
 import threading
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple, TypeVar
 
 L = TypeVar("L")
 
+from repro.perf import modes as engine_modes
+
 #: Environment knob selecting the lattice implementation.
-LATTICE_ENV = "REPRO_LATTICE"
+LATTICE_ENV = engine_modes.knob("lattice").env
 
 #: Recognized lattice modes (first is the default).
-LATTICE_MODES = ("intern", "plain")
+LATTICE_MODES = engine_modes.knob("lattice").modes
 
 
 def resolve_lattice_mode(explicit: Optional[str] = None) -> str:
     """The mode to use: ``explicit`` arg, else $REPRO_LATTICE, else intern."""
-    mode = (explicit or os.environ.get(LATTICE_ENV, "").strip().lower()
-            or LATTICE_MODES[0])
-    if mode not in LATTICE_MODES:
-        raise ValueError(
-            f"unknown lattice mode {mode!r}; expected one of "
-            f"{', '.join(LATTICE_MODES)}"
-        )
-    return mode
+    return engine_modes.resolve_mode("lattice", explicit)
 
 _LOCK = threading.Lock()
 

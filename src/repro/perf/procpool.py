@@ -1,0 +1,365 @@
+"""Spawn-safe persistent process pool (the ``--backend process`` engine).
+
+The thread backend (:mod:`repro.perf.parallel`) shares every memo table
+but executes Python under one GIL, so CPU-bound phases — the mini-C
+frontend and the taint fixpoints — serialize no matter how many workers
+run.  This pool puts those phases on real cores:
+
+- **spawn, not fork** — workers start from a clean interpreter, so the
+  pool behaves identically on every platform and never inherits
+  half-initialized locks or memo tables;
+- **warm workers** — each worker imports the pipeline once and keeps
+  its in-process memos and loaded corpus across tasks, so per-task cost
+  is the task, not interpreter startup;
+- **lean envelopes** — tasks cross the boundary as ``(handler name,
+  small payload)``; results come back as compact
+  :mod:`repro.perf.codec` blobs or tiny primitives, never whole IR
+  modules;
+- **per-worker task queues** — round-robin dispatch plus the ability to
+  *broadcast* a control task to every worker (``pool.reset`` lets the
+  cold benchmarks drop worker memos without respawning);
+- **ordered merge** — :meth:`ProcessPool.run_ordered` returns results
+  in submission order, the same contract as
+  :func:`repro.perf.parallel.run_ordered`, so callers stay
+  byte-identical regardless of completion order;
+- **span handoff** — when tracing is enabled, each worker runs its task
+  under a fresh :class:`~repro.obs.tracer.Tracer`, ships the finished
+  spans back with the result, and the parent grafts them under the span
+  that was open at fan-out time: one rooted tree per run, same as the
+  thread backend.
+
+Workers see the parent's ``REPRO_*`` environment (snapshotted at spawn)
+and the pool is keyed by that snapshot — flip any knob and the next
+:func:`get_pool` builds a fresh, consistent pool.  The pool registers
+an ``atexit`` hook, so interactive callers never leak worker processes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import queue as queue_mod
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracer
+from repro.perf import modes
+from repro.perf.parallel import resolve_jobs
+
+#: Seconds between liveness checks while waiting on results.
+_POLL_SECONDS = 0.25
+
+#: Seconds to wait for workers to drain their queues on shutdown.
+_SHUTDOWN_GRACE = 5.0
+
+
+class ProcessPoolError(RuntimeError):
+    """A worker died or the pool is unusable."""
+
+
+# ---------------------------------------------------------------------------
+# task handlers (executed in workers)
+# ---------------------------------------------------------------------------
+#
+# Handlers are module-level so the spawned child resolves them by name
+# after importing this module — no closures cross the process boundary.
+
+
+def _h_ping(_payload: Any) -> str:
+    """Liveness/warmup probe; imports the pipeline as a side effect."""
+    import repro.analysis.extractor  # noqa: F401  (warm the import graph)
+
+    return "pong"
+
+
+def _h_reset(_payload: Any) -> str:
+    """Drop the worker's in-memory state (memos + loaded units).
+
+    Broadcast by cold benchmarks so a "cold" measurement over a warm
+    pool really recomputes instead of serving worker memos.  The disk
+    caches are left alone — cold benches isolate those via
+    ``REPRO_CACHE_DIR``/``REPRO_NO_DISK_CACHE``.
+    """
+    from repro.corpus.loader import clear_cache
+
+    clear_cache()
+    return "reset"
+
+
+def _h_compile(payload: Any) -> str:
+    """Compile one corpus unit, warming the shared disk IR cache."""
+    from repro.corpus.loader import load_unit
+
+    (filename,) = payload
+    load_unit(filename)
+    return filename
+
+
+def _h_extract_function(payload: Any) -> Tuple[bytes, Dict[str, Any]]:
+    """Analyze one pre-selected function; returns (codec blob, graph records).
+
+    Runs the exact memo → store → compute path of the thread backend
+    (:meth:`repro.analysis.extractor.Extractor._analyze_one`), so store
+    entries written by workers are the same entries the thread backend
+    writes.  Graph records are drained and shipped back — the parent
+    is the single flusher.
+    """
+    from repro.analysis.extractor import Extractor
+    from repro.corpus import cache as disk
+    from repro.perf import codec
+
+    filename, fn_name, solver = payload
+    extractor = Extractor(jobs=1, solver=solver)
+    state, findings = extractor._analyze_one((filename, fn_name))
+    return codec.dumps((state, findings)), disk.take_pending()
+
+
+_HANDLERS: Dict[str, Callable[[Any], Any]] = {
+    "pool.ping": _h_ping,
+    "pool.reset": _h_reset,
+    "corpus.compile": _h_compile,
+    "extract.function": _h_extract_function,
+}
+
+
+def _worker_main(index: int, env: Dict[str, str], task_queue: Any,
+                 result_queue: Any) -> None:
+    """Worker loop: apply handlers to envelopes until the None sentinel."""
+    # Re-assert the parent's REPRO_* snapshot: inherited environment is
+    # already correct for spawn, this just makes the contract explicit
+    # and immune to platform quirks.
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in env:
+            del os.environ[key]
+    os.environ.update(env)
+    while True:
+        envelope = task_queue.get()
+        if envelope is None:
+            return
+        seq, handler_name, payload, trace_requested = envelope
+        spans: List[Dict[str, Any]] = []
+        try:
+            handler = _HANDLERS[handler_name]
+            if trace_requested:
+                local = tracer.Tracer(f"worker-{index}")
+                with tracer.enabled(local):
+                    result = handler(payload)
+                spans = tracer.export_spans(local)
+            else:
+                result = handler(payload)
+        except BaseException as exc:  # ship the failure, keep serving
+            # mp.Queue pickles in a feeder thread, where a pickling
+            # failure would silently drop the message and hang the
+            # parent — so prove the exception picklable *here* and
+            # degrade to a description when it is not.
+            import pickle
+
+            try:
+                pickle.dumps(exc)
+                shipped: BaseException = exc
+            except Exception:
+                shipped = ProcessPoolError(f"{type(exc).__name__}: {exc}")
+            result_queue.put((seq, "err", shipped, spans))
+            continue
+        result_queue.put((seq, "ok", result, spans))
+
+
+# ---------------------------------------------------------------------------
+# the pool
+# ---------------------------------------------------------------------------
+
+
+class ProcessPool:
+    """A fixed set of warm spawn workers with ordered-merge dispatch."""
+
+    def __init__(self, jobs: int) -> None:
+        import multiprocessing as mp
+
+        self.jobs = max(1, jobs)
+        self.env = {k: v for k, v in os.environ.items()
+                    if k.startswith("REPRO_")}
+        self._ctx = mp.get_context("spawn")
+        self._result_queue = self._ctx.Queue()
+        self._task_queues = []
+        self._workers = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        for index in range(self.jobs):
+            task_queue = self._ctx.Queue()
+            worker = self._ctx.Process(
+                target=_worker_main,
+                args=(index, self.env, task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-worker-{index}",
+            )
+            worker.start()
+            self._task_queues.append(task_queue)
+            self._workers.append(worker)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _collect(self, waiting: Dict[int, int]) -> Dict[int, Tuple[str, Any, list]]:
+        """Pull results for every sequence id in ``waiting``."""
+        results: Dict[int, Tuple[str, Any, list]] = {}
+        while len(results) < len(waiting):
+            try:
+                seq, status, payload, spans = self._result_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_mod.Empty:
+                dead = [w.name for w in self._workers if not w.is_alive()]
+                if dead:
+                    raise ProcessPoolError(
+                        f"worker(s) died while tasks were pending: {dead}"
+                    ) from None
+                continue
+            if seq in waiting:
+                results[seq] = (status, payload, spans)
+            # else: a stale result from an abandoned batch; drop it.
+        return results
+
+    def run_ordered(self, calls: Sequence[Tuple[str, Any]]) -> List[Any]:
+        """Run ``(handler name, payload)`` envelopes; results in call order.
+
+        Dispatch is round-robin over the per-worker queues; the merge
+        sorts by submission sequence, so ordering never depends on
+        which worker finished first.  The first failing call (in
+        submission order) re-raises its worker-side exception in the
+        parent.  When tracing is enabled, worker spans graft under the
+        span open at the time of this call.
+        """
+        if self._closed:
+            raise ProcessPoolError("pool is shut down")
+        if not calls:
+            return []
+        parent_span = tracer.capture()
+        trace_requested = tracer.is_enabled()
+        waiting: Dict[int, int] = {}
+        order: List[int] = []
+        for index, (handler_name, payload) in enumerate(calls):
+            seq = self._next_seq()
+            waiting[seq] = index
+            order.append(seq)
+            self._task_queues[index % self.jobs].put(
+                (seq, handler_name, payload, trace_requested)
+            )
+        results = self._collect(waiting)
+        active = tracer.active()
+        out: List[Any] = []
+        for seq in order:
+            status, payload, spans = results[seq]
+            if active is not None and spans:
+                tracer.graft(spans, active, parent_span)
+            if status == "err":
+                raise payload
+            out.append(payload)
+        return out
+
+    def broadcast(self, handler_name: str, payload: Any = None) -> List[Any]:
+        """Run one control task on *every* worker; results in worker order."""
+        if self._closed:
+            raise ProcessPoolError("pool is shut down")
+        waiting: Dict[int, int] = {}
+        order: List[int] = []
+        for index in range(self.jobs):
+            seq = self._next_seq()
+            waiting[seq] = index
+            order.append(seq)
+            self._task_queues[index].put((seq, handler_name, payload, False))
+        results = self._collect(waiting)
+        out = []
+        for seq in order:
+            status, result, _spans = results[seq]
+            if status == "err":
+                raise result
+            out.append(result)
+        return out
+
+    def warm(self) -> None:
+        """Block until every worker has imported the pipeline."""
+        self.broadcast("pool.ping")
+
+    def reset_workers(self) -> None:
+        """Drop all worker in-memory memos (cold-measurement support)."""
+        self.broadcast("pool.reset")
+
+    # -- lifecycle ------------------------------------------------------
+
+    def alive(self) -> bool:
+        """Whether every worker process is still running."""
+        return not self._closed and all(w.is_alive() for w in self._workers)
+
+    def shutdown(self) -> None:
+        """Stop the workers; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:
+                pass
+        for worker in self._workers:
+            worker.join(timeout=_SHUTDOWN_GRACE)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=_SHUTDOWN_GRACE)
+        for task_queue in self._task_queues:
+            task_queue.close()
+        self._result_queue.close()
+
+
+# ---------------------------------------------------------------------------
+# module-global pool reuse
+# ---------------------------------------------------------------------------
+
+#: (jobs, REPRO_* snapshot) -> the live pool.  One consistent pool per
+#: configuration; flipping an engine knob or the cache/corpus dir makes
+#: the old pool unreachable (and shut down) rather than subtly stale.
+_POOLS: Dict[Tuple[int, Tuple[Tuple[str, str], ...]], ProcessPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(jobs: Optional[int] = None, warm: bool = True) -> ProcessPool:
+    """The shared pool for the current configuration (created on demand).
+
+    ``jobs`` resolves through :func:`repro.perf.parallel.resolve_jobs`.
+    A configuration change (any ``REPRO_*`` variable, or a different
+    job count) shuts the old pool down and builds a fresh one — workers
+    must agree with the parent on every knob, cache path, and corpus
+    location or ordered-merge identity would quietly break.
+    """
+    resolved = resolve_jobs(jobs)
+    key = (resolved, modes.env_signature())
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and pool.alive():
+            return pool
+        # Retire every other configuration: workers with a stale
+        # environment can only produce stale answers.
+        for old in _POOLS.values():
+            old.shutdown()
+        _POOLS.clear()
+        pool = ProcessPool(resolved)
+        _POOLS[key] = pool
+    if warm:
+        pool.warm()
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every pool (atexit hook; also used by tests)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)

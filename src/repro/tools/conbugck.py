@@ -129,11 +129,18 @@ class ConBugCk:
         self._index_dependencies()
 
     @classmethod
-    def from_extraction(cls, seed: int = 2022) -> "ConBugCk":
-        """Build from a fresh Table-5 extraction (validated deps only)."""
+    def from_extraction(cls, seed: int = 2022, jobs: Optional[int] = None,
+                        backend: Optional[str] = None) -> "ConBugCk":
+        """Build from a fresh Table-5 extraction (validated deps only).
+
+        ``jobs``/``backend`` shape the *extraction* phase only — the
+        violation campaign itself always fans out over threads
+        (device snapshots are cheap in-process state).
+        """
         from repro.analysis.extractor import extract_all
 
-        return cls(extract_all().true_dependencies(), seed=seed)
+        return cls(extract_all(jobs=jobs, backend=backend).true_dependencies(),
+                   seed=seed)
 
     def _index_dependencies(self) -> None:
         feature_names = set(all_feature_names())

@@ -169,11 +169,18 @@ class ConHandleCk:
             self.violate, dependencies, jobs=jobs, phase="campaign.violate"))
         return report
 
-    def check_extracted(self, jobs: Optional[int] = None) -> ViolationReport:
-        """Run extraction and violate every validated dependency."""
+    def check_extracted(self, jobs: Optional[int] = None,
+                        backend: Optional[str] = None) -> ViolationReport:
+        """Run extraction and violate every validated dependency.
+
+        ``backend`` shapes the *extraction* phase only; the violation
+        campaign always fans out over threads (device snapshots are
+        cheap in-process state).
+        """
         from repro.analysis.extractor import extract_all
 
-        return self.check(extract_all().true_dependencies(), jobs=jobs)
+        deps = extract_all(jobs=jobs, backend=backend).true_dependencies()
+        return self.check(deps, jobs=jobs)
 
     # ------------------------------------------------------------------
     # single-dependency drivers

@@ -1,0 +1,511 @@
+"""Execution backends, the analysis-store codec, and cache invalidation.
+
+Covers the perf surface introduced with the process-pool backend and
+the function-level analysis store:
+
+- engine-mode resolution (explicit > ``REPRO_*`` env > default) and the
+  environment signature pools are keyed by;
+- the compact binary codec: round-trips, aliasing preservation, loud
+  corruption, the closed type registry, schema fingerprint stability;
+- the analysis store: hit/miss/error accounting, corrupt-entry
+  tolerance, key sensitivity (frontend version, engine modes, source
+  slice), ``clear_cache(disk=True)`` coverage;
+- the invalidation graph: pending-record handoff across process
+  boundaries and the two-wave (changed + bridge-neighbor) eager prune;
+- end-to-end: thread and process backends byte-identical, warm
+  incremental re-extraction after a single-file edit correct, frontend
+  version bumps forcing full recompute, corrupted store entries
+  degrading to recompute instead of wrong results.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.perf import codec, modes, procpool
+from repro.perf.procpool import ProcessPoolError
+
+
+def _canonical(report) -> str:
+    """Byte-stable serialization of a full extraction report."""
+    lines = []
+    for result in report.scenarios:
+        lines.append(f"## {result.spec.name}")
+        lines.extend(dep.key() for dep in result.dependencies)
+    lines.append("## union")
+    lines.extend(dep.key() for dep in report.union)
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def isolated_store(tmp_path, monkeypatch):
+    """A private disk cache + clean memos/stats for store-level tests."""
+    from repro.corpus import cache as disk
+    from repro.corpus.loader import clear_cache
+
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    clear_cache()
+    disk.reset_cache_stats()
+    yield str(cache_dir)
+    clear_cache()
+    disk.reset_cache_stats()
+
+
+# ---------------------------------------------------------------------------
+# engine-mode resolution
+# ---------------------------------------------------------------------------
+
+
+class TestModes:
+    def test_default_is_first_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert modes.resolve_mode("backend") == "thread"
+        assert modes.knob("backend").default == "thread"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert modes.resolve_mode("backend") == "process"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert modes.resolve_mode("backend", "thread") == "thread"
+
+    def test_env_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", " Process ")
+        assert modes.resolve_mode("backend") == "process"
+
+    def test_unknown_mode_is_loud(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fork")
+        with pytest.raises(ValueError, match="unknown backend mode"):
+            modes.resolve_mode("backend")
+        with pytest.raises(ValueError):
+            modes.resolve_mode("solver", "quantum")
+
+    def test_resolve_modes_covers_every_knob(self, monkeypatch):
+        for knob in modes.KNOBS:
+            monkeypatch.delenv(knob.env, raising=False)
+        resolved = modes.resolve_modes({"backend": "process"})
+        assert set(resolved) == {k.name for k in modes.KNOBS}
+        assert resolved["backend"] == "process"
+        assert resolved["solver"] == "sparse"
+
+    def test_env_signature_tracks_repro_vars_only(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        before = modes.env_signature()
+        monkeypatch.setenv("HOME_NOT_REPRO", "x")
+        assert modes.env_signature() == before
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        after = modes.env_signature()
+        assert after != before
+        assert ("REPRO_BACKEND", "process") in after
+
+
+# ---------------------------------------------------------------------------
+# codec
+# ---------------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_scalar_and_container_roundtrip(self):
+        value = {
+            "none": None, "bools": (True, False), "int": -(2 ** 40) + 7,
+            "float": 3.5, "text": "mount ✓", "bytes": b"\x00\xff",
+            "list": [1, [2, [3]]], "set": {1, 2}, "frozen": frozenset({"a"}),
+        }
+        decoded = codec.loads(codec.dumps(value))
+        assert decoded == value
+        assert isinstance(decoded["bools"], tuple)
+        assert isinstance(decoded["set"], set)
+        assert isinstance(decoded["frozen"], frozenset)
+
+    def test_registered_dataclass_roundtrip(self):
+        from repro.lang import ir
+
+        const = ir.Const(7)
+        instr = ir.Move(dst=ir.Temp(1), src=const)
+        decoded = codec.loads(codec.dumps(instr))
+        assert decoded == instr
+        assert type(decoded) is ir.Move
+
+    def test_aliasing_is_preserved(self):
+        from repro.lang import ir
+
+        shared = ir.Const(42)
+        labels = frozenset({"sb.s_inodes_count"})
+        decoded = codec.loads(codec.dumps([shared, shared, labels, labels]))
+        assert decoded[0] is decoded[1]
+        assert decoded[2] is decoded[3]
+
+    def test_distinct_equal_objects_stay_distinct(self):
+        from repro.lang import ir
+
+        decoded = codec.loads(codec.dumps([ir.Const(1), ir.Const(1)]))
+        assert decoded[0] == decoded[1]
+        assert decoded[0] is not decoded[1]
+
+    def test_enum_roundtrip(self):
+        from repro.analysis.model import Category
+
+        members = list(Category)
+        assert codec.loads(codec.dumps(members)) == members
+
+    def test_unregistered_type_is_loud(self):
+        class Stray:
+            pass
+
+        with pytest.raises(codec.CodecError):
+            codec.dumps(Stray())
+        with pytest.raises(codec.CodecError):
+            codec.dumps({"ok": [object()]})
+
+    @pytest.mark.parametrize("mangle", [
+        pytest.param(lambda blob: b"XXXX" + blob[4:], id="bad-magic"),
+        pytest.param(lambda blob: blob[:4], id="empty-body"),
+        pytest.param(lambda blob: blob[:-1], id="truncated"),
+        pytest.param(lambda blob: blob + b"\x00", id="trailing-garbage"),
+        pytest.param(lambda blob: blob[:4] + bytes([200]), id="unknown-tag"),
+        pytest.param(lambda blob: blob[:4] + bytes([13, 9]), id="bad-backref"),
+    ])
+    def test_corruption_is_loud(self, mangle):
+        blob = codec.dumps({"k": ["v", frozenset({"x"})], "n": 12345})
+        with pytest.raises(codec.CodecError):
+            codec.loads(mangle(blob))
+
+    def test_schema_is_stable_and_shape_sensitive(self):
+        first = codec.schema()
+        assert isinstance(first, str) and first
+        assert codec.schema() == first  # deterministic across calls
+
+
+# ---------------------------------------------------------------------------
+# analysis store
+# ---------------------------------------------------------------------------
+
+
+class TestAnalysisStore:
+    def test_store_then_load_roundtrip(self, isolated_store):
+        from repro.corpus import cache as disk
+
+        key = "a" * 64
+        assert disk.store_analysis(key, {"taint": [1, 2]}, ["finding"])
+        assert disk.load_analysis(key) == ({"taint": [1, 2]}, ["finding"])
+        stats = disk.analysis_stats()
+        assert (stats.hits, stats.misses, stats.stores, stats.errors) == \
+            (1, 0, 1, 0)
+
+    def test_absent_entry_is_a_miss(self, isolated_store):
+        from repro.corpus import cache as disk
+
+        assert disk.load_analysis("b" * 64) is None
+        assert disk.analysis_stats().misses == 1
+        assert disk.analysis_stats().errors == 0
+
+    @pytest.mark.parametrize("garbage", [
+        pytest.param(b"", id="empty"),
+        pytest.param(b"not a codec stream", id="bad-magic"),
+        pytest.param(None, id="truncated"),  # filled in below
+    ])
+    def test_corrupt_entry_recovers_as_miss(self, isolated_store, garbage):
+        from repro.corpus import cache as disk
+
+        key = "c" * 64
+        assert disk.store_analysis(key, {"x": 1}, [2])
+        path = disk._analysis_path(key)
+        if garbage is None:
+            with open(path, "rb") as handle:
+                garbage = handle.read()[:-3]
+        with open(path, "wb") as handle:
+            handle.write(garbage)
+        assert disk.load_analysis(key) is None
+        assert disk.analysis_stats().errors == 1
+        # The poisoned file is gone, so the next lookup is a clean miss.
+        assert not os.path.exists(path)
+        assert disk.load_analysis(key) is None
+        assert disk.analysis_stats().misses == 1
+
+    def test_wrong_shape_entry_is_an_error(self, isolated_store):
+        from repro.corpus import cache as disk
+
+        key = "d" * 64
+        path = disk._analysis_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(codec.dumps(["not", "a", "pair"]))
+        assert disk.load_analysis(key) is None
+        assert disk.analysis_stats().errors == 1
+
+    def test_analysis_key_sensitivity(self, isolated_store, monkeypatch):
+        from repro.corpus import cache as disk
+
+        base = dict(filename="mount.c", function="parse_opts",
+                    slice_hash="s1", sources_fp="f1", component="mount",
+                    solver="sparse", lattice_mode="intern")
+        key = disk.analysis_key(**base)
+        assert disk.analysis_key(**base) == key  # deterministic
+        for field, value in [("slice_hash", "s2"), ("solver", "dense"),
+                             ("lattice_mode", "plain"),
+                             ("function", "other"), ("filename", "e2fsck.c"),
+                             ("sources_fp", "f2"), ("component", "fsck")]:
+            assert disk.analysis_key(**{**base, field: value}) != key
+        # A frontend version bump rotates every key: old entries become
+        # unreachable rather than mis-served.
+        monkeypatch.setattr(disk, "FRONTEND_VERSION",
+                            disk.FRONTEND_VERSION + "-bumped")
+        assert disk.analysis_key(**base) != key
+
+    def test_function_slices_localize_edits(self, isolated_store):
+        from repro.corpus import cache as disk
+
+        source = ("#define N 8\n"
+                  "int first(void) { return N; }\n"
+                  "int second(void) { return 2; }\n")
+        line_of = {"first": 2, "second": 3}
+        before = disk.function_slices(source, line_of)
+        assert set(before) == {"first", "second"}
+        # Editing one function's body changes only that slice…
+        edited = source.replace("return 2", "return 3")
+        after = disk.function_slices(edited, line_of)
+        assert after["first"] == before["first"]
+        assert after["second"] != before["second"]
+        # …while editing the shared preamble changes every slice.
+        preamble = source.replace("#define N 8", "#define N 9")
+        shifted = disk.function_slices(preamble, line_of)
+        assert shifted["first"] != before["first"]
+        assert shifted["second"] != before["second"]
+
+    def test_clear_cache_disk_wipes_store_and_graph(self, isolated_store):
+        from repro.corpus import cache as disk
+        from repro.corpus.loader import clear_cache
+
+        key = "e" * 64
+        disk.store_analysis(key, {"x": 1}, [])
+        disk.record_analysis("a.c", "f", "s1", key, ["sb.x"], [])
+        disk.flush_graph()
+        assert os.path.exists(disk._analysis_path(key))
+        assert os.path.exists(os.path.join(disk.cache_dir(), "an_graph.json"))
+        clear_cache(disk=True)
+        assert not os.path.exists(disk._analysis_path(key))
+        assert not os.path.exists(
+            os.path.join(disk.cache_dir(), "an_graph.json"))
+
+
+# ---------------------------------------------------------------------------
+# invalidation graph
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidationGraph:
+    def test_pending_records_cross_process_boundary(self, isolated_store):
+        from repro.corpus import cache as disk
+
+        disk.record_analysis("a.c", "f", "s1", "k1", ["sb.x"], ["sb.y"])
+        shipped = disk.take_pending()  # what a worker sends back
+        assert shipped["a.c"]["f"]["reads"] == ["sb.x"]
+        assert disk.take_pending() == {}  # drained
+        disk.merge_pending(shipped)  # what the parent re-queues
+        disk.flush_graph()
+        graph = disk._load_graph()
+        assert graph["a.c"]["f"]["key"] == "k1"
+        assert graph["a.c"]["f"]["writes"] == ["sb.y"]
+
+    def test_invalidate_changed_prunes_bridge_neighbors(self, isolated_store):
+        from repro.corpus import cache as disk
+
+        # a.c:f writes sb.x; b.c:g reads it (bridge neighbor); c.c:h
+        # trades in unrelated traffic and must survive.
+        entries = {
+            "k_f": ("a.c", "f", ["other.z"], ["sb.x"]),
+            "k_g": ("b.c", "g", ["sb.x"], []),
+            "k_h": ("c.c", "h", ["other.y"], []),
+        }
+        for key, (unit, fn, reads, writes) in entries.items():
+            disk.store_analysis(key, {"for": fn}, [])
+            disk.record_analysis(unit, fn, f"slice-{fn}", key, reads, writes)
+        disk.flush_graph()
+
+        # Unchanged slices: nothing to prune.
+        current = {"a.c": {"f": "slice-f"}, "b.c": {"g": "slice-g"},
+                   "c.c": {"h": "slice-h"}}
+        assert disk.invalidate_changed(current) == 0
+
+        # Edit f: wave 1 drops f, wave 2 drops g (shares sb.x traffic).
+        current["a.c"]["f"] = "slice-f-edited"
+        assert disk.invalidate_changed(current) == 2
+        assert not os.path.exists(disk._analysis_path("k_f"))
+        assert not os.path.exists(disk._analysis_path("k_g"))
+        assert os.path.exists(disk._analysis_path("k_h"))
+        graph = disk._load_graph()
+        assert "f" not in graph.get("a.c", {})
+        assert "g" not in graph.get("b.c", {})
+        assert graph["c.c"]["h"]["key"] == "k_h"
+
+    def test_units_outside_the_run_are_left_alone(self, isolated_store):
+        from repro.corpus import cache as disk
+
+        disk.store_analysis("k_f", {}, [])
+        disk.record_analysis("a.c", "f", "s1", "k_f", [], ["sb.x"])
+        disk.flush_graph()
+        # a.c is not part of this run's `current`, so its entries stay.
+        assert disk.invalidate_changed({"b.c": {"g": "s9"}}) == 0
+        assert os.path.exists(disk._analysis_path("k_f"))
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: backends and incremental correctness
+# ---------------------------------------------------------------------------
+
+
+class TestBackendsEndToEnd:
+    def test_process_backend_matches_thread(self):
+        from repro.analysis.extractor import extract_all
+
+        thread = _canonical(extract_all(jobs=2, backend="thread"))
+        process = _canonical(extract_all(jobs=2, backend="process"))
+        assert process == thread
+
+    def test_process_backend_trace_is_one_rooted_tree(self):
+        from repro.analysis.extractor import extract_all
+        from repro.obs import tracer
+
+        run = tracer.Tracer("test")
+        with tracer.enabled(run):
+            with run.span("extract.run", {}):
+                extract_all(jobs=2, backend="process")
+        roots = run.roots()
+        assert [r.name for r in roots] == ["extract.run"]
+        # Worker-side spans grafted in, parented under the run root.
+        assert len(run) > 1
+        root_id = roots[0].span_id
+        by_id = {s.span_id: s for s in run.spans}
+        for span in run.spans:
+            walk = span
+            while walk.parent_id is not None:
+                walk = by_id[walk.parent_id]
+            assert walk.span_id == root_id
+
+    def test_incremental_after_single_file_edit(self, isolated_store,
+                                                tmp_path, monkeypatch):
+        from repro.analysis.extractor import extract_all
+        from repro.corpus import cache as disk
+        from repro.corpus.loader import CORPUS_DIR_ENV, clear_cache
+
+        corpus_src = os.path.join(
+            os.path.dirname(__file__), os.pardir, "src", "repro", "corpus")
+        corpus_tmp = tmp_path / "corpus"
+        corpus_tmp.mkdir()
+        for name in os.listdir(corpus_src):
+            if name.endswith(".c"):
+                shutil.copy(os.path.join(corpus_src, name),
+                            corpus_tmp / name)
+        monkeypatch.setenv(CORPUS_DIR_ENV, str(corpus_tmp))
+        clear_cache()
+
+        # analysis_stats() returns the live counter object, which
+        # reset_cache_stats() zeroes in place — snapshot what we assert
+        # against later.
+        def stats_snapshot():
+            live = disk.analysis_stats()
+            return (live.hits, live.misses, live.stores, live.errors)
+
+        # Cold run populates the store; nothing to hit yet.
+        disk.reset_cache_stats()
+        extract_all(jobs=1, backend="thread")
+        cold_hits, cold_misses, cold_stores, _ = stats_snapshot()
+        assert cold_hits == 0
+        assert cold_stores == cold_misses > 0
+
+        # Warm, untouched corpus: everything served from the store.
+        clear_cache()
+        disk.reset_cache_stats()
+        untouched = _canonical(extract_all(jobs=1, backend="thread"))
+        warm_hits, warm_misses, _, _ = stats_snapshot()
+        assert warm_misses == 0 and warm_hits == cold_stores
+
+        # Edit one unit; only its invalidated slice recomputes, and the
+        # report matches a from-scratch extraction of the edited corpus.
+        with open(corpus_tmp / "mount.c", "a", encoding="utf-8") as handle:
+            handle.write("\n/* incremental edit */\n")
+        clear_cache()
+        disk.reset_cache_stats()
+        incremental = _canonical(extract_all(jobs=1, backend="thread"))
+        edited_hits, edited_misses, _, _ = stats_snapshot()
+        assert 0 < edited_misses < cold_misses
+        assert edited_hits == cold_stores - edited_misses
+        # A trailing comment changes no semantics, so outputs match the
+        # untouched run — and, decisively, a cold run of the edited tree.
+        assert incremental == untouched
+        clear_cache(disk=True)
+        fresh = _canonical(extract_all(jobs=1, backend="thread"))
+        assert incremental == fresh
+
+    def test_frontend_version_bump_forces_recompute(self, isolated_store,
+                                                    monkeypatch):
+        from repro.analysis.extractor import extract_all
+        from repro.corpus import cache as disk
+        from repro.corpus.loader import clear_cache
+
+        baseline = _canonical(extract_all(jobs=1, backend="thread"))
+        assert disk.analysis_stats().stores > 0
+        monkeypatch.setattr(disk, "FRONTEND_VERSION",
+                            disk.FRONTEND_VERSION + "-bumped")
+        clear_cache()
+        disk.reset_cache_stats()
+        bumped = _canonical(extract_all(jobs=1, backend="thread"))
+        stats = disk.analysis_stats()
+        assert stats.hits == 0 and stats.misses > 0
+        assert bumped == baseline
+
+    def test_corrupted_store_degrades_to_recompute(self, isolated_store):
+        from repro.analysis.extractor import extract_all
+        from repro.corpus import cache as disk
+        from repro.corpus.loader import clear_cache
+
+        baseline = _canonical(extract_all(jobs=1, backend="thread"))
+        entries = [name for name in os.listdir(disk.cache_dir())
+                   if name.endswith(".an.bin")]
+        assert entries
+        for name in entries:
+            with open(os.path.join(disk.cache_dir(), name), "wb") as handle:
+                handle.write(b"\x00 corrupted \xff")
+        clear_cache()
+        disk.reset_cache_stats()
+        recovered = _canonical(extract_all(jobs=1, backend="thread"))
+        stats = disk.analysis_stats()
+        assert stats.errors == len(entries)
+        assert stats.hits == 0 and stats.stores == len(entries)
+        assert recovered == baseline
+
+
+# ---------------------------------------------------------------------------
+# process pool mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestProcessPool:
+    def test_run_ordered_merges_in_call_order(self):
+        pool = procpool.get_pool(2)
+        names = ["mount.c", "e2fsck.c", "resize2fs.c", "mke2fs.c", "mount.c"]
+        results = pool.run_ordered(
+            [("corpus.compile", (name,)) for name in names])
+        assert results == names
+
+    def test_worker_errors_propagate_and_pool_survives(self):
+        pool = procpool.get_pool(2)
+        with pytest.raises(KeyError):
+            pool.run_ordered([("no.such.handler", None)])
+        # The worker kept serving; the pool is still usable.
+        assert pool.alive()
+        assert pool.broadcast("pool.ping") == ["pong", "pong"]
+
+    def test_pool_is_keyed_by_configuration(self, monkeypatch):
+        pool = procpool.get_pool(2, warm=False)
+        assert procpool.get_pool(2, warm=False) is pool
+        monkeypatch.setenv("REPRO_SOLVER", "dense")
+        fresh = procpool.get_pool(2, warm=False)
+        assert fresh is not pool
+        assert not pool.alive()  # stale configuration was retired
+        monkeypatch.delenv("REPRO_SOLVER")
+        assert procpool.get_pool(2, warm=False) is not fresh

@@ -86,6 +86,11 @@ def collect(root: str = REPO_ROOT) -> Dict[str, Any]:
             "identical_outputs": data.get("identical_outputs"),
             "source": os.path.basename(path),
         }
+        # bench_backend additionally measures wire bytes per analyzed
+        # function under each result transport; carry the comparison
+        # through so the aggregate answers "how much does shm save".
+        if "transport" in data:
+            entries[name]["transport"] = data["transport"]
     all_ok = all(
         check["ok"]
         for entry in entries.values() if "floors" in entry
@@ -115,6 +120,10 @@ def render(report: Dict[str, Any]) -> str:
                 shown = f"{measured:.2f}x" if measured is not None else "?"
                 bound = f">={check['floor']:.1f}x"
             parts.append(f"{key}={shown}{bound} [{mark}]")
+        wire = (entry.get("transport") or {}).get("wire_bytes_per_function")
+        if wire:
+            shown = ", ".join(f"{t}={b:.0f}B/fn" for t, b in sorted(wire.items()))
+            parts.append(f"wire[{shown}]")
         mode = entry.get("mode") or "?"
         lines.append(f"  {name:<10s} ({mode}) " + "; ".join(parts))
     lines.append(f"all enforced floors hold: "
@@ -148,7 +157,9 @@ def run_report(emit_fn=None) -> int:
 def test_bench_report(tmp_path):
     """Pytest entry: aggregation and floor logic on synthetic files."""
     good = {"mode": "smoke", "speedups": {"x": 2.0},
-            "floors": {"x": 1.5}, "identical_outputs": True}
+            "floors": {"x": 1.5}, "identical_outputs": True,
+            "transport": {"wire_bytes_per_function":
+                          {"shm": 100.0, "pickle": 900.0}}}
     gated = {"mode": "full", "speedups": {"y": 0.6}, "floors": {"y": 1.8},
              "floor_enforced": {"y": False}}
     bad = {"mode": "full", "speedups": {"z": 1.0}, "floors": {"z": 5.0}}
@@ -157,6 +168,9 @@ def test_bench_report(tmp_path):
     report = collect(str(tmp_path))
     assert set(report["benchmarks"]) == {"a", "b"}
     assert report["all_floors_ok"] is True
+    assert (report["benchmarks"]["a"]["transport"]["wire_bytes_per_function"]
+            ["shm"] == 100.0)
+    assert "wire[" in render(report)
     assert report["benchmarks"]["b"]["floors"]["y"]["ok"] is True
     assert report["benchmarks"]["b"]["floors"]["y"]["enforced"] is False
     (tmp_path / "BENCH_c.json").write_text(json.dumps(bad))

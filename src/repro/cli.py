@@ -39,6 +39,16 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
                              "byte-identical either way)")
 
 
+def _add_transport_arg(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--transport`` flag (process-backend result path)."""
+    parser.add_argument("--transport", choices=("shm", "pickle"),
+                        default=None,
+                        help="process-backend result transport (default: "
+                             "$REPRO_TRANSPORT or shm; shm ships mmap arena "
+                             "descriptors instead of pickled blobs — "
+                             "reports are byte-identical either way)")
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     """The shared observability flags every repro-* command takes."""
     group = parser.add_argument_group("observability")
@@ -162,6 +172,7 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
                              "or sparse; dense is the reference escape hatch — "
                              "both produce identical dependencies)")
     _add_backend_arg(parser)
+    _add_transport_arg(parser)
     parser.add_argument("--explain", metavar="PARAM", action="append",
                         default=None,
                         help="print the taint provenance of one parameter "
@@ -189,8 +200,10 @@ def main_extract(argv: Optional[List[str]] = None) -> int:
             obs.set_engine(solver=args.solver)
         if args.backend:
             obs.set_engine(backend=args.backend)
+        if args.transport:
+            obs.set_engine(transport=args.transport)
         report = extract_all(jobs=args.jobs, solver=args.solver,
-                             backend=args.backend)
+                             backend=args.backend, transport=args.transport)
         obs.set_report([d.key() for d in report.union],
                        summary=f"{len(report.union)} unique dependencies, "
                                f"{len(report.scenarios)} scenarios")

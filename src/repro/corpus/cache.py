@@ -262,10 +262,41 @@ def function_slices(source: str, line_of: Dict[str, int]) -> Dict[str, str]:
     return out
 
 
+def function_sizes(source: str, line_of: Dict[str, int]) -> Dict[str, int]:
+    """Per-function source-slice byte sizes for one translation unit.
+
+    Mirrors the slicing of :func:`function_slices` — preamble bytes
+    plus the function's own lines — so the size tracks exactly the
+    text whose hash keys the function's store entry.  The process
+    backend uses these as batch-planning weights: bytes of analyzed
+    source is a crude but content-derived proxy for analysis cost.
+    """
+    if not line_of:
+        return {}
+    lines = source.splitlines(keepends=True)
+    ordered = sorted(line_of.items(), key=lambda item: item[1])
+    first_line = ordered[0][1]
+    preamble = len("".join(lines[:max(first_line - 1, 0)]).encode("utf-8"))
+    out: Dict[str, int] = {}
+    for index, (name, line) in enumerate(ordered):
+        start = max(line - 1, 0)
+        end = ordered[index + 1][1] - 1 if index + 1 < len(ordered) else len(lines)
+        body = len("".join(lines[start:end]).encode("utf-8"))
+        out[name] = preamble + body
+    return out
+
+
 def analysis_key(filename: str, function: str, slice_hash: str,
                  sources_fp: str, component: str, solver: str,
-                 lattice_mode: str) -> str:
-    """Content hash identifying one function's analysis result."""
+                 lattice_mode: str, transport: str) -> str:
+    """Content hash identifying one function's analysis result.
+
+    ``transport`` (the result-transport mode) is part of the engine
+    configuration like ``solver`` and ``lattice_mode``: entries written
+    under one transport are never served under another, which keeps
+    A/B transport benchmarks honest — each mode populates and hits its
+    own entries.
+    """
     from repro.perf import codec
 
     digest = hashlib.sha256()
@@ -279,6 +310,7 @@ def analysis_key(filename: str, function: str, slice_hash: str,
     digest.update(f"component={component}\n".encode("utf-8"))
     digest.update(f"solver={solver}\n".encode("utf-8"))
     digest.update(f"lattice={lattice_mode}\n".encode("utf-8"))
+    digest.update(f"transport={transport}\n".encode("utf-8"))
     return digest.hexdigest()
 
 
@@ -291,8 +323,13 @@ def _analysis_path(key: str) -> str:
 # ---------------------------------------------------------------------------
 
 
-def load_analysis(key: str) -> Optional[Tuple[Any, Any]]:
-    """The cached ``(TaintState, FunctionFindings)`` pair, or None.
+def load_analysis_with_blob(key: str) -> Optional[Tuple[Tuple[Any, Any], bytes]]:
+    """The cached pair *and* its raw encoded bytes, or None.
+
+    The blob comes back alongside the decoded ``(TaintState,
+    FunctionFindings)`` so a process-pool worker serving a store hit
+    can ship the bytes it already holds — into an arena segment or a
+    queue — without re-encoding what it just decoded.
 
     Corrupt or truncated entries — a killed writer, a flipped bit, a
     codec-schema skew that slipped past the key — decode to a loud
@@ -305,7 +342,8 @@ def load_analysis(key: str) -> Optional[Tuple[Any, Any]]:
     try:
         with span("cache.an.load", key=key[:12]), timed("cache.an.load"):
             with open(path, "rb") as handle:
-                pair = codec.loads(handle.read())
+                blob = handle.read()
+            pair = codec.loads(blob)
     except FileNotFoundError:
         _AN_STATS.misses += 1
         bump("cache.an.miss")
@@ -324,17 +362,38 @@ def load_analysis(key: str) -> Optional[Tuple[Any, Any]]:
         return None
     _AN_STATS.hits += 1
     bump("cache.an.hit")
-    return pair
+    return pair, blob
+
+
+def load_analysis(key: str) -> Optional[Tuple[Any, Any]]:
+    """The cached ``(TaintState, FunctionFindings)`` pair, or None."""
+    loaded = load_analysis_with_blob(key)
+    return None if loaded is None else loaded[0]
 
 
 def store_analysis(key: str, state: Any, findings: Any) -> bool:
     """Atomically persist one analysis result; False on failure."""
     from repro.perf import codec
 
+    try:
+        blob = codec.dumps((state, findings))
+    except Exception:
+        _AN_STATS.errors += 1
+        bump("cache.an.error")
+        return False
+    return store_analysis_blob(key, blob)
+
+
+def store_analysis_blob(key: str, blob: bytes) -> bool:
+    """Atomically persist an already-encoded entry; False on failure.
+
+    The encode-free half of :func:`store_analysis`: workers that just
+    produced (or are about to ship) a codec blob flush exactly those
+    bytes, so one encode serves both the wire and the store.
+    """
     path = _analysis_path(key)
     try:
         with span("cache.an.store", key=key[:12]), timed("cache.an.store"):
-            blob = codec.dumps((state, findings))
             os.makedirs(cache_dir(), exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=cache_dir(), prefix=".tmp-", suffix=".bin"
@@ -407,6 +466,20 @@ def _write_graph(units: Dict[str, Dict[str, Dict[str, Any]]]) -> None:
         except OSError:
             pass
         raise
+
+
+def has_graph_records(units: Iterable[str]) -> bool:
+    """Whether the on-disk graph holds records for any of ``units``.
+
+    The process backend's scheduling hint: with no prior records there
+    is nothing :func:`invalidate_changed` could prune, so analyze
+    batches may dispatch the moment each unit's compile lands instead
+    of barriering on a whole-corpus slice collection first.
+    """
+    if not disk_cache_enabled():
+        return False
+    graph = _load_graph()
+    return any(graph.get(unit) for unit in units)
 
 
 def record_analysis(filename: str, function: str, slice_hash: str,

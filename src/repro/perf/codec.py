@@ -184,8 +184,8 @@ _OPEN = object()
 
 
 class _Encoder:
-    def __init__(self) -> None:
-        self.out = bytearray()
+    def __init__(self, out: bytearray = None) -> None:
+        self.out = bytearray() if out is None else out
         self.obj_refs: Dict[int, int] = {}   # id(obj) -> table index
         self.str_refs: Dict[str, int] = {}   # value -> table index
         self.pins: List[Any] = []            # keeps ids alive while encoding
@@ -305,7 +305,7 @@ class _Encoder:
                 self.encode(getattr(value, name))
 
 
-def _decode_stream(data: bytes) -> Tuple[Any, int]:
+def _decode_stream(data) -> Tuple[Any, int]:
     """Decode one value; returns ``(value, bytes consumed)``."""
     table: List[Any] = []
     table_append = table.append
@@ -359,7 +359,9 @@ def _decode_stream(data: bytes) -> Tuple[Any, int]:
             if end > size:
                 raise CodecError("truncated stream")
             try:
-                value = data[pos:end].decode("utf-8")
+                # str(buf, ...) decodes bytes and memoryview slices
+                # alike, so one loop serves owned blobs and arena views.
+                value = str(data[pos:end], "utf-8")
             except UnicodeDecodeError as exc:
                 raise CodecError(f"bad utf-8 in string: {exc}") from None
             pos = end
@@ -463,7 +465,7 @@ def _decode_stream(data: bytes) -> Tuple[Any, int]:
             end = pos + length
             if end > size:
                 raise CodecError("truncated stream")
-            value = data[pos:end]
+            value = bytes(data[pos:end])
             pos = end
             return value
         raise CodecError(f"unknown tag {tag}")
@@ -471,19 +473,40 @@ def _decode_stream(data: bytes) -> Tuple[Any, int]:
     return decode(), pos
 
 
+def dump_into(value: Any, out: bytearray) -> Tuple[int, int]:
+    """Append one magic-framed encoding of ``value`` to ``out``.
+
+    Returns ``(offset, length)`` of the frame within ``out`` — the
+    shape a shared-memory arena descriptor needs — so a worker can
+    encode straight into its segment buffer and ship coordinates
+    instead of bytes.  Each frame is self-contained (the back-reference
+    table resets per call), so any frame decodes independently of its
+    neighbors in the same buffer.
+    """
+    _ensure_registry()
+    offset = len(out)
+    out += MAGIC
+    _Encoder(out).encode(value)
+    return offset, len(out) - offset
+
+
 def dumps(value: Any) -> bytes:
     """Serialize ``value`` (registered types only) to bytes."""
-    _ensure_registry()
-    encoder = _Encoder()
-    encoder.encode(value)
-    return MAGIC + bytes(encoder.out)
+    out = bytearray()
+    dump_into(value, out)
+    return bytes(out)
 
 
-def loads(data: bytes) -> Any:
-    """Rebuild a value from :func:`dumps` output.
+def loads(data) -> Any:
+    """Rebuild a value from :func:`dumps`/:func:`dump_into` output.
 
-    Raises :exc:`CodecError` for anything malformed — wrong magic,
-    truncation, unknown tags or indexes, trailing bytes.
+    ``data`` may be ``bytes`` or any buffer (``memoryview``,
+    ``bytearray``, an mmap view) — decoding from a view copies only
+    the strings and bytes it materializes, never the frame itself,
+    which is what lets the parent decode worker results lazily out of
+    a shared-memory arena.  Raises :exc:`CodecError` for anything
+    malformed — wrong magic, truncation, unknown tags or indexes,
+    trailing bytes.
     """
     _ensure_registry()
     if data[:len(MAGIC)] != MAGIC:

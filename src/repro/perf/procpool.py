@@ -12,20 +12,29 @@ run.  This pool puts those phases on real cores:
   its in-process memos and loaded corpus across tasks, so per-task cost
   is the task, not interpreter startup;
 - **lean envelopes** — tasks cross the boundary as ``(handler name,
-  small payload)``; results come back as compact
-  :mod:`repro.perf.codec` blobs or tiny primitives, never whole IR
-  modules;
+  small payload)``; results come back as arena descriptors
+  (:mod:`repro.perf.shm`), compact :mod:`repro.perf.codec` blobs, or
+  tiny primitives, never whole IR modules;
 - **per-worker task queues** — round-robin dispatch plus the ability to
   *broadcast* a control task to every worker (``pool.reset`` lets the
   cold benchmarks drop worker memos without respawning);
-- **ordered merge** — :meth:`ProcessPool.run_ordered` returns results
-  in submission order, the same contract as
-  :func:`repro.perf.parallel.run_ordered`, so callers stay
+- **submit/wait dispatch** — :meth:`ProcessPool.submit` returns a
+  sequence id immediately and :meth:`ProcessPool.wait` /
+  :meth:`ProcessPool.wait_any` collect later, which is what lets the
+  extractor overlap compile and analyze waves;
+  :meth:`ProcessPool.run_ordered` keeps the submission-order contract
+  of :func:`repro.perf.parallel.run_ordered` on top, so callers stay
   byte-identical regardless of completion order;
+- **result arena** — the pool owns a shared-memory arena directory;
+  workers write encoded results there under ``REPRO_TRANSPORT=shm``
+  and the parent decodes lazily through :attr:`ProcessPool.reader`.
+  Every retirement path — normal shutdown, ``atexit``, and the
+  :class:`ProcessPoolError` raised when a worker dies — unlinks every
+  segment the pool created, so crashes cannot leak arena files;
 - **span handoff** — when tracing is enabled, each worker runs its task
   under a fresh :class:`~repro.obs.tracer.Tracer`, ships the finished
   spans back with the result, and the parent grafts them under the span
-  that was open at fan-out time: one rooted tree per run, same as the
+  that was open at submit time: one rooted tree per run, same as the
   thread backend.
 
 Workers see the parent's ``REPRO_*`` environment (snapshotted at spawn)
@@ -39,12 +48,15 @@ from __future__ import annotations
 import atexit
 import os
 import queue as queue_mod
+import tempfile
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.obs import tracer
-from repro.perf import modes
+from repro.perf import modes, shm
 from repro.perf.parallel import resolve_jobs
+from repro.perf.timers import bump
 
 #: Seconds between liveness checks while waiting on results.
 _POLL_SECONDS = 0.25
@@ -52,9 +64,37 @@ _POLL_SECONDS = 0.25
 #: Seconds to wait for workers to drain their queues on shutdown.
 _SHUTDOWN_GRACE = 5.0
 
+#: Batch-planning weight for a function whose source size is unknown.
+DEFAULT_TASK_BYTES = 2048
+
 
 class ProcessPoolError(RuntimeError):
     """A worker died or the pool is unusable."""
+
+
+def plan_batches(items: Sequence[Any], size_of: Callable[[Any], int],
+                 target: int) -> List[List[Any]]:
+    """Group consecutive ``items`` into batches of roughly ``target`` size.
+
+    Greedy and order-preserving: a batch closes when adding the next
+    item would push its accumulated ``size_of`` weight past ``target``,
+    so small functions amortize queue round-trips while a single large
+    function still gets a batch to itself.  Every item lands in exactly
+    one batch; concatenating the batches reproduces ``items``.
+    """
+    batches: List[List[Any]] = []
+    current: List[Any] = []
+    total = 0
+    for item in items:
+        size = max(1, size_of(item))
+        if current and total + size > target:
+            batches.append(current)
+            current, total = [], 0
+        current.append(item)
+        total += size
+    if current:
+        batches.append(current)
+    return batches
 
 
 # ---------------------------------------------------------------------------
@@ -63,6 +103,10 @@ class ProcessPoolError(RuntimeError):
 #
 # Handlers are module-level so the spawned child resolves them by name
 # after importing this module — no closures cross the process boundary.
+
+#: The worker's arena writer, created by :func:`_worker_main` before
+#: any task runs (None in the parent process).
+_WORKER_ARENA: Optional[shm.ArenaWriter] = None
 
 
 def _h_ping(_payload: Any) -> str:
@@ -86,44 +130,63 @@ def _h_reset(_payload: Any) -> str:
     return "reset"
 
 
-def _h_compile(payload: Any) -> str:
-    """Compile one corpus unit, warming the shared disk IR cache."""
-    from repro.corpus.loader import load_unit
+def _h_compile(payload: Any) -> Tuple[str, Dict[str, str], Dict[str, int]]:
+    """Compile one corpus unit; returns (filename, slice hashes, sizes).
+
+    Warms the shared disk IR cache, and ships back the unit's
+    per-function slice hashes (so the parent can run invalidation
+    without compiling anything itself) and source-slice byte sizes
+    (the batch-planning weights).
+    """
+    from repro.corpus import cache as disk
+    from repro.corpus.loader import load_unit, unit_slices
 
     (filename,) = payload
-    load_unit(filename)
-    return filename
+    unit = load_unit(filename)
+    sizes = disk.function_sizes(
+        unit.source,
+        {name: fn.line for name, fn in unit.module.functions.items()},
+    )
+    return filename, dict(unit_slices(unit)), sizes
 
 
-def _h_extract_function(payload: Any) -> Tuple[bytes, Dict[str, Any]]:
-    """Analyze one pre-selected function; returns (codec blob, graph records).
+def _h_extract_batch(payload: Any) -> Tuple[str, List[Any], Dict[str, Any]]:
+    """Analyze a batch of pre-selected functions from one unit.
 
-    Runs the exact memo → store → compute path of the thread backend
-    (:meth:`repro.analysis.extractor.Extractor._analyze_one`), so store
-    entries written by workers are the same entries the thread backend
-    writes.  Graph records are drained and shipped back — the parent
-    is the single flusher.
+    Each function runs the exact memo → store → compute path of the
+    thread backend (:meth:`repro.analysis.extractor.Extractor`
+    ``_analyze_one_blob``), so store entries written by workers are the
+    same entries the thread backend writes — and the store flush reuses
+    the already-encoded bytes, never a second encode.  Returns
+    ``(transport, results, graph records)`` where results are arena
+    descriptors under the shm transport and raw codec blobs under
+    pickle; graph records are drained and shipped back — the parent is
+    the single flusher.
     """
     from repro.analysis.extractor import Extractor
     from repro.corpus import cache as disk
-    from repro.perf import codec
 
-    filename, fn_name, solver = payload
-    extractor = Extractor(jobs=1, solver=solver)
-    state, findings = extractor._analyze_one((filename, fn_name))
-    return codec.dumps((state, findings)), disk.take_pending()
+    filename, fn_names, solver, transport = payload
+    extractor = Extractor(jobs=1, solver=solver, transport=transport)
+    blobs = [extractor._analyze_one_blob((filename, fn_name))
+             for fn_name in fn_names]
+    records = disk.take_pending()
+    if transport == "shm":
+        assert _WORKER_ARENA is not None
+        return "shm", [_WORKER_ARENA.write(blob) for blob in blobs], records
+    return "pickle", blobs, records
 
 
 _HANDLERS: Dict[str, Callable[[Any], Any]] = {
     "pool.ping": _h_ping,
     "pool.reset": _h_reset,
     "corpus.compile": _h_compile,
-    "extract.function": _h_extract_function,
+    "extract.batch": _h_extract_batch,
 }
 
 
-def _worker_main(index: int, env: Dict[str, str], task_queue: Any,
-                 result_queue: Any) -> None:
+def _worker_main(index: int, env: Dict[str, str], arena_dir: str,
+                 task_queue: Any, result_queue: Any) -> None:
     """Worker loop: apply handlers to envelopes until the None sentinel."""
     # Re-assert the parent's REPRO_* snapshot: inherited environment is
     # already correct for spawn, this just makes the contract explicit
@@ -132,9 +195,12 @@ def _worker_main(index: int, env: Dict[str, str], task_queue: Any,
         if key not in env:
             del os.environ[key]
     os.environ.update(env)
+    global _WORKER_ARENA
+    _WORKER_ARENA = shm.ArenaWriter(arena_dir, f"w{index}")
     while True:
         envelope = task_queue.get()
         if envelope is None:
+            _WORKER_ARENA.close()
             return
         seq, handler_name, payload, trace_requested = envelope
         spans: List[Dict[str, Any]] = []
@@ -170,7 +236,7 @@ def _worker_main(index: int, env: Dict[str, str], task_queue: Any,
 
 
 class ProcessPool:
-    """A fixed set of warm spawn workers with ordered-merge dispatch."""
+    """A fixed set of warm spawn workers with submit/wait dispatch."""
 
     def __init__(self, jobs: int) -> None:
         import multiprocessing as mp
@@ -178,18 +244,26 @@ class ProcessPool:
         self.jobs = max(1, jobs)
         self.env = {k: v for k, v in os.environ.items()
                     if k.startswith("REPRO_")}
+        self.arena_dir = tempfile.mkdtemp(prefix="repro-arena-")
+        self._reader: Optional[shm.ArenaReader] = None
         self._ctx = mp.get_context("spawn")
         self._result_queue = self._ctx.Queue()
         self._task_queues = []
         self._workers = []
         self._seq = 0
+        self._rr = 0
         self._lock = threading.Lock()
         self._closed = False
+        #: seq -> parent-span token captured at submit time.
+        self._outstanding: Dict[int, Any] = {}
+        #: seq -> (status, payload, spans) arrived but not yet waited on.
+        self._buffer: Dict[int, Tuple[str, Any, list]] = {}
         for index in range(self.jobs):
             task_queue = self._ctx.Queue()
             worker = self._ctx.Process(
                 target=_worker_main,
-                args=(index, self.env, task_queue, self._result_queue),
+                args=(index, self.env, self.arena_dir, task_queue,
+                      self._result_queue),
                 daemon=True,
                 name=f"repro-worker-{index}",
             )
@@ -199,87 +273,121 @@ class ProcessPool:
 
     # -- dispatch -------------------------------------------------------
 
-    def _next_seq(self) -> int:
+    @property
+    def reader(self) -> shm.ArenaReader:
+        """Lazy parent-side view of this pool's result arena."""
+        if self._reader is None:
+            self._reader = shm.ArenaReader(self.arena_dir)
+        return self._reader
+
+    def submit(self, handler_name: str, payload: Any,
+               worker: Optional[int] = None,
+               trace: Optional[bool] = None) -> int:
+        """Enqueue one ``(handler, payload)`` envelope; returns its seq.
+
+        Dispatch is round-robin over the per-worker queues unless
+        ``worker`` pins one.  The caller collects with :meth:`wait` /
+        :meth:`wait_any`; the span open right now is remembered so the
+        worker's spans graft under it at collection time.
+        """
+        if self._closed:
+            raise ProcessPoolError("pool is shut down")
+        trace_requested = tracer.is_enabled() if trace is None else trace
+        parent_span = tracer.capture()
         with self._lock:
             self._seq += 1
-            return self._seq
+            seq = self._seq
+            self._outstanding[seq] = parent_span
+            if worker is None:
+                worker = self._rr % self.jobs
+                self._rr += 1
+        self._task_queues[worker].put(
+            (seq, handler_name, payload, trace_requested)
+        )
+        return seq
 
-    def _collect(self, waiting: Dict[int, int]) -> Dict[int, Tuple[str, Any, list]]:
-        """Pull results for every sequence id in ``waiting``."""
-        results: Dict[int, Tuple[str, Any, list]] = {}
-        while len(results) < len(waiting):
-            try:
-                seq, status, payload, spans = self._result_queue.get(
-                    timeout=_POLL_SECONDS
-                )
-            except queue_mod.Empty:
-                dead = [w.name for w in self._workers if not w.is_alive()]
-                if dead:
-                    raise ProcessPoolError(
-                        f"worker(s) died while tasks were pending: {dead}"
-                    ) from None
-                continue
-            if seq in waiting:
-                results[seq] = (status, payload, spans)
-            # else: a stale result from an abandoned batch; drop it.
-        return results
+    def _pump(self) -> None:
+        """Move one result (if any) from the queue into the buffer.
+
+        Detecting a dead worker here is the leaked-segment choke point:
+        the pool shuts down — reclaiming every arena segment — *before*
+        the :class:`ProcessPoolError` propagates, so a killed worker
+        can fail the run but never leak arena files.
+        """
+        try:
+            seq, status, payload, spans = self._result_queue.get(
+                timeout=_POLL_SECONDS
+            )
+        except queue_mod.Empty:
+            dead = [w.name for w in self._workers if not w.is_alive()]
+            if dead:
+                reclaimed = self.shutdown()
+                raise ProcessPoolError(
+                    f"worker(s) died while tasks were pending: {dead} "
+                    f"(reclaimed {reclaimed} arena segment(s))"
+                ) from None
+            return
+        if seq in self._outstanding:
+            self._buffer[seq] = (status, payload, spans)
+        # else: a stale result from an abandoned call; drop it.
+
+    def wait(self, seq: int) -> Any:
+        """Block for one submitted seq; re-raises its worker exception."""
+        while seq not in self._buffer:
+            if self._closed:
+                raise ProcessPoolError("pool is shut down")
+            self._pump()
+        status, payload, spans = self._buffer.pop(seq)
+        parent_span = self._outstanding.pop(seq, None)
+        active = tracer.active()
+        if active is not None and spans:
+            tracer.graft(spans, active, parent_span)
+        if status == "err":
+            raise payload
+        return payload
+
+    def wait_any(self, seqs: Iterable[int]) -> Tuple[int, Any]:
+        """Block until any seq in ``seqs`` completes; ``(seq, result)``."""
+        seqs = list(seqs)
+        while True:
+            for seq in seqs:
+                if seq in self._buffer:
+                    return seq, self.wait(seq)
+            if self._closed:
+                raise ProcessPoolError("pool is shut down")
+            self._pump()
+
+    def forget(self, seqs: Iterable[int]) -> None:
+        """Abandon submitted calls; late results are silently dropped."""
+        for seq in seqs:
+            self._outstanding.pop(seq, None)
+            self._buffer.pop(seq, None)
 
     def run_ordered(self, calls: Sequence[Tuple[str, Any]]) -> List[Any]:
         """Run ``(handler name, payload)`` envelopes; results in call order.
 
-        Dispatch is round-robin over the per-worker queues; the merge
-        sorts by submission sequence, so ordering never depends on
-        which worker finished first.  The first failing call (in
-        submission order) re-raises its worker-side exception in the
-        parent.  When tracing is enabled, worker spans graft under the
-        span open at the time of this call.
+        The merge collects by submission sequence, so ordering never
+        depends on which worker finished first.  The first failing call
+        (in submission order) re-raises its worker-side exception in
+        the parent.
         """
-        if self._closed:
-            raise ProcessPoolError("pool is shut down")
-        if not calls:
-            return []
-        parent_span = tracer.capture()
-        trace_requested = tracer.is_enabled()
-        waiting: Dict[int, int] = {}
-        order: List[int] = []
-        for index, (handler_name, payload) in enumerate(calls):
-            seq = self._next_seq()
-            waiting[seq] = index
-            order.append(seq)
-            self._task_queues[index % self.jobs].put(
-                (seq, handler_name, payload, trace_requested)
-            )
-        results = self._collect(waiting)
-        active = tracer.active()
-        out: List[Any] = []
-        for seq in order:
-            status, payload, spans = results[seq]
-            if active is not None and spans:
-                tracer.graft(spans, active, parent_span)
-            if status == "err":
-                raise payload
-            out.append(payload)
-        return out
+        seqs = [self.submit(handler_name, payload)
+                for handler_name, payload in calls]
+        try:
+            return [self.wait(seq) for seq in seqs]
+        except BaseException:
+            self.forget(seqs)
+            raise
 
     def broadcast(self, handler_name: str, payload: Any = None) -> List[Any]:
         """Run one control task on *every* worker; results in worker order."""
-        if self._closed:
-            raise ProcessPoolError("pool is shut down")
-        waiting: Dict[int, int] = {}
-        order: List[int] = []
-        for index in range(self.jobs):
-            seq = self._next_seq()
-            waiting[seq] = index
-            order.append(seq)
-            self._task_queues[index].put((seq, handler_name, payload, False))
-        results = self._collect(waiting)
-        out = []
-        for seq in order:
-            status, result, _spans = results[seq]
-            if status == "err":
-                raise result
-            out.append(result)
-        return out
+        seqs = [self.submit(handler_name, payload, worker=index, trace=False)
+                for index in range(self.jobs)]
+        try:
+            return [self.wait(seq) for seq in seqs]
+        except BaseException:
+            self.forget(seqs)
+            raise
 
     def warm(self) -> None:
         """Block until every worker has imported the pipeline."""
@@ -295,10 +403,14 @@ class ProcessPool:
         """Whether every worker process is still running."""
         return not self._closed and all(w.is_alive() for w in self._workers)
 
-    def shutdown(self) -> None:
-        """Stop the workers; idempotent."""
+    def shutdown(self) -> int:
+        """Stop the workers and reclaim the arena; idempotent.
+
+        Returns the number of arena segments unlinked — every segment
+        this pool's workers ever created, whatever the exit path.
+        """
         if self._closed:
-            return
+            return 0
         self._closed = True
         for task_queue in self._task_queues:
             try:
@@ -313,6 +425,17 @@ class ProcessPool:
         for task_queue in self._task_queues:
             task_queue.close()
         self._result_queue.close()
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        reclaimed = shm.unlink_segments(self.arena_dir)
+        if reclaimed:
+            bump("shm.segments_reclaimed", reclaimed)
+        try:
+            os.rmdir(self.arena_dir)
+        except OSError:
+            pass
+        return reclaimed
 
 
 # ---------------------------------------------------------------------------

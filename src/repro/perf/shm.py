@@ -1,0 +1,199 @@
+"""mmap-backed result arena for the shared-memory transport.
+
+The process pool's queues pickle every message, so shipping each
+analyzed function's codec blob through them pays pickle + copy twice
+per result — enough to erase the multi-core win on small functions.
+Under ``REPRO_TRANSPORT=shm`` workers instead append their encoded
+results to per-worker **arena segments** (plain files under a
+pool-owned directory, mapped read-only by the parent) and send only a
+:class:`Descriptor` — ``(segment, offset, length, sha)`` — over the
+queue.  The parent decodes lazily from an mmap view, so result bytes
+cross the process boundary through the page cache exactly once and
+the queue carries a few dozen bytes per batch.
+
+Layout and lifecycle:
+
+- each worker owns its segments (``seg-w<idx>-<n>.bin``), so writers
+  never contend: a segment is append-only, rolled over when it would
+  exceed ``REPRO_SHM_SEGMENT_BYTES``, and flushed before the
+  descriptor is sent — the queue message is the happens-before edge;
+- frames are self-contained :mod:`repro.perf.codec` encodings
+  (``dump_into`` frames reset their back-reference table per call), so
+  any descriptor decodes independently of its neighbors;
+- the parent validates every view against the descriptor's length and
+  sha prefix and raises a loud :exc:`~repro.perf.codec.CodecError` on
+  any mismatch — a torn write or recycled segment degrades to a
+  recompute, never to a silently wrong result;
+- the pool that created the arena directory unlinks every segment on
+  shutdown (normal retirement, ``atexit``, and the worker-death error
+  path alike), so crashed workers cannot leak arena files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.perf import modes
+from repro.perf.codec import CodecError
+from repro.perf.timers import bump
+
+#: Segment filenames: ``seg-<writer tag>-<index>.bin``.
+SEGMENT_PREFIX = "seg-"
+SEGMENT_SUFFIX = ".bin"
+
+#: Hex digits of sha256 kept in a descriptor — 64 bits of checksum,
+#: plenty to catch torn writes while keeping descriptors tiny.
+SHA_PREFIX_LEN = 16
+
+
+def frame_sha(blob) -> str:
+    """The checksum recorded in (and checked against) a descriptor."""
+    return hashlib.sha256(blob).hexdigest()[:SHA_PREFIX_LEN]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Coordinates of one encoded frame inside an arena segment.
+
+    This — not the frame — is what crosses the result queue: a segment
+    filename, the frame's offset and length within it, and a sha256
+    prefix of the frame bytes.
+    """
+
+    segment: str
+    offset: int
+    length: int
+    sha: str
+
+
+class ArenaWriter:
+    """Worker-side append-only segment writer with size-based rollover.
+
+    One writer per worker process, tagged so segment names never
+    collide across workers sharing an arena directory.  A frame larger
+    than the segment target gets a segment to itself rather than an
+    error — the target bounds churn, it is not a hard frame limit.
+    """
+
+    def __init__(self, root: str, tag: str,
+                 segment_bytes: Optional[int] = None) -> None:
+        self.root = root
+        self.tag = tag
+        self.segment_bytes = modes.resolve_int("shm_segment_bytes",
+                                               segment_bytes)
+        self._index = -1
+        self._file = None
+        self._name = ""
+        self._offset = 0
+
+    def _roll(self) -> None:
+        if self._file is not None:
+            self._file.close()
+        self._index += 1
+        self._name = f"{SEGMENT_PREFIX}{self.tag}-{self._index}{SEGMENT_SUFFIX}"
+        os.makedirs(self.root, exist_ok=True)
+        self._file = open(os.path.join(self.root, self._name), "wb")
+        self._offset = 0
+
+    def write(self, blob) -> Descriptor:
+        """Append one frame; returns its descriptor (flushed, readable)."""
+        length = len(blob)
+        if (self._file is None
+                or (self._offset and self._offset + length > self.segment_bytes)):
+            self._roll()
+        offset = self._offset
+        self._file.write(blob)
+        self._file.flush()
+        self._offset += length
+        return Descriptor(self._name, offset, length, frame_sha(blob))
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class ArenaReader:
+    """Parent-side lazy mmap over arena segments, remapping on growth.
+
+    Segments are append-only, so a cached map only ever goes stale by
+    being too *short*; a descriptor reaching past the mapped length
+    triggers one re-mmap of the grown file.  Every view is validated
+    (existence, length, sha) before it is returned — callers must
+    ``release()`` the view once decoded, before the reader is closed.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._maps: Dict[str, mmap.mmap] = {}
+
+    def view(self, desc: Descriptor) -> memoryview:
+        """A zero-copy view of one frame; CodecError on any mismatch."""
+        end = desc.offset + desc.length
+        mm = self._maps.get(desc.segment)
+        if mm is None or len(mm) < end:
+            if mm is not None:
+                try:
+                    mm.close()
+                except BufferError:
+                    pass  # a leaked view pins the old map; replace anyway
+            path = os.path.join(self.root, desc.segment)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                raise CodecError(
+                    f"arena segment missing: {desc.segment}"
+                ) from None
+            if size < end:
+                raise CodecError(
+                    f"arena segment {desc.segment} too short: "
+                    f"{size} < {end}"
+                )
+            with open(path, "rb") as handle:
+                mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            self._maps[desc.segment] = mm
+            bump("shm.segments_mapped")
+        view = memoryview(mm)[desc.offset:end]
+        if frame_sha(view) != desc.sha:
+            view.release()
+            raise CodecError(
+                f"arena frame checksum mismatch in {desc.segment} "
+                f"at {desc.offset}+{desc.length}"
+            )
+        return view
+
+    def close(self) -> None:
+        for mm in self._maps.values():
+            try:
+                mm.close()
+            except BufferError:
+                pass
+        self._maps.clear()
+
+
+def unlink_segments(root: str) -> int:
+    """Remove every arena segment under ``root``; returns the count.
+
+    Best-effort by design: the reclaim runs on every pool-retirement
+    path including worker-death error handling, where raising over a
+    half-removed directory would mask the original failure.
+    """
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    removed = 0
+    for name in names:
+        if not (name.startswith(SEGMENT_PREFIX)
+                and name.endswith(SEGMENT_SUFFIX)):
+            continue
+        try:
+            os.unlink(os.path.join(root, name))
+            removed += 1
+        except OSError:
+            pass
+    return removed

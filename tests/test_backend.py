@@ -242,11 +242,11 @@ class TestAnalysisStore:
 
         base = dict(filename="mount.c", function="parse_opts",
                     slice_hash="s1", sources_fp="f1", component="mount",
-                    solver="sparse", lattice_mode="intern")
+                    solver="sparse", lattice_mode="intern", transport="shm")
         key = disk.analysis_key(**base)
         assert disk.analysis_key(**base) == key  # deterministic
         for field, value in [("slice_hash", "s2"), ("solver", "dense"),
-                             ("lattice_mode", "plain"),
+                             ("lattice_mode", "plain"), ("transport", "pickle"),
                              ("function", "other"), ("filename", "e2fsck.c"),
                              ("sources_fp", "f2"), ("component", "fsck")]:
             assert disk.analysis_key(**{**base, field: value}) != key
@@ -365,6 +365,16 @@ class TestBackendsEndToEnd:
         thread = _canonical(extract_all(jobs=2, backend="thread"))
         process = _canonical(extract_all(jobs=2, backend="process"))
         assert process == thread
+
+    def test_both_transports_match_thread(self, isolated_store):
+        from repro.analysis.extractor import extract_all
+        from repro.corpus.loader import clear_cache
+
+        thread = _canonical(extract_all(jobs=2, backend="thread"))
+        for transport in ("shm", "pickle"):
+            clear_cache()
+            assert _canonical(extract_all(
+                jobs=2, backend="process", transport=transport)) == thread
 
     def test_process_backend_trace_is_one_rooted_tree(self):
         from repro.analysis.extractor import extract_all
@@ -490,7 +500,12 @@ class TestProcessPool:
         names = ["mount.c", "e2fsck.c", "resize2fs.c", "mke2fs.c", "mount.c"]
         results = pool.run_ordered(
             [("corpus.compile", (name,)) for name in names])
-        assert results == names
+        assert [filename for filename, _slices, _sizes in results] == names
+        # Compile results carry the batch-planning inputs: every
+        # function has both a slice hash and a source-size weight.
+        for _filename, slices, sizes in results:
+            assert set(slices) == set(sizes)
+            assert all(size > 0 for size in sizes.values())
 
     def test_worker_errors_propagate_and_pool_survives(self):
         pool = procpool.get_pool(2)
@@ -499,6 +514,32 @@ class TestProcessPool:
         # The worker kept serving; the pool is still usable.
         assert pool.alive()
         assert pool.broadcast("pool.ping") == ["pong", "pong"]
+
+    def test_killed_worker_reclaims_arena_segments(self):
+        # A private pool: killing a worker retires the whole pool, and
+        # doing that to the shared get_pool() instance would make every
+        # later test pay a respawn.
+        pool = procpool.ProcessPool(2)
+        try:
+            (result,) = pool.run_ordered([(
+                "extract.batch",
+                ("mount.c", ("parse_mount_options",), None, "shm"),
+            )])
+            transport, descriptors, _records = result
+            assert transport == "shm" and descriptors
+            segments = [name for name in os.listdir(pool.arena_dir)
+                        if name.startswith("seg-")]
+            assert segments  # the worker really wrote into the arena
+            # Hard-kill one worker, then ask it for more work: the pool
+            # must fail loudly AND unlink every arena segment on the way.
+            pool._workers[0].terminate()
+            pool._workers[0].join()
+            seq = pool.submit("pool.ping", None, worker=0)
+            with pytest.raises(ProcessPoolError, match="arena segment"):
+                pool.wait(seq)
+            assert not os.path.exists(pool.arena_dir)
+        finally:
+            pool.shutdown()
 
     def test_pool_is_keyed_by_configuration(self, monkeypatch):
         pool = procpool.get_pool(2, warm=False)

@@ -1,4 +1,5 @@
-"""Campaign engine performance: serial-cold vs snapshot-warm vs parallel.
+"""Campaign engine performance: serial-cold vs snapshot-warm vs parallel,
+plus campaign-scale sharded streaming throughput.
 
 Benchmarks the checker campaign engine (``repro.perf.campaign``) on a
 realistic workload: a mount-option sweep over a few shared on-disk
@@ -13,12 +14,32 @@ same sweep:
 - **parallel**       — jobs=4 with the cache and accounting off (the
   full engine as ``--jobs`` enables it).
 
+A second, campaign-scale section measures the sharded streaming driver
+(``sweep_campaign``/``sampled_campaign``) against the pre-shard
+``ConBugCk.drive`` path at N=10^4 configurations (10^5 in full mode):
+
+- **sharded sweep**  — the 10^4-config sweep through the sharded
+  streaming driver (per-shard outcome memo + flat-image clones) versus
+  the serial-cold pre-shard driver;
+- **sharded sampled** — a diverse random-registry campaign
+  (``sampled_campaign``) where every shard regenerates its own slice,
+  versus materializing the configs and driving them serially.
+
 Contract (the ``verify`` target runs ``--smoke`` and fails loudly):
 
 - snapshot-warm must beat serial-cold by ``MIN_CACHE_SPEEDUP`` (1.5x);
 - the parallel engine must beat serial-cold by ``MIN_ENGINE_SPEEDUP``
   (2.0x);
-- every configuration, any job count: byte-identical DriveStats.
+- the sharded streaming driver must beat the serial pre-shard driver
+  by ``MIN_SHARDED_SPEEDUP`` (3.0x) at campaign scale — always
+  enforced: the win comes from outcome memoization, not parallelism;
+- the sharded *sampled* campaign must beat its serial baseline by
+  ``MIN_SAMPLED_SPEEDUP`` (3.0x) — enforced only on >= 4 CPUs (the
+  diverse workload has few duplicate configs, so this win is
+  parallelism; single-core boxes record the measurement unenforced,
+  the same hardware-gating pattern as ``bench_backend.py``);
+- every configuration, any job/shard count: byte-identical DriveStats,
+  and the sharded campaign digest must equal the unsharded one.
 
 Results additionally land machine-readable in ``BENCH_campaign.json``
 at the repository root.
@@ -40,6 +61,14 @@ from typing import List, Optional
 MIN_CACHE_SPEEDUP = 1.5
 #: Required speedup of the full engine (jobs=4 + cache + no accounting).
 MIN_ENGINE_SPEEDUP = 2.0
+#: Required campaign-scale speedup of the sharded streaming driver over
+#: the serial pre-shard driver (always enforced).
+MIN_SHARDED_SPEEDUP = 3.0
+#: Required speedup of the sharded sampled campaign (enforced >= 4 CPUs).
+MIN_SAMPLED_SPEEDUP = 3.0
+#: CPU floor below which the sampled-campaign speedup is recorded but
+#: not enforced — its win is parallel shard execution.
+SAMPLED_FLOOR_CPUS = 4
 
 #: Sweep geometry: small blocks and a small device keep mkfs the
 #: dominant serial cost (as it is for full-size campaign images), and a
@@ -50,6 +79,13 @@ FS_BLOCKS = 384
 BASES = 3
 VIOLATE_RATE = 0.8
 SEED = 2022
+
+#: Campaign-scale section: shard count and config counts per mode.
+CAMPAIGN_SHARDS = 8
+SMOKE_CAMPAIGN_CONFIGS = 10_000
+FULL_CAMPAIGN_CONFIGS = 100_000
+#: Device size for the diverse sampled campaign (registry defaults).
+SAMPLED_FS_BLOCKS = 512
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_campaign.json")
@@ -64,12 +100,27 @@ def _ensure_imports() -> None:
         sys.path.insert(0, os.path.join(os.path.dirname(here), "src"))
 
 
-def _canonical(stats) -> str:
-    """Byte-stable serialization of a campaign's DriveStats."""
+def _canonical(stats, sparse: bool = False) -> str:
+    """Byte-stable serialization of a campaign's DriveStats.
+
+    ``sparse`` drops zero-count stages — DriveStats pre-initializes
+    every stage, while a streaming CampaignReport only tallies stages
+    that were actually reached.
+    """
     lines = [f"total={stats.total}"]
-    lines += [f"reached[{s}]={n}" for s, n in sorted(stats.reached.items())]
+    lines += [f"reached[{s}]={n}" for s, n in sorted(stats.reached.items())
+              if n or not sparse]
     lines.append(f"truncated={stats.failures_truncated}")
     lines.extend(stats.failures)
+    return "\n".join(lines)
+
+
+def _canonical_report(report) -> str:
+    """The same byte-stable form for a sharded CampaignReport."""
+    lines = [f"total={report.total}"]
+    lines += [f"reached[{s}]={n}" for s, n in sorted(report.reached.items())]
+    lines.append(f"truncated={report.failure_count - len(report.failures)}")
+    lines.extend(message for _, message in report.failures)
     return "\n".join(lines)
 
 
@@ -89,10 +140,14 @@ def run_benchmark(smoke: bool = False, jobs: int = 4, repeat: int = 5,
 
     from repro.analysis.extractor import extract_all
     from repro.common.texttable import TextTable
-    from repro.tools.conbugck import ConBugCk
+    from repro.perf.sampling import RandomSampler
+    from repro.tools.conbugck import (ConBugCk, build_campaign_space,
+                                      config_from_assignment,
+                                      sampled_campaign, sweep_campaign)
 
     if smoke:
         repeat, count = 3, 300
+    scale_n = SMOKE_CAMPAIGN_CONFIGS if smoke else FULL_CAMPAIGN_CONFIGS
 
     deps = extract_all().true_dependencies()
     sweep = ConBugCk(deps, seed=SEED).generate_mount_sweep(
@@ -116,6 +171,68 @@ def run_benchmark(smoke: bool = False, jobs: int = 4, repeat: int = 5,
     cache_speedup = serial_cold / snapshot_warm if snapshot_warm else float("inf")
     engine_speedup = serial_cold / parallel if parallel else float("inf")
 
+    # ---- campaign scale: sharded streaming vs the pre-shard driver ----
+    # Large N self-averages, so each mode is timed once.
+
+    sweep_scale = ConBugCk(deps, seed=SEED).generate_mount_sweep(
+        scale_n, bases=BASES, fs_blocks=FS_BLOCKS, blocksize=BLOCK_SIZE,
+        violate_rate=VIOLATE_RATE)
+
+    start = time.perf_counter()
+    scale_stats = ConBugCk(deps, seed=SEED).drive(
+        sweep_scale, fs_blocks=FS_BLOCKS, jobs=1, snapshot_cache=False,
+        track_io=True)
+    scale_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scale_report = sweep_campaign(sweep_scale, fs_blocks=FS_BLOCKS,
+                                  shards=CAMPAIGN_SHARDS, jobs=jobs)
+    scale_sharded = time.perf_counter() - start
+
+    scale_unsharded = sweep_campaign(sweep_scale, fs_blocks=FS_BLOCKS,
+                                     shards=1)
+    scale_identical = (
+        scale_report.digest_hex == scale_unsharded.digest_hex
+        and _canonical_report(scale_report) == _canonical(scale_stats, sparse=True))
+
+    sharded_speedup = (scale_serial / scale_sharded
+                       if scale_sharded else float("inf"))
+    sweep_cps = scale_n / scale_sharded if scale_sharded else float("inf")
+
+    # Diverse sampled campaign: shards regenerate their own slices, so
+    # the serial baseline must also pay config materialization.
+    cpus = os.cpu_count() or 1
+    sampled_backend = "process" if cpus >= 2 else "thread"
+    sampled_enforced = cpus >= SAMPLED_FLOOR_CPUS
+
+    start = time.perf_counter()
+    space = build_campaign_space()
+    sampler = RandomSampler(space, SEED, scale_n)
+    sampled_configs = [config_from_assignment(space, assignment)
+                       for _, assignment in sampler.iter_range(0, scale_n)]
+    sampled_stats = ConBugCk(deps, seed=SEED).drive(
+        sampled_configs, fs_blocks=SAMPLED_FS_BLOCKS, jobs=1)
+    sampled_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sampled_report, _meta = sampled_campaign(
+        deps, sample="random", seed=SEED, budget=scale_n,
+        shards=CAMPAIGN_SHARDS, fs_blocks=SAMPLED_FS_BLOCKS, jobs=jobs,
+        backend=sampled_backend,
+        transport="shm" if sampled_backend == "process" else None)
+    sampled_sharded = time.perf_counter() - start
+
+    sampled_unsharded, _ = sampled_campaign(
+        deps, sample="random", seed=SEED, budget=scale_n, shards=1,
+        fs_blocks=SAMPLED_FS_BLOCKS)
+    sampled_identical = (
+        sampled_report.digest_hex == sampled_unsharded.digest_hex
+        and _canonical_report(sampled_report) == _canonical(sampled_stats, sparse=True))
+
+    sampled_speedup = (sampled_serial / sampled_sharded
+                       if sampled_sharded else float("inf"))
+    sampled_cps = scale_n / sampled_sharded if sampled_sharded else float("inf")
+
     mode = "smoke" if smoke else "full"
     table = TextTable(
         ["configuration", "best s", "vs serial"],
@@ -127,13 +244,39 @@ def run_benchmark(smoke: bool = False, jobs: int = 4, repeat: int = 5,
                   f"{engine_speedup:.2f}x")
     rendered = table.render()
 
-    identical = all(out == outputs[0] for out in outputs[1:])
+    scale_table = TextTable(
+        ["configuration", "s", "configs/s", "vs pre-shard"],
+        title=(f"campaign scale ({scale_n} configs, "
+               f"{CAMPAIGN_SHARDS} shards, {mode})"))
+    scale_table.add_row("sweep: pre-shard serial driver",
+                        f"{scale_serial:.3f}",
+                        f"{scale_n / scale_serial:.0f}", "1.00x")
+    scale_table.add_row("sweep: sharded streaming",
+                        f"{scale_sharded:.3f}", f"{sweep_cps:.0f}",
+                        f"{sharded_speedup:.2f}x")
+    scale_table.add_row("sampled: materialize + serial drive",
+                        f"{sampled_serial:.3f}",
+                        f"{scale_n / sampled_serial:.0f}", "1.00x")
+    scale_table.add_row(f"sampled: sharded ({sampled_backend})",
+                        f"{sampled_sharded:.3f}", f"{sampled_cps:.0f}",
+                        f"{sampled_speedup:.2f}x")
+    rendered += "\n\n" + scale_table.render()
+
+    identical = (all(out == outputs[0] for out in outputs[1:])
+                 and scale_identical and sampled_identical)
     rendered += (f"\n\noutputs byte-identical across all engine "
-                 f"configurations: {'yes' if identical else 'NO'}")
+                 f"configurations and shard counts: "
+                 f"{'yes' if identical else 'NO'}")
     rendered += (f"\nsnapshot-cache speedup {cache_speedup:.2f}x "
                  f"(required >= {MIN_CACHE_SPEEDUP:.1f}x)")
     rendered += (f"\nparallel-engine speedup {engine_speedup:.2f}x "
                  f"(required >= {MIN_ENGINE_SPEEDUP:.1f}x)")
+    rendered += (f"\nsharded-campaign speedup {sharded_speedup:.2f}x "
+                 f"(required >= {MIN_SHARDED_SPEEDUP:.1f}x)")
+    rendered += (f"\nsharded-sampled speedup {sampled_speedup:.2f}x "
+                 f"(required >= {MIN_SAMPLED_SPEEDUP:.1f}x on "
+                 f">= {SAMPLED_FLOOR_CPUS} CPUs; this box has {cpus}, "
+                 f"{'enforced' if sampled_enforced else 'recorded only'})")
 
     with open(JSON_PATH, "w", encoding="utf-8") as fh:
         json.dump({
@@ -148,13 +291,41 @@ def run_benchmark(smoke: bool = False, jobs: int = 4, repeat: int = 5,
                 "snapshot_warm": snapshot_warm,
                 "parallel": parallel,
             },
+            "campaign_scale": {
+                "configs": scale_n,
+                "shards": CAMPAIGN_SHARDS,
+                "cpus": cpus,
+                "sweep": {
+                    "serial_seconds": scale_serial,
+                    "sharded_seconds": scale_sharded,
+                    "configs_per_sec": sweep_cps,
+                    "digest": scale_report.digest_hex,
+                },
+                "sampled": {
+                    "backend": sampled_backend,
+                    "serial_seconds": sampled_serial,
+                    "sharded_seconds": sampled_sharded,
+                    "configs_per_sec": sampled_cps,
+                    "digest": sampled_report.digest_hex,
+                },
+            },
             "speedups": {
                 "snapshot_cache": cache_speedup,
                 "parallel_engine": engine_speedup,
+                "sharded_campaign": sharded_speedup,
+                "sharded_sampled": sampled_speedup,
             },
             "floors": {
                 "snapshot_cache": MIN_CACHE_SPEEDUP,
                 "parallel_engine": MIN_ENGINE_SPEEDUP,
+                "sharded_campaign": MIN_SHARDED_SPEEDUP,
+                "sharded_sampled": MIN_SAMPLED_SPEEDUP,
+            },
+            "floor_enforced": {
+                "snapshot_cache": True,
+                "parallel_engine": True,
+                "sharded_campaign": True,
+                "sharded_sampled": sampled_enforced,
             },
             "identical_outputs": identical,
         }, fh, indent=2)
@@ -180,6 +351,16 @@ def run_benchmark(smoke: bool = False, jobs: int = 4, repeat: int = 5,
               f"the {MIN_ENGINE_SPEEDUP:.1f}x floor — perf regression",
               file=sys.stderr)
         return 1
+    if sharded_speedup < MIN_SHARDED_SPEEDUP:
+        print(f"FAIL: sharded-campaign speedup {sharded_speedup:.2f}x is "
+              f"below the {MIN_SHARDED_SPEEDUP:.1f}x floor — perf regression",
+              file=sys.stderr)
+        return 1
+    if sampled_enforced and sampled_speedup < MIN_SAMPLED_SPEEDUP:
+        print(f"FAIL: sharded-sampled speedup {sampled_speedup:.2f}x is "
+              f"below the {MIN_SAMPLED_SPEEDUP:.1f}x floor — perf regression",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -193,7 +374,8 @@ def test_campaign_perf():
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the campaign engine: serial-cold vs "
-                    "snapshot-warm vs parallel checker execution.")
+                    "snapshot-warm vs parallel checker execution, plus "
+                    "campaign-scale sharded streaming throughput.")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller sweep, fewer repetitions "
                              "(the CI verify mode; floors unchanged)")
@@ -205,7 +387,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep size in configurations (default 800)")
     args = parser.parse_args(argv)
     return run_benchmark(smoke=args.smoke, jobs=args.jobs,
-                         repeat=args.repeat, count=args.count)
+                        repeat=args.repeat, count=args.count)
 
 
 if __name__ == "__main__":

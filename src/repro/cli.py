@@ -79,6 +79,7 @@ class _ObsSession:
         self.report_keys: Optional[List[str]] = None
         self.report_summary: Optional[str] = None
         self.engine_overrides: dict = {}
+        self.campaign: Optional[dict] = None
         self._tracer = None
         self._root_cm = None
         self._start = 0.0
@@ -88,6 +89,11 @@ class _ObsSession:
         """Attach the run's result digest inputs for the manifest."""
         self.report_keys = list(keys) if keys is not None else None
         self.report_summary = summary
+
+    def set_campaign(self, campaign: dict) -> None:
+        """Attach a sampled campaign's manifest section (sampler
+        identity, shard timings, snapshot traffic, digest)."""
+        self.campaign = dict(campaign)
 
     def set_engine(self, **modes: Optional[str]) -> None:
         """Record engine knobs the run pinned explicitly (e.g. --solver)."""
@@ -137,6 +143,7 @@ class _ObsSession:
                 report_summary=self.report_summary,
                 trace=self.args.trace,
                 engine_overrides=self.engine_overrides,
+                campaign=self.campaign,
             )
             write_manifest(manifest, self.args.manifest)
             _status(f"wrote run manifest to {self.args.manifest}")
@@ -146,6 +153,45 @@ class _ObsSession:
         from repro.perf import resolve_jobs
 
         return resolve_jobs(getattr(self.args, "jobs", None))
+
+
+def _add_sampling_args(parser: argparse.ArgumentParser,
+                       sample_help: str) -> None:
+    """The shared sampled-campaign flags (``--sample``/``--budget``/
+    ``--shards``)."""
+    group = parser.add_argument_group("sampled campaigns")
+    group.add_argument("--sample", metavar="SPEC", default=None,
+                       help=sample_help)
+    group.add_argument("--budget", type=int, default=None, metavar="N",
+                       help="campaign size cap: raw configs drawn "
+                            "(random needs one; covering arrays are "
+                            "truncated to it)")
+    group.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="contiguous campaign shards; each regenerates "
+                            "its own config slice and streams back a "
+                            "bounded aggregate (default 1)")
+
+
+def _campaign_section(report: Any, meta: dict) -> dict:
+    """The manifest ``campaign`` section for one sampled-campaign run."""
+    hits = int(report.counters.get("campaign.snapshot.hit", 0))
+    misses = int(report.counters.get("campaign.snapshot.miss", 0))
+    skipped = int(meta.get("infeasible_skipped")
+                  or report.counters.get("campaign.infeasible_skipped", 0))
+    return {
+        "sampler": str(meta["sampler"]),
+        "seed": int(meta["seed"]),
+        "budget": meta.get("budget"),
+        "total": int(meta["total"]),
+        "shards": int(meta["shards"]),
+        "snapshot_hits": hits,
+        "snapshot_misses": misses,
+        "snapshot_hit_ratio": (hits / (hits + misses)
+                               if hits + misses else 0.0),
+        "infeasible_skipped": skipped,
+        "digest": report.digest_hex,
+        "shard_seconds": [round(s, 6) for s in report.shard_seconds],
+    }
 
 
 def main_extract(argv: Optional[List[str]] = None) -> int:
@@ -283,20 +329,77 @@ def main_conhandleck(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                         help="parallel violation workers (0 = one per CPU; "
                              "default: $REPRO_JOBS or sequential)")
+    parser.add_argument("--seed", type=int, default=2022,
+                        help="seed for budgeted violation draws")
     _add_backend_arg(parser)
+    _add_transport_arg(parser)
+    _add_sampling_args(
+        parser,
+        sample_help="sharded violation campaign sampler; only 'random' "
+                    "applies here (dependency draws with replacement) — "
+                    "implied by --budget/--shards")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown afterwards")
     _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     from repro.perf import render_profile, reset_profile
-    from repro.tools.conhandleck import ConHandleCk
+    from repro.tools.conhandleck import ConHandleCk, sampled_check
 
+    if args.sample not in (None, "random"):
+        _status(f"repro-conhandleck: --sample {args.sample} is not "
+                f"meaningful over a dependency list (only random draws)")
+        return 2
     if args.profile:
         reset_profile()
     with _ObsSession("repro-conhandleck", args, argv) as obs:
         if args.backend:
             obs.set_engine(backend=args.backend)
+        if args.transport:
+            obs.set_engine(transport=args.transport)
+        if args.sample or args.budget is not None or args.shards > 1:
+            from repro.analysis.extractor import extract_all
+
+            deps = extract_all(jobs=args.jobs,
+                               backend=args.backend).true_dependencies()
+            started = time.perf_counter()
+            report, meta = sampled_check(
+                deps, seed=args.seed, budget=args.budget,
+                shards=args.shards, jobs=args.jobs,
+                backend=args.backend, transport=args.transport)
+            wall = time.perf_counter() - started
+            rate = report.total / wall if wall > 0 else 0.0
+            obs.set_campaign(_campaign_section(report, meta))
+            # ``reached`` counts outcome values and dependency keys side
+            # by side; the outcome rollup is the enum-valued subset.
+            from repro.tools.conhandleck import ViolationOutcome
+
+            outcome_names = {o.value for o in ViolationOutcome}
+            outcome_counts = {key: count
+                              for key, count in report.reached.items()
+                              if key in outcome_names}
+            obs.set_report(
+                [f"{k}={v}" for k, v in sorted(outcome_counts.items())]
+                + [f"digest={report.digest_hex}"],
+                summary=f"{meta['sampler']} violation campaign: "
+                        f"{report.total} draws over "
+                        f"{meta['dependencies']} dependencies, digest "
+                        f"{report.digest_hex[:12]}")
+            print(f"campaign:    {report.total} violation draws over "
+                  f"{meta['dependencies']} dependencies in "
+                  f"{meta['shards']} shard(s)")
+            for outcome, count in sorted(outcome_counts.items()):
+                print(f"{outcome:>14s}: {count}")
+            print(f"digest:      {report.digest_hex}")
+            print(f"throughput:  {rate:,.0f} violations/sec "
+                  f"({wall:.2f}s wall)")
+            bad_exemplars = report.failures
+            for index, message in bad_exemplars:
+                print(f"\nBAD HANDLING [config {index}]: {message}")
+            if args.profile:
+                _status("")
+                _status(render_profile())
+            return 0 if not report.failure_count else 1
         report = ConHandleCk().check_extracted(jobs=args.jobs,
                                                backend=args.backend)
         summary = ", ".join(f"{o.value}={c}"
@@ -331,19 +434,70 @@ def main_conbugck(argv: Optional[List[str]] = None) -> int:
                         help="parallel campaign workers (0 = one per CPU; "
                              "default: $REPRO_JOBS or sequential)")
     _add_backend_arg(parser)
+    _add_transport_arg(parser)
+    _add_sampling_args(
+        parser,
+        sample_help="run a registry-wide sampled campaign instead of the "
+                    "guided-vs-naive comparison: random, pairwise, or "
+                    "twise:<t>, each optionally +feasible (skip configs "
+                    "the extracted dependencies say mkfs rejects)")
+    parser.add_argument("--fs-blocks", type=int, default=512, metavar="N",
+                        help="device size (blocks) for sampled campaigns")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing breakdown afterwards")
     _add_obs_args(parser)
     args = parser.parse_args(argv)
 
     from repro.perf import render_profile, reset_profile
-    from repro.tools.conbugck import ConBugCk, STAGES
+    from repro.tools.conbugck import ConBugCk, STAGES, sampled_campaign
 
     if args.profile:
         reset_profile()
     with _ObsSession("repro-conbugck", args, argv) as obs:
         if args.backend:
             obs.set_engine(backend=args.backend)
+        if args.transport:
+            obs.set_engine(transport=args.transport)
+        if args.sample:
+            from repro.analysis.extractor import extract_all
+
+            deps = extract_all(jobs=args.jobs,
+                               backend=args.backend).true_dependencies()
+            started = time.perf_counter()
+            report, meta = sampled_campaign(
+                deps, sample=args.sample, seed=args.seed,
+                budget=args.budget, shards=args.shards,
+                fs_blocks=args.fs_blocks, jobs=args.jobs,
+                backend=args.backend, transport=args.transport)
+            wall = time.perf_counter() - started
+            rate = report.total / wall if wall > 0 else 0.0
+            obs.set_campaign(_campaign_section(report, meta))
+            obs.set_report(
+                [f"{stage}={count}"
+                 for stage, count in sorted(report.reached.items())]
+                + [f"digest={report.digest_hex}"],
+                summary=f"{meta['sampler']} campaign: {report.total} "
+                        f"configs, {meta['shards']} shard(s), digest "
+                        f"{report.digest_hex[:12]}")
+            print(f"sampler:     {meta['sampler']} (seed {meta['seed']})")
+            print(f"space:       {meta['space_params']} params, "
+                  f"{meta['space_combinations']:.3e} combinations")
+            print(f"campaign:    {report.total} configs in "
+                  f"{meta['shards']} shard(s)"
+                  + (f", {meta['infeasible_skipped']} infeasible skipped"
+                     if meta["infeasible_skipped"] else ""))
+            print(f"{'stage':>12s} {'reached':>8s}")
+            for stage in STAGES:
+                print(f"{stage:>12s} {report.reached.get(stage, 0):>8d}")
+            print(f"failures:    {report.failure_count} "
+                  f"({len(report.failures)} stored)")
+            print(f"digest:      {report.digest_hex}")
+            print(f"throughput:  {rate:,.0f} configs/sec "
+                  f"({wall:.2f}s wall)")
+            if args.profile:
+                _status("")
+                _status(render_profile())
+            return 0
         generator = ConBugCk.from_extraction(seed=args.seed, jobs=args.jobs,
                                              backend=args.backend)
         guided = generator.drive(generator.generate(args.count), jobs=args.jobs)
@@ -448,6 +602,24 @@ def main_runs(argv: Optional[List[str]] = None) -> int:
               f"digest={digest[:12] if digest else None}")
         if report.get("summary"):
             print(f"summary:     {report['summary']}")
+        campaign = manifest.get("campaign")
+        if campaign:
+            hits = campaign.get("snapshot_hits", 0)
+            misses = campaign.get("snapshot_misses", 0)
+            shard_seconds = campaign.get("shard_seconds") or []
+            print(f"campaign:    {campaign.get('sampler')} seed="
+                  f"{campaign.get('seed')} budget={campaign.get('budget')} "
+                  f"total={campaign.get('total')}")
+            print(f"  shards:    {campaign.get('shards')}"
+                  + (f" (timings {min(shard_seconds):.3f}.."
+                     f"{max(shard_seconds):.3f}s)" if shard_seconds else ""))
+            print(f"  snapshot:  {hits} hits / {misses} misses "
+                  f"(ratio {campaign.get('snapshot_hit_ratio', 0.0):.3f})")
+            if campaign.get("infeasible_skipped"):
+                print(f"  skipped:   {campaign['infeasible_skipped']} "
+                      f"infeasible")
+            cdigest = campaign.get("digest")
+            print(f"  digest:    {cdigest[:16] if cdigest else None}")
         return 0
 
     a = load_manifest(args.a)

@@ -26,7 +26,9 @@ from repro.obs.metrics import REGISTRY
 from repro.obs.schema import load_schema, validate
 
 #: Bump when the manifest layout changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: optional ``campaign`` section (sampler identity, shard count and
+#: timings, snapshot hit/miss ratio, streaming-campaign digest).
+MANIFEST_SCHEMA_VERSION = 2
 
 _MANIFEST_SCHEMA: Dict[str, Any] = load_schema("manifest_schema.json")
 
@@ -73,12 +75,16 @@ def build_manifest(tool: str,
                    report_summary: Optional[str] = None,
                    trace: Optional[str] = None,
                    engine_overrides: Optional[Dict[str, str]] = None,
+                   campaign: Optional[Dict[str, Any]] = None,
                    ) -> Dict[str, Any]:
     """Assemble the manifest dict for one finished run.
 
     ``engine_overrides`` records knobs the run pinned explicitly (e.g.
     a ``--solver`` flag) that the environment-based resolution below
-    would miss.
+    would miss.  ``campaign`` (sampled-campaign runs only) records the
+    sampler identity, shard layout and timings, snapshot-cache traffic,
+    and the streaming campaign digest — the fields ``repro-runs diff``
+    needs to compare two campaign runs.
     """
     keys = list(report_keys) if report_keys is not None else None
     engine = engine_modes()
@@ -86,7 +92,7 @@ def build_manifest(tool: str,
         if mode is not None:
             engine[knob] = mode
     created = time.time()
-    return {
+    manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "tool": tool,
         "created": created,
@@ -105,6 +111,9 @@ def build_manifest(tool: str,
             "summary": report_summary,
         },
     }
+    if campaign is not None:
+        manifest["campaign"] = dict(campaign)
+    return manifest
 
 
 def validate_manifest(manifest: Dict[str, Any]) -> None:
@@ -185,6 +194,35 @@ def diff_manifests(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
     if ra.get("count") != rb.get("count"):
         lines.append(f"report.count: {ra.get('count')} -> {rb.get('count')}")
 
+    # Campaign identity: sampler/seed/budget/total/digest changes mean
+    # the two runs drove different campaigns.  Shard layout, timings,
+    # and cache traffic are execution shape, not results — a sharded
+    # run is byte-identical to an unsharded one — so they diff as
+    # informational (~) drift.
+    ga, gb = a.get("campaign") or {}, b.get("campaign") or {}
+    if ga or gb:
+        for field in ("sampler", "seed", "budget", "total", "digest"):
+            if ga.get(field) != gb.get(field):
+                va, vb = ga.get(field), gb.get(field)
+                if field == "digest":
+                    va, vb = _short(va), _short(vb)
+                lines.append(f"campaign.{field}: {va} -> {vb}")
+        for field in ("shards", "snapshot_hits", "snapshot_misses",
+                      "infeasible_skipped"):
+            if ga.get(field) != gb.get(field):
+                lines.append(f"~campaign.{field}: {ga.get(field)} -> "
+                             f"{gb.get(field)}")
+        ratio_a, ratio_b = ga.get("snapshot_hit_ratio"), \
+            gb.get("snapshot_hit_ratio")
+        if ratio_a != ratio_b and (ratio_a is not None
+                                   or ratio_b is not None):
+            lines.append(f"~campaign.snapshot_hit_ratio: "
+                         f"{_ratio(ratio_a)} -> {_ratio(ratio_b)}")
+        sa, sb = ga.get("shard_seconds") or [], gb.get("shard_seconds") or []
+        if (sa or sb) and sa != sb:
+            lines.append(f"~campaign.shard_seconds: {_span(sa)} -> "
+                         f"{_span(sb)}")
+
     # Informational drift: never makes the runs "different", but often
     # explains a perf question at a glance.
     wa, wb = a.get("wall_seconds"), b.get("wall_seconds")
@@ -221,3 +259,14 @@ def render_diff(a: Dict[str, Any], b: Dict[str, Any]) -> str:
 
 def _short(digest: Optional[str]) -> str:
     return digest[:12] if isinstance(digest, str) else str(digest)
+
+
+def _ratio(value: Optional[float]) -> str:
+    return f"{value:.3f}" if isinstance(value, (int, float)) else str(value)
+
+
+def _span(seconds: List[float]) -> str:
+    """Compact shard-timing summary: count and min..max."""
+    if not seconds:
+        return "[]"
+    return f"[{len(seconds)}x {min(seconds):.3f}..{max(seconds):.3f}s]"

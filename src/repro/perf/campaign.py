@@ -31,8 +31,12 @@ Counters: ``campaign.snapshot.hit`` / ``campaign.snapshot.miss`` /
 
 from __future__ import annotations
 
+import hashlib
+import importlib
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple, TypeVar, Union
 
 from repro.errors import ReproError
 from repro.fsimage.blockdev import BlockDevice
@@ -50,7 +54,7 @@ CacheKey = Tuple
 class _Entry:
     """One cached mkfs outcome: a sparse image or a deterministic error."""
 
-    __slots__ = ("num_blocks", "block_size", "chunks", "error")
+    __slots__ = ("num_blocks", "block_size", "chunks", "error", "flat")
 
     def __init__(self, num_blocks: int, block_size: int,
                  chunks: Optional[Tuple[Tuple[int, bytes], ...]],
@@ -58,6 +62,8 @@ class _Entry:
         self.num_blocks = num_blocks
         self.block_size = block_size
         self.chunks = chunks
+        #: Lazily materialized full image for the flat-clone fast path.
+        self.flat: Optional[bytes] = None
         self.error = error
 
 
@@ -75,6 +81,10 @@ class SnapshotCache:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._entries: Dict[CacheKey, _Entry] = {}
+        #: Per-instance hit/miss tallies (the global ``campaign.snapshot``
+        #: counters aggregate across caches; shard runners report these).
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,6 +101,7 @@ class SnapshotCache:
         with self._lock:
             entry = self._entries.get(key)
         if entry is not None:
+            self.hits += 1
             bump("campaign.snapshot.hit")
             if entry.error is not None:
                 raise entry.error
@@ -100,6 +111,7 @@ class SnapshotCache:
             for blockno, data in entry.chunks:
                 dev.write_bytes(blockno * bs, data)
             return dev
+        self.misses += 1
         bump("campaign.snapshot.miss")
         dev = BlockDevice(num_blocks, block_size, track_io=track_io)
         try:
@@ -107,12 +119,72 @@ class SnapshotCache:
                       block_size=block_size):
                 build(dev)
         except ReproError as exc:
+            # Cache the rejection *without* pinning the build state: a
+            # stored exception drags its traceback along, and the
+            # traceback's frames reference the (device-sized!) locals of
+            # the failed build.  On a diverse campaign — thousands of
+            # distinct rejected tuples — that pinned one dead device per
+            # entry and ballooned a bounded cache into gigabytes.
+            del dev
+            exc.__traceback__ = None
             with self._lock:
                 self._entries.setdefault(
                     key, _Entry(num_blocks, block_size, None, exc))
             raise
         entry = _Entry(num_blocks, block_size,
                        _sparse_snapshot(dev.snapshot(), block_size), None)
+        with self._lock:
+            self._entries.setdefault(key, entry)
+        return dev
+
+    def clone_flat(self, key: CacheKey, num_blocks: int, block_size: int,
+                   build: Callable[[BlockDevice], None]) -> BlockDevice:
+        """:meth:`device_for` for hot campaign loops: flat-image clones.
+
+        Identical outcomes (same image bytes, same replayed rejections),
+        different mechanics: the full image is materialized once per
+        entry and every hit is a single buffer copy
+        (:meth:`BlockDevice.from_snapshot`) instead of a zeroed
+        allocation plus sparse-run writes — measurably cheaper at
+        campaign block sizes — and accounting is always off
+        (``track_io=False``), which campaign drivers never read.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            bump("campaign.snapshot.hit")
+            if entry.error is not None:
+                raise entry.error
+            flat = entry.flat
+            if flat is None:
+                buf = bytearray(entry.num_blocks * entry.block_size)
+                bs = entry.block_size
+                for blockno, data in entry.chunks or ():
+                    buf[blockno * bs:blockno * bs + len(data)] = data
+                flat = bytes(buf)
+                # Benign race: concurrent materializations are identical.
+                entry.flat = flat
+            return BlockDevice.from_snapshot(flat, entry.block_size,
+                                             track_io=False)
+        self.misses += 1
+        bump("campaign.snapshot.miss")
+        dev = BlockDevice(num_blocks, block_size, track_io=False)
+        try:
+            with span("campaign.snapshot.build", blocks=num_blocks,
+                      block_size=block_size):
+                build(dev)
+        except ReproError as exc:
+            del dev
+            exc.__traceback__ = None
+            with self._lock:
+                self._entries.setdefault(
+                    key, _Entry(num_blocks, block_size, None, exc))
+            raise
+        snap = dev.snapshot()
+        entry = _Entry(num_blocks, block_size,
+                       _sparse_snapshot(snap, block_size), None)
+        entry.flat = snap
         with self._lock:
             self._entries.setdefault(key, entry)
         return dev
@@ -174,3 +246,256 @@ def run_campaign(worker: Callable[[T], R], items: Sequence[T],
         chunk_results = run_ordered(
             jobs, lambda chunk: [worker(item) for item in chunk], chunks)
         return [result for chunk in chunk_results for result in chunk]
+
+
+# ---------------------------------------------------------------------------
+# sharded streaming campaigns
+# ---------------------------------------------------------------------------
+#
+# A sampled campaign (repro.perf.sampling) can be arbitrarily large, so
+# the driver never materializes per-config results: the campaign is cut
+# into contiguous shards, each shard regenerates its own config slice
+# and folds outcomes into a bounded ShardAggregate as it drives, and the
+# parent merges the (small, constant-size) shard payloads.  Shards run
+# on the thread pool or, with backend="process", on the process pool
+# with payloads returned through the shm arena transport.
+#
+# Merged results are provably identical to an unsharded sequential run:
+# stage counts are sums, the digest is commutative (a sum of per-config
+# hashes over global indices), and the bounded failure exemplars are
+# exact — the campaign-wide first-N failures by config index are always
+# a subset of the union of each shard's first-N.
+
+#: Failure exemplars a shard (and the merged report) keeps verbatim.
+#: Counts stay exact past the cap; only stored messages are bounded.
+MAX_SHARD_FAILURES = 200
+
+_DIGEST_BITS = 256
+
+#: Shard runner registry: name -> module exposing ``run_shard(spec)``.
+#: Modules are imported lazily (inside workers / at shard start), so
+#: this module never imports the tools layer.
+SHARD_RUNNERS: Dict[str, str] = {
+    "conbugck": "repro.tools.conbugck",
+    "conhandleck": "repro.tools.conhandleck",
+}
+
+
+def shard_ranges(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Deterministic contiguous ``[lo, hi)`` ranges covering ``total``.
+
+    Sizes differ by at most one; empty campaigns get one empty shard so
+    callers always have a merge input.
+    """
+    if total <= 0:
+        return [(0, 0)]
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def outcome_digest_term(index: int, reached: Sequence[str],
+                        failure: Optional[str]) -> int:
+    """One config outcome as a digest term.
+
+    The global config index is folded in, so any reordering or
+    reassignment of outcomes changes the digest — yet the sum of terms
+    is order-independent, which is what lets shards digest their slices
+    independently and the merge stay byte-identical to sequential.
+    """
+    key = "%d\x1f%s\x1f%s" % (index, ",".join(reached), failure or "")
+    return int.from_bytes(hashlib.sha256(key.encode()).digest(), "big")
+
+
+class ShardAggregate:
+    """Bounded-memory accumulation of per-config outcomes in one shard."""
+
+    def __init__(self, max_failures: int = MAX_SHARD_FAILURES) -> None:
+        self.total = 0
+        self.reached: Dict[str, int] = {}
+        self.failures: List[Tuple[int, str]] = []
+        self.failures_truncated = 0
+        self.max_failures = max_failures
+        self.digest = 0
+        self.counters: Dict[str, int] = {}
+        self.seconds = 0.0
+
+    def add(self, index: int, reached: Sequence[str],
+            failure: Optional[str]) -> None:
+        """Fold one config outcome (global index ``index``) in."""
+        self.total += 1
+        for stage in reached:
+            self.reached[stage] = self.reached.get(stage, 0) + 1
+        if failure is not None:
+            if len(self.failures) < self.max_failures:
+                self.failures.append((index, failure))
+            else:
+                self.failures_truncated += 1
+        self.digest = (self.digest + outcome_digest_term(
+            index, reached, failure)) % (1 << _DIGEST_BITS)
+
+    def tally(self, name: str, count: int = 1) -> None:
+        """Count a shard-local event for the merged report's counters."""
+        self.counters[name] = self.counters.get(name, 0) + count
+
+    def as_payload(self) -> Dict[str, Any]:
+        """Plain-container form (codec/pickle-safe for the transport).
+
+        The digest travels as fixed-width hex: it is a 256-bit integer
+        and the wire codec's varints are 64-bit.
+        """
+        return {
+            "total": self.total,
+            "reached": dict(self.reached),
+            "failures": [(index, msg) for index, msg in self.failures],
+            "failures_truncated": self.failures_truncated,
+            "digest": "%064x" % self.digest,
+            "counters": dict(self.counters),
+            "seconds": self.seconds,
+        }
+
+
+class CampaignReport:
+    """The merged view of a sharded streaming campaign."""
+
+    def __init__(self, total: int, reached: Dict[str, int],
+                 failures: List[Tuple[int, str]], failures_truncated: int,
+                 digest: int, shard_seconds: List[float],
+                 counters: Dict[str, int]) -> None:
+        self.total = total
+        self.reached = reached
+        self.failures = failures
+        self.failures_truncated = failures_truncated
+        self.digest = digest
+        self.shard_seconds = shard_seconds
+        self.counters = counters
+
+    @property
+    def digest_hex(self) -> str:
+        """The campaign digest as a fixed-width hex string."""
+        return "%064x" % self.digest
+
+    @property
+    def failure_count(self) -> int:
+        """Exact failures: stored exemplars plus truncated."""
+        return len(self.failures) + self.failures_truncated
+
+    @classmethod
+    def merge(cls, payloads: Sequence[Dict[str, Any]],
+              max_failures: int = MAX_SHARD_FAILURES) -> "CampaignReport":
+        """Merge shard payloads (must be in ascending shard order).
+
+        Shards hold contiguous ascending index ranges, so concatenating
+        their exemplar lists in shard order yields the campaign-wide
+        failures in global config order; the cap then keeps exactly the
+        first ``max_failures`` — the same exemplars a sequential run
+        stores — while the truncated count absorbs the rest exactly.
+        """
+        total = 0
+        reached: Dict[str, int] = {}
+        failures: List[Tuple[int, str]] = []
+        truncated = 0
+        digest = 0
+        seconds: List[float] = []
+        counters: Dict[str, int] = {}
+        for payload in payloads:
+            total += payload["total"]
+            for stage, count in payload["reached"].items():
+                reached[stage] = reached.get(stage, 0) + count
+            for index, msg in payload["failures"]:
+                if len(failures) < max_failures:
+                    failures.append((int(index), msg))
+                else:
+                    truncated += 1
+            truncated += payload["failures_truncated"]
+            term = payload["digest"]
+            term = int(term, 16) if isinstance(term, str) else int(term)
+            digest = (digest + term) % (1 << _DIGEST_BITS)
+            seconds.append(float(payload["seconds"]))
+            for name, count in payload.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + count
+        return cls(total, reached, failures, truncated, digest, seconds,
+                   counters)
+
+
+def _run_shard_local(runner: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Resolve and run one shard in this process (thread backend)."""
+    module = importlib.import_module(SHARD_RUNNERS[runner])
+    started = time.perf_counter()
+    payload = module.run_shard(spec)
+    payload["seconds"] = time.perf_counter() - started
+    return payload
+
+
+def run_sharded(runner: str, spec: Dict[str, Any], total: int,
+                shards: int = 1,
+                jobs: Optional[int] = None,
+                backend: Optional[str] = None,
+                transport: Optional[str] = None,
+                hints: Optional[Sequence[Any]] = None,
+                phase: str = "campaign.sharded") -> CampaignReport:
+    """Drive a sampled campaign of ``total`` configs in shards.
+
+    ``runner`` names a :data:`SHARD_RUNNERS` module whose
+    ``run_shard(spec)`` drives global config indices ``[spec['lo'],
+    spec['hi'])`` and returns a :meth:`ShardAggregate.as_payload` dict.
+    ``hints`` (optional, one per shard — see sampler ``shard_hints``)
+    ride along in each shard's spec as ``spec['hint']``.
+
+    Thread backend: shards fan out over ``run_ordered``.  Process
+    backend: shards dispatch to the persistent pool as
+    ``campaign.shard`` envelopes and payloads return over the resolved
+    transport (shm arena descriptors by default).  Both merge in shard
+    order, so the report is identical for any backend, job count, or
+    shard count.
+    """
+    from repro.perf import modes
+
+    if runner not in SHARD_RUNNERS:
+        raise ValueError(f"unknown shard runner {runner!r}")
+    backend = modes.resolve_mode("backend", backend)
+    transport = modes.resolve_mode("transport", transport)
+    ranges = shard_ranges(total, shards)
+    specs: List[Dict[str, Any]] = []
+    for index, (lo, hi) in enumerate(ranges):
+        shard_spec = dict(spec, lo=lo, hi=hi, shard=index)
+        if hints is not None:
+            shard_spec["hint"] = hints[index]
+        specs.append(shard_spec)
+    bump("campaign.shards", len(specs))
+    with span(phase, total=total, shards=len(specs), backend=backend), \
+            timed(phase):
+        if backend == "process":
+            payloads = _run_shards_process(runner, specs, jobs, transport)
+        else:
+            payloads = run_ordered(
+                resolve_jobs(jobs),
+                lambda s: _run_shard_local(runner, s), specs)
+    return CampaignReport.merge(payloads)
+
+
+def _run_shards_process(runner: str, specs: Sequence[Dict[str, Any]],
+                        jobs: Optional[int],
+                        transport: str) -> List[Dict[str, Any]]:
+    """Fan shard specs over the process pool; payloads in shard order."""
+    from repro.perf import codec, procpool
+
+    pool = procpool.get_pool(jobs)
+    results = pool.run_ordered([
+        ("campaign.shard", (runner, spec, transport)) for spec in specs])
+    payloads: List[Dict[str, Any]] = []
+    for kind, shipped in results:
+        if kind == "shm":
+            blob = pool.reader.view(shipped)
+            bump("transport.wire_bytes", shipped.length)
+        else:
+            blob = shipped
+            bump("transport.wire_bytes", len(shipped))
+        payloads.append(codec.loads(blob))
+    return payloads

@@ -177,11 +177,41 @@ def _h_extract_batch(payload: Any) -> Tuple[str, List[Any], Dict[str, Any]]:
     return "pickle", blobs, records
 
 
+def _h_campaign_shard(payload: Any) -> Tuple[str, Any]:
+    """Run one campaign shard and ship its aggregate payload back.
+
+    The payload is ``(runner, spec, transport)`` — ``runner`` names a
+    :data:`repro.perf.campaign.SHARD_RUNNERS` module whose
+    ``run_shard(spec)`` drives the spec's config range and returns a
+    bounded, plain-container aggregate.  The wall-clock of the shard
+    (sampling + driving, not queue time) is stamped into the payload so
+    the parent can record per-shard timings in run manifests.  Returns
+    ``("shm", descriptor)`` under the arena transport, else
+    ``("pickle", blob)``.
+    """
+    import importlib
+    import time as _time
+
+    from repro.perf import campaign, codec
+
+    runner, spec, transport = payload
+    module = importlib.import_module(campaign.SHARD_RUNNERS[runner])
+    started = _time.perf_counter()
+    result = module.run_shard(spec)
+    result["seconds"] = _time.perf_counter() - started
+    blob = codec.dumps(result)
+    if transport == "shm":
+        assert _WORKER_ARENA is not None
+        return "shm", _WORKER_ARENA.write(blob)
+    return "pickle", blob
+
+
 _HANDLERS: Dict[str, Callable[[Any], Any]] = {
     "pool.ping": _h_ping,
     "pool.reset": _h_reset,
     "corpus.compile": _h_compile,
     "extract.batch": _h_extract_batch,
+    "campaign.shard": _h_campaign_shard,
 }
 
 

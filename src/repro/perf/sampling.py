@@ -1,0 +1,563 @@
+"""Deterministic, seeded configuration sampling over a param registry.
+
+Campaign-scale checking (ROADMAP item 3) needs configuration *sets*, not
+hand-enumerated lists: this module turns a
+:class:`repro.ecosystem.params.ParamRegistry` into a finite sampling
+space and provides three generator families from "A Comparison of 10
+Sampling Algorithms for Configurable Systems" (arXiv 1602.02052):
+
+- :class:`RandomSampler` — seeded uniform sampling.  Each configuration
+  is derived from ``(seed, index)`` through a counter-based splitmix64
+  stream, so config ``i`` is the same no matter which shard generates it
+  or how many configs came before — the property that lets a sharded
+  campaign regenerate any slice in O(slice) without materializing the
+  whole campaign.
+- :class:`TWiseSampler` — greedy IPOG-style covering arrays (``t=2`` is
+  pairwise): every value combination of every ``t`` parameters appears
+  in at least one sampled config.  Construction is deterministic
+  (horizontal extension picks the first best value, vertical extension
+  fills don't-cares from the seeded stream).
+- :class:`FeasibleSampler` — wraps either of the above and skips
+  configurations that violate *extracted* dependencies (feature
+  requires/conflicts and value ranges from the Table-5 extraction), the
+  dependency-aware strategy: configs mkfs would reject are never driven.
+
+All samplers expose the same surface: ``total()`` (how many configs the
+campaign drives), ``iter_range(lo, hi)`` (regenerate global config
+indices ``[lo, hi)``), and ``shard_hints(ranges)`` (per-shard resume
+state so no shard pays more than its own slice — the feasible scan is
+done once, here, not once per shard).
+
+Python's :class:`random.Random` is deliberately not used for the
+counter-based streams: splitmix64 is a few integer ops per draw, has no
+624-word init cost per config, and its output is bit-stable across
+platforms and Python versions by construction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.ecosystem.params import ConfigParam, ParamKind, ParamRegistry
+
+#: One sampled configuration: a value per domain, in domain order.
+Assignment = Tuple[object, ...]
+
+_M64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+_INDEX_STRIDE = 0xD1B54A32D192ED03
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: one 64-bit state to one output word."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * _MIX_A) & _M64
+    x = ((x ^ (x >> 27)) * _MIX_B) & _M64
+    return x ^ (x >> 31)
+
+
+class Stream:
+    """A splitmix64 draw stream for one ``(seed, index)`` pair."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int, index: int) -> None:
+        # Decorrelate the two inputs with distinct odd constants so
+        # (seed, index) and (seed+1, index-1) do not collide.
+        self._state = (seed * _GOLDEN + index * _INDEX_STRIDE) & _M64
+
+    def next_word(self) -> int:
+        self._state = (self._state + _GOLDEN) & _M64
+        return _mix64(self._state)
+
+    def pick(self, values: Sequence[object]) -> object:
+        """A deterministic element of ``values`` (len << 2^64, so the
+        modulo bias is far below anything a campaign could observe)."""
+        return values[self.next_word() % len(values)]
+
+
+class Domain:
+    """One sampleable parameter: a name and its finite probe values."""
+
+    __slots__ = ("name", "component", "values")
+
+    def __init__(self, name: str, component: str,
+                 values: Tuple[object, ...]) -> None:
+        if not values:
+            raise ValueError(f"domain {name!r} has no values")
+        self.name = name
+        self.component = component
+        self.values = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Domain({self.component}.{self.name}, {self.values!r})"
+
+
+def _probe_values(param: ConfigParam) -> Optional[Tuple[object, ...]]:
+    """The finite probe set for one registry param, or ``None`` to skip.
+
+    Booleans and features probe both states, enums probe every choice,
+    and bounded numerics probe the boundary values plus the default —
+    the places the paper's value-range dependencies bite.  Free-form
+    strings and UUIDs have no finite domain and are skipped.
+    """
+    if param.kind in (ParamKind.FLAG, ParamKind.FEATURE):
+        return (False, True)
+    if param.kind is ParamKind.ENUM:
+        return tuple(param.choices or ())
+    if param.kind in (ParamKind.INT, ParamKind.SIZE):
+        probes = []
+        for value in (param.min_value, param.default, param.max_value):
+            if isinstance(value, int) and value not in probes:
+                probes.append(value)
+        return tuple(sorted(probes)) if probes else None
+    return None
+
+
+class ConfigSpace:
+    """A finite sampling space derived from a param registry."""
+
+    def __init__(self, domains: Sequence[Domain]) -> None:
+        if not domains:
+            raise ValueError("a config space needs at least one domain")
+        self.domains: Tuple[Domain, ...] = tuple(domains)
+        self._index = {d.name: i for i, d in enumerate(self.domains)}
+
+    @classmethod
+    def from_registry(cls, registry: ParamRegistry,
+                      components: Optional[Sequence[str]] = None,
+                      probe_overrides: Optional[
+                          Dict[str, Tuple[object, ...]]] = None,
+                      ) -> "ConfigSpace":
+        """Build the space from a registry, in registration order.
+
+        ``components`` restricts which ecosystem components contribute
+        params; ``probe_overrides`` replaces the derived probe set for a
+        named param (e.g. capping ``blocksize`` probes so a sampled
+        device stays small).
+        """
+        overrides = probe_overrides or {}
+        wanted = set(components) if components is not None else None
+        domains: List[Domain] = []
+        for param in registry:
+            if wanted is not None and param.component not in wanted:
+                continue
+            values = overrides.get(param.name, _probe_values(param))
+            if values:
+                domains.append(Domain(param.name, param.component,
+                                      tuple(values)))
+        return cls(domains)
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def assignment_dict(self, assignment: Assignment) -> Dict[str, object]:
+        """``name -> value`` view of one assignment."""
+        return {d.name: v for d, v in zip(self.domains, assignment)}
+
+    def combinations(self) -> int:
+        """Size of the full cartesian space (for coverage reporting)."""
+        size = 1
+        for domain in self.domains:
+            size *= len(domain.values)
+        return size
+
+
+class ConstraintIndex:
+    """Extracted dependencies, indexed for feasibility checks.
+
+    ``requires``/``conflicts`` hold mke2fs feature-pair control
+    dependencies, ``ranges`` the per-param value ranges — exactly the
+    index :class:`~repro.tools.conbugck.ConBugCk` uses for guided
+    generation, factored out so samplers and shard workers can consult
+    it without constructing a checker.
+    """
+
+    def __init__(self,
+                 requires: Sequence[Tuple[str, str]] = (),
+                 conflicts: Sequence[Tuple[str, str]] = (),
+                 ranges: Optional[Dict[str, Tuple[Optional[int],
+                                                  Optional[int]]]] = None,
+                 ) -> None:
+        self.requires: List[Tuple[str, str]] = [tuple(p) for p in requires]
+        self.conflicts: List[Tuple[str, str]] = [tuple(p) for p in conflicts]
+        self.ranges: Dict[str, Tuple[Optional[int], Optional[int]]] = {
+            name: (lo, hi) for name, (lo, hi) in (ranges or {}).items()}
+
+    @classmethod
+    def from_dependencies(cls, dependencies: Sequence[object],
+                          ) -> "ConstraintIndex":
+        """Index a validated dependency list (Table-5 output)."""
+        from repro.analysis.model import SubKind
+        from repro.ecosystem.featureset import all_feature_names
+
+        feature_names = set(all_feature_names())
+        index = cls()
+        for dep in dependencies:
+            if dep.kind is SubKind.CPD_CONTROL and \
+                    dep.params[0].component == "mke2fs":
+                a, b = dep.params[0].name, dep.params[-1].name
+                if a in feature_names and b in feature_names:
+                    relation = dep.constraint_dict.get("relation")
+                    if relation == "requires":
+                        index.requires.append((a, b))
+                    else:
+                        index.conflicts.append((a, b))
+            elif dep.kind is SubKind.SD_VALUE_RANGE and \
+                    dep.params[0].component == "mke2fs":
+                cdict = dep.constraint_dict
+                index.ranges[dep.params[0].name] = (
+                    cdict.get("min"), cdict.get("max"))
+        return index
+
+    def as_payload(self) -> Dict[str, object]:
+        """A plain-container form that survives pickling to workers."""
+        return {
+            "requires": [list(p) for p in self.requires],
+            "conflicts": [list(p) for p in self.conflicts],
+            "ranges": {name: [lo, hi]
+                       for name, (lo, hi) in self.ranges.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ConstraintIndex":
+        return cls(requires=[tuple(p) for p in payload.get("requires", ())],
+                   conflicts=[tuple(p) for p in payload.get("conflicts", ())],
+                   ranges={name: (lo, hi) for name, (lo, hi)
+                           in dict(payload.get("ranges", {})).items()})
+
+    def feasible(self, space: ConfigSpace, assignment: Assignment) -> bool:
+        """Whether an assignment satisfies every indexed dependency."""
+        enabled: Set[str] = set()
+        for domain, value in zip(space.domains, assignment):
+            if value is True:
+                enabled.add(domain.name)
+            lo, hi = self.ranges.get(domain.name, (None, None))
+            if isinstance(value, int) and not isinstance(value, bool):
+                if lo is not None and value < lo:
+                    return False
+                if hi is not None and value > hi:
+                    return False
+        for a, b in self.requires:
+            if a in enabled and b not in enabled:
+                return False
+        for a, b in self.conflicts:
+            if a in enabled and b in enabled:
+                return False
+        return True
+
+
+class RandomSampler:
+    """Seeded uniform sampling with counter-based regeneration."""
+
+    def __init__(self, space: ConfigSpace, seed: int, budget: int) -> None:
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self.space = space
+        self.seed = seed
+        self.budget = budget
+        self.name = "random"
+
+    def total(self) -> int:
+        return self.budget
+
+    def assignment_at(self, index: int) -> Assignment:
+        stream = Stream(self.seed, index)
+        return tuple(stream.pick(d.values) for d in self.space.domains)
+
+    def iter_range(self, lo: int, hi: int,
+                   hint: Optional[object] = None,
+                   ) -> Iterator[Tuple[int, Assignment]]:
+        for index in range(lo, min(hi, self.budget)):
+            yield index, self.assignment_at(index)
+
+    def shard_hints(self, ranges: Sequence[Tuple[int, int]]) -> List[object]:
+        return [None for _ in ranges]
+
+
+class TWiseSampler:
+    """Greedy IPOG-style t-wise covering array over the space.
+
+    Parameters are processed in decreasing domain-size order (the
+    classic IPOG ordering, which keeps the array short); rows are
+    emitted in the space's own domain order.  Horizontal extension
+    assigns each existing row the first value covering the most
+    uncovered t-tuples; vertical extension adds rows for the remainder,
+    reusing don't-care slots where possible and filling leftover
+    don't-cares from the seeded stream.  The construction touches every
+    t-subset of parameters, so cost grows as C(n, t) — ``t=2`` over the
+    full Ext4 registry is fast, ``t=3`` is minutes, higher t wants a
+    component-restricted space.
+    """
+
+    def __init__(self, space: ConfigSpace, t: int, seed: int,
+                 budget: Optional[int] = None) -> None:
+        if t < 2:
+            raise ValueError(f"t-wise strength must be >= 2, got {t}")
+        if t > len(space):
+            raise ValueError(
+                f"t={t} exceeds the space's {len(space)} parameters")
+        self.space = space
+        self.t = t
+        self.seed = seed
+        self.budget = budget
+        self.name = "pairwise" if t == 2 else f"twise:{t}"
+        self._rows: Optional[List[Assignment]] = None
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> List[Assignment]:
+        if self._rows is not None:
+            return self._rows
+        order = sorted(range(len(self.space)),
+                       key=lambda i: (-len(self.space.domains[i].values), i))
+        domains = [self.space.domains[i].values for i in order]
+        t = self.t
+        # Seed rows: the full product of the first t (largest) domains.
+        rows: List[List[Optional[object]]] = [
+            list(combo) for combo in product(*domains[:t])]
+        for k in range(t, len(domains)):
+            # Every t-tuple involving param k: ((earlier positions...),
+            # (their values... , k's value)).
+            uncovered: Set[Tuple[Tuple[int, ...], Tuple[object, ...]]] = set()
+            for combo in combinations(range(k), t - 1):
+                for vals in product(*(domains[i] for i in combo)):
+                    for vk in domains[k]:
+                        uncovered.add((combo, vals + (vk,)))
+            # Horizontal: give every existing row a value for param k,
+            # picking the first value that covers the most open tuples.
+            combos = list(combinations(range(k), t - 1))
+            for row in rows:
+                row.append(None)
+                best_value, best_gain = domains[k][0], -1
+                for value in domains[k]:
+                    gain = 0
+                    for combo in combos:
+                        key = (combo,
+                               tuple(row[i] for i in combo) + (value,))
+                        if key in uncovered:
+                            gain += 1
+                    if gain > best_gain:
+                        best_value, best_gain = value, gain
+                row[k] = best_value
+                for combo in combos:
+                    uncovered.discard(
+                        (combo, tuple(row[i] for i in combo) + (row[k],)))
+            # Vertical: place leftovers into don't-care slots, adding
+            # fresh rows only when nothing fits.
+            for combo, values in sorted(uncovered, key=repr):
+                placed = False
+                for row in rows:
+                    if row[k] is not None and row[k] != values[-1]:
+                        continue
+                    if all(row[i] is None or row[i] == v
+                           for i, v in zip(combo, values[:-1])):
+                        for i, v in zip(combo, values[:-1]):
+                            row[i] = v
+                        row[k] = values[-1]
+                        placed = True
+                        break
+                if not placed:
+                    fresh: List[Optional[object]] = [None] * (k + 1)
+                    for i, v in zip(combo, values[:-1]):
+                        fresh[i] = v
+                    fresh[k] = values[-1]
+                    rows.append(fresh)
+        # Fill don't-cares deterministically and restore domain order.
+        finished: List[Assignment] = []
+        for rowno, row in enumerate(rows):
+            stream = Stream(self.seed, rowno)
+            padded = row + [None] * (len(domains) - len(row))
+            full = [v if v is not None else stream.pick(domains[i])
+                    for i, v in enumerate(padded)]
+            emitted: List[object] = [None] * len(domains)
+            for pos, orig in enumerate(order):
+                emitted[orig] = full[pos]
+            finished.append(tuple(emitted))
+        self._rows = finished
+        return finished
+
+    # -- sampler surface ----------------------------------------------
+
+    def total(self) -> int:
+        rows = self._build()
+        if self.budget is not None:
+            return min(self.budget, len(rows))
+        return len(rows)
+
+    def iter_range(self, lo: int, hi: int,
+                   hint: Optional[object] = None,
+                   ) -> Iterator[Tuple[int, Assignment]]:
+        rows = self._build()
+        for index in range(lo, min(hi, self.total())):
+            yield index, rows[index]
+
+    def shard_hints(self, ranges: Sequence[Tuple[int, int]]) -> List[object]:
+        return [None for _ in ranges]
+
+
+class FeasibleSampler:
+    """Dependency-aware wrapper: only feasible configs are emitted.
+
+    Config index ``j`` of this sampler is the ``j``-th config of the
+    wrapped sampler that satisfies the constraint index.  ``total()``
+    performs the (single) filtering scan; ``shard_hints`` hands each
+    shard the inner index where its slice starts, so regenerating a
+    shard costs O(shard's own raw window), not O(campaign).
+    """
+
+    def __init__(self, inner, constraints: ConstraintIndex) -> None:
+        self.inner = inner
+        self.space = inner.space
+        self.constraints = constraints
+        self.name = inner.name + "+feasible"
+        self.seed = inner.seed
+        self.budget = getattr(inner, "budget", None)
+        #: Raw configs rejected by the constraint check during the scan.
+        self.skipped = 0
+        self._feasible_total: Optional[int] = None
+        self._starts: Optional[List[int]] = None
+
+    def _scan(self) -> None:
+        """One pass over the inner stream, recording feasible count and
+        the inner index at which each feasible config occurs (compactly:
+        only counts and a start-index table on demand)."""
+        if self._feasible_total is not None:
+            return
+        starts: List[int] = []
+        feasible = 0
+        skipped = 0
+        inner_total = self.inner.total()
+        want = self.budget if self.budget is not None else inner_total
+        for raw_index, assignment in self.inner.iter_range(0, inner_total):
+            if self.constraints.feasible(self.space, assignment):
+                starts.append(raw_index)
+                feasible += 1
+                if feasible >= want:
+                    break
+            else:
+                skipped += 1
+        self._starts = starts
+        self._feasible_total = feasible
+        self.skipped = skipped
+
+    def total(self) -> int:
+        self._scan()
+        return self._feasible_total or 0
+
+    def iter_range(self, lo: int, hi: int,
+                   hint: Optional[object] = None,
+                   ) -> Iterator[Tuple[int, Assignment]]:
+        """Feasible configs ``[lo, hi)``; ``hint`` is the inner start
+        index (from :meth:`shard_hints`) that avoids rescanning."""
+        if hint is None:
+            self._scan()
+            starts = self._starts or []
+            if lo >= len(starts):
+                return
+            raw_start = starts[lo]
+        else:
+            raw_start = int(hint)
+        emitted = lo
+        inner_total = self.inner.total()
+        for raw_index, assignment in self.inner.iter_range(raw_start,
+                                                           inner_total):
+            if emitted >= hi:
+                return
+            if self.constraints.feasible(self.space, assignment):
+                yield emitted, assignment
+                emitted += 1
+            else:
+                self.skipped += 1
+
+    def shard_hints(self, ranges: Sequence[Tuple[int, int]]) -> List[object]:
+        self._scan()
+        starts = self._starts or []
+        return [starts[lo] if lo < len(starts) else self.inner.total()
+                for lo, _hi in ranges]
+
+
+def parse_sample_spec(text: str) -> Tuple[str, Optional[int], bool]:
+    """Parse a ``--sample`` value into ``(kind, t, feasible)``.
+
+    Accepted forms: ``random``, ``pairwise``, ``twise:<t>``, each with
+    an optional ``+feasible`` suffix for dependency-aware filtering.
+    """
+    spec = text.strip().lower()
+    feasible = spec.endswith("+feasible")
+    if feasible:
+        spec = spec[:-len("+feasible")]
+    if spec == "random":
+        return "random", None, feasible
+    if spec == "pairwise":
+        return "twise", 2, feasible
+    if spec.startswith("twise:"):
+        try:
+            t = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(f"malformed t-wise strength in {text!r}")
+        if t < 2:
+            raise ValueError(f"t-wise strength must be >= 2, got {t}")
+        return "twise", t, feasible
+    raise ValueError(
+        f"unknown sampler {text!r} (expected random, pairwise, twise:<t>, "
+        f"optionally +feasible)")
+
+
+def make_sampler(space: ConfigSpace, kind: str, seed: int,
+                 budget: Optional[int],
+                 t: Optional[int] = None,
+                 constraints: Optional[ConstraintIndex] = None):
+    """Construct a sampler from parsed spec parts."""
+    if kind == "random":
+        if budget is None:
+            raise ValueError("random sampling needs an explicit --budget")
+        sampler = RandomSampler(space, seed, budget)
+    elif kind == "twise":
+        sampler = TWiseSampler(space, t or 2, seed, budget)
+    else:
+        raise ValueError(f"unknown sampler kind {kind!r}")
+    if constraints is not None:
+        return FeasibleSampler(sampler, constraints)
+    return sampler
+
+
+class OptionSweepSampler:
+    """The mount-option draw ConBugCk's campaign sweeps are built on.
+
+    Draws one option string per config: with probability
+    ``violate_rate`` a choice from the (finite, hand-enumerated)
+    violating pool, otherwise a guided sample for the base's feature
+    set.  The pool is a hard cap on distinct violating options — a sweep
+    can never surface more than ``len(pool)`` distinct violations no
+    matter its size; callers wanting breadth must grow the pool or
+    lower ``violate_rate``.  Consumes the shared ``rng`` strictly
+    sequentially, preserving ConBugCk's historical draw order so
+    pre-existing seeds reproduce byte-identical sweeps.
+    """
+
+    def __init__(self, rng, pool: Sequence[str], violate_rate: float,
+                 guided: Callable[[Set[str]], str]) -> None:
+        if not pool:
+            raise ValueError("option sweep needs a non-empty violating pool")
+        self.rng = rng
+        self.pool = tuple(pool)
+        self.violate_rate = violate_rate
+        self.guided = guided
+
+    @property
+    def distinct_violations_cap(self) -> int:
+        """Most distinct violating options any sweep of this pool can
+        contain (the documented pool-size cap)."""
+        return len(self.pool)
+
+    def draw(self, features: Set[str]) -> str:
+        if self.rng.random() < self.violate_rate:
+            return self.rng.choice(self.pool)
+        return self.guided(features)

@@ -17,17 +17,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, \
+    Tuple, Union
 
 from repro.analysis.model import Category, Dependency, SubKind
 from repro.ecosystem.featureset import DEFAULT_EXT4_FEATURES, all_feature_names
 from repro.ecosystem.mke2fs import Mke2fs
 from repro.ecosystem.mount import Ext4Mount
 from repro.ecosystem.e2fsck import E2fsck, E2fsckConfig
+from repro.ecosystem.params import EXT4_REGISTRY, ConfigParam, ParamKind
 from repro.errors import ReproError
 from repro.fsimage.blockdev import BlockDevice
 from repro.obs.tracer import span
 from repro.perf import SnapshotCache, bump, run_campaign, timed
+from repro.perf.campaign import CampaignReport, ShardAggregate, run_sharded, \
+    shard_ranges
+from repro.perf.sampling import Assignment, ConfigSpace, ConstraintIndex, \
+    OptionSweepSampler, make_sampler, parse_sample_spec
 
 #: Stages a driven configuration can reach.
 STAGES = ("mkfs", "mount", "use", "fsck-clean")
@@ -123,9 +129,6 @@ class ConBugCk:
     def __init__(self, dependencies: Sequence[Dependency], seed: int = 2022) -> None:
         self.dependencies = list(dependencies)
         self.rng = random.Random(seed)
-        self._requires: List[Tuple[str, str]] = []
-        self._conflicts: List[Tuple[str, str]] = []
-        self._ranges: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
         self._index_dependencies()
 
     @classmethod
@@ -143,22 +146,13 @@ class ConBugCk:
                    seed=seed)
 
     def _index_dependencies(self) -> None:
-        feature_names = set(all_feature_names())
-        for dep in self.dependencies:
-            if dep.kind is SubKind.CPD_CONTROL and \
-                    dep.params[0].component == "mke2fs":
-                a, b = dep.params[0].name, dep.params[-1].name
-                if a in feature_names and b in feature_names:
-                    relation = dep.constraint_dict.get("relation")
-                    if relation == "requires":
-                        self._requires.append((a, b))
-                    else:
-                        self._conflicts.append((a, b))
-            elif dep.kind is SubKind.SD_VALUE_RANGE and \
-                    dep.params[0].component == "mke2fs":
-                cdict = dep.constraint_dict
-                self._ranges[dep.params[0].name] = (
-                    cdict.get("min"), cdict.get("max"))
+        # The index itself lives in repro.perf.sampling so samplers and
+        # shard workers can consult it without constructing a checker;
+        # the attribute views keep the historical surface.
+        self.constraints = ConstraintIndex.from_dependencies(self.dependencies)
+        self._requires = self.constraints.requires
+        self._conflicts = self.constraints.conflicts
+        self._ranges = self.constraints.ranges
 
     # ------------------------------------------------------------------
     # generation
@@ -295,6 +289,15 @@ class ConBugCk:
         size (inode size clamped to match).  RNG consumption is strictly
         sequential, so a sweep reproduces exactly no matter how it is
         later driven.
+
+        The option draw is a :class:`~repro.perf.sampling.
+        OptionSweepSampler` over the violating pool, which makes the
+        pool-size cap explicit: a sweep can never contain more than
+        ``sampler.distinct_violations_cap`` (= ``len(
+        VIOLATING_MOUNT_OPTIONS)``) distinct violating options, no
+        matter how large ``count`` is.  Registry-wide breadth is the
+        sampled-campaign entry points' job (:func:`sampled_campaign`),
+        not this sweep's.
         """
         if bases <= 0:
             raise ValueError(f"bases must be positive, got {bases}")
@@ -314,13 +317,13 @@ class ConBugCk:
             except (ValueError, ReproError):
                 continue
             base_configs.append(cand)
+        sampler = OptionSweepSampler(
+            self.rng, VIOLATING_MOUNT_OPTIONS, violate_rate,
+            self._sample_mount_options)
         sweep: List[GeneratedConfig] = []
         for i in range(count):
             base = base_configs[i % len(base_configs)]
-            if self.rng.random() < violate_rate:
-                options = self.rng.choice(VIOLATING_MOUNT_OPTIONS)
-            else:
-                options = self._sample_mount_options(set(base.features))
+            options = sampler.draw(set(base.features))
             sweep.append(replace(base, mount_options=options))
         return sweep
 
@@ -434,3 +437,324 @@ class ConBugCk:
             return tuple(reached), None
         return tuple(reached), (
             f"fsck: {len(result.problems)} problems under {config.features}")
+
+
+# ---------------------------------------------------------------------------
+# sampled campaigns: registry-wide sharded sweeps
+# ---------------------------------------------------------------------------
+#
+# The entry points below scale ConBugCk past hand-enumerated lists: a
+# seeded sampler (repro.perf.sampling) generates configurations over the
+# full mke2fs+mount param registry, and the sharded streaming driver
+# (repro.perf.campaign.run_sharded) fans contiguous index ranges across
+# the thread or process backend.  Each shard regenerates its own slice
+# from (seed, index) — no config list is ever materialized — and folds
+# outcomes into a bounded ShardAggregate, so campaign memory stays
+# constant regardless of N.
+
+#: mkfs params a GeneratedConfig can express numerically.  Everything
+#: else in the mke2fs component (journal sizing, group geometry, usage
+#: types, ...) has no lever in ``GeneratedConfig.mke2fs_args`` and is
+#: excluded from the sampling space rather than sampled as a silent
+#: no-op.
+_MKFS_NUMERIC = ("blocksize", "inode_size", "inode_ratio",
+                 "reserved_percent")
+
+#: Probe override: cap sampled block sizes so a sampled device stays a
+#: few MiB (the registry allows 64 KiB blocks; 512 fs_blocks of those is
+#: 32 MiB per config — pointless for dependency probing).
+_CAMPAIGN_PROBES = {"blocksize": (1024, 2048, 4096)}
+
+#: Outcome-memo cap per shard: sampled campaigns repeat (format, mount)
+#: pairs heavily (the whole pipeline is deterministic, so a repeated
+#: config has a known outcome), but a diverse shard must not hoard
+#: unbounded memo entries either.
+_OUTCOME_MEMO_CAP = 1 << 16
+
+_MOUNT_PARAMS: Optional[Dict[str, ConfigParam]] = None
+
+
+def _mount_params() -> Dict[str, ConfigParam]:
+    """The registry's mount-component params, by name (lazy, cached)."""
+    global _MOUNT_PARAMS
+    if _MOUNT_PARAMS is None:
+        _MOUNT_PARAMS = {p.name: p for p in EXT4_REGISTRY
+                         if p.component == "mount"}
+    return _MOUNT_PARAMS
+
+
+def build_campaign_space() -> ConfigSpace:
+    """The sampling space for registry-wide ConBugCk campaigns.
+
+    mke2fs contributes its feature flags (every name mkfs's ``-O``
+    accepts) plus the four numeric knobs a :class:`GeneratedConfig`
+    expresses; mount contributes every finite-domain option.  Params a
+    generated config cannot express are excluded up front — sampling
+    them would silently not vary anything.
+    """
+    space = ConfigSpace.from_registry(
+        EXT4_REGISTRY, components=("mke2fs", "mount"),
+        probe_overrides=_CAMPAIGN_PROBES)
+    feature_names = set(all_feature_names())
+    keep = [d for d in space.domains
+            if d.component == "mount"
+            or d.name in feature_names
+            or d.name in _MKFS_NUMERIC]
+    return ConfigSpace(keep)
+
+
+def _mount_token(param: ConfigParam, value: object) -> Optional[str]:
+    """The mount-option token for one sampled value, or ``None``.
+
+    Values equal to the param's default are omitted (the kernel applies
+    them anyway, and emitting them would bloat every option string).
+    Flags emit ``name`` / ``noname``; valued params emit
+    ``name=value`` — the exact grammar the simulated mount parses.
+    """
+    if value == param.default:
+        return None
+    if param.kind is ParamKind.FLAG:
+        return param.name if value else f"no{param.name}"
+    return f"{param.name}={value}"
+
+
+def config_from_assignment(space: ConfigSpace,
+                           assignment: Assignment) -> GeneratedConfig:
+    """Adapt one sampled assignment into a driveable GeneratedConfig.
+
+    Deterministic and order-stable: features sort alphabetically (the
+    generator's own convention) and mount options follow registry
+    registration order, so the same assignment always produces the same
+    config — and therefore the same campaign digest.
+    """
+    mount_params = _mount_params()
+    feature_names = set(all_feature_names())
+    features: List[str] = []
+    numerics: Dict[str, int] = {}
+    options: List[str] = []
+    for domain, value in zip(space.domains, assignment):
+        if domain.component == "mke2fs":
+            if domain.name in _MKFS_NUMERIC:
+                numerics[domain.name] = int(value)  # type: ignore[arg-type]
+            elif value is True and domain.name in feature_names:
+                features.append(domain.name)
+            continue
+        token = _mount_token(mount_params[domain.name], value)
+        if token is not None:
+            options.append(token)
+    return GeneratedConfig(
+        features=tuple(sorted(features)),
+        blocksize=numerics["blocksize"],
+        inode_size=numerics["inode_size"],
+        inode_ratio=numerics["inode_ratio"],
+        reserved_percent=numerics["reserved_percent"],
+        mount_options=",".join(options),
+    )
+
+
+def config_row(config: GeneratedConfig) -> List[object]:
+    """A plain-container form of one config (codec/pickle-safe)."""
+    return [list(config.features), config.blocksize, config.inode_size,
+            config.inode_ratio, config.reserved_percent,
+            config.mount_options]
+
+
+def config_from_row(row: Sequence[object]) -> GeneratedConfig:
+    features, blocksize, inode_size, inode_ratio, reserved, options = row
+    return GeneratedConfig(
+        features=tuple(features),  # type: ignore[arg-type]
+        blocksize=int(blocksize),  # type: ignore[call-overload]
+        inode_size=int(inode_size),  # type: ignore[call-overload]
+        inode_ratio=int(inode_ratio),  # type: ignore[call-overload]
+        reserved_percent=int(reserved),  # type: ignore[call-overload]
+        mount_options=str(options),
+    )
+
+
+def _drive_config_fast(config: GeneratedConfig, fs_blocks: int,
+                       cache: SnapshotCache,
+                       ) -> Tuple[Tuple[str, ...], Optional[str]]:
+    """One config through mkfs→mount→use→fsck, hot-loop variant.
+
+    Outcome-identical to :meth:`ConBugCk._drive_one_inner` with a cache
+    (same stage labels, same failure strings) but stripped for campaign
+    shards: no per-config span/timer (a 10^6-config shard cannot afford
+    two context managers per stage) and flat-image snapshot clones
+    (:meth:`SnapshotCache.clone_flat`) with IO accounting off.
+    """
+    def build(dev: BlockDevice) -> None:
+        Mke2fs.from_args(config.mke2fs_args(fs_blocks)).run(dev)
+
+    key = (config.features, config.blocksize, config.inode_size,
+           config.inode_ratio, config.reserved_percent, fs_blocks)
+    reached: List[str] = []
+    try:
+        dev = cache.clone_flat(key, fs_blocks, config.blocksize, build)
+    except ValueError as exc:
+        return (), f"device: {exc}"
+    except ReproError as exc:
+        return (), f"mkfs: {exc}"
+    reached.append("mkfs")
+    try:
+        handle = Ext4Mount.mount(dev, config.mount_options)
+    except ReproError as exc:
+        return tuple(reached), f"mount: {exc}"
+    reached.append("mount")
+    try:
+        ino = handle.create_file(4, fragmented=True)
+        handle.delete_file(ino)
+        handle.create_file(2)
+        handle.umount()
+    except ReproError as exc:
+        return tuple(reached), f"use: {exc}"
+    reached.append("use")
+    result = E2fsck(E2fsckConfig(force=True, no_changes=True)).run(dev)
+    if result.is_clean:
+        reached.append("fsck-clean")
+        return tuple(reached), None
+    return tuple(reached), (
+        f"fsck: {len(result.problems)} problems under {config.features}")
+
+
+def _sampler_from_spec(spec: Dict[str, Any]):
+    """Rebuild (space, sampler) inside a shard from its spec dict."""
+    space = build_campaign_space()
+    constraints = None
+    if spec.get("constraints") is not None:
+        constraints = ConstraintIndex.from_payload(spec["constraints"])
+    sampler = make_sampler(space, str(spec["kind"]), int(spec["seed"]),
+                           spec.get("budget"), t=spec.get("t"),
+                           constraints=constraints)
+    return space, sampler
+
+
+def run_shard(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Drive global config indices ``[spec['lo'], spec['hi'])``.
+
+    The shard runner behind :data:`repro.perf.campaign.SHARD_RUNNERS`
+    ["conbugck"]: regenerates its own slice (``source="sampler"``) or
+    drives an explicit config slice shipped as ``spec['hint']``
+    (``source="configs"``), folds outcomes into a bounded
+    :class:`~repro.perf.campaign.ShardAggregate`, and reports shard-
+    local cache traffic in the payload counters.  Pure: fresh snapshot
+    cache and memo per shard, no shared mutable state — which is what
+    makes thread, process, and sequential runs byte-identical.
+    """
+    lo, hi = int(spec["lo"]), int(spec["hi"])
+    fs_blocks = int(spec.get("fs_blocks", 512))
+    aggregate = ShardAggregate()
+    cache = SnapshotCache()
+    # Full-outcome memo: the simulated pipeline is deterministic, so a
+    # repeated (format, mount-options) pair has a known outcome and the
+    # drive can be skipped outright (bounded by _OUTCOME_MEMO_CAP).
+    memo: Dict[Tuple, Tuple[Tuple[str, ...], Optional[str]]] = {}
+
+    if spec.get("source") == "configs":
+        rows = spec.get("hint") or []
+        items = ((lo + offset, config_from_row(row))
+                 for offset, row in enumerate(rows))
+        sampler = None
+    else:
+        space, sampler = _sampler_from_spec(spec)
+        items = ((index, config_from_assignment(space, assignment))
+                 for index, assignment in
+                 sampler.iter_range(lo, hi, hint=spec.get("hint")))
+
+    for index, config in items:
+        memo_key = (config.features, config.blocksize, config.inode_size,
+                    config.inode_ratio, config.reserved_percent,
+                    config.mount_options, fs_blocks)
+        outcome = memo.get(memo_key)
+        if outcome is None:
+            outcome = _drive_config_fast(config, fs_blocks, cache)
+            if len(memo) < _OUTCOME_MEMO_CAP:
+                memo[memo_key] = outcome
+            aggregate.tally("campaign.outcome.miss")
+        else:
+            aggregate.tally("campaign.outcome.hit")
+        aggregate.add(index, outcome[0], outcome[1])
+
+    aggregate.tally("campaign.snapshot.hit", cache.hits)
+    aggregate.tally("campaign.snapshot.miss", cache.misses)
+    if sampler is not None and hasattr(sampler, "skipped"):
+        aggregate.tally("campaign.infeasible_skipped", sampler.skipped)
+    return aggregate.as_payload()
+
+
+def sampled_campaign(dependencies: Sequence[Dependency] = (),
+                     sample: str = "random",
+                     seed: int = 2022,
+                     budget: Optional[int] = None,
+                     shards: int = 1,
+                     fs_blocks: int = 512,
+                     jobs: Optional[int] = None,
+                     backend: Optional[str] = None,
+                     transport: Optional[str] = None,
+                     ) -> Tuple[CampaignReport, Dict[str, Any]]:
+    """Sample the registry and drive the campaign in streaming shards.
+
+    ``sample`` follows ``--sample`` grammar (``random``, ``pairwise``,
+    ``twise:<t>``, each optionally ``+feasible``); ``+feasible``
+    consults ``dependencies`` (the Table-5 extraction) to skip configs
+    mkfs would reject before they are ever driven.  Returns the merged
+    :class:`~repro.perf.campaign.CampaignReport` plus a meta dict
+    (sampler name, seed, budget, totals, space size) for manifests and
+    status output.
+
+    Counters: ``campaign.sampled`` (configs driven),
+    ``campaign.infeasible_skipped`` (raw draws the constraint check
+    rejected), ``campaign.shards``.
+    """
+    kind, t, feasible = parse_sample_spec(sample)
+    space = build_campaign_space()
+    constraints = None
+    if feasible:
+        constraints = ConstraintIndex.from_dependencies(dependencies)
+    sampler = make_sampler(space, kind, seed, budget, t=t,
+                           constraints=constraints)
+    with timed("campaign.sample"):
+        total = sampler.total()
+    bump("campaign.sampled", total)
+    skipped = int(getattr(sampler, "skipped", 0))
+    if skipped:
+        bump("campaign.infeasible_skipped", skipped)
+    ranges = shard_ranges(total, shards)
+    hints = sampler.shard_hints(ranges)
+    spec: Dict[str, Any] = {
+        "tool": "conbugck", "source": "sampler", "kind": kind, "t": t,
+        "seed": seed, "budget": budget, "fs_blocks": fs_blocks,
+    }
+    if constraints is not None:
+        spec["constraints"] = constraints.as_payload()
+    report = run_sharded("conbugck", spec, total, shards=shards, jobs=jobs,
+                         backend=backend, transport=transport, hints=hints)
+    meta = {
+        "sampler": sampler.name,
+        "seed": seed,
+        "budget": budget,
+        "total": total,
+        "shards": len(ranges),
+        "space_params": len(space),
+        "space_combinations": space.combinations(),
+        "infeasible_skipped": skipped,
+    }
+    return report, meta
+
+
+def sweep_campaign(configs: Sequence[GeneratedConfig],
+                   fs_blocks: int = 512,
+                   shards: int = 1,
+                   jobs: Optional[int] = None,
+                   backend: Optional[str] = None,
+                   transport: Optional[str] = None,
+                   ) -> CampaignReport:
+    """Drive an explicit config list through the sharded streaming
+    driver (``source="configs"``): each shard receives only its own
+    slice as the shard hint, so no shard ever holds the full list."""
+    total = len(configs)
+    ranges = shard_ranges(total, shards)
+    hints = [[config_row(c) for c in configs[lo:hi]] for lo, hi in ranges]
+    spec: Dict[str, Any] = {"tool": "conbugck", "source": "configs",
+                            "fs_blocks": fs_blocks}
+    return run_sharded("conbugck", spec, total, shards=shards, jobs=jobs,
+                       backend=backend, transport=transport, hints=hints)

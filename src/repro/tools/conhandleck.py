@@ -412,3 +412,107 @@ class ConHandleCk:
                                    f"{context}: e2fsck found {details}")
         return ViolationResult(dep, ViolationOutcome.ACCEPTED,
                                f"{context}; filesystem remained consistent")
+
+
+# ---------------------------------------------------------------------------
+# sharded violation campaigns
+# ---------------------------------------------------------------------------
+#
+# The shard runner behind repro.perf.campaign.SHARD_RUNNERS
+# ["conhandleck"]: a budgeted violation campaign draws dependencies
+# (with replacement) through the counter-based sampling stream, so any
+# shard can regenerate its own slice from (seed, index) alone.  Workers
+# re-extract the validated dependency list themselves — the extraction
+# is deterministic and disk-cached, so every shard sees the identical
+# list in the identical order.
+
+def _shard_dependencies():
+    """The deterministic dependency list every shard regenerates."""
+    from repro.analysis.extractor import extract_all
+
+    return extract_all().true_dependencies()
+
+
+def run_shard(spec: Dict[str, object]) -> Dict[str, object]:
+    """Violate dependency draws for global indices ``[lo, hi)``.
+
+    Without a budget the campaign is the dependency list itself (config
+    index = dependency index); with one, index ``i`` draws dependency
+    ``Stream(seed, i) % len(deps)`` — uniform with replacement, the
+    regenerable-anywhere property sharding needs.  Outcomes fold into a
+    bounded :class:`~repro.perf.campaign.ShardAggregate`: the digest
+    covers (outcome, dependency key) per index, failure exemplars are
+    the paper's bad-handling cases (corruption verdicts).
+    """
+    from repro.perf.campaign import ShardAggregate
+    from repro.perf.sampling import Stream
+
+    lo, hi = int(spec["lo"]), int(spec["hi"])  # type: ignore[arg-type]
+    seed = int(spec.get("seed", 2022))  # type: ignore[arg-type]
+    budget = spec.get("budget")
+    deps = _shard_dependencies()
+    checker = ConHandleCk(
+        device_blocks=int(spec.get("device_blocks", 4096)),  # type: ignore[arg-type]
+        block_size=int(spec.get("block_size", 4096)))  # type: ignore[arg-type]
+    aggregate = ShardAggregate()
+    memo: Dict[int, ViolationResult] = {}
+    for index in range(lo, hi):
+        if budget is None:
+            dep_index = index
+        else:
+            dep_index = Stream(seed, index).next_word() % len(deps)
+        result = memo.get(dep_index)
+        if result is None:
+            result = checker.violate(deps[dep_index])
+            memo[dep_index] = result
+            aggregate.tally("campaign.outcome.miss")
+        else:
+            aggregate.tally("campaign.outcome.hit")
+        dep = deps[dep_index]
+        failure = (f"{dep.key()} — {result.detail}"
+                   if result.outcome is ViolationOutcome.CORRUPTION else None)
+        aggregate.add(index, (result.outcome.value, dep.key()), failure)
+    aggregate.tally("campaign.snapshot.hit", checker._snapshots.hits)
+    aggregate.tally("campaign.snapshot.miss", checker._snapshots.misses)
+    return aggregate.as_payload()
+
+
+def sampled_check(dependencies: Sequence[Dependency],
+                  seed: int = 2022,
+                  budget: Optional[int] = None,
+                  shards: int = 1,
+                  jobs: Optional[int] = None,
+                  backend: Optional[str] = None,
+                  transport: Optional[str] = None,
+                  device_blocks: int = 4096,
+                  block_size: int = 4096):
+    """Drive a (budgeted) violation campaign in streaming shards.
+
+    Returns ``(CampaignReport, meta)``.  The report's ``reached`` maps
+    outcome values to counts (every config also counts its dependency
+    key, so per-dependency totals are recoverable); failure exemplars
+    are the bad-handling cases.  ``budget=None`` violates each
+    dependency exactly once — the classic :meth:`ConHandleCk.check` —
+    while a budget scales the campaign to any size via seeded draws.
+    """
+    from repro.perf import bump
+    from repro.perf.campaign import run_sharded, shard_ranges
+
+    total = len(dependencies) if budget is None else int(budget)
+    bump("campaign.sampled", total)
+    spec: Dict[str, object] = {
+        "tool": "conhandleck", "seed": seed, "budget": budget,
+        "device_blocks": device_blocks, "block_size": block_size,
+    }
+    report = run_sharded("conhandleck", spec, total, shards=shards,
+                         jobs=jobs, backend=backend, transport=transport,
+                         phase="campaign.violate.sharded")
+    meta = {
+        "sampler": "deps" if budget is None else "random",
+        "seed": seed,
+        "budget": budget,
+        "total": total,
+        "shards": len(shard_ranges(total, shards)),
+        "dependencies": len(dependencies),
+    }
+    return report, meta

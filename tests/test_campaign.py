@@ -265,3 +265,263 @@ class TestMountSweep:
     def test_rejects_nonpositive_bases(self, deps):
         with pytest.raises(ValueError):
             ConBugCk(deps, seed=9).generate_mount_sweep(10, bases=0)
+
+
+# ---------------------------------------------------------------------------
+# sharded streaming campaigns
+# ---------------------------------------------------------------------------
+
+from hashlib import sha256
+
+from repro.obs.manifest import build_manifest, diff_manifests, \
+    validate_manifest
+from repro.perf.campaign import (
+    CampaignReport,
+    ShardAggregate,
+    outcome_digest_term,
+    shard_ranges,
+)
+from repro.tools import conhandleck as chc
+from repro.tools.conbugck import sweep_campaign, sampled_campaign
+
+
+def _sparse_canonical(stats: DriveStats):
+    """DriveStats in the sparse form a streaming CampaignReport holds."""
+    return (stats.total,
+            {s: n for s, n in stats.reached.items() if n},
+            stats.failures, stats.failures_truncated)
+
+
+def _report_canonical(report: CampaignReport):
+    return (report.total, dict(report.reached),
+            [msg for _, msg in report.failures],
+            report.failure_count - len(report.failures))
+
+
+class TestShardRanges:
+    def test_partitions_exactly(self):
+        for total, shards in ((10, 3), (7, 7), (100, 8), (3, 50), (1, 1)):
+            ranges = shard_ranges(total, shards)
+            assert ranges[0][0] == 0 and ranges[-1][1] == total
+            assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+            sizes = [hi - lo for lo, hi in ranges]
+            assert max(sizes) - min(sizes) <= 1
+            assert len(ranges) == min(shards, total)
+
+    def test_empty_campaign(self):
+        assert shard_ranges(0, 4) == [(0, 0)]
+
+
+class TestShardAggregateMerge:
+    @staticmethod
+    def _outcomes(n):
+        return [(i, ("mkfs", "mount") if i % 3 else ("mkfs",),
+                 None if i % 3 else f"mount: boom {i}") for i in range(n)]
+
+    def test_digest_is_order_independent_but_index_bound(self):
+        outcomes = self._outcomes(30)
+        forward, backward = ShardAggregate(), ShardAggregate()
+        for item in outcomes:
+            forward.add(*item)
+        for item in reversed(outcomes):
+            backward.add(*item)
+        assert forward.digest == backward.digest
+        shifted = ShardAggregate()
+        for index, reached, failure in outcomes:
+            shifted.add(index + 1, reached, failure)
+        assert shifted.digest != forward.digest
+
+    def test_payload_digest_travels_as_hex(self):
+        agg = ShardAggregate()
+        for item in self._outcomes(10):
+            agg.add(*item)
+        payload = agg.as_payload()
+        assert payload["digest"] == "%064x" % agg.digest
+        assert CampaignReport.merge([payload]).digest == agg.digest
+
+    def test_merge_failure_cap_matches_sequential(self):
+        outcomes = self._outcomes(60)
+        sequential = ShardAggregate(max_failures=5)
+        for item in outcomes:
+            sequential.add(*item)
+        payloads = []
+        for lo, hi in shard_ranges(60, 4):
+            agg = ShardAggregate(max_failures=5)
+            for item in outcomes[lo:hi]:
+                agg.add(*item)
+            payloads.append(agg.as_payload())
+        merged = CampaignReport.merge(payloads, max_failures=5)
+        assert merged.failures == sequential.failures
+        assert merged.failure_count == \
+            len(sequential.failures) + sequential.failures_truncated
+        assert merged.digest == sequential.digest
+        assert merged.reached == sequential.reached
+
+    def test_term_depends_on_every_field(self):
+        base = outcome_digest_term(3, ("mkfs",), "boom")
+        assert outcome_digest_term(4, ("mkfs",), "boom") != base
+        assert outcome_digest_term(3, ("mount",), "boom") != base
+        assert outcome_digest_term(3, ("mkfs",), None) != base
+
+
+class TestShardedSweepCampaign:
+    def test_matches_sequential_drive(self, deps):
+        gen = ConBugCk(deps, seed=13)
+        sweep = gen.generate_mount_sweep(48, bases=2, violate_rate=0.6)
+        stats = ConBugCk(deps, seed=13).drive(sweep, jobs=1)
+        baseline = sweep_campaign(sweep, shards=1)
+        assert _report_canonical(baseline) == _sparse_canonical(stats)
+        for shards, jobs in ((3, 1), (5, 4), (48, 2)):
+            report = sweep_campaign(sweep, shards=shards, jobs=jobs)
+            assert report.digest_hex == baseline.digest_hex, \
+                f"shards={shards}"
+            assert _report_canonical(report) == _report_canonical(baseline)
+
+    def test_process_backend_identical(self, deps):
+        gen = ConBugCk(deps, seed=13)
+        sweep = gen.generate_mount_sweep(30, bases=2, violate_rate=0.6)
+        thread = sweep_campaign(sweep, shards=3)
+        process = sweep_campaign(sweep, shards=3, jobs=2,
+                                 backend="process", transport="shm")
+        assert process.digest_hex == thread.digest_hex
+        assert _report_canonical(process) == _report_canonical(thread)
+
+
+class TestSampledCampaign:
+    def test_shard_count_invariant(self, deps):
+        baseline, meta = sampled_campaign(deps, sample="random", seed=5,
+                                          budget=120, shards=1)
+        assert baseline.total == 120
+        assert meta["sampler"] == "random"
+        assert meta["seed"] == 5 and meta["shards"] == 1
+        assert meta["space_params"] > 0
+        for shards in (3, 8):
+            report, _ = sampled_campaign(deps, sample="random", seed=5,
+                                         budget=120, shards=shards)
+            assert report.digest_hex == baseline.digest_hex
+            assert _report_canonical(report) == _report_canonical(baseline)
+
+    def test_seed_changes_the_campaign(self, deps):
+        a, _ = sampled_campaign(deps, sample="random", seed=1, budget=40)
+        b, _ = sampled_campaign(deps, sample="random", seed=2, budget=40)
+        assert a.digest_hex != b.digest_hex
+
+    def test_feasible_sampling_skips_infeasible(self, deps):
+        report, meta = sampled_campaign(deps, sample="random+feasible",
+                                        seed=2022, budget=150, shards=2)
+        assert meta["sampler"] == "random+feasible"
+        assert report.total + meta["infeasible_skipped"] == 150
+        assert meta["infeasible_skipped"] > 0
+
+
+class TestConHandleCkSampled:
+    def test_shard_count_invariant(self, deps):
+        baseline, meta = chc.sampled_check(deps, seed=3, budget=24, shards=1)
+        assert meta["total"] == 24
+        for shards in (2, 6):
+            report, _ = chc.sampled_check(deps, seed=3, budget=24,
+                                          shards=shards)
+            assert report.digest_hex == baseline.digest_hex
+
+    def test_unbudgeted_covers_every_dependency(self, deps):
+        report, meta = chc.sampled_check(deps, shards=4)
+        assert report.total == len(deps)
+        assert meta["sampler"] == "deps"
+        # The paper's single mishandled dependency surfaces here too.
+        assert report.failure_count == 1
+        assert "sparse_super2" in report.failures[0][1]
+
+
+class TestPinnedSweeps:
+    """generate_mount_sweep is a thin wrapper over OptionSweepSampler;
+    these hashes pin the historical RNG draw order byte-for-byte."""
+
+    PINS = {
+        (2022, 40): "97a8c70d4404bce70ef06b1db6a6ef67"
+                    "9091d3a28588ac15d843bcbe60d8193c",
+        (2022, 300): "9cbdf15adedf3275a7879e87b1cd500a"
+                     "c8ccfc515e2b66b6d9e4835ee867f317",
+        (7, 25): "35a5dd63f7f1f2d516843e2004629851"
+                 "ab201eb96f5dc1ea22b79a08d435b6e6",
+    }
+
+    @staticmethod
+    def _hash(sweep):
+        return sha256("\n".join(repr(c) for c in sweep).encode()).hexdigest()
+
+    def test_pinned_hashes(self, deps):
+        assert self._hash(ConBugCk(deps, seed=2022).generate_mount_sweep(
+            40)) == self.PINS[(2022, 40)]
+        assert self._hash(ConBugCk(deps, seed=2022).generate_mount_sweep(
+            300, bases=3, fs_blocks=384, blocksize=1024,
+            violate_rate=0.8)) == self.PINS[(2022, 300)]
+        assert self._hash(ConBugCk(deps, seed=7).generate_mount_sweep(
+            25, bases=2, violate_rate=0.3)) == self.PINS[(7, 25)]
+
+    def test_distinct_violations_bounded_by_pool(self, deps):
+        sweep = ConBugCk(deps, seed=2022).generate_mount_sweep(
+            400, bases=2, violate_rate=1.0)
+        assert len({c.mount_options for c in sweep}) <= \
+            len(VIOLATING_MOUNT_OPTIONS)
+
+
+class TestSnapshotCacheCounters:
+    @staticmethod
+    def _mkfs(dev: BlockDevice) -> None:
+        Mke2fs.from_args(["-b", "1024", "512"]).run(dev)
+
+    def test_instance_hit_miss_accounting(self):
+        cache = SnapshotCache()
+        assert (cache.hits, cache.misses) == (0, 0)
+        cache.device_for(("k",), 512, 1024, self._mkfs)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.device_for(("k",), 512, 1024, self._mkfs)
+        cache.clone_flat(("k",), 512, 1024, self._mkfs)
+        assert (cache.hits, cache.misses) == (2, 1)
+        cache.clone_flat(("k2",), 512, 1024, self._mkfs)
+        assert (cache.hits, cache.misses) == (2, 2)
+
+    def test_clone_flat_matches_device_for(self):
+        cache = SnapshotCache()
+        tracked = cache.device_for(("k",), 512, 1024, self._mkfs)
+        flat = cache.clone_flat(("k",), 512, 1024, self._mkfs)
+        assert flat.snapshot() == tracked.snapshot()
+        flat.write_block(0, b"x" * 1024)
+        assert cache.clone_flat(("k",), 512, 1024,
+                                self._mkfs).snapshot() == tracked.snapshot()
+
+
+class TestManifestCampaignSection:
+    @staticmethod
+    def _manifest(**overrides):
+        campaign = {
+            "sampler": "random", "seed": 2022, "budget": 100, "total": 100,
+            "shards": 4, "snapshot_hits": 10, "snapshot_misses": 90,
+            "snapshot_hit_ratio": 0.1, "infeasible_skipped": 0,
+            "digest": "ab" * 32, "shard_seconds": [0.1, 0.2, 0.1, 0.2],
+        }
+        campaign.update(overrides)
+        return build_manifest("repro-conbugck", wall_seconds=1.0,
+                              campaign=campaign)
+
+    def test_round_trips_through_validation(self):
+        manifest = self._manifest()
+        validate_manifest(manifest)
+        assert manifest["campaign"]["sampler"] == "random"
+
+    def test_identity_fields_diff_as_real(self):
+        diff = diff_manifests(self._manifest(),
+                              self._manifest(sampler="pairwise",
+                                             digest="cd" * 32))
+        real = [line for line in diff if not line.startswith("~")]
+        assert any(line.startswith("campaign.sampler:") for line in real)
+        assert any(line.startswith("campaign.digest:") for line in real)
+
+    def test_execution_shape_diffs_as_informational(self):
+        diff = diff_manifests(
+            self._manifest(),
+            self._manifest(shards=8, snapshot_hits=50,
+                           shard_seconds=[0.05] * 8))
+        campaign_lines = [line for line in diff if "campaign." in line]
+        assert campaign_lines
+        assert all(line.startswith("~") for line in campaign_lines)

@@ -1,0 +1,294 @@
+"""Tests for the campaign config samplers (repro.perf.sampling)."""
+
+from itertools import combinations, product
+
+import pytest
+
+from repro.perf.sampling import (
+    ConfigSpace,
+    ConstraintIndex,
+    Domain,
+    FeasibleSampler,
+    OptionSweepSampler,
+    RandomSampler,
+    Stream,
+    TWiseSampler,
+    make_sampler,
+    parse_sample_spec,
+)
+
+
+def synth_space(*sizes):
+    """A synthetic space with one integer domain per entry."""
+    return ConfigSpace([Domain(f"p{i}", "test", tuple(range(n)))
+                        for i, n in enumerate(sizes)])
+
+
+def assert_covers(space, rows, t):
+    """Every value combination of every t params appears in some row."""
+    for idxs in combinations(range(len(space)), t):
+        needed = set(product(*(space.domains[i].values for i in idxs)))
+        seen = {tuple(row[i] for i in idxs) for row in rows}
+        missing = needed - seen
+        assert not missing, f"params {idxs}: uncovered {sorted(missing)[:5]}"
+
+
+# ---------------------------------------------------------------------------
+# Stream
+# ---------------------------------------------------------------------------
+
+class TestStream:
+    def test_deterministic_per_index(self):
+        a = [Stream(7, i).next_word() for i in range(100)]
+        b = [Stream(7, i).next_word() for i in range(100)]
+        assert a == b
+
+    def test_counter_addressable(self):
+        # Index 50's draws don't depend on having drawn indices 0..49:
+        # that O(1) regeneration is what makes shards independent.
+        sequential = [Stream(3, i).next_word() for i in range(60)]
+        assert Stream(3, 50).next_word() == sequential[50]
+
+    def test_seed_decorrelates(self):
+        assert [Stream(1, i).next_word() for i in range(20)] != \
+            [Stream(2, i).next_word() for i in range(20)]
+        # (seed, index) and (seed+1, index-1) must not collide.
+        assert Stream(1, 5).next_word() != Stream(2, 4).next_word()
+
+    def test_pick_stays_in_domain(self):
+        values = ("a", "b", "c")
+        stream = Stream(9, 0)
+        assert all(stream.pick(values) in values for _ in range(50))
+
+
+# ---------------------------------------------------------------------------
+# ConfigSpace
+# ---------------------------------------------------------------------------
+
+class TestConfigSpace:
+    def test_combinations(self):
+        assert synth_space(2, 3, 4).combinations() == 24
+
+    def test_index_and_dict(self):
+        space = synth_space(2, 2)
+        assert space.index_of("p1") == 1
+        assert space.assignment_dict((0, 1)) == {"p0": 0, "p1": 1}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ConfigSpace([])
+        with pytest.raises(ValueError):
+            Domain("x", "test", ())
+
+
+# ---------------------------------------------------------------------------
+# RandomSampler
+# ---------------------------------------------------------------------------
+
+class TestRandomSampler:
+    def test_deterministic(self):
+        space = synth_space(4, 4, 4)
+        a = list(RandomSampler(space, 11, 50).iter_range(0, 50))
+        b = list(RandomSampler(space, 11, 50).iter_range(0, 50))
+        assert a == b
+
+    def test_shard_concatenation_matches_full_range(self):
+        # Any shard partition regenerates exactly the sequential stream.
+        space = synth_space(3, 5, 2, 7)
+        sampler = RandomSampler(space, 2022, 97)
+        full = list(sampler.iter_range(0, 97))
+        for cuts in ((0, 97), (0, 40, 97), (0, 10, 11, 96, 97)):
+            ranges = list(zip(cuts, cuts[1:]))
+            sharded = [pair for lo, hi in ranges
+                       for pair in sampler.iter_range(lo, hi)]
+            assert sharded == full, f"ranges={ranges}"
+
+    def test_values_come_from_domains(self):
+        space = synth_space(2, 3)
+        for _, assignment in RandomSampler(space, 5, 40).iter_range(0, 40):
+            for domain, value in zip(space.domains, assignment):
+                assert value in domain.values
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            RandomSampler(synth_space(2), 1, 0)
+
+
+# ---------------------------------------------------------------------------
+# TWiseSampler
+# ---------------------------------------------------------------------------
+
+class TestTWiseSampler:
+    def test_pairwise_covers_every_value_pair(self):
+        space = synth_space(2, 3, 4, 2, 3)
+        sampler = TWiseSampler(space, 2, seed=2022)
+        rows = [row for _, row in sampler.iter_range(0, sampler.total())]
+        assert_covers(space, rows, 2)
+
+    def test_pairwise_is_a_real_compression(self):
+        space = synth_space(2, 3, 4, 2, 3)
+        assert TWiseSampler(space, 2, seed=2022).total() < \
+            space.combinations()
+
+    def test_three_wise_coverage(self):
+        space = synth_space(2, 2, 3, 2)
+        sampler = TWiseSampler(space, 3, seed=7)
+        rows = [row for _, row in sampler.iter_range(0, sampler.total())]
+        assert_covers(space, rows, 3)
+
+    def test_deterministic_for_seed(self):
+        space = synth_space(3, 3, 3)
+        a = [r for _, r in TWiseSampler(space, 2, 9).iter_range(0, 100)]
+        b = [r for _, r in TWiseSampler(space, 2, 9).iter_range(0, 100)]
+        assert a == b
+
+    def test_budget_truncates(self):
+        space = synth_space(4, 4, 4)
+        unbounded = TWiseSampler(space, 2, seed=1).total()
+        assert unbounded > 3
+        sampler = TWiseSampler(space, 2, seed=1, budget=3)
+        assert sampler.total() == 3
+        assert len(list(sampler.iter_range(0, 100))) == 3
+
+    def test_rejects_bad_strength(self):
+        with pytest.raises(ValueError):
+            TWiseSampler(synth_space(2, 2), 1, seed=0)
+        with pytest.raises(ValueError):
+            TWiseSampler(synth_space(2, 2), 3, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# ConstraintIndex + FeasibleSampler
+# ---------------------------------------------------------------------------
+
+def bool_space():
+    return ConfigSpace([Domain("a", "test", (False, True)),
+                        Domain("b", "test", (False, True)),
+                        Domain("n", "test", (1, 5, 9))])
+
+
+class TestConstraintIndex:
+    def test_requires_and_conflicts(self):
+        space = bool_space()
+        index = ConstraintIndex(requires=[("a", "b")])
+        assert index.feasible(space, (True, True, 5))
+        assert not index.feasible(space, (True, False, 5))
+        index = ConstraintIndex(conflicts=[("a", "b")])
+        assert not index.feasible(space, (True, True, 5))
+        assert index.feasible(space, (False, True, 5))
+
+    def test_value_ranges(self):
+        space = bool_space()
+        index = ConstraintIndex(ranges={"n": (2, 8)})
+        assert index.feasible(space, (False, False, 5))
+        assert not index.feasible(space, (False, False, 1))
+        assert not index.feasible(space, (False, False, 9))
+
+    def test_payload_roundtrip(self):
+        index = ConstraintIndex(requires=[("a", "b")],
+                                conflicts=[("a", "c")],
+                                ranges={"n": (2, None)})
+        restored = ConstraintIndex.from_payload(index.as_payload())
+        assert restored.requires == index.requires
+        assert restored.conflicts == index.conflicts
+        assert restored.ranges == index.ranges
+
+
+class TestFeasibleSampler:
+    def test_emits_only_feasible(self):
+        space = bool_space()
+        index = ConstraintIndex(requires=[("a", "b")], ranges={"n": (2, 8)})
+        sampler = FeasibleSampler(RandomSampler(space, 2022, 200), index)
+        rows = [row for _, row in sampler.iter_range(0, sampler.total())]
+        assert rows
+        assert all(index.feasible(space, row) for row in rows)
+
+    def test_skipped_accounting(self):
+        space = bool_space()
+        index = ConstraintIndex(requires=[("a", "b")])
+        sampler = FeasibleSampler(RandomSampler(space, 2022, 200), index)
+        total = sampler.total()
+        assert total + sampler.skipped == 200
+
+    def test_indices_are_dense(self):
+        space = bool_space()
+        index = ConstraintIndex(requires=[("a", "b")])
+        sampler = FeasibleSampler(RandomSampler(space, 2022, 100), index)
+        indices = [i for i, _ in sampler.iter_range(0, sampler.total())]
+        assert indices == list(range(sampler.total()))
+
+    def test_shard_hints_skip_the_rescan(self):
+        space = bool_space()
+        index = ConstraintIndex(requires=[("a", "b")], ranges={"n": (2, 8)})
+
+        def build():
+            return FeasibleSampler(RandomSampler(space, 7, 300), index)
+
+        parent = build()
+        total = parent.total()
+        full = list(parent.iter_range(0, total))
+        cuts = (0, total // 3, 2 * total // 3, total)
+        ranges = list(zip(cuts, cuts[1:]))
+        hints = parent.shard_hints(ranges)
+        # A fresh sampler per shard (as a worker would hold) plus its
+        # hint regenerates exactly its slice — no leading rescan.
+        sharded = []
+        for (lo, hi), hint in zip(ranges, hints):
+            sharded.extend(build().iter_range(lo, hi, hint=hint))
+        assert sharded == full
+
+
+# ---------------------------------------------------------------------------
+# spec parsing + construction
+# ---------------------------------------------------------------------------
+
+class TestParseSampleSpec:
+    def test_forms(self):
+        assert parse_sample_spec("random") == ("random", None, False)
+        assert parse_sample_spec("pairwise") == ("twise", 2, False)
+        assert parse_sample_spec("twise:3") == ("twise", 3, False)
+        assert parse_sample_spec("random+feasible") == ("random", None, True)
+        assert parse_sample_spec("pairwise+feasible") == ("twise", 2, True)
+
+    def test_rejects_malformed(self):
+        for bad in ("", "coverage", "twise:x", "twise:1", "twise:"):
+            with pytest.raises(ValueError):
+                parse_sample_spec(bad)
+
+    def test_make_sampler_wiring(self):
+        space = synth_space(2, 3)
+        assert make_sampler(space, "random", 1, 10).name == "random"
+        assert make_sampler(space, "twise", 1, None, t=2).name == "pairwise"
+        wrapped = make_sampler(space, "random", 1, 10,
+                               constraints=ConstraintIndex())
+        assert wrapped.name == "random+feasible"
+        with pytest.raises(ValueError):
+            make_sampler(space, "random", 1, None)
+        with pytest.raises(ValueError):
+            make_sampler(space, "coverage", 1, 10)
+
+
+# ---------------------------------------------------------------------------
+# OptionSweepSampler
+# ---------------------------------------------------------------------------
+
+class TestOptionSweepSampler:
+    def test_pool_is_a_hard_cap_on_distinct_violations(self):
+        import random
+        pool = ("bad=1", "bad=2", "bad=3")
+        sampler = OptionSweepSampler(random.Random(0), pool, 1.0,
+                                     lambda features: "guided")
+        drawn = {sampler.draw(set()) for _ in range(500)}
+        assert sampler.distinct_violations_cap == 3
+        assert drawn <= set(pool)
+
+    def test_guided_draws_below_rate(self):
+        import random
+        sampler = OptionSweepSampler(random.Random(0), ("bad",), 0.0,
+                                     lambda features: "guided")
+        assert all(sampler.draw(set()) == "guided" for _ in range(20))
+
+    def test_rejects_empty_pool(self):
+        import random
+        with pytest.raises(ValueError):
+            OptionSweepSampler(random.Random(0), (), 0.5, lambda f: "")

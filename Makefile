@@ -11,7 +11,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-report trace-smoke verify
+.PHONY: test bench-smoke bench bench-report trace-smoke service-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +22,7 @@ bench-smoke:
 	$(PYTHON) benchmarks/bench_campaign.py --smoke
 	$(PYTHON) benchmarks/bench_obs.py --smoke
 	$(PYTHON) benchmarks/bench_backend.py --smoke
+	$(PYTHON) benchmarks/bench_service.py --smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
@@ -29,6 +30,14 @@ bench:
 	$(PYTHON) benchmarks/bench_campaign.py
 	$(PYTHON) benchmarks/bench_obs.py
 	$(PYTHON) benchmarks/bench_backend.py
+	$(PYTHON) benchmarks/bench_service.py
+
+# CI service smoke: boot a real repro-serve + two repro-worker
+# processes, push 50 requests (25 duplicates), require dedup >= 0.5,
+# every run done, byte-identical results, manifest equivalence via
+# `repro-runs diff`, and a clean SIGTERM teardown.
+service-smoke:
+	$(PYTHON) benchmarks/bench_service.py --ci-smoke
 
 bench-report:
 	$(PYTHON) benchmarks/bench_report.py

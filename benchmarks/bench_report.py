@@ -14,6 +14,12 @@ before this aggregation.  A floor marked ``enforced: false`` by its
 benchmark (e.g. the process-pool floor on a single-core host) shows up
 here with that caveat preserved.
 
+Each aggregation also appends one compact summary line to
+``BENCH_history.jsonl`` — timestamp, per-benchmark measured values,
+and whether every enforced floor held — so the repo accumulates a perf
+trajectory *over time*, not just the latest snapshot: ``git log`` says
+what changed, the history says what it did to the numbers.
+
 Runnable standalone (``python benchmarks/bench_report.py``) or under
 pytest (``test_bench_report`` checks the aggregation logic on the
 checked-in files).
@@ -26,10 +32,12 @@ import glob
 import json
 import os
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 REPORT_PATH = os.path.join(REPO_ROOT, "BENCH_report.json")
+HISTORY_PATH = os.path.join(REPO_ROOT, "BENCH_history.jsonl")
 
 
 def _ensure_imports() -> None:
@@ -131,6 +139,38 @@ def render(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def summarize(report: Dict[str, Any]) -> Dict[str, Any]:
+    """One history line: measured values and floor verdicts, compact."""
+    benchmarks: Dict[str, Any] = {}
+    for name, entry in sorted(report["benchmarks"].items()):
+        if "error" in entry:
+            benchmarks[name] = {"error": True}
+            continue
+        benchmarks[name] = {
+            "mode": entry.get("mode"),
+            "measured": {key: check.get("measured")
+                         for key, check in sorted(
+                             entry.get("floors", {}).items())},
+            "ok": all(check["ok"]
+                      for check in entry.get("floors", {}).values()),
+        }
+    return {
+        "time": time.time(),
+        "time_iso": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "all_floors_ok": report["all_floors_ok"],
+        "benchmarks": benchmarks,
+    }
+
+
+def append_history(report: Dict[str, Any],
+                   path: str = HISTORY_PATH) -> Dict[str, Any]:
+    """Append this aggregation's summary line to the history file."""
+    line = summarize(report)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return line
+
+
 def run_report(emit_fn=None) -> int:
     """Aggregate, write ``BENCH_report.json``, print the summary."""
     _ensure_imports()
@@ -138,6 +178,8 @@ def run_report(emit_fn=None) -> int:
     with open(REPORT_PATH, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    if report["benchmarks"]:
+        append_history(report)
     rendered = render(report)
     if emit_fn is not None:
         emit_fn("report", rendered)
@@ -182,6 +224,16 @@ def test_bench_report(tmp_path):
     again = collect(str(tmp_path))
     assert set(again["benchmarks"]) == {"a", "b", "c"}
     assert "REGRESSED" in render(again)
+    # History: one compact JSONL line per aggregation, append-only.
+    history = tmp_path / "BENCH_history.jsonl"
+    append_history(report, str(history))
+    append_history(again, str(history))
+    lines = [json.loads(line)
+             for line in history.read_text().splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["all_floors_ok"] is False
+    assert lines[0]["benchmarks"]["a"]["measured"]["x"] == 2.0
+    assert lines[0]["benchmarks"]["c"]["ok"] is False
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,443 @@
+"""The serving layer: dedup latency, sustained throughput, CI smoke.
+
+Three contracts added with the tier-8 service (``src/repro/serve``):
+
+- **duplicate vs cold latency** — submitting a request whose content
+  key already resolved to a ``done`` run must return its result at
+  least ``MIN_DUP_SPEEDUP`` faster than the cold submit-execute-fetch
+  path: the dedup hit is a SQLite row read plus two HTTP round trips,
+  never a re-execution.
+- **sustained throughput** — a mixed workload of
+  ``WORKLOAD_REQUESTS`` requests (a rotation of extraction, checker,
+  study, and corpus-overlay submissions, most of them duplicates —
+  the shape a shared service actually sees) must complete end to end
+  at ``MIN_THROUGHPUT_RPS`` requests/second through one API and one
+  worker.  The floor holds because duplicates collapse onto existing
+  rows and compatible fresh jobs batch onto a warm worker.
+- **byte identity** — the service's result bytes for a request must
+  equal the stdout of a direct CLI invocation of the same request.
+  The worker executes through the real CLI mains, so this is asserted,
+  not approximated.
+
+``--ci-smoke`` is the CI service job: boot a real ``repro-serve``
+process and two ``repro-worker`` processes, push 50 requests of which
+25 are duplicates, and require a dedup ratio >= 0.5, every run
+``done``, byte-identical results, and ``repro-runs diff`` equivalence
+between a service manifest and a direct CLI manifest — then SIGTERM
+everything and require clean signal semantics.
+
+Results land machine-readable in ``BENCH_service.json`` at the repo
+root.  Runnable standalone (``python benchmarks/bench_service.py
+[--smoke|--ci-smoke]``) or under pytest (``test_service_perf``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from contextlib import redirect_stderr, redirect_stdout
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Required cold/duplicate latency ratio.  A duplicate of a done run
+#: never executes; it must cost two HTTP round trips, not a pipeline.
+MIN_DUP_SPEEDUP = 5.0
+
+#: Required end-to-end requests/second on the mixed workload (one API,
+#: one worker, mostly-duplicate traffic).
+MIN_THROUGHPUT_RPS = 8.0
+SMOKE_THROUGHPUT_RPS = 5.0
+
+#: Mixed-workload size (requests submitted, duplicates included).
+WORKLOAD_REQUESTS = 100
+SMOKE_WORKLOAD_REQUESTS = 40
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+
+def _ensure_imports() -> None:
+    """Allow standalone invocation from a source checkout."""
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        here = os.path.dirname(os.path.abspath(__file__))
+        sys.path.insert(0, os.path.join(os.path.dirname(here), "src"))
+
+
+def _direct_cli(tool_main: str, argv: List[str]) -> Tuple[int, str]:
+    """Run one CLI main in-process with stdout captured.
+
+    Takes the worker's execution lock so the capture cannot interleave
+    with a job the in-process worker thread is running — ``redirect_
+    stdout`` swaps process-global state.
+    """
+    import repro.cli as cli
+    from repro.serve import worker as serve_worker
+
+    out, err = io.StringIO(), io.StringIO()
+    with serve_worker._EXEC_LOCK:
+        with redirect_stdout(out), redirect_stderr(err):
+            try:
+                code = int(getattr(cli, tool_main)(list(argv)) or 0)
+            except SystemExit as exc:
+                code = int(exc.code or 0)
+    return code, out.getvalue()
+
+
+def _unique_requests(client, overlays: int) -> List[Dict[str, Any]]:
+    """The unique request mix: tools, params, and corpus overlays."""
+    uniques: List[Dict[str, Any]] = [
+        {"tool": "demo", "params": {}},
+        {"tool": "condocck", "params": {}},
+        {"tool": "study", "params": {}},
+        {"tool": "extract", "params": {"jobs": 1}},
+        {"tool": "extract", "params": {"jobs": 2}},
+        {"tool": "extract", "params": {"list": True}},
+    ]
+    for index in range(overlays):
+        corpus_id = client.upload_corpus(
+            {"zz_overlay.c": f"/* service bench overlay {index} */\n"
+                             f"static int zz_overlay_{index};\n"})
+        uniques.append({"tool": "condocck", "params": {},
+                        "corpus": corpus_id})
+    return uniques
+
+
+def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
+    """Measure, render, and enforce the service contracts; 0 on success."""
+    _ensure_imports()
+
+    from repro.common.texttable import TextTable
+    from repro.serve.api import start_in_thread
+    from repro.serve.client import ServiceClient
+    from repro.serve.worker import Worker
+
+    requests_total = SMOKE_WORKLOAD_REQUESTS if smoke else WORKLOAD_REQUESTS
+    min_rps = SMOKE_THROUGHPUT_RPS if smoke else MIN_THROUGHPUT_RPS
+
+    data_dir = tempfile.mkdtemp(prefix="repro-service-bench-")
+    db_path = os.path.join(data_dir, "service.db")
+    service, _thread = start_in_thread(db_path, data_dir)
+    client = ServiceClient(service.url)
+    stop = threading.Event()
+    worker = Worker(db_path, data_dir, worker_id="bench-worker",
+                    poll_seconds=0.02)
+    worker_thread = threading.Thread(target=worker.run_forever,
+                                     args=(stop,), daemon=True)
+    worker_thread.start()
+
+    try:
+        # ---- duplicate vs cold latency --------------------------------
+        started = time.perf_counter()
+        cold_run = client.submit_and_wait("extract", {"jobs": 1},
+                                          timeout=120)
+        cold_s = time.perf_counter() - started
+        run_id = cold_run["run_id"]
+
+        dup_s = float("inf")
+        for _ in range(5):
+            started = time.perf_counter()
+            submitted = client.submit("extract", {"jobs": 1})
+            assert submitted["deduplicated"], "duplicate was not dedup'd"
+            body = client.result_bytes(submitted["run"]["run_id"])
+            dup_s = min(dup_s, time.perf_counter() - started)
+        dup_speedup = cold_s / dup_s if dup_s > 0 else float("inf")
+
+        # ---- byte identity vs the direct CLI --------------------------
+        service_bytes = client.result_bytes(run_id)
+        direct_code, direct_out = _direct_cli("main_extract",
+                                              ["--jobs", "1"])
+        byte_identical = (direct_code == 0
+                          and service_bytes.decode("utf-8") == direct_out)
+
+        # ---- mixed-workload throughput --------------------------------
+        uniques = _unique_requests(client, overlays=4)
+        started = time.perf_counter()
+        submitted_ids = []
+        for index in range(requests_total):
+            request = uniques[index % len(uniques)]
+            row = client.submit(request["tool"], request["params"],
+                                corpus=request.get("corpus"))
+            submitted_ids.append(row["run"]["run_id"])
+        for run_id in dict.fromkeys(submitted_ids):  # unique, ordered
+            client.wait_done(run_id, timeout=120)
+        workload_s = time.perf_counter() - started
+        throughput = requests_total / workload_s if workload_s else 0.0
+
+        stats = client.stats()
+    finally:
+        stop.set()
+        worker_thread.join(timeout=30)
+        service.shutdown()
+        service.server_close()
+
+    # ---- render -------------------------------------------------------
+
+    mode = "smoke" if smoke else "full"
+    table = TextTable(
+        ["measurement", "value"],
+        title=f"serving layer ({mode}; 1 API thread pool, 1 worker)")
+    table.add_row("cold submit-execute-fetch", f"{cold_s:.4f} s")
+    table.add_row("duplicate submit-fetch (best of 5)", f"{dup_s:.4f} s")
+    table.add_row("duplicate speedup", f"{dup_speedup:.1f}x "
+                  f"(floor {MIN_DUP_SPEEDUP:.1f}x)")
+    table.add_row(f"mixed workload ({requests_total} requests)",
+                  f"{workload_s:.3f} s")
+    table.add_row("throughput", f"{throughput:.1f} req/s "
+                  f"(floor {min_rps:.1f})")
+    table.add_row("dedup ratio", f"{stats['dedup_ratio']:.3f} "
+                  f"({stats['deduplicated']}/{stats['submits']} coalesced)")
+    rendered = table.render()
+    rendered += (f"\n\nservice result byte-identical to direct CLI: "
+                 f"{'yes' if byte_identical else 'NO'}")
+    rendered += (f"\nqueue after workload: "
+                 + ", ".join(f"{state}={count}" for state, count
+                             in sorted(stats["by_status"].items())))
+
+    with open(JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump({
+            "mode": mode,
+            "workload": {
+                "description": "mixed extract/checker/study/overlay "
+                               "rotation, mostly duplicates, one API + "
+                               "one worker in-process",
+                "requests": requests_total,
+                "unique_requests": stats["runs"],
+                "dedup_ratio": stats["dedup_ratio"],
+            },
+            "seconds": {
+                "cold_request": cold_s,
+                "duplicate_request": dup_s,
+                "workload": workload_s,
+            },
+            "speedups": {
+                "duplicate_vs_cold": dup_speedup,
+                "throughput_rps": throughput,
+            },
+            "floors": {
+                "duplicate_vs_cold": MIN_DUP_SPEEDUP,
+                "throughput_rps": min_rps,
+            },
+            "floor_enforced": {
+                "duplicate_vs_cold": True,
+                "throughput_rps": True,
+            },
+            "identical_outputs": {
+                "service_vs_cli": bool(byte_identical),
+            },
+        }, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    if emit_fn is not None:
+        emit_fn("service", rendered)
+    else:
+        print(rendered)
+
+    failed = stats["by_status"].get("failed", 0)
+    if failed:
+        print(f"FAIL: {failed} run(s) failed during the workload",
+              file=sys.stderr)
+        return 1
+    if not byte_identical:
+        print("FAIL: service result differs from direct CLI stdout",
+              file=sys.stderr)
+        return 1
+    if dup_speedup < MIN_DUP_SPEEDUP:
+        print(f"FAIL: duplicate-request speedup {dup_speedup:.2f}x is "
+              f"below the {MIN_DUP_SPEEDUP:.1f}x floor — dedup is "
+              f"re-executing", file=sys.stderr)
+        return 1
+    if throughput < min_rps:
+        print(f"FAIL: mixed-workload throughput {throughput:.2f} req/s is "
+              f"below the {min_rps:.1f} req/s floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# CI smoke: real processes, SIGTERM teardown
+# ---------------------------------------------------------------------------
+
+
+def _spawn(code: List[str], env: Dict[str, str],
+           argv: Optional[List[str]] = None) -> subprocess.Popen:
+    script = "; ".join(code)
+    return subprocess.Popen([sys.executable, "-c", script] + (argv or []),
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            env=env, text=True)
+
+
+def run_ci_smoke() -> int:
+    """Boot API + 2 workers as real processes; 50 requests, 25 dupes."""
+    _ensure_imports()
+    from repro.serve.client import ServiceClient
+
+    tmp = tempfile.mkdtemp(prefix="repro-service-ci-")
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+               REPRO_SERVE_DIR=os.path.join(tmp, "serve"),
+               REPRO_CACHE_DIR=os.path.join(tmp, "cache"))
+    procs: List[subprocess.Popen] = []
+    try:
+        server = _spawn(["import sys",
+                         "from repro.cli import main_serve",
+                         "sys.exit(main_serve(['--port', '0']))"], env)
+        procs.append(server)
+        line = server.stdout.readline().strip()
+        if not line.startswith("listening on "):
+            print(f"FAIL: server did not report its URL: {line!r}",
+                  file=sys.stderr)
+            return 1
+        url = line[len("listening on "):]
+        client = ServiceClient(url)
+
+        workers = [
+            _spawn(["import sys",
+                    "from repro.cli import main_worker",
+                    f"sys.exit(main_worker(['--id', 'ci-w{index}', "
+                    f"'--poll', '0.05']))"], env)
+            for index in range(2)
+        ]
+        procs.extend(workers)
+
+        # 25 unique requests: tool/param variants plus corpus overlays.
+        uniques: List[Dict[str, Any]] = [
+            {"tool": "demo", "params": {}},
+            {"tool": "condocck", "params": {}},
+            {"tool": "study", "params": {}},
+            {"tool": "extract", "params": {"list": True}},
+        ] + [{"tool": "extract", "params": {"jobs": jobs}}
+             for jobs in (1, 2, 3, 4)]
+        for index in range(25 - len(uniques)):
+            corpus_id = client.upload_corpus(
+                {"zz_ci.c": f"/* ci overlay {index} */\n"
+                            f"static int zz_ci_{index};\n"})
+            uniques.append({"tool": "condocck", "params": {},
+                            "corpus": corpus_id})
+        assert len(uniques) == 25
+
+        # 50 submissions, each unique request twice = 25 duplicates.
+        run_ids = []
+        for request in uniques * 2:
+            row = client.submit(request["tool"], request["params"],
+                                corpus=request.get("corpus"))
+            run_ids.append(row["run"]["run_id"])
+        for run_id in dict.fromkeys(run_ids):
+            client.wait_done(run_id, timeout=180)
+
+        stats = client.stats()
+        done = stats["by_status"].get("done", 0)
+        print(f"ci-smoke: {stats['submits']} submissions, "
+              f"{stats['runs']} runs ({done} done), dedup ratio "
+              f"{stats['dedup_ratio']:.3f}")
+        if stats["dedup_ratio"] < 0.5:
+            print(f"FAIL: dedup ratio {stats['dedup_ratio']:.3f} < 0.5",
+                  file=sys.stderr)
+            return 1
+        if done != stats["runs"] or stats["runs"] != 25:
+            print(f"FAIL: expected 25 done runs, got {done}/{stats['runs']}",
+                  file=sys.stderr)
+            return 1
+
+        # Result equivalence vs the direct CLI, via real subprocesses:
+        # byte-identical stdout, and manifests that `repro-runs diff`
+        # calls equivalent.
+        probe = next(row for row in
+                     (client.run(run_id) for run_id in dict.fromkeys(run_ids))
+                     if row["tool"] == "extract"
+                     and row["params"] == {"jobs": 1})
+        service_out = client.result_bytes(probe["run_id"]).decode("utf-8")
+        service_manifest = os.path.join(tmp, "service-manifest.json")
+        with open(service_manifest, "w", encoding="utf-8") as fh:
+            json.dump(client.manifest(probe["run_id"]), fh)
+
+        direct_manifest = os.path.join(tmp, "direct-manifest.json")
+        direct = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main_extract; "
+             "sys.exit(main_extract(sys.argv[1:]))",
+             "--jobs", "1", "--manifest", direct_manifest],
+            capture_output=True, env=env, text=True, timeout=300)
+        if direct.returncode != 0:
+            print(f"FAIL: direct CLI run failed: {direct.stderr}",
+                  file=sys.stderr)
+            return 1
+        if direct.stdout != service_out:
+            print("FAIL: service result differs from direct CLI stdout",
+                  file=sys.stderr)
+            return 1
+        diff = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main_runs; "
+             "sys.exit(main_runs(sys.argv[1:]))",
+             "diff", direct_manifest, service_manifest],
+            capture_output=True, env=env, text=True, timeout=60)
+        print(diff.stdout.strip())
+        if diff.returncode != 0:
+            print("FAIL: repro-runs diff says the service run and the "
+                  "direct CLI run are NOT equivalent", file=sys.stderr)
+            return 1
+
+        # SIGTERM teardown: the signal handlers sweep pools/arenas and
+        # re-deliver, so every process dies by SIGTERM, cleanly.
+        for proc in procs:
+            proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            proc.wait(timeout=30)
+        print("ci-smoke: OK (dedup >= 0.5, 25/25 done, byte-identical, "
+              "manifests equivalent, clean SIGTERM teardown)")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+def test_service_perf():
+    """Pytest entry: smoke thresholds, isolated cache dir."""
+    from conftest import emit
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        old = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache")
+        try:
+            assert run_benchmark(smoke=True, emit_fn=emit) == 0
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = old
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the serving layer: duplicate-request "
+                    "latency, mixed-workload throughput, byte identity "
+                    "with the CLI.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller workload, relaxed throughput floor "
+                             "(the CI verify mode)")
+    parser.add_argument("--ci-smoke", action="store_true",
+                        help="boot real repro-serve/repro-worker processes "
+                             "and run the CI service smoke (50 requests, "
+                             "25 duplicates, SIGTERM teardown)")
+    args = parser.parse_args(argv)
+
+    if args.ci_smoke:
+        return run_ci_smoke()
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        os.environ.setdefault("REPRO_CACHE_DIR", os.path.join(tmp, "cache"))
+        return run_benchmark(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

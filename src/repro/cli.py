@@ -7,6 +7,9 @@
 - ``repro-study``       print the study tables (Tables 1-4) and mining stats
 - ``repro-demo``        run the executable Figure 1/2 demonstrations
 - ``repro-runs``        inspect and diff run manifests
+- ``repro-serve``       boot the HTTP API over the runs queue
+- ``repro-worker``      claim queued runs and execute them
+- ``repro-submit``      submit one request to a running service
 
 Every command takes the shared observability flags (``--trace``,
 ``--chrome-trace``, ``--manifest``); results stay on stdout while
@@ -18,6 +21,7 @@ tool always yields machine-parseable output.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Any, List, Optional
@@ -602,6 +606,11 @@ def main_runs(argv: Optional[List[str]] = None) -> int:
               f"digest={digest[:12] if digest else None}")
         if report.get("summary"):
             print(f"summary:     {report['summary']}")
+        run = manifest.get("run")
+        if run:
+            print(f"run:         {run.get('id', '')[:16]} "
+                  f"(worker {run.get('worker')}, "
+                  f"attempt {run.get('attempt')})")
         campaign = manifest.get("campaign")
         if campaign:
             hits = campaign.get("snapshot_hits", 0)
@@ -626,6 +635,203 @@ def main_runs(argv: Optional[List[str]] = None) -> int:
     b = load_manifest(args.b)
     print(render_diff(a, b))
     return 0 if manifests_equivalent(diff_manifests(a, b)) else 1
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    """The shared service-location flags (``--db``/``--data-dir``)."""
+    parser.add_argument("--data-dir", metavar="DIR", default=None,
+                        help="service data directory: queue database, "
+                             "corpus snapshots, run manifests (default: "
+                             "$REPRO_SERVE_DIR or ~/.cache/repro/serve)")
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="queue database file (default: "
+                             "<data-dir>/service.db)")
+
+
+def _service_paths(args: argparse.Namespace) -> tuple:
+    data_dir = (args.data_dir
+                or os.environ.get("REPRO_SERVE_DIR", "").strip()
+                or os.path.join(os.path.expanduser("~"), ".cache",
+                                "repro", "serve"))
+    db_path = args.db or os.path.join(data_dir, "service.db")
+    return db_path, data_dir
+
+
+def main_serve(argv: Optional[List[str]] = None) -> int:
+    """``repro-serve``: boot the HTTP API over the runs queue."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the dependency-analysis HTTP API: accept corpus "
+                    "uploads and extraction/checker/campaign requests, "
+                    "enqueue them with content-keyed dedup, and hand them "
+                    "to repro-worker processes.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8675,
+                        help="listen port (0 = pick a free port; the "
+                             "resolved URL is printed on stdout)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    _add_service_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.perf.procpool import install_signal_cleanup
+    from repro.serve.api import Service
+
+    db_path, data_dir = _service_paths(args)
+    install_signal_cleanup()
+    service = Service((args.host, args.port), db_path, data_dir,
+                      verbose=args.verbose)
+    # stdout, not stderr: scripts parse the resolved URL (port 0).
+    print(f"listening on {service.url}", flush=True)
+    _status(f"queue database: {db_path}")
+    _status(f"data directory: {data_dir}")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        _status("shutting down")
+    finally:
+        service.server_close()
+    return 0
+
+
+def main_worker(argv: Optional[List[str]] = None) -> int:
+    """``repro-worker``: claim queued runs and execute them."""
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Run one queue worker: claim batches of compatible "
+                    "runs, execute them on the warm pipeline (procpool+shm "
+                    "under --backend process), and record obs manifests as "
+                    "the run records.",
+    )
+    parser.add_argument("--id", default=None,
+                        help="worker identity recorded in claims and "
+                             "manifests (default: host:pid)")
+    parser.add_argument("--batch", type=int,
+                        default=None, metavar="N",
+                        help="max compatible runs claimed per wave "
+                             "(default: $REPRO_SERVE_BATCH or 8)")
+    parser.add_argument("--lease", type=float, default=None, metavar="SEC",
+                        help="claim lease seconds; a worker that stops "
+                             "renewing loses its claims after this long "
+                             "(default 120)")
+    parser.add_argument("--poll", type=float, default=None, metavar="SEC",
+                        help="idle queue poll interval (default 0.2)")
+    parser.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after N jobs (default: run forever)")
+    parser.add_argument("--once", action="store_true",
+                        help="claim and execute at most one batch, then exit")
+    _add_service_args(parser)
+    args = parser.parse_args(argv)
+
+    from repro.perf.procpool import install_signal_cleanup
+    from repro.serve import worker as serve_worker
+
+    db_path, data_dir = _service_paths(args)
+    install_signal_cleanup()
+    kwargs = {}
+    if args.batch is not None:
+        kwargs["batch_limit"] = args.batch
+    elif os.environ.get("REPRO_SERVE_BATCH", "").strip():
+        kwargs["batch_limit"] = int(os.environ["REPRO_SERVE_BATCH"])
+    if args.lease is not None:
+        kwargs["lease_seconds"] = args.lease
+    if args.poll is not None:
+        kwargs["poll_seconds"] = args.poll
+    worker = serve_worker.Worker(db_path, data_dir, worker_id=args.id,
+                                 **kwargs)
+    _status(f"worker {worker.worker_id} polling {db_path}")
+    try:
+        if args.once:
+            ran = worker.run_once()
+        else:
+            ran = worker.run_forever(max_jobs=args.max_jobs)
+    except KeyboardInterrupt:
+        ran = worker.jobs_done + worker.jobs_failed
+        _status("interrupted")
+    _status(f"worker {worker.worker_id}: {worker.jobs_done} done, "
+            f"{worker.jobs_failed} failed in {worker.batches} batch(es)")
+    return 0 if ran or not worker.jobs_failed else 1
+
+
+def main_submit(argv: Optional[List[str]] = None) -> int:
+    """``repro-submit``: submit one request and (optionally) await it."""
+    parser = argparse.ArgumentParser(
+        prog="repro-submit",
+        description="Submit one request to a running repro-serve instance; "
+                    "the run's output bytes land on stdout, status lines "
+                    "on stderr.",
+    )
+    parser.add_argument("tool",
+                        help="tool to run (extract, condocck, conhandleck, "
+                             "conbugck, study, demo)")
+    parser.add_argument("--url", default="http://127.0.0.1:8675",
+                        help="service base URL")
+    parser.add_argument("--params", metavar="JSON", default=None,
+                        help='request params as a JSON object, e.g. '
+                             '\'{"jobs": 2, "solver": "sparse"}\'')
+    parser.add_argument("--corpus", metavar="ID", default=None,
+                        help="corpus snapshot id from a prior upload")
+    parser.add_argument("--upload", metavar="FILE", action="append",
+                        default=None,
+                        help="corpus unit to upload as an overlay before "
+                             "submitting (repeatable; basename is the "
+                             "unit name)")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="enqueue and print the run id without waiting")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for completion (default 300)")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="also fetch the run manifest to PATH")
+    args = parser.parse_args(argv)
+
+    import json as json_mod
+
+    from repro.serve.client import ServiceClient, ServiceError
+
+    try:
+        params = json_mod.loads(args.params) if args.params else {}
+    except ValueError as exc:
+        _status(f"repro-submit: --params is not valid JSON: {exc}")
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        corpus_id = args.corpus
+        if args.upload:
+            files = {}
+            for path in args.upload:
+                with open(path, encoding="utf-8") as handle:
+                    files[os.path.basename(path)] = handle.read()
+            corpus_id = client.upload_corpus(files)
+            _status(f"uploaded corpus snapshot {corpus_id}")
+        submitted = client.submit(args.tool, params, corpus=corpus_id)
+        run = submitted["run"]
+        dedup = " (deduplicated)" if submitted["deduplicated"] else ""
+        _status(f"run {run['run_id'][:16]} [{run['status']}]{dedup}")
+        if args.no_wait:
+            print(run["run_id"])
+            return 0
+        run = client.wait_done(run["run_id"], timeout=args.timeout)
+        output = client.result_bytes(run["run_id"])
+        sys.stdout.write(output.decode("utf-8"))
+        sys.stdout.flush()
+        if args.manifest:
+            manifest = client.manifest(run["run_id"])
+            with open(args.manifest, "w", encoding="utf-8") as handle:
+                json_mod.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            _status(f"wrote run manifest to {args.manifest}")
+        exit_code = int(run["result"].get("exit_code", 0))
+        _status(f"run {run['run_id'][:16]} done "
+                f"(exit {exit_code}, "
+                f"{run['result'].get('wall_seconds', 0):.3f}s worker wall)")
+        return exit_code
+    except ServiceError as exc:
+        _status(f"repro-submit: {exc}")
+        return 3
+    except OSError as exc:
+        _status(f"repro-submit: {exc}")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation aid

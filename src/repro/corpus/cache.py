@@ -84,12 +84,29 @@ ANALYSIS_SCHEMA = 1
 
 @dataclass
 class DiskCacheStats:
-    """Per-process tallies of disk-cache traffic."""
+    """Per-process tallies of disk-cache traffic.
+
+    Increment through :meth:`tally`: a bare ``stats.hits += 1`` is a
+    read-modify-write that loses updates under thread concurrency (API
+    threads and in-process workers share these objects), while the
+    locked tally keeps ``hits + misses + errors`` equal to the number
+    of loads no matter the interleaving.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+
+    def tally(self, field: str, amount: int = 1) -> None:
+        """Atomically add to one tally field."""
+        with _STATS_LOCK:
+            setattr(self, field, getattr(self, field) + amount)
+
+
+#: One lock for every stats object: increments are rare relative to
+#: the file I/O around them, and sharing keeps the dataclass flat.
+_STATS_LOCK = threading.Lock()
 
 
 _STATS = DiskCacheStats()
@@ -149,12 +166,12 @@ def load_module(key: str) -> Optional[Module]:
             with open(path, "rb") as handle:
                 module = pickle.load(handle)
     except FileNotFoundError:
-        _STATS.misses += 1
+        _STATS.tally("misses")
         bump("cache.disk.miss")
         return None
     except Exception:
         # A torn or version-skewed entry: drop it and recompile.
-        _STATS.errors += 1
+        _STATS.tally("errors")
         bump("cache.disk.error")
         try:
             os.remove(path)
@@ -162,10 +179,10 @@ def load_module(key: str) -> Optional[Module]:
             pass
         return None
     if not isinstance(module, Module):
-        _STATS.errors += 1
+        _STATS.tally("errors")
         bump("cache.disk.error")
         return None
-    _STATS.hits += 1
+    _STATS.tally("hits")
     bump("cache.disk.hit")
     return module
 
@@ -194,10 +211,10 @@ def store_module(key: str, module: Module) -> bool:
                     pass
                 raise
     except Exception:
-        _STATS.errors += 1
+        _STATS.tally("errors")
         bump("cache.disk.error")
         return False
-    _STATS.stores += 1
+    _STATS.tally("stores")
     bump("cache.disk.store")
     return True
 
@@ -345,11 +362,11 @@ def load_analysis_with_blob(key: str) -> Optional[Tuple[Tuple[Any, Any], bytes]]
                 blob = handle.read()
             pair = codec.loads(blob)
     except FileNotFoundError:
-        _AN_STATS.misses += 1
+        _AN_STATS.tally("misses")
         bump("cache.an.miss")
         return None
     except Exception:
-        _AN_STATS.errors += 1
+        _AN_STATS.tally("errors")
         bump("cache.an.error")
         try:
             os.remove(path)
@@ -357,10 +374,10 @@ def load_analysis_with_blob(key: str) -> Optional[Tuple[Tuple[Any, Any], bytes]]
             pass
         return None
     if not (isinstance(pair, tuple) and len(pair) == 2):
-        _AN_STATS.errors += 1
+        _AN_STATS.tally("errors")
         bump("cache.an.error")
         return None
-    _AN_STATS.hits += 1
+    _AN_STATS.tally("hits")
     bump("cache.an.hit")
     return pair, blob
 
@@ -378,7 +395,7 @@ def store_analysis(key: str, state: Any, findings: Any) -> bool:
     try:
         blob = codec.dumps((state, findings))
     except Exception:
-        _AN_STATS.errors += 1
+        _AN_STATS.tally("errors")
         bump("cache.an.error")
         return False
     return store_analysis_blob(key, blob)
@@ -409,10 +426,10 @@ def store_analysis_blob(key: str, blob: bytes) -> bool:
                     pass
                 raise
     except Exception:
-        _AN_STATS.errors += 1
+        _AN_STATS.tally("errors")
         bump("cache.an.error")
         return False
-    _AN_STATS.stores += 1
+    _AN_STATS.tally("stores")
     bump("cache.an.store")
     return True
 
@@ -522,29 +539,55 @@ def merge_pending(records: Dict[str, Dict[str, Dict[str, Any]]]) -> None:
             _GRAPH_PENDING.setdefault(unit, {}).update(fns)
 
 
-def flush_graph() -> None:
+#: Bounded-retry policy for the graph flush: attempts and the base
+#: backoff (doubled per retry), overridable for tests.
+FLUSH_ATTEMPTS = 5
+FLUSH_BACKOFF_SECONDS = 0.01
+
+
+def flush_graph(attempts: Optional[int] = None,
+                backoff: Optional[float] = None) -> bool:
     """Merge queued records into the on-disk graph (last write wins).
 
     The read-merge-write runs under an advisory file lock so two
-    concurrent CLI invocations cannot drop each other's batches.
-    Failures are non-fatal — the graph is an eager-pruning accelerator
-    and an inspection artifact, not a correctness dependency (keys are
-    content-derived).
+    concurrent CLI invocations cannot drop each other's batches.  A
+    long-lived service multiplies the contention — many workers share
+    one analysis store — so a failed flush **retries with exponential
+    backoff** (``FLUSH_ATTEMPTS`` tries) and, if every attempt fails,
+    **re-queues** its pending records instead of dropping them: the
+    next flush in this process carries them forward.  Failures stay
+    non-fatal — the graph is an eager-pruning accelerator and an
+    inspection artifact, not a correctness dependency (keys are
+    content-derived).  Returns True when the merge landed on disk.
     """
+    import time as _time
+
+    attempts = FLUSH_ATTEMPTS if attempts is None else max(1, attempts)
+    backoff = FLUSH_BACKOFF_SECONDS if backoff is None else backoff
     with _GRAPH_LOCK:
         if not _GRAPH_PENDING or not disk_cache_enabled():
             _GRAPH_PENDING.clear()
-            return
+            return False
         pending = {unit: dict(fns) for unit, fns in _GRAPH_PENDING.items()}
         _GRAPH_PENDING.clear()
-    try:
-        with span("cache.an.graph.flush"), _graph_file_lock():
-            units = _load_graph()
-            for unit, fns in pending.items():
-                units.setdefault(unit, {}).update(fns)
-            _write_graph(units)
-    except Exception:
-        bump("cache.an.error")
+    for attempt in range(attempts):
+        try:
+            with span("cache.an.graph.flush"), _graph_file_lock():
+                units = _load_graph()
+                for unit, fns in pending.items():
+                    units.setdefault(unit, {}).update(fns)
+                _write_graph(units)
+            return True
+        except Exception:
+            bump("cache.an.graph.retry")
+            if attempt + 1 < attempts:
+                _time.sleep(backoff * (2 ** attempt))
+    # Every attempt failed: keep the records for the next flush rather
+    # than silently losing the invalidation edges they carry.
+    merge_pending(pending)
+    bump("cache.an.graph.requeued")
+    bump("cache.an.error")
+    return False
 
 
 def _graph_file_lock():

@@ -28,7 +28,11 @@ from repro.obs.schema import load_schema, validate
 #: Bump when the manifest layout changes.
 #: v2: optional ``campaign`` section (sampler identity, shard count and
 #: timings, snapshot hit/miss ratio, streaming-campaign digest).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: optional ``run`` section (service run-record linkage: run id ==
+#: content request key, executing worker, claim attempt) written by
+#: :mod:`repro.serve.worker` so a manifest can be traced back to the
+#: queue row it records.
+MANIFEST_SCHEMA_VERSION = 3
 
 _MANIFEST_SCHEMA: Dict[str, Any] = load_schema("manifest_schema.json")
 
@@ -222,6 +226,20 @@ def diff_manifests(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
         if (sa or sb) and sa != sb:
             lines.append(f"~campaign.shard_seconds: {_span(sa)} -> "
                          f"{_span(sb)}")
+
+    # Service run-record linkage: which queue row / worker produced a
+    # manifest is execution provenance, not a result — a service run
+    # and a direct CLI run of the same request must diff as equivalent
+    # (the CI service smoke asserts exactly that), so every ``run``
+    # field is informational (~) drift.
+    ua, ub = a.get("run") or {}, b.get("run") or {}
+    if ua or ub:
+        for field in ("id", "request_key", "worker", "attempt"):
+            if ua.get(field) != ub.get(field):
+                va, vb = ua.get(field), ub.get(field)
+                if field in ("id", "request_key"):
+                    va, vb = _short(va), _short(vb)
+                lines.append(f"~run.{field}: {va} -> {vb}")
 
     # Informational drift: never makes the runs "different", but often
     # explains a perf question at a glance.

@@ -98,10 +98,17 @@ class SnapshotCache:
         :class:`ReproError` on rejection).  Every call returns an
         independent device — mutating it never leaks into the cache.
         """
+        # Tally under the entry lock: ``+=`` on a shared int is a
+        # read-modify-write, and concurrent checker threads sharing one
+        # cache could lose increments — hits + misses must equal calls
+        # for per-instance stats (and the service counters) to add up.
         with self._lock:
             entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
         if entry is not None:
-            self.hits += 1
             bump("campaign.snapshot.hit")
             if entry.error is not None:
                 raise entry.error
@@ -111,7 +118,6 @@ class SnapshotCache:
             for blockno, data in entry.chunks:
                 dev.write_bytes(blockno * bs, data)
             return dev
-        self.misses += 1
         bump("campaign.snapshot.miss")
         dev = BlockDevice(num_blocks, block_size, track_io=track_io)
         try:
@@ -149,10 +155,17 @@ class SnapshotCache:
         campaign block sizes — and accounting is always off
         (``track_io=False``), which campaign drivers never read.
         """
+        # Tally under the entry lock: ``+=`` on a shared int is a
+        # read-modify-write, and concurrent checker threads sharing one
+        # cache could lose increments — hits + misses must equal calls
+        # for per-instance stats (and the service counters) to add up.
         with self._lock:
             entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
         if entry is not None:
-            self.hits += 1
             bump("campaign.snapshot.hit")
             if entry.error is not None:
                 raise entry.error
@@ -167,7 +180,6 @@ class SnapshotCache:
                 entry.flat = flat
             return BlockDevice.from_snapshot(flat, entry.block_size,
                                              track_io=False)
-        self.misses += 1
         bump("campaign.snapshot.miss")
         dev = BlockDevice(num_blocks, block_size, track_io=False)
         try:

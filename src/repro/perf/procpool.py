@@ -28,9 +28,12 @@ run.  This pool puts those phases on real cores:
 - **result arena** — the pool owns a shared-memory arena directory;
   workers write encoded results there under ``REPRO_TRANSPORT=shm``
   and the parent decodes lazily through :attr:`ProcessPool.reader`.
-  Every retirement path — normal shutdown, ``atexit``, and the
-  :class:`ProcessPoolError` raised when a worker dies — unlinks every
-  segment the pool created, so crashes cannot leak arena files;
+  Every retirement path — normal shutdown, ``atexit``, the
+  :class:`ProcessPoolError` raised when a worker dies, and (for
+  long-lived service processes that call
+  :func:`install_signal_cleanup`) SIGINT/SIGTERM — unlinks every
+  segment the pool created, so crashes and interrupts cannot leak
+  arena files;
 - **span handoff** — when tracing is enabled, each worker runs its task
   under a fresh :class:`~repro.obs.tracer.Tracer`, ships the finished
   spans back with the result, and the parent grafts them under the span
@@ -493,6 +496,10 @@ def get_pool(jobs: Optional[int] = None, warm: bool = True) -> ProcessPool:
     with _POOLS_LOCK:
         pool = _POOLS.get(key)
         if pool is not None and pool.alive():
+            # The serving layer's cross-job reuse metric: a warm wave
+            # of compatible requests should count one create and many
+            # reuses, never a respawn per job.
+            bump("procpool.reused")
             return pool
         # Retire every other configuration: workers with a stale
         # environment can only produce stale answers.
@@ -501,6 +508,7 @@ def get_pool(jobs: Optional[int] = None, warm: bool = True) -> ProcessPool:
         _POOLS.clear()
         pool = ProcessPool(resolved)
         _POOLS[key] = pool
+        bump("procpool.created")
     if warm:
         pool.warm()
     return pool
@@ -516,3 +524,48 @@ def shutdown_pools() -> None:
 
 
 atexit.register(shutdown_pools)
+
+
+#: Whether :func:`install_signal_cleanup` already ran in this process.
+_SIGNALS_INSTALLED = False
+
+
+def install_signal_cleanup() -> bool:
+    """Sweep pools (and their arena segments) on SIGINT/SIGTERM too.
+
+    ``atexit`` covers normal interpreter exit and the worker-death
+    error path covers crashes, but a long-lived service worker stopped
+    with SIGTERM (or a ^C that unwinds past the atexit machinery) used
+    to leave its mmap arena files behind.  The installed handler shuts
+    every pool down — unlinking every segment — then re-delivers the
+    signal through the previous handler (or the default action), so
+    process semantics (exit status, KeyboardInterrupt) are preserved.
+
+    Must run on the main thread (CPython restricts ``signal.signal``).
+    Idempotent; returns False when the handlers were already installed.
+    Called by the ``repro-serve``/``repro-worker`` entry points — plain
+    CLI runs are short-lived and keep the lighter atexit-only story.
+    """
+    global _SIGNALS_INSTALLED
+    if _SIGNALS_INSTALLED:
+        return False
+    import signal
+
+    def _install(sig: int) -> None:
+        previous = signal.getsignal(sig)
+
+        def _handler(signum, frame):
+            shutdown_pools()
+            if callable(previous) and previous not in (
+                    signal.SIG_IGN, signal.SIG_DFL):
+                previous(signum, frame)
+            else:
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+
+        signal.signal(sig, _handler)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        _install(sig)
+    _SIGNALS_INSTALLED = True
+    return True

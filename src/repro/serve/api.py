@@ -1,0 +1,270 @@
+"""The service HTTP API (stdlib ``ThreadingHTTPServer``, no new deps).
+
+Routes (all JSON unless noted):
+
+- ``GET  /healthz``                 liveness probe
+- ``GET  /v1/stats``                queue depth by state + dedup tallies
+- ``POST /v1/runs``                 submit ``{"tool", "params", "corpus"}``
+  → 201 with the new run, or 200 with the existing run when the
+  content key deduplicated the request (``deduplicated: true``)
+- ``GET  /v1/runs``                 recent runs (``?status=``, ``?limit=``)
+- ``GET  /v1/runs/<id>``            one run; ``?wait=<seconds>`` long-polls
+  until the run reaches ``done``/``failed`` (or the wait lapses)
+- ``GET  /v1/runs/<id>/result``     the run's output bytes
+  (``text/plain``; byte-identical to the CLI's stdout) — 409 until done
+- ``GET  /v1/runs/<id>/manifest``   the run's obs manifest (the run record)
+- ``POST /v1/corpus``               upload ``{"files": {name: source}}``
+  → content-addressed corpus snapshot id for later submissions
+
+The API never executes jobs; it validates requests at the door
+(against the :mod:`repro.serve.worker` tool registry), keys them
+(:mod:`repro.serve.keys`), and enqueues.  Workers — separate
+processes, possibly separate machines sharing the database file's
+filesystem — do the computing.  That split is what lets the service
+absorb submission bursts: enqueue is a millisecond-scale SQLite
+insert regardless of how long the work itself takes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.db import DONE, FAILED, STATES, CorpusStore, QueueError, RunQueue
+from repro.serve.worker import RequestError, submit_request
+
+#: Cap on long-poll waits so a stuck client cannot pin an API thread.
+MAX_WAIT_SECONDS = 60.0
+
+#: Seconds between run-row re-reads while long-polling.
+_WAIT_POLL_SECONDS = 0.05
+
+#: Upload size cap (corpus sources are tens of KB; 8 MB is generous).
+MAX_BODY_BYTES = 8 << 20
+
+
+def _public_run(run: Dict[str, Any]) -> Dict[str, Any]:
+    """The externally visible shape of one run row."""
+    out = {key: run.get(key) for key in (
+        "run_id", "tool", "params", "engine", "corpus_id", "status",
+        "submits", "attempts", "created", "finished", "error")}
+    result = run.get("result")
+    if result is not None:
+        out["result"] = {key: value for key, value in result.items()
+                         if key != "output"}
+    return out
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Request dispatch over the queue/store the server carries."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    @property
+    def queue(self) -> RunQueue:
+        return self.server.queue  # type: ignore[attr-defined]
+
+    @property
+    def store(self) -> CorpusStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # quiet by default
+            super().log_message(format, *args)
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, payload: Any) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send(code, body, "application/json; charset=utf-8")
+
+    def _error(self, code: int, message: str) -> None:
+        self._json(code, {"error": message})
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body too large ({length} bytes)")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw or b"{}")
+        except ValueError:
+            self._error(400, "body is not valid JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "body must be a JSON object")
+            return None
+        return payload
+
+    def _route(self) -> Tuple[str, Dict[str, Any]]:
+        parsed = urlparse(self.path)
+        query = {key: values[-1]
+                 for key, values in parse_qs(parsed.query).items()}
+        return parsed.path.rstrip("/") or "/", query
+
+    # -- GET ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        path, query = self._route()
+        if path == "/healthz":
+            self._json(200, {"ok": True, "time": time.time()})
+            return
+        if path == "/v1/stats":
+            self._json(200, self.queue.stats())
+            return
+        if path == "/v1/runs":
+            status = query.get("status")
+            if status is not None and status not in STATES:
+                self._error(400, f"unknown status {status!r}")
+                return
+            limit = min(int(query.get("limit", 100)), 1000)
+            runs = self.queue.list_runs(status=status, limit=limit)
+            self._json(200, {"runs": [_public_run(run) for run in runs]})
+            return
+        parts = path.split("/")
+        if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "runs":
+            run_id = parts[3]
+            run = self._wait_for(run_id, query)
+            if run is None:
+                self._error(404, f"unknown run {run_id!r}")
+                return
+            if len(parts) == 4:
+                self._json(200, _public_run(run))
+                return
+            if len(parts) == 5 and parts[4] == "result":
+                self._send_result(run)
+                return
+            if len(parts) == 5 and parts[4] == "manifest":
+                self._send_manifest(run)
+                return
+        self._error(404, f"no route {path!r}")
+
+    def _wait_for(self, run_id: str,
+                  query: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The run row, long-polled to a terminal state when asked."""
+        run = self.queue.get(run_id)
+        try:
+            wait = min(float(query.get("wait", 0)), MAX_WAIT_SECONDS)
+        except ValueError:
+            wait = 0.0
+        deadline = time.monotonic() + wait
+        while (run is not None and wait > 0
+               and run["status"] not in (DONE, FAILED)
+               and time.monotonic() < deadline):
+            time.sleep(_WAIT_POLL_SECONDS)
+            run = self.queue.get(run_id)
+        return run
+
+    def _send_result(self, run: Dict[str, Any]) -> None:
+        if run["status"] != DONE or not isinstance(run.get("result"), dict):
+            self._error(409, f"run is {run['status']}, result not available")
+            return
+        body = run["result"].get("output", "").encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Repro-Exit-Code",
+                         str(run["result"].get("exit_code", 0)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_manifest(self, run: Dict[str, Any]) -> None:
+        path = run.get("manifest_path")
+        if run["status"] != DONE or not path or not os.path.exists(path):
+            self._error(409, f"run is {run['status']}, manifest not available")
+            return
+        with open(path, "rb") as handle:
+            body = handle.read()
+        self._send(200, body, "application/json; charset=utf-8")
+
+    # -- POST -----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        path, _query = self._route()
+        body = self._read_body()
+        if body is None:
+            return
+        if path == "/v1/runs":
+            self._submit(body)
+            return
+        if path == "/v1/corpus":
+            self._upload_corpus(body)
+            return
+        self._error(404, f"no route {path!r}")
+
+    def _submit(self, body: Dict[str, Any]) -> None:
+        tool = body.get("tool")
+        params = body.get("params") or {}
+        corpus_id = body.get("corpus")
+        if not isinstance(tool, str):
+            self._error(400, "missing tool name")
+            return
+        if not isinstance(params, dict):
+            self._error(400, "params must be an object")
+            return
+        try:
+            run, created = submit_request(self.queue, self.store, tool,
+                                          params, corpus_id=corpus_id)
+        except (RequestError, QueueError) as exc:
+            self._error(400, str(exc))
+            return
+        self._json(201 if created else 200,
+                   {"run": _public_run(run), "deduplicated": not created})
+
+    def _upload_corpus(self, body: Dict[str, Any]) -> None:
+        files = body.get("files")
+        if (not isinstance(files, dict) or not files
+                or not all(isinstance(k, str) and isinstance(v, str)
+                           for k, v in files.items())):
+            self._error(400, "files must map filename -> source text")
+            return
+        try:
+            corpus_id = self.store.add(files)
+        except QueueError as exc:
+            self._error(400, str(exc))
+            return
+        self._json(201, {"corpus": corpus_id,
+                         "files": sorted(files)})
+
+
+class Service(ThreadingHTTPServer):
+    """The HTTP front end bound to one queue + corpus store."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], db_path: str,
+                 data_dir: str, verbose: bool = False) -> None:
+        super().__init__(address, ServiceHandler)
+        self.queue = RunQueue(db_path)
+        self.store = CorpusStore(data_dir)
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_in_thread(db_path: str, data_dir: str,
+                    host: str = "127.0.0.1", port: int = 0,
+                    ) -> Tuple[Service, threading.Thread]:
+    """Boot a service on a background thread (tests and benchmarks)."""
+    service = Service((host, port), db_path, data_dir)
+    thread = threading.Thread(target=service.serve_forever,
+                              name="repro-serve", daemon=True)
+    thread.start()
+    return service, thread

@@ -1,0 +1,128 @@
+"""Stdlib HTTP client for the service (``repro-submit``, benches, CI).
+
+Thin by design: every method is one request, JSON in / JSON out, with
+:meth:`ServiceClient.wait` layering the long-poll loop on top.  Errors
+surface as :class:`ServiceError` carrying the HTTP status and the
+server's ``error`` message, so callers never parse HTML tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.serve.db import DONE, FAILED
+
+
+class ServiceError(RuntimeError):
+    """An HTTP request to the service failed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", "")
+            except ValueError:
+                message = detail.decode("utf-8", "replace")[:200]
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {url}: {exc.reason}") \
+                from None
+        return body if raw else json.loads(body)
+
+    # -- API ------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, tool: str, params: Optional[Dict[str, Any]] = None,
+               corpus: Optional[str] = None) -> Dict[str, Any]:
+        """Submit one request; returns ``{"run": ..., "deduplicated": ...}``."""
+        body: Dict[str, Any] = {"tool": tool, "params": params or {}}
+        if corpus is not None:
+            body["corpus"] = corpus
+        return self._request("POST", "/v1/runs", body)
+
+    def run(self, run_id: str, wait: Optional[float] = None) -> Dict[str, Any]:
+        """One run row; ``wait`` long-polls toward a terminal state."""
+        path = f"/v1/runs/{run_id}"
+        if wait:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    def runs(self, status: Optional[str] = None,
+             limit: int = 100) -> List[Dict[str, Any]]:
+        path = f"/v1/runs?limit={limit}"
+        if status:
+            path += f"&status={status}"
+        return self._request("GET", path)["runs"]
+
+    def result_bytes(self, run_id: str) -> bytes:
+        """The run's output, byte-identical to the CLI's stdout."""
+        return self._request("GET", f"/v1/runs/{run_id}/result", raw=True)
+
+    def manifest(self, run_id: str) -> Dict[str, Any]:
+        """The run's obs manifest (the run record)."""
+        return self._request("GET", f"/v1/runs/{run_id}/manifest")
+
+    def upload_corpus(self, files: Dict[str, str]) -> str:
+        """Upload a corpus overlay; returns the snapshot id."""
+        return self._request("POST", "/v1/corpus", {"files": files})["corpus"]
+
+    # -- composite helpers ---------------------------------------------
+
+    def wait_done(self, run_id: str, timeout: float = 120.0) -> Dict[str, Any]:
+        """Long-poll one run to ``done``; ServiceError on fail/timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(0, f"run {run_id} still pending after "
+                                      f"{timeout:g}s")
+            run = self.run(run_id, wait=min(remaining, 10.0))
+            if run["status"] == DONE:
+                return run
+            if run["status"] == FAILED:
+                raise ServiceError(0, f"run {run_id} failed: {run.get('error')}")
+
+    def submit_and_wait(self, tool: str,
+                        params: Optional[Dict[str, Any]] = None,
+                        corpus: Optional[str] = None,
+                        timeout: float = 120.0) -> Dict[str, Any]:
+        """Submit, block until done, return the final run row."""
+        submitted = self.submit(tool, params, corpus=corpus)
+        return self.wait_done(submitted["run"]["run_id"], timeout=timeout)

@@ -1,0 +1,376 @@
+"""SQLite-backed ``runs`` queue and corpus snapshot store (no broker).
+
+The database *is* the queue: submitting inserts a row, workers claim
+rows inside one ``BEGIN IMMEDIATE`` transaction, and every state
+transition is a guarded ``UPDATE``.  SQLite's writer lock plus WAL
+journaling give the whole service its concurrency story — API threads
+and worker processes coordinate through the file, with no broker
+process to deploy or lose.
+
+Queue states::
+
+    queued ──claim──▶ claimed ──finish──▶ done
+       ▲                 │└─────fail────▶ failed
+       └── lease timeout ┘  (reclaim: stale claims are claimable again)
+
+**Single-flight dedup.**  ``run_id`` *is* the content key
+(:mod:`repro.serve.keys`), held ``UNIQUE``: a duplicate submission
+lands on the existing row — whatever its state — bumps its ``submits``
+tally, and returns the same run id.  Concurrent identical requests
+therefore coalesce onto one execution and all read one result; a
+duplicate of a *finished* run skips the queue entirely, which is the
+≥5x duplicate-latency floor in ``bench_service.py``.
+
+**Leases.**  A claim stamps ``claimed_by`` and ``lease_expires``; a
+worker that dies mid-job simply stops renewing, and once the lease
+lapses the row is claimable again (``attempts`` counts the tries).
+``finish``/``fail`` are guarded by ``claimed_by`` so a worker whose
+lease was reclaimed cannot clobber the reclaiming worker's result.
+
+**Batching.**  :meth:`RunQueue.claim_batch` claims the oldest eligible
+run plus up to ``limit-1`` more with the *same engine signature and
+corpus* — jobs one warm process pool and one warm memo/analysis-store
+set can serve back to back, so N small compatible requests cost one
+pool warm-up and one shared extraction instead of N.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from contextlib import closing
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Queue states.
+QUEUED = "queued"
+CLAIMED = "claimed"
+DONE = "done"
+FAILED = "failed"
+
+STATES = (QUEUED, CLAIMED, DONE, FAILED)
+
+#: Seconds a claim stays valid without renewal.
+DEFAULT_LEASE_SECONDS = 120.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id        TEXT PRIMARY KEY,   -- the content key (single-flight dedup)
+    tool          TEXT NOT NULL,
+    params        TEXT NOT NULL,      -- canonical JSON
+    engine        TEXT NOT NULL,      -- resolved engine-mode JSON
+    corpus_id     TEXT,               -- NULL = the checked-in corpus
+    status        TEXT NOT NULL,
+    submits       INTEGER NOT NULL DEFAULT 1,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    created       REAL NOT NULL,
+    claimed_by    TEXT,
+    claimed_at    REAL,
+    lease_expires REAL,
+    finished      REAL,
+    result        TEXT,               -- JSON result payload (done runs)
+    manifest_path TEXT,
+    error         TEXT
+);
+CREATE INDEX IF NOT EXISTS runs_status ON runs (status, created);
+"""
+
+
+class QueueError(RuntimeError):
+    """A queue operation could not be performed."""
+
+
+def _row_dict(row: sqlite3.Row) -> Dict[str, Any]:
+    out = dict(row)
+    for field in ("params", "engine"):
+        out[field] = json.loads(out[field])
+    if out.get("result"):
+        out["result"] = json.loads(out["result"])
+    return out
+
+
+class RunQueue:
+    """The ``runs`` table behind one SQLite file.
+
+    Every public method opens its own short-lived connection, so one
+    instance may be shared across API threads, and separate instances
+    in separate worker processes coordinate through the same file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with closing(self._connect()) as conn:
+            conn.executescript(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0,
+                               isolation_level=None)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, run_id: str, tool: str, params: Dict[str, Any],
+               engine: Dict[str, str],
+               corpus_id: Optional[str] = None) -> Tuple[Dict[str, Any], bool]:
+        """Enqueue one request; returns ``(run row, created)``.
+
+        ``created`` is False when an identical request already holds
+        the row — the dedup hit: the existing row (whatever its state)
+        comes back with its ``submits`` tally bumped.
+        """
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO runs "
+                "(run_id, tool, params, engine, corpus_id, status, created) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (run_id, tool,
+                 json.dumps(params, sort_keys=True),
+                 json.dumps(engine, sort_keys=True),
+                 corpus_id, QUEUED, now),
+            )
+            created = cursor.rowcount == 1
+            if not created:
+                conn.execute(
+                    "UPDATE runs SET submits = submits + 1 WHERE run_id = ?",
+                    (run_id,),
+                )
+            row = conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            conn.execute("COMMIT")
+        return _row_dict(row), created
+
+    # -- claiming -------------------------------------------------------
+
+    def claim_batch(self, worker: str, limit: int = 1,
+                    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                    ) -> List[Dict[str, Any]]:
+        """Atomically claim up to ``limit`` compatible runs.
+
+        Eligible rows are ``queued`` plus ``claimed`` rows whose lease
+        lapsed (their worker is presumed dead).  The batch is anchored
+        on the oldest eligible row; the rest of the batch must share
+        its engine signature and corpus so one warm pool and one warm
+        memo set serve every job in the wave.
+        """
+        now = time.time()
+        eligible = ("(status = ? OR (status = ? AND lease_expires IS NOT NULL"
+                    " AND lease_expires < ?))")
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            head = conn.execute(
+                f"SELECT * FROM runs WHERE {eligible} "
+                f"ORDER BY created, run_id LIMIT 1",
+                (QUEUED, CLAIMED, now),
+            ).fetchone()
+            if head is None:
+                conn.execute("COMMIT")
+                return []
+            rows = conn.execute(
+                f"SELECT * FROM runs WHERE {eligible} "
+                f"AND engine = ? AND corpus_id IS ? "
+                f"ORDER BY created, run_id LIMIT ?",
+                (QUEUED, CLAIMED, now, head["engine"], head["corpus_id"],
+                 max(1, limit)),
+            ).fetchall()
+            claimed = []
+            for row in rows:
+                conn.execute(
+                    "UPDATE runs SET status = ?, claimed_by = ?, "
+                    "claimed_at = ?, lease_expires = ?, "
+                    "attempts = attempts + 1 WHERE run_id = ?",
+                    (CLAIMED, worker, now, now + lease_seconds,
+                     row["run_id"]),
+                )
+                claimed.append(row["run_id"])
+            conn.execute("COMMIT")
+            out = [
+                _row_dict(conn.execute(
+                    "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+                ).fetchone())
+                for run_id in claimed
+            ]
+        return out
+
+    def renew(self, run_id: str, worker: str,
+              lease_seconds: float = DEFAULT_LEASE_SECONDS) -> bool:
+        """Extend a live claim's lease; False when no longer held."""
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE runs SET lease_expires = ? "
+                "WHERE run_id = ? AND status = ? AND claimed_by = ?",
+                (time.time() + lease_seconds, run_id, CLAIMED, worker),
+            )
+            renewed = cursor.rowcount == 1
+        return renewed
+
+    # -- completion -----------------------------------------------------
+
+    def finish(self, run_id: str, worker: str, result: Dict[str, Any],
+               manifest_path: Optional[str] = None) -> bool:
+        """Mark one claimed run done; False when the claim was lost.
+
+        The ``claimed_by`` guard means a worker whose lease was
+        reclaimed (it stalled; another worker re-ran the job) cannot
+        overwrite the reclaiming worker's result.
+        """
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE runs SET status = ?, finished = ?, result = ?, "
+                "manifest_path = ?, error = NULL "
+                "WHERE run_id = ? AND status = ? AND claimed_by = ?",
+                (DONE, time.time(), json.dumps(result, sort_keys=True),
+                 manifest_path, run_id, CLAIMED, worker),
+            )
+            finished = cursor.rowcount == 1
+        return finished
+
+    def fail(self, run_id: str, worker: str, error: str) -> bool:
+        """Mark one claimed run failed; False when the claim was lost."""
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE runs SET status = ?, finished = ?, error = ? "
+                "WHERE run_id = ? AND status = ? AND claimed_by = ?",
+                (FAILED, time.time(), error, run_id, CLAIMED, worker),
+            )
+            failed = cursor.rowcount == 1
+        return failed
+
+    # -- inspection -----------------------------------------------------
+
+    def get(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """One run row, or None."""
+        with closing(self._connect()) as conn:
+            row = conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return None if row is None else _row_dict(row)
+
+    def list_runs(self, status: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        """Recent runs, optionally filtered by status."""
+        with closing(self._connect()) as conn:
+            if status is None:
+                rows = conn.execute(
+                    "SELECT * FROM runs ORDER BY created DESC LIMIT ?",
+                    (limit,),
+                ).fetchall()
+            else:
+                rows = conn.execute(
+                    "SELECT * FROM runs WHERE status = ? "
+                    "ORDER BY created DESC LIMIT ?",
+                    (status, limit),
+                ).fetchall()
+        return [_row_dict(row) for row in rows]
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue depth by state plus the dedup tallies.
+
+        ``dedup_ratio`` is the fraction of submissions that coalesced
+        onto an existing run: ``1 - runs / submits`` (0.0 when every
+        request was unique).
+        """
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT status, COUNT(*) AS n, SUM(submits) AS submits "
+                "FROM runs GROUP BY status"
+            ).fetchall()
+        by_status = {state: 0 for state in STATES}
+        runs = submits = 0
+        for row in rows:
+            by_status[row["status"]] = row["n"]
+            runs += row["n"]
+            submits += row["submits"] or 0
+        return {
+            "runs": runs,
+            "submits": submits,
+            "deduplicated": submits - runs,
+            "dedup_ratio": (1.0 - runs / submits) if submits else 0.0,
+            "by_status": by_status,
+        }
+
+
+# ---------------------------------------------------------------------------
+# corpus snapshot store
+# ---------------------------------------------------------------------------
+
+
+class CorpusStore:
+    """Content-addressed corpus snapshots under ``<root>/corpus/``.
+
+    An upload is an *overlay*: the checked-in corpus is copied into a
+    fresh snapshot directory and the uploaded files replace (or join)
+    it, so clients ship only the units they changed.  The snapshot id
+    is a sha256 over the resulting ``(filename, content sha)`` set —
+    upload the same overlay twice and you get the same snapshot, which
+    keeps request keys (and therefore dedup) content-stable.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.join(root, "corpus")
+        os.makedirs(self.root, exist_ok=True)
+
+    def path(self, corpus_id: str) -> str:
+        """The snapshot directory for one corpus id (must exist)."""
+        path = os.path.join(self.root, corpus_id)
+        if not os.path.isdir(path):
+            raise QueueError(f"unknown corpus snapshot {corpus_id!r}")
+        return path
+
+    def hashes(self, corpus_id: Optional[str]) -> Dict[str, str]:
+        """filename -> source sha256 for one snapshot (None = default)."""
+        if corpus_id is None:
+            from repro.obs.manifest import corpus_hashes
+
+            return corpus_hashes()
+        out: Dict[str, str] = {}
+        directory = self.path(corpus_id)
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".c"):
+                continue
+            with open(os.path.join(directory, name), "rb") as handle:
+                out[name] = hashlib.sha256(handle.read()).hexdigest()
+        return out
+
+    def add(self, files: Dict[str, str]) -> str:
+        """Store one overlay upload; returns its content-derived id."""
+        from repro.corpus.loader import UNIT_COMPONENTS, corpus_path
+
+        for name in files:
+            if os.path.basename(name) != name or not name.endswith(".c"):
+                raise QueueError(f"invalid corpus filename {name!r}")
+        merged: Dict[str, bytes] = {}
+        for name in UNIT_COMPONENTS:
+            with open(corpus_path(name), "rb") as handle:
+                merged[name] = handle.read()
+        for name, source in files.items():
+            merged[name] = source.encode("utf-8")
+        digest = hashlib.sha256()
+        for name in sorted(merged):
+            sha = hashlib.sha256(merged[name]).hexdigest()
+            digest.update(f"{name}={sha}\n".encode("utf-8"))
+        corpus_id = digest.hexdigest()[:32]
+        directory = os.path.join(self.root, corpus_id)
+        if not os.path.isdir(directory):
+            tmp = directory + ".tmp"
+            os.makedirs(tmp, exist_ok=True)
+            for name, blob in merged.items():
+                with open(os.path.join(tmp, name), "wb") as handle:
+                    handle.write(blob)
+            try:
+                os.replace(tmp, directory)
+            except OSError:
+                # A racing identical upload won the rename; same content.
+                import shutil
+
+                shutil.rmtree(tmp, ignore_errors=True)
+        return corpus_id

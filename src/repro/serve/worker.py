@@ -1,0 +1,323 @@
+"""Workers: claim compatible job batches, execute them, record manifests.
+
+A worker is a loop over :meth:`repro.serve.db.RunQueue.claim_batch`:
+claim up to ``batch_limit`` compatible runs, execute them back to back,
+mark each ``done``/``failed``.  Execution goes through the *real CLI
+entry points* (``repro.cli.main_*``) with stdout captured — the
+service's result bytes are, by construction, the bytes a direct CLI
+invocation of the same request prints.  ``bench_service.py`` and the
+CI service smoke assert that identity rather than trusting it.
+
+Perf shape:
+
+- the worker process is **warm**: in-process memos, the loaded corpus,
+  and the persistent process pool (``--backend process``) survive
+  across jobs, so only the first job of a configuration pays cold
+  costs — every compatible job after it rides warm memos and the
+  shared function-level analysis store;
+- **batching**: a claimed batch shares one engine signature and
+  corpus, so the batch executes as one warm wave — for extraction-
+  shaped jobs that is one procpool dispatch wave (the first job
+  populates the memos; the rest replay them);
+- each run's manifest (the obs run record) is written into the service
+  data dir and linked back into the ``runs`` row, carrying a ``run``
+  section (run id, request key, worker, attempt) so ``repro-runs
+  show``/``diff`` can treat service runs like any other run.
+
+The tool registry below is the submission surface: every tool the
+service accepts, the params it allows, and how they become argv.  The
+API validates against it at submit time so bad requests fail at the
+door, not in a worker.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import socket
+import threading
+import time
+import traceback
+from contextlib import redirect_stderr, redirect_stdout
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.perf.timers import bump
+from repro.serve import keys as serve_keys
+from repro.serve.db import CorpusStore, RunQueue
+
+#: Default upper bound on jobs claimed per wave.
+DEFAULT_BATCH_LIMIT = 8
+
+#: Default claim lease; must exceed the slowest single job by a margin.
+DEFAULT_LEASE_SECONDS = 120.0
+
+#: Seconds between queue polls when idle.
+DEFAULT_POLL_SECONDS = 0.2
+
+
+class RequestError(ValueError):
+    """A submitted request names an unknown tool or invalid params."""
+
+
+@dataclass(frozen=True)
+class ToolSpec:
+    """One service-invocable tool: its CLI main and allowed params."""
+
+    name: str
+    main: str  # attribute on repro.cli
+    #: param name -> (python type, argv builder)
+    params: Dict[str, Tuple[type, Callable[[Any], List[str]]]] = \
+        field(default_factory=dict)
+
+    def build_argv(self, params: Dict[str, Any]) -> List[str]:
+        argv: List[str] = []
+        for name in sorted(params):
+            if name not in self.params:
+                raise RequestError(
+                    f"tool {self.name!r} does not accept param {name!r}")
+            expected, build = self.params[name]
+            value = params[name]
+            if expected is int and isinstance(value, bool):
+                raise RequestError(f"param {name!r} must be an integer")
+            if not isinstance(value, expected):
+                raise RequestError(
+                    f"param {name!r} must be {expected.__name__}, "
+                    f"got {type(value).__name__}")
+            argv.extend(build(value))
+        return argv
+
+
+def _flag(option: str) -> Callable[[Any], List[str]]:
+    return lambda value: [option] if value else []
+
+
+def _opt(option: str) -> Callable[[Any], List[str]]:
+    return lambda value: [option, str(value)]
+
+
+_ENGINE_PARAMS = {
+    "solver": (str, _opt("--solver")),
+    "backend": (str, _opt("--backend")),
+    "transport": (str, _opt("--transport")),
+}
+
+_CAMPAIGN_PARAMS = {
+    "jobs": (int, _opt("--jobs")),
+    "seed": (int, _opt("--seed")),
+    "sample": (str, _opt("--sample")),
+    "budget": (int, _opt("--budget")),
+    "shards": (int, _opt("--shards")),
+    "backend": (str, _opt("--backend")),
+    "transport": (str, _opt("--transport")),
+}
+
+#: Every tool the service executes.  ``repro-runs`` and ``repro-demo``
+#: style inspection stays client-side; these are the compute requests.
+TOOLS: Dict[str, ToolSpec] = {
+    "extract": ToolSpec("extract", "main_extract", {
+        "jobs": (int, _opt("--jobs")),
+        "list": (bool, _flag("--list")),
+        **_ENGINE_PARAMS,
+    }),
+    "condocck": ToolSpec("condocck", "main_condocck", {}),
+    "conhandleck": ToolSpec("conhandleck", "main_conhandleck", {
+        "verbose": (bool, _flag("--verbose")),
+        **_CAMPAIGN_PARAMS,
+    }),
+    "conbugck": ToolSpec("conbugck", "main_conbugck", {
+        "count": (int, _opt("--count")),
+        "fs_blocks": (int, _opt("--fs-blocks")),
+        **_CAMPAIGN_PARAMS,
+    }),
+    "study": ToolSpec("study", "main_study", {}),
+    "demo": ToolSpec("demo", "main_demo", {}),
+}
+
+
+def validate_request(tool: str, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Canonical params for one request; RequestError when invalid.
+
+    Validation *is* argv building — a request is valid exactly when
+    the worker could turn it into a CLI invocation.
+    """
+    spec = TOOLS.get(tool)
+    if spec is None:
+        raise RequestError(
+            f"unknown tool {tool!r}; expected one of {', '.join(sorted(TOOLS))}")
+    canonical = serve_keys.canonical_params(params)
+    spec.build_argv(canonical)  # raises on unknown/ill-typed params
+    return canonical
+
+
+def resolved_engine(params: Dict[str, Any]) -> Dict[str, str]:
+    """The engine modes a request would run under, params pinned.
+
+    Part of the request key: two requests differing only in a pinned
+    engine knob execute under different (if byte-identical) engines
+    and keep distinct run records, mirroring the analysis-store key.
+    """
+    from repro.perf import modes
+
+    overrides = {knob: params.get(knob)
+                 for knob in ("solver", "backend", "transport")}
+    try:
+        return modes.resolve_modes(overrides)
+    except ValueError as exc:
+        raise RequestError(str(exc)) from None
+
+
+#: Serializes tool execution within one process: the stdout capture is
+#: process-global state, and the underlying pipeline is GIL-bound, so
+#: overlapping jobs in threads would interleave output for no speedup.
+#: Horizontal scale comes from worker *processes* (``repro-worker``).
+_EXEC_LOCK = threading.Lock()
+
+
+class Worker:
+    """One queue consumer: claim, execute, record, repeat."""
+
+    def __init__(self, db_path: str, data_dir: str,
+                 worker_id: Optional[str] = None,
+                 batch_limit: int = DEFAULT_BATCH_LIMIT,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 poll_seconds: float = DEFAULT_POLL_SECONDS) -> None:
+        self.queue = RunQueue(db_path)
+        self.store = CorpusStore(data_dir)
+        self.data_dir = data_dir
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.batch_limit = max(1, batch_limit)
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.batches = 0
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, run: Dict[str, Any]) -> Tuple[Dict[str, Any], str]:
+        """Run one claimed job; returns ``(result payload, manifest path)``.
+
+        The job executes through its CLI main with stdout/stderr
+        captured and ``--manifest`` pointed into the run's record
+        directory; the manifest then gets the ``run`` linkage section.
+        Exceptions propagate to the caller (which marks the run failed).
+        """
+        import repro.cli as cli
+        from repro.obs.manifest import load_manifest, write_manifest
+
+        spec = TOOLS[run["tool"]]
+        argv = spec.build_argv(run["params"])
+        run_dir = os.path.join(self.data_dir, "runs", run["run_id"])
+        os.makedirs(run_dir, exist_ok=True)
+        manifest_path = os.path.join(run_dir, "manifest.json")
+        argv = argv + ["--manifest", manifest_path]
+        main = getattr(cli, spec.main)
+        out, err = io.StringIO(), io.StringIO()
+        saved_corpus = os.environ.get("REPRO_CORPUS_DIR")
+        started = time.perf_counter()
+        with _EXEC_LOCK:
+            try:
+                if run.get("corpus_id"):
+                    os.environ["REPRO_CORPUS_DIR"] = \
+                        self.store.path(run["corpus_id"])
+                with redirect_stdout(out), redirect_stderr(err):
+                    try:
+                        exit_code = int(main(argv) or 0)
+                    except SystemExit as exc:  # argparse-style exits
+                        exit_code = int(exc.code or 0)
+            finally:
+                if run.get("corpus_id"):
+                    if saved_corpus is None:
+                        os.environ.pop("REPRO_CORPUS_DIR", None)
+                    else:
+                        os.environ["REPRO_CORPUS_DIR"] = saved_corpus
+        wall = time.perf_counter() - started
+
+        manifest = load_manifest(manifest_path)
+        manifest["run"] = {
+            "id": run["run_id"],
+            "request_key": run["run_id"],
+            "worker": self.worker_id,
+            "attempt": int(run["attempts"]),
+        }
+        write_manifest(manifest, manifest_path)
+        result = {
+            "exit_code": exit_code,
+            "output": out.getvalue(),
+            "stderr": err.getvalue()[-4000:],
+            "wall_seconds": round(wall, 6),
+            "digest": (manifest.get("report") or {}).get("digest"),
+            "manifest": os.path.relpath(manifest_path, self.data_dir),
+        }
+        return result, manifest_path
+
+    def run_once(self) -> int:
+        """Claim and execute one batch; returns the number of jobs run."""
+        batch = self.queue.claim_batch(self.worker_id,
+                                       limit=self.batch_limit,
+                                       lease_seconds=self.lease_seconds)
+        if not batch:
+            return 0
+        self.batches += 1
+        bump("serve.batches")
+        bump("serve.batch_jobs", len(batch))
+        for run in batch:
+            try:
+                result, manifest_path = self.execute(run)
+            except BaseException as exc:
+                self.jobs_failed += 1
+                bump("serve.jobs_failed")
+                detail = "".join(traceback.format_exception_only(
+                    type(exc), exc)).strip()
+                self.queue.fail(run["run_id"], self.worker_id, detail)
+                if not isinstance(exc, Exception):
+                    raise  # KeyboardInterrupt and friends still stop us
+                continue
+            self.jobs_done += 1
+            bump("serve.jobs_done")
+            self.queue.finish(run["run_id"], self.worker_id, result,
+                              manifest_path)
+            # Renew the remaining claims: the lease covers the whole
+            # batch, and a long job must not let its batchmates lapse.
+            for waiting in batch:
+                if waiting["run_id"] != run["run_id"]:
+                    self.queue.renew(waiting["run_id"], self.worker_id,
+                                     self.lease_seconds)
+        return len(batch)
+
+    def run_forever(self, stop: Optional[threading.Event] = None,
+                    max_jobs: Optional[int] = None) -> int:
+        """Poll-and-execute until ``stop`` is set (or ``max_jobs`` run)."""
+        total = 0
+        while stop is None or not stop.is_set():
+            ran = self.run_once()
+            total += ran
+            if max_jobs is not None and total >= max_jobs:
+                break
+            if not ran:
+                time.sleep(self.poll_seconds)
+        return total
+
+
+def submit_request(queue: RunQueue, store: CorpusStore, tool: str,
+                   params: Optional[Dict[str, Any]] = None,
+                   corpus_id: Optional[str] = None,
+                   ) -> Tuple[Dict[str, Any], bool]:
+    """Validate, key, and enqueue one request (the API's submit path).
+
+    Returns ``(run row, created)`` — ``created`` False is the dedup
+    hit.  Shared by the HTTP API and in-process callers (tests,
+    benchmarks) so both enqueue byte-for-byte identical rows.
+    """
+    canonical = validate_request(tool, params)
+    engine = resolved_engine(canonical)
+    corpus = store.hashes(corpus_id)
+    run_id = serve_keys.request_key(tool, canonical, corpus, engine)
+    row, created = queue.submit(run_id, tool, canonical, engine,
+                                corpus_id=corpus_id)
+    bump("serve.submits")
+    if not created:
+        bump("serve.dedup_hits")
+    return row, created

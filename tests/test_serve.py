@@ -1,0 +1,551 @@
+"""The serving layer: request keys, the SQLite queue, workers, the API.
+
+Covers the tier-8 surface (:mod:`repro.serve`):
+
+- content-keyed request identity (:mod:`repro.serve.keys`): canonical
+  params, sensitivity to tool/params/corpus/engine, stability;
+- the ``runs`` queue (:mod:`repro.serve.db`): single-flight dedup at
+  the row level, claim ordering, batch compatibility, lease-timeout
+  reclaim, the ``claimed_by`` guards on finish/fail, stats;
+- the corpus snapshot store: content-stable ids, overlay semantics;
+- the worker (:mod:`repro.serve.worker`): request validation at the
+  door, execution through the real CLI mains (service results are
+  byte-identical to direct CLI stdout), manifest run-record linkage,
+  the failure path;
+- the HTTP API + client: submit/dedup/wait/result/manifest routes,
+  error statuses, corpus upload, concurrent identical submissions
+  collapsing onto one run id;
+- signal cleanup (:func:`repro.perf.procpool.install_signal_cleanup`):
+  a SIGTERM'd worker process sweeps its shm arena segments.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs.manifest import (diff_manifests, load_manifest,
+                                manifests_equivalent)
+from repro.serve import keys as serve_keys
+from repro.serve.db import (CLAIMED, DONE, FAILED, QUEUED, CorpusStore,
+                            QueueError, RunQueue)
+from repro.serve.worker import (RequestError, Worker, resolved_engine,
+                                submit_request, validate_request)
+
+CORPUS = {"mount.c": "a" * 64, "super.c": "b" * 64}
+ENGINE = {"solver": "dense", "backend": "inline"}
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return RunQueue(str(tmp_path / "service.db"))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CorpusStore(str(tmp_path))
+
+
+def submit_n(queue, n, **overrides):
+    """Enqueue n distinct trivial rows; returns their ids in order."""
+    ids = []
+    for i in range(n):
+        row = dict(tool="demo", params={"i": i}, engine=ENGINE,
+                   corpus_id=None)
+        row.update(overrides)
+        run_id = serve_keys.request_key(
+            row["tool"], row["params"], CORPUS, row["engine"])
+        queue.submit(run_id, row["tool"], row["params"], row["engine"],
+                     corpus_id=row["corpus_id"])
+        ids.append(run_id)
+    return ids
+
+
+# ---------------------------------------------------------------------------
+# request keys
+# ---------------------------------------------------------------------------
+
+
+class TestRequestKeys:
+    def test_canonical_params_drop_none_and_sort(self):
+        assert serve_keys.canonical_params(None) == {}
+        assert serve_keys.canonical_params({"b": 1, "a": None}) == {"b": 1}
+        assert list(serve_keys.canonical_params({"z": 1, "a": 2})) == \
+            ["a", "z"]
+
+    def test_none_and_absent_spell_the_same_request(self):
+        key = serve_keys.request_key("extract", {}, CORPUS, ENGINE)
+        assert serve_keys.request_key(
+            "extract", {"jobs": None}, CORPUS, ENGINE) == key
+
+    def test_key_is_stable_across_dict_order(self):
+        a = serve_keys.request_key("extract", {"a": 1, "b": 2},
+                                   CORPUS, ENGINE)
+        b = serve_keys.request_key("extract", {"b": 2, "a": 1},
+                                   dict(reversed(list(CORPUS.items()))),
+                                   dict(reversed(list(ENGINE.items()))))
+        assert a == b
+
+    @pytest.mark.parametrize("mutate", [
+        lambda t, p, c, e: ("condocck", p, c, e),
+        lambda t, p, c, e: (t, {"jobs": 2}, c, e),
+        lambda t, p, c, e: (t, p, {**c, "mount.c": "c" * 64}, e),
+        lambda t, p, c, e: (t, p, c, {**e, "solver": "sparse"}),
+    ])
+    def test_any_content_difference_changes_the_key(self, mutate):
+        base = ("extract", {"jobs": 1}, CORPUS, ENGINE)
+        assert serve_keys.request_key(*base) != \
+            serve_keys.request_key(*mutate(*base))
+
+
+# ---------------------------------------------------------------------------
+# the runs queue
+# ---------------------------------------------------------------------------
+
+
+class TestRunQueue:
+    def test_submit_creates_a_queued_row(self, queue):
+        row, created = queue.submit("k1", "demo", {"x": 1}, ENGINE)
+        assert created
+        assert row["status"] == QUEUED
+        assert row["submits"] == 1 and row["attempts"] == 0
+        assert row["params"] == {"x": 1} and row["engine"] == ENGINE
+
+    def test_duplicate_submit_is_single_flight(self, queue):
+        queue.submit("k1", "demo", {}, ENGINE)
+        row, created = queue.submit("k1", "demo", {}, ENGINE)
+        assert not created
+        assert row["submits"] == 2
+        assert queue.stats()["deduplicated"] == 1
+
+    def test_duplicate_of_a_done_run_skips_the_queue(self, queue):
+        queue.submit("k1", "demo", {}, ENGINE)
+        [run] = queue.claim_batch("w1")
+        assert queue.finish("k1", "w1", {"exit_code": 0})
+        row, created = queue.submit("k1", "demo", {}, ENGINE)
+        assert not created and row["status"] == DONE
+        assert row["result"] == {"exit_code": 0}
+
+    def test_claim_is_fifo(self, queue):
+        ids = submit_n(queue, 3)
+        claimed = queue.claim_batch("w1", limit=2)
+        assert [run["run_id"] for run in claimed] == ids[:2]
+        assert all(run["status"] == CLAIMED and run["claimed_by"] == "w1"
+                   and run["attempts"] == 1 for run in claimed)
+
+    def test_claimed_rows_are_not_reclaimable_while_leased(self, queue):
+        submit_n(queue, 1)
+        assert queue.claim_batch("w1")
+        assert queue.claim_batch("w2") == []
+
+    def test_lapsed_lease_is_reclaimable(self, queue):
+        submit_n(queue, 1)
+        [run] = queue.claim_batch("w1", lease_seconds=0.01)
+        time.sleep(0.03)
+        [reclaimed] = queue.claim_batch("w2")
+        assert reclaimed["run_id"] == run["run_id"]
+        assert reclaimed["claimed_by"] == "w2"
+        assert reclaimed["attempts"] == 2
+        # The original worker lost the claim: its writes must bounce.
+        assert not queue.finish(run["run_id"], "w1", {"exit_code": 0})
+        assert not queue.fail(run["run_id"], "w1", "boom")
+        assert not queue.renew(run["run_id"], "w1")
+        assert queue.get(run["run_id"])["status"] == CLAIMED
+
+    def test_renew_extends_a_live_lease(self, queue):
+        submit_n(queue, 1)
+        [run] = queue.claim_batch("w1", lease_seconds=60)
+        before = queue.get(run["run_id"])["lease_expires"]
+        assert queue.renew(run["run_id"], "w1", lease_seconds=120)
+        assert queue.get(run["run_id"])["lease_expires"] > before
+
+    def test_batch_shares_engine_and_corpus(self, queue):
+        ids = submit_n(queue, 2)
+        other_engine = submit_n(queue, 1, params={"i": 9},
+                                engine={**ENGINE, "solver": "sparse"})
+        other_corpus = submit_n(queue, 1, params={"i": 10},
+                                corpus_id="c" * 32)
+        batch = queue.claim_batch("w1", limit=10)
+        assert [run["run_id"] for run in batch] == ids
+        # The incompatible rows are still queued, claimable next wave.
+        rest = queue.claim_batch("w1", limit=10)
+        assert [run["run_id"] for run in rest] == other_engine
+        assert [run["run_id"] for run in queue.claim_batch("w1", limit=10)] \
+            == other_corpus
+
+    def test_fail_records_the_error(self, queue):
+        submit_n(queue, 1)
+        [run] = queue.claim_batch("w1")
+        assert queue.fail(run["run_id"], "w1", "ValueError: nope")
+        row = queue.get(run["run_id"])
+        assert row["status"] == FAILED and row["error"] == "ValueError: nope"
+
+    def test_failed_runs_are_not_reclaimed(self, queue):
+        submit_n(queue, 1)
+        [run] = queue.claim_batch("w1")
+        queue.fail(run["run_id"], "w1", "boom")
+        assert queue.claim_batch("w2") == []
+
+    def test_list_runs_filters_by_status(self, queue):
+        submit_n(queue, 2)
+        queue.claim_batch("w1", limit=1)
+        assert len(queue.list_runs()) == 2
+        assert len(queue.list_runs(status=QUEUED)) == 1
+        assert len(queue.list_runs(status=CLAIMED)) == 1
+
+    def test_get_unknown_run_is_none(self, queue):
+        assert queue.get("nope") is None
+
+    def test_stats_dedup_ratio(self, queue):
+        ids = submit_n(queue, 2)
+        submit_n(queue, 1)          # duplicates ids[0]
+        queue.submit(ids[1], "demo", {"i": 1}, ENGINE)
+        stats = queue.stats()
+        assert stats["runs"] == 2 and stats["submits"] == 4
+        assert stats["deduplicated"] == 2
+        assert stats["dedup_ratio"] == pytest.approx(0.5)
+
+
+class TestCorpusStore:
+    def test_same_overlay_same_id(self, store):
+        a = store.add({"mount.c": "int main(void) { return 0; }\n"})
+        b = store.add({"mount.c": "int main(void) { return 0; }\n"})
+        assert a == b
+        assert os.path.isdir(store.path(a))
+
+    def test_different_content_different_id(self, store):
+        a = store.add({"mount.c": "// v1\n"})
+        b = store.add({"mount.c": "// v2\n"})
+        assert a != b
+
+    def test_snapshot_overlays_the_default_corpus(self, store):
+        corpus_id = store.add({"extra.c": "// new unit\n"})
+        names = sorted(os.listdir(store.path(corpus_id)))
+        assert "extra.c" in names and "mount.c" in names
+
+    def test_hashes_reflect_the_overlay(self, store):
+        default = store.hashes(None)
+        corpus_id = store.add({"mount.c": "// patched\n"})
+        patched = store.hashes(corpus_id)
+        assert patched["mount.c"] != default["mount.c"]
+        assert set(default) <= set(patched)
+
+    @pytest.mark.parametrize("name", ["../evil.c", "notes.txt", "a/b.c"])
+    def test_invalid_filenames_are_rejected(self, store, name):
+        with pytest.raises(QueueError):
+            store.add({name: "// nope\n"})
+
+    def test_unknown_snapshot_raises(self, store):
+        with pytest.raises(QueueError):
+            store.path("f" * 32)
+
+
+# ---------------------------------------------------------------------------
+# request validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidateRequest:
+    def test_unknown_tool(self):
+        with pytest.raises(RequestError, match="unknown tool"):
+            validate_request("frobnicate", {})
+
+    def test_unknown_param(self):
+        with pytest.raises(RequestError, match="does not accept"):
+            validate_request("extract", {"threads": 4})
+
+    def test_ill_typed_param(self):
+        with pytest.raises(RequestError, match="must be int"):
+            validate_request("extract", {"jobs": "four"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(RequestError, match="must be an integer"):
+            validate_request("extract", {"jobs": True})
+
+    def test_valid_request_canonicalizes(self):
+        assert validate_request("extract", {"jobs": 2, "list": None}) == \
+            {"jobs": 2}
+
+    def test_resolved_engine_rejects_bad_modes(self):
+        with pytest.raises(RequestError):
+            resolved_engine({"solver": "quantum"})
+
+    def test_resolved_engine_pins_request_knobs(self):
+        engine = resolved_engine({"solver": "sparse"})
+        assert engine["solver"] == "sparse"
+
+
+# ---------------------------------------------------------------------------
+# the worker
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def service_dir(tmp_path):
+    data = tmp_path / "serve"
+    data.mkdir()
+    return str(data)
+
+
+def make_worker(service_dir, **kwargs):
+    db = os.path.join(service_dir, "service.db")
+    kwargs.setdefault("worker_id", "test-worker")
+    return Worker(db, service_dir, **kwargs)
+
+
+class TestWorker:
+    def test_result_is_byte_identical_to_the_cli(self, service_dir, capsys):
+        worker = make_worker(service_dir)
+        row, created = submit_request(worker.queue, worker.store, "demo")
+        assert created
+        assert worker.run_once() == 1
+        run = worker.queue.get(row["run_id"])
+        assert run["status"] == DONE
+
+        import repro.cli as cli
+        assert cli.main_demo([]) == 0
+        direct = capsys.readouterr().out
+        assert run["result"]["output"] == direct
+        assert run["result"]["exit_code"] == 0
+
+    def test_manifest_carries_the_run_record(self, service_dir):
+        worker = make_worker(service_dir)
+        row, _created = submit_request(worker.queue, worker.store, "demo")
+        worker.run_once()
+        run = worker.queue.get(row["run_id"])
+        manifest = load_manifest(run["manifest_path"])
+        assert manifest["run"] == {
+            "id": row["run_id"],
+            "request_key": row["run_id"],
+            "worker": "test-worker",
+            "attempt": 1,
+        }
+        assert run["result"]["manifest"] == \
+            os.path.relpath(run["manifest_path"], service_dir)
+
+    def test_service_and_cli_manifests_diff_equivalent(self, service_dir,
+                                                       tmp_path, capsys):
+        worker = make_worker(service_dir)
+        row, _created = submit_request(worker.queue, worker.store, "demo")
+        worker.run_once()
+        service_manifest = load_manifest(
+            worker.queue.get(row["run_id"])["manifest_path"])
+
+        import repro.cli as cli
+        direct_path = str(tmp_path / "direct.json")
+        assert cli.main_demo(["--manifest", direct_path]) == 0
+        capsys.readouterr()
+        direct_manifest = load_manifest(direct_path)
+
+        diff = diff_manifests(direct_manifest, service_manifest)
+        assert manifests_equivalent(diff), diff
+        assert any(line.startswith("~run.id:") for line in diff)
+
+    def test_failure_marks_the_run_failed(self, service_dir, monkeypatch):
+        import repro.cli as cli
+
+        def explode(argv):
+            raise RuntimeError("synthetic tool crash")
+
+        monkeypatch.setattr(cli, "main_demo", explode)
+        worker = make_worker(service_dir)
+        row, _created = submit_request(worker.queue, worker.store, "demo")
+        assert worker.run_once() == 1
+        run = worker.queue.get(row["run_id"])
+        assert run["status"] == FAILED
+        assert "synthetic tool crash" in run["error"]
+        assert worker.jobs_failed == 1
+
+    def test_batch_runs_compatible_jobs_in_one_wave(self, service_dir):
+        worker = make_worker(service_dir, batch_limit=4)
+        ids = []
+        for params in ({}, {"verbose": True}):
+            row, _created = submit_request(worker.queue, worker.store,
+                                           "demo" if not params else
+                                           "conhandleck", params or None)
+            ids.append(row["run_id"])
+        # demo and conhandleck share the default engine and corpus, so
+        # one claim wave takes both.
+        assert worker.run_once() == 2
+        assert worker.batches == 1
+        for run_id in ids:
+            assert worker.queue.get(run_id)["status"] == DONE
+
+    def test_corpus_snapshot_changes_the_key_and_env(self, service_dir):
+        worker = make_worker(service_dir)
+        row_default, _ = submit_request(worker.queue, worker.store,
+                                        "condocck")
+        patched = worker.store.hashes(None)
+        corpus_id = worker.store.add(
+            {"zz_extra.c": "static int zz_unused;\n"})
+        row_overlay, _ = submit_request(worker.queue, worker.store,
+                                        "condocck", corpus_id=corpus_id)
+        assert row_default["run_id"] != row_overlay["run_id"]
+        assert worker.store.hashes(corpus_id) != patched
+
+
+# ---------------------------------------------------------------------------
+# the HTTP API
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def service(service_dir):
+    from repro.serve.api import start_in_thread
+
+    db = os.path.join(service_dir, "service.db")
+    service, _thread = start_in_thread(db, service_dir)
+    yield service
+    service.shutdown()
+    service.server_close()
+
+
+@pytest.fixture
+def client(service):
+    from repro.serve.client import ServiceClient
+
+    return ServiceClient(service.url)
+
+
+class TestServiceAPI:
+    def test_health_and_stats(self, client):
+        assert client.health()["ok"] is True
+        stats = client.stats()
+        assert stats["runs"] == 0 and stats["dedup_ratio"] == 0.0
+
+    def test_submit_then_duplicate(self, client):
+        first = client.submit("demo")
+        assert first["deduplicated"] is False
+        assert first["run"]["status"] == QUEUED
+        again = client.submit("demo")
+        assert again["deduplicated"] is True
+        assert again["run"]["run_id"] == first["run"]["run_id"]
+        assert again["run"]["submits"] == 2
+
+    def test_submit_rejects_bad_requests(self, client):
+        from repro.serve.client import ServiceError
+
+        for payload in (("frobnicate", None), ("extract", {"jobs": "x"})):
+            with pytest.raises(ServiceError) as err:
+                client.submit(*payload)
+            assert err.value.status == 400
+
+    def test_unknown_run_is_404(self, client):
+        from repro.serve.client import ServiceError
+
+        with pytest.raises(ServiceError) as err:
+            client.run("0" * 64)
+        assert err.value.status == 404
+
+    def test_result_before_done_is_409(self, client):
+        from repro.serve.client import ServiceError
+
+        run_id = client.submit("demo")["run"]["run_id"]
+        with pytest.raises(ServiceError) as err:
+            client.result_bytes(run_id)
+        assert err.value.status == 409
+
+    def test_end_to_end_with_a_worker(self, service_dir, service, client,
+                                      capsys):
+        stop = threading.Event()
+        worker = make_worker(service_dir)
+        thread = threading.Thread(target=worker.run_forever, args=(stop,),
+                                  daemon=True)
+        thread.start()
+        try:
+            run_id = client.submit("demo")["run"]["run_id"]
+            run = client.wait_done(run_id, timeout=60)
+            assert run["status"] == DONE
+            assert "output" not in run["result"]  # stripped from JSON
+
+            import repro.cli as cli
+            assert cli.main_demo([]) == 0
+            direct = capsys.readouterr().out
+            assert client.result_bytes(run_id).decode("utf-8") == direct
+
+            manifest = client.manifest(run_id)
+            assert manifest["run"]["id"] == run_id
+            listed = client.runs(status=DONE)
+            assert [r["run_id"] for r in listed] == [run_id]
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+
+    def test_corpus_upload_round_trip(self, client):
+        uploaded = client.upload_corpus(
+            {"zz_probe.c": "static int zz_probe;\n"})
+        base = client.submit("condocck")["run"]["run_id"]
+        overlay = client.submit("condocck",
+                                corpus=uploaded)["run"]["run_id"]
+        assert base != overlay
+        # Same overlay again: same snapshot, dedup against the first.
+        again = client.upload_corpus(
+            {"zz_probe.c": "static int zz_probe;\n"})
+        assert again == uploaded
+        assert client.submit("condocck", corpus=again)["deduplicated"]
+
+    def test_concurrent_identical_submits_share_one_run(self, client):
+        results = []
+
+        def submit():
+            results.append(client.submit("extract", {"jobs": 1}))
+
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = {r["run"]["run_id"] for r in results}
+        assert len(ids) == 1
+        assert sum(r["deduplicated"] for r in results) == 7
+        assert client.stats()["runs"] == 1
+        assert client.stats()["submits"] == 8
+
+
+# ---------------------------------------------------------------------------
+# signal cleanup (satellite: sweep shm arenas on SIGINT/SIGTERM)
+# ---------------------------------------------------------------------------
+
+
+_SIGNAL_SCRIPT = """
+import os, sys, time
+from repro.perf import procpool
+
+assert procpool.install_signal_cleanup() is True
+assert procpool.install_signal_cleanup() is False  # idempotent
+
+pool = procpool.get_pool(jobs=1, warm=False)
+print(pool.arena_dir, flush=True)
+time.sleep(60)  # killed long before this lapses
+"""
+
+
+class TestSignalCleanup:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_sweeps_the_arena(self, tmp_path, signum):
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(os.path.dirname(__file__),
+                                           os.pardir, "src"),
+                   REPRO_CACHE_DIR=str(tmp_path / "cache"))
+        proc = subprocess.Popen([sys.executable, "-c", _SIGNAL_SCRIPT],
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, env=env, text=True)
+        try:
+            arena_dir = proc.stdout.readline().strip()
+            assert arena_dir, proc.stderr.read()
+            assert os.path.isdir(arena_dir)
+            proc.send_signal(signum)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # The handler swept the arena before re-delivering the signal:
+        # no mmap segment files survive the process.
+        assert not os.path.isdir(arena_dir) or not os.listdir(arena_dir)
+        assert proc.returncode != 0  # default signal semantics preserved

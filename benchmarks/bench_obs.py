@@ -14,7 +14,18 @@ permanently.  This benchmark holds the layer to that bet:
   byte-identical canonical dependency reports;
 - **artifact validity** — the JSONL trace and the run manifest emitted
   by the traced run must validate against the checked-in schemas, and
-  the trace must form a single rooted tree.
+  the trace must form a single rooted tree;
+- **service telemetry overhead** — the fleet telemetry added with the
+  serving layer (structured service-log emits, registry counters and
+  latency histograms) must stay under ``MAX_SERVICE_OVERHEAD`` (5%) of
+  a mixed service workload's wall time.  Methodology mirrors the
+  disabled-overhead check: run the mixed workload with telemetry fully
+  on, count the telemetry operations it actually performed (service-log
+  events appended, ``serve.*`` counter bumps, histogram observes),
+  price them at measured per-operation costs, and hold the bill to the
+  ceiling.  Pricing rather than A/B-ing two workload runs keeps the
+  check deterministic on a noisy 1-CPU box — per-op costs are stable
+  where end-to-end walls are not.
 
 Results land machine-readable in ``BENCH_obs.json`` at the repo root.
 Runnable standalone (``python benchmarks/bench_obs.py [--smoke]``) or
@@ -38,6 +49,19 @@ MAX_DISABLED_OVERHEAD = 0.05
 
 #: No-op span() calls used to price the disabled fast path.
 NOOP_CALIBRATION_CALLS = 200_000
+
+#: Ceiling on the *enabled* service-telemetry overhead, as a fraction
+#: of the mixed service workload's wall time.
+MAX_SERVICE_OVERHEAD = 0.05
+
+#: Mixed service workload size (requests submitted, duplicates
+#: included) — matches the bench_service throughput workload.
+SERVICE_WORKLOAD_REQUESTS = 100
+SMOKE_SERVICE_REQUESTS = 24
+
+#: Calibration loop sizes for the per-operation telemetry costs.
+EMIT_CALIBRATION_CALLS = 10_000
+REGISTRY_CALIBRATION_CALLS = 200_000
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
@@ -72,6 +96,125 @@ def _noop_span_cost() -> float:
         with span("bench.noop", probe=1):
             pass
     return (time.perf_counter() - start) / NOOP_CALIBRATION_CALLS
+
+
+def _emit_cost(tmp: str) -> float:
+    """Measured seconds per service-log emit (append + fsync-free write)."""
+    from repro.obs.servicelog import ServiceLog
+
+    log = ServiceLog(os.path.join(tmp, "calibration.jsonl"), proc="api")
+    start = time.perf_counter()
+    for _ in range(EMIT_CALIBRATION_CALLS):
+        log.emit("http.request", method="GET", path="/v1/stats",
+                 status=200, duration=0.001)
+    return (time.perf_counter() - start) / EMIT_CALIBRATION_CALLS
+
+
+def _registry_op_cost() -> float:
+    """Measured seconds per registry operation (bump/observe averaged)."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    for _ in range(REGISTRY_CALIBRATION_CALLS // 2):
+        registry.bump("bench.calibration")
+        registry.observe("bench.calibration.latency", 0.01)
+    return (time.perf_counter() - start) / REGISTRY_CALIBRATION_CALLS
+
+
+def _measure_service_telemetry(smoke: bool) -> dict:
+    """The mixed service workload with telemetry on, plus the pricing.
+
+    Returns the measured walls, telemetry-operation counts, per-op
+    costs, and the resulting overhead fraction.
+    """
+    import tempfile as tempfile_mod
+    import threading
+
+    from repro.obs import servicelog
+    from repro.obs.metrics import REGISTRY
+    from repro.serve.api import start_in_thread
+    from repro.serve.client import ServiceClient
+    from repro.serve.worker import Worker
+
+    requests_total = (SMOKE_SERVICE_REQUESTS if smoke
+                      else SERVICE_WORKLOAD_REQUESTS)
+    data_dir = tempfile_mod.mkdtemp(prefix="repro-obs-service-")
+    db_path = os.path.join(data_dir, "service.db")
+    log_path = servicelog.default_path(data_dir)
+
+    def _telemetry_counts() -> tuple:
+        counters = sum(value for name, value in REGISTRY.counters().items()
+                       if name.startswith(("serve.", "servicelog.")))
+        observes = sum(h.count for name, h in REGISTRY.histograms().items()
+                       if name.startswith("serve."))
+        return counters, observes
+
+    servicelog.configure(log_path, proc="api")
+    bumps_before, observes_before = _telemetry_counts()
+    service, _thread = start_in_thread(db_path, data_dir)
+    client = ServiceClient(service.url)
+    stop = threading.Event()
+    worker = Worker(db_path, data_dir, worker_id="obs-bench-worker",
+                    poll_seconds=0.02)
+    worker_thread = threading.Thread(target=worker.run_forever,
+                                     args=(stop,), daemon=True)
+    worker_thread.start()
+    try:
+        uniques = [
+            {"tool": "demo", "params": {}},
+            {"tool": "condocck", "params": {}},
+            {"tool": "extract", "params": {"jobs": 1}},
+            {"tool": "extract", "params": {"list": True}},
+        ]
+        started = time.perf_counter()
+        submitted = []
+        for index in range(requests_total):
+            request = uniques[index % len(uniques)]
+            row = client.submit(request["tool"], request["params"])
+            submitted.append(row["run"]["run_id"])
+        for run_id in dict.fromkeys(submitted):
+            client.wait_done(run_id, timeout=180)
+        workload_s = time.perf_counter() - started
+
+        # The dashboards poll /v1/metrics; price one scrape separately
+        # (pull-driven cost, not charged against the workload).
+        scrape_start = time.perf_counter()
+        samples = client.metrics()
+        scrape_s = time.perf_counter() - scrape_start
+        stats = client.stats()
+    finally:
+        stop.set()
+        worker_thread.join(timeout=30)
+        service.shutdown()
+        service.server_close()
+        servicelog.unconfigure()
+
+    bumps_after, observes_after = _telemetry_counts()
+    events_logged = len(servicelog.ServiceLog(log_path,
+                                              proc="api").read())
+    counter_bumps = max(0, bumps_after - bumps_before)
+    observes = max(0, observes_after - observes_before)
+
+    per_emit = _emit_cost(data_dir)
+    per_registry_op = _registry_op_cost()
+    priced = (events_logged * per_emit
+              + (counter_bumps + observes) * per_registry_op)
+    overhead = priced / workload_s if workload_s else 0.0
+    return {
+        "requests": requests_total,
+        "workload_seconds": workload_s,
+        "dedup_ratio": stats["dedup_ratio"],
+        "events_logged": events_logged,
+        "counter_bumps": counter_bumps,
+        "histogram_observes": observes,
+        "emit_us": per_emit * 1e6,
+        "registry_op_ns": per_registry_op * 1e9,
+        "scrape_seconds": scrape_s,
+        "scrape_samples": len(samples),
+        "priced_seconds": priced,
+        "overhead_fraction": overhead,
+    }
 
 
 def run_benchmark(smoke: bool = False, repeat: int = 3,
@@ -132,6 +275,10 @@ def run_benchmark(smoke: bool = False, repeat: int = 3,
     digest_ok = run_manifest["report"]["digest"] == manifest.report_digest(
         d.key() for d in traced_report.union)
 
+    # -- service telemetry: price the enabled fleet instrumentation ----
+    service = _measure_service_telemetry(smoke)
+    service_overhead = service["overhead_fraction"]
+
     # -- render ---------------------------------------------------------
     table = TextTable(
         ["measurement", "value"],
@@ -144,6 +291,21 @@ def run_benchmark(smoke: bool = False, repeat: int = 3,
     table.add_row("disabled overhead at that volume",
                   f"{overhead * 100:.3f}% "
                   f"(limit {MAX_DISABLED_OVERHEAD * 100:.0f}%)")
+    table.add_row(f"service workload ({service['requests']} requests)",
+                  f"{service['workload_seconds']:.3f} s")
+    table.add_row("service-log emit cost",
+                  f"{service['emit_us']:.1f} us/event "
+                  f"({service['events_logged']} events)")
+    table.add_row("registry op cost",
+                  f"{service['registry_op_ns']:.0f} ns/op "
+                  f"({service['counter_bumps'] + service['histogram_observes']}"
+                  f" ops)")
+    table.add_row("/v1/metrics scrape",
+                  f"{service['scrape_seconds'] * 1e3:.1f} ms "
+                  f"({service['scrape_samples']} samples)")
+    table.add_row("service telemetry overhead",
+                  f"{service_overhead * 100:.3f}% "
+                  f"(limit {MAX_SERVICE_OVERHEAD * 100:.0f}%)")
     rendered = table.render()
     rendered += (f"\n\nreports byte-identical with tracing on/off: "
                  f"{'yes' if identical else 'NO'}")
@@ -165,6 +327,9 @@ def run_benchmark(smoke: bool = False, repeat: int = 3,
         "noop_span_ns": per_call * 1e9,
         "disabled_overhead_fraction": overhead,
         "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "service_overhead_fraction": service_overhead,
+        "max_service_overhead": MAX_SERVICE_OVERHEAD,
+        "service_workload": service,
         "identical_outputs": identical,
         "artifacts_valid": artifacts_ok,
         "manifest_digest_matches": digest_ok,
@@ -188,6 +353,12 @@ def run_benchmark(smoke: bool = False, repeat: int = 3,
     if overhead > MAX_DISABLED_OVERHEAD:
         print(f"FAIL: disabled-tracing overhead {overhead * 100:.3f}% "
               f"exceeds the {MAX_DISABLED_OVERHEAD * 100:.0f}% ceiling",
+              file=sys.stderr)
+        return 1
+    if service_overhead > MAX_SERVICE_OVERHEAD:
+        print(f"FAIL: service-telemetry overhead "
+              f"{service_overhead * 100:.3f}% exceeds the "
+              f"{MAX_SERVICE_OVERHEAD * 100:.0f}% ceiling",
               file=sys.stderr)
         return 1
     return 0

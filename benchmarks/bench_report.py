@@ -76,11 +76,17 @@ def collect(root: str = REPO_ROOT) -> Dict[str, Any]:
                        or not enforced.get(key, True)),
             }
         # bench_obs speaks in overhead ceilings rather than speedup
-        # floors; fold its contract into the same check shape.
-        if "disabled_overhead_fraction" in data:
-            measured = data["disabled_overhead_fraction"]
-            ceiling = data.get("max_disabled_overhead")
-            checks["disabled_overhead"] = {
+        # floors; fold its contracts into the same check shape.
+        for check_name, measured_key, ceiling_key in (
+                ("disabled_overhead", "disabled_overhead_fraction",
+                 "max_disabled_overhead"),
+                ("service_overhead", "service_overhead_fraction",
+                 "max_service_overhead")):
+            if measured_key not in data:
+                continue
+            measured = data[measured_key]
+            ceiling = data.get(ceiling_key)
+            checks[check_name] = {
                 "measured": measured,
                 "ceiling": ceiling,
                 "enforced": True,

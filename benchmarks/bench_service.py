@@ -23,8 +23,14 @@ Three contracts added with the tier-8 service (``src/repro/serve``):
 process and two ``repro-worker`` processes, push 50 requests of which
 25 are duplicates, and require a dedup ratio >= 0.5, every run
 ``done``, byte-identical results, and ``repro-runs diff`` equivalence
-between a service manifest and a direct CLI manifest — then SIGTERM
-everything and require clean signal semantics.
+between a service manifest and a direct CLI manifest.  The fleet
+telemetry is held to the same bar: ``/v1/metrics`` must parse as
+Prometheus text exposition with populated run-latency histograms, the
+dedup gauge, and two live workers; the structured service log must
+validate against its schema and contain the full run lifecycle; and a
+``repro-submit`` run executed with ``--backend process`` must
+reassemble into a single rooted span tree via ``repro-runs trace``.
+Then SIGTERM everything and require clean signal semantics.
 
 Results land machine-readable in ``BENCH_service.json`` at the repo
 root.  Runnable standalone (``python benchmarks/bench_service.py
@@ -346,6 +352,90 @@ def run_ci_smoke() -> int:
             print(f"FAIL: expected 25 done runs, got {done}/{stats['runs']}",
                   file=sys.stderr)
             return 1
+
+        # ---- /v1/metrics: the scrape must parse as Prometheus text
+        # exposition and reflect the fleet telemetry the workload just
+        # generated (run-latency histograms, dedup gauge, live workers).
+        from repro.obs import prom
+        samples = prom.parse(client.metrics_text())
+        dedup_gauge = prom.counter_value(samples, "repro_serve_dedup_ratio")
+        if dedup_gauge < 0.5:
+            print(f"FAIL: /v1/metrics dedup gauge {dedup_gauge:.3f} < 0.5",
+                  file=sys.stderr)
+            return 1
+        for name in ("repro_serve_run_queue_latency_seconds",
+                     "repro_serve_run_exec_latency_seconds",
+                     "repro_serve_run_request_latency_seconds"):
+            count = prom.counter_value(samples, name + "_count")
+            if count <= 0:
+                print(f"FAIL: /v1/metrics {name} histogram is empty",
+                      file=sys.stderr)
+                return 1
+        alive = prom.counter_value(samples, "repro_serve_workers_alive")
+        if alive < 2:
+            print(f"FAIL: /v1/metrics reports {alive:.0f} live workers, "
+                  f"expected 2", file=sys.stderr)
+            return 1
+        print(f"ci-smoke: /v1/metrics OK ({len(samples)} samples, "
+              f"dedup gauge {dedup_gauge:.3f}, {alive:.0f} workers alive)")
+
+        # ---- structured service log: every event validates against
+        # the checked-in schema, and the run lifecycle is in there.
+        from repro.obs import servicelog
+        log_path = servicelog.default_path(env["REPRO_SERVE_DIR"])
+        log_events = servicelog.validate_log_file(log_path)
+        if log_events <= 0:
+            print("FAIL: service log is empty", file=sys.stderr)
+            return 1
+        logged = {event["event"] for event in
+                  servicelog.ServiceLog(log_path, proc="cli").read()}
+        for expected in ("run.submitted", "run.claimed", "run.started",
+                         "run.finished", "http.request", "worker.online"):
+            if expected not in logged:
+                print(f"FAIL: service log never recorded {expected!r}",
+                      file=sys.stderr)
+                return 1
+        print(f"ci-smoke: service log OK ({log_events} schema-valid "
+              f"events)")
+
+        # ---- distributed trace: submit a process-backend run through
+        # the real repro-submit CLI, then require `repro-runs trace` to
+        # reassemble it into a single rooted span tree (API row ->
+        # worker -> procpool children).
+        submit = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main_submit; "
+             "sys.exit(main_submit(sys.argv[1:]))",
+             "extract", "--url", url, "--no-wait",
+             "--params", '{"jobs": 2, "backend": "process"}'],
+            capture_output=True, env=env, text=True, timeout=60)
+        if submit.returncode != 0:
+            print(f"FAIL: repro-submit failed: {submit.stderr}",
+                  file=sys.stderr)
+            return 1
+        traced_run_id = submit.stdout.strip()
+        client.wait_done(traced_run_id, timeout=300)
+        trace = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main_runs; "
+             "sys.exit(main_runs(sys.argv[1:]))",
+             "trace", traced_run_id, "--json"],
+            capture_output=True, env=env, text=True, timeout=60)
+        if trace.returncode != 0:
+            print(f"FAIL: repro-runs trace exit {trace.returncode}: "
+                  f"{trace.stderr}", file=sys.stderr)
+            return 1
+        assembled = json.loads(trace.stdout)
+        if not (assembled["rooted"] and assembled["traceparent_match"]
+                and assembled["file_spans"] > 0):
+            print(f"FAIL: trace did not reassemble into one rooted tree: "
+                  f"rooted={assembled['rooted']} "
+                  f"match={assembled['traceparent_match']} "
+                  f"spans={assembled['file_spans']}", file=sys.stderr)
+            return 1
+        print(f"ci-smoke: distributed trace OK (run "
+              f"{traced_run_id[:16]}, {assembled['file_spans']} spans, "
+              f"single rooted tree)")
 
         # Result equivalence vs the direct CLI, via real subprocesses:
         # byte-identical stdout, and manifests that `repro-runs diff`

@@ -108,7 +108,12 @@ class _ObsSession:
         if self.args.trace or self.args.chrome_trace:
             from repro.obs import tracer as obs_tracer
 
-            self._tracer = obs_tracer.Tracer(self.tool)
+            # Adopt trace context handed down by a parent process (the
+            # service worker sets TRACEPARENT around each run), so this
+            # run's trace file carries the distributed identity and
+            # `repro-runs trace` can stitch it to the queue row.
+            self._tracer = obs_tracer.Tracer(
+                self.tool, traceparent=obs_tracer.traceparent_from_env())
             obs_tracer.enable(self._tracer)
             self._root_cm = obs_tracer.span(self.tool,
                                             argv=list(self.argv))
@@ -567,6 +572,81 @@ def main_study(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _clock(epoch: float) -> str:
+    """An epoch timestamp as a local wall-clock stamp (ms precision)."""
+    import datetime
+
+    stamp = datetime.datetime.fromtimestamp(epoch)
+    return stamp.strftime("%H:%M:%S.") + f"{stamp.microsecond // 1000:03d}"
+
+
+def _runs_trace(args: argparse.Namespace) -> int:
+    """``repro-runs trace``: stitch one run's distributed trace."""
+    import json as json_mod
+
+    from repro.serve import runtrace
+    from repro.serve.db import RunQueue
+
+    db_path, data_dir = _service_paths(args)
+    queue = RunQueue(db_path)
+    try:
+        assembled = runtrace.assemble(queue, data_dir, args.run_id)
+    except LookupError as exc:
+        _status(f"repro-runs trace: {exc}")
+        return 2
+    if args.json:
+        print(json_mod.dumps(assembled, indent=2, sort_keys=True))
+    else:
+        print(runtrace.render(assembled))
+    return 0 if assembled["rooted"] else 1
+
+
+def _format_service_event(record: dict) -> str:
+    """One service-log record as a single scannable line."""
+    ts = record.get("ts")
+    stamp = _clock(ts) if isinstance(ts, (int, float)) else "--:--:--.---"
+    head = (f"{stamp} {record.get('proc', '?'):<6} "
+            f"{record.get('event', '?')}")
+    skip = {"schema", "ts", "event", "proc", "pid"}
+    extras = []
+    for key in sorted(record):
+        if key in skip or record[key] is None:
+            continue
+        value = record[key]
+        if key in ("run_id", "request_key", "traceparent"):
+            value = str(value)[:16]
+        elif isinstance(value, float):
+            value = f"{value:.3f}"
+        extras.append(f"{key}={value}")
+    return head + ("  " + " ".join(extras) if extras else "")
+
+
+def _runs_tail(args: argparse.Namespace) -> int:
+    """``repro-runs tail``: print/follow the structured service log."""
+    from repro.obs import servicelog
+
+    _, data_dir = _service_paths(args)
+    path = servicelog.default_path(data_dir)
+    log = servicelog.ServiceLog(path, proc="cli", validate=False)
+    matches = (lambda r: True) if not args.event else (
+        lambda r: str(r.get("event", "")).startswith(args.event))
+    backlog = [r for r in log.read(limit=None) if matches(r)]
+    if args.lines >= 0:
+        backlog = backlog[-args.lines:] if args.lines else []
+    for record in backlog:
+        print(_format_service_event(record))
+    if not backlog and not args.follow:
+        _status(f"repro-runs tail: no events in {path}")
+    if args.follow:
+        try:
+            for record in log.follow():
+                if matches(record):
+                    print(_format_service_event(record), flush=True)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def main_runs(argv: Optional[List[str]] = None) -> int:
     """``repro-runs``: inspect and diff run manifests."""
     parser = argparse.ArgumentParser(
@@ -580,7 +660,29 @@ def main_runs(argv: Optional[List[str]] = None) -> int:
         "diff", help="explain how two runs differ (exit 1 when they do)")
     diff.add_argument("a")
     diff.add_argument("b")
+    trace = sub.add_parser(
+        "trace", help="reassemble one service run's cross-process trace "
+                      "(exit 1 unless it forms a single rooted tree)")
+    trace.add_argument("run_id", help="run id or unique prefix")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the assembled tree as JSON")
+    _add_service_args(trace)
+    tail = sub.add_parser(
+        "tail", help="print (and optionally follow) the structured "
+                     "service event log")
+    tail.add_argument("-n", "--lines", type=int, default=20, metavar="N",
+                      help="backlog events to print first (default 20)")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep streaming new events until interrupted")
+    tail.add_argument("--event", default=None, metavar="PREFIX",
+                      help="only events whose name starts with PREFIX")
+    _add_service_args(tail)
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return _runs_trace(args)
+    if args.command == "tail":
+        return _runs_tail(args)
 
     from repro.obs.manifest import (
         diff_manifests,
@@ -611,6 +713,17 @@ def main_runs(argv: Optional[List[str]] = None) -> int:
             print(f"run:         {run.get('id', '')[:16]} "
                   f"(worker {run.get('worker')}, "
                   f"attempt {run.get('attempt')})")
+            if run.get("traceparent"):
+                print(f"  trace:     {run['traceparent']}")
+            stamps = " -> ".join(
+                f"{field} {_clock(run[field])}"
+                for field in ("queued", "claimed", "started", "finished")
+                if isinstance(run.get(field), (int, float)))
+            if stamps:
+                print(f"  timeline:  {stamps}")
+            if isinstance(run.get("queue_latency"), (int, float)):
+                print(f"  queued:    {run['queue_latency']:.3f}s "
+                      f"before claim")
         campaign = manifest.get("campaign")
         if campaign:
             hits = campaign.get("snapshot_hits", 0)
@@ -680,6 +793,8 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
 
     db_path, data_dir = _service_paths(args)
     install_signal_cleanup()
+    from repro.obs import servicelog
+    servicelog.configure(servicelog.default_path(data_dir), proc="api")
     service = Service((args.host, args.port), db_path, data_dir,
                       verbose=args.verbose)
     # stdout, not stderr: scripts parse the resolved URL (port 0).
@@ -729,6 +844,8 @@ def main_worker(argv: Optional[List[str]] = None) -> int:
 
     db_path, data_dir = _service_paths(args)
     install_signal_cleanup()
+    from repro.obs import servicelog
+    servicelog.configure(servicelog.default_path(data_dir), proc="worker")
     kwargs = {}
     if args.batch is not None:
         kwargs["batch_limit"] = args.batch
@@ -832,6 +949,92 @@ def main_submit(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:
         _status(f"repro-submit: {exc}")
         return 2
+
+
+def _top_frame(stats: dict, samples: dict) -> str:
+    """One ``repro-top`` dashboard frame from a stats+metrics poll."""
+    from repro.common.texttable import TextTable
+    from repro.obs import prom
+
+    queue_table = TextTable(["State", "Runs"], title="Queue")
+    for state in sorted(stats.get("by_status", {})):
+        queue_table.add_row(state, str(stats["by_status"][state]))
+    queue_table.add_row("total", str(stats.get("runs", 0)))
+
+    flow = TextTable(["Signal", "Value"], title="Flow")
+    flow.add_row("submits", str(stats.get("submits", 0)))
+    flow.add_row("deduplicated", str(stats.get("deduplicated", 0)))
+    flow.add_row("dedup ratio", f"{stats.get('dedup_ratio', 0.0):.3f}")
+    flow.add_row("lease reclaims", str(stats.get("reclaims", 0)))
+
+    latency = TextTable(["Latency", "p50", "p90", "count"],
+                        title="Run latency (finished runs)")
+    for label, name in (("queued", "repro_serve_run_queue_latency_seconds"),
+                        ("exec", "repro_serve_run_exec_latency_seconds"),
+                        ("request",
+                         "repro_serve_run_request_latency_seconds")):
+        count = sum(v for (n, labels), v in samples.items()
+                    if n == name + "_count")
+        p50 = prom.histogram_quantile(samples, name, 0.5)
+        p90 = prom.histogram_quantile(samples, name, 0.9)
+        latency.add_row(label, f"<={p50:.3f}s", f"<={p90:.3f}s",
+                        str(int(count)))
+
+    workers = TextTable(["Worker", "Jobs", "Heartbeat age"],
+                        title="Workers")
+    ages = {labels.get("worker"): value for labels, value in
+            prom.samples_named(samples,
+                               "repro_serve_worker_heartbeat_age_seconds")}
+    jobs = {labels.get("worker"): value for labels, value in
+            prom.samples_named(samples, "repro_serve_worker_jobs_done")}
+    for worker_id in sorted(ages):
+        workers.add_row(worker_id, str(int(jobs.get(worker_id, 0))),
+                        f"{ages[worker_id]:.1f}s")
+    if not ages:
+        workers.add_row("(none seen)", "-", "-")
+
+    return "\n\n".join(table.render() for table in
+                       (queue_table, flow, latency, workers))
+
+
+def main_top(argv: Optional[List[str]] = None) -> int:
+    """``repro-top``: live terminal dashboard over a running service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Poll a repro-serve instance's /v1/stats and "
+                    "/v1/metrics and render a live queue/latency/worker "
+                    "dashboard.",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8675",
+                        help="service base URL")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        metavar="SEC", help="poll interval (default 2s)")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single frame and exit (for scripts "
+                             "and CI)")
+    args = parser.parse_args(argv)
+
+    from repro.serve.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        while True:
+            stats = client.stats()
+            samples = client.metrics()
+            frame = _top_frame(stats, samples)
+            if args.once:
+                print(frame)
+                return 0
+            # Clear + home, like top(1); one frame per poll.
+            sys.stdout.write("\x1b[2J\x1b[H" + args.url + "\n\n"
+                             + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except ServiceError as exc:
+        _status(f"repro-top: {exc}")
+        return 3
+    except KeyboardInterrupt:
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation aid

@@ -50,13 +50,18 @@ def span_to_event(span: Span) -> Dict[str, Any]:
 
 def trace_header(tracer: Tracer) -> Dict[str, Any]:
     """The header event leading a JSONL trace file."""
-    return {
+    header = {
         "type": "trace",
         "schema": EVENT_SCHEMA_VERSION,
         "trace": tracer.name,
         "created": tracer.created_wall,
         "spans": len(tracer),
     }
+    # Distributed identity: present when the run carries cross-process
+    # trace context (service submits), absent for plain CLI runs.
+    if tracer.traceparent is not None:
+        header["traceparent"] = tracer.traceparent
+    return header
 
 
 def validate_event(event: Dict[str, Any]) -> None:

@@ -32,7 +32,11 @@ from repro.obs.schema import load_schema, validate
 #: content request key, executing worker, claim attempt) written by
 #: :mod:`repro.serve.worker` so a manifest can be traced back to the
 #: queue row it records.
-MANIFEST_SCHEMA_VERSION = 3
+#: v4: the ``run`` section gains the run timeline (queued/claimed/
+#: started/finished epoch stamps, derived queue latency) and the
+#: cross-process ``traceparent``; all informational, so v3 manifests
+#: keep diffing as equivalent against v4 ones.
+MANIFEST_SCHEMA_VERSION = 4
 
 _MANIFEST_SCHEMA: Dict[str, Any] = load_schema("manifest_schema.json")
 
@@ -234,12 +238,24 @@ def diff_manifests(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
     # field is informational (~) drift.
     ua, ub = a.get("run") or {}, b.get("run") or {}
     if ua or ub:
-        for field in ("id", "request_key", "worker", "attempt"):
+        for field in ("id", "request_key", "worker", "attempt",
+                      "traceparent"):
             if ua.get(field) != ub.get(field):
                 va, vb = ua.get(field), ub.get(field)
                 if field in ("id", "request_key"):
                     va, vb = _short(va), _short(vb)
                 lines.append(f"~run.{field}: {va} -> {vb}")
+        # The run timeline (v4): epoch stamps and derived queue
+        # latency.  Two executions always have different clocks, so
+        # all of it is informational drift by definition.
+        for field in ("queued", "claimed", "started", "finished"):
+            if ua.get(field) != ub.get(field):
+                lines.append(f"~run.{field}: {_stamp(ua.get(field))} -> "
+                             f"{_stamp(ub.get(field))}")
+        la, lb = ua.get("queue_latency"), ub.get("queue_latency")
+        if la != lb and (la is not None or lb is not None):
+            lines.append(f"~run.queue_latency: {_latency(la)} -> "
+                         f"{_latency(lb)}")
 
     # Informational drift: never makes the runs "different", but often
     # explains a perf question at a glance.
@@ -288,3 +304,16 @@ def _span(seconds: List[float]) -> str:
     if not seconds:
         return "[]"
     return f"[{len(seconds)}x {min(seconds):.3f}..{max(seconds):.3f}s]"
+
+
+def _stamp(epoch: Optional[float]) -> str:
+    """Epoch seconds as a local wall-clock timestamp (or the raw value)."""
+    if not isinstance(epoch, (int, float)):
+        return str(epoch)
+    return time.strftime("%H:%M:%S", time.localtime(epoch)) \
+        + f".{int(epoch * 1000) % 1000:03d}"
+
+
+def _latency(seconds: Optional[float]) -> str:
+    return f"{seconds:.3f}s" if isinstance(seconds, (int, float)) \
+        else str(seconds)

@@ -1,0 +1,290 @@
+"""The structured service event log: one JSONL stream for the fleet.
+
+Before this module the serving layer narrated itself with ad-hoc
+``print(..., file=sys.stderr)`` lines scattered through ``api.py`` and
+``worker.py`` — fine for one terminal, useless for a fleet: you cannot
+grep a stderr that three processes interleave, and you certainly
+cannot ask it "which runs were reclaimed twice last hour".  This log
+replaces them with schema-validated JSONL events
+(``servicelog_schema.json``) that every service process appends to the
+*same* file.
+
+Design points, in the order they bit:
+
+- **Multi-process appends.**  The API, N workers, and the queue all
+  emit into one file.  Each emit opens the file with ``O_APPEND`` and
+  writes a single ``write()`` of one newline-terminated line — on
+  POSIX, small O_APPEND writes from multiple processes do not
+  interleave, so the stream stays line-parseable without a lock
+  server.  Keeping the fd open across emits would pin a rotated file;
+  open-per-emit costs ~10 µs and makes rotation safe.
+- **Rotation.**  When the file exceeds ``max_bytes`` the emitter
+  shifts ``service.log.jsonl`` to ``.1`` (and ``.1`` to ``.2``, up to
+  ``backups``) via ``os.replace``.  Two processes racing the shift can
+  at worst rotate twice — a cosmetic short segment, never data loss,
+  because O_APPEND writers re-open by path on every emit.
+- **Cheap when unconfigured.**  Library code calls :func:`emit`
+  unconditionally; until :func:`configure` points the module at a
+  path, an emit is one global load and a None-test — the same
+  disabled-cost discipline :mod:`repro.obs.tracer` established, priced
+  by ``bench_obs``.
+- **Never fatal.**  A telemetry failure (disk full, permission)
+  must not take the service down: emit errors are swallowed after
+  incrementing the ``servicelog.dropped`` counter, which ``/v1/
+  metrics`` then surfaces — the log degrades *visibly*, not silently.
+
+Events are flat dicts: ``schema``/``ts``/``event``/``proc``/``pid``
+always, plus whichever optional fields the transition carries
+(``run_id``, ``method``/``path``/``status``/``duration`` for HTTP,
+``queue_latency``/``exec_latency`` for run completion, ...).  The
+checked-in schema is closed (``additionalProperties: false``) so a
+typo'd field name fails tests instead of polluting the stream.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from . import schema as _schema
+from .metrics import REGISTRY
+
+SERVICELOG_SCHEMA_VERSION = 1
+
+#: Default rotation threshold; ~10k events at typical line sizes.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+DEFAULT_BACKUPS = 3
+
+#: Processes allowed in the ``proc`` field (mirrors the schema enum).
+PROCS = ("api", "worker", "queue", "cli")
+
+
+class ServiceLog:
+    """An append-only, rotating JSONL event log bound to one path."""
+
+    def __init__(self, path: str,
+                 proc: str = "cli",
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 backups: int = DEFAULT_BACKUPS,
+                 validate: bool = False) -> None:
+        if proc not in PROCS:
+            raise ValueError(f"proc must be one of {PROCS}, got {proc!r}")
+        self.path = path
+        self.proc = proc
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.validate = validate
+        self._schema: Optional[Dict[str, Any]] = None
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event line; never raises (drops are counted)."""
+        record: Dict[str, Any] = {
+            "schema": SERVICELOG_SCHEMA_VERSION,
+            "ts": time.time(),
+            "event": event,
+            "proc": fields.pop("proc", None) or self.proc,
+            "pid": os.getpid(),
+        }
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        if self.validate:
+            # Opt-in (tests, smoke): full schema check per emit.
+            if self._schema is None:
+                self._schema = _schema.load_schema("servicelog_schema.json")
+            _schema.validate(record, self._schema)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self._maybe_rotate(len(line))
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            REGISTRY.bump("servicelog.dropped")
+        return record
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        """Shift the log chain when the active file would overflow."""
+        if self.max_bytes <= 0:
+            return
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        with self._lock:
+            # Re-check under the lock: another thread may have rotated.
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                return
+            if size + incoming <= self.max_bytes:
+                return
+            for index in range(self.backups - 1, 0, -1):
+                older = f"{self.path}.{index}"
+                newer = f"{self.path}.{index + 1}"
+                if os.path.exists(older):
+                    os.replace(older, newer)
+            if self.backups > 0:
+                os.replace(self.path, f"{self.path}.1")
+            else:
+                os.unlink(self.path)
+            REGISTRY.bump("servicelog.rotations")
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def segments(self) -> List[str]:
+        """Existing log files, oldest first (rotated chain then active)."""
+        chain = [f"{self.path}.{index}"
+                 for index in range(self.backups, 0, -1)]
+        chain.append(self.path)
+        return [path for path in chain if os.path.exists(path)]
+
+    def read(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """All events oldest-first across the rotation chain.
+
+        ``limit`` keeps only the newest N.  Torn or non-JSON lines
+        (possible across a rotation race) are skipped, not fatal.
+        """
+        events: List[Dict[str, Any]] = []
+        for path in self.segments():
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            events.append(json.loads(line))
+                        except ValueError:
+                            continue
+            except OSError:
+                continue
+        if limit is not None and len(events) > limit:
+            events = events[-limit:]
+        return events
+
+    def follow(self, poll: float = 0.25,
+               stop: Optional[threading.Event] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Yield events as they are appended (``tail -f`` semantics).
+
+        Starts at the current end of the active file; survives
+        rotation by re-opening when the inode shrinks under us.
+        """
+        position = 0
+        try:
+            position = os.path.getsize(self.path)
+        except OSError:
+            position = 0
+        while stop is None or not stop.is_set():
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size < position:  # rotated under us
+                position = 0
+            if size > position:
+                with open(self.path, encoding="utf-8") as handle:
+                    handle.seek(position)
+                    chunk = handle.read()
+                    position = handle.tell()
+                buffered = io.StringIO(chunk)
+                for line in buffered:
+                    if not line.endswith("\n"):
+                        # Torn tail: rewind so the next poll rereads it.
+                        position -= len(line.encode("utf-8"))
+                        break
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except ValueError:
+                        continue
+            else:
+                time.sleep(poll)
+
+
+def validate_log_file(path: str) -> int:
+    """Validate every line of one segment against the schema.
+
+    Returns the number of events checked; raises
+    :class:`~repro.obs.schema.SchemaError` on the first violation.
+    """
+    loaded = _schema.load_schema("servicelog_schema.json")
+    count = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            _schema.validate(record, loaded, path=f"$[line {lineno}]")
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# module-global log, mirroring the tracer's enable/disable discipline
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[ServiceLog] = None
+
+
+def configure(path: str, proc: str,
+              max_bytes: int = DEFAULT_MAX_BYTES,
+              backups: int = DEFAULT_BACKUPS,
+              validate: bool = False) -> ServiceLog:
+    """Point the process-wide log at ``path``; returns it."""
+    global _ACTIVE
+    _ACTIVE = ServiceLog(path, proc=proc, max_bytes=max_bytes,
+                         backups=backups, validate=validate)
+    return _ACTIVE
+
+
+def unconfigure() -> None:
+    """Detach the process-wide log (tests; emit becomes a no-op)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[ServiceLog]:
+    """The process-wide log, or None when unconfigured."""
+    return _ACTIVE
+
+
+def emit(event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+    """Emit into the process-wide log; no-op when unconfigured.
+
+    This is the call sites' entry point: one global load and a
+    None-test when telemetry is off, so sprinkling emits through the
+    serving layer costs nothing for library users who never start a
+    service.
+    """
+    log = _ACTIVE
+    if log is None:
+        return None
+    return log.emit(event, **fields)
+
+
+def default_path(data_dir: str) -> str:
+    """Where a service rooted at ``data_dir`` keeps its event log."""
+    return os.path.join(data_dir, "service.log.jsonl")

@@ -34,11 +34,14 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
+import os
+import re
 import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: The span the current logical context is inside of (per thread *and*
 #: per context — worker threads receive it via capture()/adopt()).
@@ -93,9 +96,14 @@ class Tracer:
     :meth:`roots`/:meth:`children` to reconstruct the tree.
     """
 
-    def __init__(self, name: str = "repro") -> None:
+    def __init__(self, name: str = "repro",
+                 traceparent: Optional[str] = None) -> None:
         self.name = name
         self.created_wall = time.time()
+        #: W3C-style trace context this tracer belongs to, or None.
+        #: Set when the run was initiated elsewhere (a service submit)
+        #: so trace files from different processes can be matched up.
+        self.traceparent = traceparent
         self._lock = threading.Lock()
         self._next_id = 0
         self.spans: List[Span] = []
@@ -306,6 +314,72 @@ def graft(exported: List[Dict[str, Any]], tracer: Tracer,
             span.error = record["error"]
             tracer.spans.append(span)
     return len(exported)
+
+
+# ---------------------------------------------------------------------------
+# trace context (traceparent) — identifies a trace ACROSS processes
+# ---------------------------------------------------------------------------
+#
+# Span ids stitch a tree together *within* one trace file; they say
+# nothing about which distributed operation the file belongs to.  The
+# serving layer needs that second identity: a run submitted over HTTP
+# is executed by a worker (separate process) which fans out to procpool
+# children (more processes), and `repro-runs trace` must find and trust
+# that all those fragments describe the same run.  We borrow the W3C
+# Trace Context wire shape — `00-<32hex trace-id>-<16hex span-id>-01` —
+# because it is compact, greppable, and lets any OTel-literate reader
+# interpret our ids, without importing any of the surrounding spec.
+#
+# The trace id is DERIVED (sha256) from the request key rather than
+# random: the queue dedups runs by content, so identical submissions
+# share a run AND a trace id by construction, and re-deriving it
+# anywhere in the fleet needs no coordination.
+#
+# The environment variable is the un-prefixed `TRACEPARENT` (the
+# convention emerging around OTel CLI tooling), NOT `REPRO_TRACEPARENT`:
+# `repro.perf.modes.env_signature()` snapshots every `REPRO_*` variable
+# to key persistent process pools, and a per-run-unique value there
+# would retire the warm pool on every service run.
+
+#: ``version-traceid-spanid-flags`` per W3C Trace Context level 1.
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+#: Environment variable carrying trace context across exec boundaries.
+TRACEPARENT_ENV = "TRACEPARENT"
+
+
+def make_traceparent(seed: str, span_seed: str = "root") -> str:
+    """A deterministic traceparent derived from ``seed``.
+
+    ``seed`` is typically a request key: every process that knows the
+    key derives the same trace id with no coordination.  ``span_seed``
+    varies the parent-span-id half (e.g. per attempt) while keeping
+    the trace id stable.
+    """
+    trace_id = hashlib.sha256(f"trace:{seed}".encode()).hexdigest()[:32]
+    span_id = hashlib.sha256(
+        f"span:{seed}:{span_seed}".encode()).hexdigest()[:16]
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(text: str) -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` when ``text`` is well-formed, else None."""
+    match = _TRACEPARENT_RE.match(text.strip().lower())
+    if not match:
+        return None
+    return match.group(1), match.group(2)
+
+
+def traceparent_from_env() -> Optional[str]:
+    """The (validated) trace context handed to this process, if any."""
+    raw = os.environ.get(TRACEPARENT_ENV)
+    if not raw:
+        return None
+    parsed = parse_traceparent(raw)
+    if parsed is None:
+        return None
+    return raw.strip().lower()
 
 
 @contextmanager

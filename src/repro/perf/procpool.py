@@ -235,12 +235,13 @@ def _worker_main(index: int, env: Dict[str, str], arena_dir: str,
         if envelope is None:
             _WORKER_ARENA.close()
             return
-        seq, handler_name, payload, trace_requested = envelope
+        seq, handler_name, payload, trace_requested, traceparent = envelope
         spans: List[Dict[str, Any]] = []
         try:
             handler = _HANDLERS[handler_name]
             if trace_requested:
-                local = tracer.Tracer(f"worker-{index}")
+                local = tracer.Tracer(f"worker-{index}",
+                                      traceparent=traceparent)
                 with tracer.enabled(local):
                     result = handler(payload)
                 spans = tracer.export_spans(local)
@@ -327,6 +328,11 @@ class ProcessPool:
             raise ProcessPoolError("pool is shut down")
         trace_requested = tracer.is_enabled() if trace is None else trace
         parent_span = tracer.capture()
+        # Trace context rides the envelope, not the environment: the
+        # pool is keyed by the REPRO_* snapshot, and a per-run value in
+        # the environment would respawn the warm pool on every run.
+        active = tracer.active()
+        traceparent = active.traceparent if active is not None else None
         with self._lock:
             self._seq += 1
             seq = self._seq
@@ -335,7 +341,7 @@ class ProcessPool:
                 worker = self._rr % self.jobs
                 self._rr += 1
         self._task_queues[worker].put(
-            (seq, handler_name, payload, trace_requested)
+            (seq, handler_name, payload, trace_requested, traceparent)
         )
         return seq
 

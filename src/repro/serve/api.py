@@ -4,6 +4,9 @@ Routes (all JSON unless noted):
 
 - ``GET  /healthz``                 liveness probe
 - ``GET  /v1/stats``                queue depth by state + dedup tallies
+- ``GET  /v1/metrics``              Prometheus text exposition: queue
+  gauges, dedup ratio, lease reclaims, worker heartbeats, and the
+  queue/exec/request latency histograms derived from the runs table
 - ``POST /v1/runs``                 submit ``{"tool", "params", "corpus"}``
   → 201 with the new run, or 200 with the existing run when the
   content key deduplicated the request (``deduplicated: true``)
@@ -35,6 +38,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs import prom, servicelog
+from repro.obs.metrics import REGISTRY
 from repro.serve.db import DONE, FAILED, STATES, CorpusStore, QueueError, RunQueue
 from repro.serve.worker import RequestError, submit_request
 
@@ -48,11 +53,71 @@ _WAIT_POLL_SECONDS = 0.05
 MAX_BODY_BYTES = 8 << 20
 
 
+def render_metrics(queue: RunQueue) -> str:
+    """The ``/v1/metrics`` exposition text for one queue.
+
+    Three sources fold into one scrape:
+
+    - **queue gauges** from :meth:`RunQueue.stats` — depth by status
+      (labelled), dedup ratio, lease reclaims, worker liveness — the
+      database is the only view shared by every process in the fleet;
+    - **run-latency histograms** from :meth:`RunQueue.latencies`,
+      derived from the queued/claimed/started/finished timestamps of
+      finished rows (the API never executed those runs itself, so
+      in-process counters cannot know them);
+    - **this process's registry** — HTTP request counters and the
+      request-latency histogram the handler below records.
+    """
+    stats = queue.stats()
+    workers = queue.workers()
+    exp = prom.Exposition()
+    for state, depth in sorted(stats["by_status"].items()):
+        exp.add("repro_serve_queue_depth", "gauge", depth,
+                labels={"status": state},
+                help_text="Runs currently in each queue state.")
+    exp.add("repro_serve_submits", "gauge", stats["submits"],
+            help_text="Total submissions (including deduplicated).")
+    exp.add("repro_serve_dedup_ratio", "gauge", stats["dedup_ratio"],
+            help_text="Fraction of submissions coalesced onto an "
+                      "existing run.")
+    exp.add("repro_serve_lease_reclaims", "gauge", stats["reclaims"],
+            help_text="Claims of lapsed leases (worker died or "
+                      "stalled mid-job).")
+    exp.add("repro_serve_workers_alive", "gauge",
+            sum(1 for worker in workers if worker["alive"]),
+            help_text="Workers with a recent heartbeat.")
+    now = time.time()
+    for worker in workers:
+        exp.add("repro_serve_worker_heartbeat_age_seconds", "gauge",
+                max(0.0, now - worker["last_seen"]),
+                labels={"worker": worker["worker_id"]},
+                help_text="Seconds since each worker's last heartbeat.")
+        exp.add("repro_serve_worker_jobs_done", "gauge",
+                worker["jobs_done"],
+                labels={"worker": worker["worker_id"]},
+                help_text="Jobs completed per worker.")
+    for name, hist in sorted(queue.latencies().items()):
+        exp.add_histogram(f"repro_{name}_seconds", hist,
+                          help_text=f"Latency histogram {name!r} derived "
+                                    "from the runs table.")
+    for name, value in sorted(REGISTRY.counters().items()):
+        exp.add(f"repro_{name}_total", "counter", value,
+                help_text=f"Monotonic counter {name!r} (API process).")
+    for name, hist in sorted(REGISTRY.histograms().items()):
+        if name.startswith("serve.run."):
+            continue  # fleet view above is authoritative for run latencies
+        exp.add_histogram(f"repro_{name}_seconds", hist,
+                          help_text=f"Latency histogram {name!r} "
+                                    "(API process).")
+    return exp.render()
+
+
 def _public_run(run: Dict[str, Any]) -> Dict[str, Any]:
     """The externally visible shape of one run row."""
     out = {key: run.get(key) for key in (
         "run_id", "tool", "params", "engine", "corpus_id", "status",
-        "submits", "attempts", "created", "finished", "error")}
+        "submits", "attempts", "reclaims", "created", "claimed_at",
+        "started", "finished", "error")}
     result = run.get("result")
     if result is not None:
         out["result"] = {key: value for key, value in result.items()
@@ -76,7 +141,36 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def store(self) -> CorpusStore:
         return self.server.store  # type: ignore[attr-defined]
 
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        """Per-response access record: structured, not a stderr line.
+
+        Every ``send_response`` lands here, so this is the single choke
+        point for HTTP request telemetry — the service log gets a
+        schema-validated event with method/path/status/duration, the
+        registry gets a counter bump and a latency observation, and
+        stderr gets the classic access line only under ``--verbose``.
+        """
+        try:
+            status: Any = int(code)
+        except (TypeError, ValueError):
+            status = str(code)
+        duration = time.perf_counter() - getattr(
+            self, "_began", time.perf_counter())
+        path = urlparse(self.path).path if self.path else "?"
+        REGISTRY.bump("serve.http.requests")
+        REGISTRY.observe("serve.http.latency", duration)
+        servicelog.emit("http.request", method=str(self.command),
+                        path=path, status=status,
+                        duration=round(duration, 6))
+        if getattr(self.server, "verbose", False):
+            # The classic access line, without re-entering our
+            # log_message override (which would double-emit).
+            BaseHTTPRequestHandler.log_message(
+                self, '"%s" %s %s', self.requestline, str(code), str(size))
+
     def log_message(self, format: str, *args: Any) -> None:
+        """Handler diagnostics (errors etc.) go to the service log too."""
+        servicelog.emit("http.log", detail=format % args)
         if getattr(self.server, "verbose", False):  # quiet by default
             super().log_message(format, *args)
 
@@ -119,12 +213,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- GET ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        self._began = time.perf_counter()
         path, query = self._route()
         if path == "/healthz":
             self._json(200, {"ok": True, "time": time.time()})
             return
         if path == "/v1/stats":
             self._json(200, self.queue.stats())
+            return
+        if path == "/v1/metrics":
+            body = render_metrics(self.queue).encode("utf-8")
+            self._send(200, body, prom.CONTENT_TYPE)
             return
         if path == "/v1/runs":
             status = query.get("status")
@@ -194,6 +293,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- POST -----------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        self._began = time.perf_counter()
         path, _query = self._route()
         body = self._read_body()
         if body is None:

@@ -69,6 +69,17 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/stats")
 
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition text from ``/v1/metrics``."""
+        return self._request("GET", "/v1/metrics", raw=True) \
+            .decode("utf-8")
+
+    def metrics(self) -> Dict[Any, float]:
+        """The scrape parsed into ``{(name, labels): value}`` samples."""
+        from repro.obs import prom
+
+        return prom.parse(self.metrics_text())
+
     def submit(self, tool: str, params: Optional[Dict[str, Any]] = None,
                corpus: Optional[str] = None) -> Dict[str, Any]:
         """Submit one request; returns ``{"run": ..., "deduplicated": ...}``."""

@@ -32,6 +32,20 @@ run plus up to ``limit-1`` more with the *same engine signature and
 corpus* — jobs one warm process pool and one warm memo/analysis-store
 set can serve back to back, so N small compatible requests cost one
 pool warm-up and one shared extraction instead of N.
+
+**Telemetry.**  Every row carries its full timeline — ``created``
+(queued), ``claimed_at``, ``started`` (execution began), ``finished``
+— so queue latency, execution latency, and end-to-end request latency
+are derivable from the table alone; :meth:`RunQueue.latencies` folds
+the finished rows into :class:`~repro.obs.metrics.Histogram` snapshots
+that the API renders on ``GET /v1/metrics``.  This matters because the
+API and the workers are *different processes*: in-process counters
+cannot see each other, but every process sees the database.  Reclaims
+(a claim of a lapsed lease) are counted per row and in aggregate, and
+every state transition emits a structured service-log event
+(:mod:`repro.obs.servicelog`) — a no-op until the process configures a
+log path.  A ``workers`` side table records heartbeats so the fleet's
+liveness is one query away.
 """
 
 from __future__ import annotations
@@ -43,6 +57,9 @@ import sqlite3
 import time
 from contextlib import closing
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import servicelog
+from repro.obs.metrics import REGISTRY, Histogram
 
 #: Queue states.
 QUEUED = "queued"
@@ -65,9 +82,11 @@ CREATE TABLE IF NOT EXISTS runs (
     status        TEXT NOT NULL,
     submits       INTEGER NOT NULL DEFAULT 1,
     attempts      INTEGER NOT NULL DEFAULT 0,
+    reclaims      INTEGER NOT NULL DEFAULT 0,
     created       REAL NOT NULL,
     claimed_by    TEXT,
     claimed_at    REAL,
+    started       REAL,               -- execution began (vs claim bookkeeping)
     lease_expires REAL,
     finished      REAL,
     result        TEXT,               -- JSON result payload (done runs)
@@ -75,7 +94,25 @@ CREATE TABLE IF NOT EXISTS runs (
     error         TEXT
 );
 CREATE INDEX IF NOT EXISTS runs_status ON runs (status, created);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id   TEXT PRIMARY KEY,
+    started     REAL NOT NULL,
+    last_seen   REAL NOT NULL,
+    jobs_done   INTEGER NOT NULL DEFAULT 0,
+    jobs_failed INTEGER NOT NULL DEFAULT 0,
+    batches     INTEGER NOT NULL DEFAULT 0
+);
 """
+
+#: Columns older databases may be missing, with their ALTER clauses —
+#: a pre-telemetry service.db upgrades in place on first open.
+_MIGRATIONS = (
+    ("runs", "reclaims", "INTEGER NOT NULL DEFAULT 0"),
+    ("runs", "started", "REAL"),
+)
+
+#: A worker whose heartbeat is older than this is shown as stale.
+WORKER_STALE_SECONDS = 300.0
 
 
 class QueueError(RuntimeError):
@@ -105,6 +142,12 @@ class RunQueue:
         os.makedirs(directory, exist_ok=True)
         with closing(self._connect()) as conn:
             conn.executescript(_SCHEMA)
+            for table, column, clause in _MIGRATIONS:
+                present = {row["name"] for row in conn.execute(
+                    f"PRAGMA table_info({table})")}
+                if column not in present:
+                    conn.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {column} {clause}")
 
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path, timeout=30.0,
@@ -147,6 +190,10 @@ class RunQueue:
                 "SELECT * FROM runs WHERE run_id = ?", (run_id,)
             ).fetchone()
             conn.execute("COMMIT")
+        servicelog.emit("run.submitted", proc="queue", run_id=run_id,
+                        tool=tool, deduped=not created)
+        if not created:
+            REGISTRY.bump("serve.deduped")
         return _row_dict(row), created
 
     # -- claiming -------------------------------------------------------
@@ -183,15 +230,23 @@ class RunQueue:
                  max(1, limit)),
             ).fetchall()
             claimed = []
+            reclaimed = []
             for row in rows:
+                # A row still CLAIMED here got past the eligibility
+                # filter only because its lease lapsed: this claim is
+                # a *reclaim* — a worker died or stalled mid-job.
+                is_reclaim = row["status"] == CLAIMED
                 conn.execute(
                     "UPDATE runs SET status = ?, claimed_by = ?, "
-                    "claimed_at = ?, lease_expires = ?, "
-                    "attempts = attempts + 1 WHERE run_id = ?",
+                    "claimed_at = ?, started = NULL, lease_expires = ?, "
+                    "attempts = attempts + 1, reclaims = reclaims + ? "
+                    "WHERE run_id = ?",
                     (CLAIMED, worker, now, now + lease_seconds,
-                     row["run_id"]),
+                     1 if is_reclaim else 0, row["run_id"]),
                 )
                 claimed.append(row["run_id"])
+                if is_reclaim:
+                    reclaimed.append(row["run_id"])
             conn.execute("COMMIT")
             out = [
                 _row_dict(conn.execute(
@@ -199,7 +254,35 @@ class RunQueue:
                 ).fetchone())
                 for run_id in claimed
             ]
+        for run_id in reclaimed:
+            REGISTRY.bump("serve.lease_reclaimed")
+            servicelog.emit("run.reclaimed", proc="queue", run_id=run_id,
+                            worker=worker, reclaimed=True)
+        for row_dict in out:
+            servicelog.emit("run.claimed", proc="queue",
+                            run_id=row_dict["run_id"], worker=worker,
+                            attempt=row_dict["attempts"])
         return out
+
+    def start(self, run_id: str, worker: str) -> bool:
+        """Stamp execution start on a held claim; False when lost.
+
+        ``claimed_at`` is queue bookkeeping; ``started`` is when the
+        worker actually began executing the tool — the gap between them
+        is lease renewal and batch setup, and the exec-latency
+        histogram measures from here.
+        """
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE runs SET started = ? "
+                "WHERE run_id = ? AND status = ? AND claimed_by = ?",
+                (time.time(), run_id, CLAIMED, worker),
+            )
+            started = cursor.rowcount == 1
+        if started:
+            servicelog.emit("run.started", proc="queue", run_id=run_id,
+                            worker=worker)
+        return started
 
     def renew(self, run_id: str, worker: str,
               lease_seconds: float = DEFAULT_LEASE_SECONDS) -> bool:
@@ -232,6 +315,10 @@ class RunQueue:
                  manifest_path, run_id, CLAIMED, worker),
             )
             finished = cursor.rowcount == 1
+        if finished:
+            latency = self.run_latencies(run_id)
+            servicelog.emit("run.finished", proc="queue", run_id=run_id,
+                            worker=worker, status=DONE, **latency)
         return finished
 
     def fail(self, run_id: str, worker: str, error: str) -> bool:
@@ -243,6 +330,10 @@ class RunQueue:
                 (FAILED, time.time(), error, run_id, CLAIMED, worker),
             )
             failed = cursor.rowcount == 1
+        if failed:
+            servicelog.emit("run.failed", proc="queue", run_id=run_id,
+                            worker=worker, status=FAILED,
+                            error=error[:500])
         return failed
 
     # -- inspection -----------------------------------------------------
@@ -281,22 +372,130 @@ class RunQueue:
         """
         with closing(self._connect()) as conn:
             rows = conn.execute(
-                "SELECT status, COUNT(*) AS n, SUM(submits) AS submits "
-                "FROM runs GROUP BY status"
+                "SELECT status, COUNT(*) AS n, SUM(submits) AS submits, "
+                "SUM(reclaims) AS reclaims FROM runs GROUP BY status"
             ).fetchall()
         by_status = {state: 0 for state in STATES}
-        runs = submits = 0
+        runs = submits = reclaims = 0
         for row in rows:
             by_status[row["status"]] = row["n"]
             runs += row["n"]
             submits += row["submits"] or 0
+            reclaims += row["reclaims"] or 0
         return {
             "runs": runs,
             "submits": submits,
             "deduplicated": submits - runs,
             "dedup_ratio": (1.0 - runs / submits) if submits else 0.0,
+            "reclaims": reclaims,
             "by_status": by_status,
         }
+
+    # -- telemetry ------------------------------------------------------
+
+    @staticmethod
+    def timeline(row: Dict[str, Any]) -> Dict[str, Optional[float]]:
+        """Derived latencies for one run row (None where not yet known).
+
+        - ``queue_latency``: submission to claim (time spent queued);
+        - ``exec_latency``: execution start to finish;
+        - ``request_latency``: submission to finish, end to end.
+
+        Reclaimed rows measure from the *winning* claim — the timeline
+        answers "how long did the run that produced the result take",
+        not "how long did every attempt take" (that is ``attempts``).
+        """
+        created = row.get("created")
+        claimed_at = row.get("claimed_at")
+        started = row.get("started")
+        finished = row.get("finished")
+        out: Dict[str, Optional[float]] = {
+            "queue_latency": None, "exec_latency": None,
+            "request_latency": None,
+        }
+        if created is not None and claimed_at is not None:
+            out["queue_latency"] = max(0.0, claimed_at - created)
+        if started is not None and finished is not None:
+            out["exec_latency"] = max(0.0, finished - started)
+        if created is not None and finished is not None:
+            out["request_latency"] = max(0.0, finished - created)
+        return out
+
+    def run_latencies(self, run_id: str) -> Dict[str, Optional[float]]:
+        """The derived timeline of one run (see :meth:`timeline`)."""
+        row = self.get(run_id)
+        if row is None:
+            return {"queue_latency": None, "exec_latency": None,
+                    "request_latency": None}
+        return self.timeline(row)
+
+    def latencies(self, limit: int = 5000) -> Dict[str, Histogram]:
+        """Queue/exec/request latency histograms over finished runs.
+
+        Computed from the table at call time — the API process scrapes
+        these for ``/v1/metrics`` without ever having executed a run
+        itself (worker-side in-process counters are invisible across
+        the process boundary; the database is the shared truth).
+        ``limit`` bounds the scan to the newest rows so a scrape stays
+        O(recent fleet activity), not O(all time).
+        """
+        histograms = {
+            "serve.run.queue_latency": Histogram(),
+            "serve.run.exec_latency": Histogram(),
+            "serve.run.request_latency": Histogram(),
+        }
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT created, claimed_at, started, finished FROM runs "
+                "WHERE status IN (?, ?) ORDER BY finished DESC LIMIT ?",
+                (DONE, FAILED, limit),
+            ).fetchall()
+        for row in rows:
+            timeline = self.timeline(dict(row))
+            if timeline["queue_latency"] is not None:
+                histograms["serve.run.queue_latency"].observe(
+                    timeline["queue_latency"])
+            if timeline["exec_latency"] is not None:
+                histograms["serve.run.exec_latency"].observe(
+                    timeline["exec_latency"])
+            if timeline["request_latency"] is not None:
+                histograms["serve.run.request_latency"].observe(
+                    timeline["request_latency"])
+        return histograms
+
+    # -- worker heartbeats ----------------------------------------------
+
+    def heartbeat(self, worker_id: str, jobs_done: int = 0,
+                  jobs_failed: int = 0, batches: int = 0) -> None:
+        """Upsert one worker's liveness row (deltas add to tallies)."""
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute(
+                "INSERT INTO workers "
+                "(worker_id, started, last_seen, jobs_done, jobs_failed, "
+                " batches) VALUES (?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(worker_id) DO UPDATE SET "
+                "last_seen = excluded.last_seen, "
+                "jobs_done = jobs_done + excluded.jobs_done, "
+                "jobs_failed = jobs_failed + excluded.jobs_failed, "
+                "batches = batches + excluded.batches",
+                (worker_id, now, now, jobs_done, jobs_failed, batches),
+            )
+
+    def workers(self, stale_seconds: float = WORKER_STALE_SECONDS
+                ) -> List[Dict[str, Any]]:
+        """Every known worker, newest heartbeat first, staleness flagged."""
+        now = time.time()
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT * FROM workers ORDER BY last_seen DESC"
+            ).fetchall()
+        out = []
+        for row in rows:
+            record = dict(row)
+            record["alive"] = (now - record["last_seen"]) < stale_seconds
+            out.append(record)
+        return out
 
 
 # ---------------------------------------------------------------------------

@@ -43,6 +43,8 @@ from contextlib import redirect_stderr, redirect_stdout
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs import servicelog, tracer as obs_tracer
+from repro.obs.metrics import REGISTRY
 from repro.perf.timers import bump
 from repro.serve import keys as serve_keys
 from repro.serve.db import CorpusStore, RunQueue
@@ -55,6 +57,20 @@ DEFAULT_LEASE_SECONDS = 120.0
 
 #: Seconds between queue polls when idle.
 DEFAULT_POLL_SECONDS = 0.2
+
+#: Seconds between worker heartbeat upserts while idle.
+HEARTBEAT_SECONDS = 5.0
+
+
+def service_tracing_enabled() -> bool:
+    """Whether service runs record per-run trace trees (default: yes).
+
+    ``REPRO_SERVE_TRACE=0`` turns it off.  The trace goes to the run's
+    record directory and its status lines to stderr, so the captured
+    stdout — the service's result bytes — stays byte-identical to a
+    direct CLI invocation either way.
+    """
+    return os.environ.get("REPRO_SERVE_TRACE", "1") != "0"
 
 
 class RequestError(ValueError):
@@ -213,15 +229,32 @@ class Worker:
         os.makedirs(run_dir, exist_ok=True)
         manifest_path = os.path.join(run_dir, "manifest.json")
         argv = argv + ["--manifest", manifest_path]
+        # Per-run trace: the CLI main's own --trace machinery records
+        # the span tree into the run directory, and the traceparent —
+        # derived from the request key, so every process agrees on it
+        # with no coordination — rides the TRACEPARENT environment
+        # variable into the session (and from there, inside procpool
+        # task envelopes, into the pool workers).  Deliberately not a
+        # REPRO_* variable: those key the warm process pool.
+        traceparent = obs_tracer.make_traceparent(
+            run["run_id"], f"attempt-{int(run['attempts'])}")
+        tracing = service_tracing_enabled()
+        trace_path = os.path.join(run_dir, "trace.jsonl")
+        if tracing:
+            argv = argv + ["--trace", trace_path]
         main = getattr(cli, spec.main)
         out, err = io.StringIO(), io.StringIO()
         saved_corpus = os.environ.get("REPRO_CORPUS_DIR")
+        saved_traceparent = os.environ.get(obs_tracer.TRACEPARENT_ENV)
+        self.queue.start(run["run_id"], self.worker_id)
+        started_wall = time.time()
         started = time.perf_counter()
         with _EXEC_LOCK:
             try:
                 if run.get("corpus_id"):
                     os.environ["REPRO_CORPUS_DIR"] = \
                         self.store.path(run["corpus_id"])
+                os.environ[obs_tracer.TRACEPARENT_ENV] = traceparent
                 with redirect_stdout(out), redirect_stderr(err):
                     try:
                         exit_code = int(main(argv) or 0)
@@ -233,14 +266,28 @@ class Worker:
                         os.environ.pop("REPRO_CORPUS_DIR", None)
                     else:
                         os.environ["REPRO_CORPUS_DIR"] = saved_corpus
+                if saved_traceparent is None:
+                    os.environ.pop(obs_tracer.TRACEPARENT_ENV, None)
+                else:
+                    os.environ[obs_tracer.TRACEPARENT_ENV] = saved_traceparent
         wall = time.perf_counter() - started
 
         manifest = load_manifest(manifest_path)
+        queue_latency = None
+        if run.get("claimed_at") is not None and run.get("created") is not None:
+            queue_latency = round(
+                max(0.0, run["claimed_at"] - run["created"]), 6)
         manifest["run"] = {
             "id": run["run_id"],
             "request_key": run["run_id"],
             "worker": self.worker_id,
             "attempt": int(run["attempts"]),
+            "traceparent": traceparent,
+            "queued": run.get("created"),
+            "claimed": run.get("claimed_at"),
+            "started": started_wall,
+            "finished": started_wall + wall,
+            "queue_latency": queue_latency,
         }
         write_manifest(manifest, manifest_path)
         result = {
@@ -263,11 +310,13 @@ class Worker:
         self.batches += 1
         bump("serve.batches")
         bump("serve.batch_jobs", len(batch))
+        batch_done = batch_failed = 0
         for run in batch:
             try:
                 result, manifest_path = self.execute(run)
             except BaseException as exc:
                 self.jobs_failed += 1
+                batch_failed += 1
                 bump("serve.jobs_failed")
                 detail = "".join(traceback.format_exception_only(
                     type(exc), exc)).strip()
@@ -276,28 +325,51 @@ class Worker:
                     raise  # KeyboardInterrupt and friends still stop us
                 continue
             self.jobs_done += 1
+            batch_done += 1
             bump("serve.jobs_done")
             self.queue.finish(run["run_id"], self.worker_id, result,
                               manifest_path)
+            # In-process latency view (the fleet view is derived from
+            # the runs table by whoever serves /v1/metrics).
+            REGISTRY.observe("serve.run.exec_latency",
+                             result["wall_seconds"])
+            timeline = self.queue.run_latencies(run["run_id"])
+            if timeline["queue_latency"] is not None:
+                REGISTRY.observe("serve.run.queue_latency",
+                                 timeline["queue_latency"])
             # Renew the remaining claims: the lease covers the whole
             # batch, and a long job must not let its batchmates lapse.
             for waiting in batch:
                 if waiting["run_id"] != run["run_id"]:
                     self.queue.renew(waiting["run_id"], self.worker_id,
                                      self.lease_seconds)
+        self.queue.heartbeat(self.worker_id, jobs_done=batch_done,
+                             jobs_failed=batch_failed, batches=1)
         return len(batch)
 
     def run_forever(self, stop: Optional[threading.Event] = None,
                     max_jobs: Optional[int] = None) -> int:
         """Poll-and-execute until ``stop`` is set (or ``max_jobs`` run)."""
         total = 0
+        self.queue.heartbeat(self.worker_id)
+        servicelog.emit("worker.online", worker=self.worker_id)
+        last_beat = time.time()
         while stop is None or not stop.is_set():
             ran = self.run_once()
             total += ran
             if max_jobs is not None and total >= max_jobs:
                 break
             if not ran:
+                # Idle heartbeats, throttled: liveness without writing
+                # the database once per poll tick.
+                now = time.time()
+                if now - last_beat >= HEARTBEAT_SECONDS:
+                    self.queue.heartbeat(self.worker_id)
+                    last_beat = now
                 time.sleep(self.poll_seconds)
+            else:
+                last_beat = time.time()
+        servicelog.emit("worker.offline", worker=self.worker_id)
         return total
 
 

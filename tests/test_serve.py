@@ -319,12 +319,23 @@ class TestWorker:
         worker.run_once()
         run = worker.queue.get(row["run_id"])
         manifest = load_manifest(run["manifest_path"])
-        assert manifest["run"] == {
-            "id": row["run_id"],
-            "request_key": row["run_id"],
-            "worker": "test-worker",
-            "attempt": 1,
-        }
+        record = manifest["run"]
+        assert record["id"] == row["run_id"]
+        assert record["request_key"] == row["run_id"]
+        assert record["worker"] == "test-worker"
+        assert record["attempt"] == 1
+        # v4 timeline: queued <= claimed <= started <= finished, with
+        # the queue latency derived from the first two.
+        assert record["queued"] <= record["claimed"]
+        assert record["claimed"] <= record["started"] + 1e-6
+        assert record["started"] < record["finished"]
+        assert record["queue_latency"] == pytest.approx(
+            record["claimed"] - record["queued"], abs=1e-3)
+        # v4 trace context: derived from the request key, so it is
+        # reproducible from the row alone.
+        from repro.obs import tracer as obs_tracer
+        assert record["traceparent"] == obs_tracer.make_traceparent(
+            row["run_id"], "attempt-1")
         assert run["result"]["manifest"] == \
             os.path.relpath(run["manifest_path"], service_dir)
 

@@ -1,6 +1,7 @@
-"""The serving layer: dedup latency, sustained throughput, CI smoke.
+"""The serving layer: dedup latency, throughput, hot path, CI smoke.
 
-Three contracts added with the tier-8 service (``src/repro/serve``):
+Contracts measured and enforced here (the tier-8 service plus the
+tier-10 hot path, ``src/repro/serve``):
 
 - **duplicate vs cold latency** — submitting a request whose content
   key already resolved to a ``done`` run must return its result at
@@ -12,12 +13,23 @@ Three contracts added with the tier-8 service (``src/repro/serve``):
   study, and corpus-overlay submissions, most of them duplicates —
   the shape a shared service actually sees) must complete end to end
   at ``MIN_THROUGHPUT_RPS`` requests/second through one API and one
-  worker.  The floor holds because duplicates collapse onto existing
-  rows and compatible fresh jobs batch onto a warm worker.
+  worker.
+- **read hot path** — a read-heavy workload (result/manifest fetches
+  of finished runs) against the hot configuration (connection reuse,
+  hot-result cache with ``ETag``/``If-None-Match`` 304s, keep-alive
+  conditional client) must beat the per-call baseline (no DB pooling,
+  no cache, reconnect-per-request unconditional client) by at least
+  ``MIN_READ_SPEEDUP``.  Enforced everywhere — it is pure CPU-side
+  plumbing, not parallelism.
+- **concurrent worker execution** — a worker with two exec slots must
+  complete a compatible two-job batch (sampled ``conbugck`` campaigns
+  with distinct seeds, ``--backend process``) faster than one slot by
+  ``MIN_CONCURRENT_SPEEDUP``; enforced only on hosts with >= 4 CPUs
+  (recorded elsewhere), and the outputs must be byte-identical across
+  slot counts — concurrency must not perturb results.
 - **byte identity** — the service's result bytes for a request must
-  equal the stdout of a direct CLI invocation of the same request.
-  The worker executes through the real CLI mains, so this is asserted,
-  not approximated.
+  equal the stdout of a direct CLI invocation of the same request,
+  and the hot and baseline configurations must serve identical bytes.
 
 ``--ci-smoke`` is the CI service job: boot a real ``repro-serve``
 process and two ``repro-worker`` processes, push 50 requests of which
@@ -26,11 +38,14 @@ process and two ``repro-worker`` processes, push 50 requests of which
 between a service manifest and a direct CLI manifest.  The fleet
 telemetry is held to the same bar: ``/v1/metrics`` must parse as
 Prometheus text exposition with populated run-latency histograms, the
-dedup gauge, and two live workers; the structured service log must
-validate against its schema and contain the full run lifecycle; and a
-``repro-submit`` run executed with ``--backend process`` must
-reassemble into a single rooted span tree via ``repro-runs trace``.
-Then SIGTERM everything and require clean signal semantics.
+dedup gauge, two live workers, and nonzero hot-path counters
+(``repro_serve_cache_hits_total``, ``repro_serve_wait_wakeups_total``);
+an explicit ``If-None-Match`` revalidation must answer ``304`` with no
+body; the structured service log must validate against its schema and
+contain the full run lifecycle; and a ``repro-submit`` run executed
+with ``--backend process`` must reassemble into a single rooted span
+tree via ``repro-runs trace``.  Then SIGTERM everything and require
+clean signal semantics.
 
 Results land machine-readable in ``BENCH_service.json`` at the repo
 root.  Runnable standalone (``python benchmarks/bench_service.py
@@ -40,7 +55,6 @@ root.  Runnable standalone (``python benchmarks/bench_service.py
 from __future__ import annotations
 
 import argparse
-import io
 import json
 import os
 import signal
@@ -49,7 +63,6 @@ import sys
 import tempfile
 import threading
 import time
-from contextlib import redirect_stderr, redirect_stdout
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Required cold/duplicate latency ratio.  A duplicate of a done run
@@ -61,9 +74,28 @@ MIN_DUP_SPEEDUP = 5.0
 MIN_THROUGHPUT_RPS = 8.0
 SMOKE_THROUGHPUT_RPS = 5.0
 
+#: Required hot-vs-baseline ratio on the read-heavy workload.  The
+#: hot side reuses connections and answers 304s from the in-memory
+#: cache; the baseline reconnects and re-reads the database per call.
+MIN_READ_SPEEDUP = 3.0
+
+#: Required two-slot vs one-slot ratio on a compatible process-backend
+#: batch.  Parallel speedup needs cores: enforced at >= 4 CPUs,
+#: recorded (never failed) below that.
+MIN_CONCURRENT_SPEEDUP = 1.25
+CONCURRENT_FLOOR_MIN_CPUS = 4
+
 #: Mixed-workload size (requests submitted, duplicates included).
 WORKLOAD_REQUESTS = 100
 SMOKE_WORKLOAD_REQUESTS = 40
+
+#: Read-heavy workload size (result/manifest GETs over done runs).
+READ_REQUESTS = 240
+SMOKE_READ_REQUESTS = 90
+
+#: Sampled-campaign size for the concurrent-worker batch.
+CONBUGCK_BUDGET = 5000
+SMOKE_CONBUGCK_BUDGET = 2500
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
@@ -81,20 +113,19 @@ def _ensure_imports() -> None:
 def _direct_cli(tool_main: str, argv: List[str]) -> Tuple[int, str]:
     """Run one CLI main in-process with stdout captured.
 
-    Takes the worker's execution lock so the capture cannot interleave
-    with a job the in-process worker thread is running — ``redirect_
-    stdout`` swaps process-global state.
+    Uses the worker's thread-routed :func:`~repro.serve.worker.
+    capture_output`, so the capture composes with any job an
+    in-process worker thread is running concurrently — each thread
+    sees only its own bytes.
     """
     import repro.cli as cli
     from repro.serve import worker as serve_worker
 
-    out, err = io.StringIO(), io.StringIO()
-    with serve_worker._EXEC_LOCK:
-        with redirect_stdout(out), redirect_stderr(err):
-            try:
-                code = int(getattr(cli, tool_main)(list(argv)) or 0)
-            except SystemExit as exc:
-                code = int(exc.code or 0)
+    with serve_worker.capture_output() as (out, _err):
+        try:
+            code = int(getattr(cli, tool_main)(list(argv)) or 0)
+        except SystemExit as exc:
+            code = int(exc.code or 0)
     return code, out.getvalue()
 
 
@@ -117,6 +148,131 @@ def _unique_requests(client, overlays: int) -> List[Dict[str, Any]]:
     return uniques
 
 
+def _read_workload(client, run_ids: List[str], reads: int) -> float:
+    """Time ``reads`` result/manifest fetches round-robin over runs."""
+    started = time.perf_counter()
+    for index in range(reads):
+        run_id = run_ids[index % len(run_ids)]
+        if index % 3 == 2:
+            client.manifest(run_id)
+        else:
+            client.result_bytes(run_id)
+    return time.perf_counter() - started
+
+
+def _warm_reads(client, run_ids: List[str]) -> None:
+    """Touch every (run, kind) pair once so timed reads run steady-state."""
+    for run_id in run_ids:
+        client.result_bytes(run_id)
+        client.manifest(run_id)
+
+
+def _stable_output(text: str) -> str:
+    """Campaign stdout minus its wall-clock line.
+
+    A campaign's report is deterministic except for the measured
+    ``throughput: ... configs/sec`` line; identity assertions compare
+    everything else (the digest line pins the semantic payload).
+    """
+    return "\n".join(line for line in text.splitlines()
+                     if not line.startswith("throughput:"))
+
+
+def _concurrent_worker_section(smoke: bool) -> Dict[str, Any]:
+    """Time a compatible two-job batch at one vs two exec slots.
+
+    Two sampled ``conbugck`` campaigns with distinct seeds share an
+    engine signature (``--backend process``, equal ``--jobs``), so
+    :meth:`~repro.serve.db.RunQueue.claim_batch` hands them to one
+    worker as one batch; with ``exec_slots=2`` they execute as one
+    concurrent wave.  Output bytes must match across slot counts —
+    concurrency is a scheduling change, never a result change — and
+    the distinct seeds must keep producing distinct outputs (no
+    cross-job clobbering through the shared capture plumbing).
+    """
+    from repro.serve.db import DONE, CorpusStore, RunQueue
+    from repro.serve.worker import Worker, submit_request
+
+    budget = SMOKE_CONBUGCK_BUDGET if smoke else CONBUGCK_BUDGET
+    seeds = (11, 12)
+
+    def params_for(seed: int) -> Dict[str, Any]:
+        return {"sample": "random", "budget": budget, "seed": seed,
+                "jobs": 2, "backend": "process"}
+
+    # Tracing off for the whole section: solo waves trace by default,
+    # concurrent waves never do, and the comparison must not fold that
+    # difference into the timing.
+    saved_trace = os.environ.get("REPRO_SERVE_TRACE")
+    os.environ["REPRO_SERVE_TRACE"] = "0"
+    timings: Dict[int, float] = {}
+    outputs: Dict[int, Dict[int, str]] = {}
+    try:
+        # Warm-up: create the persistent process pool and populate the
+        # in-process memos, so both slot configurations run warm.
+        warm_dir = tempfile.mkdtemp(prefix="repro-service-bench-warm-")
+        warm_db = os.path.join(warm_dir, "queue.db")
+        warm_queue = RunQueue(warm_db)
+        submit_request(warm_queue, CorpusStore(warm_dir), "conbugck",
+                       params_for(99))
+        warm_worker = Worker(warm_db, warm_dir, worker_id="bench-warm",
+                             watch=False)
+        try:
+            warm_worker.run_once()
+        finally:
+            warm_worker.close()
+            warm_queue.close()
+
+        for slots in (1, 2):
+            tmp = tempfile.mkdtemp(prefix=f"repro-service-bench-s{slots}-")
+            db_path = os.path.join(tmp, "queue.db")
+            queue = RunQueue(db_path)
+            store = CorpusStore(tmp)
+            rows = [submit_request(queue, store, "conbugck",
+                                   params_for(seed))[0] for seed in seeds]
+            worker = Worker(db_path, tmp, worker_id=f"bench-slots{slots}",
+                            exec_slots=slots, watch=False)
+            try:
+                started = time.perf_counter()
+                ran = worker.run_once()
+                timings[slots] = time.perf_counter() - started
+            finally:
+                worker.close()
+            assert ran == len(seeds), \
+                f"expected one batch of {len(seeds)}, worker ran {ran}"
+            outputs[slots] = {}
+            for seed, row in zip(seeds, rows):
+                final = queue.get(row["run_id"])
+                assert final is not None and final["status"] == DONE, \
+                    f"seed {seed} run not done at {slots} slot(s): {final}"
+                assert final["attempts"] == 1, \
+                    f"seed {seed} run re-attempted at {slots} slot(s)"
+                outputs[slots][seed] = final["result"]["output"]
+            queue.close()
+    finally:
+        if saved_trace is None:
+            os.environ.pop("REPRO_SERVE_TRACE", None)
+        else:
+            os.environ["REPRO_SERVE_TRACE"] = saved_trace
+
+    identical = all(_stable_output(outputs[1][seed])
+                    == _stable_output(outputs[2][seed]) for seed in seeds)
+    distinct = (_stable_output(outputs[1][seeds[0]])
+                != _stable_output(outputs[1][seeds[1]]))
+    speedup = (timings[1] / timings[2]) if timings[2] > 0 else float("inf")
+    cpus = os.cpu_count() or 1
+    return {
+        "budget": budget,
+        "slots1_s": timings[1],
+        "slots2_s": timings[2],
+        "speedup": speedup,
+        "identical": identical,
+        "distinct_seeds_distinct_outputs": distinct,
+        "cpus": cpus,
+        "enforced": cpus >= CONCURRENT_FLOOR_MIN_CPUS,
+    }
+
+
 def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
     """Measure, render, and enforce the service contracts; 0 on success."""
     _ensure_imports()
@@ -127,6 +283,7 @@ def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
     from repro.serve.worker import Worker
 
     requests_total = SMOKE_WORKLOAD_REQUESTS if smoke else WORKLOAD_REQUESTS
+    reads_total = SMOKE_READ_REQUESTS if smoke else READ_REQUESTS
     min_rps = SMOKE_THROUGHPUT_RPS if smoke else MIN_THROUGHPUT_RPS
 
     data_dir = tempfile.mkdtemp(prefix="repro-service-bench-")
@@ -146,19 +303,19 @@ def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
         cold_run = client.submit_and_wait("extract", {"jobs": 1},
                                           timeout=120)
         cold_s = time.perf_counter() - started
-        run_id = cold_run["run_id"]
+        probe_id = cold_run["run_id"]
 
         dup_s = float("inf")
         for _ in range(5):
             started = time.perf_counter()
             submitted = client.submit("extract", {"jobs": 1})
             assert submitted["deduplicated"], "duplicate was not dedup'd"
-            body = client.result_bytes(submitted["run"]["run_id"])
+            client.result_bytes(submitted["run"]["run_id"])
             dup_s = min(dup_s, time.perf_counter() - started)
         dup_speedup = cold_s / dup_s if dup_s > 0 else float("inf")
 
         # ---- byte identity vs the direct CLI --------------------------
-        service_bytes = client.result_bytes(run_id)
+        service_bytes = client.result_bytes(probe_id)
         direct_code, direct_out = _direct_cli("main_extract",
                                               ["--jobs", "1"])
         byte_identical = (direct_code == 0
@@ -178,12 +335,43 @@ def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
         workload_s = time.perf_counter() - started
         throughput = requests_total / workload_s if workload_s else 0.0
 
+        # ---- read-heavy hot path vs the per-call baseline -------------
+        # Same database, same finished runs, two service shapes: the
+        # hot one (connection pooling, hot cache, 304s, keep-alive
+        # conditional client) against the baseline (per-call DB
+        # connects, no cache or ETag, reconnect-per-request client).
+        done_ids = [row["run_id"]
+                    for row in client.runs(status="done", limit=16)]
+        assert done_ids, "no finished runs to read back"
+        _warm_reads(client, done_ids)  # populate cache + client ETags
+        hot_reads_s = _read_workload(client, done_ids, reads_total)
+
+        baseline, _bthread = start_in_thread(
+            db_path, data_dir, pooling=False, cache_bytes=0, watch=False)
+        base_client = ServiceClient(baseline.url, conditional=False,
+                                    keepalive=False)
+        try:
+            _warm_reads(base_client, done_ids)
+            base_reads_s = _read_workload(base_client, done_ids, reads_total)
+            baseline_bytes = base_client.result_bytes(probe_id)
+        finally:
+            baseline.shutdown()
+            baseline.server_close()
+        read_speedup = (base_reads_s / hot_reads_s) if hot_reads_s > 0 \
+            else float("inf")
+        hot_vs_baseline = (client.result_bytes(probe_id) == baseline_bytes
+                           == service_bytes)
+
         stats = client.stats()
     finally:
         stop.set()
         worker_thread.join(timeout=30)
         service.shutdown()
         service.server_close()
+        worker.close()
+
+    # ---- concurrent worker execution (own queues, no HTTP) ------------
+    concurrent = _concurrent_worker_section(smoke)
 
     # ---- render -------------------------------------------------------
 
@@ -199,11 +387,29 @@ def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
                   f"{workload_s:.3f} s")
     table.add_row("throughput", f"{throughput:.1f} req/s "
                   f"(floor {min_rps:.1f})")
+    table.add_row(f"read workload hot ({reads_total} reads)",
+                  f"{hot_reads_s:.3f} s")
+    table.add_row("read workload baseline", f"{base_reads_s:.3f} s")
+    table.add_row("read hot-path speedup", f"{read_speedup:.1f}x "
+                  f"(floor {MIN_READ_SPEEDUP:.1f}x)")
+    table.add_row("concurrent batch, 1 slot",
+                  f"{concurrent['slots1_s']:.3f} s")
+    table.add_row("concurrent batch, 2 slots",
+                  f"{concurrent['slots2_s']:.3f} s")
+    table.add_row("two-slot speedup",
+                  f"{concurrent['speedup']:.2f}x "
+                  f"(floor {MIN_CONCURRENT_SPEEDUP:.2f}x, "
+                  + ("enforced" if concurrent["enforced"]
+                     else f"recorded: {concurrent['cpus']} CPU(s)") + ")")
     table.add_row("dedup ratio", f"{stats['dedup_ratio']:.3f} "
                   f"({stats['deduplicated']}/{stats['submits']} coalesced)")
     rendered = table.render()
     rendered += (f"\n\nservice result byte-identical to direct CLI: "
                  f"{'yes' if byte_identical else 'NO'}")
+    rendered += (f"\nhot and baseline services serve identical bytes: "
+                 f"{'yes' if hot_vs_baseline else 'NO'}")
+    rendered += (f"\nconcurrent outputs identical across slot counts: "
+                 f"{'yes' if concurrent['identical'] else 'NO'}")
     rendered += (f"\nqueue after workload: "
                  + ", ".join(f"{state}={count}" for state, count
                              in sorted(stats["by_status"].items())))
@@ -214,30 +420,49 @@ def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
             "workload": {
                 "description": "mixed extract/checker/study/overlay "
                                "rotation, mostly duplicates, one API + "
-                               "one worker in-process",
+                               "one worker in-process; then a read-heavy "
+                               "hot-path pass and a two-slot concurrent "
+                               "batch",
                 "requests": requests_total,
+                "reads": reads_total,
+                "conbugck_budget": concurrent["budget"],
                 "unique_requests": stats["runs"],
                 "dedup_ratio": stats["dedup_ratio"],
+                "cpus": concurrent["cpus"],
             },
             "seconds": {
                 "cold_request": cold_s,
                 "duplicate_request": dup_s,
                 "workload": workload_s,
+                "read_workload_hot": hot_reads_s,
+                "read_workload_baseline": base_reads_s,
+                "concurrent_slots1": concurrent["slots1_s"],
+                "concurrent_slots2": concurrent["slots2_s"],
             },
             "speedups": {
                 "duplicate_vs_cold": dup_speedup,
                 "throughput_rps": throughput,
+                "read_hot_vs_baseline": read_speedup,
+                "concurrent_two_slots": concurrent["speedup"],
             },
             "floors": {
                 "duplicate_vs_cold": MIN_DUP_SPEEDUP,
                 "throughput_rps": min_rps,
+                "read_hot_vs_baseline": MIN_READ_SPEEDUP,
+                "concurrent_two_slots": MIN_CONCURRENT_SPEEDUP,
             },
             "floor_enforced": {
                 "duplicate_vs_cold": True,
                 "throughput_rps": True,
+                "read_hot_vs_baseline": True,
+                "concurrent_two_slots": concurrent["enforced"],
             },
             "identical_outputs": {
                 "service_vs_cli": bool(byte_identical),
+                "hot_vs_baseline_service": bool(hot_vs_baseline),
+                "slots1_vs_slots2": bool(concurrent["identical"]),
+                "distinct_seeds_distinct": bool(
+                    concurrent["distinct_seeds_distinct_outputs"]),
             },
         }, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -256,6 +481,18 @@ def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
         print("FAIL: service result differs from direct CLI stdout",
               file=sys.stderr)
         return 1
+    if not hot_vs_baseline:
+        print("FAIL: hot and baseline services served different bytes",
+              file=sys.stderr)
+        return 1
+    if not concurrent["identical"]:
+        print("FAIL: concurrent execution changed result bytes "
+              "(slots=1 vs slots=2)", file=sys.stderr)
+        return 1
+    if not concurrent["distinct_seeds_distinct_outputs"]:
+        print("FAIL: distinct campaign seeds produced identical outputs "
+              "— jobs clobbered each other's capture", file=sys.stderr)
+        return 1
     if dup_speedup < MIN_DUP_SPEEDUP:
         print(f"FAIL: duplicate-request speedup {dup_speedup:.2f}x is "
               f"below the {MIN_DUP_SPEEDUP:.1f}x floor — dedup is "
@@ -264,6 +501,17 @@ def run_benchmark(smoke: bool = False, emit_fn=None) -> int:
     if throughput < min_rps:
         print(f"FAIL: mixed-workload throughput {throughput:.2f} req/s is "
               f"below the {min_rps:.1f} req/s floor", file=sys.stderr)
+        return 1
+    if read_speedup < MIN_READ_SPEEDUP:
+        print(f"FAIL: read hot-path speedup {read_speedup:.2f}x is below "
+              f"the {MIN_READ_SPEEDUP:.1f}x floor — connection reuse / "
+              f"hot cache / 304s are not paying", file=sys.stderr)
+        return 1
+    if (concurrent["enforced"]
+            and concurrent["speedup"] < MIN_CONCURRENT_SPEEDUP):
+        print(f"FAIL: two-slot speedup {concurrent['speedup']:.2f}x is "
+              f"below the {MIN_CONCURRENT_SPEEDUP:.2f}x floor on a "
+              f"{concurrent['cpus']}-CPU host", file=sys.stderr)
         return 1
     return 0
 
@@ -449,6 +697,53 @@ def run_ci_smoke() -> int:
         with open(service_manifest, "w", encoding="utf-8") as fh:
             json.dump(client.manifest(probe["run_id"]), fh)
 
+        # ---- read hot path: the second fetch revalidates via
+        # If-None-Match and must come back 304 from the remembered
+        # bytes; the server must have answered from the hot cache.
+        again = client.result_bytes(probe["run_id"])
+        if again.decode("utf-8") != service_out:
+            print("FAIL: revalidated result bytes differ from the first "
+                  "fetch", file=sys.stderr)
+            return 1
+        if client.not_modified < 1:
+            print("FAIL: client never got a 304 on a repeat fetch",
+                  file=sys.stderr)
+            return 1
+        result_path = f"/v1/runs/{probe['run_id']}/result"
+        status, headers, _body = client._http("GET", result_path)
+        etag = headers.get("Etag")
+        if status != 200 or not etag:
+            print(f"FAIL: result GET returned {status} with ETag {etag!r}",
+                  file=sys.stderr)
+            return 1
+        status, headers, body = client._http(
+            "GET", result_path, headers={"If-None-Match": etag})
+        if status != 304 or body:
+            print(f"FAIL: If-None-Match revalidation returned {status} "
+                  f"with {len(body)} body bytes (expected bodyless 304)",
+                  file=sys.stderr)
+            return 1
+        if headers.get("Etag") != etag:
+            print("FAIL: 304 did not echo the ETag", file=sys.stderr)
+            return 1
+        samples = prom.parse(client.metrics_text())
+        cache_hits = prom.counter_value(samples,
+                                        "repro_serve_cache_hits_total")
+        wakeups = prom.counter_value(samples,
+                                     "repro_serve_wait_wakeups_total")
+        if cache_hits <= 0:
+            print("FAIL: /v1/metrics repro_serve_cache_hits_total is zero "
+                  "— the hot cache never served a read", file=sys.stderr)
+            return 1
+        if wakeups <= 0:
+            print("FAIL: /v1/metrics repro_serve_wait_wakeups_total is "
+                  "zero — long-polls never rode the queue watcher",
+                  file=sys.stderr)
+            return 1
+        print(f"ci-smoke: read hot path OK (304 round-trip, "
+              f"{cache_hits:.0f} cache hits, {wakeups:.0f} watcher "
+              f"wakeups)")
+
         direct_manifest = os.path.join(tmp, "direct-manifest.json")
         direct = subprocess.run(
             [sys.executable, "-c",
@@ -483,7 +778,7 @@ def run_ci_smoke() -> int:
         for proc in procs:
             proc.wait(timeout=30)
         print("ci-smoke: OK (dedup >= 0.5, 25/25 done, byte-identical, "
-              "manifests equivalent, clean SIGTERM teardown)")
+              "manifests equivalent, 304s served, clean SIGTERM teardown)")
         return 0
     finally:
         for proc in procs:
@@ -511,7 +806,8 @@ def test_service_perf():
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the serving layer: duplicate-request "
-                    "latency, mixed-workload throughput, byte identity "
+                    "latency, mixed-workload throughput, the read hot "
+                    "path, concurrent worker execution, byte identity "
                     "with the CLI.")
     parser.add_argument("--smoke", action="store_true",
                         help="smaller workload, relaxed throughput floor "

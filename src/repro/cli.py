@@ -785,6 +785,15 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
                              "resolved URL is printed on stdout)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
+    parser.add_argument("--cache-bytes", type=int, default=None,
+                        metavar="N",
+                        help="hot result/manifest cache budget in bytes; "
+                             "0 disables the cache and ETag emission "
+                             "(default: $REPRO_SERVE_CACHE_BYTES or 32 MiB)")
+    parser.add_argument("--no-pool", action="store_true",
+                        help="open a fresh DB connection per call and "
+                             "sleep-poll long-polls instead of the "
+                             "event-driven watcher (debugging/baseline)")
     _add_service_args(parser)
     args = parser.parse_args(argv)
 
@@ -796,7 +805,9 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
     from repro.obs import servicelog
     servicelog.configure(servicelog.default_path(data_dir), proc="api")
     service = Service((args.host, args.port), db_path, data_dir,
-                      verbose=args.verbose)
+                      verbose=args.verbose, cache_bytes=args.cache_bytes,
+                      pooling=False if args.no_pool else None,
+                      watch=False if args.no_pool else None)
     # stdout, not stderr: scripts parse the resolved URL (port 0).
     print(f"listening on {service.url}", flush=True)
     _status(f"queue database: {db_path}")
@@ -831,7 +842,14 @@ def main_worker(argv: Optional[List[str]] = None) -> int:
                              "renewing loses its claims after this long "
                              "(default 120)")
     parser.add_argument("--poll", type=float, default=None, metavar="SEC",
-                        help="idle queue poll interval (default 0.2)")
+                        help="idle queue poll interval (default 0.2; with "
+                             "the queue watcher this is only the floor — "
+                             "idle claims are event-driven)")
+    parser.add_argument("--slots", type=int, default=None, metavar="N",
+                        help="concurrent exec slots: run up to N compatible "
+                             "batchmates at once (default: "
+                             "$REPRO_SERVE_SLOTS or 1; pays off for "
+                             "--backend process jobs on multi-core hosts)")
     parser.add_argument("--max-jobs", type=int, default=None, metavar="N",
                         help="exit after N jobs (default: run forever)")
     parser.add_argument("--once", action="store_true",
@@ -855,6 +873,8 @@ def main_worker(argv: Optional[List[str]] = None) -> int:
         kwargs["lease_seconds"] = args.lease
     if args.poll is not None:
         kwargs["poll_seconds"] = args.poll
+    if args.slots is not None:
+        kwargs["exec_slots"] = args.slots
     worker = serve_worker.Worker(db_path, data_dir, worker_id=args.id,
                                  **kwargs)
     _status(f"worker {worker.worker_id} polling {db_path}")
@@ -866,6 +886,8 @@ def main_worker(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         ran = worker.jobs_done + worker.jobs_failed
         _status("interrupted")
+    finally:
+        worker.close()
     _status(f"worker {worker.worker_id}: {worker.jobs_done} done, "
             f"{worker.jobs_failed} failed in {worker.batches} batch(es)")
     return 0 if ran or not worker.jobs_failed else 1

@@ -173,6 +173,7 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}
         self._sources: Dict[str, CounterSource] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -197,6 +198,16 @@ class MetricsRegistry:
             if hist is None:
                 hist = self._histograms[name] = Histogram()
             hist.observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to an instantaneous value.
+
+        Counters only go up; a gauge is a level — waiters currently
+        blocked, bytes currently cached — that rises and falls and is
+        rendered as a Prometheus ``gauge`` rather than ``counter``.
+        """
+        with self._lock:
+            self._gauges[name] = float(value)
 
     def register_source(self, name: str,
                         source: Callable[[], Dict[str, int]],
@@ -246,12 +257,19 @@ class MetricsRegistry:
             return {name: hist.copy()
                     for name, hist in self._histograms.items()}
 
+    def gauges(self) -> Dict[str, float]:
+        """Snapshot of the gauges."""
+        with self._lock:
+            return dict(self._gauges)
+
     def reset(self) -> None:
-        """Drop all timings, counters, and histograms; reset every source."""
+        """Drop all timings, counters, histograms, and gauges; reset
+        every source."""
         with self._lock:
             self._stats.clear()
             self._counters.clear()
             self._histograms.clear()
+            self._gauges.clear()
             sources = list(self._sources.values())
         for _source, reset in sources:
             if reset is not None:

@@ -371,9 +371,37 @@ def parse_traceparent(text: str) -> Optional[Tuple[str, str]]:
     return match.group(1), match.group(2)
 
 
+#: Thread-scoped traceparent override (see :func:`traceparent_scope`).
+_SCOPED_TRACEPARENT: ContextVar[Optional[str]] = ContextVar(
+    "repro_obs_traceparent", default=None)
+
+
+@contextmanager
+def traceparent_scope(traceparent: Optional[str]) -> Iterator[None]:
+    """Hand trace context to the ``with`` body without touching env.
+
+    ``os.environ`` is process-global: a service worker running several
+    jobs concurrently cannot export each job's traceparent there
+    without the jobs clobbering each other.  This scope carries the
+    value in a :class:`~contextvars.ContextVar` instead, which
+    :func:`traceparent_from_env` consults before the environment — so
+    in-process callers (the service worker's exec slots) get per-job
+    context while exec'd children still inherit via the variable.
+    """
+    token = _SCOPED_TRACEPARENT.set(traceparent)
+    try:
+        yield
+    finally:
+        _SCOPED_TRACEPARENT.reset(token)
+
+
 def traceparent_from_env() -> Optional[str]:
-    """The (validated) trace context handed to this process, if any."""
-    raw = os.environ.get(TRACEPARENT_ENV)
+    """The (validated) trace context handed to this process, if any.
+
+    A :func:`traceparent_scope` override wins over the environment —
+    it is more specific (per thread/job, not per process).
+    """
+    raw = _SCOPED_TRACEPARENT.get() or os.environ.get(TRACEPARENT_ENV)
     if not raw:
         return None
     parsed = parse_traceparent(raw)

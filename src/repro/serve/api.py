@@ -26,31 +26,102 @@ processes, possibly separate machines sharing the database file's
 filesystem — do the computing.  That split is what lets the service
 absorb submission bursts: enqueue is a millisecond-scale SQLite
 insert regardless of how long the work itself takes.
+
+**The read hot path.**  A run finishes once and is fetched many times
+(dedup aims traffic at exactly that shape), so finished result and
+manifest bytes live in a bounded in-memory LRU (:class:`HotCache`):
+a hot ``GET .../result`` touches neither the database nor the disk.
+Both routes carry a strong ``ETag`` (the content sha) and honor
+``If-None-Match`` with ``304 Not Modified`` — safe because ``done``
+is a terminal state, a run's bytes never change — so a re-validating
+client pays headers, not body bytes.  Long-polls ride the
+:class:`~repro.serve.db.QueueWatcher` condition variable instead of
+per-waiter sleep loops: N blocked clients cost one ``data_version``
+poll per tick, and every completion wakes them all at once.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs import prom, servicelog
 from repro.obs.metrics import REGISTRY
-from repro.serve.db import DONE, FAILED, STATES, CorpusStore, QueueError, RunQueue
+from repro.serve.db import (DONE, FAILED, STATES, CorpusStore, QueueError,
+                            QueueWatcher, RunQueue)
 from repro.serve.worker import RequestError, submit_request
 
 #: Cap on long-poll waits so a stuck client cannot pin an API thread.
 MAX_WAIT_SECONDS = 60.0
 
-#: Seconds between run-row re-reads while long-polling.
+#: Seconds between run-row re-reads while long-polling *without* a
+#: queue watcher (``watch=False``); with one, waits are event-driven.
 _WAIT_POLL_SECONDS = 0.05
 
 #: Upload size cap (corpus sources are tens of KB; 8 MB is generous).
 MAX_BODY_BYTES = 8 << 20
+
+#: Default hot-cache budget (``REPRO_SERVE_CACHE_BYTES`` overrides).
+DEFAULT_CACHE_BYTES = 32 << 20
+
+
+class HotCache:
+    """Bounded LRU over finished-run response bytes.
+
+    Keys are ``(run_id, kind)``; an entry carries the body, its strong
+    ``ETag`` (the content sha — ``done`` is terminal, so the bytes are
+    immutable), the content type, and any extra response headers.
+    Eviction is LRU by total body bytes against ``max_bytes``; an
+    evicted entry simply falls back to the database/disk read path.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], Dict[str, Any]]" = \
+            OrderedDict()
+        self._bytes = 0
+
+    def _publish_gauges(self) -> None:
+        REGISTRY.set_gauge("serve.cache.bytes", self._bytes)
+        REGISTRY.set_gauge("serve.cache.entries", len(self._entries))
+
+    def get(self, key: Tuple[str, str]) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: Tuple[str, str], body: bytes, etag: str,
+            content_type: str,
+            headers: Sequence[Tuple[str, str]] = ()) -> None:
+        if len(body) > self.max_bytes:
+            return  # larger than the whole budget: never cacheable
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old["body"])
+            self._entries[key] = {"body": body, "etag": etag,
+                                  "content_type": content_type,
+                                  "headers": tuple(headers)}
+            self._bytes += len(body)
+            while self._bytes > self.max_bytes and self._entries:
+                _evicted_key, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted["body"])
+                REGISTRY.bump("serve.cache.evictions")
+            self._publish_gauges()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 def render_metrics(queue: RunQueue) -> str:
@@ -103,6 +174,9 @@ def render_metrics(queue: RunQueue) -> str:
     for name, value in sorted(REGISTRY.counters().items()):
         exp.add(f"repro_{name}_total", "counter", value,
                 help_text=f"Monotonic counter {name!r} (API process).")
+    for name, value in sorted(REGISTRY.gauges().items()):
+        exp.add(f"repro_{name}", "gauge", value,
+                help_text=f"Gauge {name!r} (API process).")
     for name, hist in sorted(REGISTRY.histograms().items()):
         if name.startswith("serve.run."):
             continue  # fleet view above is authoritative for run latencies
@@ -237,6 +311,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
         parts = path.split("/")
         if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "runs":
             run_id = parts[3]
+            if len(parts) == 5 and parts[4] in ("result", "manifest"):
+                # Hot path first: a cached entry answers without
+                # touching the database (or waiting) at all — the run
+                # is necessarily done, or it would not be cached.
+                if self._send_cached(run_id, parts[4]):
+                    return
             run = self._wait_for(run_id, query)
             if run is None:
                 self._error(404, f"unknown run {run_id!r}")
@@ -254,32 +334,106 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def _wait_for(self, run_id: str,
                   query: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-        """The run row, long-polled to a terminal state when asked."""
+        """The run row, long-polled to a terminal state when asked.
+
+        With a queue watcher the wait is event-driven: take a change
+        token, re-read the row (*after* the token, so a completion
+        racing the read is never missed — at worst the wakeup is
+        spurious), and block on the shared condition variable until
+        the database changes or the deadline lapses.
+        """
         run = self.queue.get(run_id)
         try:
             wait = min(float(query.get("wait", 0)), MAX_WAIT_SECONDS)
         except ValueError:
             wait = 0.0
+        if (wait <= 0 or run is None
+                or run["status"] in (DONE, FAILED)):
+            return run
         deadline = time.monotonic() + wait
-        while (run is not None and wait > 0
-               and run["status"] not in (DONE, FAILED)
-               and time.monotonic() < deadline):
-            time.sleep(_WAIT_POLL_SECONDS)
+        watcher = self.server.get_watcher()  # type: ignore[attr-defined]
+        while run is not None and run["status"] not in (DONE, FAILED):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            if watcher is None:
+                time.sleep(min(_WAIT_POLL_SECONDS, remaining))
+            else:
+                token = watcher.token()
+                run = self.queue.get(run_id)
+                if run is None or run["status"] in (DONE, FAILED):
+                    break
+                watcher.wait(token, remaining)
             run = self.queue.get(run_id)
         return run
+
+    # -- results & manifests (the read hot path) ------------------------
+
+    @property
+    def cache(self) -> Optional[HotCache]:
+        return getattr(self.server, "cache", None)
+
+    def _conditional_send(self, body: bytes, etag: str, content_type: str,
+                          headers: Sequence[Tuple[str, str]] = ()) -> None:
+        """200 with an ``ETag``, or bodyless 304 on a validator match."""
+        if self.headers.get("If-None-Match") == etag:
+            REGISTRY.bump("serve.cache.304s")
+            self.send_response(304)
+            self.send_header("ETag", etag)
+            for name, value in headers:
+                self.send_header(name, value)
+            self.end_headers()
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("ETag", etag)
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_cached(self, run_id: str, kind: str) -> bool:
+        """Serve one result/manifest from the hot cache; False on miss."""
+        cache = self.cache
+        if cache is None:
+            return False
+        entry = cache.get((run_id, kind))
+        if entry is None:
+            return False
+        REGISTRY.bump("serve.cache.hits")
+        self._conditional_send(entry["body"], entry["etag"],
+                               entry["content_type"], entry["headers"])
+        return True
+
+    @staticmethod
+    def _etag(body: bytes) -> str:
+        return f'"{hashlib.sha256(body).hexdigest()}"'
 
     def _send_result(self, run: Dict[str, Any]) -> None:
         if run["status"] != DONE or not isinstance(run.get("result"), dict):
             self._error(409, f"run is {run['status']}, result not available")
             return
         body = run["result"].get("output", "").encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", "text/plain; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Repro-Exit-Code",
-                         str(run["result"].get("exit_code", 0)))
-        self.end_headers()
-        self.wfile.write(body)
+        headers = (("X-Repro-Exit-Code",
+                    str(run["result"].get("exit_code", 0))),)
+        cache = self.cache
+        if cache is None:
+            # Baseline shape (cache disabled): plain 200, no validator.
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers:
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        REGISTRY.bump("serve.cache.misses")
+        etag = self._etag(body)
+        cache.put((run["run_id"], "result"), body, etag,
+                  "text/plain; charset=utf-8", headers)
+        self._conditional_send(body, etag, "text/plain; charset=utf-8",
+                               headers)
 
     def _send_manifest(self, run: Dict[str, Any]) -> None:
         path = run.get("manifest_path")
@@ -288,7 +442,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         with open(path, "rb") as handle:
             body = handle.read()
-        self._send(200, body, "application/json; charset=utf-8")
+        cache = self.cache
+        if cache is None:
+            self._send(200, body, "application/json; charset=utf-8")
+            return
+        REGISTRY.bump("serve.cache.misses")
+        etag = self._etag(body)
+        cache.put((run["run_id"], "manifest"), body, etag,
+                  "application/json; charset=utf-8")
+        self._conditional_send(body, etag, "application/json; charset=utf-8")
 
     # -- POST -----------------------------------------------------------
 
@@ -342,16 +504,63 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
 
 class Service(ThreadingHTTPServer):
-    """The HTTP front end bound to one queue + corpus store."""
+    """The HTTP front end bound to one queue + corpus store.
+
+    Hot-path knobs (all default on; each has an env override so the
+    deployed service is tunable without code):
+
+    - ``cache_bytes`` — :class:`HotCache` budget for finished-run
+      result/manifest bytes (``REPRO_SERVE_CACHE_BYTES``; 0 disables
+      the cache *and* ``ETag`` emission — the benchmark baseline);
+    - ``pooling`` — per-thread DB connection reuse in the queue
+      (``REPRO_SERVE_POOL=0`` disables);
+    - ``watch`` — the single :class:`QueueWatcher` behind event-driven
+      long-polls (``REPRO_SERVE_WATCH=0`` falls back to sleep-polls).
+    """
 
     daemon_threads = True
+    #: TCP_NODELAY: a 200 on a kept-alive connection is two small
+    #: writes (headers, then body); with Nagle on, the second write
+    #: can stall ~40ms behind the peer's delayed ACK.
+    disable_nagle_algorithm = True
 
     def __init__(self, address: Tuple[str, int], db_path: str,
-                 data_dir: str, verbose: bool = False) -> None:
+                 data_dir: str, verbose: bool = False,
+                 cache_bytes: Optional[int] = None,
+                 pooling: Optional[bool] = None,
+                 watch: Optional[bool] = None) -> None:
         super().__init__(address, ServiceHandler)
-        self.queue = RunQueue(db_path)
+        self.queue = RunQueue(db_path, pooling=pooling)
         self.store = CorpusStore(data_dir)
         self.verbose = verbose
+        if cache_bytes is None:
+            cache_bytes = int(os.environ.get("REPRO_SERVE_CACHE_BYTES",
+                                             DEFAULT_CACHE_BYTES))
+        self.cache = HotCache(cache_bytes) if cache_bytes > 0 else None
+        if watch is None:
+            watch = os.environ.get("REPRO_SERVE_WATCH", "1") != "0"
+        self._watch = bool(watch)
+        self._watcher: Optional[QueueWatcher] = None
+        self._watcher_lock = threading.Lock()
+
+    def get_watcher(self) -> Optional[QueueWatcher]:
+        """The shared queue watcher, started on first use (or None)."""
+        if not self._watch:
+            return None
+        with self._watcher_lock:
+            if self._watcher is None:
+                self._watcher = QueueWatcher(self.queue)
+            if not self._watcher.running:
+                self._watcher.start()
+            return self._watcher
+
+    def server_close(self) -> None:
+        super().server_close()
+        with self._watcher_lock:
+            if self._watcher is not None:
+                self._watcher.stop()
+                self._watcher = None
+        self.queue.close()
 
     @property
     def url(self) -> str:
@@ -361,9 +570,14 @@ class Service(ThreadingHTTPServer):
 
 def start_in_thread(db_path: str, data_dir: str,
                     host: str = "127.0.0.1", port: int = 0,
-                    ) -> Tuple[Service, threading.Thread]:
-    """Boot a service on a background thread (tests and benchmarks)."""
-    service = Service((host, port), db_path, data_dir)
+                    **kwargs: Any) -> Tuple[Service, threading.Thread]:
+    """Boot a service on a background thread (tests and benchmarks).
+
+    Extra keyword arguments (``cache_bytes``, ``pooling``, ``watch``)
+    pass through to :class:`Service` so benchmarks can boot the
+    baseline configuration next to the hot one.
+    """
+    service = Service((host, port), db_path, data_dir, **kwargs)
     thread = threading.Thread(target=service.serve_forever,
                               name="repro-serve", daemon=True)
     thread.start()

@@ -4,17 +4,39 @@ Thin by design: every method is one request, JSON in / JSON out, with
 :meth:`ServiceClient.wait` layering the long-poll loop on top.  Errors
 surface as :class:`ServiceError` carrying the HTTP status and the
 server's ``error`` message, so callers never parse HTML tracebacks.
+
+Two hot-path behaviours (both on by default, both switchable):
+
+- **keep-alive**: one persistent ``http.client.HTTPConnection`` per
+  thread instead of a fresh TCP connect per call.  The server is a
+  thread-per-connection ``ThreadingHTTPServer``, so a reused client
+  connection also pins a reused server thread — and with it that
+  thread's cached database connection;
+- **conditional GETs**: result/manifest fetches remember the last
+  ``ETag`` and body per run and send ``If-None-Match``; a ``304``
+  answer reuses the remembered bytes without shipping the body again
+  (``not_modified`` counts the hits).
+
+A request that fails on a stale kept-alive socket (the server closed
+it between calls) is retried once on a fresh connection — safe because
+every request here is idempotent: submissions are content-keyed
+(resubmitting is the dedup no-op) and everything else is a read.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, List, Optional
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
 
 from repro.serve.db import DONE, FAILED
+
+#: Remembered (etag, body) pairs per client, LRU-bounded.
+MAX_ETAG_ENTRIES = 256
 
 
 class ServiceError(RuntimeError):
@@ -28,38 +50,137 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """One service endpoint, addressed by base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 conditional: bool = True, keepalive: bool = True) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.conditional = conditional
+        #: ``keepalive=False`` reconnects per request — the benchmark
+        #: baseline against which connection reuse is measured.
+        self.keepalive = keepalive
+        #: Conditional-GET hits answered from remembered bytes.
+        self.not_modified = 0
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ServiceError(0, f"unsupported scheme {split.scheme!r}")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._prefix = split.path.rstrip("/")
+        self._local = threading.local()
+        self._etag_lock = threading.Lock()
+        self._etags: "OrderedDict[Tuple[str, str], Tuple[str, bytes]]" = \
+            OrderedDict()
 
     # -- plumbing -------------------------------------------------------
+
+    def _connection(self, fresh: bool = False) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if fresh and conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            conn = None
+        if conn is None:
+            conn = http.client.HTTPConnection(self._host, self._port,
+                                              timeout=self.timeout)
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close this thread's kept-alive connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._local.conn = None
+
+    def _http(self, method: str, path: str,
+              body: Optional[bytes] = None,
+              headers: Optional[Dict[str, str]] = None,
+              ) -> Tuple[int, Dict[str, str], bytes]:
+        """One round trip on the kept-alive connection, retried once.
+
+        Returns ``(status, headers, body)`` without interpreting the
+        status — conditional-GET callers need the 304 as data, not as
+        an error.
+        """
+        send_headers = {"Accept": "application/json"}
+        if body is not None:
+            send_headers["Content-Type"] = "application/json"
+        if headers:
+            send_headers.update(headers)
+        url = self._prefix + path
+        last_error: Optional[Exception] = None
+        for attempt in (0, 1):
+            conn = self._connection(fresh=attempt > 0 or not self.keepalive)
+            try:
+                conn.request(method, url, body=body, headers=send_headers)
+                response = conn.getresponse()
+                payload = response.read()
+                result = (response.status,
+                          {k.title(): v for k, v in response.getheaders()},
+                          payload)
+                if not self.keepalive:
+                    self.close()
+                return result
+            except (http.client.HTTPException, ConnectionError,
+                    OSError) as exc:
+                # A stale keep-alive socket fails here; one fresh
+                # retry distinguishes that from a dead server.
+                last_error = exc
+                continue
+        raise ServiceError(
+            0, f"cannot reach {self.base_url}{path}: {last_error}") from None
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None,
                  raw: bool = False) -> Any:
-        url = self.base_url + path
         data = None
-        headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers,
-                                         method=method)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                body = response.read()
-        except urllib.error.HTTPError as exc:
-            detail = exc.read()
+        status, _headers, body = self._http(method, path, body=data)
+        if status >= 400:
             try:
-                message = json.loads(detail).get("error", "")
+                message = json.loads(body).get("error", "")
             except ValueError:
-                message = detail.decode("utf-8", "replace")[:200]
-            raise ServiceError(exc.code, message) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"cannot reach {url}: {exc.reason}") \
-                from None
+                message = body.decode("utf-8", "replace")[:200]
+            raise ServiceError(status, message)
         return body if raw else json.loads(body)
+
+    def _conditional_get(self, kind: str, run_id: str,
+                         path: str) -> Tuple[bytes, Dict[str, str]]:
+        """GET with ``If-None-Match`` revalidation from remembered bytes."""
+        key = (kind, run_id)
+        remembered: Optional[Tuple[str, bytes]] = None
+        headers: Dict[str, str] = {}
+        if self.conditional:
+            with self._etag_lock:
+                remembered = self._etags.get(key)
+                if remembered is not None:
+                    self._etags.move_to_end(key)
+            if remembered is not None:
+                headers["If-None-Match"] = remembered[0]
+        status, resp_headers, body = self._http("GET", path, headers=headers)
+        if status == 304 and remembered is not None:
+            self.not_modified += 1
+            return remembered[1], resp_headers
+        if status >= 400:
+            try:
+                message = json.loads(body).get("error", "")
+            except ValueError:
+                message = body.decode("utf-8", "replace")[:200]
+            raise ServiceError(status, message)
+        etag = resp_headers.get("Etag")
+        if self.conditional and etag:
+            with self._etag_lock:
+                self._etags[key] = (etag, body)
+                self._etags.move_to_end(key)
+                while len(self._etags) > MAX_ETAG_ENTRIES:
+                    self._etags.popitem(last=False)
+        return body, resp_headers
 
     # -- API ------------------------------------------------------------
 
@@ -104,11 +225,15 @@ class ServiceClient:
 
     def result_bytes(self, run_id: str) -> bytes:
         """The run's output, byte-identical to the CLI's stdout."""
-        return self._request("GET", f"/v1/runs/{run_id}/result", raw=True)
+        body, _headers = self._conditional_get(
+            "result", run_id, f"/v1/runs/{run_id}/result")
+        return body
 
     def manifest(self, run_id: str) -> Dict[str, Any]:
         """The run's obs manifest (the run record)."""
-        return self._request("GET", f"/v1/runs/{run_id}/manifest")
+        body, _headers = self._conditional_get(
+            "manifest", run_id, f"/v1/runs/{run_id}/manifest")
+        return json.loads(body)
 
     def upload_corpus(self, files: Dict[str, str]) -> str:
         """Upload a corpus overlay; returns the snapshot id."""

@@ -46,6 +46,29 @@ every state transition emits a structured service-log event
 (:mod:`repro.obs.servicelog`) — a no-op until the process configures a
 log path.  A ``workers`` side table records heartbeats so the fleet's
 liveness is one query away.
+
+**Connection reuse.**  Opening a SQLite connection costs a file open,
+WAL handshake, and two pragmas — pure overhead when the API serves
+thousands of requests per second over keep-alive connections.  Each
+:class:`RunQueue` therefore keeps one cached connection *per thread*
+(SQLite connections are not thread-safe to share, but are cheap to
+hold): the pragmas run once per thread instead of once per call, and
+``serve.db.conn_reuse`` counts the saved opens.  The cache is
+pid-guarded — a forked child silently abandons (never closes) handles
+inherited from its parent — and :meth:`RunQueue.close` invalidates
+every cached handle so tests and shutdown paths release the file
+promptly.  Claim semantics are unchanged: claims still run inside one
+``BEGIN IMMEDIATE`` transaction, and the pooled context manager rolls
+back on error so a failed transaction cannot leak into the next call
+on the same cached handle.
+
+**Change watching.**  :class:`QueueWatcher` turns the database into an
+event source: one daemon thread polls ``PRAGMA data_version`` on a
+dedicated connection (the pragma changes only when *another*
+connection commits) and broadcasts a condition variable to every
+registered waiter.  N long-polling API clients — or an idle worker
+waiting for work — cost one poll per tick instead of N re-reads, and
+``serve.wait.wakeups`` counts the broadcasts.
 """
 
 from __future__ import annotations
@@ -54,9 +77,10 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 import time
-from contextlib import closing
-from typing import Any, Dict, List, Optional, Tuple
+from contextlib import closing, contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs import servicelog
 from repro.obs.metrics import REGISTRY, Histogram
@@ -94,6 +118,7 @@ CREATE TABLE IF NOT EXISTS runs (
     error         TEXT
 );
 CREATE INDEX IF NOT EXISTS runs_status ON runs (status, created);
+CREATE INDEX IF NOT EXISTS runs_finished ON runs (finished);
 CREATE TABLE IF NOT EXISTS workers (
     worker_id   TEXT PRIMARY KEY,
     started     REAL NOT NULL,
@@ -128,19 +153,54 @@ def _row_dict(row: sqlite3.Row) -> Dict[str, Any]:
     return out
 
 
+class _PooledConn:
+    """One thread's cached connection, stored in thread-local storage.
+
+    When the owning thread dies its thread-local storage is torn down,
+    this holder is garbage-collected, and ``__del__`` retires the
+    connection — so short-lived API threads cannot leak file handles.
+    """
+
+    __slots__ = ("conn", "pid", "generation", "_retire")
+
+    def __init__(self, conn: sqlite3.Connection, pid: int,
+                 generation: int, retire) -> None:
+        self.conn = conn
+        self.pid = pid
+        self.generation = generation
+        self._retire = retire
+
+    def __del__(self) -> None:
+        try:
+            self._retire(self.conn, self.pid)
+        except Exception:
+            pass
+
+
 class RunQueue:
     """The ``runs`` table behind one SQLite file.
 
-    Every public method opens its own short-lived connection, so one
-    instance may be shared across API threads, and separate instances
-    in separate worker processes coordinate through the same file.
+    One instance may be shared across API threads — each thread gets
+    its own cached connection (see :meth:`_conn`) — and separate
+    instances in separate worker processes coordinate through the same
+    file.  ``pooling=False`` restores the original
+    connection-per-call behaviour (the benchmark baseline, also useful
+    when debugging locking issues).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, pooling: Optional[bool] = None) -> None:
         self.path = path
+        if pooling is None:
+            pooling = os.environ.get("REPRO_SERVE_POOL", "1") != "0"
+        self.pooling = bool(pooling)
+        self._local = threading.local()
+        self._pool_lock = threading.Lock()
+        self._pool: Dict[int, sqlite3.Connection] = {}
+        self._pool_pid = os.getpid()
+        self._generation = 0
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             conn.executescript(_SCHEMA)
             for table, column, clause in _MIGRATIONS:
                 present = {row["name"] for row in conn.execute(
@@ -150,12 +210,106 @@ class RunQueue:
                         f"ALTER TABLE {table} ADD COLUMN {column} {clause}")
 
     def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False: each cached connection is used by
+        # exactly one thread (thread-local), but close() and the GC
+        # finalizer must be able to close it from another thread.
         conn = sqlite3.connect(self.path, timeout=30.0,
-                               isolation_level=None)
+                               isolation_level=None,
+                               check_same_thread=False)
         conn.row_factory = sqlite3.Row
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         return conn
+
+    # -- connection pool ------------------------------------------------
+
+    def _retire(self, conn: sqlite3.Connection, pid: int) -> None:
+        """Drop one pooled connection; closes it only in its own pid.
+
+        A connection inherited across ``fork`` must never be closed by
+        the child — closing could flush parent-owned WAL state — so
+        the child simply abandons the handle and lets the parent (or
+        the OS) reclaim it.
+        """
+        with self._pool_lock:
+            self._pool.pop(id(conn), None)
+        if pid == os.getpid():
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+
+    def _cached_conn(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        holder = getattr(self._local, "holder", None)
+        if (holder is not None and holder.pid == pid
+                and holder.generation == self._generation):
+            REGISTRY.bump("serve.db.conn_reuse")
+            return holder.conn
+        if holder is not None:
+            # Stale: closed by close() (generation bump) or inherited
+            # across fork (pid mismatch).  Drop the reference; the
+            # holder's finalizer knows not to close foreign-pid handles.
+            self._local.holder = None
+        with self._pool_lock:
+            if self._pool_pid != pid:
+                # First use after fork: the registry still lists the
+                # parent's connections.  Abandon them all unclosed.
+                self._pool = {}
+                self._pool_pid = pid
+        conn = self._connect()
+        with self._pool_lock:
+            if self._pool_pid == pid:
+                self._pool[id(conn)] = conn
+        self._local.holder = _PooledConn(conn, pid, self._generation,
+                                         self._retire)
+        REGISTRY.bump("serve.db.conn_opened")
+        return conn
+
+    @contextmanager
+    def _conn(self) -> Iterator[sqlite3.Connection]:
+        """This thread's cached connection (or a throwaway one).
+
+        On error the cached connection is rolled back — a reused
+        handle must never carry a half-open transaction into the next
+        call — and if even the rollback fails the handle is retired so
+        the next call starts fresh.
+        """
+        if not self.pooling:
+            with closing(self._connect()) as conn:
+                yield conn
+            return
+        conn = self._cached_conn()
+        try:
+            yield conn
+        except BaseException:
+            try:
+                if conn.in_transaction:
+                    conn.rollback()
+            except sqlite3.Error:
+                self._local.holder = None
+                self._retire(conn, os.getpid())
+            raise
+
+    def close(self) -> None:
+        """Close every pooled connection (graceful invalidation).
+
+        Threads holding a cached handle see the generation bump and
+        reopen on their next call; close() is a shutdown/test hook,
+        not something to race against in-flight queries.
+        """
+        with self._pool_lock:
+            if self._pool_pid == os.getpid():
+                conns = list(self._pool.values())
+            else:
+                conns = []  # inherited handles: abandon, never close
+            self._pool = {}
+            self._generation += 1
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
 
     # -- submission -----------------------------------------------------
 
@@ -169,7 +323,7 @@ class RunQueue:
         comes back with its ``submits`` tally bumped.
         """
         now = time.time()
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             conn.execute("BEGIN IMMEDIATE")
             cursor = conn.execute(
                 "INSERT OR IGNORE INTO runs "
@@ -212,7 +366,7 @@ class RunQueue:
         now = time.time()
         eligible = ("(status = ? OR (status = ? AND lease_expires IS NOT NULL"
                     " AND lease_expires < ?))")
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             conn.execute("BEGIN IMMEDIATE")
             head = conn.execute(
                 f"SELECT * FROM runs WHERE {eligible} "
@@ -272,7 +426,7 @@ class RunQueue:
         is lease renewal and batch setup, and the exec-latency
         histogram measures from here.
         """
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             cursor = conn.execute(
                 "UPDATE runs SET started = ? "
                 "WHERE run_id = ? AND status = ? AND claimed_by = ?",
@@ -287,7 +441,7 @@ class RunQueue:
     def renew(self, run_id: str, worker: str,
               lease_seconds: float = DEFAULT_LEASE_SECONDS) -> bool:
         """Extend a live claim's lease; False when no longer held."""
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             cursor = conn.execute(
                 "UPDATE runs SET lease_expires = ? "
                 "WHERE run_id = ? AND status = ? AND claimed_by = ?",
@@ -306,7 +460,7 @@ class RunQueue:
         reclaimed (it stalled; another worker re-ran the job) cannot
         overwrite the reclaiming worker's result.
         """
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             cursor = conn.execute(
                 "UPDATE runs SET status = ?, finished = ?, result = ?, "
                 "manifest_path = ?, error = NULL "
@@ -323,7 +477,7 @@ class RunQueue:
 
     def fail(self, run_id: str, worker: str, error: str) -> bool:
         """Mark one claimed run failed; False when the claim was lost."""
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             cursor = conn.execute(
                 "UPDATE runs SET status = ?, finished = ?, error = ? "
                 "WHERE run_id = ? AND status = ? AND claimed_by = ?",
@@ -340,7 +494,7 @@ class RunQueue:
 
     def get(self, run_id: str) -> Optional[Dict[str, Any]]:
         """One run row, or None."""
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             row = conn.execute(
                 "SELECT * FROM runs WHERE run_id = ?", (run_id,)
             ).fetchone()
@@ -349,7 +503,7 @@ class RunQueue:
     def list_runs(self, status: Optional[str] = None,
                   limit: int = 100) -> List[Dict[str, Any]]:
         """Recent runs, optionally filtered by status."""
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             if status is None:
                 rows = conn.execute(
                     "SELECT * FROM runs ORDER BY created DESC LIMIT ?",
@@ -370,7 +524,7 @@ class RunQueue:
         onto an existing run: ``1 - runs / submits`` (0.0 when every
         request was unique).
         """
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             rows = conn.execute(
                 "SELECT status, COUNT(*) AS n, SUM(submits) AS submits, "
                 "SUM(reclaims) AS reclaims FROM runs GROUP BY status"
@@ -436,18 +590,27 @@ class RunQueue:
         these for ``/v1/metrics`` without ever having executed a run
         itself (worker-side in-process counters are invisible across
         the process boundary; the database is the shared truth).
-        ``limit`` bounds the scan to the newest rows so a scrape stays
-        O(recent fleet activity), not O(all time).
+        ``limit`` bounds the window to the most recently finished rows
+        and the ``runs_finished`` index serves the ``ORDER BY finished
+        DESC`` directly, so a scrape walks at most ``limit`` index
+        entries — O(recent fleet activity), not O(all time) — no
+        matter how large the table grows.
         """
         histograms = {
             "serve.run.queue_latency": Histogram(),
             "serve.run.exec_latency": Histogram(),
             "serve.run.request_latency": Histogram(),
         }
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
+            # INDEXED BY pins the plan: walk the finished index newest
+            # first and stop at `limit` — without it SQLite prefers the
+            # status index plus a temp-btree sort over *all* finished
+            # rows, which is exactly the O(table) scrape this bounds.
             rows = conn.execute(
-                "SELECT created, claimed_at, started, finished FROM runs "
-                "WHERE status IN (?, ?) ORDER BY finished DESC LIMIT ?",
+                "SELECT created, claimed_at, started, finished "
+                "FROM runs INDEXED BY runs_finished "
+                "WHERE finished IS NOT NULL AND status IN (?, ?) "
+                "ORDER BY finished DESC LIMIT ?",
                 (DONE, FAILED, limit),
             ).fetchall()
         for row in rows:
@@ -469,7 +632,7 @@ class RunQueue:
                   jobs_failed: int = 0, batches: int = 0) -> None:
         """Upsert one worker's liveness row (deltas add to tallies)."""
         now = time.time()
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             conn.execute(
                 "INSERT INTO workers "
                 "(worker_id, started, last_seen, jobs_done, jobs_failed, "
@@ -486,7 +649,7 @@ class RunQueue:
                 ) -> List[Dict[str, Any]]:
         """Every known worker, newest heartbeat first, staleness flagged."""
         now = time.time()
-        with closing(self._connect()) as conn:
+        with self._conn() as conn:
             rows = conn.execute(
                 "SELECT * FROM workers ORDER BY last_seen DESC"
             ).fetchall()
@@ -496,6 +659,151 @@ class RunQueue:
             record["alive"] = (now - record["last_seen"]) < stale_seconds
             out.append(record)
         return out
+
+
+# ---------------------------------------------------------------------------
+# change watching
+# ---------------------------------------------------------------------------
+
+
+#: How often the watcher reads ``PRAGMA data_version`` while waiters
+#: are registered.  This is the *only* recurring DB touch no matter
+#: how many clients are blocked in a long-poll.
+WATCH_POLL_SECONDS = 0.02
+
+#: With no waiters the watcher parks on an event instead of polling;
+#: this bounds how long it sleeps between wake-up checks.
+WATCH_PARK_SECONDS = 0.5
+
+
+class QueueWatcher:
+    """One ``PRAGMA data_version`` poller fanned out to many waiters.
+
+    ``data_version`` changes whenever *another* connection commits to
+    the database, so a single persistent read-only connection can
+    detect every state transition made by workers (or the API) without
+    reading any rows.  Waiters grab a :meth:`token`, re-check their
+    predicate (a run row, an empty claim query) and block in
+    :meth:`wait` until the token goes stale — the re-check-after-token
+    ordering means a missed broadcast costs latency, never
+    correctness.
+
+    With no waiters registered the poll thread parks on an event and
+    touches nothing — an idle service does zero recurring DB reads.
+    """
+
+    def __init__(self, queue: RunQueue,
+                 poll_seconds: float = WATCH_POLL_SECONDS) -> None:
+        self.queue = queue
+        self.poll_seconds = poll_seconds
+        self._cond = threading.Condition()
+        self._tick = 0
+        self._waiters = 0
+        self._stop = threading.Event()
+        self._kick = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "QueueWatcher":
+        """Start (or restart) the poll thread; idempotent."""
+        with self._cond:
+            if self._thread is None or not self._thread.is_alive():
+                self._stop.clear()
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-queue-watch", daemon=True)
+                self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the poll thread and release every blocked waiter."""
+        self._stop.set()
+        self._kick.set()
+        with self._cond:
+            self._tick += 1  # wake blocked waiters so they re-check
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # -- waiting --------------------------------------------------------
+
+    def token(self) -> int:
+        """The current change tick; take it *before* reading state."""
+        with self._cond:
+            return self._tick
+
+    def changed(self, token: int) -> bool:
+        """True when the database has changed since ``token``."""
+        with self._cond:
+            return self._tick != token
+
+    def wait(self, token: int, timeout: float) -> int:
+        """Block until a change after ``token`` (or timeout).
+
+        Returns the current tick either way; callers re-read their
+        predicate and loop with the fresh token.
+        """
+        with self._cond:
+            self._waiters += 1
+            REGISTRY.set_gauge("serve.wait.waiters", self._waiters)
+            self._kick.set()
+            try:
+                self._cond.wait_for(lambda: self._tick != token,
+                                    timeout=max(0.0, timeout))
+                return self._tick
+            finally:
+                self._waiters -= 1
+                REGISTRY.set_gauge("serve.wait.waiters", self._waiters)
+
+    # -- the poll thread ------------------------------------------------
+
+    def _data_version(self, conn: sqlite3.Connection) -> int:
+        return int(conn.execute("PRAGMA data_version").fetchone()[0])
+
+    def _run(self) -> None:
+        # A dedicated connection: data_version is per-connection state
+        # (it counts commits made by *other* connections), so the
+        # baseline must live on one persistent handle — the pool's
+        # per-call baseline mode would reset it every read.
+        try:
+            conn = self.queue._connect()
+        except sqlite3.Error:
+            return
+        try:
+            version = self._data_version(conn)
+            while not self._stop.is_set():
+                with self._cond:
+                    waiting = self._waiters
+                if not waiting:
+                    # Nobody is listening: park.  The baseline persists
+                    # across the park, so changes made meanwhile fire
+                    # one (possibly spurious) wakeup on the next wait.
+                    self._kick.wait(timeout=WATCH_PARK_SECONDS)
+                    self._kick.clear()
+                    continue
+                REGISTRY.bump("serve.wait.polls")
+                current = self._data_version(conn)
+                if current != version:
+                    version = current
+                    with self._cond:
+                        self._tick += 1
+                        woken = self._waiters
+                        self._cond.notify_all()
+                    REGISTRY.bump("serve.wait.wakeups", max(1, woken))
+                self._stop.wait(self.poll_seconds)
+        except sqlite3.Error:
+            pass  # db vanished under us (test teardown); waiters time out
+        finally:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
 
 
 # ---------------------------------------------------------------------------

@@ -1,12 +1,14 @@
 """Workers: claim compatible job batches, execute them, record manifests.
 
 A worker is a loop over :meth:`repro.serve.db.RunQueue.claim_batch`:
-claim up to ``batch_limit`` compatible runs, execute them back to back,
-mark each ``done``/``failed``.  Execution goes through the *real CLI
-entry points* (``repro.cli.main_*``) with stdout captured — the
-service's result bytes are, by construction, the bytes a direct CLI
-invocation of the same request prints.  ``bench_service.py`` and the
-CI service smoke assert that identity rather than trusting it.
+claim up to ``batch_limit`` compatible runs, execute them — back to
+back with one exec slot, in concurrent waves with several — and mark
+each ``done``/``failed``.  Execution goes through the *real CLI entry
+points* (``repro.cli.main_*``) with stdout captured per thread
+(:func:`capture_output`) — the service's result bytes are, by
+construction, the bytes a direct CLI invocation of the same request
+prints.  ``bench_service.py`` and the CI service smoke assert that
+identity rather than trusting it.
 
 Perf shape:
 
@@ -36,18 +38,20 @@ import io
 import json
 import os
 import socket
+import sys
 import threading
 import time
 import traceback
-from contextlib import redirect_stderr, redirect_stdout
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs import servicelog, tracer as obs_tracer
 from repro.obs.metrics import REGISTRY
 from repro.perf.timers import bump
 from repro.serve import keys as serve_keys
-from repro.serve.db import CorpusStore, RunQueue
+from repro.serve.db import CorpusStore, QueueWatcher, RunQueue
 
 #: Default upper bound on jobs claimed per wave.
 DEFAULT_BATCH_LIMIT = 8
@@ -60,6 +64,14 @@ DEFAULT_POLL_SECONDS = 0.2
 
 #: Seconds between worker heartbeat upserts while idle.
 HEARTBEAT_SECONDS = 5.0
+
+#: Event-driven idle cap: with a queue watcher, the claim query only
+#: reruns on a database change, with a safety-net re-poll this often.
+IDLE_WAIT_SECONDS = 5.0
+
+#: Slice width for the stop-aware idle wait — bounds both shutdown
+#: latency and work-pickup latency once the watcher fires.
+IDLE_SLICE_SECONDS = 0.05
 
 
 def service_tracing_enabled() -> bool:
@@ -184,21 +196,102 @@ def resolved_engine(params: Dict[str, Any]) -> Dict[str, str]:
         raise RequestError(str(exc)) from None
 
 
-#: Serializes tool execution within one process: the stdout capture is
-#: process-global state, and the underlying pipeline is GIL-bound, so
-#: overlapping jobs in threads would interleave output for no speedup.
-#: Horizontal scale comes from worker *processes* (``repro-worker``).
-_EXEC_LOCK = threading.Lock()
+class _OutputRouter(io.TextIOBase):
+    """A stdout/stderr stand-in that routes writes per thread.
+
+    ``contextlib.redirect_stdout`` swaps ``sys.stdout`` process-wide,
+    which forced the old ``_EXEC_LOCK``: only one captured job could
+    run at a time.  The router keeps ``sys.stdout`` swapped *once* and
+    routes each ``write`` by the calling thread's ident — registered
+    exec threads hit their own job buffer, everyone else falls through
+    to the real stream — so N jobs capture concurrently without ever
+    seeing each other's bytes.
+    """
+
+    def __init__(self, fallback) -> None:
+        self.fallback = fallback
+        #: thread ident -> capture buffer; mutated under _CAPTURE_LOCK,
+        #: read lock-free on the write path (dict get is atomic).
+        self.routes: Dict[int, io.StringIO] = {}
+
+    def _target(self):
+        return self.routes.get(threading.get_ident(), self.fallback)
+
+    def write(self, text: str) -> int:
+        return self._target().write(text)
+
+    def flush(self) -> None:
+        self._target().flush()
+
+    def writable(self) -> bool:  # pragma: no cover - io plumbing
+        return True
+
+    def isatty(self) -> bool:
+        return False
+
+
+#: Guards installation/teardown of the routers and route registration.
+_CAPTURE_LOCK = threading.Lock()
+
+#: Live capture state: routers installed while any capture is active.
+_CAPTURE = {"depth": 0, "stdout": None, "stderr": None}
+
+
+@contextmanager
+def capture_output() -> Iterator[Tuple[io.StringIO, io.StringIO]]:
+    """Capture this thread's stdout/stderr into private buffers.
+
+    Re-entrant across threads: the first active capture installs the
+    routers, the last one restores the original streams (unless
+    someone else has since replaced ``sys.stdout`` — then it is left
+    alone).  Unlike ``redirect_stdout`` this never serializes callers,
+    which is what lets a worker's exec slots run jobs concurrently.
+    """
+    out, err = io.StringIO(), io.StringIO()
+    ident = threading.get_ident()
+    with _CAPTURE_LOCK:
+        if _CAPTURE["depth"] == 0:
+            _CAPTURE["stdout"] = _OutputRouter(sys.stdout)
+            _CAPTURE["stderr"] = _OutputRouter(sys.stderr)
+            sys.stdout = _CAPTURE["stdout"]
+            sys.stderr = _CAPTURE["stderr"]
+        _CAPTURE["depth"] += 1
+        _CAPTURE["stdout"].routes[ident] = out
+        _CAPTURE["stderr"].routes[ident] = err
+    try:
+        yield out, err
+    finally:
+        with _CAPTURE_LOCK:
+            _CAPTURE["stdout"].routes.pop(ident, None)
+            _CAPTURE["stderr"].routes.pop(ident, None)
+            _CAPTURE["depth"] -= 1
+            if _CAPTURE["depth"] == 0:
+                if sys.stdout is _CAPTURE["stdout"]:
+                    sys.stdout = _CAPTURE["stdout"].fallback
+                if sys.stderr is _CAPTURE["stderr"]:
+                    sys.stderr = _CAPTURE["stderr"].fallback
+                _CAPTURE["stdout"] = _CAPTURE["stderr"] = None
 
 
 class Worker:
-    """One queue consumer: claim, execute, record, repeat."""
+    """One queue consumer: claim, execute, record, repeat.
+
+    ``exec_slots`` is the in-process concurrency width: a worker with
+    N > 1 slots runs up to N compatible batchmates at once on a thread
+    pool (their per-job output capture is thread-routed, see
+    :func:`capture_output`).  The payoff comes when the jobs dispatch
+    real work to the persistent *process* pool — the slots keep that
+    pool saturated — so slots default to 1 and are worth raising only
+    for ``--backend process`` traffic on a multi-core host.
+    """
 
     def __init__(self, db_path: str, data_dir: str,
                  worker_id: Optional[str] = None,
                  batch_limit: int = DEFAULT_BATCH_LIMIT,
                  lease_seconds: float = DEFAULT_LEASE_SECONDS,
-                 poll_seconds: float = DEFAULT_POLL_SECONDS) -> None:
+                 poll_seconds: float = DEFAULT_POLL_SECONDS,
+                 exec_slots: Optional[int] = None,
+                 watch: Optional[bool] = None) -> None:
         self.queue = RunQueue(db_path)
         self.store = CorpusStore(data_dir)
         self.data_dir = data_dir
@@ -206,19 +299,69 @@ class Worker:
         self.batch_limit = max(1, batch_limit)
         self.lease_seconds = lease_seconds
         self.poll_seconds = poll_seconds
+        if exec_slots is None:
+            exec_slots = int(os.environ.get("REPRO_SERVE_SLOTS", "1") or 1)
+        self.exec_slots = max(1, exec_slots)
+        if watch is None:
+            watch = os.environ.get("REPRO_SERVE_WATCH", "1") != "0"
+        self.watch = bool(watch)
         self.jobs_done = 0
         self.jobs_failed = 0
         self.batches = 0
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._watcher: Optional[QueueWatcher] = None
+
+    def close(self) -> None:
+        """Release the exec pool, the watcher, and pooled connections."""
+        if self._watcher is not None:
+            self._watcher.stop()
+            self._watcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.queue.close()
 
     # -- execution ------------------------------------------------------
 
-    def execute(self, run: Dict[str, Any]) -> Tuple[Dict[str, Any], str]:
+    @contextmanager
+    def _corpus_env(self, corpus_id: Optional[str]) -> Iterator[None]:
+        """Point ``REPRO_CORPUS_DIR`` at one snapshot for the body.
+
+        No-op when the variable already points there (the batch loop
+        sets it once for the whole batch — batchmates share a corpus
+        by :meth:`RunQueue.claim_batch` construction — so concurrent
+        jobs never fight over the process-global environment).
+        """
+        if not corpus_id:
+            yield
+            return
+        target = self.store.path(corpus_id)
+        if os.environ.get("REPRO_CORPUS_DIR") == target:
+            yield
+            return
+        saved = os.environ.get("REPRO_CORPUS_DIR")
+        os.environ["REPRO_CORPUS_DIR"] = target
+        try:
+            yield
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CORPUS_DIR", None)
+            else:
+                os.environ["REPRO_CORPUS_DIR"] = saved
+
+    def execute(self, run: Dict[str, Any],
+                tracing: Optional[bool] = None) -> Tuple[Dict[str, Any], str]:
         """Run one claimed job; returns ``(result payload, manifest path)``.
 
         The job executes through its CLI main with stdout/stderr
         captured and ``--manifest`` pointed into the run's record
         directory; the manifest then gets the ``run`` linkage section.
         Exceptions propagate to the caller (which marks the run failed).
+
+        ``tracing=None`` follows :func:`service_tracing_enabled`; the
+        batch loop passes False for jobs sharing a concurrent wave
+        (the trace session is one-per-process, so overlapping traced
+        jobs would interleave their span trees).
         """
         import repro.cli as cli
         from repro.obs.manifest import load_manifest, write_manifest
@@ -232,44 +375,29 @@ class Worker:
         # Per-run trace: the CLI main's own --trace machinery records
         # the span tree into the run directory, and the traceparent —
         # derived from the request key, so every process agrees on it
-        # with no coordination — rides the TRACEPARENT environment
-        # variable into the session (and from there, inside procpool
-        # task envelopes, into the pool workers).  Deliberately not a
-        # REPRO_* variable: those key the warm process pool.
+        # with no coordination — rides a thread-scoped override
+        # (:func:`repro.obs.tracer.traceparent_scope`) into the
+        # session, and from there inside procpool task envelopes into
+        # the pool workers.  The old process-global TRACEPARENT export
+        # would race between concurrent exec slots.
         traceparent = obs_tracer.make_traceparent(
             run["run_id"], f"attempt-{int(run['attempts'])}")
-        tracing = service_tracing_enabled()
+        if tracing is None:
+            tracing = service_tracing_enabled()
         trace_path = os.path.join(run_dir, "trace.jsonl")
         if tracing:
             argv = argv + ["--trace", trace_path]
         main = getattr(cli, spec.main)
-        out, err = io.StringIO(), io.StringIO()
-        saved_corpus = os.environ.get("REPRO_CORPUS_DIR")
-        saved_traceparent = os.environ.get(obs_tracer.TRACEPARENT_ENV)
         self.queue.start(run["run_id"], self.worker_id)
         started_wall = time.time()
         started = time.perf_counter()
-        with _EXEC_LOCK:
+        with self._corpus_env(run.get("corpus_id")), \
+                obs_tracer.traceparent_scope(traceparent), \
+                capture_output() as (out, err):
             try:
-                if run.get("corpus_id"):
-                    os.environ["REPRO_CORPUS_DIR"] = \
-                        self.store.path(run["corpus_id"])
-                os.environ[obs_tracer.TRACEPARENT_ENV] = traceparent
-                with redirect_stdout(out), redirect_stderr(err):
-                    try:
-                        exit_code = int(main(argv) or 0)
-                    except SystemExit as exc:  # argparse-style exits
-                        exit_code = int(exc.code or 0)
-            finally:
-                if run.get("corpus_id"):
-                    if saved_corpus is None:
-                        os.environ.pop("REPRO_CORPUS_DIR", None)
-                    else:
-                        os.environ["REPRO_CORPUS_DIR"] = saved_corpus
-                if saved_traceparent is None:
-                    os.environ.pop(obs_tracer.TRACEPARENT_ENV, None)
-                else:
-                    os.environ[obs_tracer.TRACEPARENT_ENV] = saved_traceparent
+                exit_code = int(main(argv) or 0)
+            except SystemExit as exc:  # argparse-style exits
+                exit_code = int(exc.code or 0)
         wall = time.perf_counter() - started
 
         manifest = load_manifest(manifest_path)
@@ -300,8 +428,96 @@ class Worker:
         }
         return result, manifest_path
 
+    # -- batch orchestration --------------------------------------------
+
+    def _wave_key(self, run: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Which batchmates may safely share a concurrent wave.
+
+        Process-backend jobs share the persistent process pool, which
+        is keyed by its ``--jobs`` width: a concurrent job with a
+        *different* width would retire the pool out from under its
+        wavemates, so only equal widths ride one wave together.
+        """
+        if run["engine"].get("backend") == "process":
+            return ("process", run["params"].get("jobs"))
+        return ("inproc",)
+
+    def _waves(self, batch: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+        """Partition a claimed batch into concurrency-safe waves."""
+        if self.exec_slots <= 1:
+            return [[run] for run in batch]
+        waves: List[List[Dict[str, Any]]] = []
+        last_key: Optional[Tuple[Any, ...]] = None
+        for run in batch:
+            key = self._wave_key(run)
+            if waves and key == last_key:
+                waves[-1].append(run)
+            else:
+                waves.append([run])
+                last_key = key
+        return waves
+
+    def _exec_pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.exec_slots,
+                thread_name_prefix=f"exec-{self.worker_id}")
+        return self._executor
+
+    def _job_outcome(self, run: Dict[str, Any], tracing: Optional[bool]
+                     ) -> Tuple[Optional[Dict[str, Any]], Optional[str],
+                                Optional[BaseException]]:
+        """Execute one job, trapping everything (futures-safe)."""
+        try:
+            result, manifest_path = self.execute(run, tracing=tracing)
+            return result, manifest_path, None
+        except BaseException as exc:
+            return None, None, exc
+
+    def _complete(self, run: Dict[str, Any],
+                  outcome: Tuple[Optional[Dict[str, Any]], Optional[str],
+                                 Optional[BaseException]],
+                  outstanding: List[str]) -> bool:
+        """Record one finished job; returns True when it failed.
+
+        Also renews every still-outstanding claim in the batch: the
+        lease covers the whole batch, and a long job must not let its
+        batchmates lapse.
+        """
+        run_id = run["run_id"]
+        if run_id in outstanding:
+            outstanding.remove(run_id)
+        result, manifest_path, exc = outcome
+        if exc is not None:
+            self.jobs_failed += 1
+            bump("serve.jobs_failed")
+            detail = "".join(traceback.format_exception_only(
+                type(exc), exc)).strip()
+            self.queue.fail(run_id, self.worker_id, detail)
+        else:
+            self.jobs_done += 1
+            bump("serve.jobs_done")
+            self.queue.finish(run_id, self.worker_id, result, manifest_path)
+            # In-process latency view (the fleet view is derived from
+            # the runs table by whoever serves /v1/metrics).
+            REGISTRY.observe("serve.run.exec_latency",
+                             result["wall_seconds"])
+            timeline = self.queue.run_latencies(run_id)
+            if timeline["queue_latency"] is not None:
+                REGISTRY.observe("serve.run.queue_latency",
+                                 timeline["queue_latency"])
+        for waiting_id in outstanding:
+            self.queue.renew(waiting_id, self.worker_id, self.lease_seconds)
+        return exc is not None
+
     def run_once(self) -> int:
-        """Claim and execute one batch; returns the number of jobs run."""
+        """Claim and execute one batch; returns the number of jobs run.
+
+        Waves of compatible batchmates (see :meth:`_wave_key`) run
+        concurrently on the exec pool when ``exec_slots > 1``; a
+        single-job wave runs inline with tracing enabled, exactly as
+        a one-slot worker would.
+        """
         batch = self.queue.claim_batch(self.worker_id,
                                        limit=self.batch_limit,
                                        lease_seconds=self.lease_seconds)
@@ -311,41 +527,91 @@ class Worker:
         bump("serve.batches")
         bump("serve.batch_jobs", len(batch))
         batch_done = batch_failed = 0
-        for run in batch:
-            try:
-                result, manifest_path = self.execute(run)
-            except BaseException as exc:
-                self.jobs_failed += 1
+        outstanding = [run["run_id"] for run in batch]
+        interrupt: Optional[BaseException] = None
+
+        def record(run: Dict[str, Any], outcome) -> None:
+            nonlocal batch_done, batch_failed, interrupt
+            if self._complete(run, outcome, outstanding):
                 batch_failed += 1
-                bump("serve.jobs_failed")
-                detail = "".join(traceback.format_exception_only(
-                    type(exc), exc)).strip()
-                self.queue.fail(run["run_id"], self.worker_id, detail)
-                if not isinstance(exc, Exception):
-                    raise  # KeyboardInterrupt and friends still stop us
-                continue
-            self.jobs_done += 1
-            batch_done += 1
-            bump("serve.jobs_done")
-            self.queue.finish(run["run_id"], self.worker_id, result,
-                              manifest_path)
-            # In-process latency view (the fleet view is derived from
-            # the runs table by whoever serves /v1/metrics).
-            REGISTRY.observe("serve.run.exec_latency",
-                             result["wall_seconds"])
-            timeline = self.queue.run_latencies(run["run_id"])
-            if timeline["queue_latency"] is not None:
-                REGISTRY.observe("serve.run.queue_latency",
-                                 timeline["queue_latency"])
-            # Renew the remaining claims: the lease covers the whole
-            # batch, and a long job must not let its batchmates lapse.
-            for waiting in batch:
-                if waiting["run_id"] != run["run_id"]:
-                    self.queue.renew(waiting["run_id"], self.worker_id,
-                                     self.lease_seconds)
-        self.queue.heartbeat(self.worker_id, jobs_done=batch_done,
-                             jobs_failed=batch_failed, batches=1)
+            else:
+                batch_done += 1
+            exc = outcome[2]
+            if exc is not None and not isinstance(exc, Exception):
+                interrupt = exc
+
+        try:
+            # The corpus env is set once around the whole batch (all
+            # batchmates share one corpus by claim_batch construction):
+            # a per-job set/restore would yank the process-global
+            # variable out from under a concurrent wavemate mid-run.
+            with self._corpus_env(batch[0].get("corpus_id")):
+                for wave in self._waves(batch):
+                    if len(wave) == 1:
+                        run = wave[0]
+                        record(run, self._job_outcome(run, None))
+                    else:
+                        bump("serve.concurrent_waves")
+                        # Concurrent wave: per-run tracing off — the
+                        # trace session is one-per-process and
+                        # overlapping jobs would interleave their span
+                        # trees.  Result bytes are unaffected (traces
+                        # never touch stdout).  Each job is recorded
+                        # as it completes, so an early finisher's
+                        # waiters wake while its wavemates still run.
+                        futures = {
+                            self._exec_pool().submit(
+                                self._job_outcome, run, False): run
+                            for run in wave}
+                        for future in as_completed(futures):
+                            record(futures[future], future.result())
+                    if interrupt is not None:
+                        break
+        finally:
+            self.queue.heartbeat(self.worker_id, jobs_done=batch_done,
+                                 jobs_failed=batch_failed, batches=1)
+        if interrupt is not None:
+            raise interrupt  # KeyboardInterrupt and friends still stop us
         return len(batch)
+
+    # -- the long-running loop ------------------------------------------
+
+    def _get_watcher(self) -> Optional[QueueWatcher]:
+        if not self.watch:
+            return None
+        if self._watcher is None:
+            self._watcher = QueueWatcher(self.queue)
+        if not self._watcher.running:
+            self._watcher.start()
+        return self._watcher
+
+    def _idle_wait(self, stop: Optional[threading.Event]) -> None:
+        """Block until the queue may have work (or the poll cap).
+
+        With a watcher the claim query only reruns when the database
+        actually changed (or every :data:`IDLE_WAIT_SECONDS` as a
+        safety net); without one this is the plain poll sleep.  Either
+        way ``stop`` interrupts the wait immediately — shutdown never
+        waits out a poll interval.
+        """
+        watcher = self._get_watcher()
+        if watcher is None:
+            if stop is not None:
+                stop.wait(self.poll_seconds)
+            else:
+                time.sleep(self.poll_seconds)
+            return
+        token = watcher.token()
+        deadline = time.monotonic() + max(self.poll_seconds,
+                                          IDLE_WAIT_SECONDS)
+        if stop is None:
+            watcher.wait(token, deadline - time.monotonic())
+            return
+        while not stop.is_set() and not watcher.changed(token):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            stop.wait(min(IDLE_SLICE_SECONDS, remaining))
 
     def run_forever(self, stop: Optional[threading.Event] = None,
                     max_jobs: Optional[int] = None) -> int:
@@ -366,7 +632,7 @@ class Worker:
                 if now - last_beat >= HEARTBEAT_SECONDS:
                     self.queue.heartbeat(self.worker_id)
                     last_beat = now
-                time.sleep(self.poll_seconds)
+                self._idle_wait(stop)
             else:
                 last_beat = time.time()
         servicelog.emit("worker.offline", worker=self.worker_id)

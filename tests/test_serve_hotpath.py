@@ -1,0 +1,564 @@
+"""The serving hot path: pooled connections, watcher, cache, slots.
+
+Covers the tier-10 surface (connection reuse, the hot-result cache
+with ``ETag``/``If-None-Match`` revalidation, event-driven long-polls,
+and concurrent worker execution):
+
+- the per-thread connection pool (:class:`repro.serve.db.RunQueue`
+  with ``pooling`` on): reuse across calls, graceful invalidation on
+  :meth:`close`, the fork/pid guard, and the per-call baseline mode;
+- :class:`repro.serve.db.QueueWatcher`: wakeups on commit, timeout
+  semantics, clean stop;
+- :class:`repro.serve.api.HotCache`: byte-bounded LRU eviction and
+  the fallback to the database/disk read path;
+- the conditional-GET contract end to end: stable ``ETag`` across
+  duplicate submissions, bodyless ``304`` on ``If-None-Match``,
+  eviction falling back to a correct ``200``, no validator at all in
+  the cache-disabled baseline;
+- the client side: remembered-bytes revalidation (``not_modified``),
+  the reconnect-per-request baseline mode, and ``wait``/``wait_done``
+  timeout semantics under the event-driven wakeup path;
+- concurrent worker execution: thread-routed output capture, a
+  two-slot worker completing a compatible batch with per-job results
+  intact and byte-identical to a one-slot worker's.
+"""
+
+import http.client
+import json
+import os
+import sqlite3
+import threading
+import time
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.serve.api import HotCache
+from repro.serve.db import DONE, QUEUED, QueueWatcher, RunQueue
+from repro.serve.worker import Worker, capture_output, submit_request
+
+ENGINE = {"solver": "dense", "backend": "inline"}
+
+
+@pytest.fixture
+def service_dir(tmp_path):
+    data = tmp_path / "serve"
+    data.mkdir()
+    return str(data)
+
+
+def make_worker(service_dir, **kwargs):
+    db = os.path.join(service_dir, "service.db")
+    kwargs.setdefault("worker_id", "test-worker")
+    kwargs.setdefault("watch", False)
+    return Worker(db, service_dir, **kwargs)
+
+
+def counter(name):
+    return REGISTRY.counters().get(name, 0)
+
+
+# ---------------------------------------------------------------------------
+# the per-thread connection pool
+# ---------------------------------------------------------------------------
+
+
+class TestConnectionPool:
+    def test_calls_reuse_one_connection(self, tmp_path):
+        opened, reused = counter("serve.db.conn_opened"), \
+            counter("serve.db.conn_reuse")
+        # Schema setup inside __init__ opens this thread's pooled
+        # connection; every later call on the thread reuses it.
+        queue = RunQueue(str(tmp_path / "q.db"), pooling=True)
+        queue.submit("k1", "demo", {}, ENGINE)
+        for _ in range(5):
+            queue.stats()
+        assert counter("serve.db.conn_opened") - opened == 1
+        assert counter("serve.db.conn_reuse") - reused >= 5
+        queue.close()
+
+    def test_close_invalidates_then_reopens(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"), pooling=True)
+        queue.submit("k1", "demo", {}, ENGINE)
+        queue.close()
+        opened = counter("serve.db.conn_opened")
+        # The cached handle is stale (generation bumped): the next call
+        # must transparently open a fresh connection and still work.
+        assert queue.get("k1")["status"] == QUEUED
+        assert counter("serve.db.conn_opened") - opened == 1
+        queue.close()
+
+    def test_each_thread_gets_its_own_connection(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"), pooling=True)
+        queue.submit("k1", "demo", {}, ENGINE)
+        opened = counter("serve.db.conn_opened")
+        seen = []
+
+        def reader():
+            seen.append(queue.get("k1")["status"])
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == [QUEUED] * 3
+        assert counter("serve.db.conn_opened") - opened == 3
+        queue.close()
+
+    def test_forked_child_abandons_inherited_handles(self, tmp_path,
+                                                     monkeypatch):
+        import repro.serve.db as db_module
+
+        queue = RunQueue(str(tmp_path / "q.db"), pooling=True)
+        queue.submit("k1", "demo", {}, ENGINE)
+        inherited = queue._local.holder.conn
+        real_pid = os.getpid()
+        monkeypatch.setattr(db_module.os, "getpid", lambda: real_pid + 1)
+        # "In the child": the cached handle's pid no longer matches, so
+        # the call must open a fresh connection — and must NOT close
+        # the inherited one (closing could flush parent WAL state).
+        assert queue.get("k1")["status"] == QUEUED
+        monkeypatch.setattr(db_module.os, "getpid", lambda: real_pid)
+        inherited.execute("SELECT 1")  # still usable: never closed
+        queue.close()
+
+    def test_pooling_off_uses_throwaway_connections(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"), pooling=False)
+        queue.submit("k1", "demo", {}, ENGINE)
+        reused = counter("serve.db.conn_reuse")
+        for _ in range(3):
+            assert queue.get("k1")["status"] == QUEUED
+        assert counter("serve.db.conn_reuse") == reused
+        queue.close()
+
+    def test_error_rolls_back_the_cached_connection(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"), pooling=True)
+        with pytest.raises(sqlite3.Error):
+            with queue._conn() as conn:
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute("SELECT * FROM no_such_table")
+        # The same cached handle serves the next call with no open
+        # transaction left behind.
+        with queue._conn() as conn:
+            assert not conn.in_transaction
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute("COMMIT")
+        queue.close()
+
+    def test_latencies_scan_is_index_bounded(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"))
+        with queue._conn() as conn:
+            plan = " ".join(row["detail"] for row in conn.execute(
+                "EXPLAIN QUERY PLAN "
+                "SELECT created, claimed_at, started, finished FROM runs "
+                "INDEXED BY runs_finished "
+                "WHERE finished IS NOT NULL AND status IN (?, ?) "
+                "ORDER BY finished DESC LIMIT ?", (DONE, "failed", 10)))
+        assert "runs_finished" in plan
+        assert "TEMP B-TREE" not in plan
+        queue.close()
+
+
+# ---------------------------------------------------------------------------
+# the queue watcher
+# ---------------------------------------------------------------------------
+
+
+class TestQueueWatcher:
+    def test_commit_wakes_a_waiter(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"))
+        watcher = QueueWatcher(queue, poll_seconds=0.01).start()
+        try:
+            token = watcher.token()
+            timer = threading.Timer(
+                0.05, lambda: queue.submit("k1", "demo", {}, ENGINE))
+            timer.start()
+            started = time.monotonic()
+            watcher.wait(token, timeout=5.0)
+            elapsed = time.monotonic() - started
+            timer.join()
+            assert watcher.changed(token)
+            assert elapsed < 2.0  # woke on the commit, not the timeout
+        finally:
+            watcher.stop()
+            queue.close()
+
+    def test_wait_times_out_without_changes(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"))
+        watcher = QueueWatcher(queue, poll_seconds=0.01).start()
+        try:
+            token = watcher.token()
+            started = time.monotonic()
+            watcher.wait(token, timeout=0.1)
+            assert 0.05 <= time.monotonic() - started < 2.0
+            assert not watcher.changed(token)
+        finally:
+            watcher.stop()
+            queue.close()
+
+    def test_stop_is_clean_and_releases_waiters(self, tmp_path):
+        queue = RunQueue(str(tmp_path / "q.db"))
+        watcher = QueueWatcher(queue, poll_seconds=0.01).start()
+        assert watcher.running
+        released = threading.Event()
+
+        def waiter():
+            watcher.wait(watcher.token(), timeout=30.0)
+            released.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        watcher.stop()
+        assert released.wait(timeout=5.0)
+        thread.join()
+        assert not watcher.running
+        queue.close()
+
+
+# ---------------------------------------------------------------------------
+# the hot cache
+# ---------------------------------------------------------------------------
+
+
+class TestHotCache:
+    def test_lru_eviction_by_bytes(self):
+        cache = HotCache(max_bytes=100)
+        cache.put(("a", "result"), b"x" * 60, '"ea"', "text/plain")
+        cache.put(("b", "result"), b"y" * 30, '"eb"', "text/plain")
+        cache.get(("a", "result"))  # touch: b becomes the LRU entry
+        cache.put(("c", "result"), b"z" * 40, '"ec"', "text/plain")
+        assert cache.get(("b", "result")) is None
+        assert cache.get(("a", "result"))["body"] == b"x" * 60
+        assert cache.get(("c", "result"))["body"] == b"z" * 40
+
+    def test_oversized_body_is_never_cached(self):
+        cache = HotCache(max_bytes=10)
+        cache.put(("a", "result"), b"x" * 11, '"e"', "text/plain")
+        assert len(cache) == 0
+
+    def test_replacement_does_not_leak_budget(self):
+        cache = HotCache(max_bytes=100)
+        for _ in range(10):
+            cache.put(("a", "result"), b"x" * 90, '"e"', "text/plain")
+        assert len(cache) == 1
+        assert cache.get(("a", "result"))["body"] == b"x" * 90
+
+
+# ---------------------------------------------------------------------------
+# conditional GETs end to end
+# ---------------------------------------------------------------------------
+
+
+def _boot(service_dir, **kwargs):
+    from repro.serve.api import start_in_thread
+
+    db = os.path.join(service_dir, "service.db")
+    return start_in_thread(db, service_dir, **kwargs)
+
+
+def _finish_one(service_dir, tool="demo"):
+    """Run one request to done through a real worker; returns run_id."""
+    worker = make_worker(service_dir)
+    row, _created = submit_request(worker.queue, worker.store, tool)
+    assert worker.run_once() == 1
+    worker.close()
+    return row["run_id"]
+
+
+def _raw_get(url, path, headers=None):
+    split = urlsplit(url)
+    conn = http.client.HTTPConnection(split.hostname, split.port, timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestConditionalGET:
+    def test_etag_stable_across_duplicate_submissions(self, service_dir):
+        run_id = _finish_one(service_dir)
+        service, _thread = _boot(service_dir)
+        try:
+            from repro.serve.client import ServiceClient
+
+            client = ServiceClient(service.url)
+            # Duplicate submissions collapse onto the same run id, so
+            # the validator a client remembered stays good forever.
+            dup = client.submit("demo")
+            assert dup["deduplicated"] and dup["run"]["run_id"] == run_id
+            path = f"/v1/runs/{run_id}/result"
+            _status, first, _body = _raw_get(service.url, path)
+            client.submit("demo")
+            _status, second, _body = _raw_get(service.url, path)
+            assert first["ETag"] == second["ETag"]
+        finally:
+            service.shutdown()
+            service.server_close()
+
+    def test_if_none_match_answers_bodyless_304(self, service_dir):
+        run_id = _finish_one(service_dir)
+        service, _thread = _boot(service_dir)
+        try:
+            for kind in ("result", "manifest"):
+                path = f"/v1/runs/{run_id}/{kind}"
+                status, headers, body = _raw_get(service.url, path)
+                assert status == 200 and body
+                etag = headers["ETag"]
+                status, headers, body = _raw_get(
+                    service.url, path, {"If-None-Match": etag})
+                assert status == 304
+                assert body == b""
+                assert headers["ETag"] == etag
+        finally:
+            service.shutdown()
+            service.server_close()
+
+    def test_eviction_falls_back_to_disk_bytes(self, service_dir):
+        run_id = _finish_one(service_dir)
+        # A cache too small for the manifest: every manifest read is a
+        # miss that falls through to the disk bytes — still a correct
+        # 200 with the same validator.
+        service, _thread = _boot(service_dir, cache_bytes=64)
+        try:
+            path = f"/v1/runs/{run_id}/manifest"
+            status, headers, body = _raw_get(service.url, path)
+            assert status == 200
+            assert len(service.cache) == 0  # too big to cache
+            again_status, again_headers, again_body = _raw_get(
+                service.url, path)
+            assert again_status == 200 and again_body == body
+            assert again_headers["ETag"] == headers["ETag"]
+            json.loads(body)
+        finally:
+            service.shutdown()
+            service.server_close()
+
+    def test_cache_disabled_baseline_has_no_validator(self, service_dir):
+        run_id = _finish_one(service_dir)
+        service, _thread = _boot(service_dir, cache_bytes=0)
+        try:
+            status, headers, body = _raw_get(
+                service.url, f"/v1/runs/{run_id}/result")
+            assert status == 200 and body
+            assert "ETag" not in headers
+        finally:
+            service.shutdown()
+            service.server_close()
+
+    def test_result_cache_hit_keeps_exit_code_header(self, service_dir):
+        run_id = _finish_one(service_dir)
+        service, _thread = _boot(service_dir)
+        try:
+            path = f"/v1/runs/{run_id}/result"
+            _raw_get(service.url, path)  # miss: populates the cache
+            hits = counter("serve.cache.hits")
+            status, headers, _body = _raw_get(service.url, path)
+            assert status == 200
+            assert headers["X-Repro-Exit-Code"] == "0"
+            assert counter("serve.cache.hits") > hits
+        finally:
+            service.shutdown()
+            service.server_close()
+
+
+class TestClientConditional:
+    def test_repeat_fetch_reuses_remembered_bytes(self, service_dir):
+        run_id = _finish_one(service_dir)
+        service, _thread = _boot(service_dir)
+        try:
+            from repro.serve.client import ServiceClient
+
+            client = ServiceClient(service.url)
+            first = client.result_bytes(run_id)
+            assert client.not_modified == 0
+            again = client.result_bytes(run_id)
+            assert again == first
+            assert client.not_modified == 1
+            assert client.manifest(run_id) == client.manifest(run_id)
+            assert client.not_modified >= 2
+        finally:
+            service.shutdown()
+            service.server_close()
+
+    def test_reconnect_per_request_baseline_works(self, service_dir):
+        run_id = _finish_one(service_dir)
+        service, _thread = _boot(service_dir)
+        try:
+            from repro.serve.client import ServiceClient
+
+            keepalive = ServiceClient(service.url)
+            baseline = ServiceClient(service.url, conditional=False,
+                                     keepalive=False)
+            assert baseline.result_bytes(run_id) == \
+                keepalive.result_bytes(run_id)
+            assert baseline.not_modified == 0
+        finally:
+            service.shutdown()
+            service.server_close()
+
+
+class TestWaitSemantics:
+    def test_wait_returns_nonterminal_run_after_the_window(self,
+                                                           service_dir):
+        service, _thread = _boot(service_dir)
+        try:
+            from repro.serve.client import ServiceClient
+
+            client = ServiceClient(service.url)
+            run_id = client.submit("demo")["run"]["run_id"]
+            started = time.monotonic()
+            row = client.run(run_id, wait=0.3)  # no worker: still queued
+            elapsed = time.monotonic() - started
+            assert row["status"] == QUEUED
+            assert 0.2 <= elapsed < 5.0
+        finally:
+            service.shutdown()
+            service.server_close()
+
+    def test_wait_done_times_out_with_service_error(self, service_dir):
+        from repro.serve.client import ServiceClient, ServiceError
+
+        service, _thread = _boot(service_dir)
+        try:
+            client = ServiceClient(service.url)
+            run_id = client.submit("demo")["run"]["run_id"]
+            with pytest.raises(ServiceError, match="still pending"):
+                client.wait_done(run_id, timeout=0.4)
+        finally:
+            service.shutdown()
+            service.server_close()
+
+    def test_completion_wakes_a_long_poll_promptly(self, service_dir):
+        service, _thread = _boot(service_dir)
+        try:
+            from repro.serve.client import ServiceClient
+
+            client = ServiceClient(service.url)
+            run_id = client.submit("demo")["run"]["run_id"]
+            worker = make_worker(service_dir)
+
+            def finish_later():
+                time.sleep(0.1)
+                worker.run_once()
+
+            thread = threading.Thread(target=finish_later)
+            thread.start()
+            row = client.run(run_id, wait=30.0)
+            thread.join()
+            worker.close()
+            assert row["status"] == DONE
+        finally:
+            service.shutdown()
+            service.server_close()
+
+
+# ---------------------------------------------------------------------------
+# concurrent execution
+# ---------------------------------------------------------------------------
+
+
+class TestCaptureOutput:
+    def test_threads_capture_only_their_own_writes(self):
+        import sys
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def job(name):
+            with capture_output() as (out, _err):
+                barrier.wait()
+                for index in range(50):
+                    print(f"{name}:{index}")
+                results[name] = out.getvalue()
+
+        threads = [threading.Thread(target=job, args=(name,))
+                   for name in ("alpha", "beta")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for name in ("alpha", "beta"):
+            lines = results[name].splitlines()
+            assert lines == [f"{name}:{index}" for index in range(50)]
+        # The last capture out restores the real streams.
+        assert not isinstance(sys.stdout, type(None))
+        assert sys.stdout is not None and not hasattr(sys.stdout, "routes")
+
+    def test_uncaptured_threads_fall_through(self, capsys):
+        with capture_output() as (out, _err):
+            print("captured")
+
+            def bystander():
+                print("fallthrough")
+
+            thread = threading.Thread(target=bystander)
+            thread.start()
+            thread.join()
+        assert out.getvalue() == "captured\n"
+        assert "fallthrough" in capsys.readouterr().out
+
+
+class TestExecSlots:
+    def submit_pair(self, worker):
+        rows = [submit_request(worker.queue, worker.store, tool)[0]
+                for tool in ("demo", "condocck")]
+        return [row["run_id"] for row in rows]
+
+    def test_two_slot_batch_completes_without_clobbering(self, service_dir,
+                                                         tmp_path):
+        # One-slot reference run in its own queue.
+        solo_dir = str(tmp_path / "solo")
+        os.makedirs(solo_dir)
+        solo = make_worker(solo_dir, exec_slots=1)
+        solo_ids = self.submit_pair(solo)
+        assert solo.run_once() == 2
+        reference = {run_id: solo.queue.get(run_id) for run_id in solo_ids}
+        solo.close()
+
+        worker = make_worker(service_dir, exec_slots=2)
+        run_ids = self.submit_pair(worker)
+        assert run_ids == solo_ids  # same requests, same content keys
+        waves = counter("serve.concurrent_waves")
+        assert worker.run_once() == 2
+        assert counter("serve.concurrent_waves") > waves
+        for run_id in run_ids:
+            run = worker.queue.get(run_id)
+            assert run["status"] == DONE
+            assert run["attempts"] == 1
+            assert run["claimed_by"] == "test-worker"
+            assert run["result"]["output"] == \
+                reference[run_id]["result"]["output"]
+        # Distinct tools produced distinct bytes: no cross-thread mixing.
+        outputs = [worker.queue.get(run_id)["result"]["output"]
+                   for run_id in run_ids]
+        assert outputs[0] != outputs[1]
+        worker.close()
+
+    def test_solo_wave_traces_concurrent_wave_does_not(self, service_dir,
+                                                       tmp_path,
+                                                       monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TRACE", raising=False)
+
+        def trace_path(worker, run_id):
+            return os.path.join(worker.data_dir, "runs", run_id,
+                                "trace.jsonl")
+
+        solo_dir = str(tmp_path / "solo")
+        os.makedirs(solo_dir)
+        solo = make_worker(solo_dir, exec_slots=1)
+        run_id = submit_request(solo.queue, solo.store, "demo")[0]["run_id"]
+        assert solo.run_once() == 1
+        assert os.path.exists(trace_path(solo, run_id))
+        solo.close()
+
+        worker = make_worker(service_dir, exec_slots=2)
+        run_ids = self.submit_pair(worker)
+        assert worker.run_once() == 2
+        for run_id in run_ids:
+            assert not os.path.exists(trace_path(worker, run_id))
+        worker.close()
